@@ -1,0 +1,1 @@
+bench/ablations.ml: Bdbms Bdbms_bio Bdbms_index Bdbms_sbc Bdbms_storage Bdbms_util Bench_util List Printf

@@ -1,0 +1,1 @@
+bench/bench_util.ml: Array Bdbms_storage List Printf String Unix

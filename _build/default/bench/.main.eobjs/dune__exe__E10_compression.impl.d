@@ -1,0 +1,1 @@
+bench/e10_compression.ml: Bdbms_bio Bdbms_util Bench_util List Result String

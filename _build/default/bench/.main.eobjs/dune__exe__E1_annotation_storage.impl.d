@@ -1,0 +1,1 @@
+bench/e1_annotation_storage.ml: Bdbms_annotation Bdbms_bio Bdbms_util Bench_util List Printf

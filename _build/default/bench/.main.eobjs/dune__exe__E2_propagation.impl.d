@@ -1,0 +1,1 @@
+bench/e2_propagation.ml: Bdbms_annotation Bdbms_bio Bdbms_relation Bdbms_util Bench_util List

@@ -1,0 +1,1 @@
+bench/e3_sbc_storage.ml: Bdbms_bio Bdbms_sbc Bdbms_util Bench_util List

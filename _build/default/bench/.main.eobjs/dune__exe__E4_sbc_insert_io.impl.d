@@ -1,0 +1,1 @@
+bench/e4_sbc_insert_io.ml: Bdbms_bio Bdbms_util Bench_util E3_sbc_storage List Printf String

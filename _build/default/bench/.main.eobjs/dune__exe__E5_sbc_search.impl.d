@@ -1,0 +1,1 @@
+bench/e5_sbc_search.ml: Array Bdbms_bio Bdbms_sbc Bdbms_util Bench_util List String

@@ -1,0 +1,1 @@
+bench/e6_trie_vs_btree.ml: Array Bdbms_bio Bdbms_index Bdbms_spgist Bdbms_util Bench_util List Result String

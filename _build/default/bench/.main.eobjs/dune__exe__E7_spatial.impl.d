@@ -1,0 +1,1 @@
+bench/e7_spatial.ml: Array Bdbms_bio Bdbms_index Bdbms_spgist Bdbms_util Bench_util List

@@ -1,0 +1,1 @@
+bench/e8_dependency.ml: Bdbms_bio Bdbms_dependency Bdbms_relation Bdbms_util Bench_util List Printf Result

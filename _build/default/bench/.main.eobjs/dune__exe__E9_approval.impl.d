@@ -1,0 +1,1 @@
+bench/e9_approval.ml: Bdbms Bdbms_asql Bdbms_auth Bdbms_bio Bdbms_relation Bdbms_util Bench_util Db List Printf

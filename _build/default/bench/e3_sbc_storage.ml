@@ -1,0 +1,59 @@
+(* E3 — SBC-tree storage (paper Section 7.2: "up to an order of magnitude
+   reduction in storage").
+
+   The SBC-tree stores RLE run records and one suffix entry per run; the
+   String B-tree stores the raw text and one suffix entry per character.
+   Sweeping the mean run length r shows the reduction growing with
+   compressibility and crossing ~10x at the run lengths typical of
+   protein secondary structures (Figure 12). *)
+
+module Prng = Bdbms_util.Prng
+module Workload = Bdbms_bio.Workload
+module Sbc_tree = Bdbms_sbc.Sbc_tree
+module String_btree = Bdbms_sbc.String_btree
+open Bench_util
+
+let corpus ~mean_run ~seed = Workload.structures (Prng.create seed) ~n:30 ~len:600 ~mean_run
+
+let build_both texts =
+  let disk_sbc, bp_sbc = mk_pool () in
+  let disk_str, bp_str = mk_pool () in
+  let sbc = Sbc_tree.create ~with_three_sided:false bp_sbc in
+  let strb = String_btree.create bp_str in
+  let _, sbc_io =
+    measure_accesses disk_sbc (fun () ->
+        List.iter (fun s -> ignore (Sbc_tree.insert sbc s)) texts)
+  in
+  let _, str_io =
+    measure_accesses disk_str (fun () ->
+        List.iter (fun s -> ignore (String_btree.insert strb s)) texts)
+  in
+  (sbc, strb, sbc_io, str_io)
+
+let run () =
+  let rows_out =
+    List.map
+      (fun mean_run ->
+        let texts = corpus ~mean_run ~seed:31 in
+        let sbc, strb, _, _ = build_both texts in
+        let sbc_pages = Sbc_tree.total_pages sbc in
+        let str_pages = String_btree.total_pages strb in
+        [
+          fmt_f1 mean_run;
+          fmt_i (Sbc_tree.entry_count sbc);
+          fmt_i (String_btree.entry_count strb);
+          fmt_i sbc_pages;
+          fmt_i str_pages;
+          fmt_f1 (float_of_int str_pages /. float_of_int (max 1 sbc_pages));
+        ])
+      [ 1.2; 2.0; 4.0; 8.0; 16.0; 32.0 ]
+  in
+  print_table
+    ~title:
+      "E3. SBC-tree vs String B-tree storage (30 seqs x 600 chars; paper claim: ~10x reduction)"
+    ~headers:
+      [
+        "mean run"; "SBC entries"; "StrB entries"; "SBC pages"; "StrB pages";
+        "reduction x";
+      ]
+    ~rows:rows_out

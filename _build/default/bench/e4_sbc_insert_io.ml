@@ -1,0 +1,38 @@
+(* E4 — Insertion I/O (paper Section 7.2: "up to 30% reduction in I/Os for
+   the insertion operations").
+
+   Page accesses performed while bulk-inserting the corpus into each
+   index.  One suffix per run instead of one per character means fewer,
+   cheaper B-tree descents; the expected shape is a substantial reduction
+   that grows with the mean run length. *)
+
+module Prng = Bdbms_util.Prng
+module Workload = Bdbms_bio.Workload
+open Bench_util
+
+let run () =
+  let rows_out =
+    List.map
+      (fun mean_run ->
+        let texts =
+          Workload.structures (Prng.create 37) ~n:30 ~len:600 ~mean_run
+        in
+        let total_chars = List.fold_left (fun acc s -> acc + String.length s) 0 texts in
+        let _, _, sbc_io, str_io = E3_sbc_storage.build_both texts in
+        [
+          fmt_f1 mean_run;
+          fmt_i sbc_io;
+          fmt_i str_io;
+          fmt_f (float_of_int sbc_io /. float_of_int total_chars);
+          fmt_f (float_of_int str_io /. float_of_int total_chars);
+          Printf.sprintf "%.0f%%"
+            (100.0 *. (1.0 -. (float_of_int sbc_io /. float_of_int (max 1 str_io))));
+        ])
+      [ 1.2; 2.0; 4.0; 8.0; 16.0 ]
+  in
+  print_table
+    ~title:
+      "E4. Bulk-insert page accesses: SBC-tree vs String B-tree (paper claim: ~30% fewer I/Os)"
+    ~headers:
+      [ "mean run"; "SBC accesses"; "StrB accesses"; "SBC/char"; "StrB/char"; "saved" ]
+    ~rows:rows_out

@@ -1,0 +1,90 @@
+(* E5 — Search performance (paper Section 7.2: the SBC-tree "retains the
+   optimal search performance achieved by the String B-tree over the
+   uncompressed sequences").
+
+   Substring queries of several lengths, half sampled from the corpus
+   (hits) and half random (mostly misses), measured as logical page
+   accesses per query on each index.  Expected shape: comparable access
+   counts — compression does not cost search — with the SBC-tree cheaper
+   on long patterns (fewer runs to compare). *)
+
+module Prng = Bdbms_util.Prng
+module Workload = Bdbms_bio.Workload
+module Secondary = Bdbms_bio.Secondary
+module Sbc_tree = Bdbms_sbc.Sbc_tree
+module String_btree = Bdbms_sbc.String_btree
+open Bench_util
+
+let sample_patterns rng texts ~len ~count =
+  let arr = Array.of_list texts in
+  List.init count (fun i ->
+      if i mod 2 = 0 then begin
+        (* a real substring: guaranteed hit *)
+        let s = arr.(Prng.int rng (Array.length arr)) in
+        let pos = Prng.int rng (max 1 (String.length s - len)) in
+        String.sub s pos (min len (String.length s - pos))
+      end
+      else Secondary.random rng ~len ~mean_run:3.0)
+
+let run () =
+  let mean_run = 8.0 in
+  let texts = Workload.structures (Prng.create 41) ~n:30 ~len:600 ~mean_run in
+  let disk_sbc, bp_sbc = mk_pool () in
+  let disk_str, bp_str = mk_pool () in
+  let sbc = Sbc_tree.create ~with_three_sided:false bp_sbc in
+  let strb = String_btree.create bp_str in
+  List.iter (fun s -> ignore (Sbc_tree.insert sbc s)) texts;
+  List.iter (fun s -> ignore (String_btree.insert strb s)) texts;
+  let rng = Prng.create 43 in
+  let rows_out =
+    List.map
+      (fun len ->
+        let patterns = sample_patterns rng texts ~len ~count:40 in
+        let sbc_total = ref 0 and str_total = ref 0 in
+        let sbc_time = ref 0.0 and str_time = ref 0.0 in
+        let agreement = ref true in
+        List.iter
+          (fun p ->
+            let sbc_hits, io =
+              measure_accesses disk_sbc (fun () ->
+                  let r, us = time_us (fun () -> Sbc_tree.substring_search sbc p) in
+                  sbc_time := !sbc_time +. us;
+                  r)
+            in
+            sbc_total := !sbc_total + io;
+            let str_hits, io' =
+              measure_accesses disk_str (fun () ->
+                  let r, us = time_us (fun () -> String_btree.substring_search strb p) in
+                  str_time := !str_time +. us;
+                  r)
+            in
+            str_total := !str_total + io';
+            (* both must agree on WHICH sequences contain the pattern *)
+            let seqs_a =
+              List.sort_uniq compare (List.map (fun o -> o.Sbc_tree.seq) sbc_hits)
+            in
+            let seqs_b =
+              List.sort_uniq compare (List.map (fun o -> o.String_btree.seq) str_hits)
+            in
+            if seqs_a <> seqs_b then agreement := false)
+          patterns;
+        let n = float_of_int (List.length patterns) in
+        [
+          fmt_i len;
+          fmt_f1 (float_of_int !sbc_total /. n);
+          fmt_f1 (float_of_int !str_total /. n);
+          fmt_f (!sbc_time /. n /. 1000.0);
+          fmt_f (!str_time /. n /. 1000.0);
+          (if !agreement then "yes" else "NO");
+        ])
+      [ 4; 8; 16; 32; 64 ]
+  in
+  print_table
+    ~title:
+      "E5. Substring search: SBC-tree (compressed) vs String B-tree (uncompressed), 40 queries/row"
+    ~headers:
+      [
+        "pattern len"; "SBC acc/query"; "StrB acc/query"; "SBC ms/q"; "StrB ms/q";
+        "same answers";
+      ]
+    ~rows:rows_out

@@ -1,0 +1,106 @@
+(* E6 — SP-GiST trie vs B+-tree (paper Section 7.1, citing the SP-GiST
+   experiments: space-partitioning trees beat the B+-tree on exact-match,
+   prefix and regular-expression search over string keys).
+
+   Gene-identifier keys; the B+-tree answers regex queries the only way it
+   can — scan every key and test — while the trie prunes subtrees whose
+   path cannot extend to a match.  Expected shape: trie wins regex by a
+   wide margin, wins or ties prefix, stays comparable on exact match. *)
+
+module Prng = Bdbms_util.Prng
+module Workload = Bdbms_bio.Workload
+module Trie = Bdbms_spgist.Trie
+module Regex_lite = Bdbms_spgist.Regex_lite
+module Btree = Bdbms_index.Btree
+open Bench_util
+
+let build n ~seed =
+  let keys = Workload.identifier_keys (Prng.create seed) ~n in
+  let disk_t, bp_t = mk_pool () in
+  let disk_b, bp_b = mk_pool () in
+  let trie = Trie.create bp_t in
+  let btree = Btree.create bp_b in
+  List.iteri (fun i k -> Trie.insert trie k i) keys;
+  List.iteri (fun i k -> Btree.insert btree ~key:k ~value:i) keys;
+  (keys, disk_t, trie, disk_b, btree)
+
+(* B+-tree regex baseline: full range scan + match test *)
+let btree_regex btree re =
+  Btree.range btree () |> List.filter (fun (k, _) -> Regex_lite.matches re k)
+
+let avg l = List.fold_left ( + ) 0 l / max 1 (List.length l)
+
+let run () =
+  let rows_out =
+    List.concat_map
+      (fun n ->
+        let keys, disk_t, trie, disk_b, btree = build n ~seed:53 in
+        let rng = Prng.create 59 in
+        let keys_arr = Array.of_list keys in
+        (* exact-match probes: half present, half absent *)
+        let exact_probes =
+          List.init 200 (fun i ->
+              if i mod 2 = 0 then keys_arr.(Prng.int rng n)
+              else keys_arr.(Prng.int rng n) ^ "x")
+        in
+        let trie_exact =
+          List.map
+            (fun k -> snd (measure_accesses disk_t (fun () -> Trie.exact trie k)))
+            exact_probes
+        in
+        let btree_exact =
+          List.map
+            (fun k -> snd (measure_accesses disk_b (fun () -> Btree.search btree k)))
+            exact_probes
+        in
+        (* prefix probes: 4-character prefixes of real keys *)
+        let prefix_probes =
+          List.init 100 (fun _ ->
+              String.sub keys_arr.(Prng.int rng n) 0 4)
+        in
+        let trie_prefix =
+          List.map
+            (fun p -> snd (measure_accesses disk_t (fun () -> Trie.prefix trie p)))
+            prefix_probes
+        in
+        let btree_prefix =
+          List.map
+            (fun p ->
+              snd (measure_accesses disk_b (fun () -> Btree.prefix_search btree p)))
+            prefix_probes
+        in
+        (* regex probes *)
+        let regexes =
+          List.filter_map
+            (fun p -> Result.to_option (Regex_lite.compile p))
+            [ "mra[A-M]0[0-9]+"; "(ftsQ|fruZ)[0-9]+"; "dna.00[0-9]+" ]
+        in
+        let check_regex re =
+          let t_res, t_io = measure_accesses disk_t (fun () -> Trie.search trie (Trie.Regex re)) in
+          let b_res, b_io = measure_accesses disk_b (fun () -> btree_regex btree re) in
+          assert (List.length t_res = List.length b_res);
+          (t_io, b_io)
+        in
+        let regex_costs = List.map check_regex regexes in
+        let trie_regex = avg (List.map fst regex_costs) in
+        let btree_regex_cost = avg (List.map snd regex_costs) in
+        [
+          [
+            fmt_i n; "exact"; fmt_i (avg trie_exact); fmt_i (avg btree_exact);
+            fmt_f1 (float_of_int (avg btree_exact) /. float_of_int (max 1 (avg trie_exact)));
+          ];
+          [
+            fmt_i n; "prefix"; fmt_i (avg trie_prefix); fmt_i (avg btree_prefix);
+            fmt_f1 (float_of_int (avg btree_prefix) /. float_of_int (max 1 (avg trie_prefix)));
+          ];
+          [
+            fmt_i n; "regex"; fmt_i trie_regex; fmt_i btree_regex_cost;
+            fmt_f1 (float_of_int btree_regex_cost /. float_of_int (max 1 trie_regex));
+          ];
+        ])
+      [ 2000; 10000 ]
+  in
+  print_table
+    ~title:"E6. SP-GiST trie vs B+-tree: page accesses per query over identifier keys"
+    ~headers:[ "keys"; "operation"; "trie acc/q"; "B+-tree acc/q"; "B+/trie" ]
+    ~rows:rows_out

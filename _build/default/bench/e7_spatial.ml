@@ -1,0 +1,108 @@
+(* E7 — Space-partitioning trees vs the R-tree (paper Section 7.1: kd-tree
+   and quadtree through SP-GiST against the R-tree baseline, point queries
+   and k-nearest-neighbour on point data).
+
+   Uniform and clustered 2-D point sets (clustered approximates
+   protein-contact-map density).  Expected shape: the space-partitioning
+   indexes beat the R-tree on point data — disjoint partitions mean a
+   point query follows one path while R-tree MBRs overlap. *)
+
+module Prng = Bdbms_util.Prng
+module Workload = Bdbms_bio.Workload
+module Kd_tree = Bdbms_spgist.Kd_tree
+module Quadtree = Bdbms_spgist.Quadtree
+module Rtree = Bdbms_index.Rtree
+open Bench_util
+
+let extent = 100.0
+
+let build pts =
+  let disk_k, bp_k = mk_pool () in
+  let disk_q, bp_q = mk_pool () in
+  let disk_r, bp_r = mk_pool () in
+  let kd = Kd_tree.create ~dims:2 bp_k in
+  let quad = Quadtree.create ~world:(0.0, 0.0, extent, extent) bp_q in
+  let rt = Rtree.create bp_r in
+  Array.iteri (fun i (x, y) -> Kd_tree.insert kd [| x; y |] i) pts;
+  Array.iteri (fun i (x, y) -> Quadtree.insert quad { Quadtree.x; y } i) pts;
+  Array.iteri (fun i (x, y) -> Rtree.insert rt (Rtree.mbr_of_point ~x ~y) i) pts;
+  ((disk_k, kd), (disk_q, quad), (disk_r, rt))
+
+let avg l = List.fold_left ( + ) 0 l / max 1 (List.length l)
+
+let run () =
+  let rows_out =
+    List.concat_map
+      (fun (dist_name, pts_fn) ->
+        List.concat_map
+          (fun n ->
+            let pts : (float * float) array = pts_fn n in
+            let (disk_k, kd), (disk_q, quad), (disk_r, rt) = build pts in
+            let rng = Prng.create 61 in
+            let probes = List.init 300 (fun _ -> pts.(Prng.int rng n)) in
+            (* point queries *)
+            let kd_pq =
+              List.map
+                (fun (x, y) ->
+                  snd (measure_accesses disk_k (fun () -> Kd_tree.point_query kd [| x; y |])))
+                probes
+            in
+            let quad_pq =
+              List.map
+                (fun (x, y) ->
+                  snd
+                    (measure_accesses disk_q (fun () ->
+                         Quadtree.point_query quad { Quadtree.x; y })))
+                probes
+            in
+            let rt_pq =
+              List.map
+                (fun (x, y) ->
+                  snd (measure_accesses disk_r (fun () -> Rtree.search_point rt ~x ~y)))
+                probes
+            in
+            (* kNN k=10 *)
+            let knn_probes = List.init 100 (fun _ -> pts.(Prng.int rng n)) in
+            let kd_knn =
+              List.map
+                (fun (x, y) ->
+                  snd
+                    (measure_accesses disk_k (fun () -> Kd_tree.nearest kd [| x; y |] ~k:10)))
+                knn_probes
+            in
+            let quad_knn =
+              List.map
+                (fun (x, y) ->
+                  snd
+                    (measure_accesses disk_q (fun () ->
+                         Quadtree.nearest quad { Quadtree.x; y } ~k:10)))
+                knn_probes
+            in
+            let rt_knn =
+              List.map
+                (fun (x, y) ->
+                  snd (measure_accesses disk_r (fun () -> Rtree.nearest rt ~x ~y ~k:10)))
+                knn_probes
+            in
+            [
+              [
+                dist_name; fmt_i n; "point query"; fmt_i (avg kd_pq); fmt_i (avg quad_pq);
+                fmt_i (avg rt_pq);
+              ];
+              [
+                dist_name; fmt_i n; "kNN k=10"; fmt_i (avg kd_knn); fmt_i (avg quad_knn);
+                fmt_i (avg rt_knn);
+              ];
+            ])
+          [ 2000; 10000 ])
+      [
+        ("uniform", fun n -> Workload.points_uniform (Prng.create 67) ~n ~extent);
+        ( "clustered",
+          fun n -> Workload.points_clustered (Prng.create 71) ~n ~extent ~clusters:8 );
+      ]
+  in
+  print_table
+    ~title:
+      "E7. SP-GiST kd-tree & PR-quadtree vs R-tree: page accesses per query, 2-D points"
+    ~headers:[ "data"; "points"; "operation"; "kd acc/q"; "quad acc/q"; "R-tree acc/q" ]
+    ~rows:rows_out

@@ -1,0 +1,96 @@
+(* The bdbms shell: run A-SQL interactively or from a script file.
+
+     dune exec bin/bdbms_cli.exe                 # interactive
+     dune exec bin/bdbms_cli.exe -- -f setup.sql # run a script
+     dune exec bin/bdbms_cli.exe -- -u alice     # session user        *)
+
+open Bdbms
+
+let run_statement db ~user sql =
+  match Db.exec db ~user sql with
+  | Ok outcome -> print_endline (Bdbms_asql.Executor.render outcome)
+  | Error e -> Printf.printf "error: %s\n" e
+
+let run_script db ~user path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  match Bdbms_asql.Parser.parse_multi src with
+  | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      exit 1
+  | Ok stmts ->
+      List.iter
+        (fun stmt ->
+          match Bdbms_asql.Executor.execute (Db.context db) ~user stmt with
+          | Ok outcome -> print_endline (Bdbms_asql.Executor.render outcome)
+          | Error e ->
+              Printf.eprintf "error: %s\n" e;
+              exit 1)
+        stmts
+
+let repl db ~user =
+  Printf.printf
+    "bdbms shell (user: %s). End statements with ';'. Type \\q to quit.\n" user;
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "bdbms> " else "   ... ");
+    match read_line () with
+    | exception End_of_file -> ()
+    | "\\q" -> ()
+    | line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        let src = Buffer.contents buf in
+        if String.contains line ';' then begin
+          Buffer.clear buf;
+          run_statement db ~user (String.trim src)
+        end;
+        loop ()
+  in
+  loop ()
+
+let main user script strict_acl auto_prov stats =
+  let db = Db.create () in
+  Db.set_strict_acl db strict_acl;
+  Db.set_auto_provenance db auto_prov;
+  (match script with
+  | Some path -> run_script db ~user path
+  | None -> repl db ~user);
+  if stats then begin
+    let s = Db.io_stats db in
+    Printf.printf
+      "-- i/o: %d physical reads, %d writes, %d page allocations, %d buffer hits\n"
+      s.Bdbms_storage.Stats.reads s.Bdbms_storage.Stats.writes
+      s.Bdbms_storage.Stats.allocs s.Bdbms_storage.Stats.hits
+  end;
+  0
+
+open Cmdliner
+
+let user_arg =
+  Arg.(value & opt string "admin" & info [ "u"; "user" ] ~docv:"USER" ~doc:"Session user.")
+
+let script_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Run a ;-separated A-SQL script.")
+
+let strict_arg =
+  Arg.(value & flag & info [ "strict-acl" ] ~doc:"Enforce GRANT/REVOKE for non-admin users.")
+
+let prov_arg =
+  Arg.(value & flag & info [ "auto-provenance" ] ~doc:"Record provenance on every DML.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print page-level I/O statistics on exit.")
+
+let cmd =
+  let doc = "A-SQL shell for bdbms, the biological DBMS (CIDR 2007 reproduction)" in
+  Cmd.v
+    (Cmd.info "bdbms" ~doc)
+    Term.(const main $ user_arg $ script_arg $ strict_arg $ prov_arg $ stats_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/annotation_explorer.ml: Bdbms Bdbms_annotation Bdbms_bio Bdbms_storage Bdbms_util Db List Printf

@@ -1,0 +1,1 @@
+examples/annotation_explorer.mli:

@@ -1,0 +1,1 @@
+examples/curation_workflow.ml: Bdbms Bdbms_annotation Bdbms_asql Bdbms_provenance Bdbms_relation Db List Printf

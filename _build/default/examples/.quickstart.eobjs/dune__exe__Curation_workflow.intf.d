@@ -1,0 +1,1 @@
+examples/curation_workflow.mli:

@@ -1,0 +1,1 @@
+examples/dependency_lab.ml: Bdbms Bdbms_asql Bdbms_bio Bdbms_dependency Bdbms_util Db List Printf

@@ -1,0 +1,1 @@
+examples/dependency_lab.mli:

@@ -1,0 +1,1 @@
+examples/sequence_search.ml: Array Bdbms_bio Bdbms_sbc Bdbms_storage Bdbms_util List Printf String

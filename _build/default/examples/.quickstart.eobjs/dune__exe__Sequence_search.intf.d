@@ -1,0 +1,1 @@
+examples/sequence_search.mli:

@@ -1,0 +1,1 @@
+examples/structure_search.ml: Array Bdbms_bio Bdbms_index Bdbms_spgist Bdbms_storage Bdbms_util Float List Printf String

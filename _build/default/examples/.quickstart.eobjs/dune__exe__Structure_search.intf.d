@@ -1,0 +1,1 @@
+examples/structure_search.mli:

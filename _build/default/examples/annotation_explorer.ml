@@ -1,0 +1,90 @@
+(* Annotation storage schemes and categories (Section 3.1, Figures 3 and 5):
+   the same multi-granularity annotation workload stored per-cell versus as
+   compact rectangles, with the storage and retrieval numbers side by side;
+   plus annotation categories and structured XML bodies.
+
+   Run with: dune exec examples/annotation_explorer.exe *)
+
+open Bdbms
+module Ann_store = Bdbms_annotation.Ann_store
+module Rect = Bdbms_util.Rect
+module Prng = Bdbms_util.Prng
+module Workload = Bdbms_bio.Workload
+module Disk = Bdbms_storage.Disk
+module Buffer_pool = Bdbms_storage.Buffer_pool
+module Stats = Bdbms_storage.Stats
+
+let show db sql = Printf.printf "asql> %s\n%s\n\n" sql (Db.render_exn db sql)
+
+let rects_of_target ~rows ~cols = function
+  | Workload.On_cell (r, c) -> [ Rect.cell ~row:r ~col:c ]
+  | Workload.On_row r -> [ Rect.row_span ~row:r ~col_lo:0 ~col_hi:(cols - 1) ]
+  | Workload.On_column c -> [ Rect.col_span ~col:c ~row_lo:0 ~row_hi:(rows - 1) ]
+  | Workload.On_block (r0, r1, c0, c1) ->
+      [ Rect.make ~row_lo:r0 ~row_hi:r1 ~col_lo:c0 ~col_hi:c1 ]
+
+let compare_schemes ~rows ~cols ~count =
+  let rng = Prng.create 7 in
+  let targets = Workload.annotation_mix rng ~rows ~cols ~count ~profile:`Mixed in
+  let disk = Disk.create ~page_size:1024 () in
+  let bp = Buffer_pool.create ~capacity:2048 disk in
+  let cell = Ann_store.create Ann_store.Cell bp in
+  let compact = Ann_store.create Ann_store.Compact bp in
+  List.iteri
+    (fun i target ->
+      let rects = rects_of_target ~rows ~cols target in
+      let body = Workload.comment_text rng in
+      Ann_store.add cell ~ann_id:(Printf.sprintf "a%d" i) ~body rects;
+      Ann_store.add compact ~ann_id:(Printf.sprintf "a%d" i) ~body rects)
+    targets;
+  Printf.printf "%d annotations over a %dx%d table (mixed granularities):\n" count rows
+    cols;
+  Printf.printf "  per-cell scheme (Fig 3): %6d records, %7d bytes, %4d pages\n"
+    (Ann_store.record_count cell) (Ann_store.logical_bytes cell)
+    (Ann_store.storage_pages cell);
+  Printf.printf "  compact scheme (Fig 5):  %6d records, %7d bytes, %4d pages\n"
+    (Ann_store.record_count compact)
+    (Ann_store.logical_bytes compact)
+    (Ann_store.storage_pages compact);
+  (* retrieval I/O for a column lookup *)
+  let probe store =
+    Stats.reset (Disk.stats disk);
+    ignore (Ann_store.ids_for_rect store (Rect.col_span ~col:0 ~row_lo:0 ~row_hi:(rows - 1)));
+    Stats.total_io (Stats.snapshot (Disk.stats disk))
+    + (Stats.snapshot (Disk.stats disk)).Stats.hits
+  in
+  Printf.printf "  column-lookup page accesses: per-cell %d vs compact %d\n\n" (probe cell)
+    (probe compact)
+
+let () =
+  print_endline "=== bdbms annotation explorer ===\n";
+  print_endline "--- storage schemes at three table sizes ---\n";
+  compare_schemes ~rows:200 ~cols:5 ~count:60;
+  compare_schemes ~rows:1000 ~cols:5 ~count:200;
+
+  print_endline "--- categories separate provenance from commentary ---\n";
+  let db = Db.create () in
+  (match
+     Db.exec_script db
+       {|
+       CREATE TABLE Gene (GID TEXT, GSequence DNA);
+       INSERT INTO Gene VALUES ('JW0080', 'ATGATGG'), ('JW0055', 'ATGAAAG');
+       CREATE ANNOTATION TABLE comments ON Gene CATEGORY comment;
+       CREATE ANNOTATION TABLE lineage ON Gene SCHEME COMPACT CATEGORY provenance;
+       |}
+   with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  show db
+    "ADD ANNOTATION TO Gene.comments VALUE 'looks misassembled near the 3'' end' ON (SELECT * FROM Gene WHERE GID = 'JW0055')";
+  show db
+    "ADD ANNOTATION TO Gene.lineage VALUE '<Annotation><source>RegulonDB</source><release>6.0</release></Annotation>' ON (SELECT * FROM Gene)";
+
+  print_endline "--- the ANNOTATION operator picks which categories propagate ---\n";
+  show db "SELECT GID FROM Gene ANNOTATION(lineage)";
+  show db "SELECT GID FROM Gene ANNOTATION(comments, lineage) WHERE GID = 'JW0055'";
+
+  print_endline "--- structured bodies are queryable by path ---\n";
+  show db "SELECT GID FROM Gene ANNOTATION(lineage) AWHERE ANN PATH 'source' = 'RegulonDB'";
+
+  print_endline "annotation explorer complete."

@@ -1,0 +1,1 @@
+lib/annotation/ann.ml: Bdbms_util Format String

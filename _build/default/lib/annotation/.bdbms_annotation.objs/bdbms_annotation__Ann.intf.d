@@ -1,0 +1,1 @@
+lib/annotation/ann.mli: Bdbms_util Format

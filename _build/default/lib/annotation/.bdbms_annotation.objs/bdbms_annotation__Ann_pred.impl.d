@@ -1,0 +1,1 @@
+lib/annotation/ann_pred.ml: Ann Bdbms_util Format List String

@@ -1,0 +1,1 @@
+lib/annotation/ann_pred.mli: Ann Bdbms_util Format

@@ -1,0 +1,1 @@
+lib/annotation/ann_store.ml: Array Bdbms_index Bdbms_storage Bdbms_util Buffer Char List String

@@ -1,0 +1,1 @@
+lib/annotation/ann_store.mli: Bdbms_storage Bdbms_util

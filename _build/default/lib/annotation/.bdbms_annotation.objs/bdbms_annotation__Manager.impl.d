@@ -1,0 +1,1 @@
+lib/annotation/manager.ml: Ann Ann_store Bdbms_relation Bdbms_storage Bdbms_util Hashtbl List Option Printf Region String

@@ -1,0 +1,1 @@
+lib/annotation/manager.mli: Ann Ann_store Bdbms_relation Bdbms_storage Bdbms_util Region

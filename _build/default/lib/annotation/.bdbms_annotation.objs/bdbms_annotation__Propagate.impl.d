@@ -1,0 +1,1 @@
+lib/annotation/propagate.ml: Ann Ann_pred Array Bdbms_relation Hashtbl List Manager

@@ -1,0 +1,1 @@
+lib/annotation/propagate.mli: Ann Ann_pred Bdbms_relation Manager

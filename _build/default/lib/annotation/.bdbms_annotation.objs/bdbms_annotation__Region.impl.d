@@ -1,0 +1,1 @@
+lib/annotation/region.ml: Bdbms_relation Bdbms_util Format List Printf Result String

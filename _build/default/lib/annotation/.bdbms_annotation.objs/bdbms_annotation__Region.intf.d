@@ -1,0 +1,1 @@
+lib/annotation/region.mli: Bdbms_relation Bdbms_util Format

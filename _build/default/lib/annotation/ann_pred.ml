@@ -1,0 +1,51 @@
+module Xml_lite = Bdbms_util.Xml_lite
+module Clock = Bdbms_util.Clock
+
+type t =
+  | Contains of string
+  | Author_is of string
+  | Category_is of Ann.category
+  | Added_before of Clock.time
+  | Added_after of Clock.time
+  | Xml_path_is of string list * string
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Any
+
+let contains_substring ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  end
+
+let rec eval t ann =
+  match t with
+  | Contains s -> contains_substring ~needle:s (Ann.body_text ann)
+  | Author_is a -> String.equal ann.Ann.author a
+  | Category_is c -> ann.Ann.category = c
+  | Added_before time -> ann.Ann.created_at < time
+  | Added_after time -> ann.Ann.created_at > time
+  | Xml_path_is (path, v) ->
+      List.exists
+        (fun node -> String.trim (Xml_lite.text_content node) = v)
+        (Xml_lite.find_path ann.Ann.body path)
+  | And (a, b) -> eval a ann && eval b ann
+  | Or (a, b) -> eval a ann || eval b ann
+  | Not a -> not (eval a ann)
+  | Any -> true
+
+let rec pp fmt = function
+  | Contains s -> Format.fprintf fmt "CONTAINS(%S)" s
+  | Author_is a -> Format.fprintf fmt "AUTHOR = %S" a
+  | Category_is c -> Format.fprintf fmt "CATEGORY = %s" (Ann.category_name c)
+  | Added_before t -> Format.fprintf fmt "ADDED < %a" Clock.pp_time t
+  | Added_after t -> Format.fprintf fmt "ADDED > %a" Clock.pp_time t
+  | Xml_path_is (path, v) ->
+      Format.fprintf fmt "PATH(%s) = %S" (String.concat "/" path) v
+  | And (a, b) -> Format.fprintf fmt "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf fmt "(%a OR %a)" pp a pp b
+  | Not a -> Format.fprintf fmt "(NOT %a)" pp a
+  | Any -> Format.pp_print_string fmt "ANY"

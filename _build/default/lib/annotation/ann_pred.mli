@@ -1,0 +1,21 @@
+(** Annotation conditions: the predicate language of AWHERE / AHAVING /
+    FILTER (Section 3.4), evaluated over annotations instead of data. *)
+
+type t =
+  | Contains of string
+      (** body text contains the substring *)
+  | Author_is of string
+  | Category_is of Ann.category
+  | Added_before of Bdbms_util.Clock.time  (** strictly before *)
+  | Added_after of Bdbms_util.Clock.time   (** strictly after *)
+  | Xml_path_is of string list * string
+      (** [Xml_path_is (path, v)]: some element at [path] under the body
+          root has text content [v] — structured annotation querying *)
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Any  (** always true *)
+
+val eval : t -> Ann.t -> bool
+
+val pp : Format.formatter -> t -> unit

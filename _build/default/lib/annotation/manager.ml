@@ -1,0 +1,200 @@
+module Buffer_pool = Bdbms_storage.Buffer_pool
+module Clock = Bdbms_util.Clock
+module Idgen = Bdbms_util.Idgen
+module Xml_lite = Bdbms_util.Xml_lite
+module Table = Bdbms_relation.Table
+
+type ann_table = {
+  at_name : string;
+  store : Ann_store.t;
+  default_category : Ann.category;
+}
+
+type t = {
+  bp : Buffer_pool.t;
+  clock : Clock.t;
+  ids : Idgen.t;
+  (* user-table name (lowercase) -> its annotation tables *)
+  tables : (string, (string, ann_table) Hashtbl.t) Hashtbl.t;
+  registry : (string, Ann.t) Hashtbl.t;
+}
+
+let create bp clock =
+  { bp; clock; ids = Idgen.create ~prefix:"ann" (); tables = Hashtbl.create 16;
+    registry = Hashtbl.create 64 }
+
+let clock t = t.clock
+
+let norm = String.lowercase_ascii
+
+let table_entry t table_name =
+  match Hashtbl.find_opt t.tables (norm table_name) with
+  | Some h -> h
+  | None ->
+      let h = Hashtbl.create 4 in
+      Hashtbl.replace t.tables (norm table_name) h;
+      h
+
+let create_annotation_table t ~table ~name ?(scheme = Ann_store.Compact)
+    ?(category = Ann.Comment) ?(indexed = false) () =
+  let h = table_entry t (Table.name table) in
+  if Hashtbl.mem h (norm name) then
+    Error
+      (Printf.sprintf "annotation table %s already exists on %s" name (Table.name table))
+  else begin
+    Hashtbl.replace h (norm name)
+      {
+        at_name = name;
+        store = Ann_store.create ~indexed scheme t.bp;
+        default_category = category;
+      };
+    Ok ()
+  end
+
+let drop_annotation_table t ~table_name ~name =
+  match Hashtbl.find_opt t.tables (norm table_name) with
+  | None -> false
+  | Some h ->
+      if Hashtbl.mem h (norm name) then begin
+        Hashtbl.remove h (norm name);
+        true
+      end
+      else false
+
+let annotation_table_names t ~table_name =
+  match Hashtbl.find_opt t.tables (norm table_name) with
+  | None -> []
+  | Some h ->
+      Hashtbl.fold (fun _ at acc -> at.at_name :: acc) h [] |> List.sort String.compare
+
+let has_annotation_table t ~table_name ~name =
+  match Hashtbl.find_opt t.tables (norm table_name) with
+  | None -> false
+  | Some h -> Hashtbl.mem h (norm name)
+
+let lookup_ann_tables t ~table_name names =
+  match Hashtbl.find_opt t.tables (norm table_name) with
+  | None -> Error (Printf.sprintf "table %s has no annotation tables" table_name)
+  | Some h ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+            match Hashtbl.find_opt h (norm n) with
+            | Some at -> go (at :: acc) rest
+            | None ->
+                Error
+                  (Printf.sprintf "no annotation table %s on %s" n table_name))
+      in
+      go [] names
+
+let all_ann_tables t ~table_name =
+  match Hashtbl.find_opt t.tables (norm table_name) with
+  | None -> []
+  | Some h -> Hashtbl.fold (fun _ at acc -> at :: acc) h []
+
+let add t ~table ~ann_tables ~body ?category ~author ~region () =
+  if ann_tables = [] then Error "no annotation table specified"
+  else
+    match lookup_ann_tables t ~table_name:(Table.name table) ann_tables with
+    | Error _ as e -> e
+    | Ok ats -> (
+        match
+          Region.to_rects region ~schema:(Table.schema table)
+            ~row_count:(Table.row_count table)
+        with
+        | Error _ as e -> e
+        | Ok rects ->
+            let category =
+              match category with
+              | Some c -> c
+              | None -> (List.hd ats).default_category
+            in
+            let ann =
+              Ann.make ~id:(Idgen.next t.ids) ~body ~category ~author
+                ~created_at:(Clock.tick t.clock)
+            in
+            Hashtbl.replace t.registry ann.Ann.id ann;
+            let body_str = Ann.body_string ann in
+            List.iter
+              (fun at -> Ann_store.add at.store ~ann_id:ann.Ann.id ~body:body_str rects)
+              ats;
+            Ok ann)
+
+let add_text t ~table ~ann_tables ~text ?category ~author ~region () =
+  let body = Xml_lite.element "Annotation" [ Xml_lite.text text ] in
+  add t ~table ~ann_tables ~body ?category ~author ~region ()
+
+let find t id = Hashtbl.find_opt t.registry id
+
+let resolve t ?(include_archived = false) ids =
+  List.filter_map
+    (fun id ->
+      match Hashtbl.find_opt t.registry id with
+      | Some ann when include_archived || not ann.Ann.archived -> Some ann
+      | _ -> None)
+    ids
+
+let selected_tables t ~table_name = function
+  | None -> all_ann_tables t ~table_name
+  | Some names -> (
+      match lookup_ann_tables t ~table_name names with Ok ats -> ats | Error _ -> [])
+
+let for_cell t ~table_name ?ann_tables ?include_archived ~row ~col () =
+  let ats = selected_tables t ~table_name ann_tables in
+  let ids = List.concat_map (fun at -> Ann_store.ids_for_cell at.store ~row ~col) ats in
+  resolve t ?include_archived (List.sort_uniq String.compare ids)
+
+let region_ids t ~table ?ann_tables ~region () =
+  let table_name = Table.name table in
+  match
+    Region.to_rects region ~schema:(Table.schema table) ~row_count:(Table.row_count table)
+  with
+  | Error _ as e -> e
+  | Ok rects ->
+      let ats = selected_tables t ~table_name ann_tables in
+      let ids =
+        List.concat_map
+          (fun at ->
+            List.concat_map (fun rect -> Ann_store.ids_for_rect at.store rect) rects)
+          ats
+      in
+      Ok (List.sort_uniq String.compare ids)
+
+let for_region t ~table ?ann_tables ?include_archived ~region () =
+  match region_ids t ~table ?ann_tables ~region () with
+  | Error _ as e -> e
+  | Ok ids -> Ok (resolve t ?include_archived ids)
+
+let set_archived t ~table ?ann_tables ?between ~region ~to_archived () =
+  match region_ids t ~table ?ann_tables ~region () with
+  | Error _ as e -> e
+  | Ok ids ->
+      let in_range ann =
+        match between with
+        | None -> true
+        | Some (lo, hi) -> ann.Ann.created_at >= lo && ann.Ann.created_at <= hi
+      in
+      let changed = ref 0 in
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt t.registry id with
+          | Some ann when in_range ann && ann.Ann.archived <> to_archived ->
+              if to_archived then Ann.archive ann ~at:(Clock.tick t.clock)
+              else Ann.restore ann;
+              incr changed
+          | _ -> ())
+        ids;
+      Ok !changed
+
+let archive t ~table ?ann_tables ?between ~region () =
+  set_archived t ~table ?ann_tables ?between ~region ~to_archived:true ()
+
+let restore t ~table ?ann_tables ?between ~region () =
+  set_archived t ~table ?ann_tables ?between ~region ~to_archived:false ()
+
+let store_of t ~table_name ~name =
+  match Hashtbl.find_opt t.tables (norm table_name) with
+  | None -> None
+  | Some h -> Option.map (fun at -> at.store) (Hashtbl.find_opt h (norm name))
+
+let registry_size t = Hashtbl.length t.registry

@@ -1,0 +1,115 @@
+(** The annotation manager: bdbms's component owning annotation tables,
+    the annotation registry, insertion at multiple granularities, and
+    archival/restore (Sections 2–3).
+
+    A user relation may have multiple annotation tables attached (e.g. one
+    for provenance, one for comments — CREATE ANNOTATION TABLE, Figure 4);
+    each annotation table chooses a physical scheme ({!Ann_store.Cell} or
+    {!Ann_store.Compact}) and a default category. *)
+
+type t
+
+val create :
+  Bdbms_storage.Buffer_pool.t -> Bdbms_util.Clock.t -> t
+
+val clock : t -> Bdbms_util.Clock.t
+
+(** {1 Annotation tables (Figure 4)} *)
+
+val create_annotation_table :
+  t ->
+  table:Bdbms_relation.Table.t ->
+  name:string ->
+  ?scheme:Ann_store.scheme ->
+  ?category:Ann.category ->
+  ?indexed:bool ->
+  unit ->
+  (unit, string) result
+(** Default scheme is {!Ann_store.Compact}, default category {!Ann.Comment};
+    [indexed] adds an R-tree over the stored regions (default false).
+    Fails if the annotation table name is already attached to that table. *)
+
+val drop_annotation_table : t -> table_name:string -> name:string -> bool
+
+val annotation_table_names : t -> table_name:string -> string list
+
+val has_annotation_table : t -> table_name:string -> name:string -> bool
+
+(** {1 Adding annotations (ADD ANNOTATION, Figure 6a)} *)
+
+val add :
+  t ->
+  table:Bdbms_relation.Table.t ->
+  ann_tables:string list ->
+  body:Bdbms_util.Xml_lite.t ->
+  ?category:Ann.category ->
+  author:string ->
+  region:Region.t ->
+  unit ->
+  (Ann.t, string) result
+(** Create one annotation and attach it to [region] in every listed
+    annotation table.  When [category] is omitted, the first listed
+    annotation table's default applies. *)
+
+val add_text :
+  t ->
+  table:Bdbms_relation.Table.t ->
+  ann_tables:string list ->
+  text:string ->
+  ?category:Ann.category ->
+  author:string ->
+  region:Region.t ->
+  unit ->
+  (Ann.t, string) result
+(** Convenience: wraps plain text in [<Annotation>...</Annotation>]. *)
+
+(** {1 Retrieval} *)
+
+val find : t -> string -> Ann.t option
+
+val for_cell :
+  t ->
+  table_name:string ->
+  ?ann_tables:string list ->
+  ?include_archived:bool ->
+  row:int ->
+  col:int ->
+  unit ->
+  Ann.t list
+
+val for_region :
+  t ->
+  table:Bdbms_relation.Table.t ->
+  ?ann_tables:string list ->
+  ?include_archived:bool ->
+  region:Region.t ->
+  unit ->
+  (Ann.t list, string) result
+
+(** {1 Archival (ARCHIVE / RESTORE ANNOTATION, Figures 6b–6c)} *)
+
+val archive :
+  t ->
+  table:Bdbms_relation.Table.t ->
+  ?ann_tables:string list ->
+  ?between:Bdbms_util.Clock.time * Bdbms_util.Clock.time ->
+  region:Region.t ->
+  unit ->
+  (int, string) result
+(** Archive annotations attached to the region (optionally only those
+    first added within the inclusive time range); returns how many
+    annotations changed state. *)
+
+val restore :
+  t ->
+  table:Bdbms_relation.Table.t ->
+  ?ann_tables:string list ->
+  ?between:Bdbms_util.Clock.time * Bdbms_util.Clock.time ->
+  region:Region.t ->
+  unit ->
+  (int, string) result
+
+(** {1 Introspection (benchmarks)} *)
+
+val store_of : t -> table_name:string -> name:string -> Ann_store.t option
+val registry_size : t -> int

@@ -1,0 +1,255 @@
+module Schema = Bdbms_relation.Schema
+module Tuple = Bdbms_relation.Tuple
+module Expr = Bdbms_relation.Expr
+module Ops = Bdbms_relation.Ops
+module Table = Bdbms_relation.Table
+module Value = Bdbms_relation.Value
+
+type atuple = { tuple : Tuple.t; anns : Ann.t list array }
+
+type t = { schema : Schema.t; rows : atuple list }
+
+let dedup_anns anns =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun ann ->
+      if Hashtbl.mem seen ann.Ann.id then false
+      else begin
+        Hashtbl.add seen ann.Ann.id ();
+        true
+      end)
+    anns
+
+let union_anns a b = dedup_anns (a @ b)
+
+let scan mgr table ?ann_tables ?include_archived () =
+  let schema = Table.schema table in
+  let arity = Schema.arity schema in
+  let table_name = Table.name table in
+  let rows =
+    List.map
+      (fun (row, tuple) ->
+        let anns =
+          Array.init arity (fun col ->
+              Manager.for_cell mgr ~table_name ?ann_tables ?include_archived ~row ~col ())
+        in
+        { tuple; anns })
+      (Table.to_list table)
+  in
+  { schema; rows }
+
+let of_rowset (rs : Ops.rowset) =
+  let arity = Schema.arity rs.Ops.schema in
+  {
+    schema = rs.Ops.schema;
+    rows = List.map (fun tuple -> { tuple; anns = Array.make arity [] }) rs.Ops.rows;
+  }
+
+let to_rowset t = { Ops.schema = t.schema; rows = List.map (fun at -> at.tuple) t.rows }
+
+let all_annotations at = dedup_anns (List.concat (Array.to_list at.anns))
+
+let select t pred =
+  { t with rows = List.filter (fun at -> Expr.eval_pred t.schema at.tuple pred) t.rows }
+
+let project t names =
+  let indices = List.map (Schema.index_of_exn t.schema) names in
+  {
+    schema = Schema.project t.schema names;
+    rows =
+      List.map
+        (fun at ->
+          {
+            tuple = Array.of_list (List.map (fun i -> Tuple.get at.tuple i) indices);
+            anns = Array.of_list (List.map (fun i -> at.anns.(i)) indices);
+          })
+        t.rows;
+  }
+
+let promote t ~from ~to_ =
+  let sources = List.map (Schema.index_of_exn t.schema) from in
+  let target = Schema.index_of_exn t.schema to_ in
+  {
+    t with
+    rows =
+      List.map
+        (fun at ->
+          let anns = Array.copy at.anns in
+          let promoted = List.concat_map (fun i -> at.anns.(i)) sources in
+          anns.(target) <- union_anns anns.(target) promoted;
+          { at with anns })
+        t.rows;
+  }
+
+let awhere t pred =
+  {
+    t with
+    rows =
+      List.filter (fun at -> List.exists (Ann_pred.eval pred) (all_annotations at)) t.rows;
+  }
+
+let filter_anns t pred =
+  {
+    t with
+    rows =
+      List.map
+        (fun at ->
+          { at with anns = Array.map (List.filter (Ann_pred.eval pred)) at.anns })
+        t.rows;
+  }
+
+(* Merge a list of atuples with identical data into one, unioning the
+   annotations column-wise. *)
+let merge_group = function
+  | [] -> invalid_arg "Propagate.merge_group: empty group"
+  | first :: rest ->
+      let anns = Array.copy first.anns in
+      List.iter
+        (fun at -> Array.iteri (fun i a -> anns.(i) <- union_anns anns.(i) a) at.anns)
+        rest;
+      { first with anns }
+
+(* Group rows by data equality, preserving first-appearance order. *)
+let group_rows rows =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun at ->
+      let key = Tuple.encode at.tuple in
+      match Hashtbl.find_opt tbl key with
+      | Some group -> Hashtbl.replace tbl key (at :: group)
+      | None ->
+          Hashtbl.add tbl key [ at ];
+          order := key :: !order)
+    rows;
+  List.rev_map (fun key -> List.rev (Hashtbl.find tbl key)) !order
+
+let distinct t = { t with rows = List.map merge_group (group_rows t.rows) }
+
+let check_compatible op a b =
+  if not (Schema.union_compatible a.schema b.schema) then
+    raise (Expr.Eval_error (op ^ ": schemas are not union-compatible"))
+
+let union a b =
+  check_compatible "UNION" a b;
+  distinct { a with rows = a.rows @ b.rows }
+
+let intersect a b =
+  check_compatible "INTERSECT" a b;
+  (* a tuple survives when present in both sides; its annotations are the
+     union over all equal tuples from both sides (the paper's gene
+     example: common genes carry annotations from both source tables) *)
+  let b_groups = Hashtbl.create 16 in
+  List.iter
+    (fun at ->
+      let key = Tuple.encode at.tuple in
+      let cur = try Hashtbl.find b_groups key with Not_found -> [] in
+      Hashtbl.replace b_groups key (at :: cur))
+    b.rows;
+  let groups = group_rows a.rows in
+  let rows =
+    List.filter_map
+      (fun group ->
+        let key = Tuple.encode (List.hd group).tuple in
+        match Hashtbl.find_opt b_groups key with
+        | Some b_side -> Some (merge_group (group @ List.rev b_side))
+        | None -> None)
+      groups
+  in
+  { a with rows }
+
+let except a b =
+  check_compatible "EXCEPT" a b;
+  let b_keys = Hashtbl.create 16 in
+  List.iter (fun at -> Hashtbl.replace b_keys (Tuple.encode at.tuple) ()) b.rows;
+  let groups = group_rows a.rows in
+  let rows =
+    List.filter_map
+      (fun group ->
+        let key = Tuple.encode (List.hd group).tuple in
+        if Hashtbl.mem b_keys key then None else Some (merge_group group))
+      groups
+  in
+  { a with rows }
+
+let join a b ~on =
+  let schema = Schema.concat a.schema b.schema in
+  let rows =
+    List.concat_map
+      (fun ra ->
+        List.filter_map
+          (fun rb ->
+            let tuple = Array.append ra.tuple rb.tuple in
+            if Expr.eval_pred schema tuple on then
+              Some { tuple; anns = Array.append ra.anns rb.anns }
+            else None)
+          b.rows)
+      a.rows
+  in
+  { schema; rows }
+
+let group_by t ~keys ~aggs =
+  let plain = Ops.group_by (to_rowset t) ~keys ~aggs in
+  let key_indices = List.map (Schema.index_of_exn t.schema) keys in
+  let agg_sources =
+    List.map
+      (fun (agg, _) ->
+        match agg with
+        | Ops.Count_star -> None
+        | Ops.Count c | Ops.Sum c | Ops.Avg c | Ops.Min c | Ops.Max c ->
+            Some (Schema.index_of_exn t.schema c))
+      aggs
+  in
+  (* group input atuples by key *)
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun at ->
+      let key =
+        Tuple.encode (Array.of_list (List.map (fun i -> Tuple.get at.tuple i) key_indices))
+      in
+      let cur = try Hashtbl.find groups key with Not_found -> [] in
+      Hashtbl.replace groups key (at :: cur))
+    t.rows;
+  let annotate_output_row out_tuple =
+    let key =
+      Tuple.encode (Array.sub out_tuple 0 (List.length keys))
+    in
+    let members = try List.rev (Hashtbl.find groups key) with Not_found -> [] in
+    let col_union i =
+      dedup_anns (List.concat_map (fun at -> at.anns.(i)) members)
+    in
+    let key_anns = List.map col_union key_indices in
+    let agg_anns =
+      List.map (function None -> [] | Some i -> col_union i) agg_sources
+    in
+    { tuple = out_tuple; anns = Array.of_list (key_anns @ agg_anns) }
+  in
+  { schema = plain.Ops.schema; rows = List.map annotate_output_row plain.Ops.rows }
+
+let order_by t specs =
+  let indices =
+    List.map
+      (fun (name, dir) -> (Schema.index_of_exn t.schema name, dir))
+      specs
+  in
+  let cmp a b =
+    let rec go = function
+      | [] -> 0
+      | (i, dir) :: rest ->
+          let c = Value.compare (Tuple.get a.tuple i) (Tuple.get b.tuple i) in
+          let c = match dir with `Asc -> c | `Desc -> -c in
+          if c <> 0 then c else go rest
+    in
+    go indices
+  in
+  { t with rows = List.stable_sort cmp t.rows }
+
+let limit t n =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  { t with rows = take (max 0 n) t.rows }
+
+let row_count t = List.length t.rows

@@ -1,0 +1,76 @@
+(** Annotation propagation: the extended operator semantics of Section 3.4.
+
+    An annotated rowset carries, for every tuple, the annotation set of
+    each column position.  Each operator mirrors its plain relational
+    counterpart and additionally implements the paper's propagation rules:
+
+    - projection passes only the annotations of the projected columns;
+    - selection passes surviving tuples with {e all} their annotations;
+    - PROMOTE copies annotations from source columns onto a projected
+      column so they survive a later projection;
+    - AWHERE / AHAVING filter {e tuples} by a condition over their
+      annotations; FILTER keeps every tuple but drops the annotations that
+      fail the condition;
+    - operators that group or combine tuples (duplicate elimination,
+      group by, union, intersect, difference) union the annotations of
+      the combined tuples onto the representative output tuple. *)
+
+type atuple = {
+  tuple : Bdbms_relation.Tuple.t;
+  anns : Ann.t list array;  (** per-column annotation sets, same arity *)
+}
+
+type t = { schema : Bdbms_relation.Schema.t; rows : atuple list }
+
+val scan :
+  Manager.t ->
+  Bdbms_relation.Table.t ->
+  ?ann_tables:string list ->
+  ?include_archived:bool ->
+  unit ->
+  t
+(** Live rows with their annotations attached, resolved through the
+    manager (archived annotations excluded by default: they do not
+    propagate, Section 3.3).  [ann_tables] narrows which annotation
+    tables participate — the ANNOTATION operator of A-SQL SELECT. *)
+
+val of_rowset : Bdbms_relation.Ops.rowset -> t
+(** Wrap a plain rowset with empty annotation sets. *)
+
+val to_rowset : t -> Bdbms_relation.Ops.rowset
+(** Drop annotations. *)
+
+val all_annotations : atuple -> Ann.t list
+(** Distinct annotations over all columns of one tuple. *)
+
+val select : t -> Bdbms_relation.Expr.t -> t
+val project : t -> string list -> t
+
+val promote : t -> from:string list -> to_:string -> t
+(** Copy the annotations of [from] columns onto column [to_].
+    @raise Not_found on unknown columns. *)
+
+val awhere : t -> Ann_pred.t -> t
+(** Keep tuples having at least one annotation satisfying the condition. *)
+
+val filter_anns : t -> Ann_pred.t -> t
+(** Keep all tuples; drop annotations failing the condition. *)
+
+val distinct : t -> t
+val union : t -> t -> t
+val intersect : t -> t -> t
+val except : t -> t -> t
+val join : t -> t -> on:Bdbms_relation.Expr.t -> t
+
+val group_by :
+  t ->
+  keys:string list ->
+  aggs:(Bdbms_relation.Ops.aggregate * string) list ->
+  t
+(** Key columns keep the union of their group members' annotations; an
+    aggregate column carries the union of its source column's annotations
+    across the group ([COUNT( * )] carries none). *)
+
+val order_by : t -> (string * [ `Asc | `Desc ]) list -> t
+val limit : t -> int -> t
+val row_count : t -> int

@@ -1,0 +1,89 @@
+module Rect = Bdbms_util.Rect
+module Schema = Bdbms_relation.Schema
+
+type t =
+  | Whole_table
+  | Columns of string list
+  | Rows of int list
+  | Cells of (int * string) list
+  | Rects of Rect.t list
+
+let to_rects t ~schema ~row_count =
+  let arity = Schema.arity schema in
+  let col_index name =
+    match Schema.index_of schema name with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "unknown column %S" name)
+  in
+  let check_row row =
+    if row < 0 || row >= row_count then
+      Error (Printf.sprintf "row %d out of range (table has %d rows)" row row_count)
+    else Ok row
+  in
+  let ( let* ) = Result.bind in
+  let rec map_result f = function
+    | [] -> Ok []
+    | x :: rest ->
+        let* y = f x in
+        let* ys = map_result f rest in
+        Ok (y :: ys)
+  in
+  match t with
+  | Whole_table ->
+      if row_count = 0 then Ok []
+      else
+        Ok [ Rect.make ~row_lo:0 ~row_hi:(row_count - 1) ~col_lo:0 ~col_hi:(arity - 1) ]
+  | Columns names ->
+      if row_count = 0 then
+        let* _ = map_result col_index names in
+        Ok []
+      else
+        let* cols = map_result col_index names in
+        Ok
+          (List.map
+             (fun col -> Rect.col_span ~col ~row_lo:0 ~row_hi:(row_count - 1))
+             (List.sort_uniq compare cols))
+  | Rows rows ->
+      let* rows = map_result check_row rows in
+      let cells =
+        List.concat_map
+          (fun row -> List.init arity (fun col -> (row, col)))
+          (List.sort_uniq compare rows)
+      in
+      Ok (Rect.cover_of_cells cells)
+  | Cells cells ->
+      let* pairs =
+        map_result
+          (fun (row, name) ->
+            let* row = check_row row in
+            let* col = col_index name in
+            Ok (row, col))
+          cells
+      in
+      Ok (Rect.cover_of_cells pairs)
+  | Rects rects ->
+      let* _ =
+        map_result
+          (fun r ->
+            if r.Rect.row_hi >= row_count || r.Rect.col_hi >= arity then
+              Error (Format.asprintf "rectangle %a out of table bounds" Rect.pp r)
+            else Ok r)
+          rects
+      in
+      Ok rects
+
+let of_column name = Columns [ name ]
+let of_row row = Rows [ row ]
+let of_cell ~row ~column = Cells [ (row, column) ]
+
+let pp fmt = function
+  | Whole_table -> Format.pp_print_string fmt "TABLE"
+  | Columns cs -> Format.fprintf fmt "COLUMNS(%s)" (String.concat "," cs)
+  | Rows rs ->
+      Format.fprintf fmt "ROWS(%s)" (String.concat "," (List.map string_of_int rs))
+  | Cells cs ->
+      Format.fprintf fmt "CELLS(%s)"
+        (String.concat "," (List.map (fun (r, c) -> Printf.sprintf "%d.%s" r c) cs))
+  | Rects rs ->
+      Format.fprintf fmt "RECTS(%s)"
+        (String.concat "," (List.map (Format.asprintf "%a" Rect.pp) rs))

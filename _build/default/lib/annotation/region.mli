@@ -1,0 +1,24 @@
+(** Multi-granularity annotation targets (Sections 3.1–3.2).
+
+    Users annotate an entire table, entire columns, a subset of tuples, a
+    few cells, or any combination; internally every region normalizes to a
+    set of rectangles over the table viewed as a 2-D space (Figure 5). *)
+
+type t =
+  | Whole_table
+  | Columns of string list
+  | Rows of int list
+  | Cells of (int * string) list  (** (row, column name) pairs *)
+  | Rects of Bdbms_util.Rect.t list
+
+val to_rects :
+  t -> schema:Bdbms_relation.Schema.t -> row_count:int -> (Bdbms_util.Rect.t list, string) result
+(** Normalize against a table's shape.  Row lists become maximal vertical
+    strips, cell sets become a greedy rectangle cover.  Fails on unknown
+    columns or out-of-range rows.  An empty table yields no rectangles. *)
+
+val of_column : string -> t
+val of_row : int -> t
+val of_cell : row:int -> column:string -> t
+
+val pp : Format.formatter -> t -> unit

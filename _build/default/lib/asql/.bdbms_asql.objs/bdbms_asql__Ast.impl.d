@@ -1,0 +1,1 @@
+lib/asql/ast.ml: Bdbms_annotation Bdbms_auth Bdbms_relation

@@ -1,0 +1,1 @@
+lib/asql/ast.mli: Bdbms_annotation Bdbms_auth Bdbms_relation

@@ -1,0 +1,1 @@
+lib/asql/context.ml: Bdbms_annotation Bdbms_auth Bdbms_dependency Bdbms_index Bdbms_provenance Bdbms_relation Bdbms_storage Bdbms_util Hashtbl List String

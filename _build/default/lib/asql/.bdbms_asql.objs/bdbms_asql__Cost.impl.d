@@ -1,0 +1,1 @@
+lib/asql/cost.ml: Ast Bdbms_annotation Bdbms_relation Buffer Context Float Format List Option Printf String

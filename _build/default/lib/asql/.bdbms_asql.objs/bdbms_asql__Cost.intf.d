@@ -1,0 +1,1 @@
+lib/asql/cost.mli: Ast Context

@@ -1,0 +1,1 @@
+lib/asql/executor.mli: Ast Bdbms_annotation Bdbms_auth Context

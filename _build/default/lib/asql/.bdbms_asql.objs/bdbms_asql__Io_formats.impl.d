@@ -1,0 +1,1 @@
+lib/asql/io_formats.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/asql/io_formats.mli:

@@ -1,0 +1,1 @@
+lib/asql/lexer.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/asql/lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/asql/parser.ml: Array Ast Bdbms_annotation Bdbms_auth Bdbms_relation Lexer List Printf String

@@ -1,0 +1,1 @@
+lib/asql/parser.mli: Ast

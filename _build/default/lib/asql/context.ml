@@ -1,0 +1,100 @@
+module Disk = Bdbms_storage.Disk
+module Buffer_pool = Bdbms_storage.Buffer_pool
+module Clock = Bdbms_util.Clock
+module Catalog = Bdbms_relation.Catalog
+module Manager = Bdbms_annotation.Manager
+module Prov_store = Bdbms_provenance.Prov_store
+module Tracker = Bdbms_dependency.Tracker
+module Procedure = Bdbms_dependency.Procedure
+module Principal = Bdbms_auth.Principal
+module Acl = Bdbms_auth.Acl
+module Approval = Bdbms_auth.Approval
+
+type index_def = {
+  idx_name : string;
+  idx_table : string;
+  idx_column : string;
+  mutable tree : Bdbms_index.Btree.t;
+  mutable built : bool;
+  mutable dirty : bool;
+}
+
+type t = {
+  disk : Disk.t;
+  bp : Buffer_pool.t;
+  clock : Clock.t;
+  catalog : Catalog.t;
+  ann : Manager.t;
+  prov : Prov_store.t;
+  tracker : Tracker.t;
+  principals : Principal.t;
+  acl : Acl.t;
+  approval : Approval.t;
+  mutable strict_acl : bool;
+  mutable auto_provenance : bool;
+  indexes : (string, index_def) Hashtbl.t;
+}
+
+let superuser = "admin"
+
+let norm = String.lowercase_ascii
+
+let create ?(page_size = 4096) ?(pool_capacity = 256) ?policy () =
+  let disk = Disk.create ~page_size () in
+  let bp = Buffer_pool.create ?policy ~capacity:pool_capacity disk in
+  let clock = Clock.create () in
+  let catalog = Catalog.create bp in
+  let ann = Manager.create bp clock in
+  let prov = Prov_store.create ann in
+  let tracker = Tracker.create catalog in
+  let principals = Principal.create () in
+  ignore (Principal.add_user principals superuser);
+  let acl = Acl.create principals in
+  let approval = Approval.create catalog principals clock in
+  let indexes = Hashtbl.create 8 in
+  let mark_dirty table =
+    Hashtbl.iter
+      (fun _ idx -> if norm idx.idx_table = norm table then idx.dirty <- true)
+      indexes
+  in
+  Approval.set_on_revert approval (fun ~table ~row ~col ->
+      mark_dirty table;
+      match col with
+      | Some col -> ignore (Tracker.on_cell_update tracker ~table ~row ~col)
+      | None -> ());
+  {
+    disk;
+    bp;
+    clock;
+    catalog;
+    ann;
+    prov;
+    tracker;
+    principals;
+    acl;
+    approval;
+    strict_acl = false;
+    auto_provenance = false;
+    indexes;
+  }
+
+let register_procedure t proc =
+  Procedure.Registry.register (Tracker.registry t.tracker) proc
+
+let indexes_on t ~table =
+  Hashtbl.fold
+    (fun _ idx acc -> if norm idx.idx_table = norm table then idx :: acc else acc)
+    t.indexes []
+
+let mark_indexes_dirty t ~table =
+  List.iter (fun idx -> idx.dirty <- true) (indexes_on t ~table)
+
+let index_key v =
+  let module Value = Bdbms_relation.Value in
+  let module Key_codec = Bdbms_index.Key_codec in
+  match v with
+  | Value.VNull -> "\000"
+  | Value.VInt n -> "i" ^ Key_codec.of_int n
+  | Value.VFloat f -> "f" ^ Key_codec.of_float f
+  | Value.VBool b -> if b then "b1" else "b0"
+  | v -> "s" ^ Value.as_string v

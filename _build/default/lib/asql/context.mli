@@ -1,0 +1,61 @@
+(** The assembled bdbms engine: every manager from the architecture of
+    Section 2 wired over one buffer pool, one catalog, and one logical
+    clock.  The A-SQL executor runs against this; the [Bdbms.Db] facade
+    owns one. *)
+
+(** A secondary B+-tree index over one column of a user table.  Indexes
+    are maintained incrementally by the executor's DML paths; mutations
+    that bypass the executor (approval inverse statements, dependency
+    re-derivations) mark them dirty, and a dirty index is rebuilt from a
+    table scan on its next use. *)
+type index_def = {
+  idx_name : string;
+  idx_table : string;
+  idx_column : string;
+  mutable tree : Bdbms_index.Btree.t;
+  mutable built : bool;
+  mutable dirty : bool;
+}
+
+type t = {
+  disk : Bdbms_storage.Disk.t;
+  bp : Bdbms_storage.Buffer_pool.t;
+  clock : Bdbms_util.Clock.t;
+  catalog : Bdbms_relation.Catalog.t;
+  ann : Bdbms_annotation.Manager.t;
+  prov : Bdbms_provenance.Prov_store.t;
+  tracker : Bdbms_dependency.Tracker.t;
+  principals : Bdbms_auth.Principal.t;
+  acl : Bdbms_auth.Acl.t;
+  approval : Bdbms_auth.Approval.t;
+  mutable strict_acl : bool;
+      (** when on, non-admin DML and SELECT require GRANTs *)
+  mutable auto_provenance : bool;
+      (** when on, DML records Local_insert / Local_update provenance *)
+  indexes : (string, index_def) Hashtbl.t;
+      (** by lowercase index name *)
+}
+
+val create :
+  ?page_size:int -> ?pool_capacity:int -> ?policy:Bdbms_storage.Buffer_pool.policy ->
+  unit -> t
+(** A fresh engine.  The superuser ["admin"] and the system actor exist
+    from the start; approval inverse execution is wired into the
+    dependency tracker. *)
+
+val register_procedure :
+  t -> Bdbms_dependency.Procedure.t -> (unit, string) result
+(** Make an executable/non-executable procedure available to
+    [CREATE DEPENDENCY ... USING name]. *)
+
+val superuser : string
+(** ["admin"], exempt from ACL checks. *)
+
+val indexes_on : t -> table:string -> index_def list
+(** All indexes registered over a table. *)
+
+val mark_indexes_dirty : t -> table:string -> unit
+(** Called when a table is mutated behind the executor's back. *)
+
+val index_key : Bdbms_relation.Value.t -> string
+(** Order-preserving byte encoding of a value as an index key. *)

@@ -1,0 +1,244 @@
+module Table = Bdbms_relation.Table
+module Catalog = Bdbms_relation.Catalog
+module Expr = Bdbms_relation.Expr
+module Manager = Bdbms_annotation.Manager
+module Ann_store = Bdbms_annotation.Ann_store
+
+type estimate = { rows : float; pages : float }
+
+(* selectivity heuristics *)
+let rec selectivity = function
+  | Expr.Cmp (Expr.Eq, _, _) -> 0.10
+  | Expr.Cmp (Expr.Neq, _, _) -> 0.90
+  | Expr.Cmp ((Expr.Lt | Expr.Leq | Expr.Gt | Expr.Geq), _, _) -> 0.30
+  | Expr.Like _ -> 0.25
+  | Expr.In_list (_, vs) -> Float.min 0.9 (0.10 *. float_of_int (List.length vs))
+  | Expr.Is_null _ -> 0.05
+  | Expr.And (a, b) -> selectivity a *. selectivity b
+  | Expr.Or (a, b) ->
+      let sa = selectivity a and sb = selectivity b in
+      sa +. sb -. (sa *. sb)
+  | Expr.Not a -> 1.0 -. selectivity a
+  | Expr.Lit _ | Expr.Col _ | Expr.Arith _ | Expr.Concat _ -> 0.5
+
+let awhere_selectivity = 0.5
+let distinct_factor = 0.8
+
+type node = { label : string; est : estimate; children : node list }
+
+let scan_node (ctx : Context.t) (f : Ast.from_item) =
+  match Catalog.find ctx.catalog f.Ast.table with
+  | None ->
+      {
+        label = Printf.sprintf "SCAN %s  (unknown table!)" f.Ast.table;
+        est = { rows = 0.0; pages = 0.0 };
+        children = [];
+      }
+  | Some table ->
+      let rows = float_of_int (Table.live_count table) in
+      let pages = float_of_int (Table.storage_pages table) in
+      let ann_pages, ann_label =
+        match f.Ast.ann_tables with
+        | None -> (0.0, "")
+        | Some names ->
+            let names =
+              if names = [ "*" ] then
+                Manager.annotation_table_names ctx.ann ~table_name:f.Ast.table
+              else names
+            in
+            let pages =
+              List.fold_left
+                (fun acc n ->
+                  match Manager.store_of ctx.ann ~table_name:f.Ast.table ~name:n with
+                  | Some store ->
+                      acc
+                      +. float_of_int (Ann_store.storage_pages store)
+                      +. float_of_int (Ann_store.index_pages store)
+                  | None -> acc)
+                0.0 names
+            in
+            (* an unindexed annotation lookup rescans the store per row *)
+            (pages *. Float.max 1.0 rows, Printf.sprintf " ANNOTATION(%s)" (String.concat "," names))
+      in
+      {
+        label = Printf.sprintf "SCAN %s%s" f.Ast.table ann_label;
+        est = { rows; pages = pages +. ann_pages };
+        children = [];
+      }
+
+(* top-level equality columns of a WHERE expression *)
+let rec equality_columns = function
+  | Expr.Cmp (Expr.Eq, Expr.Col c, Expr.Lit _) | Expr.Cmp (Expr.Eq, Expr.Lit _, Expr.Col c)
+    ->
+      [ c ]
+  | Expr.And (a, b) -> equality_columns a @ equality_columns b
+  | _ -> []
+
+let index_for ctx (f : Ast.from_item) where =
+  match where with
+  | None -> None
+  | Some e ->
+      let eq_cols = List.map String.lowercase_ascii (equality_columns e) in
+      Context.indexes_on ctx ~table:f.Ast.table
+      |> List.find_opt (fun (idx : Context.index_def) ->
+             List.exists
+               (fun c ->
+                 c = String.lowercase_ascii idx.Context.idx_column
+                 || c
+                    = String.lowercase_ascii
+                        (Option.value f.Ast.table_alias ~default:f.Ast.table)
+                      ^ "_"
+                      ^ String.lowercase_ascii idx.Context.idx_column)
+               eq_cols)
+
+let rec select_node ctx (sel : Ast.select) =
+  let single = List.length sel.Ast.from = 1 in
+  let scans =
+    List.map
+      (fun f ->
+        match (single, index_for ctx f sel.Ast.where) with
+        | true, Some idx ->
+            let base = scan_node ctx f in
+            {
+              base with
+              label =
+                Printf.sprintf "INDEX SCAN %s via %s(%s)" f.Ast.table
+                  idx.Context.idx_name idx.Context.idx_column;
+              est =
+                {
+                  rows = base.est.rows *. 0.10;
+                  pages = Float.min base.est.pages 4.0;
+                };
+            }
+        | _ -> scan_node ctx f)
+      sel.Ast.from
+  in
+  let joined =
+    match scans with
+    | [] -> { label = "EMPTY"; est = { rows = 0.0; pages = 0.0 }; children = [] }
+    | [ s ] -> s
+    | first :: rest ->
+        List.fold_left
+          (fun acc s ->
+            {
+              label = "NESTED-LOOP JOIN";
+              est =
+                {
+                  rows = acc.est.rows *. s.est.rows;
+                  pages = acc.est.pages +. s.est.pages;
+                };
+              children = [ acc; s ];
+            })
+          first rest
+  in
+  let with_where =
+    match sel.Ast.where with
+    | None -> joined
+    | Some e ->
+        let sel_f = selectivity e in
+        {
+          label = Printf.sprintf "WHERE (selectivity %.2f)" sel_f;
+          est = { joined.est with rows = joined.est.rows *. sel_f };
+          children = [ joined ];
+        }
+  in
+  let with_awhere =
+    match sel.Ast.awhere with
+    | None -> with_where
+    | Some p ->
+        {
+          label = Format.asprintf "AWHERE %a" Bdbms_annotation.Ann_pred.pp p;
+          est = { with_where.est with rows = with_where.est.rows *. awhere_selectivity };
+          children = [ with_where ];
+        }
+  in
+  let with_group =
+    if sel.Ast.group_by = [] then with_awhere
+    else
+      let groups = Float.max 1.0 (with_awhere.est.rows /. 10.0) in
+      {
+        label = Printf.sprintf "GROUP BY %s" (String.concat "," sel.Ast.group_by);
+        est = { with_awhere.est with rows = groups };
+        children = [ with_awhere ];
+      }
+  in
+  let projected =
+    let item_count = List.length sel.Ast.items in
+    {
+      label =
+        (if sel.Ast.items = [ Ast.Star ] then "PROJECT *"
+         else Printf.sprintf "PROJECT (%d items)" item_count);
+      est = with_group.est;
+      children = [ with_group ];
+    }
+  in
+  let with_filter =
+    match sel.Ast.filter with
+    | None -> projected
+    | Some p ->
+        {
+          label = Format.asprintf "FILTER %a" Bdbms_annotation.Ann_pred.pp p;
+          est = projected.est;
+          children = [ projected ];
+        }
+  in
+  if sel.Ast.distinct then
+    {
+      label = "DISTINCT";
+      est = { with_filter.est with rows = with_filter.est.rows *. distinct_factor };
+      children = [ with_filter ];
+    }
+  else with_filter
+
+and query_node ctx = function
+  | Ast.Select sel -> select_node ctx sel
+  | Ast.Union (a, b) ->
+      let na = query_node ctx a and nb = query_node ctx b in
+      {
+        label = "UNION";
+        est = { rows = na.est.rows +. nb.est.rows; pages = na.est.pages +. nb.est.pages };
+        children = [ na; nb ];
+      }
+  | Ast.Intersect (a, b) ->
+      let na = query_node ctx a and nb = query_node ctx b in
+      {
+        label = "INTERSECT";
+        est =
+          {
+            rows = Float.min na.est.rows nb.est.rows *. 0.5;
+            pages = na.est.pages +. nb.est.pages;
+          };
+        children = [ na; nb ];
+      }
+  | Ast.Except (a, b) ->
+      let na = query_node ctx a and nb = query_node ctx b in
+      {
+        label = "EXCEPT";
+        est = { rows = na.est.rows *. 0.5; pages = na.est.pages +. nb.est.pages };
+        children = [ na; nb ];
+      }
+
+let estimate_query ctx q = (query_node ctx q).est
+
+let explain ctx q =
+  let buf = Buffer.create 256 in
+  let rec render prefix is_last node =
+    Buffer.add_string buf prefix;
+    Buffer.add_string buf (if prefix = "" then "" else if is_last then "`- " else "|- ");
+    Buffer.add_string buf
+      (Printf.sprintf "%s  (est. rows=%.0f, pages=%.0f)\n" node.label node.est.rows
+         node.est.pages);
+    let child_prefix =
+      if prefix = "" then "  " else prefix ^ (if is_last then "   " else "|  ")
+    in
+    let rec go = function
+      | [] -> ()
+      | [ c ] -> render child_prefix true c
+      | c :: rest ->
+          render child_prefix false c;
+          go rest
+    in
+    go node.children
+  in
+  render "" true (query_node ctx q);
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Cost estimation for A-SQL plans.
+
+    Section 3.4 leaves "for each A-SQL operator its algebraic definition,
+    cost estimate function, and algebraic properties" as an open issue;
+    this module supplies the cost-estimate part: per-operator cardinality
+    and page-access estimates from catalog statistics, rendered as an
+    EXPLAIN tree.  Estimates use textbook selectivity heuristics
+    (equality 10%, range 30%, LIKE 25%, AWHERE 50%). *)
+
+type estimate = {
+  rows : float;     (** estimated output cardinality *)
+  pages : float;    (** estimated page accesses *)
+}
+
+val estimate_query : Context.t -> Ast.query -> estimate
+(** Root estimate (errors on unknown tables are folded into 0-cost
+    leaves so EXPLAIN never fails on a typo — the tree shows the
+    problem). *)
+
+val explain : Context.t -> Ast.query -> string
+(** The full plan tree with per-operator estimates. *)

@@ -1,0 +1,1219 @@
+module Value = Bdbms_relation.Value
+module Schema = Bdbms_relation.Schema
+module Tuple = Bdbms_relation.Tuple
+module Table = Bdbms_relation.Table
+module Catalog = Bdbms_relation.Catalog
+module Expr = Bdbms_relation.Expr
+module Ops = Bdbms_relation.Ops
+module Rle = Bdbms_util.Rle
+module Xml = Bdbms_util.Xml_lite
+module Ann = Bdbms_annotation.Ann
+module Ann_store = Bdbms_annotation.Ann_store
+module Manager = Bdbms_annotation.Manager
+module Region = Bdbms_annotation.Region
+module Propagate = Bdbms_annotation.Propagate
+module Prov_record = Bdbms_provenance.Prov_record
+module Prov_store = Bdbms_provenance.Prov_store
+module Rule = Bdbms_dependency.Rule
+module Rule_set = Bdbms_dependency.Rule_set
+module Procedure = Bdbms_dependency.Procedure
+module Tracker = Bdbms_dependency.Tracker
+module Principal = Bdbms_auth.Principal
+module Acl = Bdbms_auth.Acl
+module Approval = Bdbms_auth.Approval
+module Clock = Bdbms_util.Clock
+
+type outcome =
+  | Rows of Propagate.t
+  | Count of { affected : int; verb : string }
+  | Message of string
+  | Entries of Approval.entry list
+
+exception Exec_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
+
+let ok_or_fail = function Ok v -> v | Error e -> raise (Exec_error e)
+
+let find_table (ctx : Context.t) name =
+  match Catalog.find ctx.catalog name with
+  | Some t -> t
+  | None -> fail "unknown table %s" name
+
+let check_acl (ctx : Context.t) ~user privilege ~table ?column () =
+  if ctx.strict_acl && user <> Context.superuser then
+    if not (Acl.allowed ctx.acl ~user privilege ~table ?column ()) then
+      fail "user %s lacks %s on %s" user (Acl.privilege_name privilege) table
+
+(* ------------------------------------------------------ name resolution *)
+
+(* Rewrite column references in an expression. *)
+let rec resolve_expr f = function
+  | Expr.Col name -> Expr.Col (f name)
+  | Expr.Lit _ as e -> e
+  | Expr.Cmp (op, a, b) -> Expr.Cmp (op, resolve_expr f a, resolve_expr f b)
+  | Expr.And (a, b) -> Expr.And (resolve_expr f a, resolve_expr f b)
+  | Expr.Or (a, b) -> Expr.Or (resolve_expr f a, resolve_expr f b)
+  | Expr.Not a -> Expr.Not (resolve_expr f a)
+  | Expr.Arith (op, a, b) -> Expr.Arith (op, resolve_expr f a, resolve_expr f b)
+  | Expr.Like (a, p) -> Expr.Like (resolve_expr f a, p)
+  | Expr.In_list (a, vs) -> Expr.In_list (resolve_expr f a, vs)
+  | Expr.Is_null a -> Expr.Is_null (resolve_expr f a)
+  | Expr.Concat (a, b) -> Expr.Concat (resolve_expr f a, resolve_expr f b)
+
+(* Resolver for a schema where columns may be referenced bare or as
+   alias_column.  [prefixes] are acceptable qualifiers to strip when the
+   qualified name is absent from the schema. *)
+let make_resolver schema prefixes name =
+  if Schema.mem schema name then name
+  else begin
+    (* qualified ref whose qualifier matches a known prefix? *)
+    let stripped =
+      List.find_map
+        (fun p ->
+          let p = p ^ "_" in
+          let pl = String.length p in
+          if
+            String.length name > pl
+            && String.lowercase_ascii (String.sub name 0 pl) = String.lowercase_ascii p
+            && Schema.mem schema (String.sub name pl (String.length name - pl))
+          then Some (String.sub name pl (String.length name - pl))
+          else None)
+        prefixes
+    in
+    match stripped with
+    | Some n -> n
+    | None -> (
+        (* unique suffix match: name = column under some table prefix *)
+        let suffix = "_" ^ String.lowercase_ascii name in
+        let candidates =
+          List.filter
+            (fun c ->
+              let cn = String.lowercase_ascii c.Schema.name in
+              String.length cn > String.length suffix
+              && String.sub cn (String.length cn - String.length suffix)
+                   (String.length suffix)
+                 = suffix)
+            (Schema.columns schema)
+        in
+        match candidates with
+        | [ c ] -> c.Schema.name
+        | [] -> fail "unknown column %s" name
+        | _ -> fail "ambiguous column %s" name)
+  end
+
+(* ----------------------------------------------------------------- scan *)
+
+let outdated_ann (ctx : Context.t) ~table ~row ~col =
+  Ann.make
+    ~id:(Printf.sprintf "outdated:%s:%d:%d" table row col)
+    ~body:
+      (Xml.element "Annotation"
+         [ Xml.text "outdated: this value needs re-verification" ])
+    ~category:Ann.Quality ~author:"system" ~created_at:(Clock.now ctx.clock)
+
+(* Annotated scan with system outdated annotations attached (Section 5);
+   [only_rows] restricts to candidate row numbers from an index probe. *)
+let scan_table (ctx : Context.t) table ~ann_tables ?only_rows () =
+  let schema = Table.schema table in
+  let arity = Schema.arity schema in
+  let name = Table.name table in
+  let source =
+    match only_rows with
+    | None -> Table.to_list table
+    | Some rows ->
+        List.sort_uniq compare rows
+        |> List.filter_map (fun row ->
+               Option.map (fun tuple -> (row, tuple)) (Table.get table row))
+  in
+  let rows =
+    List.map
+      (fun (row, tuple) ->
+        let anns =
+          Array.init arity (fun col ->
+              let user_anns =
+                match ann_tables with
+                | None -> []
+                | Some names ->
+                    let names = if names = [ "*" ] then None else Some names in
+                    Manager.for_cell ctx.ann ~table_name:name ?ann_tables:names ~row ~col ()
+              in
+              if Tracker.is_outdated ctx.tracker ~table:name ~row ~col then
+                user_anns @ [ outdated_ann ctx ~table:name ~row ~col ]
+              else user_anns)
+        in
+        { Propagate.tuple; anns })
+      source
+  in
+  { Propagate.schema; rows }
+
+let prefix_schema prefix rowset =
+  let renames =
+    List.map (fun c -> (c.Schema.name, prefix ^ "_" ^ c.Schema.name))
+      (Schema.columns rowset.Propagate.schema)
+  in
+  { rowset with Propagate.schema = Schema.rename_columns rowset.Propagate.schema renames }
+
+(* ---------------------------------------------------- secondary indexes *)
+
+let build_index (ctx : Context.t) (idx : Context.index_def) =
+  let table = find_table ctx idx.Context.idx_table in
+  let col = Schema.index_of_exn (Table.schema table) idx.Context.idx_column in
+  let tree = Bdbms_index.Btree.create ctx.bp in
+  Table.iter table (fun row tuple ->
+      Bdbms_index.Btree.insert tree
+        ~key:(Context.index_key (Tuple.get tuple col))
+        ~value:row);
+  idx.Context.tree <- tree;
+  idx.Context.built <- true;
+  idx.Context.dirty <- false
+
+let fresh_index ctx (idx : Context.index_def) =
+  if (not idx.Context.built) || idx.Context.dirty then build_index ctx idx;
+  idx
+
+(* incremental maintenance: only touch clean, built indexes *)
+let index_note_insert ctx ~table ~row tuple =
+  List.iter
+    (fun (idx : Context.index_def) ->
+      if idx.Context.built && not idx.Context.dirty then begin
+        let tbl = find_table ctx table in
+        let col = Schema.index_of_exn (Table.schema tbl) idx.Context.idx_column in
+        Bdbms_index.Btree.insert idx.Context.tree
+          ~key:(Context.index_key (Tuple.get tuple col))
+          ~value:row
+      end)
+    (Context.indexes_on ctx ~table)
+
+let index_note_update ctx ~table ~row ~column ~old_value ~new_value =
+  List.iter
+    (fun (idx : Context.index_def) ->
+      if
+        String.lowercase_ascii idx.Context.idx_column = String.lowercase_ascii column
+        && idx.Context.built
+        && not idx.Context.dirty
+      then begin
+        ignore
+          (Bdbms_index.Btree.delete idx.Context.tree
+             ~key:(Context.index_key old_value) ~value:row);
+        Bdbms_index.Btree.insert idx.Context.tree
+          ~key:(Context.index_key new_value)
+          ~value:row
+      end)
+    (Context.indexes_on ctx ~table)
+
+let index_note_delete ctx ~table ~row tuple =
+  List.iter
+    (fun (idx : Context.index_def) ->
+      if idx.Context.built && not idx.Context.dirty then begin
+        let tbl = find_table ctx table in
+        let col = Schema.index_of_exn (Table.schema tbl) idx.Context.idx_column in
+        ignore
+          (Bdbms_index.Btree.delete idx.Context.tree
+             ~key:(Context.index_key (Tuple.get tuple col))
+             ~value:row)
+      end)
+    (Context.indexes_on ctx ~table)
+
+(* When the dependency tracker re-derived cells, those writes bypassed the
+   index maintenance above: mark the touched tables' indexes dirty. *)
+let note_tracker_report ctx (report : Tracker.report) =
+  List.iter
+    (fun (c : Bdbms_dependency.Dep_graph.cell) ->
+      Context.mark_indexes_dirty ctx ~table:c.Bdbms_dependency.Dep_graph.table)
+    report.Tracker.recomputed
+
+
+(* ----------------------------------------------------------- the SELECT *)
+
+let rec exec_query (ctx : Context.t) ~user (q : Ast.query) : Propagate.t =
+  match q with
+  | Ast.Select sel -> exec_select ctx ~user sel
+  | Ast.Union (a, b) -> Propagate.union (exec_query ctx ~user a) (exec_query ctx ~user b)
+  | Ast.Intersect (a, b) ->
+      Propagate.intersect (exec_query ctx ~user a) (exec_query ctx ~user b)
+  | Ast.Except (a, b) -> Propagate.except (exec_query ctx ~user a) (exec_query ctx ~user b)
+
+(* Top-level equality conjuncts col = literal of a WHERE expression. *)
+and equality_conjuncts expr =
+  match expr with
+  | Expr.Cmp (Expr.Eq, Expr.Col c, Expr.Lit v)
+  | Expr.Cmp (Expr.Eq, Expr.Lit v, Expr.Col c) ->
+      [ (c, v) ]
+  | Expr.And (a, b) -> equality_conjuncts a @ equality_conjuncts b
+  | _ -> []
+
+and exec_select ctx ~user (sel : Ast.select) : Propagate.t =
+  if sel.Ast.from = [] then fail "FROM clause is required";
+  List.iter
+    (fun (f : Ast.from_item) ->
+      check_acl ctx ~user Acl.Select ~table:f.Ast.table ())
+    sel.Ast.from;
+  let multi = List.length sel.Ast.from > 1 in
+  (* Index-assisted access path: for a single-table query whose WHERE has a
+     top-level equality on an indexed column, fetch candidate rows from the
+     B+-tree instead of scanning (the WHERE is still applied in full). *)
+  let index_rows (f : Ast.from_item) =
+    if multi then None
+    else
+      match sel.Ast.where with
+      | None -> None
+      | Some where ->
+          let table = find_table ctx f.Ast.table in
+          let schema = Table.schema table in
+          let resolve_opt name =
+            match Schema.index_of schema name with
+            | Some _ -> Some name
+            | None -> (
+                (* strip an alias/table qualifier *)
+                match
+                  List.find_map
+                    (fun p ->
+                      let p = String.lowercase_ascii p ^ "_" in
+                      let n = String.lowercase_ascii name in
+                      if
+                        String.length n > String.length p
+                        && String.sub n 0 (String.length p) = p
+                      then Some (String.sub name (String.length p) (String.length name - String.length p))
+                      else None)
+                    [ Option.value f.Ast.table_alias ~default:f.Ast.table ]
+                with
+                | Some stripped when Schema.mem schema stripped -> Some stripped
+                | _ -> None)
+          in
+          List.find_map
+            (fun (c, v) ->
+              match resolve_opt c with
+              | None -> None
+              | Some col ->
+                  Context.indexes_on ctx ~table:f.Ast.table
+                  |> List.find_map (fun (idx : Context.index_def) ->
+                         if
+                           String.lowercase_ascii idx.Context.idx_column
+                           = String.lowercase_ascii col
+                         then begin
+                           let idx = fresh_index ctx idx in
+                           Some
+                             (Bdbms_index.Btree.search idx.Context.tree
+                                (Context.index_key v))
+                         end
+                         else None))
+            (equality_conjuncts where)
+  in
+  (* scan and (for multi-table queries) prefix columns by alias *)
+  let scans =
+    List.map
+      (fun (f : Ast.from_item) ->
+        let table = find_table ctx f.Ast.table in
+        let rs =
+          match index_rows f with
+          | Some rows -> scan_table ctx table ~ann_tables:f.Ast.ann_tables ~only_rows:rows ()
+          | None -> scan_table ctx table ~ann_tables:f.Ast.ann_tables ()
+        in
+        if multi then
+          prefix_schema (Option.value f.Ast.table_alias ~default:f.Ast.table) rs
+        else rs)
+      sel.Ast.from
+  in
+  let joined =
+    match scans with
+    | [] -> assert false
+    | first :: rest ->
+        List.fold_left
+          (fun acc rs -> Propagate.join acc rs ~on:(Expr.Lit (Value.VBool true)))
+          first rest
+  in
+  let prefixes =
+    List.map
+      (fun (f : Ast.from_item) -> Option.value f.Ast.table_alias ~default:f.Ast.table)
+      sel.Ast.from
+  in
+  let resolve = make_resolver joined.Propagate.schema prefixes in
+  (* WHERE *)
+  let filtered =
+    match sel.Ast.where with
+    | None -> joined
+    | Some e -> Propagate.select joined (resolve_expr resolve e)
+  in
+  (* AWHERE *)
+  let filtered =
+    match sel.Ast.awhere with
+    | None -> filtered
+    | Some p -> Propagate.awhere filtered p
+  in
+  let has_aggregates =
+    List.exists
+      (function Ast.Item { expr = Ast.Aggregate _; _ } -> true | _ -> false)
+      sel.Ast.items
+  in
+  let projected =
+    if has_aggregates || sel.Ast.group_by <> [] then begin
+      (* aggregate path *)
+      let keys = List.map resolve sel.Ast.group_by in
+      let aggs =
+        List.filter_map
+          (function
+            | Ast.Item { expr = Ast.Aggregate agg; alias; _ } ->
+                let agg =
+                  match agg with
+                  | Ops.Count_star -> Ops.Count_star
+                  | Ops.Count c -> Ops.Count (resolve c)
+                  | Ops.Sum c -> Ops.Sum (resolve c)
+                  | Ops.Avg c -> Ops.Avg (resolve c)
+                  | Ops.Min c -> Ops.Min (resolve c)
+                  | Ops.Max c -> Ops.Max (resolve c)
+                in
+                Some (agg, Option.value alias ~default:(Ops.aggregate_name agg))
+            | _ -> None)
+          sel.Ast.items
+      in
+      (* every plain item must be a grouping key *)
+      List.iter
+        (function
+          | Ast.Item { expr = Ast.Col_ref c; _ } ->
+              if not (List.mem (resolve c) keys) then
+                fail "column %s must appear in GROUP BY" c
+          | Ast.Item { expr = Ast.Scalar _; _ } ->
+              fail "computed columns are not supported with GROUP BY"
+          | Ast.Star -> fail "SELECT * is not supported with GROUP BY"
+          | Ast.Item { expr = Ast.Aggregate _; _ } -> ())
+        sel.Ast.items;
+      let grouped = Propagate.group_by filtered ~keys ~aggs in
+      (* HAVING / AHAVING apply over the grouped schema *)
+      let grouped =
+        match sel.Ast.having with
+        | None -> grouped
+        | Some e ->
+            let r = make_resolver grouped.Propagate.schema [] in
+            Propagate.select grouped (resolve_expr r e)
+      in
+      let grouped =
+        match sel.Ast.ahaving with
+        | None -> grouped
+        | Some p -> Propagate.awhere grouped p
+      in
+      (* reorder to the item order *)
+      let out_names =
+        List.map
+          (function
+            | Ast.Item { expr = Ast.Col_ref c; alias; _ } ->
+                (resolve c, Option.value alias ~default:c)
+            | Ast.Item { expr = Ast.Aggregate agg; alias; _ } ->
+                let n = Option.value alias ~default:(Ops.aggregate_name agg) in
+                (n, n)
+            | _ -> assert false)
+          sel.Ast.items
+      in
+      let projected = Propagate.project grouped (List.map fst out_names) in
+      let renames =
+        List.filter (fun (src, dst) -> src <> dst) out_names
+      in
+      { projected with
+        Propagate.schema = Schema.rename_columns projected.Propagate.schema renames }
+    end
+    else begin
+      (* scalar path *)
+      match sel.Ast.items with
+      | [ Ast.Star ] -> filtered
+      | items ->
+          (* promotes first (they reference the pre-projection schema) *)
+          let promoted =
+            List.fold_left
+              (fun acc item ->
+                match item with
+                | Ast.Item { expr = Ast.Col_ref c; promote = _ :: _ as promote; _ } ->
+                    Propagate.promote acc ~from:(List.map resolve promote)
+                      ~to_:(resolve c)
+                | Ast.Item { promote = _ :: _; _ } ->
+                    fail "PROMOTE applies to plain column items"
+                | _ -> acc)
+              filtered items
+          in
+          (* computed columns *)
+          let extended, proj_names =
+            List.fold_left
+              (fun (acc, names) item ->
+                match item with
+                | Ast.Star -> fail "SELECT * cannot be mixed with other select items"
+                | Ast.Item { expr = Ast.Col_ref c; alias; _ } ->
+                    (acc, names @ [ (resolve c, Option.value alias ~default:c) ])
+                | Ast.Item { expr = Ast.Scalar e; alias; _ } ->
+                    let out = match alias with
+                      | Some a -> a
+                      | None -> fail "computed columns need AS <name>"
+                    in
+                    let e = resolve_expr (make_resolver acc.Propagate.schema prefixes) e in
+                    let plain = Propagate.to_rowset acc in
+                    let plain' = Ops.extend plain ~name:out ~ty:Value.TString e in
+                    (* recompute with annotations preserved: extend keeps
+                       row order, so zip annotation arrays with an empty
+                       set for the new column *)
+                    let rows =
+                      List.map2
+                        (fun at tuple ->
+                          { Propagate.tuple; anns = Array.append at.Propagate.anns [| [] |] })
+                        acc.Propagate.rows plain'.Ops.rows
+                    in
+                    ( { Propagate.schema = plain'.Ops.schema; rows },
+                      names @ [ (out, out) ] )
+                | Ast.Item { expr = Ast.Aggregate _; _ } -> assert false)
+              (promoted, []) items
+          in
+          (* ORDER BY may reference pre-projection columns (classic SQL), so
+             sort before projecting: projection preserves row order *)
+          let extended =
+            match sel.Ast.order_by with
+            | [] -> extended
+            | specs ->
+                let r = make_resolver extended.Propagate.schema prefixes in
+                Propagate.order_by extended (List.map (fun (c, d) -> (r c, d)) specs)
+          in
+          let projected = Propagate.project extended (List.map fst proj_names) in
+          let renames = List.filter (fun (src, dst) -> src <> dst) proj_names in
+          { projected with
+            Propagate.schema =
+              Schema.rename_columns projected.Propagate.schema renames }
+    end
+  in
+  let already_sorted = not (has_aggregates || sel.Ast.group_by <> []) in
+  (* FILTER drops non-matching annotations but keeps every tuple *)
+  let result =
+    match sel.Ast.filter with
+    | None -> projected
+    | Some p -> Propagate.filter_anns projected p
+  in
+  let result = if sel.Ast.distinct then Propagate.distinct result else result in
+  let result =
+    match sel.Ast.order_by with
+    | [] -> result
+    | _ when already_sorted && sel.Ast.items <> [ Ast.Star ] -> result
+    | specs ->
+        let r = make_resolver result.Propagate.schema [] in
+        Propagate.order_by result (List.map (fun (c, d) -> (r c, d)) specs)
+  in
+  let result =
+    match sel.Ast.offset with
+    | None -> result
+    | Some n ->
+        let rec drop k l = if k <= 0 then l else match l with [] -> [] | _ :: r -> drop (k - 1) r in
+        { result with Propagate.rows = drop n result.Propagate.rows }
+  in
+  match sel.Ast.limit with None -> result | Some n -> Propagate.limit result n
+
+(* ------------------------------------------------------------------- DML *)
+
+(* Interpret a literal against the column type (sequence types arrive as
+   plain strings in SQL text). *)
+let coerce value ty =
+  match (value, ty) with
+  | Value.VString s, Value.TDna -> Value.VDna s
+  | Value.VString s, Value.TProtein -> Value.VProtein s
+  | Value.VString s, Value.TRle -> (
+      match Rle.of_string s with
+      | r -> Value.VRle r
+      | exception Invalid_argument _ -> Value.VRle (Rle.encode s))
+  | Value.VInt n, Value.TFloat -> Value.VFloat (float_of_int n)
+  | v, _ -> v
+
+let record_local_prov (ctx : Context.t) ~table ~region ~operation =
+  if ctx.auto_provenance then
+    ignore
+      (Prov_store.record ctx.prov ~table ~region
+         ~record:
+           (Prov_record.make ~operation ~actor:"system" ~at:(Clock.tick ctx.clock)))
+
+(* Insert rows; returns the new row numbers. *)
+let do_insert (ctx : Context.t) ~user ~table:table_name values =
+  check_acl ctx ~user Acl.Insert ~table:table_name ();
+  let table = find_table ctx table_name in
+  let schema = Table.schema table in
+  let rows =
+    List.map
+      (fun literals ->
+        if List.length literals <> Schema.arity schema then
+          fail "INSERT arity mismatch on %s" table_name;
+        let tuple =
+          Array.of_list
+            (List.mapi
+               (fun i v -> coerce v (Schema.column_at schema i).Schema.ty)
+               literals)
+        in
+        let row = ok_or_fail (Table.insert table tuple) in
+        index_note_insert ctx ~table:table_name ~row tuple;
+        ignore (Approval.log_insert ctx.approval ~table:table_name ~row ~user);
+        row)
+      values
+  in
+  record_local_prov ctx ~table ~region:(Region.Rows rows)
+    ~operation:Prov_record.Local_insert;
+  rows
+
+(* Matching live rows of a single table; a top-level equality on an
+   indexed column narrows the scan to the index's candidates (the full
+   predicate is still applied). *)
+let matching_rows (ctx : Context.t) table where =
+  let schema = Table.schema table in
+  let table_name = Table.name table in
+  let resolve = make_resolver schema [ table_name ] in
+  let pred =
+    match where with
+    | None -> None
+    | Some e -> Some (resolve_expr resolve e)
+  in
+  let candidates =
+    match pred with
+    | None -> None
+    | Some p ->
+        List.find_map
+          (fun (c, v) ->
+            if not (Schema.mem schema c) then None
+            else
+              Context.indexes_on ctx ~table:table_name
+              |> List.find_map (fun (idx : Context.index_def) ->
+                     if
+                       String.lowercase_ascii idx.Context.idx_column
+                       = String.lowercase_ascii c
+                     then begin
+                       let idx = fresh_index ctx idx in
+                       Some
+                         (Bdbms_index.Btree.search idx.Context.tree
+                            (Context.index_key v))
+                     end
+                     else None))
+          (equality_conjuncts p)
+  in
+  let keep tuple =
+    match pred with None -> true | Some p -> Expr.eval_pred schema tuple p
+  in
+  match candidates with
+  | Some rows ->
+      List.sort_uniq compare rows
+      |> List.filter_map (fun row ->
+             match Table.get table row with
+             | Some tuple when keep tuple -> Some (row, tuple)
+             | _ -> None)
+  | None ->
+      Table.fold table ~init:[] ~f:(fun acc row tuple ->
+          if keep tuple then (row, tuple) :: acc else acc)
+      |> List.rev
+
+(* Update; returns the (row, column-name) cells written. *)
+let do_update (ctx : Context.t) ~user ~table:table_name sets where =
+  let table = find_table ctx table_name in
+  let schema = Table.schema table in
+  let resolve = make_resolver schema [ table_name ] in
+  let sets =
+    List.map
+      (fun (c, e) ->
+        let c = resolve c in
+        check_acl ctx ~user Acl.Update ~table:table_name ~column:c ();
+        (c, Schema.index_of_exn schema c, resolve_expr resolve e))
+      sets
+  in
+  let rows = matching_rows ctx table where in
+  let touched = ref [] in
+  List.iter
+    (fun (row, tuple) ->
+      List.iter
+        (fun (cname, col, expr) ->
+          let value =
+            coerce (Expr.eval schema tuple expr) (Schema.column_at schema col).Schema.ty
+          in
+          let old_value = ok_or_fail (Table.update_cell table ~row ~col value) in
+          index_note_update ctx ~table:table_name ~row ~column:cname ~old_value
+            ~new_value:value;
+          ignore
+            (Approval.log_update ctx.approval ~table:table_name ~row ~col
+               ~column_name:cname ~old_value ~user);
+          note_tracker_report ctx
+            (Tracker.on_cell_update ctx.tracker ~table:table_name ~row ~col);
+          touched := (row, cname) :: !touched)
+        sets)
+    rows;
+  let touched = List.rev !touched in
+  if touched <> [] then
+    record_local_prov ctx ~table
+      ~region:(Region.Cells touched)
+      ~operation:Prov_record.Local_update;
+  touched
+
+(* Delete; returns the (row, tuple) pairs removed. *)
+let do_delete (ctx : Context.t) ~user ~table:table_name where =
+  check_acl ctx ~user Acl.Delete ~table:table_name ();
+  let table = find_table ctx table_name in
+  let rows = matching_rows ctx table where in
+  List.iter
+    (fun (row, tuple) ->
+      ignore (Table.delete table row);
+      index_note_delete ctx ~table:table_name ~row tuple;
+      ignore (Approval.log_delete ctx.approval ~table:table_name ~row ~old_tuple:tuple ~user);
+      (* dependents of a deleted row cannot be recomputed: mark them *)
+      let arity = Schema.arity (Table.schema table) in
+      for col = 0 to arity - 1 do
+        note_tracker_report ctx
+          (Tracker.on_cell_update ctx.tracker ~table:table_name ~row ~col)
+      done)
+    rows;
+  rows
+
+(* -------------------------------------------------- annotation commands *)
+
+let single_target_table targets =
+  match List.sort_uniq compare (List.map (fun (t, _) -> String.lowercase_ascii t) targets) with
+  | [ _ ] -> fst (List.hd targets)
+  | _ -> fail "all annotation tables in one command must belong to one user table"
+
+(* The region covered by an ON (SELECT ...): rows matching the WHERE, and
+   the projected columns (all columns when the item list is [*]). *)
+let region_of_select (ctx : Context.t) ~table_name (sel : Ast.select) =
+  (match sel.Ast.from with
+  | [ f ] when String.lowercase_ascii f.Ast.table = String.lowercase_ascii table_name -> ()
+  | _ -> fail "the ON (SELECT ...) must select from %s only" table_name);
+  let table = find_table ctx table_name in
+  let schema = Table.schema table in
+  let resolve = make_resolver schema [ table_name ] in
+  let rows = List.map fst (matching_rows ctx table sel.Ast.where) in
+  match sel.Ast.items with
+  | [ Ast.Star ] -> Region.Rows rows
+  | items ->
+      let cols =
+        List.map
+          (function
+            | Ast.Item { expr = Ast.Col_ref c; _ } -> resolve c
+            | _ -> fail "the ON (SELECT ...) projection must list plain columns")
+          items
+      in
+      Region.Cells (List.concat_map (fun row -> List.map (fun c -> (row, c)) cols) rows)
+
+let parse_annotation_body value =
+  match Xml.parse value with
+  | doc -> doc
+  | exception Xml.Parse_error _ -> Xml.element "Annotation" [ Xml.text value ]
+
+let deleted_log_table (ctx : Context.t) table =
+  let log_name = "_deleted_" ^ Table.name table in
+  match Catalog.find ctx.catalog log_name with
+  | Some t -> t
+  | None ->
+      ok_or_fail (Catalog.create_table ctx.catalog ~name:log_name (Table.schema table))
+
+let do_add_annotation (ctx : Context.t) ~user targets value on =
+  let table_name = single_target_table targets in
+  let ann_tables = List.map snd targets in
+  let body = parse_annotation_body value in
+  let add ~table ~region =
+    ok_or_fail (Manager.add ctx.ann ~table ~ann_tables ~body ~author:user ~region ())
+  in
+  match on with
+  | Ast.On_select sel ->
+      let region = region_of_select ctx ~table_name sel in
+      let table = find_table ctx table_name in
+      let ann = add ~table ~region in
+      Message (Printf.sprintf "annotation %s added" ann.Ann.id)
+  | Ast.On_insert { table; values } ->
+      if String.lowercase_ascii table <> String.lowercase_ascii table_name then
+        fail "ON (INSERT ...) must target %s" table_name;
+      let rows = do_insert ctx ~user ~table values in
+      let ann = add ~table:(find_table ctx table_name) ~region:(Region.Rows rows) in
+      Message
+        (Printf.sprintf "%d row(s) inserted, annotation %s added" (List.length rows)
+           ann.Ann.id)
+  | Ast.On_update { table; sets; where } ->
+      if String.lowercase_ascii table <> String.lowercase_ascii table_name then
+        fail "ON (UPDATE ...) must target %s" table_name;
+      let cells = do_update ctx ~user ~table sets where in
+      if cells = [] then Message "0 cells updated, no annotation added"
+      else begin
+        let ann =
+          add ~table:(find_table ctx table_name) ~region:(Region.Cells cells)
+        in
+        Message
+          (Printf.sprintf "%d cell(s) updated, annotation %s added" (List.length cells)
+             ann.Ann.id)
+      end
+  | Ast.On_delete { table; where } ->
+      if String.lowercase_ascii table <> String.lowercase_ascii table_name then
+        fail "ON (DELETE ...) must target %s" table_name;
+      let tbl = find_table ctx table in
+      let log = deleted_log_table ctx tbl in
+      let deleted = do_delete ctx ~user ~table where in
+      let log_rows =
+        List.map (fun (_, tuple) -> ok_or_fail (Table.insert log tuple)) deleted
+      in
+      (* the deleted tuples live on in the log table, annotated with the
+         reason for their deletion (Section 3.2) *)
+      if log_rows = [] then Message "0 rows deleted"
+      else begin
+        (* the annotation table must exist on the log table too *)
+        List.iter
+          (fun at ->
+            if
+              not
+                (Manager.has_annotation_table ctx.ann ~table_name:(Table.name log)
+                   ~name:at)
+            then
+              ignore (Manager.create_annotation_table ctx.ann ~table:log ~name:at ()))
+          ann_tables;
+        let ann = add ~table:log ~region:(Region.Rows log_rows) in
+        Message
+          (Printf.sprintf "%d row(s) deleted into %s, annotation %s added"
+             (List.length log_rows) (Table.name log) ann.Ann.id)
+      end
+
+let do_archive_restore (ctx : Context.t) ~restore targets between sel =
+  let table_name = single_target_table targets in
+  let ann_tables = List.map snd targets in
+  let region = region_of_select ctx ~table_name sel in
+  let table = find_table ctx table_name in
+  let f = if restore then Manager.restore else Manager.archive in
+  let n = ok_or_fail (f ctx.ann ~table ~ann_tables ?between ~region ()) in
+  Message
+    (Printf.sprintf "%d annotation(s) %s" n (if restore then "restored" else "archived"))
+
+(* ---------------------------------------------------------- bulk copy *)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> fail "cannot open %s: %s" path e
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+
+let write_file path contents =
+  match open_out_bin path with
+  | exception Sys_error e -> fail "cannot write %s: %s" path e
+  | oc ->
+      output_string oc contents;
+      close_out oc
+
+(* a CSV field interpreted against a column type; empty means NULL *)
+let value_of_field ty field =
+  if field = "" then Value.VNull
+  else
+    match ty with
+    | Value.TInt -> (
+        match int_of_string_opt field with
+        | Some n -> Value.VInt n
+        | None -> fail "bad INT field %S" field)
+    | Value.TFloat -> (
+        match float_of_string_opt field with
+        | Some f -> Value.VFloat f
+        | None -> fail "bad FLOAT field %S" field)
+    | Value.TBool -> (
+        match String.lowercase_ascii field with
+        | "true" | "t" | "1" -> Value.VBool true
+        | "false" | "f" | "0" -> Value.VBool false
+        | _ -> fail "bad BOOL field %S" field)
+    | Value.TString -> Value.VString field
+    | Value.TDna -> Value.VDna field
+    | Value.TProtein -> Value.VProtein field
+    | Value.TRle -> (
+        match Rle.of_string field with
+        | r -> Value.VRle r
+        | exception Invalid_argument _ -> Value.VRle (Rle.encode field))
+
+let do_copy_from ctx ~user ~table:table_name ~path ~format =
+  let table = find_table ctx table_name in
+  let schema = Table.schema table in
+  let values =
+    match format with
+    | Ast.Csv -> (
+        match Io_formats.parse_csv (read_file path) with
+        | Error e -> fail "CSV parse error in %s: %s" path e
+        | Ok rows ->
+            List.map
+              (fun fields ->
+                if List.length fields <> Schema.arity schema then
+                  fail "CSV row has %d fields, %s has %d columns"
+                    (List.length fields) table_name (Schema.arity schema);
+                List.mapi
+                  (fun i f -> value_of_field (Schema.column_at schema i).Schema.ty f)
+                  fields)
+              rows)
+    | Ast.Fasta -> (
+        match Io_formats.parse_fasta (read_file path) with
+        | Error e -> fail "FASTA parse error in %s: %s" path e
+        | Ok records ->
+            let arity = Schema.arity schema in
+            if arity < 2 then fail "FASTA import needs at least (id, sequence) columns";
+            List.map
+              (fun (r : Io_formats.fasta_record) ->
+                let seq_ty = (Schema.column_at schema (arity - 1)).Schema.ty in
+                let seq = value_of_field seq_ty r.Io_formats.sequence in
+                let id = Value.VString r.Io_formats.id in
+                if arity = 2 then [ id; seq ]
+                else
+                  [ id; Value.VString r.Io_formats.description ]
+                  @ List.init (arity - 3) (fun _ -> Value.VNull)
+                  @ [ seq ])
+              records)
+  in
+  let rows = do_insert ctx ~user ~table:table_name values in
+  List.length rows
+
+let do_copy_to ctx ~table:table_name ~path ~format =
+  let table = find_table ctx table_name in
+  let schema = Table.schema table in
+  let contents =
+    match format with
+    | Ast.Csv ->
+        let render v = if Value.is_null v then "" else Value.to_display v in
+        Io_formats.to_csv
+          (List.map
+             (fun (_, tuple) -> Array.to_list (Array.map render tuple))
+             (Table.to_list table))
+    | Ast.Fasta ->
+        let arity = Schema.arity schema in
+        if arity < 2 then fail "FASTA export needs at least (id, sequence) columns";
+        Io_formats.to_fasta
+          (List.map
+             (fun (_, tuple) ->
+               {
+                 Io_formats.id = Value.to_display (Tuple.get tuple 0);
+                 description =
+                   (if arity >= 3 && not (Value.is_null (Tuple.get tuple 1)) then
+                      Value.to_display (Tuple.get tuple 1)
+                    else "");
+                 sequence = Value.to_display (Tuple.get tuple (arity - 1));
+               })
+             (Table.to_list table))
+  in
+  write_file path contents;
+  Table.live_count table
+
+(* ------------------------------------------------------------ dependency *)
+
+let do_create_dependency (ctx : Context.t) id sources target procedure =
+  let proc =
+    match Procedure.Registry.find (Tracker.registry ctx.tracker) procedure with
+    | Some p -> p
+    | None ->
+        fail "unknown procedure %s (register it through the API first)" procedure
+  in
+  let rule =
+    Rule.make ~id
+      ~sources:(List.map (fun (t, c) -> Rule.attr t c) sources)
+      ~target:(Rule.attr (fst target) (snd target))
+      proc
+  in
+  ok_or_fail (Tracker.add_rule ctx.tracker rule);
+  Message (Printf.sprintf "dependency %s created: %s" id (Rule.describe rule))
+
+let show_outdated (ctx : Context.t) table_name =
+  let table = find_table ctx table_name in
+  let schema = Table.schema table in
+  let cells = Tracker.outdated_cells ctx.tracker ~table:table_name in
+  let out_schema =
+    Schema.make
+      [
+        { Schema.name = "row"; ty = Value.TInt };
+        { Schema.name = "column"; ty = Value.TString };
+      ]
+  in
+  let rows =
+    List.map
+      (fun (row, col) ->
+        let cname =
+          if col < Schema.arity schema then (Schema.column_at schema col).Schema.name
+          else string_of_int col
+        in
+        {
+          Propagate.tuple = [| Value.VInt row; Value.VString cname |];
+          anns = [| []; [] |];
+        })
+      cells
+  in
+  Rows { Propagate.schema = out_schema; rows }
+
+(* --------------------------------------------------------------- execute *)
+
+let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
+  match stmt with
+  | Ast.Query q -> Rows (exec_query ctx ~user q)
+  | Ast.Explain q -> Message (Cost.explain ctx q)
+  | Ast.Create_table { name; columns } ->
+      let schema =
+        Schema.make (List.map (fun (n, ty) -> { Schema.name = n; ty }) columns)
+      in
+      ignore (ok_or_fail (Catalog.create_table ctx.catalog ~name schema));
+      Message (Printf.sprintf "table %s created" name)
+  | Ast.Drop_table name ->
+      if Catalog.drop_table ctx.catalog name then
+        Message (Printf.sprintf "table %s dropped" name)
+      else fail "unknown table %s" name
+  | Ast.Insert { table; values } ->
+      let rows = do_insert ctx ~user ~table values in
+      Count { affected = List.length rows; verb = "inserted" }
+  | Ast.Update { table; sets; where } ->
+      let cells = do_update ctx ~user ~table sets where in
+      Count { affected = List.length cells; verb = "updated (cells)" }
+  | Ast.Delete { table; where } ->
+      let rows = do_delete ctx ~user ~table where in
+      Count { affected = List.length rows; verb = "deleted" }
+  | Ast.Create_ann_table { table; name; scheme; category; indexed } ->
+      let tbl = find_table ctx table in
+      let category = Option.map Ann.category_of_name category in
+      ok_or_fail
+        (Manager.create_annotation_table ctx.ann ~table:tbl ~name ?scheme ?category
+           ~indexed ());
+      Message (Printf.sprintf "annotation table %s created on %s" name table)
+  | Ast.Drop_ann_table { table; name } ->
+      if Manager.drop_annotation_table ctx.ann ~table_name:table ~name then
+        Message (Printf.sprintf "annotation table %s dropped from %s" name table)
+      else fail "no annotation table %s on %s" name table
+  | Ast.Add_annotation { targets; value; on } -> do_add_annotation ctx ~user targets value on
+  | Ast.Archive_annotation { targets; between; on } ->
+      do_archive_restore ctx ~restore:false targets between on
+  | Ast.Restore_annotation { targets; between; on } ->
+      do_archive_restore ctx ~restore:true targets between on
+  | Ast.Start_approval { table; columns; approver } ->
+      ok_or_fail (Approval.start ctx.approval ~table ?columns ~approved_by:approver ());
+      Message (Printf.sprintf "content approval started on %s" table)
+  | Ast.Stop_approval { table; columns } ->
+      if Approval.stop ctx.approval ~table ?columns () then
+        Message (Printf.sprintf "content approval stopped on %s" table)
+      else fail "content approval was not on for %s" table
+  | Ast.Approve id ->
+      ok_or_fail (Approval.approve ctx.approval id ~by:user);
+      Message (Printf.sprintf "entry %d approved" id)
+  | Ast.Disapprove id ->
+      ok_or_fail (Approval.disapprove ctx.approval id ~by:user);
+      Message (Printf.sprintf "entry %d disapproved; inverse statement executed" id)
+  | Ast.Show_pending table -> Entries (Approval.pending ctx.approval ?table ())
+  | Ast.Grant { privilege; table; columns; grantee } ->
+      ok_or_fail (Acl.grant ctx.acl privilege ~table ?columns:columns grantee);
+      Message "granted"
+  | Ast.Revoke { privilege; table; grantee } ->
+      if Acl.revoke ctx.acl privilege ~table grantee then Message "revoked"
+      else fail "no matching grant"
+  | Ast.Create_user name ->
+      ok_or_fail (Principal.add_user ctx.principals name);
+      Message (Printf.sprintf "user %s created" name)
+  | Ast.Create_group name ->
+      ok_or_fail (Principal.add_group ctx.principals name);
+      Message (Printf.sprintf "group %s created" name)
+  | Ast.Add_user_to_group { user = u; group } ->
+      ok_or_fail (Principal.add_to_group ctx.principals ~user:u ~group);
+      Message (Printf.sprintf "%s added to %s" u group)
+  | Ast.Create_dependency { id; sources; target; procedure } ->
+      do_create_dependency ctx id sources target procedure
+  | Ast.Link_dependency { id; source_rows; target_row } ->
+      ok_or_fail (Tracker.link_rows ctx.tracker ~rule_id:id ~source_rows ~target_row);
+      Message (Printf.sprintf "dependency %s linked" id)
+  | Ast.Validate_cell { table; row; column } ->
+      let tbl = find_table ctx table in
+      let col = Schema.index_of_exn (Table.schema tbl) column in
+      Tracker.revalidate ctx.tracker ~table ~row ~col;
+      Message (Printf.sprintf "%s[%d].%s validated" table row column)
+  | Ast.Create_index { name; table; column } ->
+      let tbl = find_table ctx table in
+      if not (Schema.mem (Table.schema tbl) column) then
+        fail "no column %s on %s" column table;
+      let key = String.lowercase_ascii name in
+      if Hashtbl.mem ctx.indexes key then fail "index %s already exists" name;
+      let idx =
+        {
+          Context.idx_name = name;
+          idx_table = table;
+          idx_column = column;
+          tree = Bdbms_index.Btree.create ctx.bp;
+          built = false;
+          dirty = false;
+        }
+      in
+      build_index ctx idx;
+      Hashtbl.replace ctx.indexes key idx;
+      Message (Printf.sprintf "index %s created on %s(%s)" name table column)
+  | Ast.Drop_index name ->
+      let key = String.lowercase_ascii name in
+      if Hashtbl.mem ctx.indexes key then begin
+        Hashtbl.remove ctx.indexes key;
+        Message (Printf.sprintf "index %s dropped" name)
+      end
+      else fail "no index %s" name
+  | Ast.Show_outdated table -> show_outdated ctx table
+  | Ast.Copy_from { table; path; format } ->
+      check_acl ctx ~user Acl.Insert ~table ();
+      let n = do_copy_from ctx ~user ~table ~path ~format in
+      Count { affected = n; verb = "imported" }
+  | Ast.Copy_to { table; path; format } ->
+      check_acl ctx ~user Acl.Select ~table ();
+      let n = do_copy_to ctx ~table ~path ~format in
+      Count { affected = n; verb = "exported" }
+  | Ast.Show_provenance { table; row; column; at } ->
+      let tbl = find_table ctx table in
+      let col = Schema.index_of_exn (Table.schema tbl) column in
+      let records =
+        match at with
+        | Some t -> (
+            (* Figure 8: the record governing the value at time t *)
+            match Prov_store.source_at ctx.prov ~table_name:table ~row ~col ~at:t with
+            | Some r -> [ r ]
+            | None -> [])
+        | None -> Prov_store.records_for_cell ctx.prov ~table_name:table ~row ~col
+      in
+      let out_schema =
+        Schema.make
+          [
+            { Schema.name = "at"; ty = Value.TInt };
+            { Schema.name = "operation"; ty = Value.TString };
+            { Schema.name = "actor"; ty = Value.TString };
+          ]
+      in
+      let rows =
+        List.map
+          (fun (r : Prov_record.t) ->
+            {
+              Propagate.tuple =
+                [|
+                  Value.VInt r.Prov_record.at;
+                  Value.VString (Prov_record.describe r);
+                  Value.VString r.Prov_record.actor;
+                |];
+              anns = [| []; []; [] |];
+            })
+          records
+      in
+      Rows { Propagate.schema = out_schema; rows }
+  | Ast.Show_tables ->
+      let out_schema =
+        Schema.make
+          [
+            { Schema.name = "table_name"; ty = Value.TString };
+            { Schema.name = "rows"; ty = Value.TInt };
+            { Schema.name = "annotation_tables"; ty = Value.TString };
+          ]
+      in
+      let rows =
+        List.map
+          (fun name ->
+            let table = Catalog.find_exn ctx.catalog name in
+            {
+              Propagate.tuple =
+                [|
+                  Value.VString name;
+                  Value.VInt (Table.live_count table);
+                  Value.VString
+                    (String.concat ","
+                       (Manager.annotation_table_names ctx.ann ~table_name:name));
+                |];
+              anns = [| []; []; [] |];
+            })
+          (Catalog.table_names ctx.catalog)
+      in
+      Rows { Propagate.schema = out_schema; rows }
+  | Ast.Describe name ->
+      let table = find_table ctx name in
+      let out_schema =
+        Schema.make
+          [
+            { Schema.name = "column"; ty = Value.TString };
+            { Schema.name = "type"; ty = Value.TString };
+            { Schema.name = "indexed"; ty = Value.TBool };
+          ]
+      in
+      let indexed_cols =
+        Context.indexes_on ctx ~table:name
+        |> List.map (fun (i : Context.index_def) ->
+               String.lowercase_ascii i.Context.idx_column)
+      in
+      let rows =
+        List.map
+          (fun (c : Schema.column) ->
+            {
+              Propagate.tuple =
+                [|
+                  Value.VString c.Schema.name;
+                  Value.VString (Value.type_name c.Schema.ty);
+                  Value.VBool (List.mem (String.lowercase_ascii c.Schema.name) indexed_cols);
+                |];
+              anns = [| []; []; [] |];
+            })
+          (Schema.columns (Table.schema table))
+      in
+      Rows { Propagate.schema = out_schema; rows }
+  | Ast.Show_dependencies ->
+      let rules = Rule_set.rules (Tracker.rule_set ctx.tracker) in
+      let derived = Rule_set.derived_rules (Tracker.rule_set ctx.tracker) in
+      Message
+        (String.concat "\n" (List.map Rule.describe rules @ List.map Rule.describe derived))
+
+let execute ctx ~user stmt =
+  match execute_exn ctx ~user stmt with
+  | outcome -> Ok outcome
+  | exception Exec_error msg -> Error msg
+  | exception Expr.Eval_error msg -> Error msg
+  | exception Not_found -> Error "name not found"
+  | exception Invalid_argument msg -> Error msg
+
+let run ctx ~user src =
+  match Parser.parse src with
+  | Error e -> Error e
+  | Ok stmt -> execute ctx ~user stmt
+
+let run_script ctx ~user src =
+  match Parser.parse_multi src with
+  | Error e -> Error e
+  | Ok stmts ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | stmt :: rest -> (
+            match execute ctx ~user stmt with
+            | Ok outcome -> go (outcome :: acc) rest
+            | Error _ as e -> e)
+      in
+      go [] stmts
+
+(* ---------------------------------------------------------------- render *)
+
+let render outcome =
+  match outcome with
+  | Message m -> m
+  | Count { affected; verb } -> Printf.sprintf "%d %s" affected verb
+  | Entries entries ->
+      if entries = [] then "no pending operations"
+      else
+        String.concat "\n"
+          (List.map
+             (fun (e : Approval.entry) ->
+               Printf.sprintf "#%d %s by %s at t%d [%s] inverse: %s" e.Approval.id
+                 (match e.Approval.operation with
+                 | Approval.Op_insert { table; row } ->
+                     Printf.sprintf "INSERT %s row %d" table row
+                 | Approval.Op_update { table; row; col; _ } ->
+                     Printf.sprintf "UPDATE %s row %d col %d" table row col
+                 | Approval.Op_delete { table; row; _ } ->
+                     Printf.sprintf "DELETE %s row %d" table row)
+                 e.Approval.user e.Approval.at
+                 (match e.Approval.status with
+                 | Approval.Pending -> "pending"
+                 | Approval.Approved -> "approved"
+                 | Approval.Disapproved -> "disapproved")
+                 (Approval.inverse_description e.Approval.operation))
+             entries)
+  | Rows rs ->
+      let buf = Buffer.create 256 in
+      let cols = Schema.columns rs.Propagate.schema in
+      Buffer.add_string buf
+        (String.concat " | " (List.map (fun c -> c.Schema.name) cols));
+      Buffer.add_char buf '\n';
+      List.iter
+        (fun at ->
+          Buffer.add_string buf (Tuple.to_display at.Propagate.tuple);
+          (* annotations as footnotes per column *)
+          Array.iteri
+            (fun i anns ->
+              List.iter
+                (fun ann ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "\n    @%s %s"
+                       (List.nth cols i).Schema.name
+                       (Format.asprintf "%a" Ann.pp ann)))
+                anns)
+            at.Propagate.anns;
+          Buffer.add_char buf '\n')
+        rs.Propagate.rows;
+      Buffer.add_string buf (Printf.sprintf "(%d rows)" (List.length rs.Propagate.rows));
+      Buffer.contents buf

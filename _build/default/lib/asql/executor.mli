@@ -1,0 +1,29 @@
+(** The A-SQL executor: evaluates parsed statements against a
+    {!Context.t} on behalf of a session user.
+
+    Query answers are annotated rowsets: annotations propagate per the
+    Section 3.4 semantics, archived annotations stay out, and cells the
+    dependency manager has marked outdated arrive with a system Quality
+    annotation ("outdated: needs re-verification") — Section 5's
+    "reporting and annotating outdated data". *)
+
+type outcome =
+  | Rows of Bdbms_annotation.Propagate.t
+  | Count of { affected : int; verb : string }
+  | Message of string
+  | Entries of Bdbms_auth.Approval.entry list
+
+val execute :
+  Context.t -> user:string -> Ast.statement -> (outcome, string) result
+
+val run : Context.t -> user:string -> string -> (outcome, string) result
+(** Parse then execute one statement. *)
+
+val run_script :
+  Context.t -> user:string -> string -> (outcome list, string) result
+(** Parse and execute a [;]-separated script, stopping at the first
+    error. *)
+
+val render : outcome -> string
+(** Human-readable rendering: a table of rows with their annotations
+    footnoted, an affected-row count, or a message. *)

@@ -1,0 +1,147 @@
+(* --------------------------------------------------------------- CSV *)
+
+let parse_csv src =
+  let n = String.length src in
+  let rows = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let pos = ref 0 in
+  let error = ref None in
+  let end_field () = fields := Buffer.contents buf :: !fields; Buffer.clear buf in
+  let end_row () =
+    end_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let in_quotes = ref false in
+  let row_started = ref false in
+  while !error = None && !pos < n do
+    let c = src.[!pos] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !pos + 1 < n && src.[!pos + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          pos := !pos + 2
+        end
+        else begin
+          in_quotes := false;
+          incr pos
+        end
+      else begin
+        Buffer.add_char buf c;
+        incr pos
+      end
+    end
+    else
+      match c with
+      | '"' ->
+          if Buffer.length buf = 0 then begin
+            in_quotes := true;
+            row_started := true;
+            incr pos
+          end
+          else begin
+            error := Some (Printf.sprintf "stray quote at offset %d" !pos)
+          end
+      | ',' ->
+          end_field ();
+          row_started := true;
+          incr pos
+      | '\r' -> incr pos
+      | '\n' ->
+          if !row_started || Buffer.length buf > 0 || !fields <> [] then end_row ();
+          row_started := false;
+          incr pos
+      | c ->
+          Buffer.add_char buf c;
+          row_started := true;
+          incr pos
+  done;
+  if !error = None && !in_quotes then error := Some "unterminated quoted field";
+  match !error with
+  | Some e -> Error e
+  | None ->
+      if !row_started || Buffer.length buf > 0 || !fields <> [] then end_row ();
+      Ok (List.rev !rows)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let to_csv rows =
+  let field s =
+    if needs_quoting s then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+    else s
+  in
+  String.concat ""
+    (List.map (fun row -> String.concat "," (List.map field row) ^ "\n") rows)
+
+(* -------------------------------------------------------------- FASTA *)
+
+type fasta_record = { id : string; description : string; sequence : string }
+
+let parse_fasta src =
+  let lines = String.split_on_char '\n' src in
+  let records = ref [] in
+  let current = ref None in
+  let error = ref None in
+  let flush () =
+    match !current with
+    | Some (id, description, buf) ->
+        records := { id; description; sequence = Buffer.contents buf } :: !records;
+        current := None
+    | None -> ()
+  in
+  List.iter
+    (fun line ->
+      if !error = None then begin
+        let line = String.trim line in
+        if line = "" then ()
+        else if line.[0] = '>' then begin
+          flush ();
+          let header = String.sub line 1 (String.length line - 1) in
+          let id, description =
+            match String.index_opt header ' ' with
+            | Some i ->
+                ( String.sub header 0 i,
+                  String.trim (String.sub header (i + 1) (String.length header - i - 1)) )
+            | None -> (String.trim header, "")
+          in
+          if id = "" then error := Some "FASTA header with empty id"
+          else current := Some (id, description, Buffer.create 64)
+        end
+        else
+          match !current with
+          | None -> error := Some "FASTA sequence data before any header"
+          | Some (_, _, buf) ->
+              String.iter (fun c -> if c <> ' ' && c <> '\t' then Buffer.add_char buf c) line
+      end)
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None ->
+      flush ();
+      Ok (List.rev !records)
+
+let to_fasta ?(width = 70) records =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r ->
+      Buffer.add_char buf '>';
+      Buffer.add_string buf r.id;
+      if r.description <> "" then begin
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf r.description
+      end;
+      Buffer.add_char buf '\n';
+      let n = String.length r.sequence in
+      let pos = ref 0 in
+      while !pos < n do
+        let len = min width (n - !pos) in
+        Buffer.add_string buf (String.sub r.sequence !pos len);
+        Buffer.add_char buf '\n';
+        pos := !pos + len
+      done;
+      if n = 0 then Buffer.add_char buf '\n')
+    records;
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** Bulk import/export formats: CSV and FASTA.
+
+    The paper's driving applications ingest flat files ("biologists tend to
+    store their data in flat files or spreadsheets") — these are the
+    loaders that bring that data into its natural habitat.  CSV follows
+    RFC-4180-style quoting; FASTA is the standard [>id description]
+    sequence format. *)
+
+(** {1 CSV} *)
+
+val parse_csv : string -> (string list list, string) result
+(** Parse CSV text into rows of fields.  Handles quoted fields (["..."]
+    with [""] escapes), embedded commas and newlines, and both LF and
+    CRLF line endings.  Empty trailing lines are dropped. *)
+
+val to_csv : string list list -> string
+(** Render rows as CSV, quoting where needed; [parse_csv (to_csv rows) =
+    Ok rows]. *)
+
+(** {1 FASTA} *)
+
+type fasta_record = { id : string; description : string; sequence : string }
+
+val parse_fasta : string -> (fasta_record list, string) result
+(** Parse FASTA text: [>id description] header lines followed by sequence
+    lines (whitespace stripped, multiple lines concatenated). *)
+
+val to_fasta : ?width:int -> fasta_record list -> string
+(** Render records, wrapping sequences at [width] (default 70) columns. *)

@@ -1,0 +1,1 @@
+lib/auth/acl.ml: Hashtbl List Option Principal Printf String

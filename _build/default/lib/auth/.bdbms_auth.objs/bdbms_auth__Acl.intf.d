@@ -1,0 +1,1 @@
+lib/auth/acl.mli: Principal

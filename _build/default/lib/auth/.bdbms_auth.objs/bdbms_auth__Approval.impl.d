@@ -1,0 +1,1 @@
+lib/auth/approval.ml: Acl Bdbms_relation Bdbms_util Hashtbl List Option Principal Printf String

@@ -1,0 +1,1 @@
+lib/auth/approval.mli: Acl Bdbms_relation Bdbms_util Principal

@@ -1,0 +1,1 @@
+lib/auth/principal.ml: Hashtbl List Printf String

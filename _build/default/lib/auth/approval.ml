@@ -1,0 +1,225 @@
+module Catalog = Bdbms_relation.Catalog
+module Table = Bdbms_relation.Table
+module Value = Bdbms_relation.Value
+module Tuple = Bdbms_relation.Tuple
+module Schema = Bdbms_relation.Schema
+module Clock = Bdbms_util.Clock
+
+type status = Pending | Approved | Disapproved
+
+type operation =
+  | Op_insert of { table : string; row : int }
+  | Op_update of { table : string; row : int; col : int; old_value : Value.t }
+  | Op_delete of { table : string; row : int; old_tuple : Tuple.t }
+
+type entry = {
+  id : int;
+  operation : operation;
+  user : string;
+  at : Clock.time;
+  mutable status : status;
+  mutable decided_by : string option;
+  mutable decided_at : Clock.time option;
+}
+
+let inverse_description = function
+  | Op_insert { table; row } -> Printf.sprintf "DELETE FROM %s WHERE _row = %d" table row
+  | Op_update { table; row; col; old_value } ->
+      Printf.sprintf "UPDATE %s SET _col%d = %s WHERE _row = %d" table col
+        (Value.to_display old_value) row
+  | Op_delete { table; row; old_tuple } ->
+      Printf.sprintf "INSERT INTO %s AT _row %d VALUES (%s)" table row
+        (Tuple.to_display old_tuple)
+
+type config = { columns : string list option; approver : Acl.grantee }
+
+type t = {
+  catalog : Catalog.t;
+  principals : Principal.t;
+  clock : Clock.t;
+  monitored_tables : (string, config) Hashtbl.t;
+  mutable log : entry list; (* newest first *)
+  mutable next_id : int;
+  mutable on_revert : (table:string -> row:int -> col:int option -> unit) option;
+}
+
+let create catalog principals clock =
+  {
+    catalog;
+    principals;
+    clock;
+    monitored_tables = Hashtbl.create 8;
+    log = [];
+    next_id = 1;
+    on_revert = None;
+  }
+
+let set_on_revert t f = t.on_revert <- Some f
+
+let norm = String.lowercase_ascii
+
+let start t ~table ?columns ~approved_by () =
+  let key = norm table in
+  if Hashtbl.mem t.monitored_tables key then
+    Error (Printf.sprintf "content approval is already on for %s" table)
+  else begin
+    let valid =
+      match approved_by with
+      | Acl.User u -> Principal.user_exists t.principals u
+      | Acl.Group g -> Principal.group_exists t.principals g
+    in
+    if not valid then Error "unknown approver"
+    else begin
+      Hashtbl.replace t.monitored_tables key
+        { columns = Option.map (List.map norm) columns; approver = approved_by };
+      Ok ()
+    end
+  end
+
+let stop t ~table ?columns () =
+  let key = norm table in
+  match Hashtbl.find_opt t.monitored_tables key with
+  | None -> false
+  | Some config -> (
+      match columns with
+      | None ->
+          Hashtbl.remove t.monitored_tables key;
+          true
+      | Some cols -> (
+          let cols = List.map norm cols in
+          match config.columns with
+          | None ->
+              (* was whole-table: cannot subtract columns without a column
+                 list; narrow to "all minus" is unsupported — treat as a
+                 full stop only when the caller listed nothing we track *)
+              false
+          | Some existing ->
+              let remaining = List.filter (fun c -> not (List.mem c cols)) existing in
+              if remaining = [] then Hashtbl.remove t.monitored_tables key
+              else
+                Hashtbl.replace t.monitored_tables key
+                  { config with columns = Some remaining };
+              true))
+
+let monitored t ~table ?column () =
+  match Hashtbl.find_opt t.monitored_tables (norm table) with
+  | None -> false
+  | Some { columns = None; _ } -> true
+  | Some { columns = Some cols; _ } -> (
+      match column with None -> true | Some c -> List.mem (norm c) cols)
+
+let add_entry t operation user =
+  let entry =
+    {
+      id = t.next_id;
+      operation;
+      user;
+      at = Clock.tick t.clock;
+      status = Pending;
+      decided_by = None;
+      decided_at = None;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.log <- entry :: t.log;
+  entry
+
+let log_insert t ~table ~row ~user =
+  if monitored t ~table () then Some (add_entry t (Op_insert { table; row }) user)
+  else None
+
+let log_update t ~table ~row ~col ~column_name ~old_value ~user =
+  if monitored t ~table ~column:column_name () then
+    Some (add_entry t (Op_update { table; row; col; old_value }) user)
+  else None
+
+let log_delete t ~table ~row ~old_tuple ~user =
+  if monitored t ~table () then
+    Some (add_entry t (Op_delete { table; row; old_tuple }) user)
+  else None
+
+let entries t = List.rev t.log
+
+let pending t ?table () =
+  entries t
+  |> List.filter (fun e ->
+         e.status = Pending
+         &&
+         match table with
+         | None -> true
+         | Some name -> (
+             match e.operation with
+             | Op_insert { table; _ } | Op_update { table; _ } | Op_delete { table; _ } ->
+                 norm table = norm name))
+
+let find t id = List.find_opt (fun e -> e.id = id) t.log
+
+let table_of_entry e =
+  match e.operation with
+  | Op_insert { table; _ } | Op_update { table; _ } | Op_delete { table; _ } -> table
+
+let can_decide t ~user ~table =
+  match Hashtbl.find_opt t.monitored_tables (norm table) with
+  | None -> false
+  | Some { approver; _ } -> (
+      match approver with
+      | Acl.User u -> u = user
+      | Acl.Group g -> Principal.member t.principals ~user ~group:g)
+
+let check_decidable t id ~by =
+  match find t id with
+  | None -> Error (Printf.sprintf "no log entry %d" id)
+  | Some e ->
+      if e.status <> Pending then Error (Printf.sprintf "entry %d is already decided" id)
+      else if not (can_decide t ~user:by ~table:(table_of_entry e)) then
+        Error (Printf.sprintf "user %s may not approve changes to %s" by (table_of_entry e))
+      else Ok e
+
+let decide e ~by ~at ~status =
+  e.status <- status;
+  e.decided_by <- Some by;
+  e.decided_at <- Some at
+
+let approve t id ~by =
+  match check_decidable t id ~by with
+  | Error _ as e -> e
+  | Ok e ->
+      decide e ~by ~at:(Clock.tick t.clock) ~status:Approved;
+      Ok ()
+
+let notify_revert t ~table ~row ~col =
+  match t.on_revert with None -> () | Some f -> f ~table ~row ~col
+
+let execute_inverse t operation =
+  match operation with
+  | Op_insert { table; row } ->
+      let tbl = Catalog.find_exn t.catalog table in
+      if Table.delete tbl row then begin
+        notify_revert t ~table ~row ~col:None;
+        Ok ()
+      end
+      else Error (Printf.sprintf "cannot undo insert: row %d of %s is gone" row table)
+  | Op_update { table; row; col; old_value } -> (
+      let tbl = Catalog.find_exn t.catalog table in
+      match Table.update_cell tbl ~row ~col old_value with
+      | Ok _ ->
+          notify_revert t ~table ~row ~col:(Some col);
+          Ok ()
+      | Error e -> Error ("cannot undo update: " ^ e))
+  | Op_delete { table; row; old_tuple } -> (
+      let tbl = Catalog.find_exn t.catalog table in
+      match Table.resurrect tbl row old_tuple with
+      | Ok () ->
+          notify_revert t ~table ~row ~col:None;
+          Ok ()
+      | Error e -> Error ("cannot undo delete: " ^ e))
+
+let disapprove t id ~by =
+  match check_decidable t id ~by with
+  | Error _ as e -> e
+  | Ok e -> (
+      match execute_inverse t e.operation with
+      | Error _ as err -> err
+      | Ok () ->
+          decide e ~by ~at:(Clock.tick t.clock) ~status:Disapproved;
+          Ok ())

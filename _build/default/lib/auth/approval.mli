@@ -1,0 +1,94 @@
+(** Content-based approval (Section 6, Figure 11).
+
+    The paper's model: update authority is granted broadly (lab members
+    insert and update freely, so the administrator is not a bottleneck),
+    but while content approval is ON for a table the system logs every
+    INSERT / UPDATE / DELETE together with an automatically generated
+    {e inverse statement}.  The designated approver later reviews the log:
+    approving makes the change permanent; disapproving executes the
+    inverse statement, removing the change's effect.  Data is visible to
+    readers while pending. *)
+
+type status = Pending | Approved | Disapproved
+
+type operation =
+  | Op_insert of { table : string; row : int }
+  | Op_update of { table : string; row : int; col : int; old_value : Bdbms_relation.Value.t }
+  | Op_delete of { table : string; row : int; old_tuple : Bdbms_relation.Tuple.t }
+
+type entry = {
+  id : int;
+  operation : operation;
+  user : string;
+  at : Bdbms_util.Clock.time;
+  mutable status : status;
+  mutable decided_by : string option;
+  mutable decided_at : Bdbms_util.Clock.time option;
+}
+
+val inverse_description : operation -> string
+(** The generated inverse statement, rendered as SQL-ish text (DELETE for
+    an INSERT, UPDATE-back for an UPDATE, INSERT for a DELETE). *)
+
+type t
+
+val create :
+  Bdbms_relation.Catalog.t -> Principal.t -> Bdbms_util.Clock.t -> t
+
+val set_on_revert : t -> (table:string -> row:int -> col:int option -> unit) -> unit
+(** Hook invoked after an inverse statement executes — the Db facade wires
+    this to the dependency tracker, since (as the paper notes) executing
+    an inverse may invalidate dependent elements. *)
+
+(** {1 Turning approval on and off (Figure 11)} *)
+
+val start :
+  t ->
+  table:string ->
+  ?columns:string list ->
+  approved_by:Acl.grantee ->
+  unit ->
+  (unit, string) result
+(** Fails when approval is already on for the table or the approver is
+    unknown. *)
+
+val stop : t -> table:string -> ?columns:string list -> unit -> bool
+(** With [columns], stops monitoring only those columns (the rest stay
+    monitored); without, stops entirely.  [false] when nothing was on. *)
+
+val monitored : t -> table:string -> ?column:string -> unit -> bool
+
+(** {1 Logging (called by the DML layer after applying an operation)} *)
+
+val log_insert : t -> table:string -> row:int -> user:string -> entry option
+val log_update :
+  t ->
+  table:string ->
+  row:int ->
+  col:int ->
+  column_name:string ->
+  old_value:Bdbms_relation.Value.t ->
+  user:string ->
+  entry option
+val log_delete :
+  t -> table:string -> row:int -> old_tuple:Bdbms_relation.Tuple.t -> user:string -> entry option
+(** Each returns [Some entry] when the operation fell under monitoring and
+    was logged, [None] when the table/column is not monitored. *)
+
+(** {1 Review} *)
+
+val pending : t -> ?table:string -> unit -> entry list
+val entries : t -> entry list
+val find : t -> int -> entry option
+
+val can_decide : t -> user:string -> table:string -> bool
+(** The user is the configured approver or belongs to the approver group. *)
+
+val approve : t -> int -> by:string -> (unit, string) result
+(** Marks the pending entry approved.  Fails on unknown id, non-pending
+    status, or an unauthorized decider. *)
+
+val disapprove : t -> int -> by:string -> (unit, string) result
+(** Executes the inverse statement against the catalog, then marks the
+    entry disapproved.  Same failure cases as {!approve}, plus failures
+    executing the inverse (e.g. the row has since been deleted). *)

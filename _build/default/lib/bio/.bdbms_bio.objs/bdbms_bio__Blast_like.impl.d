@@ -1,0 +1,1 @@
+lib/bio/blast_like.ml: Bdbms_dependency Bdbms_relation String

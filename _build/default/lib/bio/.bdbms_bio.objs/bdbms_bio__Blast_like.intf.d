@@ -1,0 +1,1 @@
+lib/bio/blast_like.mli: Bdbms_dependency

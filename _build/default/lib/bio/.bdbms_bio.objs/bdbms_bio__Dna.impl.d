@@ -1,0 +1,1 @@
+lib/bio/dna.ml: Bdbms_util Buffer Bytes List Printf String

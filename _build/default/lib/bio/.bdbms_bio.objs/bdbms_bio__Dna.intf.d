@@ -1,0 +1,1 @@
+lib/bio/dna.mli: Bdbms_util

@@ -1,0 +1,1 @@
+lib/bio/secondary.ml: Bdbms_util Buffer Hashtbl List Option String

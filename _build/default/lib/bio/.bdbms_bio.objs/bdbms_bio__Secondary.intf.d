@@ -1,0 +1,1 @@
+lib/bio/secondary.mli: Bdbms_util

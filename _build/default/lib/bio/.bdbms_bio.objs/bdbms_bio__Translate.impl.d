@@ -1,0 +1,1 @@
+lib/bio/translate.ml: Bdbms_dependency Bdbms_relation Buffer Dna Hashtbl List Printf String

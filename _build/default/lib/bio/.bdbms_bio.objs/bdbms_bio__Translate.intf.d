@@ -1,0 +1,1 @@
+lib/bio/translate.mli: Bdbms_dependency

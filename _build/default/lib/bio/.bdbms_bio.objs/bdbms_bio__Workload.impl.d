@@ -1,0 +1,1 @@
+lib/bio/workload.ml: Array Bdbms_util Char Dna Float Hashtbl List Printf Secondary

@@ -1,0 +1,1 @@
+lib/bio/workload.mli: Bdbms_util

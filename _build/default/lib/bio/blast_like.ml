@@ -1,0 +1,44 @@
+module Value = Bdbms_relation.Value
+module Procedure = Bdbms_dependency.Procedure
+
+let match_score = 2
+let mismatch_penalty = -1
+
+(* Best ungapped local alignment: for every diagonal, the maximal-sum
+   subarray of the per-position match/mismatch scores (Kadane). *)
+let score a b =
+  let m = String.length a and n = String.length b in
+  if m = 0 || n = 0 then 0
+  else begin
+    let best = ref 0 in
+    for offset = -(m - 1) to n - 1 do
+      let run = ref 0 in
+      let i0 = max 0 (-offset) in
+      let i1 = min (m - 1) (n - 1 - offset) in
+      for i = i0 to i1 do
+        let s = if a.[i] = b.[i + offset] then match_score else mismatch_penalty in
+        run := max 0 (!run + s);
+        if !run > !best then best := !run
+      done
+    done;
+    !best
+  end
+
+let k_param = 0.13
+let lambda = 0.32
+
+let evalue a b =
+  let m = float_of_int (max 1 (String.length a)) in
+  let n = float_of_int (max 1 (String.length b)) in
+  k_param *. m *. n *. exp (-.lambda *. float_of_int (score a b))
+
+let procedure ?(version = "2.2.15") () =
+  Procedure.executable ~name:"BLAST" ~version (fun inputs ->
+      match inputs with
+      | [ va; vb ] -> (
+          match (va, vb) with
+          | (Value.VDna a | Value.VString a | Value.VProtein a),
+            (Value.VDna b | Value.VString b | Value.VProtein b) ->
+              Ok (Value.VFloat (evalue a b))
+          | _ -> Error "BLAST: expected two sequence values")
+      | _ -> Error "BLAST: expected exactly two inputs")

@@ -1,0 +1,19 @@
+(** A deterministic BLAST-like similarity scorer.
+
+    Stands in for BLAST-2.2.15 in the paper's Figure 9(b) (see DESIGN.md
+    §2): the dependency manager only needs an {e executable} procedure
+    mapping two sequences to an E-value, with a version that can change.
+    The score is the best ungapped local-alignment score (match +2,
+    mismatch −1) and the E-value follows the Karlin–Altschul shape
+    [E = K·m·n·exp(−λS)]. *)
+
+val score : string -> string -> int
+(** Best ungapped local alignment score over all relative offsets; 0 for
+    empty inputs. *)
+
+val evalue : string -> string -> float
+(** Karlin–Altschul style E-value of {!score} with K = 0.13, λ = 0.32. *)
+
+val procedure : ?version:string -> unit -> Bdbms_dependency.Procedure.t
+(** ["BLAST"] (default version "2.2.15"): executable, non-invertible;
+    takes two sequence values and returns a FLOAT E-value. *)

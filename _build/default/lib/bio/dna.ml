@@ -1,0 +1,55 @@
+module Prng = Bdbms_util.Prng
+
+let alphabet = "ACGT"
+
+let is_valid s =
+  String.for_all (function 'A' | 'C' | 'G' | 'T' -> true | _ -> false) s
+
+let random rng ~len = Prng.string rng ~alphabet ~len
+
+let stop_codons = [ "TAA"; "TAG"; "TGA" ]
+
+let random_codon rng =
+  let rec go () =
+    let c = Prng.string rng ~alphabet ~len:3 in
+    if List.mem c stop_codons then go () else c
+  in
+  go ()
+
+let random_gene rng ~codons =
+  if codons < 2 then invalid_arg "Dna.random_gene: need at least start + stop";
+  let buf = Buffer.create (codons * 3) in
+  Buffer.add_string buf "ATG";
+  for _ = 1 to codons - 2 do
+    Buffer.add_string buf (random_codon rng)
+  done;
+  Buffer.add_string buf (List.nth stop_codons (Prng.int rng 3));
+  Buffer.contents buf
+
+let gc_content s =
+  if s = "" then 0.0
+  else begin
+    let gc = ref 0 in
+    String.iter (fun c -> if c = 'G' || c = 'C' then incr gc) s;
+    float_of_int !gc /. float_of_int (String.length s)
+  end
+
+let reverse_complement s =
+  String.init (String.length s) (fun i ->
+      match s.[String.length s - 1 - i] with
+      | 'A' -> 'T'
+      | 'T' -> 'A'
+      | 'C' -> 'G'
+      | 'G' -> 'C'
+      | c -> invalid_arg (Printf.sprintf "Dna.reverse_complement: %C" c))
+
+let mutate rng s ~edits =
+  if s = "" then s
+  else begin
+    let b = Bytes.of_string s in
+    for _ = 1 to edits do
+      let i = Prng.int rng (Bytes.length b) in
+      Bytes.set b i alphabet.[Prng.int rng 4]
+    done;
+    Bytes.to_string b
+  end

@@ -1,0 +1,26 @@
+(** Synthetic DNA sequences.
+
+    Stands in for the E. coli data of the paper's driving application (see
+    DESIGN.md §2): deterministic generators with controllable length and
+    composition, plus the standard sequence utilities. *)
+
+val alphabet : string
+(** ["ACGT"] *)
+
+val is_valid : string -> bool
+
+val random : Bdbms_util.Prng.t -> len:int -> string
+(** Uniform base composition. *)
+
+val random_gene : Bdbms_util.Prng.t -> codons:int -> string
+(** An open reading frame: ATG start, [codons - 2] random non-stop codons,
+    and a stop codon — so {!Translate.translate} always succeeds. *)
+
+val gc_content : string -> float
+(** Fraction of G/C bases; 0 on the empty string. *)
+
+val reverse_complement : string -> string
+(** @raise Invalid_argument on a non-DNA character. *)
+
+val mutate : Bdbms_util.Prng.t -> string -> edits:int -> string
+(** Apply point substitutions (used to simulate curation updates). *)

@@ -1,0 +1,37 @@
+module Prng = Bdbms_util.Prng
+module Rle = Bdbms_util.Rle
+
+let alphabet = "HEL"
+
+let random rng ~len ~mean_run =
+  if mean_run < 1.0 then invalid_arg "Secondary.random: mean_run must be >= 1";
+  let p = 1.0 /. mean_run in
+  let buf = Buffer.create len in
+  let prev = ref ' ' in
+  while Buffer.length buf < len do
+    let c =
+      let rec pick () =
+        let c = alphabet.[Prng.int rng 3] in
+        if c = !prev then pick () else c
+      in
+      pick ()
+    in
+    prev := c;
+    let run = Prng.geometric rng ~p in
+    Buffer.add_string buf (String.make (min run (len - Buffer.length buf)) c)
+  done;
+  Buffer.contents buf
+
+let mean_run_length s =
+  if s = "" then 0.0
+  else begin
+    let r = Rle.encode s in
+    float_of_int (Rle.raw_length r) /. float_of_int (Rle.run_count r)
+  end
+
+let run_histogram s =
+  let counts = Hashtbl.create 4 in
+  String.iter
+    (fun c -> Hashtbl.replace counts c (1 + Option.value (Hashtbl.find_opt counts c) ~default:0))
+    s;
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) counts [] |> List.sort compare

@@ -1,0 +1,20 @@
+(** Protein secondary-structure sequences (H = helix, E = strand, L = loop).
+
+    These are the run-heavy sequences of the paper's Figure 12 — the
+    workload for the SBC-tree experiments.  The generator draws run
+    lengths from a geometric distribution so the mean run length (the RLE
+    compressibility knob) is a controlled parameter. *)
+
+val alphabet : string
+(** ["HEL"] *)
+
+val random : Bdbms_util.Prng.t -> len:int -> mean_run:float -> string
+(** A sequence of [len] characters whose maximal runs have geometric
+    lengths with the given mean; consecutive runs always change state.
+    @raise Invalid_argument if [mean_run < 1.0]. *)
+
+val mean_run_length : string -> float
+(** Measured mean of the maximal-run lengths (0 on the empty string). *)
+
+val run_histogram : string -> (char * int) list
+(** Total characters spent in each state. *)

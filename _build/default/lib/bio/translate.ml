@@ -1,0 +1,88 @@
+module Value = Bdbms_relation.Value
+module Procedure = Bdbms_dependency.Procedure
+
+(* standard genetic code *)
+let code =
+  [
+    ("TTT", 'F'); ("TTC", 'F'); ("TTA", 'L'); ("TTG", 'L');
+    ("CTT", 'L'); ("CTC", 'L'); ("CTA", 'L'); ("CTG", 'L');
+    ("ATT", 'I'); ("ATC", 'I'); ("ATA", 'I'); ("ATG", 'M');
+    ("GTT", 'V'); ("GTC", 'V'); ("GTA", 'V'); ("GTG", 'V');
+    ("TCT", 'S'); ("TCC", 'S'); ("TCA", 'S'); ("TCG", 'S');
+    ("CCT", 'P'); ("CCC", 'P'); ("CCA", 'P'); ("CCG", 'P');
+    ("ACT", 'T'); ("ACC", 'T'); ("ACA", 'T'); ("ACG", 'T');
+    ("GCT", 'A'); ("GCC", 'A'); ("GCA", 'A'); ("GCG", 'A');
+    ("TAT", 'Y'); ("TAC", 'Y');
+    ("CAT", 'H'); ("CAC", 'H'); ("CAA", 'Q'); ("CAG", 'Q');
+    ("AAT", 'N'); ("AAC", 'N'); ("AAA", 'K'); ("AAG", 'K');
+    ("GAT", 'D'); ("GAC", 'D'); ("GAA", 'E'); ("GAG", 'E');
+    ("TGT", 'C'); ("TGC", 'C'); ("TGG", 'W');
+    ("CGT", 'R'); ("CGC", 'R'); ("CGA", 'R'); ("CGG", 'R');
+    ("AGT", 'S'); ("AGC", 'S'); ("AGA", 'R'); ("AGG", 'R');
+    ("GGT", 'G'); ("GGC", 'G'); ("GGA", 'G'); ("GGG", 'G');
+  ]
+
+let stops = [ "TAA"; "TAG"; "TGA" ]
+
+let codon_table =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (c, aa) -> Hashtbl.replace tbl c aa) code;
+  tbl
+
+let codon_to_aa codon =
+  if String.length codon <> 3 || not (Dna.is_valid codon) then
+    invalid_arg (Printf.sprintf "Translate.codon_to_aa: %S" codon);
+  if List.mem codon stops then None else Some (Hashtbl.find codon_table codon)
+
+let translate dna =
+  let n = String.length dna in
+  if n < 3 || n mod 3 <> 0 then Error "sequence length is not a multiple of 3"
+  else if not (Dna.is_valid dna) then Error "not a DNA sequence"
+  else if String.sub dna 0 3 <> "ATG" then Error "no ATG start codon"
+  else begin
+    let buf = Buffer.create (n / 3) in
+    let rec go i =
+      if i + 3 > n then Ok (Buffer.contents buf)
+      else
+        match codon_to_aa (String.sub dna i 3) with
+        | None -> Ok (Buffer.contents buf) (* stop codon ends translation *)
+        | Some aa ->
+            Buffer.add_char buf aa;
+            go (i + 3)
+    in
+    go 0
+  end
+
+(* average residue masses (Da), monoisotopic-ish approximations *)
+let residue_mass = function
+  | 'A' -> 71.08 | 'R' -> 156.19 | 'N' -> 114.10 | 'D' -> 115.09
+  | 'C' -> 103.14 | 'E' -> 129.12 | 'Q' -> 128.13 | 'G' -> 57.05
+  | 'H' -> 137.14 | 'I' -> 113.16 | 'L' -> 113.16 | 'K' -> 128.17
+  | 'M' -> 131.19 | 'F' -> 147.18 | 'P' -> 97.12 | 'S' -> 87.08
+  | 'T' -> 101.10 | 'W' -> 186.21 | 'Y' -> 163.18 | 'V' -> 99.13
+  | _ -> 110.0
+
+let molecular_weight s =
+  (* residues plus one water *)
+  String.fold_left (fun acc c -> acc +. residue_mass c) 18.02 s
+
+let procedure () =
+  Procedure.executable ~name:"P" ~version:"1.0" (fun inputs ->
+      match inputs with
+      | [ v ] -> (
+          match v with
+          | Value.VDna dna | Value.VString dna -> (
+              match translate dna with
+              | Ok protein -> Ok (Value.VProtein protein)
+              | Error e -> Error ("P: " ^ e))
+          | _ -> Error "P: expected a DNA value")
+      | _ -> Error "P: expected exactly one input")
+
+let weight_procedure () =
+  Procedure.executable ~name:"MolWeight" ~version:"1.0" (fun inputs ->
+      match inputs with
+      | [ v ] -> (
+          match v with
+          | Value.VProtein p | Value.VString p -> Ok (Value.VFloat (molecular_weight p))
+          | _ -> Error "MolWeight: expected a protein value")
+      | _ -> Error "MolWeight: expected exactly one input")

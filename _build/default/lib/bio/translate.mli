@@ -1,0 +1,25 @@
+(** Gene → protein translation: the paper's "prediction tool P" (Figure 9a)
+    realized with the standard genetic code.
+
+    Exposed both as a plain function and as an {e executable, non-invertible}
+    procedure for the dependency manager, so Rule 1 can re-derive protein
+    sequences automatically when a gene changes. *)
+
+val codon_to_aa : string -> char option
+(** Standard genetic code; [None] for a stop codon.
+    @raise Invalid_argument on a non-codon. *)
+
+val translate : string -> (string, string) result
+(** Translate an open reading frame: requires an ATG start, length a
+    multiple of 3, and translates up to (excluding) the first stop. *)
+
+val molecular_weight : string -> float
+(** Average molecular weight (Daltons) of a protein sequence — the paper's
+    example of a derived calculated quantity. *)
+
+val procedure : unit -> Bdbms_dependency.Procedure.t
+(** Fresh procedure named ["P"]: executable, non-invertible; maps a DNA
+    value to a PROTEIN value. *)
+
+val weight_procedure : unit -> Bdbms_dependency.Procedure.t
+(** ["MolWeight"]: protein sequence → FLOAT molecular weight. *)

@@ -1,0 +1,98 @@
+module Prng = Bdbms_util.Prng
+
+type gene = { gid : string; gname : string; gsequence : string }
+
+let name_prefixes =
+  [| "mra"; "fts"; "yab"; "fru"; "cai"; "fix"; "isp"; "dna"; "rec"; "pol"; "rps"; "thr" |]
+
+let genes rng ~n ?(codons = 40) ?(id_prefix = "JW") () =
+  List.init n (fun i ->
+      {
+        gid = Printf.sprintf "%s%04d" id_prefix (i + 1);
+        gname =
+          Printf.sprintf "%s%c" (Prng.choose rng name_prefixes)
+            (Char.chr (Char.code 'A' + Prng.int rng 26));
+        gsequence = Dna.random_gene rng ~codons;
+      })
+
+type ann_target =
+  | On_cell of int * int
+  | On_row of int
+  | On_column of int
+  | On_block of int * int * int * int
+
+let annotation_mix rng ~rows ~cols ~count ~profile =
+  if rows = 0 || cols = 0 then []
+  else
+    List.init count (fun _ ->
+        let cell () = On_cell (Prng.int rng rows, Prng.int rng cols) in
+        let row () = On_row (Prng.int rng rows) in
+        let col () = On_column (Prng.int rng cols) in
+        let block () =
+          let r0 = Prng.int rng rows and c0 = Prng.int rng cols in
+          let r1 = min (rows - 1) (r0 + Prng.int_in rng ~lo:1 ~hi:(max 1 (rows / 10))) in
+          let c1 = min (cols - 1) (c0 + Prng.int rng cols) in
+          On_block (r0, r1, c0, c1)
+        in
+        match profile with
+        | `Cells -> cell ()
+        | `Rows -> row ()
+        | `Columns -> col ()
+        | `Mixed ->
+            let d = Prng.int rng 100 in
+            if d < 50 then cell ()
+            else if d < 80 then row ()
+            else if d < 95 then block ()
+            else col ())
+
+let comments =
+  [|
+    "Curated by user admin";
+    "obtained from GenoBase";
+    "These genes were obtained from RegulonDB";
+    "possibly split by frameshift";
+    "pseudogene";
+    "This gene has an unknown function";
+    "Involved in methyltransferase activity";
+    "verified against lab notebook 2006-11";
+    "low sequencing coverage in this region";
+    "homolog of B. subtilis divIB";
+  |]
+
+let comment_text rng = Prng.choose rng comments
+
+let points_uniform rng ~n ~extent =
+  Array.init n (fun _ -> (Prng.float rng extent, Prng.float rng extent))
+
+let points_clustered rng ~n ~extent ~clusters =
+  if clusters < 1 then invalid_arg "Workload.points_clustered";
+  let centers =
+    Array.init clusters (fun _ -> (Prng.float rng extent, Prng.float rng extent))
+  in
+  let spread = extent /. float_of_int (4 * clusters) in
+  Array.init n (fun _ ->
+      let cx, cy = centers.(Prng.int rng clusters) in
+      (* sum of uniforms approximates a gaussian well enough here *)
+      let jitter () =
+        spread *. (Prng.float rng 2.0 +. Prng.float rng 2.0 -. 2.0)
+      in
+      let clamp v = Float.max 0.0 (Float.min extent v) in
+      (clamp (cx +. jitter ()), clamp (cy +. jitter ())))
+
+let identifier_keys rng ~n =
+  let seen = Hashtbl.create n in
+  let rec fresh i =
+    let key =
+      Printf.sprintf "%s%c%04d" (Prng.choose rng name_prefixes)
+        (Char.chr (Char.code 'A' + Prng.int rng 26))
+        i
+    in
+    if Hashtbl.mem seen key then fresh (i + n) else key
+  in
+  List.init n (fun i ->
+      let key = fresh i in
+      Hashtbl.replace seen key ();
+      key)
+
+let structures rng ~n ~len ~mean_run =
+  List.init n (fun _ -> Secondary.random rng ~len ~mean_run)

@@ -1,0 +1,48 @@
+(** Deterministic workload generators for the benchmark harness.
+
+    Everything is parameterized and seeded: the benchmarks sweep the knobs
+    that the paper's claims depend on (annotation granularity mix, RLE run
+    length, point clustering) without any external data. *)
+
+type gene = { gid : string; gname : string; gsequence : string }
+
+val genes :
+  Bdbms_util.Prng.t -> n:int -> ?codons:int -> ?id_prefix:string -> unit -> gene list
+(** Synthetic E. coli-style gene records with JW-style ids (numbered from
+    1 under [id_prefix], default ["JW"]), short names, and valid open
+    reading frames. *)
+
+(** Annotation target specs, mapped to regions by the caller. *)
+type ann_target =
+  | On_cell of int * int       (** row, column index *)
+  | On_row of int
+  | On_column of int
+  | On_block of int * int * int * int  (** row_lo, row_hi, col_lo, col_hi *)
+
+val annotation_mix :
+  Bdbms_util.Prng.t ->
+  rows:int ->
+  cols:int ->
+  count:int ->
+  profile:[ `Cells | `Rows | `Columns | `Mixed ] ->
+  ann_target list
+(** [count] annotation targets over an [rows] × [cols] table.  [`Mixed]
+    draws 50% cells / 30% rows / 15% blocks / 5% columns — the paper's
+    "multi-granularity" situation of Figure 2. *)
+
+val comment_text : Bdbms_util.Prng.t -> string
+(** A plausible curator comment (fixed pool, deterministic choice). *)
+
+val points_uniform : Bdbms_util.Prng.t -> n:int -> extent:float -> (float * float) array
+
+val points_clustered :
+  Bdbms_util.Prng.t -> n:int -> extent:float -> clusters:int -> (float * float) array
+(** Gaussian-ish clusters (protein-contact-map-like density). *)
+
+val identifier_keys : Bdbms_util.Prng.t -> n:int -> string list
+(** Gene-name-like identifiers (shared 3-4 letter prefixes + numeric
+    suffixes), duplicate-free — the trie/B+-tree key workload. *)
+
+val structures :
+  Bdbms_util.Prng.t -> n:int -> len:int -> mean_run:float -> string list
+(** Secondary-structure corpus for the SBC-tree experiments. *)

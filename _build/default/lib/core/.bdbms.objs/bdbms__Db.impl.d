@@ -1,0 +1,1 @@
+lib/core/db.ml: Bdbms_asql Bdbms_bio Bdbms_storage List Printf

@@ -1,0 +1,1 @@
+lib/core/db.mli: Bdbms_asql Bdbms_storage

@@ -1,0 +1,36 @@
+module Context = Bdbms_asql.Context
+module Executor = Bdbms_asql.Executor
+module Stats = Bdbms_storage.Stats
+module Disk = Bdbms_storage.Disk
+
+type t = { ctx : Context.t }
+
+let create ?page_size ?pool_capacity ?policy () =
+  let ctx = Context.create ?page_size ?pool_capacity ?policy () in
+  List.iter
+    (fun proc -> ignore (Context.register_procedure ctx proc))
+    [
+      Bdbms_bio.Translate.procedure ();
+      Bdbms_bio.Translate.weight_procedure ();
+      Bdbms_bio.Blast_like.procedure ();
+    ];
+  { ctx }
+
+let context t = t.ctx
+
+let exec t ?(user = Context.superuser) sql = Executor.run t.ctx ~user sql
+
+let exec_exn t ?user sql =
+  match exec t ?user sql with
+  | Ok outcome -> outcome
+  | Error e -> failwith (Printf.sprintf "%s (statement: %s)" e sql)
+
+let exec_script t ?(user = Context.superuser) sql = Executor.run_script t.ctx ~user sql
+
+let render_exn t ?user sql = Executor.render (exec_exn t ?user sql)
+
+let set_strict_acl t v = t.ctx.Context.strict_acl <- v
+let set_auto_provenance t v = t.ctx.Context.auto_provenance <- v
+
+let io_stats t = Stats.snapshot (Disk.stats t.ctx.Context.disk)
+let reset_io_stats t = Stats.reset (Disk.stats t.ctx.Context.disk)

@@ -1,0 +1,59 @@
+(** The bdbms database: the public entry point.
+
+    A [Db.t] assembles the full engine of the paper's architecture
+    (Section 2) — storage, catalog, annotation manager, provenance
+    manager, dependency tracker, and both authorization models — behind
+    one A-SQL interface.
+
+    {[
+      let db = Db.create () in
+      Db.exec_exn db "CREATE TABLE Gene (GID TEXT, GSequence DNA)";
+      Db.exec_exn db "INSERT INTO Gene VALUES ('JW0080', 'ATGATGGAA')";
+      Db.exec_exn db "CREATE ANNOTATION TABLE notes ON Gene";
+      Db.exec_exn db
+        "ADD ANNOTATION TO Gene.notes VALUE 'curated' ON (SELECT * FROM Gene)";
+      print_endline
+        (Db.render_exn db "SELECT GID FROM Gene ANNOTATION(notes)")
+    ]} *)
+
+type t
+
+val create :
+  ?page_size:int ->
+  ?pool_capacity:int ->
+  ?policy:Bdbms_storage.Buffer_pool.policy ->
+  unit ->
+  t
+(** A fresh in-memory database.  The bio procedures ["P"] (gene→protein
+    translation), ["MolWeight"], and ["BLAST"] are pre-registered for
+    [CREATE DEPENDENCY]. *)
+
+val context : t -> Bdbms_asql.Context.t
+(** Direct access to the assembled managers, for programmatic use. *)
+
+val exec :
+  t -> ?user:string -> string -> (Bdbms_asql.Executor.outcome, string) result
+(** Execute one A-SQL statement as [user] (default the superuser
+    ["admin"]). *)
+
+val exec_exn : t -> ?user:string -> string -> Bdbms_asql.Executor.outcome
+(** @raise Failure on parse or execution errors. *)
+
+val exec_script :
+  t -> ?user:string -> string -> (Bdbms_asql.Executor.outcome list, string) result
+(** Execute a [;]-separated script, stopping at the first error. *)
+
+val render_exn : t -> ?user:string -> string -> string
+(** Execute and render human-readable output. *)
+
+val set_strict_acl : t -> bool -> unit
+(** Enforce GRANT/REVOKE for non-admin users (off by default). *)
+
+val set_auto_provenance : t -> bool -> unit
+(** Record Local_insert / Local_update provenance on every DML (off by
+    default). *)
+
+val io_stats : t -> Bdbms_storage.Stats.snapshot
+(** Cumulative page-level I/O of the database's simulated disk. *)
+
+val reset_io_stats : t -> unit

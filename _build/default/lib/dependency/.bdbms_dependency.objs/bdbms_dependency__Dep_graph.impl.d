@@ -1,0 +1,1 @@
+lib/dependency/dep_graph.ml: Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/dependency/dep_graph.mli: Format

@@ -1,0 +1,1 @@
+lib/dependency/outdated.ml: Bdbms_relation Bdbms_util List

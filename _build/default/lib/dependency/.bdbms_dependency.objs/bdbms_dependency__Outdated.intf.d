@@ -1,0 +1,1 @@
+lib/dependency/outdated.mli: Bdbms_relation Format

@@ -1,0 +1,1 @@
+lib/dependency/procedure.ml: Bdbms_relation Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/dependency/procedure.mli: Bdbms_relation Format

@@ -1,0 +1,1 @@
+lib/dependency/rule.ml: Format List Procedure String

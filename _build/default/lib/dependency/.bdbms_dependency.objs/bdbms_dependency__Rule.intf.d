@@ -1,0 +1,1 @@
+lib/dependency/rule.mli: Format Procedure

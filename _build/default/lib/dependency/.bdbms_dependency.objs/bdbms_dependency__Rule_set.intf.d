@@ -1,0 +1,1 @@
+lib/dependency/rule_set.mli: Rule

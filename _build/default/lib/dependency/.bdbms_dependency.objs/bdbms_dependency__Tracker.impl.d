@@ -1,0 +1,1 @@
+lib/dependency/tracker.ml: Bdbms_relation Dep_graph Format Hashtbl List Outdated Printf Procedure Result Rule Rule_set String

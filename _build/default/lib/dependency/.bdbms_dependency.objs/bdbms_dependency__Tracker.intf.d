@@ -1,0 +1,1 @@
+lib/dependency/tracker.mli: Bdbms_relation Dep_graph Outdated Procedure Rule Rule_set

@@ -1,0 +1,61 @@
+type cell = { table : string; row : int; col : int }
+
+let cell ~table ~row ~col = { table = String.lowercase_ascii table; row; col }
+
+let cell_equal a b = a.table = b.table && a.row = b.row && a.col = b.col
+
+let pp_cell fmt c = Format.fprintf fmt "%s[%d,%d]" c.table c.row c.col
+
+type instance = { rule_id : string; sources : cell list; target : cell }
+
+type t = {
+  (* source cell -> instances it feeds *)
+  by_source : (cell, instance list) Hashtbl.t;
+  by_target : (cell, instance) Hashtbl.t;
+  mutable count : int;
+}
+
+let create () = { by_source = Hashtbl.create 64; by_target = Hashtbl.create 64; count = 0 }
+
+let add_instance t inst =
+  List.iter
+    (fun src ->
+      let cur = try Hashtbl.find t.by_source src with Not_found -> [] in
+      Hashtbl.replace t.by_source src (inst :: cur))
+    inst.sources;
+  Hashtbl.replace t.by_target inst.target inst;
+  t.count <- t.count + 1
+
+let instances_from t src =
+  try List.rev (Hashtbl.find t.by_source src) with Not_found -> []
+
+let instance_for_target t target = Hashtbl.find_opt t.by_target target
+
+let dependents t src = List.map (fun i -> i.target) (instances_from t src)
+
+let transitive_dependents t src =
+  let visited = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go frontier =
+    match frontier with
+    | [] -> ()
+    | c :: rest ->
+        let next =
+          dependents t c
+          |> List.filter (fun d ->
+                 if Hashtbl.mem visited d then false
+                 else begin
+                   Hashtbl.add visited d ();
+                   true
+                 end)
+        in
+        out := !out @ next;
+        go (rest @ next)
+  in
+  Hashtbl.add visited src ();
+  go [ src ];
+  !out
+
+let iter_instances t f = Hashtbl.iter (fun _ inst -> f inst) t.by_target
+
+let instance_count t = t.count

@@ -1,0 +1,41 @@
+(** Instance-level dependency graph (Section 5's "Storing dependencies").
+
+    Schema-level rules say {e which columns} derive from which; the
+    instance graph says {e which cells}: e.g. protein row 7's PSequence is
+    derived from gene row 3's GSequence under Rule 1.  Instances are
+    registered when derived rows are linked (typically along a foreign
+    key) and drive the tracker's cascades. *)
+
+type cell = { table : string; row : int; col : int }
+
+val cell : table:string -> row:int -> col:int -> cell
+val cell_equal : cell -> cell -> bool
+val pp_cell : Format.formatter -> cell -> unit
+
+type instance = {
+  rule_id : string;
+  sources : cell list;  (** in the rule's source order *)
+  target : cell;
+}
+
+type t
+
+val create : unit -> t
+
+val add_instance : t -> instance -> unit
+
+val instances_from : t -> cell -> instance list
+(** Instances having the cell among their sources. *)
+
+val instance_for_target : t -> cell -> instance option
+
+val dependents : t -> cell -> cell list
+(** Direct dependent cells. *)
+
+val transitive_dependents : t -> cell -> cell list
+(** Everything downstream (cycle-safe), in BFS order. *)
+
+val iter_instances : t -> (instance -> unit) -> unit
+(** Every registered instance, once each. *)
+
+val instance_count : t -> int

@@ -1,0 +1,42 @@
+module Bitmap = Bdbms_util.Bitmap
+module Table = Bdbms_relation.Table
+module Schema = Bdbms_relation.Schema
+
+type t = {
+  table : Table.t;
+  mutable bitmap : Bitmap.t;
+}
+
+let create table =
+  let rows = max 1 (Table.row_count table) in
+  let cols = Schema.arity (Table.schema table) in
+  { table; bitmap = Bitmap.create ~rows ~cols }
+
+let table_name t = Table.name t.table
+
+let ensure_capacity t row =
+  let have = Bitmap.rows t.bitmap in
+  if row >= have then
+    t.bitmap <- Bitmap.append_rows t.bitmap (max (row + 1 - have) have)
+
+let mark t ~row ~col =
+  ensure_capacity t row;
+  Bitmap.set t.bitmap ~row ~col true
+
+let clear t ~row ~col =
+  if row < Bitmap.rows t.bitmap then Bitmap.set t.bitmap ~row ~col false
+
+let is_outdated t ~row ~col =
+  row < Bitmap.rows t.bitmap && Bitmap.get t.bitmap ~row ~col
+
+let outdated_cells t =
+  let out = ref [] in
+  Bitmap.iter_set t.bitmap (fun row col -> out := (row, col) :: !out);
+  List.rev !out
+
+let outdated_count t = Bitmap.count_set t.bitmap
+
+let raw_size_bytes t = Bitmap.raw_size_bytes t.bitmap
+let compressed_size_bytes t = Bitmap.compressed_size_bytes t.bitmap
+
+let pp fmt t = Bitmap.pp fmt t.bitmap

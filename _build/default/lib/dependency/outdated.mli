@@ -1,0 +1,31 @@
+(** Outdated-data bitmaps (Section 5, Figure 10).
+
+    Each tracked table carries a bitmap with one bit per cell: 1 means the
+    cell's value may be invalid and needs re-verification.  The bitmap
+    grows with the table, and its RLE-compressed size is reported next to
+    the raw size (the paper proposes Run-Length-Encoding to reduce the
+    bitmaps' storage overhead). *)
+
+type t
+
+val create : Bdbms_relation.Table.t -> t
+(** A fresh all-valid bitmap sized to the table's current shape. *)
+
+val table_name : t -> string
+
+val mark : t -> row:int -> col:int -> unit
+(** Flag a cell outdated (grows the bitmap if the table grew). *)
+
+val clear : t -> row:int -> col:int -> unit
+(** Re-validate a cell — Section 5 notes an outdated value may be
+    re-validated without being modified. *)
+
+val is_outdated : t -> row:int -> col:int -> bool
+val outdated_cells : t -> (int * int) list
+val outdated_count : t -> int
+
+val raw_size_bytes : t -> int
+val compressed_size_bytes : t -> int
+(** RLE-compressed footprint (what the tracker would persist). *)
+
+val pp : Format.formatter -> t -> unit

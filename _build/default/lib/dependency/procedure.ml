@@ -1,0 +1,56 @@
+type body = Bdbms_relation.Value.t list -> (Bdbms_relation.Value.t, string) result
+
+type t = {
+  name : string;
+  mutable version : string;
+  kind : kind;
+  invertible : bool;
+}
+
+and kind =
+  | Executable of body
+  | Non_executable of string
+
+let executable ~name ?(version = "1") ?(invertible = false) body =
+  { name; version; kind = Executable body; invertible }
+
+let non_executable ~name ?(description = "external procedure") ?(invertible = false) () =
+  { name; version = "1"; kind = Non_executable description; invertible }
+
+let is_executable t = match t.kind with Executable _ -> true | Non_executable _ -> false
+
+let run t inputs =
+  match t.kind with
+  | Executable body -> body inputs
+  | Non_executable desc ->
+      invalid_arg
+        (Printf.sprintf "procedure %s is not executable by the database (%s)" t.name desc)
+
+let set_version t v = t.version <- v
+
+let describe t =
+  Printf.sprintf "%s-%s (%s, %s)" t.name t.version
+    (if is_executable t then "executable" else "non-executable")
+    (if t.invertible then "invertible" else "non-invertible")
+
+let pp fmt t = Format.pp_print_string fmt (describe t)
+
+module Registry = struct
+  type proc = t
+
+  type t = (string, proc) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let register t proc =
+    if Hashtbl.mem t proc.name then
+      Error (Printf.sprintf "procedure %s is already registered" proc.name)
+    else begin
+      Hashtbl.replace t proc.name proc;
+      Ok ()
+    end
+
+  let find t name = Hashtbl.find_opt t name
+
+  let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+end

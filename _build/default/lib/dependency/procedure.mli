@@ -1,0 +1,50 @@
+(** Procedures: the derivation mechanisms of Procedural Dependencies
+    (Section 5).
+
+    A procedure is characterized by whether the database can execute it
+    (a prediction tool or BLAST is executable; a lab experiment is not)
+    and whether it is invertible.  Executable procedures carry an OCaml
+    body so the dependency tracker can re-derive values automatically;
+    non-executable ones can only cause targets to be marked outdated. *)
+
+type body = Bdbms_relation.Value.t list -> (Bdbms_relation.Value.t, string) result
+(** Computes the target value from the source values, in rule order. *)
+
+type t = {
+  name : string;
+  mutable version : string;
+  kind : kind;
+  invertible : bool;
+}
+
+and kind =
+  | Executable of body
+  | Non_executable of string  (** description, e.g. "lab experiment" *)
+
+val executable : name:string -> ?version:string -> ?invertible:bool -> body -> t
+val non_executable : name:string -> ?description:string -> ?invertible:bool -> unit -> t
+
+val is_executable : t -> bool
+
+val run : t -> Bdbms_relation.Value.t list -> (Bdbms_relation.Value.t, string) result
+(** @raise Invalid_argument on a non-executable procedure. *)
+
+val set_version : t -> string -> unit
+(** Bump the version — e.g. BLAST-2.2.15 upgraded — which makes every
+    value derived through it stale (Section 5, Figure 9b). *)
+
+val describe : t -> string
+(** e.g. ["BLAST-2.2.15 (executable, non-invertible)"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Named registry, so rules can reference procedures by name. *)
+module Registry : sig
+  type proc = t
+  type t
+
+  val create : unit -> t
+  val register : t -> proc -> (unit, string) result
+  val find : t -> string -> proc option
+  val names : t -> string list
+end

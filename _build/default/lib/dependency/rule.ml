@@ -1,0 +1,50 @@
+type attr = { table : string; column : string }
+
+let attr table column = { table; column }
+
+let norm s = String.lowercase_ascii s
+
+let attr_equal a b = norm a.table = norm b.table && norm a.column = norm b.column
+
+let pp_attr fmt a = Format.fprintf fmt "%s.%s" a.table a.column
+
+type t = {
+  id : string;
+  sources : attr list;
+  target : attr;
+  chain : Procedure.t list;
+  derived : bool;
+}
+
+let make ~id ~sources ~target procedure =
+  if sources = [] then invalid_arg "Rule.make: a rule needs at least one source";
+  { id; sources; target; chain = [ procedure ]; derived = false }
+
+let compose ~id r1 r2 =
+  if List.exists (attr_equal r1.target) r2.sources then
+    let other_sources =
+      List.filter (fun s -> not (attr_equal s r1.target)) r2.sources
+    in
+    let sources =
+      (* r1's sources plus r2's remaining sources, deduplicated *)
+      List.fold_left
+        (fun acc s -> if List.exists (attr_equal s) acc then acc else acc @ [ s ])
+        r1.sources other_sources
+    in
+    Some { id; sources; target = r2.target; chain = r1.chain @ r2.chain; derived = true }
+  else None
+
+let chain_executable t = List.for_all Procedure.is_executable t.chain
+
+let chain_invertible t = List.for_all (fun p -> p.Procedure.invertible) t.chain
+
+let uses_procedure t name = List.exists (fun p -> p.Procedure.name = name) t.chain
+
+let describe t =
+  Format.asprintf "%s: %s --[%s]--> %a%s" t.id
+    (String.concat ", " (List.map (Format.asprintf "%a" pp_attr) t.sources))
+    (String.concat "; " (List.map Procedure.describe t.chain))
+    pp_attr t.target
+    (if t.derived then " (derived)" else "")
+
+let pp fmt t = Format.pp_print_string fmt (describe t)

@@ -1,0 +1,45 @@
+(** Procedural Dependency rules (Section 5).
+
+    A rule states that a target column is derived from one or more source
+    columns through a chain of procedures, e.g. the paper's
+
+    - Rule 1: [Gene.GSequence --(prediction tool P)--> Protein.PSequence]
+    - Rule 3: [GeneMatching.Gene1, Gene2 --(BLAST-2.2.15)--> Evalue]
+
+    A {e derived} rule composes chains (Rule 4 = Rule 1 then Rule 2): the
+    chain is executable only when every procedure in it is, and invertible
+    only when every procedure is. *)
+
+type attr = { table : string; column : string }
+
+val attr : string -> string -> attr
+(** [attr "Gene" "GSequence"]. *)
+
+val attr_equal : attr -> attr -> bool
+val pp_attr : Format.formatter -> attr -> unit
+
+type t = {
+  id : string;
+  sources : attr list;
+  target : attr;
+  chain : Procedure.t list;  (** applied in order; singleton for base rules *)
+  derived : bool;
+}
+
+val make : id:string -> sources:attr list -> target:attr -> Procedure.t -> t
+
+val compose : id:string -> t -> t -> t option
+(** [compose r1 r2] derives a rule when [r1]'s target is one of [r2]'s
+    sources; the derived rule's sources are [r1]'s sources plus [r2]'s
+    other sources, its chain is [r1.chain @ r2.chain]. *)
+
+val chain_executable : t -> bool
+(** Executable iff every procedure in the chain is (the paper's Rule 4 is
+    non-executable because the lab experiment is not). *)
+
+val chain_invertible : t -> bool
+
+val uses_procedure : t -> string -> bool
+
+val describe : t -> string
+val pp : Format.formatter -> t -> unit

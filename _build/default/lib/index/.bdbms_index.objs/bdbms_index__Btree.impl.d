@@ -1,0 +1,1 @@
+lib/index/btree.ml: Array Bdbms_storage Char Key_codec List Option Printf String

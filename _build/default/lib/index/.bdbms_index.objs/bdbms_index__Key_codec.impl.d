@@ -1,0 +1,1 @@
+lib/index/key_codec.ml: Buffer Char Int64 String

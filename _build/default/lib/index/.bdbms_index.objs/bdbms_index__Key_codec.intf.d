@@ -1,0 +1,1 @@
+lib/index/key_codec.mli:

@@ -1,0 +1,1 @@
+lib/index/rtree.ml: Array Bdbms_storage Char Float Int64 List Option

@@ -1,0 +1,77 @@
+let of_int n =
+  (* flip the sign bit so negative ints sort below positive ones *)
+  let v = Int64.logxor (Int64.of_int n) Int64.min_int in
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (7 - i))) 0xffL)))
+
+let to_int s =
+  if String.length s <> 8 then invalid_arg "Key_codec.to_int";
+  let v = ref 0L in
+  String.iter (fun c -> v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c))) s;
+  Int64.to_int (Int64.logxor !v Int64.min_int)
+
+let of_string s = s
+
+let of_float f =
+  let bits = Int64.bits_of_float f in
+  (* standard total-order transform: positive floats flip sign bit,
+     negative floats flip all bits *)
+  let v =
+    if Int64.compare bits 0L >= 0 then Int64.logxor bits Int64.min_int
+    else Int64.lognot bits
+  in
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (7 - i))) 0xffL)))
+
+let to_float s =
+  if String.length s <> 8 then invalid_arg "Key_codec.to_float";
+  let v = ref 0L in
+  String.iter (fun c -> v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code c))) s;
+  let bits =
+    if Int64.compare !v 0L < 0 then Int64.logxor !v Int64.min_int else Int64.lognot !v
+  in
+  Int64.float_of_bits bits
+
+(* Escape \x00 as \x00\x01 and terminate with \x00\x00: byte order of the
+   encoding matches (first, second) lexicographic pair order. *)
+let pair a b =
+  let buf = Buffer.create (String.length a + String.length b + 2) in
+  String.iter
+    (fun c ->
+      Buffer.add_char buf c;
+      if c = '\000' then Buffer.add_char buf '\001')
+    a;
+  Buffer.add_string buf "\000\000";
+  Buffer.add_string buf b;
+  Buffer.contents buf
+
+let split_pair s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i + 1 >= n && not (i < n && s.[i] <> '\000') then
+      invalid_arg "Key_codec.split_pair: missing terminator"
+    else if s.[i] = '\000' then
+      if s.[i + 1] = '\000' then i + 2
+      else if s.[i + 1] = '\001' then begin
+        Buffer.add_char buf '\000';
+        go (i + 2)
+      end
+      else invalid_arg "Key_codec.split_pair: bad escape"
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  let rest_start = go 0 in
+  (Buffer.contents buf, String.sub s rest_start (n - rest_start))
+
+let successor prefix =
+  let n = String.length prefix in
+  let rec go i =
+    if i < 0 then None
+    else if prefix.[i] = '\xff' then go (i - 1)
+    else
+      Some (String.sub prefix 0 i ^ String.make 1 (Char.chr (Char.code prefix.[i] + 1)))
+  in
+  go (n - 1)

@@ -1,0 +1,30 @@
+(** Order-preserving byte encodings for index keys.
+
+    B+-tree nodes store keys as opaque byte strings compared
+    lexicographically; these encoders make the byte order agree with the
+    natural value order. *)
+
+val of_int : int -> string
+(** 8 bytes, big-endian, sign bit flipped: lexicographic byte order equals
+    numeric order over the full [int] range. *)
+
+val to_int : string -> int
+
+val of_string : string -> string
+(** Identity (raw strings already sort lexicographically). *)
+
+val of_float : float -> string
+(** 8 bytes; total order matching [Float.compare] (NaN sorts last). *)
+
+val to_float : string -> float
+
+val pair : string -> string -> string
+(** [pair a b] concatenates with a length prefix on [a] so that pairs sort
+    by [a] first (using escaped encoding), then [b]. *)
+
+val split_pair : string -> string * string
+
+val successor : string -> string option
+(** Smallest string strictly greater than every string with this prefix,
+    i.e. the exclusive upper bound for prefix scans.  [None] when the
+    prefix is all [0xff] (no such bound). *)

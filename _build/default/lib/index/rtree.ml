@@ -1,0 +1,336 @@
+module Buffer_pool = Bdbms_storage.Buffer_pool
+module Page = Bdbms_storage.Page
+
+type mbr = { x_lo : float; x_hi : float; y_lo : float; y_hi : float }
+
+let mbr_of_point ~x ~y = { x_lo = x; x_hi = x; y_lo = y; y_hi = y }
+
+let mbr_area r = (r.x_hi -. r.x_lo) *. (r.y_hi -. r.y_lo)
+
+let mbr_union a b =
+  {
+    x_lo = Float.min a.x_lo b.x_lo;
+    x_hi = Float.max a.x_hi b.x_hi;
+    y_lo = Float.min a.y_lo b.y_lo;
+    y_hi = Float.max a.y_hi b.y_hi;
+  }
+
+let mbr_intersects a b =
+  a.x_lo <= b.x_hi && b.x_lo <= a.x_hi && a.y_lo <= b.y_hi && b.y_lo <= a.y_hi
+
+let mbr_contains_point r ~x ~y = x >= r.x_lo && x <= r.x_hi && y >= r.y_lo && y <= r.y_hi
+
+let mbr_min_dist r ~x ~y =
+  let dx = if x < r.x_lo then r.x_lo -. x else if x > r.x_hi then x -. r.x_hi else 0.0 in
+  let dy = if y < r.y_lo then r.y_lo -. y else if y > r.y_hi then y -. r.y_hi else 0.0 in
+  sqrt ((dx *. dx) +. (dy *. dy))
+
+(* Node layout: byte 0 = 'L'/'I'; u16 count at 1; entries from 3.
+   Entry: 4 x f64 (as int64 bits) + u32 payload (value or child page). *)
+
+type entry = { rect : mbr; payload : int }
+
+type node = { is_leaf : bool; entries : entry list }
+
+type t = {
+  bp : Buffer_pool.t;
+  max_entries : int;
+  mutable root : Page.id;
+  mutable entry_count : int;
+  mutable node_pages : int;
+  mutable height : int;
+}
+
+let entry_bytes = (8 * 4) + 4
+
+let set_f64 page pos f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Page.set_byte page (pos + i)
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xffL))
+  done
+
+let get_f64 page pos =
+  let bits = ref 0L in
+  for i = 7 downto 0 do
+    bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Page.get_byte page (pos + i)))
+  done;
+  Int64.float_of_bits !bits
+
+let write_node page node =
+  Page.zero page;
+  Page.set_byte page 0 (Char.code (if node.is_leaf then 'L' else 'I'));
+  Page.set_u16 page 1 (List.length node.entries);
+  List.iteri
+    (fun i e ->
+      let pos = 3 + (i * entry_bytes) in
+      set_f64 page pos e.rect.x_lo;
+      set_f64 page (pos + 8) e.rect.x_hi;
+      set_f64 page (pos + 16) e.rect.y_lo;
+      set_f64 page (pos + 24) e.rect.y_hi;
+      Page.set_u32 page (pos + 32) e.payload)
+    node.entries
+
+let read_node page =
+  let is_leaf = Char.chr (Page.get_byte page 0) = 'L' in
+  let count = Page.get_u16 page 1 in
+  let entries =
+    List.init count (fun i ->
+        let pos = 3 + (i * entry_bytes) in
+        {
+          rect =
+            {
+              x_lo = get_f64 page pos;
+              x_hi = get_f64 page (pos + 8);
+              y_lo = get_f64 page (pos + 16);
+              y_hi = get_f64 page (pos + 24);
+            };
+          payload = Page.get_u32 page (pos + 32);
+        })
+  in
+  { is_leaf; entries }
+
+let load t id = Buffer_pool.with_page t.bp id read_node
+let store t id node = Buffer_pool.with_page_mut t.bp id (fun p -> write_node p node)
+
+let alloc_node t node =
+  let id = Buffer_pool.alloc_page t.bp in
+  t.node_pages <- t.node_pages + 1;
+  store t id node;
+  id
+
+let create ?max_entries bp =
+  let page_size = Bdbms_storage.Disk.page_size (Buffer_pool.disk bp) in
+  let cap = (page_size - 3) / entry_bytes in
+  let max_entries =
+    match max_entries with Some m -> min m cap | None -> cap
+  in
+  if max_entries < 4 then invalid_arg "Rtree.create: page too small";
+  let t = { bp; max_entries; root = 0; entry_count = 0; node_pages = 0; height = 1 } in
+  t.root <- alloc_node t { is_leaf = true; entries = [] };
+  t
+
+let node_mbr node =
+  match node.entries with
+  | [] -> { x_lo = 0.0; x_hi = 0.0; y_lo = 0.0; y_hi = 0.0 }
+  | e :: rest -> List.fold_left (fun acc e -> mbr_union acc e.rect) e.rect rest
+
+let enlargement current added =
+  mbr_area (mbr_union current added) -. mbr_area current
+
+(* Guttman quadratic split *)
+let quadratic_split entries =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  (* pick the two seeds wasting the most area together *)
+  let seed_a = ref 0 and seed_b = ref 1 and worst = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d =
+        mbr_area (mbr_union arr.(i).rect arr.(j).rect)
+        -. mbr_area arr.(i).rect -. mbr_area arr.(j).rect
+      in
+      if d > !worst then begin
+        worst := d;
+        seed_a := i;
+        seed_b := j
+      end
+    done
+  done;
+  let group_a = ref [ arr.(!seed_a) ] and group_b = ref [ arr.(!seed_b) ] in
+  let mbr_a = ref arr.(!seed_a).rect and mbr_b = ref arr.(!seed_b).rect in
+  let min_fill = max 1 (n / 3) in
+  for i = 0 to n - 1 do
+    if i <> !seed_a && i <> !seed_b then begin
+      let e = arr.(i) in
+      let remaining = n - i in
+      if List.length !group_a + remaining <= min_fill then begin
+        group_a := e :: !group_a;
+        mbr_a := mbr_union !mbr_a e.rect
+      end
+      else if List.length !group_b + remaining <= min_fill then begin
+        group_b := e :: !group_b;
+        mbr_b := mbr_union !mbr_b e.rect
+      end
+      else begin
+        let da = enlargement !mbr_a e.rect and db = enlargement !mbr_b e.rect in
+        if da < db || (da = db && List.length !group_a <= List.length !group_b) then begin
+          group_a := e :: !group_a;
+          mbr_a := mbr_union !mbr_a e.rect
+        end
+        else begin
+          group_b := e :: !group_b;
+          mbr_b := mbr_union !mbr_b e.rect
+        end
+      end
+    end
+  done;
+  (!group_a, !group_b)
+
+type split = { left_mbr : mbr; right_mbr : mbr; right_page : Page.id }
+
+let rec insert_rec t page_id rect value : split option =
+  let node = load t page_id in
+  if node.is_leaf then begin
+    let entries = { rect; payload = value } :: node.entries in
+    if List.length entries <= t.max_entries then begin
+      store t page_id { node with entries };
+      None
+    end
+    else begin
+      let ga, gb = quadratic_split entries in
+      let right_page = alloc_node t { is_leaf = true; entries = gb } in
+      store t page_id { is_leaf = true; entries = ga };
+      Some
+        {
+          left_mbr = node_mbr { is_leaf = true; entries = ga };
+          right_mbr = node_mbr { is_leaf = true; entries = gb };
+          right_page;
+        }
+    end
+  end
+  else begin
+    (* choose subtree: least enlargement, ties by smallest area *)
+    let best = ref None in
+    List.iter
+      (fun e ->
+        let enl = enlargement e.rect rect in
+        match !best with
+        | None -> best := Some (e, enl)
+        | Some (b, benl) ->
+            if enl < benl || (enl = benl && mbr_area e.rect < mbr_area b.rect) then
+              best := Some (e, enl))
+      node.entries;
+    let chosen, _ = Option.get !best in
+    match insert_rec t chosen.payload rect value with
+    | None ->
+        (* update the chosen child's MBR *)
+        let entries =
+          List.map
+            (fun e ->
+              if e.payload = chosen.payload then { e with rect = mbr_union e.rect rect }
+              else e)
+            node.entries
+        in
+        store t page_id { node with entries };
+        None
+    | Some { left_mbr; right_mbr; right_page } ->
+        let entries =
+          List.map
+            (fun e -> if e.payload = chosen.payload then { e with rect = left_mbr } else e)
+            node.entries
+        in
+        let entries = { rect = right_mbr; payload = right_page } :: entries in
+        if List.length entries <= t.max_entries then begin
+          store t page_id { node with entries };
+          None
+        end
+        else begin
+          let ga, gb = quadratic_split entries in
+          let right_page' = alloc_node t { is_leaf = false; entries = gb } in
+          store t page_id { is_leaf = false; entries = ga };
+          Some
+            {
+              left_mbr = node_mbr { is_leaf = false; entries = ga };
+              right_mbr = node_mbr { is_leaf = false; entries = gb };
+              right_page = right_page';
+            }
+        end
+  end
+
+let insert t rect value =
+  (match insert_rec t t.root rect value with
+  | None -> ()
+  | Some { left_mbr; right_mbr; right_page } ->
+      let old_root = t.root in
+      t.root <-
+        alloc_node t
+          {
+            is_leaf = false;
+            entries =
+              [
+                { rect = left_mbr; payload = old_root };
+                { rect = right_mbr; payload = right_page };
+              ];
+          };
+      t.height <- t.height + 1);
+  t.entry_count <- t.entry_count + 1
+
+let search t window =
+  let out = ref [] in
+  let rec go page_id =
+    let node = load t page_id in
+    List.iter
+      (fun e ->
+        if mbr_intersects e.rect window then
+          if node.is_leaf then out := (e.rect, e.payload) :: !out else go e.payload)
+      node.entries
+  in
+  go t.root;
+  !out
+
+let search_point t ~x ~y = search t (mbr_of_point ~x ~y)
+
+let three_sided t ~x_lo ~x_hi ~y_lo =
+  search t { x_lo; x_hi; y_lo; y_hi = infinity }
+
+module Pq = struct
+  (* tiny leftist-ish pairing heap keyed by float priority *)
+  type 'a t = Empty | Node of float * 'a * 'a t list
+
+  let empty = Empty
+
+  let merge a b =
+    match (a, b) with
+    | Empty, x | x, Empty -> x
+    | Node (pa, va, ca), Node (pb, vb, cb) ->
+        if pa <= pb then Node (pa, va, b :: ca) else Node (pb, vb, a :: cb)
+
+  let insert h p v = merge h (Node (p, v, []))
+
+  let rec merge_pairs = function
+    | [] -> Empty
+    | [ x ] -> x
+    | a :: b :: rest -> merge (merge a b) (merge_pairs rest)
+
+  let pop = function
+    | Empty -> None
+    | Node (p, v, children) -> Some (p, v, merge_pairs children)
+end
+
+type knn_item = Subtree of Page.id * bool | Entry of mbr * int
+
+let nearest t ~x ~y ~k =
+  if k <= 0 then []
+  else begin
+    let results = ref [] in
+    let count = ref 0 in
+    let heap = ref (Pq.insert Pq.empty 0.0 (Subtree (t.root, false))) in
+    let finished = ref false in
+    while (not !finished) && !count < k do
+      match Pq.pop !heap with
+      | None -> finished := true
+      | Some (dist, item, rest) -> (
+          heap := rest;
+          match item with
+          | Entry (rect, value) ->
+              results := (rect, value, dist) :: !results;
+              incr count
+          | Subtree (page_id, _) ->
+              let node = load t page_id in
+              List.iter
+                (fun e ->
+                  let d = mbr_min_dist e.rect ~x ~y in
+                  let item =
+                    if node.is_leaf then Entry (e.rect, e.payload)
+                    else Subtree (e.payload, false)
+                  in
+                  heap := Pq.insert !heap d item)
+                node.entries)
+    done;
+    List.rev !results
+  end
+
+let entry_count t = t.entry_count
+let height t = t.height
+let node_pages t = t.node_pages

@@ -1,0 +1,42 @@
+(** Paged R-tree (Guttman, quadratic split).
+
+    Serves two roles from the paper: the baseline multidimensional access
+    method that SP-GiST's space-partitioning trees are compared against
+    (Section 7.1), and the stand-in for the SBC-tree's 3-sided range
+    structure — the paper's own prototype used "an R-tree in place of the
+    3-sided structure" (Section 7.2). *)
+
+type mbr = { x_lo : float; x_hi : float; y_lo : float; y_hi : float }
+(** Axis-aligned rectangle, inclusive bounds. *)
+
+val mbr_of_point : x:float -> y:float -> mbr
+val mbr_area : mbr -> float
+val mbr_union : mbr -> mbr -> mbr
+val mbr_intersects : mbr -> mbr -> bool
+val mbr_contains_point : mbr -> x:float -> y:float -> bool
+val mbr_min_dist : mbr -> x:float -> y:float -> float
+(** Euclidean distance from a point to the nearest point of the rectangle
+    (0 when inside) — the MINDIST bound used by best-first kNN. *)
+
+type t
+
+val create : ?max_entries:int -> Bdbms_storage.Buffer_pool.t -> t
+(** [max_entries] caps node fanout (default: as many as fit in a page). *)
+
+val insert : t -> mbr -> int -> unit
+
+val search : t -> mbr -> (mbr * int) list
+(** All entries whose rectangle intersects the query window. *)
+
+val search_point : t -> x:float -> y:float -> (mbr * int) list
+
+val three_sided : t -> x_lo:float -> x_hi:float -> y_lo:float -> (mbr * int) list
+(** The 3-sided query [x ∈ [x_lo, x_hi], y >= y_lo] of the SBC-tree. *)
+
+val nearest : t -> x:float -> y:float -> k:int -> (mbr * int * float) list
+(** k nearest entries by MINDIST of their rectangles (exact for point
+    entries), closest first. *)
+
+val entry_count : t -> int
+val height : t -> int
+val node_pages : t -> int

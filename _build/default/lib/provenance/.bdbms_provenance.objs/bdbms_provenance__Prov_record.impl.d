@@ -1,0 +1,1 @@
+lib/provenance/prov_record.ml: Bdbms_util Format List Printf Result String

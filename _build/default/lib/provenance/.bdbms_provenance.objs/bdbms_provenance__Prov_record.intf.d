@@ -1,0 +1,1 @@
+lib/provenance/prov_record.mli: Bdbms_util Format

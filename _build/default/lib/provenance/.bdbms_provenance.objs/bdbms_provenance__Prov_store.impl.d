@@ -1,0 +1,1 @@
+lib/provenance/prov_store.ml: Bdbms_annotation Bdbms_relation Hashtbl List Printf Prov_record

@@ -1,0 +1,1 @@
+lib/provenance/prov_store.mli: Bdbms_annotation Bdbms_relation Bdbms_util Prov_record

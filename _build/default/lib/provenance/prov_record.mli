@@ -1,0 +1,40 @@
+(** Structured provenance records (Section 4).
+
+    Unlike free-text annotations, provenance has a well-defined structure:
+    where a value came from (source database/table, or a local operation,
+    or a generating program), who caused it, and when.  Records marshal
+    to/from a fixed XML shape that is enforced with a schema — the paper's
+    requirement that provenance follow a predefined XML schema the system
+    validates. *)
+
+type operation =
+  | Copied_from of { db : string; table : string }
+      (** data imported from an external source (Figure 8's S1/S2/S3) *)
+  | Local_insert
+  | Local_update
+  | Generated_by of { program : string; version : string }
+      (** value produced by a tool, e.g. BLAST (Figure 9b) *)
+  | Overwritten_from of { db : string; table : string }
+
+type t = {
+  operation : operation;
+  actor : string;  (** user or integration tool that performed it *)
+  at : Bdbms_util.Clock.time;
+}
+
+val make : operation:operation -> actor:string -> at:Bdbms_util.Clock.time -> t
+
+val to_xml : t -> Bdbms_util.Xml_lite.t
+(** Root element [<provenance>] with [<operation>], [<actor>], [<time>]
+    children; source/program details become attributes. *)
+
+val of_xml : Bdbms_util.Xml_lite.t -> (t, string) result
+
+val xml_schema : Bdbms_util.Xml_lite.Schema.schema
+(** The schema every provenance body must satisfy. *)
+
+val source_name : t -> string option
+(** The external database name, when the operation has one. *)
+
+val describe : t -> string
+val pp : Format.formatter -> t -> unit

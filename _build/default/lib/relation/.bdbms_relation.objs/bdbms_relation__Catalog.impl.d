@@ -1,0 +1,1 @@
+lib/relation/catalog.ml: Bdbms_storage Hashtbl List Printf String Table

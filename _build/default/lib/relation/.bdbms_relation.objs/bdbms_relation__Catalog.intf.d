@@ -1,0 +1,1 @@
+lib/relation/catalog.mli: Bdbms_storage Schema Table

@@ -1,0 +1,1 @@
+lib/relation/cursor.ml: Array Expr List Ops Schema Table Tuple

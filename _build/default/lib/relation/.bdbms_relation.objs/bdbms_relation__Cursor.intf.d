@@ -1,0 +1,1 @@
+lib/relation/cursor.mli: Expr Ops Schema Table Tuple

@@ -1,0 +1,1 @@
+lib/relation/expr.ml: Format Hashtbl List Printf Schema String Tuple Value

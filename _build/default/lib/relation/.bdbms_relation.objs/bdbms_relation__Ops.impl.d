@@ -1,0 +1,1 @@
+lib/relation/ops.ml: Array Expr Format Hashtbl List Schema Set Table Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/ops.mli: Expr Format Schema Table Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/table.ml: Array Bdbms_storage List Printf Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/relation/table.mli: Bdbms_storage Schema Tuple Value

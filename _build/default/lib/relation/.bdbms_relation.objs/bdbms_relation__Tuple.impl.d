@@ -1,0 +1,1 @@
+lib/relation/tuple.ml: Array Buffer Char Format List Printf Schema String Value

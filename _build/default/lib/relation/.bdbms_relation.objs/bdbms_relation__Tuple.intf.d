@@ -1,0 +1,1 @@
+lib/relation/tuple.mli: Format Schema Value

@@ -1,0 +1,1 @@
+lib/relation/value.ml: Bdbms_util Bool Buffer Char Float Format Int Int64 Printf String

@@ -1,0 +1,34 @@
+module Buffer_pool = Bdbms_storage.Buffer_pool
+
+type t = { bp : Buffer_pool.t; tables : (string, Table.t) Hashtbl.t }
+
+let create bp = { bp; tables = Hashtbl.create 16 }
+
+let buffer_pool t = t.bp
+
+let norm = String.lowercase_ascii
+
+let create_table t ~name schema =
+  let key = norm name in
+  if Hashtbl.mem t.tables key then Error (Printf.sprintf "table %s already exists" name)
+  else begin
+    let table = Table.create t.bp ~name schema in
+    Hashtbl.replace t.tables key table;
+    Ok table
+  end
+
+let drop_table t name =
+  let key = norm name in
+  if Hashtbl.mem t.tables key then begin
+    Hashtbl.remove t.tables key;
+    true
+  end
+  else false
+
+let find t name = Hashtbl.find_opt t.tables (norm name)
+let find_exn t name = Hashtbl.find t.tables (norm name)
+let exists t name = Hashtbl.mem t.tables (norm name)
+
+let table_names t =
+  Hashtbl.fold (fun _ table acc -> Table.name table :: acc) t.tables []
+  |> List.sort String.compare

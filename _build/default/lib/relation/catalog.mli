@@ -1,0 +1,18 @@
+(** The table catalog: name → table, case-insensitive. *)
+
+type t
+
+val create : Bdbms_storage.Buffer_pool.t -> t
+val buffer_pool : t -> Bdbms_storage.Buffer_pool.t
+
+val create_table : t -> name:string -> Schema.t -> (Table.t, string) result
+(** Fails if the name is taken. *)
+
+val drop_table : t -> string -> bool
+val find : t -> string -> Table.t option
+val find_exn : t -> string -> Table.t
+(** @raise Not_found *)
+
+val exists : t -> string -> bool
+val table_names : t -> string list
+(** Sorted. *)

@@ -1,0 +1,112 @@
+type t = {
+  schema : Schema.t;
+  mutable pull : unit -> Tuple.t option;
+  mutable closed : bool;
+}
+
+let schema t = t.schema
+
+let next t = if t.closed then None else t.pull ()
+
+let close t =
+  t.closed <- true;
+  t.pull <- (fun () -> None)
+
+let make schema pull = { schema; pull; closed = false }
+
+let scan table =
+  let row = ref 0 in
+  let total = Table.row_count table in
+  let rec pull () =
+    if !row >= total then None
+    else begin
+      let r = !row in
+      incr row;
+      match Table.get table r with Some tuple -> Some tuple | None -> pull ()
+    end
+  in
+  make (Table.schema table) pull
+
+let of_list schema tuples =
+  let remaining = ref tuples in
+  make schema (fun () ->
+      match !remaining with
+      | [] -> None
+      | t :: rest ->
+          remaining := rest;
+          Some t)
+
+let select input pred =
+  let rec pull () =
+    match next input with
+    | None -> None
+    | Some tuple ->
+        if Expr.eval_pred input.schema tuple pred then Some tuple else pull ()
+  in
+  make input.schema pull
+
+let project input names =
+  let out_schema = Schema.project input.schema names in
+  let indices = List.map (Schema.index_of_exn input.schema) names in
+  make out_schema (fun () ->
+      match next input with
+      | None -> None
+      | Some tuple ->
+          Some (Array.of_list (List.map (fun i -> Tuple.get tuple i) indices)))
+
+let limit input n =
+  let remaining = ref n in
+  make input.schema (fun () ->
+      if !remaining <= 0 then begin
+        close input;
+        None
+      end
+      else
+        match next input with
+        | None -> None
+        | Some tuple ->
+            decr remaining;
+            Some tuple)
+
+let nested_loop_join outer ~rebuild ~on =
+  let inner_schema = (rebuild ()).schema in
+  let out_schema = Schema.concat outer.schema inner_schema in
+  let current_outer = ref None in
+  let current_inner = ref None in
+  let rec pull () =
+    match !current_outer with
+    | None -> (
+        match next outer with
+        | None -> None
+        | Some o ->
+            current_outer := Some o;
+            current_inner := Some (rebuild ());
+            pull ())
+    | Some o -> (
+        match !current_inner with
+        | None ->
+            current_outer := None;
+            pull ()
+        | Some inner -> (
+            match next inner with
+            | None ->
+                current_inner := None;
+                current_outer := None;
+                pull ()
+            | Some i ->
+                let joined = Array.append o i in
+                if Expr.eval_pred out_schema joined on then Some joined else pull ()))
+  in
+  make out_schema pull
+
+let to_list t =
+  let rec go acc =
+    match next t with None -> List.rev acc | Some tuple -> go (tuple :: acc)
+  in
+  go []
+
+let to_rowset t = { Ops.schema = t.schema; rows = to_list t }
+
+let count t =
+  let rec go n = match next t with None -> n | Some _ -> go (n + 1) in
+  go 0

@@ -1,0 +1,49 @@
+(** Volcano-style streaming iterators.
+
+    {!Ops} materializes every intermediate result, which keeps the
+    annotation-propagation semantics easy to verify; this module is the
+    pipelined alternative for plain relational work over data too large to
+    materialize: each operator pulls tuples one at a time from its input
+    (Graefe's iterator model), so a select-project pipeline over a large
+    table runs in constant memory. *)
+
+type t
+(** A cursor producing tuples of a fixed schema.  Cursors are single-use:
+    once exhausted they stay exhausted. *)
+
+val schema : t -> Schema.t
+
+val next : t -> Tuple.t option
+(** Pull the next tuple; [None] at end of stream. *)
+
+val close : t -> unit
+(** Release the cursor early (idempotent; pulling after close yields
+    [None]). *)
+
+val scan : Table.t -> t
+(** Stream a table's live rows in row order, reading pages lazily. *)
+
+val of_list : Schema.t -> Tuple.t list -> t
+
+val select : t -> Expr.t -> t
+(** Pipelined filter. *)
+
+val project : t -> string list -> t
+(** Pipelined projection.  @raise Not_found on unknown columns. *)
+
+val limit : t -> int -> t
+(** Stops pulling from the input after [n] tuples (early termination). *)
+
+val nested_loop_join : t -> rebuild:(unit -> t) -> on:Expr.t -> t
+(** Join the outer cursor with an inner relation; [rebuild] produces a
+    fresh inner cursor per outer tuple (the textbook pipelined
+    nested-loop join). *)
+
+val to_list : t -> Tuple.t list
+(** Drain the cursor. *)
+
+val to_rowset : t -> Ops.rowset
+(** Drain into a materialized rowset. *)
+
+val count : t -> int
+(** Drain, counting tuples. *)

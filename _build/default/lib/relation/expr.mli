@@ -1,0 +1,38 @@
+(** Scalar expressions over tuples: predicates, arithmetic, LIKE patterns.
+
+    Used by the WHERE / HAVING clauses of A-SQL and, applied to annotation
+    attributes instead of data attributes, by AWHERE / AHAVING / FILTER. *)
+
+type cmp = Eq | Neq | Lt | Leq | Gt | Geq
+
+type arith = Add | Sub | Mul | Div | Mod
+
+type t =
+  | Col of string                (** column reference, resolved by name *)
+  | Lit of Value.t
+  | Cmp of cmp * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Arith of arith * t * t
+  | Like of t * string           (** SQL LIKE: [%] any run, [_] any char *)
+  | In_list of t * Value.t list
+  | Is_null of t
+  | Concat of t * t
+
+exception Eval_error of string
+
+val eval : Schema.t -> Tuple.t -> t -> Value.t
+(** @raise Eval_error on unknown columns or type mismatches. *)
+
+val eval_pred : Schema.t -> Tuple.t -> t -> bool
+(** Evaluate as a predicate: NULL results are false (SQL three-valued logic
+    collapsed to its query-filtering behaviour). *)
+
+val columns_used : t -> string list
+(** Distinct column names referenced, in first-use order. *)
+
+val like_match : pattern:string -> string -> bool
+(** The LIKE matcher, exposed for index-level regex/prefix rewrites. *)
+
+val pp : Format.formatter -> t -> unit

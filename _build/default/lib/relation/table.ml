@@ -1,0 +1,123 @@
+module Heap_file = Bdbms_storage.Heap_file
+module Buffer_pool = Bdbms_storage.Buffer_pool
+
+type slot = Live of Heap_file.rid | Dead
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  heap : Heap_file.t;
+  mutable rows : slot array;
+  mutable nrows : int;
+  mutable live : int;
+}
+
+let create bp ~name schema =
+  { name; schema; heap = Heap_file.create bp; rows = Array.make 16 Dead;
+    nrows = 0; live = 0 }
+
+let name t = t.name
+let schema t = t.schema
+let buffer_pool t = Heap_file.buffer_pool t.heap
+
+let grow t =
+  if t.nrows >= Array.length t.rows then begin
+    let rows = Array.make (2 * Array.length t.rows) Dead in
+    Array.blit t.rows 0 rows 0 t.nrows;
+    t.rows <- rows
+  end
+
+let insert t tuple =
+  match Tuple.check t.schema tuple with
+  | Error _ as e -> e
+  | Ok () ->
+      let rid = Heap_file.insert t.heap (Tuple.encode tuple) in
+      grow t;
+      t.rows.(t.nrows) <- Live rid;
+      t.nrows <- t.nrows + 1;
+      t.live <- t.live + 1;
+      Ok (t.nrows - 1)
+
+let slot_of t row =
+  if row < 0 || row >= t.nrows then Dead else t.rows.(row)
+
+let get t row =
+  match slot_of t row with
+  | Dead -> None
+  | Live rid -> (
+      match Heap_file.get t.heap rid with
+      | Some payload -> Some (Tuple.decode payload)
+      | None -> None)
+
+let update t row tuple =
+  match Tuple.check t.schema tuple with
+  | Error _ as e -> e
+  | Ok () -> (
+      match slot_of t row with
+      | Dead -> Error (Printf.sprintf "row %d is not live" row)
+      | Live rid ->
+          let rid' = Heap_file.update t.heap rid (Tuple.encode tuple) in
+          t.rows.(row) <- Live rid';
+          Ok ())
+
+let update_cell t ~row ~col value =
+  match get t row with
+  | None -> Error (Printf.sprintf "row %d is not live" row)
+  | Some tuple ->
+      if col < 0 || col >= Schema.arity t.schema then
+        Error (Printf.sprintf "column %d out of range" col)
+      else
+        let column = Schema.column_at t.schema col in
+        if not (Value.conforms value column.ty) then
+          Error
+            (Printf.sprintf "column %s expects %s" column.name
+               (Value.type_name column.ty))
+        else begin
+          let old = Tuple.get tuple col in
+          match update t row (Tuple.set tuple col value) with
+          | Ok () -> Ok old
+          | Error _ as e -> e
+        end
+
+let delete t row =
+  match slot_of t row with
+  | Dead -> false
+  | Live rid ->
+      ignore (Heap_file.delete t.heap rid);
+      t.rows.(row) <- Dead;
+      t.live <- t.live - 1;
+      true
+
+let resurrect t row tuple =
+  match Tuple.check t.schema tuple with
+  | Error _ as e -> e
+  | Ok () -> (
+      if row < 0 || row >= t.nrows then
+        Error (Printf.sprintf "row %d was never allocated" row)
+      else
+        match t.rows.(row) with
+        | Live _ -> Error (Printf.sprintf "row %d is live" row)
+        | Dead ->
+            let rid = Heap_file.insert t.heap (Tuple.encode tuple) in
+            t.rows.(row) <- Live rid;
+            t.live <- t.live + 1;
+            Ok ())
+
+let is_live t row = match slot_of t row with Live _ -> true | Dead -> false
+
+let row_count t = t.nrows
+let live_count t = t.live
+
+let iter t f =
+  for row = 0 to t.nrows - 1 do
+    match get t row with Some tuple -> f row tuple | None -> ()
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun row tuple -> acc := f !acc row tuple);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc row tuple -> (row, tuple) :: acc))
+
+let storage_pages t = Heap_file.page_count t.heap

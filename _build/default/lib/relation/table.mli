@@ -1,0 +1,50 @@
+(** Heap-backed user tables with stable row numbers.
+
+    Annotations and the outdated bitmaps address cells by (row, column)
+    coordinates: the table is viewed as a two-dimensional space with
+    columns on the X axis and tuples on the Y axis (Figure 5).  Rows are
+    therefore numbered by insertion order and a deleted row leaves a
+    tombstone — its number is never reused — so existing annotation
+    rectangles and bitmap coordinates stay valid. *)
+
+type t
+
+val create : Bdbms_storage.Buffer_pool.t -> name:string -> Schema.t -> t
+val name : t -> string
+val schema : t -> Schema.t
+val buffer_pool : t -> Bdbms_storage.Buffer_pool.t
+
+val insert : t -> Tuple.t -> (int, string) result
+(** Append a tuple; returns its row number.  Fails on schema violation. *)
+
+val get : t -> int -> Tuple.t option
+(** [None] for a deleted or out-of-range row. *)
+
+val update : t -> int -> Tuple.t -> (unit, string) result
+(** Replace a live row in place (row number unchanged). *)
+
+val update_cell : t -> row:int -> col:int -> Value.t -> (Value.t, string) result
+(** Set one cell; returns the previous value. *)
+
+val delete : t -> int -> bool
+(** Tombstone a row; [true] if it was live. *)
+
+val resurrect : t -> int -> Tuple.t -> (unit, string) result
+(** Re-insert a tuple at a tombstoned row number, restoring the row
+    exactly where it was — used by the approval manager when a DELETE is
+    disapproved and its inverse INSERT executes (Section 6).  Fails if
+    the row is live or was never allocated. *)
+
+val is_live : t -> int -> bool
+
+val row_count : t -> int
+(** Highest row number + 1, including tombstones (the bitmap height). *)
+
+val live_count : t -> int
+
+val iter : t -> (int -> Tuple.t -> unit) -> unit
+(** Live rows in row order. *)
+
+val fold : t -> init:'a -> f:('a -> int -> Tuple.t -> 'a) -> 'a
+val to_list : t -> (int * Tuple.t) list
+val storage_pages : t -> int

@@ -1,0 +1,25 @@
+(** Tuples: fixed-arity arrays of values with a binary codec. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+
+val check : Schema.t -> t -> (unit, string) result
+(** Arity and per-column type conformance (nulls always conform). *)
+
+val get : t -> int -> Value.t
+val set : t -> int -> Value.t -> t
+(** Functional update (copies). *)
+
+val project : Schema.t -> t -> string list -> t
+(** Values of the named columns, in order.  @raise Not_found. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Invalid_argument on corrupt input. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val size_bytes : t -> int
+val to_display : t -> string
+val pp : Format.formatter -> t -> unit

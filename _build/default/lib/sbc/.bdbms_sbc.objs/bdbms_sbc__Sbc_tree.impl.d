@@ -1,0 +1,1 @@
+lib/sbc/sbc_tree.ml: Array Bdbms_index Bdbms_util Buffer Char Fun List String Text_store

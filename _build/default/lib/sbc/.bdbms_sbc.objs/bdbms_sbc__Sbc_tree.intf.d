@@ -1,0 +1,1 @@
+lib/sbc/sbc_tree.mli: Bdbms_storage Bdbms_util Text_store

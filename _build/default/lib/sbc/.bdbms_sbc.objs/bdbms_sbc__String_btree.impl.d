@@ -1,0 +1,1 @@
+lib/sbc/string_btree.ml: Bdbms_index Char List String Text_store

@@ -1,0 +1,1 @@
+lib/sbc/string_btree.mli: Bdbms_storage Text_store

@@ -1,0 +1,1 @@
+lib/sbc/text_store.ml: Array Bdbms_storage Buffer String

@@ -1,0 +1,1 @@
+lib/sbc/text_store.mli: Bdbms_storage

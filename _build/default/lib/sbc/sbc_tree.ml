@@ -1,0 +1,368 @@
+module Rle = Bdbms_util.Rle
+module Btree = Bdbms_index.Btree
+module Rtree = Bdbms_index.Rtree
+
+type occurrence = { seq : Text_store.seq_id; pos : int }
+
+(* Per-sequence metadata kept in the (in-memory) directory: raw offsets of
+   each run, raw length. *)
+type seq_meta = { run_offsets : int array; raw_len : int }
+
+type t = {
+  text : Text_store.t; (* 5-byte run records: char + u32 BE length *)
+  tree : Btree.t;
+  three : Rtree.t option;
+  mutable meta : seq_meta array;
+  mutable nseq : int;
+  (* dense entry table for R-tree payloads *)
+  mutable entries : (int * int) array; (* entry id -> (seq, run_idx) *)
+  mutable nentries : int;
+}
+
+let record_size = 5
+
+let encode_ref seq run =
+  let b n = String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xff)) in
+  b seq ^ b run
+
+let decode_ref s =
+  let b off =
+    Char.code s.[off] lsl 24
+    lor (Char.code s.[off + 1] lsl 16)
+    lor (Char.code s.[off + 2] lsl 8)
+    lor Char.code s.[off + 3]
+  in
+  (b 0, b 4)
+
+let run_record_of_string s off =
+  let ch = s.[off] in
+  let len =
+    Char.code s.[off + 1] lsl 24
+    lor (Char.code s.[off + 2] lsl 16)
+    lor (Char.code s.[off + 3] lsl 8)
+    lor Char.code s.[off + 4]
+  in
+  (ch, len)
+
+let string_of_run ch len =
+  String.init record_size (fun i ->
+      if i = 0 then ch else Char.chr ((len lsr (8 * (4 - i))) land 0xff))
+
+(* run record [i] of sequence [seq], read through the paged store *)
+let read_run_text text seq i =
+  let s = Text_store.read text seq ~pos:(i * record_size) ~len:record_size in
+  run_record_of_string s 0
+
+let read_run t seq i = read_run_text t.text seq i
+
+let run_count t seq = Text_store.length t.text seq / record_size
+
+(* Normalized suffix stream of (seq, run): the run's character byte (its
+   length dropped — that is the 3-sided dimension), then the raw record
+   bytes of all subsequent runs.  Both parts read straight out of the run
+   blob, so the stream needs no materialization. *)
+let norm_length_text text seq run =
+  let total = Text_store.length text seq in
+  1 + (total - ((run + 1) * record_size))
+
+let norm_read_text text seq run ~pos ~len =
+  let buf = Buffer.create len in
+  let remaining = ref len and cursor = ref pos in
+  if !remaining > 0 && !cursor = 0 then begin
+    let ch, _ = read_run_text text seq run in
+    Buffer.add_char buf ch;
+    incr cursor;
+    decr remaining
+  end;
+  if !remaining > 0 then begin
+    let under_pos = ((run + 1) * record_size) + (!cursor - 1) in
+    Buffer.add_string buf (Text_store.read text seq ~pos:under_pos ~len:!remaining)
+  end;
+  Buffer.contents buf
+
+let norm_length t seq run = norm_length_text t.text seq run
+let norm_read t seq run ~pos ~len = norm_read_text t.text seq run ~pos ~len
+
+let block = 64
+
+let compare_norm text a b =
+  let seq_a, run_a = decode_ref a and seq_b, run_b = decode_ref b in
+  let len_a = norm_length_text text seq_a run_a
+  and len_b = norm_length_text text seq_b run_b in
+  let rec go off =
+    if off >= len_a && off >= len_b then compare (seq_a, run_a) (seq_b, run_b)
+    else if off >= len_a then -1
+    else if off >= len_b then 1
+    else begin
+      let n = min block (min (len_a - off) (len_b - off)) in
+      let sa = norm_read_text text seq_a run_a ~pos:off ~len:n in
+      let sb = norm_read_text text seq_b run_b ~pos:off ~len:n in
+      let c = String.compare sa sb in
+      if c <> 0 then c else go (off + n)
+    end
+  in
+  go 0
+
+(* 0 when the normalized suffix starts with [query] *)
+let compare_norm_pattern t key query =
+  let seq, run = decode_ref key in
+  let len = norm_length t seq run in
+  let m = String.length query in
+  let rec go off =
+    if off >= m then 0
+    else if off >= len then -1
+    else begin
+      let n = min block (min (m - off) (len - off)) in
+      let s = norm_read t seq run ~pos:off ~len:n in
+      let q = String.sub query off n in
+      let c = String.compare s q in
+      if c <> 0 then c else go (off + n)
+    end
+  in
+  go 0
+
+(* order-preserving embedding of the first 6 normalized bytes into a float
+   (exact in a double's 53-bit mantissa) for the R-tree's X axis *)
+let embed6 s =
+  let v = ref 0.0 in
+  for i = 0 to 5 do
+    let b = if i < String.length s then Char.code s.[i] else 0 in
+    v := (!v *. 256.0) +. float_of_int b
+  done;
+  !v
+
+let embed6_hi s =
+  let v = ref 0.0 in
+  for i = 0 to 5 do
+    let b = if i < String.length s then Char.code s.[i] else 0xff in
+    v := (!v *. 256.0) +. float_of_int b
+  done;
+  !v
+
+let create ?(with_three_sided = true) bp =
+  let text = Text_store.create bp in
+  {
+    text;
+    tree = Btree.create ~cmp:(compare_norm text) bp;
+    three = (if with_three_sided then Some (Rtree.create bp) else None);
+    meta = Array.make 16 { run_offsets = [||]; raw_len = 0 };
+    nseq = 0;
+    entries = Array.make 64 (0, 0);
+    nentries = 0;
+  }
+
+let add_entry t seq run =
+  if t.nentries >= Array.length t.entries then begin
+    let entries = Array.make (2 * Array.length t.entries) (0, 0) in
+    Array.blit t.entries 0 entries 0 t.nentries;
+    t.entries <- entries
+  end;
+  t.entries.(t.nentries) <- (seq, run);
+  t.nentries <- t.nentries + 1;
+  t.nentries - 1
+
+let insert_rle t rle =
+  let runs = Rle.runs rle in
+  let blob = Buffer.create (record_size * List.length runs) in
+  let offsets = Array.make (List.length runs) 0 in
+  let raw = ref 0 in
+  List.iteri
+    (fun i { Rle.ch; len } ->
+      offsets.(i) <- !raw;
+      raw := !raw + len;
+      Buffer.add_string blob (string_of_run ch len))
+    runs;
+  let seq = Text_store.add t.text (Buffer.contents blob) in
+  if t.nseq >= Array.length t.meta then begin
+    let meta = Array.make (2 * Array.length t.meta) { run_offsets = [||]; raw_len = 0 } in
+    Array.blit t.meta 0 meta 0 t.nseq;
+    t.meta <- meta
+  end;
+  t.meta.(seq) <- { run_offsets = offsets; raw_len = !raw };
+  t.nseq <- max t.nseq (seq + 1);
+  List.iteri
+    (fun run { Rle.len; _ } ->
+      Btree.insert t.tree ~key:(encode_ref seq run) ~value:0;
+      match t.three with
+      | None -> ()
+      | Some rt ->
+          let eid = add_entry t seq run in
+          let x = embed6 (norm_read t seq run ~pos:0 ~len:(min 6 (norm_length t seq run))) in
+          Rtree.insert rt (Rtree.mbr_of_point ~x ~y:(float_of_int len)) eid)
+    runs;
+  seq
+
+let insert t raw = insert_rle t (Rle.encode raw)
+
+(* The normalized query bytes for a pattern with runs r1..rk:
+   c1, then exact records for r2..r(k-1), then (when k >= 2) ck. *)
+let query_bytes pruns =
+  match pruns with
+  | [] -> ""
+  | { Rle.ch = c1; _ } :: rest ->
+      let buf = Buffer.create 16 in
+      Buffer.add_char buf c1;
+      let rec go = function
+        | [] -> ()
+        | [ { Rle.ch; _ } ] -> Buffer.add_char buf ch (* last run: char only *)
+        | { Rle.ch; len } :: more ->
+            Buffer.add_string buf (string_of_run ch len);
+            go more
+      in
+      go rest;
+      Buffer.contents buf
+
+(* Verify a candidate suffix start against the pattern runs and produce the
+   raw match position; the middle runs are already guaranteed by the key
+   probe, the first and last run lengths are not. *)
+let verify t pruns seq run =
+  match pruns with
+  | [] -> None
+  | [ { Rle.ch = c1; len = l1 } ] ->
+      let ch, len = read_run t seq run in
+      if ch = c1 && len >= l1 then
+        Some { seq; pos = t.meta.(seq).run_offsets.(run) }
+      else None
+  | { Rle.ch = c1; len = l1 } :: rest ->
+      let k = List.length pruns in
+      if run + k > run_count t seq then None
+      else begin
+        let ch1, len1 = read_run t seq run in
+        if ch1 <> c1 || len1 < l1 then None
+        else begin
+          let last = List.nth rest (List.length rest - 1) in
+          let chk, lenk = read_run t seq (run + k - 1) in
+          if chk = last.Rle.ch && lenk >= last.Rle.len then
+            Some { seq; pos = t.meta.(seq).run_offsets.(run) + (len1 - l1) }
+          else None
+        end
+      end
+
+let dedup_occurrences occs =
+  List.sort_uniq (fun a b -> compare (a.seq, a.pos) (b.seq, b.pos)) occs
+
+let substring_search t pattern =
+  if pattern = "" then []
+  else begin
+    let pruns = Rle.runs (Rle.encode pattern) in
+    let q = query_bytes pruns in
+    let probe key = compare_norm_pattern t key q in
+    Btree.range_probe t.tree ~probe
+    |> List.filter_map (fun (key, _) ->
+           let seq, run = decode_ref key in
+           verify t pruns seq run)
+    |> dedup_occurrences
+  end
+
+let substring_search_3sided t pattern =
+  match t.three with
+  | None -> invalid_arg "Sbc_tree: created without the 3-sided structure"
+  | Some rt ->
+      if pattern = "" then []
+      else begin
+        let pruns = Rle.runs (Rle.encode pattern) in
+        let l1 = match pruns with { Rle.len; _ } :: _ -> len | [] -> 0 in
+        let q = query_bytes pruns in
+        let x_lo = embed6 q and x_hi = embed6_hi q in
+        Rtree.three_sided rt ~x_lo ~x_hi ~y_lo:(float_of_int l1)
+        |> List.filter_map (fun (_, eid) ->
+               let seq, run = t.entries.(eid) in
+               (* the embedding truncates at 6 bytes: re-check the full key *)
+               if compare_norm_pattern t (encode_ref seq run) q = 0 then
+                 verify t pruns seq run
+               else None)
+        |> dedup_occurrences
+      end
+
+let prefix_search t pattern =
+  if pattern = "" then []
+  else begin
+    let pruns = Rle.runs (Rle.encode pattern) in
+    let k = List.length pruns in
+    let l1 = match pruns with { Rle.len; _ } :: _ -> len | [] -> 0 in
+    substring_search t pattern
+    |> List.filter_map (fun { seq; pos } ->
+           (* prefix of the raw text: the match must start at raw position 0,
+              which for k >= 2 additionally forces the first text run to be
+              exactly l1 long *)
+           if pos <> 0 then None
+           else if k = 1 then Some seq
+           else
+             let _, len1 = read_run t seq 0 in
+             if len1 = l1 then Some seq else None)
+    |> List.sort_uniq compare
+  end
+
+(* Greedy subsequence check over a sequence's run records. *)
+let seq_has_subsequence t seq pattern =
+  let m = String.length pattern in
+  let nruns = run_count t seq in
+  let pi = ref 0 in
+  let run = ref 0 in
+  while !pi < m && !run < nruns do
+    let ch, len = read_run t seq !run in
+    if pattern.[!pi] = ch then begin
+      let supplied = ref 0 in
+      while !pi < m && pattern.[!pi] = ch && !supplied < len do
+        incr pi;
+        incr supplied
+      done
+    end;
+    incr run
+  done;
+  !pi >= m
+
+let subsequence_search t pattern =
+  if pattern = "" then List.init t.nseq Fun.id
+  else begin
+    let out = ref [] in
+    for seq = 0 to t.nseq - 1 do
+      if seq_has_subsequence t seq pattern then out := seq :: !out
+    done;
+    List.rev !out
+  end
+
+(* Compare a stored sequence's raw text against a raw string without
+   decompressing: walk runs. *)
+let compare_seq_raw t seq s =
+  let nruns = run_count t seq in
+  let n = String.length s in
+  let rec go run si =
+    if run >= nruns && si >= n then 0
+    else if run >= nruns then -1
+    else if si >= n then 1
+    else begin
+      let ch, len = read_run t seq run in
+      let rec eat j = if j < si + len && j < n && s.[j] = ch then eat (j + 1) else j in
+      let j = eat si in
+      if j = si then Char.compare ch s.[si]
+      else if j - si = len then go (run + 1) j
+      else if j >= n then 1 (* s exhausted inside this run *)
+      else Char.compare ch s.[j]
+    end
+  in
+  go 0 0
+
+let range_search t ~lo ~hi =
+  let out = ref [] in
+  for seq = 0 to t.nseq - 1 do
+    if compare_seq_raw t seq lo >= 0 && compare_seq_raw t seq hi <= 0 then
+      out := seq :: !out
+  done;
+  List.rev !out
+
+let decode t seq =
+  let buf = Buffer.create t.meta.(seq).raw_len in
+  for run = 0 to run_count t seq - 1 do
+    let ch, len = read_run t seq run in
+    Buffer.add_string buf (String.make len ch)
+  done;
+  Buffer.contents buf
+
+let raw_length t seq = t.meta.(seq).raw_len
+
+let entry_count t = Btree.entry_count t.tree
+let index_pages t = Btree.node_pages t.tree
+let text_pages t = Text_store.page_count t.text
+let rtree_pages t = match t.three with None -> 0 | Some rt -> Rtree.node_pages rt
+let total_pages t = index_pages t + text_pages t + rtree_pages t

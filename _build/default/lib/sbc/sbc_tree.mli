@@ -1,0 +1,69 @@
+(** The SBC-tree: String B-tree for Compressed sequences (Section 7.2,
+    Figure 12).
+
+    Sequences are stored RLE-compressed (fixed-width run records in a
+    paged {!Text_store}) and indexed by a String B-tree over the
+    {e run-boundary suffixes} of the compressed form — one index entry per
+    run instead of one per character, which is where the paper's storage
+    and insertion-I/O savings come from.  Searches operate on the
+    compressed data without decompressing it:
+
+    a pattern P with runs [(c1,l1) m2 ... m(k-1) (ck,lk)] occurs in a text
+    T exactly where P's first run is a suffix of a run of T, the middle
+    runs match exactly, and P's last run is a prefix of a run of T.  The
+    first-run condition [len >= l1] over a contiguous key range is a
+    3-sided query; per the paper's own prototype, an R-tree stands in for
+    the optimal 3-sided structure. *)
+
+type t
+
+type occurrence = { seq : Text_store.seq_id; pos : int }
+(** A match position in the {e raw} (decompressed) coordinates. *)
+
+val create :
+  ?with_three_sided:bool -> Bdbms_storage.Buffer_pool.t -> t
+(** [with_three_sided] (default true) also maintains the R-tree used by
+    {!substring_search_3sided}. *)
+
+val insert : t -> string -> Text_store.seq_id
+(** RLE-compress and store a raw sequence, indexing its run-boundary
+    suffixes. *)
+
+val insert_rle : t -> Bdbms_util.Rle.t -> Text_store.seq_id
+(** Insert a sequence already in compressed form (never decompressed). *)
+
+val substring_search : t -> string -> occurrence list
+(** All occurrences of the raw pattern, via String B-tree probe plus
+    verification — no decompression.  For a single-run pattern occurring
+    several times inside one long text run, the leftmost position in that
+    run is reported. *)
+
+val substring_search_3sided : t -> string -> occurrence list
+(** Same result set, but candidates are selected by the 3-sided (R-tree)
+    structure instead of scanning the key range.
+    @raise Invalid_argument if the tree was created without it. *)
+
+val subsequence_search : t -> string -> Text_store.seq_id list
+(** Sequences containing the raw pattern as a {e subsequence} (characters
+    in order, gaps allowed) — the paper's planned extension toward
+    alignment-style operations, evaluated by a greedy scan over the run
+    records, never decompressing. *)
+
+val prefix_search : t -> string -> Text_store.seq_id list
+(** Sequences whose raw text starts with the pattern. *)
+
+val range_search : t -> lo:string -> hi:string -> Text_store.seq_id list
+(** Sequences whose raw text is lexicographically within [\[lo, hi\]]
+    (compared without decompression). *)
+
+val decode : t -> Text_store.seq_id -> string
+(** Decompress a stored sequence (for display/tests only). *)
+
+val raw_length : t -> Text_store.seq_id -> int
+val run_count : t -> Text_store.seq_id -> int
+
+val entry_count : t -> int
+val index_pages : t -> int
+val text_pages : t -> int
+val rtree_pages : t -> int
+val total_pages : t -> int

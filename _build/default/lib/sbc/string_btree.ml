@@ -1,0 +1,117 @@
+module Btree = Bdbms_index.Btree
+
+type occurrence = { seq : Text_store.seq_id; pos : int }
+
+type t = { text : Text_store.t; tree : Btree.t }
+
+(* Suffix keys are fixed-width (seq, offset) references; all ordering goes
+   through the text store — nodes never copy suffix bytes, exactly as in
+   the String B-tree. *)
+let encode_ref seq pos =
+  let b n = String.init 4 (fun i -> Char.chr ((n lsr (8 * (3 - i))) land 0xff)) in
+  b seq ^ b pos
+
+let decode_ref s =
+  let b off =
+    Char.code s.[off] lsl 24
+    lor (Char.code s.[off + 1] lsl 16)
+    lor (Char.code s.[off + 2] lsl 8)
+    lor Char.code s.[off + 3]
+  in
+  (b 0, b 4)
+
+let block = 64
+(* characters fetched per comparison step *)
+
+(* Lexicographic order of suffix texts, reading both through the text store
+   in blocks; ties (identical text) break by reference for a total order. *)
+let compare_suffixes text a b =
+  let seq_a, pos_a = decode_ref a and seq_b, pos_b = decode_ref b in
+  let len_a = Text_store.length text seq_a - pos_a in
+  let len_b = Text_store.length text seq_b - pos_b in
+  let rec go off =
+    if off >= len_a && off >= len_b then compare (seq_a, pos_a) (seq_b, pos_b)
+    else if off >= len_a then -1
+    else if off >= len_b then 1
+    else begin
+      let na = min block (len_a - off) and nb = min block (len_b - off) in
+      let n = min na nb in
+      let sa = Text_store.read text seq_a ~pos:(pos_a + off) ~len:n in
+      let sb = Text_store.read text seq_b ~pos:(pos_b + off) ~len:n in
+      let c = String.compare sa sb in
+      if c <> 0 then c else go (off + n)
+    end
+  in
+  go 0
+
+(* Three-way comparison of the suffix at [key] against a pattern:
+   0 when the suffix starts with the pattern. *)
+let compare_suffix_pattern text key pattern =
+  let seq, pos = decode_ref key in
+  let len = Text_store.length text seq - pos in
+  let m = String.length pattern in
+  let rec go off =
+    if off >= m then 0 (* pattern exhausted: suffix has pattern as prefix *)
+    else if off >= len then -1 (* suffix is a proper prefix of the pattern *)
+    else begin
+      let n = min block (min (m - off) (len - off)) in
+      let s = Text_store.read text seq ~pos:(pos + off) ~len:n in
+      let p = String.sub pattern off n in
+      let c = String.compare s p in
+      if c <> 0 then c else go (off + n)
+    end
+  in
+  go 0
+
+let create bp =
+  let text = Text_store.create bp in
+  { text; tree = Btree.create ~cmp:(compare_suffixes text) bp }
+
+let insert t s =
+  let seq = Text_store.add t.text s in
+  for pos = 0 to String.length s - 1 do
+    Btree.insert t.tree ~key:(encode_ref seq pos) ~value:0
+  done;
+  seq
+
+let substring_search t pattern =
+  if pattern = "" then []
+  else
+    let probe key = compare_suffix_pattern t.text key pattern in
+    Btree.range_probe t.tree ~probe
+    |> List.map (fun (key, _) ->
+           let seq, pos = decode_ref key in
+           { seq; pos })
+
+let prefix_search t pattern =
+  substring_search t pattern
+  |> List.filter_map (fun o -> if o.pos = 0 then Some o.seq else None)
+  |> List.sort_uniq compare
+
+let range_search t ~lo ~hi =
+  (* Whole-sequence range: probe the suffix order for offset-0 entries whose
+     text lies in [lo, hi].  A suffix >= lo and <= hi-with-prefix semantics
+     is located by two pattern probes. *)
+  let probe key =
+    if compare_suffix_pattern t.text key lo < 0 then -1
+    else
+      (* above hi only when the suffix is greater and does not extend hi *)
+      let c = compare_suffix_pattern t.text key hi in
+      if c > 0 then 1 else 0
+  in
+  Btree.range_probe t.tree ~probe
+  |> List.filter_map (fun (key, _) ->
+         let seq, pos = decode_ref key in
+         if pos <> 0 then None
+         else
+           let s = Text_store.read_all t.text seq in
+           if String.compare s lo >= 0 && String.compare s hi <= 0 then Some seq
+           else None)
+  |> List.sort_uniq compare
+
+let sequence t seq = Text_store.read_all t.text seq
+
+let entry_count t = Btree.entry_count t.tree
+let index_pages t = Btree.node_pages t.tree
+let text_pages t = Text_store.page_count t.text
+let total_pages t = index_pages t + text_pages t

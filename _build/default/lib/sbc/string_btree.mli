@@ -1,0 +1,35 @@
+(** String B-tree over uncompressed sequences.
+
+    The classical external-memory string index (Ferragina–Grossi) that the
+    SBC-tree extends: a B+-tree whose keys are {e references} to suffixes
+    of the stored text — nodes hold (sequence, offset) pairs and key
+    comparisons read the text through the paged {!Text_store}.  One entry
+    per character of stored text.  This is the paper's baseline for the
+    Section 7.2 claims (storage, insertion I/O, search parity). *)
+
+type t
+
+type occurrence = { seq : Text_store.seq_id; pos : int }
+
+val create : Bdbms_storage.Buffer_pool.t -> t
+(** Creates its own text store on the same buffer pool. *)
+
+val insert : t -> string -> Text_store.seq_id
+(** Store a sequence and index every suffix of it. *)
+
+val substring_search : t -> string -> occurrence list
+(** All occurrences of the pattern in all stored sequences (one per
+    matching suffix), in index order. *)
+
+val prefix_search : t -> string -> Text_store.seq_id list
+(** Sequences that start with the pattern. *)
+
+val range_search : t -> lo:string -> hi:string -> Text_store.seq_id list
+(** Sequences whose full text is lexicographically in [\[lo, hi\]]. *)
+
+val sequence : t -> Text_store.seq_id -> string
+
+val entry_count : t -> int
+val index_pages : t -> int
+val text_pages : t -> int
+val total_pages : t -> int

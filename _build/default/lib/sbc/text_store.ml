@@ -1,0 +1,74 @@
+module Buffer_pool = Bdbms_storage.Buffer_pool
+module Page = Bdbms_storage.Page
+
+type seq_id = int
+
+type entry = { pages : Page.id array; len : int }
+
+type t = {
+  bp : Buffer_pool.t;
+  mutable entries : entry array;
+  mutable n : int;
+  mutable page_count : int;
+  mutable total_bytes : int;
+}
+
+let create bp =
+  { bp; entries = Array.make 16 { pages = [||]; len = 0 }; n = 0; page_count = 0;
+    total_bytes = 0 }
+
+let chunk_size t = Bdbms_storage.Disk.page_size (Buffer_pool.disk t.bp)
+
+let add t s =
+  let cs = chunk_size t in
+  let len = String.length s in
+  let npages = (len + cs - 1) / cs in
+  let pages =
+    Array.init npages (fun i ->
+        let id = Buffer_pool.alloc_page t.bp in
+        let chunk_len = min cs (len - (i * cs)) in
+        Buffer_pool.with_page_mut t.bp id (fun p ->
+            Page.set_bytes p ~pos:0 (String.sub s (i * cs) chunk_len));
+        id)
+  in
+  if t.n >= Array.length t.entries then begin
+    let entries = Array.make (2 * Array.length t.entries) { pages = [||]; len = 0 } in
+    Array.blit t.entries 0 entries 0 t.n;
+    t.entries <- entries
+  end;
+  t.entries.(t.n) <- { pages; len };
+  t.n <- t.n + 1;
+  t.page_count <- t.page_count + npages;
+  t.total_bytes <- t.total_bytes + len;
+  t.n - 1
+
+let entry t id =
+  if id < 0 || id >= t.n then invalid_arg "Text_store: unknown sequence id";
+  t.entries.(id)
+
+let length t id = (entry t id).len
+
+let read t id ~pos ~len =
+  let e = entry t id in
+  if pos < 0 || len < 0 || pos + len > e.len then invalid_arg "Text_store.read: out of bounds";
+  if len = 0 then ""
+  else begin
+    let cs = chunk_size t in
+    let buf = Buffer.create len in
+    let first_page = pos / cs and last_page = (pos + len - 1) / cs in
+    for pi = first_page to last_page do
+      let page_start = pi * cs in
+      let lo = max pos page_start and hi = min (pos + len) (page_start + cs) in
+      Buffer_pool.with_page t.bp e.pages.(pi) (fun p ->
+          Buffer.add_string buf (Page.get_bytes p ~pos:(lo - page_start) ~len:(hi - lo)))
+    done;
+    Buffer.contents buf
+  end
+
+let read_all t id = read t id ~pos:0 ~len:(length t id)
+
+let byte_at t id pos = (read t id ~pos ~len:1).[0]
+
+let count t = t.n
+let page_count t = t.page_count
+let total_bytes t = t.total_bytes

@@ -1,0 +1,36 @@
+(** Paged storage for long sequences.
+
+    The String B-tree family keeps {e references} into the text rather than
+    copying suffixes into index nodes; this store is that text, chunked
+    across pages so every byte access is a counted page access through the
+    buffer pool.  Both the uncompressed String B-tree (raw sequence bytes)
+    and the SBC-tree (fixed-width RLE run records) read through it. *)
+
+type t
+
+type seq_id = int
+
+val create : Bdbms_storage.Buffer_pool.t -> t
+
+val add : t -> string -> seq_id
+(** Store a byte string, chunked across fresh pages. *)
+
+val length : t -> seq_id -> int
+(** @raise Invalid_argument on an unknown id. *)
+
+val read : t -> seq_id -> pos:int -> len:int -> string
+(** Read a byte range (touches only the pages covering it).
+    @raise Invalid_argument when out of bounds. *)
+
+val read_all : t -> seq_id -> string
+
+val byte_at : t -> seq_id -> int -> char
+
+val count : t -> int
+(** Number of stored sequences. *)
+
+val page_count : t -> int
+(** Pages owned by the store (its storage footprint). *)
+
+val total_bytes : t -> int
+(** Sum of stored sequence lengths. *)

@@ -1,0 +1,1 @@
+lib/spgist/kd_tree.ml: Array Buffer Char Float Int64 List Printf Spgist String

@@ -1,0 +1,1 @@
+lib/spgist/kd_tree.mli: Bdbms_storage

@@ -1,0 +1,1 @@
+lib/spgist/quadtree.ml: Array Char Int Int64 List Spgist String

@@ -1,0 +1,1 @@
+lib/spgist/quadtree.mli: Bdbms_storage

@@ -1,0 +1,1 @@
+lib/spgist/regex_lite.ml: Array Char Hashtbl Int List Printf Set String

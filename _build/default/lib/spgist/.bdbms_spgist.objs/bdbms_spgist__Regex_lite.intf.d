@@ -1,0 +1,1 @@
+lib/spgist/regex_lite.mli:

@@ -1,0 +1,1 @@
+lib/spgist/spgist.ml: Bdbms_storage Char Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/spgist/spgist.mli: Bdbms_storage

@@ -1,0 +1,1 @@
+lib/spgist/trie.ml: Hashtbl List Regex_lite Spgist String

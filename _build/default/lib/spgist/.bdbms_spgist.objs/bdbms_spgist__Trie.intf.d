@@ -1,0 +1,1 @@
+lib/spgist/trie.mli: Bdbms_storage Regex_lite

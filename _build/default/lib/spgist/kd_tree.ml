@@ -1,0 +1,198 @@
+type point = float array
+
+type query =
+  | Point of point
+  | Window of (float * float) array
+  | Near of point
+
+(* The split geometry lives in the labels: a label records the dimension,
+   the split value, and which side of it the child covers, so the region
+   of any node is derivable from its root path alone. *)
+module Strategy = struct
+  type key = point
+
+  type nonrec query = query
+
+  type side = Low | High
+
+  type label = { dim : int; split : float; side : side }
+
+  let encode_key p =
+    let buf = Buffer.create (8 * Array.length p) in
+    Array.iter
+      (fun f ->
+        let bits = Int64.bits_of_float f in
+        for i = 0 to 7 do
+          Buffer.add_char buf
+            (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xffL)))
+        done)
+      p;
+    Buffer.contents buf
+
+  let decode_key s =
+    let n = String.length s / 8 in
+    Array.init n (fun j ->
+        let bits = ref 0L in
+        for i = 7 downto 0 do
+          bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[(j * 8) + i]))
+        done;
+        Int64.float_of_bits !bits)
+
+  let encode_label l =
+    let side = match l.side with Low -> '\000' | High -> '\001' in
+    Printf.sprintf "%c%c%s" (Char.chr l.dim) side (encode_key [| l.split |])
+
+  let decode_label s =
+    {
+      dim = Char.code s.[0];
+      side = (if s.[1] = '\000' then Low else High);
+      split = (decode_key (String.sub s 2 8)).(0);
+    }
+
+  let label_equal a b = a.dim = b.dim && a.split = b.split && a.side = b.side
+
+  let choose ~path:_ ~existing key =
+    match existing with
+    | [] -> assert false (* internal nodes are created by picksplit with children *)
+    | l :: _ ->
+        let side = if key.(l.dim) < l.split then Low else High in
+        { dim = l.dim; split = l.split; side }
+
+  let median values =
+    let arr = Array.copy values in
+    Array.sort Float.compare arr;
+    arr.(Array.length arr / 2)
+
+  let picksplit ~path keys =
+    match keys with
+    | [] -> []
+    | first :: _ ->
+        let dims = Array.length first in
+        let depth = List.length path in
+        (* try dimensions starting at depth mod dims until one separates *)
+        let rec try_dim attempt =
+          if attempt >= dims then None
+          else
+            let dim = (depth + attempt) mod dims in
+            let split = median (Array.of_list (List.map (fun k -> k.(dim)) keys)) in
+            let low = List.filter (fun k -> k.(dim) < split) keys in
+            let high = List.filter (fun k -> k.(dim) >= split) keys in
+            if low = [] || high = [] then try_dim (attempt + 1)
+            else Some (dim, split, low, high)
+        in
+        (match try_dim 0 with
+        | None -> [ ({ dim = 0; split = 0.0; side = Low }, keys) ] (* duplicates *)
+        | Some (dim, split, low, high) ->
+            [ ({ dim; split; side = Low }, low); ({ dim; split; side = High }, high) ])
+
+  (* Region of a node from its path: per-dimension open bounds. *)
+  let region_of_path path =
+    let dims =
+      List.fold_left (fun acc l -> max acc (l.dim + 1)) 1 path
+    in
+    let lo = Array.make (max dims 8) neg_infinity in
+    let hi = Array.make (max dims 8) infinity in
+    List.iter
+      (fun l ->
+        match l.side with
+        | Low -> hi.(l.dim) <- Float.min hi.(l.dim) l.split
+        | High -> lo.(l.dim) <- Float.max lo.(l.dim) l.split)
+      path;
+    (lo, hi)
+
+  (* point is inside region: lo <= p < hi on split dims (High side includes
+     the split value, Low side excludes it) *)
+  let region_contains (lo, hi) p =
+    let ok = ref true in
+    Array.iteri
+      (fun d x -> if d < Array.length lo && (x < lo.(d) || x >= hi.(d)) then ok := false)
+      p;
+    !ok
+
+  let region_intersects_window (lo, hi) w =
+    let ok = ref true in
+    Array.iteri
+      (fun d (wlo, whi) ->
+        if d < Array.length lo && (whi < lo.(d) || wlo >= hi.(d)) then ok := false)
+      w;
+    !ok
+
+  let consistent ~path label query =
+    let region = region_of_path (path @ [ label ]) in
+    match query with
+    | Point p -> region_contains region p
+    | Window w -> region_intersects_window region w
+    | Near _ -> true
+
+  let matches query key =
+    match query with
+    | Point p -> p = key
+    | Window w ->
+        let ok = ref (Array.length w = Array.length key) in
+        Array.iteri
+          (fun d x ->
+            if !ok then
+              let wlo, whi = w.(d) in
+              if x < wlo || x > whi then ok := false)
+          key;
+        !ok
+    | Near _ -> true
+
+  let max_leaf_entries = 16
+
+  let dist_to_region (lo, hi) p =
+    let acc = ref 0.0 in
+    Array.iteri
+      (fun d x ->
+        if d < Array.length lo then begin
+          let dx =
+            if x < lo.(d) then lo.(d) -. x else if x > hi.(d) then x -. hi.(d) else 0.0
+          in
+          acc := !acc +. (dx *. dx)
+        end)
+      p;
+    sqrt !acc
+
+  let subtree_lower_bound =
+    Some
+      (fun ~path label query ->
+        match query with
+        | Near p | Point p -> dist_to_region (region_of_path (path @ [ label ])) p
+        | Window _ -> 0.0)
+
+  let key_distance =
+    Some
+      (fun query key ->
+        match query with
+        | Near p | Point p ->
+            let acc = ref 0.0 in
+            Array.iteri
+              (fun d x ->
+                let dx = x -. (if d < Array.length key then key.(d) else 0.0) in
+                acc := !acc +. (dx *. dx))
+              p;
+            sqrt !acc
+        | Window _ -> 0.0)
+end
+
+module Tree = Spgist.Make (Strategy)
+
+type t = { tree : Tree.t; dims : int }
+
+let create ~dims bp =
+  if dims < 1 then invalid_arg "Kd_tree.create: dims must be >= 1";
+  { tree = Tree.create bp; dims }
+
+let insert t p value =
+  if Array.length p <> t.dims then invalid_arg "Kd_tree.insert: dimension mismatch";
+  Tree.insert t.tree p value
+
+let search t q = Tree.search t.tree q
+
+let point_query t p = search t (Point p)
+let window t w = search t (Window w)
+let nearest t p ~k = Tree.nearest t.tree (Near p) ~k
+
+let entry_count t = Tree.entry_count t.tree
+let node_pages t = Tree.node_pages t.tree
+let max_depth t = Tree.max_depth t.tree

@@ -1,0 +1,31 @@
+(** Disk-based kd-tree (Bentley) through the SP-GiST framework.
+
+    Keys are d-dimensional float points (protein coordinates, feature
+    vectors).  Internal nodes split on the median of one dimension,
+    cycling dimensions by depth.  Supports point (exact) queries, window
+    queries, and best-first kNN — the operations of the paper's Section
+    7.1 comparison against the R-tree. *)
+
+type point = float array
+
+type query =
+  | Point of point
+  | Window of (float * float) array  (** per-dimension inclusive ranges *)
+  | Near of point                    (** used by {!nearest} *)
+
+type t
+
+val create : dims:int -> Bdbms_storage.Buffer_pool.t -> t
+(** @raise Invalid_argument if [dims < 1]. *)
+
+val insert : t -> point -> int -> unit
+(** @raise Invalid_argument on a dimension mismatch. *)
+
+val search : t -> query -> (point * int) list
+val point_query : t -> point -> (point * int) list
+val window : t -> (float * float) array -> (point * int) list
+val nearest : t -> point -> k:int -> (point * int * float) list
+
+val entry_count : t -> int
+val node_pages : t -> int
+val max_depth : t -> int

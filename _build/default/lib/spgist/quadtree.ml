@@ -1,0 +1,184 @@
+type point = { x : float; y : float }
+
+type query =
+  | Point of point
+  | Window of { x_lo : float; x_hi : float; y_lo : float; y_hi : float }
+  | Near of point
+
+(* The strategy is generated per-tree because the world rectangle is a
+   runtime parameter; a first-class module keeps the SP-GiST plumbing
+   shared. *)
+module type WORLD = sig
+  val x_lo : float
+  val y_lo : float
+  val x_hi : float
+  val y_hi : float
+end
+
+module Make_strategy (W : WORLD) = struct
+  type key = point
+
+  type nonrec query = query
+
+  (* quadrants: 0 = SW, 1 = SE, 2 = NW, 3 = NE *)
+  type label = int
+
+  let encode_key p =
+    let f64 f =
+      let bits = Int64.bits_of_float f in
+      String.init 8 (fun i ->
+          Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xffL)))
+    in
+    f64 p.x ^ f64 p.y
+
+  let decode_key s =
+    let f64 off =
+      let bits = ref 0L in
+      for i = 7 downto 0 do
+        bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[off + i]))
+      done;
+      Int64.float_of_bits !bits
+    in
+    { x = f64 0; y = f64 8 }
+
+  let encode_label q = String.make 1 (Char.chr q)
+  let decode_label s = Char.code s.[0]
+  let label_equal = Int.equal
+
+  type cell = { cx_lo : float; cy_lo : float; cx_hi : float; cy_hi : float }
+
+  let world = { cx_lo = W.x_lo; cy_lo = W.y_lo; cx_hi = W.x_hi; cy_hi = W.y_hi }
+
+  let quarter c q =
+    let mx = (c.cx_lo +. c.cx_hi) /. 2.0 and my = (c.cy_lo +. c.cy_hi) /. 2.0 in
+    match q with
+    | 0 -> { c with cx_hi = mx; cy_hi = my }
+    | 1 -> { c with cx_lo = mx; cy_hi = my }
+    | 2 -> { c with cx_hi = mx; cy_lo = my }
+    | 3 -> { c with cx_lo = mx; cy_lo = my }
+    | _ -> invalid_arg "Quadtree: bad quadrant"
+
+  let cell_of_path path = List.fold_left quarter world path
+
+  let quadrant_of c p =
+    let mx = (c.cx_lo +. c.cx_hi) /. 2.0 and my = (c.cy_lo +. c.cy_hi) /. 2.0 in
+    match (p.x >= mx, p.y >= my) with
+    | false, false -> 0
+    | true, false -> 1
+    | false, true -> 2
+    | true, true -> 3
+
+  let max_split_depth = 40
+
+  let choose ~path ~existing:_ key = quadrant_of (cell_of_path path) key
+
+  let picksplit ~path keys =
+    if List.length path >= max_split_depth then [ (0, keys) ]
+    else begin
+      let cell = cell_of_path path in
+      let buckets = Array.make 4 [] in
+      List.iter (fun k -> let q = quadrant_of cell k in buckets.(q) <- k :: buckets.(q)) keys;
+      let groups = ref [] in
+      for q = 3 downto 0 do
+        if buckets.(q) <> [] then groups := (q, List.rev buckets.(q)) :: !groups
+      done;
+      !groups
+    end
+
+  (* half-open cells: [lo, hi) except at the world's top edges *)
+  let cell_contains c p =
+    p.x >= c.cx_lo && p.y >= c.cy_lo
+    && (p.x < c.cx_hi || (c.cx_hi = world.cx_hi && p.x <= c.cx_hi))
+    && (p.y < c.cy_hi || (c.cy_hi = world.cy_hi && p.y <= c.cy_hi))
+
+  let cell_intersects c ~x_lo ~x_hi ~y_lo ~y_hi =
+    x_lo < c.cx_hi && x_hi >= c.cx_lo && y_lo < c.cy_hi && y_hi >= c.cy_lo
+
+  let consistent ~path label query =
+    let cell = cell_of_path (path @ [ label ]) in
+    match query with
+    | Point p -> cell_contains cell p
+    | Window { x_lo; x_hi; y_lo; y_hi } -> cell_intersects cell ~x_lo ~x_hi ~y_lo ~y_hi
+    | Near _ -> true
+
+  let matches query key =
+    match query with
+    | Point p -> p.x = key.x && p.y = key.y
+    | Window { x_lo; x_hi; y_lo; y_hi } ->
+        key.x >= x_lo && key.x <= x_hi && key.y >= y_lo && key.y <= y_hi
+    | Near _ -> true
+
+  let max_leaf_entries = 16
+
+  let dist p c =
+    let dx =
+      if p.x < c.cx_lo then c.cx_lo -. p.x else if p.x > c.cx_hi then p.x -. c.cx_hi else 0.0
+    in
+    let dy =
+      if p.y < c.cy_lo then c.cy_lo -. p.y else if p.y > c.cy_hi then p.y -. c.cy_hi else 0.0
+    in
+    sqrt ((dx *. dx) +. (dy *. dy))
+
+  let subtree_lower_bound =
+    Some
+      (fun ~path label query ->
+        match query with
+        | Near p | Point p -> dist p (cell_of_path (path @ [ label ]))
+        | Window _ -> 0.0)
+
+  let key_distance =
+    Some
+      (fun query key ->
+        match query with
+        | Near p | Point p ->
+            let dx = p.x -. key.x and dy = p.y -. key.y in
+            sqrt ((dx *. dx) +. (dy *. dy))
+        | Window _ -> 0.0)
+end
+
+module type TREE = sig
+  val insert : point -> int -> unit
+  val search : query -> (point * int) list
+  val nearest : query -> k:int -> (point * int * float) list
+  val entry_count : unit -> int
+  val node_pages : unit -> int
+  val max_depth : unit -> int
+end
+
+type t = (module TREE)
+
+let create ?(world = (0.0, 0.0, 1.0, 1.0)) bp : t =
+  let x_lo, y_lo, x_hi, y_hi = world in
+  if x_lo >= x_hi || y_lo >= y_hi then invalid_arg "Quadtree.create: empty world";
+  let module W = struct
+    let x_lo = x_lo
+    let y_lo = y_lo
+    let x_hi = x_hi
+    let y_hi = y_hi
+  end in
+  let module S = Make_strategy (W) in
+  let module T = Spgist.Make (S) in
+  let tree = T.create bp in
+  (module struct
+    let insert p v =
+      if not (S.cell_contains S.world p) then
+        invalid_arg "Quadtree.insert: point outside the world rectangle";
+      T.insert tree p v
+
+    let search q = T.search tree q
+    let nearest q ~k = T.nearest tree q ~k
+    let entry_count () = T.entry_count tree
+    let node_pages () = T.node_pages tree
+    let max_depth () = T.max_depth tree
+  end)
+
+let insert (module T : TREE) p v = T.insert p v
+let search (module T : TREE) q = T.search q
+let point_query t p = search t (Point p)
+
+let window t ~x_lo ~x_hi ~y_lo ~y_hi = search t (Window { x_lo; x_hi; y_lo; y_hi })
+
+let nearest (module T : TREE) p ~k = T.nearest (Near p) ~k
+let entry_count (module T : TREE) = T.entry_count ()
+let node_pages (module T : TREE) = T.node_pages ()
+let max_depth (module T : TREE) = T.max_depth ()

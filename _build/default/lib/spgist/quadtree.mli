@@ -1,0 +1,32 @@
+(** Disk-based PR (point-region) quadtree through the SP-GiST framework.
+
+    2-D points in a fixed world rectangle; each internal node quarters its
+    cell, so the decomposition is determined by the space, not the data —
+    the classic space-partitioning behaviour SP-GiST generalizes.
+    Supports point queries, window queries, and best-first kNN. *)
+
+type point = { x : float; y : float }
+
+type query =
+  | Point of point
+  | Window of { x_lo : float; x_hi : float; y_lo : float; y_hi : float }
+  | Near of point
+
+type t
+
+val create :
+  ?world:float * float * float * float ->
+  Bdbms_storage.Buffer_pool.t ->
+  t
+(** [world] is [(x_lo, y_lo, x_hi, y_hi)], default the unit square.
+    Points outside the world are rejected by {!insert}. *)
+
+val insert : t -> point -> int -> unit
+val search : t -> query -> (point * int) list
+val point_query : t -> point -> (point * int) list
+val window : t -> x_lo:float -> x_hi:float -> y_lo:float -> y_hi:float -> (point * int) list
+val nearest : t -> point -> k:int -> (point * int * float) list
+
+val entry_count : t -> int
+val node_pages : t -> int
+val max_depth : t -> int

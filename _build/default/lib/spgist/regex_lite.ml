@@ -1,0 +1,253 @@
+(* AST *)
+type ast =
+  | Empty
+  | Char_set of (char -> bool)
+  | Seq of ast * ast
+  | Alt of ast * ast
+  | Star of ast
+  | Plus of ast
+  | Opt of ast
+
+exception Syntax of string
+
+(* Recursive-descent parser: alt := seq ('|' seq)*; seq := rep*;
+   rep := atom ('*'|'+'|'?')*; atom := char | '.' | class | '(' alt ')' *)
+let parse src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let parse_class () =
+    (* after '[' *)
+    let negated =
+      match peek () with
+      | Some '^' ->
+          advance ();
+          true
+      | _ -> false
+    in
+    let ranges = ref [] in
+    let finished = ref false in
+    while not !finished do
+      match peek () with
+      | None -> raise (Syntax "unterminated character class")
+      | Some ']' ->
+          advance ();
+          finished := true
+      | Some c ->
+          advance ();
+          if peek () = Some '-' && !pos + 1 < n && src.[!pos + 1] <> ']' then begin
+            advance ();
+            let hi =
+              match peek () with
+              | Some h ->
+                  advance ();
+                  h
+              | None -> raise (Syntax "unterminated range")
+            in
+            ranges := (c, hi) :: !ranges
+          end
+          else ranges := (c, c) :: !ranges
+    done;
+    let ranges = !ranges in
+    let inside ch = List.exists (fun (lo, hi) -> ch >= lo && ch <= hi) ranges in
+    Char_set (fun ch -> if negated then not (inside ch) else inside ch)
+  in
+  let rec parse_alt () =
+    let left = parse_seq () in
+    match peek () with
+    | Some '|' ->
+        advance ();
+        Alt (left, parse_alt ())
+    | _ -> left
+  and parse_seq () =
+    let rec go acc =
+      match peek () with
+      | None | Some '|' | Some ')' -> acc
+      | _ -> go (Seq (acc, parse_rep ()))
+    in
+    match peek () with
+    | None | Some '|' | Some ')' -> Empty
+    | _ ->
+        let first = parse_rep () in
+        go first
+  and parse_rep () =
+    let atom = parse_atom () in
+    let rec quantify a =
+      match peek () with
+      | Some '*' ->
+          advance ();
+          quantify (Star a)
+      | Some '+' ->
+          advance ();
+          quantify (Plus a)
+      | Some '?' ->
+          advance ();
+          quantify (Opt a)
+      | _ -> a
+    in
+    quantify atom
+  and parse_atom () =
+    match peek () with
+    | None -> raise (Syntax "expected an atom")
+    | Some '(' ->
+        advance ();
+        let inner = parse_alt () in
+        (match peek () with
+        | Some ')' -> advance ()
+        | _ -> raise (Syntax "unbalanced parenthesis"));
+        inner
+    | Some '.' ->
+        advance ();
+        Char_set (fun _ -> true)
+    | Some '[' ->
+        advance ();
+        parse_class ()
+    | Some (('*' | '+' | '?' | ')' | '|') as c) ->
+        raise (Syntax (Printf.sprintf "unexpected %C" c))
+    | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some c ->
+            advance ();
+            Char_set (Char.equal c)
+        | None -> raise (Syntax "dangling escape"))
+    | Some c ->
+        advance ();
+        Char_set (Char.equal c)
+  in
+  let ast = parse_alt () in
+  if !pos <> n then raise (Syntax "trailing characters");
+  ast
+
+(* NFA: states with epsilon closure.  State = int; transitions arrays. *)
+type nfa = {
+  (* char transitions: state -> (predicate, target) list *)
+  trans : (char -> bool) array array; (* trans.(s).(i) tested against targets.(s).(i) *)
+  targets : int array array;
+  eps : int list array;
+  accept : int;
+  start : int;
+}
+
+type t = { nfa : nfa; src : string }
+
+let build ast =
+  (* Thompson construction with mutable state lists *)
+  let trans_acc = ref [] in
+  (* (state, pred, target) *)
+  let eps_acc = ref [] in
+  (* (state, target) *)
+  let counter = ref 0 in
+  let fresh () =
+    let s = !counter in
+    incr counter;
+    s
+  in
+  let add_char s pred target = trans_acc := (s, pred, target) :: !trans_acc in
+  let add_eps s target = eps_acc := (s, target) :: !eps_acc in
+  (* returns (start, end) *)
+  let rec go = function
+    | Empty ->
+        let s = fresh () in
+        (s, s)
+    | Char_set pred ->
+        let s = fresh () and e = fresh () in
+        add_char s pred e;
+        (s, e)
+    | Seq (a, b) ->
+        let sa, ea = go a in
+        let sb, eb = go b in
+        add_eps ea sb;
+        (sa, eb)
+    | Alt (a, b) ->
+        let s = fresh () and e = fresh () in
+        let sa, ea = go a in
+        let sb, eb = go b in
+        add_eps s sa;
+        add_eps s sb;
+        add_eps ea e;
+        add_eps eb e;
+        (s, e)
+    | Star a ->
+        let s = fresh () and e = fresh () in
+        let sa, ea = go a in
+        add_eps s sa;
+        add_eps s e;
+        add_eps ea sa;
+        add_eps ea e;
+        (s, e)
+    | Plus a ->
+        let sa, ea = go a in
+        let e = fresh () in
+        add_eps ea sa;
+        add_eps ea e;
+        (sa, e)
+    | Opt a ->
+        let s = fresh () and e = fresh () in
+        let sa, ea = go a in
+        add_eps s sa;
+        add_eps s e;
+        add_eps ea e;
+        (s, e)
+  in
+  let start, accept = go ast in
+  let nstates = !counter in
+  let trans = Array.make nstates [||] in
+  let targets = Array.make nstates [||] in
+  let eps = Array.make nstates [] in
+  let by_state = Hashtbl.create 16 in
+  List.iter
+    (fun (s, pred, target) ->
+      let cur = try Hashtbl.find by_state s with Not_found -> [] in
+      Hashtbl.replace by_state s ((pred, target) :: cur))
+    !trans_acc;
+  Hashtbl.iter
+    (fun s lst ->
+      trans.(s) <- Array.of_list (List.map fst lst);
+      targets.(s) <- Array.of_list (List.map snd lst))
+    by_state;
+  List.iter (fun (s, target) -> eps.(s) <- target :: eps.(s)) !eps_acc;
+  { trans; targets; eps; accept; start }
+
+let compile src =
+  match parse src with
+  | ast -> Ok { nfa = build ast; src }
+  | exception Syntax msg -> Error (Printf.sprintf "regex %S: %s" src msg)
+
+module IS = Set.Make (Int)
+
+let eps_closure nfa states =
+  let rec go frontier acc =
+    match frontier with
+    | [] -> acc
+    | s :: rest ->
+        let nexts = List.filter (fun n -> not (IS.mem n acc)) nfa.eps.(s) in
+        go (nexts @ rest) (List.fold_left (fun a n -> IS.add n a) acc nexts)
+  in
+  go (IS.elements states) states
+
+let step nfa states c =
+  IS.fold
+    (fun s acc ->
+      let preds = nfa.trans.(s) and tgts = nfa.targets.(s) in
+      let acc = ref acc in
+      Array.iteri (fun i pred -> if pred c then acc := IS.add tgts.(i) !acc) preds;
+      !acc)
+    states IS.empty
+
+let run nfa s =
+  let init = eps_closure nfa (IS.singleton nfa.start) in
+  let final =
+    String.fold_left
+      (fun states c ->
+        if IS.is_empty states then states else eps_closure nfa (step nfa states c))
+      init s
+  in
+  final
+
+let matches t s = IS.mem t.nfa.accept (run t.nfa s)
+
+let feasible_prefix t s = not (IS.is_empty (run t.nfa s))
+
+let pattern t = t.src

@@ -1,0 +1,25 @@
+(** A small regular-expression engine (Thompson NFA).
+
+    Supports the operators needed by the SP-GiST trie's
+    regular-expression match search (Section 7.1): literals, [.], character
+    classes [[abc]] / [[a-z]] (with leading [^] negation), grouping,
+    alternation [|], and the postfix quantifiers [*], [+], [?].
+
+    Beyond whole-string matching, the engine answers the {e prefix
+    viability} question the trie search needs for pruning: given the
+    characters on the path from the root, can any extension still match? *)
+
+type t
+
+val compile : string -> (t, string) result
+
+val matches : t -> string -> bool
+(** Whole-string (anchored) match. *)
+
+val feasible_prefix : t -> string -> bool
+(** [true] when some extension of the given prefix (possibly the prefix
+    itself) matches — i.e. the NFA still has live states after consuming
+    it.  Monotone: a prefix of a feasible string is feasible. *)
+
+val pattern : t -> string
+(** The source pattern, for display. *)

@@ -1,0 +1,321 @@
+module Buffer_pool = Bdbms_storage.Buffer_pool
+module Page = Bdbms_storage.Page
+
+module type STRATEGY = sig
+  type key
+  type query
+  type label
+
+  val encode_key : key -> string
+  val decode_key : string -> key
+  val encode_label : label -> string
+  val decode_label : string -> label
+  val label_equal : label -> label -> bool
+  val choose : path:label list -> existing:label list -> key -> label
+  val picksplit : path:label list -> key list -> (label * key list) list
+  val consistent : path:label list -> label -> query -> bool
+  val matches : query -> key -> bool
+  val max_leaf_entries : int
+  val subtree_lower_bound : (path:label list -> label -> query -> float) option
+  val key_distance : (query -> key -> float) option
+end
+
+module Make (S : STRATEGY) = struct
+  (* Page layout.
+     Leaf ('L'): u16 count at 1, u32 overflow+1 at 3, entries from 7:
+       u16 keylen, key bytes, u32 value.
+     Internal ('I'): u16 child count at 1, children from 3:
+       u16 lablen, label bytes, u32 child page. *)
+
+  type node =
+    | Leaf of { entries : (S.key * int) list; overflow : Page.id option }
+    | Internal of (S.label * Page.id) list
+
+  type t = {
+    bp : Buffer_pool.t;
+    mutable root : Page.id;
+    mutable entry_count : int;
+    mutable node_pages : int;
+  }
+
+  let write_node page node =
+    Page.zero page;
+    match node with
+    | Leaf { entries; overflow } ->
+        Page.set_byte page 0 (Char.code 'L');
+        Page.set_u16 page 1 (List.length entries);
+        Page.set_u32 page 3 (match overflow with None -> 0 | Some id -> id + 1);
+        let pos = ref 7 in
+        List.iter
+          (fun (key, value) ->
+            let kb = S.encode_key key in
+            Page.set_u16 page !pos (String.length kb);
+            Page.set_bytes page ~pos:(!pos + 2) kb;
+            Page.set_u32 page (!pos + 2 + String.length kb) value;
+            pos := !pos + 6 + String.length kb)
+          entries
+    | Internal children ->
+        Page.set_byte page 0 (Char.code 'I');
+        Page.set_u16 page 1 (List.length children);
+        let pos = ref 3 in
+        List.iter
+          (fun (label, child) ->
+            let lb = S.encode_label label in
+            Page.set_u16 page !pos (String.length lb);
+            Page.set_bytes page ~pos:(!pos + 2) lb;
+            Page.set_u32 page (!pos + 2 + String.length lb) child;
+            pos := !pos + 6 + String.length lb)
+          children
+
+  let read_node page =
+    match Char.chr (Page.get_byte page 0) with
+    | 'L' ->
+        let count = Page.get_u16 page 1 in
+        let overflow = match Page.get_u32 page 3 with 0 -> None | n -> Some (n - 1) in
+        let pos = ref 7 in
+        let entries =
+          List.init count (fun _ ->
+              let klen = Page.get_u16 page !pos in
+              let key = S.decode_key (Page.get_bytes page ~pos:(!pos + 2) ~len:klen) in
+              let value = Page.get_u32 page (!pos + 2 + klen) in
+              pos := !pos + 6 + klen;
+              (key, value))
+        in
+        Leaf { entries; overflow }
+    | 'I' ->
+        let count = Page.get_u16 page 1 in
+        let pos = ref 3 in
+        let children =
+          List.init count (fun _ ->
+              let llen = Page.get_u16 page !pos in
+              let label = S.decode_label (Page.get_bytes page ~pos:(!pos + 2) ~len:llen) in
+              let child = Page.get_u32 page (!pos + 2 + llen) in
+              pos := !pos + 6 + llen;
+              (label, child))
+        in
+        Internal children
+    | c -> invalid_arg (Printf.sprintf "Spgist: corrupt node tag %C" c)
+
+  let node_bytes = function
+    | Leaf { entries; _ } ->
+        List.fold_left
+          (fun acc (k, _) -> acc + 6 + String.length (S.encode_key k))
+          7 entries
+    | Internal children ->
+        List.fold_left
+          (fun acc (l, _) -> acc + 6 + String.length (S.encode_label l))
+          3 children
+
+  let load t id = Buffer_pool.with_page t.bp id read_node
+  let store t id node = Buffer_pool.with_page_mut t.bp id (fun p -> write_node p node)
+
+  let alloc_node t node =
+    let id = Buffer_pool.alloc_page t.bp in
+    t.node_pages <- t.node_pages + 1;
+    store t id node;
+    id
+
+  let create bp =
+    let t = { bp; root = 0; entry_count = 0; node_pages = 0 } in
+    t.root <- alloc_node t (Leaf { entries = []; overflow = None });
+    t
+
+  let page_capacity t = Bdbms_storage.Disk.page_size (Buffer_pool.disk t.bp)
+
+  (* Gather all entries of a leaf chain. *)
+  let rec chain_entries t id =
+    match load t id with
+    | Internal _ -> assert false
+    | Leaf { entries; overflow } -> (
+        match overflow with
+        | None -> entries
+        | Some next -> entries @ chain_entries t next)
+
+  (* Store entries as a leaf chain rooted at [id]. *)
+  let store_chain t id entries =
+    let cap = page_capacity t in
+    let fits es = node_bytes (Leaf { entries = es; overflow = None }) <= cap in
+    let chunk es =
+      (* largest prefix of [es] that fits in one page *)
+      let rec take acc rest =
+        match rest with
+        | [] -> (List.rev acc, [])
+        | e :: rest' ->
+            if fits (e :: acc) then take (e :: acc) rest' else (List.rev acc, rest)
+      in
+      let here, rest = take [] es in
+      if here = [] && rest <> [] then
+        invalid_arg "Spgist: single entry exceeds page size";
+      (here, rest)
+    in
+    let rec go id entries =
+      let here, rest = chunk entries in
+      match rest with
+      | [] -> store t id (Leaf { entries = here; overflow = None })
+      | _ ->
+          let next = alloc_node t (Leaf { entries = []; overflow = None }) in
+          store t id (Leaf { entries = here; overflow = Some next });
+          go next rest
+    in
+    go id entries
+
+  (* Split an overfull leaf (by entry count) at [path]; may recurse when a
+     partition is itself overfull. *)
+  let rec split_leaf t id path entries =
+    let keys = List.map fst entries in
+    let groups = S.picksplit ~path keys in
+    match groups with
+    | [] | [ _ ] ->
+        (* cannot partition (identical keys): keep an overflow chain *)
+        store_chain t id entries
+    | _ ->
+        let find_group key =
+          (* assign each entry to the group its key landed in; the
+             strategy returns keys by identity of partition, so we re-run
+             choose for stable assignment *)
+          let existing = List.map fst groups in
+          S.choose ~path ~existing key
+        in
+        let buckets = Hashtbl.create 8 in
+        let order = ref [] in
+        List.iter
+          (fun ((key, _) as entry) ->
+            let label = find_group key in
+            let lb = S.encode_label label in
+            (match Hashtbl.find_opt buckets lb with
+            | Some (l, es) -> Hashtbl.replace buckets lb (l, entry :: es)
+            | None ->
+                Hashtbl.add buckets lb (label, [ entry ]);
+                order := lb :: !order))
+          entries;
+        let children =
+          List.rev_map
+            (fun lb ->
+              let label, es = Hashtbl.find buckets lb in
+              let es = List.rev es in
+              let child = alloc_node t (Leaf { entries = []; overflow = None }) in
+              if List.length es > S.max_leaf_entries then
+                split_leaf t child (path @ [ label ]) es
+              else store_chain t child es;
+              (label, child))
+            !order
+        in
+        store t id (Internal children)
+
+  let rec insert_rec t id path key value =
+    match load t id with
+    | Internal children ->
+        let existing = List.map fst children in
+        let label = S.choose ~path ~existing key in
+        (match List.find_opt (fun (l, _) -> S.label_equal l label) children with
+        | Some (l, child) -> insert_rec t child (path @ [ l ]) key value
+        | None ->
+            let child = alloc_node t (Leaf { entries = [ (key, value) ]; overflow = None }) in
+            store t id (Internal (children @ [ (label, child) ])))
+    | Leaf _ ->
+        let entries = chain_entries t id @ [ (key, value) ] in
+        if List.length entries > S.max_leaf_entries then split_leaf t id path entries
+        else store_chain t id entries
+
+  let insert t key value =
+    insert_rec t t.root [] key value;
+    t.entry_count <- t.entry_count + 1
+
+  let search t query =
+    let out = ref [] in
+    let rec go id path =
+      match load t id with
+      | Leaf _ ->
+          List.iter
+            (fun (key, value) -> if S.matches query key then out := (key, value) :: !out)
+            (chain_entries t id)
+      | Internal children ->
+          List.iter
+            (fun (label, child) ->
+              if S.consistent ~path label query then go child (path @ [ label ]))
+            children
+    in
+    go t.root [];
+    List.rev !out
+
+  module Pq = struct
+    type 'a t = Empty | Node of float * 'a * 'a t list
+
+    let empty = Empty
+
+    let merge a b =
+      match (a, b) with
+      | Empty, x | x, Empty -> x
+      | Node (pa, va, ca), Node (pb, vb, cb) ->
+          if pa <= pb then Node (pa, va, b :: ca) else Node (pb, vb, a :: cb)
+
+    let insert h p v = merge h (Node (p, v, []))
+
+    let rec merge_pairs = function
+      | [] -> Empty
+      | [ x ] -> x
+      | a :: b :: rest -> merge (merge a b) (merge_pairs rest)
+
+    let pop = function
+      | Empty -> None
+      | Node (p, v, children) -> Some (p, v, merge_pairs children)
+  end
+
+  type knn_item = Node_item of Page.id * S.label list | Entry_item of S.key * int
+
+  let nearest t query ~k =
+    let lower_bound =
+      match S.subtree_lower_bound with
+      | Some f -> f
+      | None -> invalid_arg "Spgist.nearest: strategy has no distance"
+    in
+    let key_distance =
+      match S.key_distance with
+      | Some f -> f
+      | None -> invalid_arg "Spgist.nearest: strategy has no key distance"
+    in
+    if k <= 0 then []
+    else begin
+      let heap = ref (Pq.insert Pq.empty 0.0 (Node_item (t.root, []))) in
+      let results = ref [] in
+      let count = ref 0 in
+      let finished = ref false in
+      while (not !finished) && !count < k do
+        match Pq.pop !heap with
+        | None -> finished := true
+        | Some (dist, item, rest) -> (
+            heap := rest;
+            match item with
+            | Entry_item (key, value) ->
+                results := (key, value, dist) :: !results;
+                incr count
+            | Node_item (id, path) -> (
+                match load t id with
+                | Leaf _ ->
+                    List.iter
+                      (fun (key, value) ->
+                        heap := Pq.insert !heap (key_distance query key) (Entry_item (key, value)))
+                      (chain_entries t id)
+                | Internal children ->
+                    List.iter
+                      (fun (label, child) ->
+                        let bound = lower_bound ~path label query in
+                        heap := Pq.insert !heap bound (Node_item (child, path @ [ label ])))
+                      children))
+      done;
+      List.rev !results
+    end
+
+  let entry_count t = t.entry_count
+  let node_pages t = t.node_pages
+
+  let max_depth t =
+    let rec go id depth =
+      match load t id with
+      | Leaf { overflow = None; _ } -> depth
+      | Leaf { overflow = Some next; _ } -> go next depth
+      | Internal children ->
+          List.fold_left (fun acc (_, child) -> max acc (go child (depth + 1))) depth children
+    in
+    go t.root 1
+end

@@ -1,0 +1,65 @@
+(** SP-GiST: an extensible indexing framework for space-partitioning trees.
+
+    Following Aref & Ilyas (the framework the paper integrates, Section
+    7.1), a concrete index is obtained by supplying a small strategy module
+    — [choose] (which partition does a key descend into), [picksplit] (how
+    an overfull bucket partitions into labelled children), and
+    [consistent] (can a partition contain a query match) — while the
+    framework owns node layout, paging, bucket overflow chains, traversal,
+    and best-first kNN.  {!Trie}, {!Kd_tree} and {!Quadtree} are the three
+    instantiations used by bdbms. *)
+
+module type STRATEGY = sig
+  type key
+  type query
+  type label
+  (** How an internal node partitions its space: one child per label. *)
+
+  val encode_key : key -> string
+  val decode_key : string -> key
+  val encode_label : label -> string
+  val decode_label : string -> label
+  val label_equal : label -> label -> bool
+
+  val choose : path:label list -> existing:label list -> key -> label
+  (** The label [key] descends into at a node reached via [path] whose
+      current children carry [existing] labels.  May return a label not in
+      [existing] (a new child is created). *)
+
+  val picksplit : path:label list -> key list -> (label * key list) list
+  (** Partition an overfull bucket.  Returning a single group signals
+      "cannot partition further" (identical keys); the framework then
+      keeps an overflow chain instead of recursing forever. *)
+
+  val consistent : path:label list -> label -> query -> bool
+  (** May the subtree reached via [path] then [label] contain a match? *)
+
+  val matches : query -> key -> bool
+
+  val max_leaf_entries : int
+  (** Bucket capacity before picksplit triggers. *)
+
+  val subtree_lower_bound : (path:label list -> label -> query -> float) option
+  (** For kNN: a lower bound on the distance from the query to anything in
+      the subtree.  [None] disables {!Make.nearest}. *)
+
+  val key_distance : (query -> key -> float) option
+end
+
+module Make (S : STRATEGY) : sig
+  type t
+
+  val create : Bdbms_storage.Buffer_pool.t -> t
+  val insert : t -> S.key -> int -> unit
+  val search : t -> S.query -> (S.key * int) list
+  (** All (key, value) entries matching the query, found by
+      consistent-guided traversal. *)
+
+  val nearest : t -> S.query -> k:int -> (S.key * int * float) list
+  (** Best-first k-nearest-neighbour search, closest first.
+      @raise Invalid_argument if the strategy provides no distance. *)
+
+  val entry_count : t -> int
+  val node_pages : t -> int
+  val max_depth : t -> int
+end

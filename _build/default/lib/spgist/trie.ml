@@ -1,0 +1,211 @@
+type query =
+  | Exact of string
+  | Prefix of string
+  | Regex of Regex_lite.t
+
+(* A path-compressed trie (the "path shrinking" of the SP-GiST trie
+   variants): edge labels are character chunks, not single characters, so
+   a long shared prefix costs one node instead of one per character.
+   Children of a node may have overlapping first characters transiently
+   (a new short chunk next to an older longer one); [consistent] checks
+   every compatible child, which keeps searches correct. *)
+module Strategy = struct
+  type key = string
+
+  type nonrec query = query
+
+  type label = Next of string | End
+
+  let encode_key k = k
+  let decode_key k = k
+
+  let encode_label = function Next c -> c | End -> ""
+  let decode_label s = if s = "" then End else Next s
+
+  let label_equal a b = a = b
+
+  let max_chunk = 16
+
+  let depth_of path =
+    List.fold_left
+      (fun acc l -> match l with Next c -> acc + String.length c | End -> acc)
+      0 path
+
+  let rem_of key depth = String.sub key depth (String.length key - depth)
+
+  let starts_with ~prefix s =
+    String.length s >= String.length prefix
+    && String.sub s 0 (String.length prefix) = prefix
+
+  let choose ~path ~existing key =
+    let depth = depth_of path in
+    if depth >= String.length key then End
+    else begin
+      let rem = rem_of key depth in
+      (* the longest existing chunk that prefixes the remainder *)
+      let best =
+        List.fold_left
+          (fun acc l ->
+            match l with
+            | End -> acc
+            | Next c ->
+                if starts_with ~prefix:c rem then
+                  match acc with
+                  | Some (Next c') when String.length c' >= String.length c -> acc
+                  | _ -> Some (Next c)
+                else acc)
+          None existing
+      in
+      match best with Some l -> l | None -> Next (String.make 1 rem.[0])
+    end
+
+  let common_prefix_len a b =
+    let n = min (String.length a) (String.length b) in
+    let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+    go 0
+
+  (* Partition keys at [depth] into labelled groups with path compression.
+     When every key shares the same first character, the shared chunk is
+     consumed and partitioning recurses one level deeper so that a split
+     always makes progress (labels are the chunk plus each sub-partition's
+     label); keys ending exactly at the chunk boundary become the chunk's
+     own group and terminate beneath it. *)
+  let rec partition depth keys =
+    let buckets = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun key ->
+        let tag = if depth >= String.length key then None else Some key.[depth] in
+        match Hashtbl.find_opt buckets tag with
+        | Some ks -> Hashtbl.replace buckets tag (key :: ks)
+        | None ->
+            Hashtbl.add buckets tag [ key ];
+            order := tag :: !order)
+      keys;
+    let groups =
+      List.rev_map
+        (fun tag -> (tag, List.rev (Hashtbl.find buckets tag)))
+        !order
+    in
+    match groups with
+    | [ (Some _, ks) ] -> begin
+        (* all keys continue with the same character: consume the longest
+           common prefix chunk, then recurse past it *)
+        let chunk =
+          match ks with
+          | [] -> assert false
+          | first :: rest ->
+              let rem0 = rem_of first depth in
+              let len =
+                List.fold_left
+                  (fun acc k -> min acc (common_prefix_len rem0 (rem_of k depth)))
+                  (String.length rem0) rest
+              in
+              String.sub rem0 0 (max 1 (min len max_chunk))
+        in
+        let below = depth + String.length chunk in
+        let all_exhausted = List.for_all (fun k -> String.length k = below) ks in
+        if all_exhausted || String.length chunk >= max_chunk then
+          [ (Next chunk, ks) ] (* identical keys (or chunk cap): no progress *)
+        else
+          partition below ks
+          |> List.map (fun (label, group) ->
+                 match label with
+                 | End -> (Next chunk, group)
+                 | Next c when String.length chunk + String.length c <= max_chunk ->
+                     (Next (chunk ^ c), group)
+                 | Next _ -> (Next chunk, group))
+      end
+    | _ ->
+        List.map
+          (fun (tag, ks) ->
+            match tag with
+            | None -> (End, ks)
+            | Some _ ->
+                let chunk =
+                  match ks with
+                  | [] -> assert false
+                  | first :: rest ->
+                      let rem0 = rem_of first depth in
+                      let len =
+                        List.fold_left
+                          (fun acc k ->
+                            min acc (common_prefix_len rem0 (rem_of k depth)))
+                          (String.length rem0) rest
+                      in
+                      String.sub rem0 0 (max 1 (min len max_chunk))
+                in
+                (Next chunk, ks))
+          groups
+
+  let picksplit ~path keys =
+    (* merge duplicate labels produced by the recursive case (e.g. several
+       sub-groups capped back to the same chunk) *)
+    let groups = partition (depth_of path) keys in
+    let merged = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun (label, ks) ->
+        let k = encode_label label in
+        match Hashtbl.find_opt merged k with
+        | Some (l, acc) -> Hashtbl.replace merged k (l, acc @ ks)
+        | None ->
+            Hashtbl.add merged k (label, ks);
+            order := k :: !order)
+      groups;
+    List.rev_map (fun k -> Hashtbl.find merged k) !order
+
+  let path_string path =
+    String.concat ""
+      (List.map (function Next c -> c | End -> "") path)
+
+  let consistent ~path label query =
+    let base = path_string path in
+    match (query, label) with
+    | Exact s, End -> s = base
+    | Exact s, Next c -> starts_with ~prefix:(base ^ c) s
+    | Prefix p, End -> starts_with ~prefix:p base
+    | Prefix p, Next c ->
+        let full = base ^ c in
+        starts_with ~prefix:p full || starts_with ~prefix:full p
+    | Regex r, End -> Regex_lite.matches r base
+    | Regex r, Next c ->
+        (* every character added along the chunk must stay feasible *)
+        let rec go i =
+          if i > String.length c then true
+          else if Regex_lite.feasible_prefix r (base ^ String.sub c 0 i) then go (i + 1)
+          else false
+        in
+        go 1
+
+  let matches query key =
+    match query with
+    | Exact s -> String.equal key s
+    | Prefix p -> starts_with ~prefix:p key
+    | Regex r -> Regex_lite.matches r key
+
+  let max_leaf_entries = 48
+
+  let subtree_lower_bound = None
+  let key_distance = None
+end
+
+module Tree = Spgist.Make (Strategy)
+
+type t = Tree.t
+
+let create = Tree.create
+let insert t key value = Tree.insert t key value
+let search = Tree.search
+
+let exact t s = List.map snd (search t (Exact s))
+let prefix t p = search t (Prefix p)
+
+let regex t pattern =
+  match Regex_lite.compile pattern with
+  | Ok r -> Ok (search t (Regex r))
+  | Error e -> Error e
+
+let entry_count = Tree.entry_count
+let node_pages = Tree.node_pages
+let max_depth = Tree.max_depth

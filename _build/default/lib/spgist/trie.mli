@@ -1,0 +1,26 @@
+(** Disk-based trie instantiated through the SP-GiST framework.
+
+    Keys are strings (gene names, sequence fragments, identifiers).  One
+    trie level consumes one character; keys that end at a node live under
+    a dedicated end-of-key partition.  Supports the three search
+    operations the paper's experiments run against the B+-tree: exact
+    match, prefix match, and regular-expression match (Section 7.1). *)
+
+type query =
+  | Exact of string
+  | Prefix of string
+  | Regex of Regex_lite.t
+
+type t
+
+val create : Bdbms_storage.Buffer_pool.t -> t
+val insert : t -> string -> int -> unit
+val search : t -> query -> (string * int) list
+val exact : t -> string -> int list
+val prefix : t -> string -> (string * int) list
+val regex : t -> string -> ((string * int) list, string) result
+(** Compiles the pattern, then searches.  [Error] on a bad pattern. *)
+
+val entry_count : t -> int
+val node_pages : t -> int
+val max_depth : t -> int

@@ -1,0 +1,1 @@
+lib/storage/stats.mli: Format

@@ -1,0 +1,148 @@
+type policy = Lru | Clock
+
+type frame = {
+  page_id : Page.id;
+  page : Page.t;
+  mutable dirty : bool;
+  mutable referenced : bool; (* for Clock *)
+  (* intrusive doubly-linked LRU list *)
+  mutable prev : frame option;
+  mutable next : frame option;
+}
+
+type t = {
+  policy : policy;
+  cap : int;
+  disk : Disk.t;
+  frames : (Page.id, frame) Hashtbl.t;
+  (* LRU list: head = most recently used, tail = eviction victim *)
+  mutable head : frame option;
+  mutable tail : frame option;
+  (* Clock: FIFO queue with lazy revalidation *)
+  clock_queue : Page.id Queue.t;
+}
+
+let create ?(policy = Lru) ~capacity disk =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be >= 1";
+  {
+    policy;
+    cap = capacity;
+    disk;
+    frames = Hashtbl.create capacity;
+    head = None;
+    tail = None;
+    clock_queue = Queue.create ();
+  }
+
+let capacity t = t.cap
+let disk t = t.disk
+let resident t = Hashtbl.length t.frames
+
+(* ------------------------------------------------------------- LRU list *)
+
+let is_frame opt frame = match opt with Some f -> f == frame | None -> false
+
+let list_unlink t frame =
+  (match frame.prev with
+  | Some p -> p.next <- frame.next
+  | None -> if is_frame t.head frame then t.head <- frame.next);
+  (match frame.next with
+  | Some n -> n.prev <- frame.prev
+  | None -> if is_frame t.tail frame then t.tail <- frame.prev);
+  frame.prev <- None;
+  frame.next <- None
+
+let list_push_front t frame =
+  frame.next <- t.head;
+  frame.prev <- None;
+  (match t.head with Some h -> h.prev <- Some frame | None -> ());
+  t.head <- Some frame;
+  if t.tail = None then t.tail <- Some frame
+
+let touch t frame =
+  frame.referenced <- true;
+  if t.policy = Lru && not (is_frame t.head frame) then begin
+    list_unlink t frame;
+    list_push_front t frame
+  end
+
+(* ------------------------------------------------------------- eviction *)
+
+let write_back t frame =
+  if frame.dirty then begin
+    Disk.write t.disk frame.page_id frame.page;
+    frame.dirty <- false
+  end
+
+let drop_frame t frame =
+  write_back t frame;
+  if t.policy = Lru then list_unlink t frame;
+  Hashtbl.remove t.frames frame.page_id
+
+let evict_lru t = match t.tail with None -> () | Some victim -> drop_frame t victim
+
+let evict_clock t =
+  (* second chance over a FIFO queue with lazy deletion of stale entries *)
+  let budget = ref (2 * (Queue.length t.clock_queue + 1)) in
+  let victim = ref None in
+  while !victim = None && !budget > 0 && not (Queue.is_empty t.clock_queue) do
+    decr budget;
+    let id = Queue.pop t.clock_queue in
+    match Hashtbl.find_opt t.frames id with
+    | None -> () (* stale: frame already evicted *)
+    | Some f ->
+        if f.referenced then begin
+          f.referenced <- false;
+          Queue.push id t.clock_queue
+        end
+        else victim := Some f
+  done;
+  match !victim with
+  | Some f -> drop_frame t f
+  | None -> (
+      (* everything referenced twice around: fall back to any frame *)
+      match Hashtbl.fold (fun _ f _ -> Some f) t.frames None with
+      | Some f -> drop_frame t f
+      | None -> ())
+
+let make_room t =
+  if Hashtbl.length t.frames >= t.cap then
+    match t.policy with Lru -> evict_lru t | Clock -> evict_clock t
+
+(* --------------------------------------------------------------- access *)
+
+let install t page_id page =
+  make_room t;
+  let frame =
+    { page_id; page; dirty = false; referenced = true; prev = None; next = None }
+  in
+  Hashtbl.replace t.frames page_id frame;
+  (match t.policy with
+  | Lru -> list_push_front t frame
+  | Clock -> Queue.push page_id t.clock_queue);
+  frame
+
+let fetch t page_id =
+  match Hashtbl.find_opt t.frames page_id with
+  | Some frame ->
+      Stats.record_hit (Disk.stats t.disk);
+      touch t frame;
+      frame
+  | None -> install t page_id (Disk.read t.disk page_id)
+
+let with_page t page_id f =
+  let frame = fetch t page_id in
+  f frame.page
+
+let with_page_mut t page_id f =
+  let frame = fetch t page_id in
+  frame.dirty <- true;
+  f frame.page
+
+let alloc_page t =
+  let id = Disk.alloc t.disk in
+  let frame = install t id (Page.create ~size:(Disk.page_size t.disk) ()) in
+  ignore frame;
+  id
+
+let flush_all t = Hashtbl.iter (fun _ f -> write_back t f) t.frames

@@ -1,0 +1,33 @@
+(** Buffer pool with pluggable eviction.
+
+    Sits between all access methods and the {!Disk.t}.  A page access that
+    hits the pool is counted as a hit (no disk I/O); a miss triggers a disk
+    read and possibly a dirty-page write-back.  LRU and Clock (second
+    chance) eviction are provided; the ablation bench compares them. *)
+
+type policy = Lru | Clock
+
+type t
+
+val create : ?policy:policy -> capacity:int -> Disk.t -> t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : t -> int
+val disk : t -> Disk.t
+
+val with_page : t -> Page.id -> (Page.t -> 'a) -> 'a
+(** Run [f] on the cached page.  Mutations made by [f] are NOT marked dirty;
+    use {!with_page_mut} for writes. *)
+
+val with_page_mut : t -> Page.id -> (Page.t -> 'a) -> 'a
+(** Like {!with_page} but marks the page dirty so it is written back on
+    eviction or {!flush_all}. *)
+
+val alloc_page : t -> Page.id
+(** Allocate a fresh page on the disk and cache it. *)
+
+val flush_all : t -> unit
+(** Write back every dirty cached page. *)
+
+val resident : t -> int
+(** Number of pages currently cached. *)

@@ -1,0 +1,48 @@
+type t = {
+  page_size : int;
+  mutable pages : Page.t array;
+  mutable count : int;
+  stats : Stats.t;
+}
+
+let create ?(page_size = Page.default_size) () =
+  { page_size; pages = Array.make 64 (Page.create ~size:page_size ()); count = 0;
+    stats = Stats.create () }
+
+let page_size t = t.page_size
+let stats t = t.stats
+let page_count t = t.count
+
+let ensure_capacity t n =
+  if n > Array.length t.pages then begin
+    let cap = max n (2 * Array.length t.pages) in
+    let pages = Array.make cap (Page.create ~size:t.page_size ()) in
+    Array.blit t.pages 0 pages 0 t.count;
+    t.pages <- pages
+  end
+
+let alloc t =
+  ensure_capacity t (t.count + 1);
+  let id = t.count in
+  t.pages.(id) <- Page.create ~size:t.page_size ();
+  t.count <- t.count + 1;
+  Stats.record_alloc t.stats;
+  Stats.record_write t.stats;
+  id
+
+let check t id =
+  if id < 0 || id >= t.count then
+    invalid_arg (Printf.sprintf "Disk: page %d not allocated (count=%d)" id t.count)
+
+let read t id =
+  check t id;
+  Stats.record_read t.stats;
+  Page.copy t.pages.(id)
+
+let write t id page =
+  check t id;
+  if Page.size page <> t.page_size then invalid_arg "Disk.write: page size mismatch";
+  Stats.record_write t.stats;
+  t.pages.(id) <- Page.copy page
+
+let used_bytes t = t.count * t.page_size

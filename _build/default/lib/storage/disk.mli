@@ -1,0 +1,28 @@
+(** A simulated page store.
+
+    Stands in for the physical disk of the authors' PostgreSQL testbed: a
+    growable array of fixed-size pages where every read, write, and
+    allocation is counted in a {!Stats.t}.  All index and heap-file claims
+    in the benchmarks are measured as page accesses against this store
+    (see DESIGN.md §2 for why this substitution is faithful). *)
+
+type t
+
+val create : ?page_size:int -> unit -> t
+val page_size : t -> int
+val stats : t -> Stats.t
+val page_count : t -> int
+
+val alloc : t -> Page.id
+(** Allocate a fresh zeroed page and return its id (counted as an alloc and
+    a write). *)
+
+val read : t -> Page.id -> Page.t
+(** A copy of the page's current contents (counted as a read).
+    @raise Invalid_argument on an unallocated id. *)
+
+val write : t -> Page.id -> Page.t -> unit
+(** Store the page contents (counted as a write). *)
+
+val used_bytes : t -> int
+(** [page_count * page_size]: allocated storage footprint. *)

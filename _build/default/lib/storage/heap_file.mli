@@ -1,0 +1,51 @@
+(** Heap files of variable-length records over slotted pages.
+
+    The base storage for user tables and annotation tables.  Records are
+    opaque byte strings (the relation layer provides the tuple codec).
+    Each page holds a slot directory growing up from the header and record
+    payloads growing down from the end; record ids are (page, slot) pairs
+    that remain stable across in-place updates. *)
+
+type t
+
+type rid = { page : Page.id; slot : int }
+(** Stable record identifier. *)
+
+val create : Buffer_pool.t -> t
+(** A new empty heap file (allocates its first page). *)
+
+val buffer_pool : t -> Buffer_pool.t
+
+val max_record_size : t -> int
+(** Largest insertable record for this file's page size. *)
+
+val insert : t -> string -> rid
+(** Append a record.  @raise Invalid_argument if larger than
+    {!max_record_size}. *)
+
+val get : t -> rid -> string option
+(** [None] if the record was deleted. *)
+
+val delete : t -> rid -> bool
+(** [true] if a live record was deleted. *)
+
+val update : t -> rid -> string -> rid
+(** Replace a record's payload.  Returns the (possibly new) rid: the update
+    happens in place when the new payload fits in the page's free space,
+    otherwise the record moves and the old rid is tombstoned.
+    @raise Not_found if the rid is dead. *)
+
+val iter : t -> (rid -> string -> unit) -> unit
+(** All live records in page/slot order. *)
+
+val fold : t -> init:'a -> f:('a -> rid -> string -> 'a) -> 'a
+
+val record_count : t -> int
+(** Number of live records. *)
+
+val page_count : t -> int
+(** Pages owned by this file. *)
+
+val pp_rid : Format.formatter -> rid -> unit
+val rid_equal : rid -> rid -> bool
+val rid_compare : rid -> rid -> int

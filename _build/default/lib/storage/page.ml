@@ -1,0 +1,35 @@
+type t = Bytes.t
+type id = int
+
+let default_size = 4096
+
+let create ?(size = default_size) () = Bytes.make size '\000'
+let size = Bytes.length
+let copy = Bytes.copy
+
+let get_byte t i = Char.code (Bytes.get t i)
+let set_byte t i v = Bytes.set t i (Char.chr (v land 0xff))
+
+let get_u16 t i = get_byte t i lor (get_byte t (i + 1) lsl 8)
+
+let set_u16 t i v =
+  set_byte t i (v land 0xff);
+  set_byte t (i + 1) ((v lsr 8) land 0xff)
+
+let get_u32 t i =
+  get_byte t i
+  lor (get_byte t (i + 1) lsl 8)
+  lor (get_byte t (i + 2) lsl 16)
+  lor (get_byte t (i + 3) lsl 24)
+
+let set_u32 t i v =
+  set_byte t i (v land 0xff);
+  set_byte t (i + 1) ((v lsr 8) land 0xff);
+  set_byte t (i + 2) ((v lsr 16) land 0xff);
+  set_byte t (i + 3) ((v lsr 24) land 0xff)
+
+let get_bytes t ~pos ~len = Bytes.sub_string t pos len
+let set_bytes t ~pos s = Bytes.blit_string s 0 t pos (String.length s)
+
+let blit ~src ~src_pos ~dst ~dst_pos ~len = Bytes.blit src src_pos dst dst_pos len
+let zero t = Bytes.fill t 0 (Bytes.length t) '\000'

@@ -1,0 +1,38 @@
+type snapshot = { reads : int; writes : int; allocs : int; hits : int }
+
+type t = {
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable n_allocs : int;
+  mutable n_hits : int;
+}
+
+let create () = { n_reads = 0; n_writes = 0; n_allocs = 0; n_hits = 0 }
+
+let record_read t = t.n_reads <- t.n_reads + 1
+let record_write t = t.n_writes <- t.n_writes + 1
+let record_alloc t = t.n_allocs <- t.n_allocs + 1
+let record_hit t = t.n_hits <- t.n_hits + 1
+
+let snapshot t =
+  { reads = t.n_reads; writes = t.n_writes; allocs = t.n_allocs; hits = t.n_hits }
+
+let reset t =
+  t.n_reads <- 0;
+  t.n_writes <- 0;
+  t.n_allocs <- 0;
+  t.n_hits <- 0
+
+let diff ~after ~before =
+  {
+    reads = after.reads - before.reads;
+    writes = after.writes - before.writes;
+    allocs = after.allocs - before.allocs;
+    hits = after.hits - before.hits;
+  }
+
+let total_io s = s.reads + s.writes
+
+let pp fmt s =
+  Format.fprintf fmt "reads=%d writes=%d allocs=%d hits=%d" s.reads s.writes
+    s.allocs s.hits

@@ -1,0 +1,35 @@
+(** I/O and storage accounting.
+
+    The paper's quantitative claims (Section 7.2: storage reduction, I/O
+    reduction for insertion, search I/O parity) are statements about page
+    accesses and bytes, not wall-clock time on specific hardware.  Every
+    storage-touching component threads one of these counter groups so the
+    benchmarks can report exact page-level I/O counts. *)
+
+type t
+
+val create : unit -> t
+
+val record_read : t -> unit
+val record_write : t -> unit
+val record_alloc : t -> unit
+val record_hit : t -> unit
+(** A logical page access satisfied by the buffer pool without disk I/O. *)
+
+type snapshot = {
+  reads : int;      (** physical page reads *)
+  writes : int;     (** physical page writes *)
+  allocs : int;     (** pages allocated *)
+  hits : int;       (** buffer-pool hits *)
+}
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val diff : after:snapshot -> before:snapshot -> snapshot
+(** Component-wise subtraction, for measuring one operation. *)
+
+val total_io : snapshot -> int
+(** [reads + writes]. *)
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,1 @@
+lib/util/bwt.ml: Array Buffer Bytes Char Fun Hashtbl List Result String

@@ -1,0 +1,1 @@
+lib/util/rect.ml: Format Hashtbl List Set

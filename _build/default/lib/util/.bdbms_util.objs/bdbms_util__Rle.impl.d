@@ -1,0 +1,1 @@
+lib/util/rle.ml: Array Buffer Char Format List String

@@ -1,0 +1,1 @@
+lib/util/xml_lite.mli:

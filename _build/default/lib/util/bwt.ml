@@ -1,0 +1,280 @@
+type transformed = { last_column : string; primary : int }
+
+let transform s =
+  let n = String.length s in
+  if n = 0 then { last_column = ""; primary = 0 }
+  else begin
+    let rotations = Array.init n Fun.id in
+    (* compare rotations i and j lexicographically *)
+    let cmp i j =
+      if i = j then 0
+      else begin
+        let rec go k =
+          if k >= n then 0
+          else
+            let c = Char.compare s.[(i + k) mod n] s.[(j + k) mod n] in
+            if c <> 0 then c else go (k + 1)
+        in
+        go 0
+      end
+    in
+    Array.sort cmp rotations;
+    let primary = ref 0 in
+    Array.iteri (fun row start -> if start = 0 then primary := row) rotations;
+    let last_column =
+      String.init n (fun row -> s.[(rotations.(row) + n - 1) mod n])
+    in
+    { last_column; primary = !primary }
+  end
+
+let inverse { last_column; primary } =
+  let n = String.length last_column in
+  if n = 0 then ""
+  else begin
+    (* LF mapping: for each position in the last column, where its
+       character goes in the first column *)
+    let counts = Array.make 256 0 in
+    String.iter (fun c -> counts.(Char.code c) <- counts.(Char.code c) + 1) last_column;
+    let firsts = Array.make 256 0 in
+    let acc = ref 0 in
+    for c = 0 to 255 do
+      firsts.(c) <- !acc;
+      acc := !acc + counts.(c)
+    done;
+    let seen = Array.make 256 0 in
+    let lf = Array.make n 0 in
+    String.iteri
+      (fun i c ->
+        let code = Char.code c in
+        lf.(i) <- firsts.(code) + seen.(code);
+        seen.(code) <- seen.(code) + 1)
+      last_column;
+    (* walk backwards from the primary row *)
+    let out = Bytes.make n ' ' in
+    let row = ref primary in
+    for k = n - 1 downto 0 do
+      Bytes.set out k last_column.[!row];
+      row := lf.(!row)
+    done;
+    Bytes.to_string out
+  end
+
+let mtf_encode s =
+  let table = Array.init 256 Char.chr in
+  String.map
+    (fun c ->
+      let rec find i = if table.(i) = c then i else find (i + 1) in
+      let idx = find 0 in
+      (* move to front *)
+      for j = idx downto 1 do
+        table.(j) <- table.(j - 1)
+      done;
+      table.(0) <- c;
+      Char.chr idx)
+    s
+
+let mtf_decode s =
+  let table = Array.init 256 Char.chr in
+  String.map
+    (fun ic ->
+      let idx = Char.code ic in
+      let c = table.(idx) in
+      for j = idx downto 1 do
+        table.(j) <- table.(j - 1)
+      done;
+      table.(0) <- c;
+      c)
+    s
+
+let add_u32 buf n =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((n lsr (8 * i)) land 0xff))
+  done
+
+let read_u32 s pos =
+  Char.code s.[pos]
+  lor (Char.code s.[pos + 1] lsl 8)
+  lor (Char.code s.[pos + 2] lsl 16)
+  lor (Char.code s.[pos + 3] lsl 24)
+
+(* ---------------------------------------------------------------------
+   Order-0 canonical Huffman coder: the entropy stage of the pipeline.
+   Header: 256 code lengths (one byte each) + u32 symbol count, then the
+   padded bitstream. *)
+
+module Huffman = struct
+  let code_lengths freqs =
+    (* standard two-least-merge; alphabet is tiny so O(n^2) is fine *)
+    let nodes = ref [] in
+    Array.iteri (fun sym f -> if f > 0 then nodes := (f, `Leaf sym) :: !nodes) freqs;
+    let lengths = Array.make 256 0 in
+    (match !nodes with
+    | [] -> ()
+    | [ (_, `Leaf sym) ] -> lengths.(sym) <- 1
+    | _ ->
+        let rec build nodes =
+          match List.sort (fun (fa, _) (fb, _) -> compare fa fb) nodes with
+          | (fa, ta) :: (fb, tb) :: rest -> build ((fa + fb, `Node (ta, tb)) :: rest)
+          | [ (_, root) ] ->
+              let rec assign depth = function
+                | `Leaf sym -> lengths.(sym) <- depth
+                | `Node (a, b) ->
+                    assign (depth + 1) a;
+                    assign (depth + 1) b
+              in
+              assign 0 root
+          | [] -> ()
+        in
+        build !nodes);
+    lengths
+
+  (* canonical codes from lengths: symbols sorted by (length, symbol) *)
+  let canonical_codes lengths =
+    let symbols =
+      List.init 256 Fun.id
+      |> List.filter (fun s -> lengths.(s) > 0)
+      |> List.sort (fun a b ->
+             compare (lengths.(a), a) (lengths.(b), b))
+    in
+    let codes = Array.make 256 (0, 0) in
+    let code = ref 0 and prev_len = ref 0 in
+    List.iter
+      (fun sym ->
+        let len = lengths.(sym) in
+        code := !code lsl (len - !prev_len);
+        codes.(sym) <- (!code, len);
+        incr code;
+        prev_len := len)
+      symbols;
+    codes
+
+  let encode s =
+    let freqs = Array.make 256 0 in
+    String.iter (fun c -> freqs.(Char.code c) <- freqs.(Char.code c) + 1) s;
+    let lengths = code_lengths freqs in
+    let codes = canonical_codes lengths in
+    let buf = Buffer.create (String.length s / 2) in
+    Array.iter (fun l -> Buffer.add_char buf (Char.chr (min 255 l))) lengths;
+    add_u32 buf (String.length s);
+    (* bitstream, MSB first *)
+    let acc = ref 0 and nbits = ref 0 in
+    String.iter
+      (fun c ->
+        let code, len = codes.(Char.code c) in
+        for i = len - 1 downto 0 do
+          acc := (!acc lsl 1) lor ((code lsr i) land 1);
+          incr nbits;
+          if !nbits = 8 then begin
+            Buffer.add_char buf (Char.chr !acc);
+            acc := 0;
+            nbits := 0
+          end
+        done)
+      s;
+    if !nbits > 0 then Buffer.add_char buf (Char.chr (!acc lsl (8 - !nbits)));
+    Buffer.contents buf
+
+  let decode packed =
+    if String.length packed < 260 then Error "truncated Huffman payload"
+    else begin
+      let lengths = Array.init 256 (fun i -> Char.code packed.[i]) in
+      let n = read_u32 packed 256 in
+      let codes = canonical_codes lengths in
+      (* decode table: (len, code) -> symbol *)
+      let table = Hashtbl.create 256 in
+      Array.iteri
+        (fun sym (code, len) -> if lengths.(sym) > 0 then Hashtbl.replace table (len, code) sym)
+        codes;
+      let out = Buffer.create n in
+      let pos = ref 260 and bit = ref 7 in
+      let code = ref 0 and len = ref 0 in
+      let ok = ref true in
+      while Buffer.length out < n && !ok do
+        if !pos >= String.length packed then ok := false
+        else begin
+          let b = (Char.code packed.[!pos] lsr !bit) land 1 in
+          code := (!code lsl 1) lor b;
+          incr len;
+          (if !bit = 0 then begin
+             bit := 7;
+             incr pos
+           end
+           else decr bit);
+          match Hashtbl.find_opt table (!len, !code) with
+          | Some sym ->
+              Buffer.add_char out (Char.chr sym);
+              code := 0;
+              len := 0
+          | None -> if !len > 64 then ok := false
+        end
+      done;
+      if !ok then Ok (Buffer.contents out) else Error "corrupt Huffman payload"
+    end
+end
+
+(* byte-level RLE: runs encoded as (byte, count<=255) pairs *)
+let rle_bytes s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    let j = ref !i in
+    while !j < n && s.[!j] = c && !j - !i < 254 do
+      incr j
+    done;
+    Buffer.add_char buf c;
+    Buffer.add_char buf (Char.chr (!j - !i));
+    i := !j
+  done;
+  Buffer.contents buf
+
+let unrle_bytes s =
+  if String.length s mod 2 <> 0 then Error "corrupt byte-RLE payload"
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let i = ref 0 in
+    while !i < String.length s do
+      Buffer.add_string buf (String.make (Char.code s.[!i + 1]) s.[!i]);
+      i := !i + 2
+    done;
+    Ok (Buffer.contents buf)
+  end
+
+let compress s =
+  if String.contains s '\000' then
+    invalid_arg "Bwt.compress: input must not contain NUL bytes";
+  (* the sentinel makes the rotation sort unambiguous for periodic inputs *)
+  let { last_column; primary } = transform (s ^ "\000") in
+  let payload = Huffman.encode (rle_bytes (mtf_encode last_column)) in
+  let buf = Buffer.create (String.length payload + 8) in
+  add_u32 buf (String.length s);
+  add_u32 buf primary;
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let decompress packed =
+  if String.length packed < 8 then Error "truncated BWT payload"
+  else begin
+    let n = read_u32 packed 0 in
+    let primary = read_u32 packed 4 in
+    let payload = String.sub packed 8 (String.length packed - 8) in
+    let ( let* ) = Result.bind in
+    let* rle = Huffman.decode payload in
+    match unrle_bytes rle with
+    | Error _ as e -> e
+    | Ok mtf ->
+        if String.length mtf <> n + 1 then Error "BWT length mismatch"
+        else begin
+          let with_sentinel = inverse { last_column = mtf_decode mtf; primary } in
+          if String.length with_sentinel = n + 1 && with_sentinel.[n] = '\000' then
+            Ok (String.sub with_sentinel 0 n)
+          else Error "BWT sentinel mismatch"
+        end
+  end
+
+let compressed_size s = String.length (compress s)
+
+let ratio s =
+  if s = "" then 1.0
+  else float_of_int (String.length s) /. float_of_int (compressed_size s)

@@ -1,0 +1,36 @@
+(** Burrows–Wheeler compression pipeline.
+
+    Section 7.2's future work: "Compression techniques like gzip and
+    Burrows-Wheeler Transform (BWT) can be more effective in compressing
+    the other kinds of data" than RLE.  This module implements the classic
+    BWT → move-to-front → byte-RLE pipeline so the benchmarks can compare
+    compressibility of DNA (no long runs: RLE useless, BWT effective)
+    against secondary structures (long runs: RLE already optimal). *)
+
+type transformed = { last_column : string; primary : int }
+(** The BWT of a string: the last column of the sorted rotation matrix and
+    the index of the original string's row. *)
+
+val transform : string -> transformed
+(** O(n² log n) rotation sort — intended for sequence-sized inputs. *)
+
+val inverse : transformed -> string
+
+val mtf_encode : string -> string
+(** Move-to-front over the byte alphabet. *)
+
+val mtf_decode : string -> string
+
+val compress : string -> string
+(** BWT (with a NUL sentinel, so periodic inputs round-trip) → MTF →
+    byte-level RLE → canonical Huffman, with a self-describing header.
+    [decompress (compress s) = s].
+    @raise Invalid_argument if the input contains NUL bytes. *)
+
+val decompress : string -> (string, string) result
+
+val compressed_size : string -> int
+(** [String.length (compress s)]. *)
+
+val ratio : string -> float
+(** Input length / compressed length (>= 1 when compression helps). *)

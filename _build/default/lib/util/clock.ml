@@ -1,0 +1,13 @@
+type time = int
+type t = { mutable current : time }
+
+let create () = { current = 1 }
+let now t = t.current
+
+let tick t =
+  t.current <- t.current + 1;
+  t.current
+
+let advance_to t time = if time > t.current then t.current <- time
+
+let pp_time fmt time = Format.fprintf fmt "t%d" time

@@ -1,0 +1,24 @@
+(** Logical timestamps.
+
+    Annotations carry the timestamp assigned when first added (Section 3.3,
+    used by ARCHIVE / RESTORE ... BETWEEN), provenance records carry the
+    operation time (Figure 8, "source of this value at time T"), and the
+    approval log orders update operations (Section 6).  A per-database
+    logical clock keeps all of these totally ordered and reproducible. *)
+
+type t
+type time = int
+
+val create : unit -> t
+(** Fresh clock starting at time 1. *)
+
+val now : t -> time
+(** Current time, without advancing. *)
+
+val tick : t -> time
+(** Advance and return the new time. *)
+
+val advance_to : t -> time -> unit
+(** Move the clock forward to at least [time] (no-op if already past). *)
+
+val pp_time : Format.formatter -> time -> unit

@@ -1,0 +1,9 @@
+type t = { prefix : string; mutable counter : int }
+
+let create ?(prefix = "id") () = { prefix; counter = 0 }
+
+let next_int t =
+  t.counter <- t.counter + 1;
+  t.counter
+
+let next t = t.prefix ^ string_of_int (next_int t)

@@ -1,0 +1,10 @@
+(** Fresh identifier generation for annotations, log entries, and rules. *)
+
+type t
+
+val create : ?prefix:string -> unit -> t
+val next : t -> string
+(** ["<prefix><n>"] with [n] starting at 1. *)
+
+val next_int : t -> int
+(** The raw counter, when a numeric id is more convenient. *)

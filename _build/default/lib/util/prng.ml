@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+let int_in t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_in";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let geometric t ~p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric";
+  if p >= 1.0 then 1
+  else
+    let u = float t 1.0 in
+    let u = if u <= 0.0 then epsilon_float else u in
+    1 + int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let string t ~alphabet ~len =
+  if alphabet = "" then invalid_arg "Prng.string: empty alphabet";
+  String.init len (fun _ -> alphabet.[int t (String.length alphabet)])

@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every synthetic workload in the benchmarks is seeded explicitly so
+    results are reproducible run-to-run; the global [Random] state is never
+    used anywhere in the repository. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds yield identical streams. *)
+
+val copy : t -> t
+val split : t -> t
+(** An independent generator derived from (and advancing) [t]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range. *)
+
+val float : t -> float -> float
+(** Uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val geometric : t -> p:float -> int
+(** Geometric distribution (number of trials until first success, >= 1);
+    used to draw run lengths with a chosen mean.  Mean is [1/p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val string : t -> alphabet:string -> len:int -> string
+(** Random string over the given alphabet. *)

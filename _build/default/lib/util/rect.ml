@@ -1,0 +1,159 @@
+type t = { row_lo : int; row_hi : int; col_lo : int; col_hi : int }
+
+let make ~row_lo ~row_hi ~col_lo ~col_hi =
+  if row_lo > row_hi || col_lo > col_hi || row_lo < 0 || col_lo < 0 then
+    invalid_arg "Rect.make";
+  { row_lo; row_hi; col_lo; col_hi }
+
+let cell ~row ~col = make ~row_lo:row ~row_hi:row ~col_lo:col ~col_hi:col
+
+let row_span ~row ~col_lo ~col_hi = make ~row_lo:row ~row_hi:row ~col_lo ~col_hi
+
+let col_span ~col ~row_lo ~row_hi = make ~row_lo ~row_hi ~col_lo:col ~col_hi:col
+
+let area t = (t.row_hi - t.row_lo + 1) * (t.col_hi - t.col_lo + 1)
+
+let contains t ~row ~col =
+  row >= t.row_lo && row <= t.row_hi && col >= t.col_lo && col <= t.col_hi
+
+let intersects a b =
+  a.row_lo <= b.row_hi && b.row_lo <= a.row_hi
+  && a.col_lo <= b.col_hi && b.col_lo <= a.col_hi
+
+let intersection a b =
+  if not (intersects a b) then None
+  else
+    Some
+      {
+        row_lo = max a.row_lo b.row_lo;
+        row_hi = min a.row_hi b.row_hi;
+        col_lo = max a.col_lo b.col_lo;
+        col_hi = min a.col_hi b.col_hi;
+      }
+
+let is_subset a ~of_:b =
+  a.row_lo >= b.row_lo && a.row_hi <= b.row_hi
+  && a.col_lo >= b.col_lo && a.col_hi <= b.col_hi
+
+let union_bound a b =
+  {
+    row_lo = min a.row_lo b.row_lo;
+    row_hi = max a.row_hi b.row_hi;
+    col_lo = min a.col_lo b.col_lo;
+    col_hi = max a.col_hi b.col_hi;
+  }
+
+let try_merge a b =
+  if is_subset a ~of_:b then Some b
+  else if is_subset b ~of_:a then Some a
+  else if a.col_lo = b.col_lo && a.col_hi = b.col_hi
+          && a.row_lo <= b.row_hi + 1 && b.row_lo <= a.row_hi + 1 then
+    Some (union_bound a b)
+  else if a.row_lo = b.row_lo && a.row_hi = b.row_hi
+          && a.col_lo <= b.col_hi + 1 && b.col_lo <= a.col_hi + 1 then
+    Some (union_bound a b)
+  else None
+
+let cells t =
+  let out = ref [] in
+  for row = t.row_hi downto t.row_lo do
+    for col = t.col_hi downto t.col_lo do
+      out := (row, col) :: !out
+    done
+  done;
+  !out
+
+(* Greedy maximal-strip cover: group cells by row into maximal column
+   intervals, then merge vertically adjacent identical intervals. *)
+let cover_of_cells cell_list =
+  let module IS = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let cs = IS.of_list cell_list in
+  if IS.is_empty cs then []
+  else begin
+    (* horizontal strips per row *)
+    let strips = Hashtbl.create 16 in
+    (* row -> (col_lo, col_hi) list *)
+    let rows_seen = ref [] in
+    IS.iter
+      (fun (row, col) ->
+        match Hashtbl.find_opt strips row with
+        | None ->
+            Hashtbl.add strips row [ (col, col) ];
+            rows_seen := row :: !rows_seen
+        | Some intervals -> (
+            match intervals with
+            | (lo, hi) :: rest when col = hi + 1 ->
+                Hashtbl.replace strips row ((lo, col) :: rest)
+            | _ -> Hashtbl.replace strips row ((col, col) :: intervals)))
+      cs;
+    (* vertical merge of identical strips in consecutive rows *)
+    let rows = List.sort compare !rows_seen in
+    let open_rects = Hashtbl.create 16 in
+    (* (col_lo, col_hi) -> row_lo * last_row *)
+    let finished = ref [] in
+    let flush_stale current_row =
+      let stale = ref [] in
+      Hashtbl.iter
+        (fun key (row_lo, last_row) ->
+          if last_row < current_row - 1 then stale := (key, (row_lo, last_row)) :: !stale)
+        open_rects;
+      List.iter
+        (fun (((col_lo, col_hi) as key), (row_lo, last_row)) ->
+          finished := make ~row_lo ~row_hi:last_row ~col_lo ~col_hi :: !finished;
+          Hashtbl.remove open_rects key)
+        !stale
+    in
+    List.iter
+      (fun row ->
+        flush_stale row;
+        let intervals = List.rev (Hashtbl.find strips row) in
+        List.iter
+          (fun ((col_lo, col_hi) as key) ->
+            match Hashtbl.find_opt open_rects key with
+            | Some (row_lo, last_row) when last_row = row - 1 ->
+                Hashtbl.replace open_rects key (row_lo, row)
+            | Some (row_lo, last_row) ->
+                finished := make ~row_lo ~row_hi:last_row ~col_lo ~col_hi :: !finished;
+                Hashtbl.replace open_rects key (row, row)
+            | None -> Hashtbl.add open_rects key (row, row))
+          intervals)
+      rows;
+    Hashtbl.iter
+      (fun (col_lo, col_hi) (row_lo, last_row) ->
+        finished := make ~row_lo ~row_hi:last_row ~col_lo ~col_hi :: !finished)
+      open_rects;
+    List.sort compare !finished
+  end
+
+let subtract a b =
+  match intersection a b with
+  | None -> [ a ]
+  | Some i ->
+      let out = ref [] in
+      (* rows above the hole *)
+      if a.row_lo < i.row_lo then
+        out := { a with row_hi = i.row_lo - 1 } :: !out;
+      (* rows below the hole *)
+      if a.row_hi > i.row_hi then
+        out := { a with row_lo = i.row_hi + 1 } :: !out;
+      (* left of the hole, within the hole's row span *)
+      if a.col_lo < i.col_lo then
+        out :=
+          { row_lo = i.row_lo; row_hi = i.row_hi; col_lo = a.col_lo; col_hi = i.col_lo - 1 }
+          :: !out;
+      (* right of the hole *)
+      if a.col_hi > i.col_hi then
+        out :=
+          { row_lo = i.row_lo; row_hi = i.row_hi; col_lo = i.col_hi + 1; col_hi = a.col_hi }
+          :: !out;
+      List.rev !out
+
+let equal = ( = )
+let compare = compare
+
+let pp fmt t =
+  Format.fprintf fmt "[r%d..%d, c%d..%d]" t.row_lo t.row_hi t.col_lo t.col_hi

@@ -1,0 +1,48 @@
+(** Rectangular cell regions over a table viewed as a 2-D space.
+
+    Section 3.1 / Figure 5: a table is viewed as a two-dimensional space
+    (columns = X axis, tuples = Y axis) so an annotation over any group of
+    contiguous cells is represented by a single rectangle record instead of
+    one record per cell.  Coordinates are inclusive on both ends. *)
+
+type t = { row_lo : int; row_hi : int; col_lo : int; col_hi : int }
+
+val make : row_lo:int -> row_hi:int -> col_lo:int -> col_hi:int -> t
+(** @raise Invalid_argument if [row_lo > row_hi] or [col_lo > col_hi] or any
+    coordinate is negative. *)
+
+val cell : row:int -> col:int -> t
+(** Single-cell rectangle. *)
+
+val row_span : row:int -> col_lo:int -> col_hi:int -> t
+val col_span : col:int -> row_lo:int -> row_hi:int -> t
+
+val area : t -> int
+(** Number of cells covered. *)
+
+val contains : t -> row:int -> col:int -> bool
+val intersects : t -> t -> bool
+val intersection : t -> t -> t option
+val is_subset : t -> of_:t -> bool
+
+val union_bound : t -> t -> t
+(** Smallest rectangle containing both. *)
+
+val try_merge : t -> t -> t option
+(** [Some r] when the two rectangles tile [r] exactly (they are adjacent or
+    overlapping along one axis and aligned on the other); [None] otherwise. *)
+
+val cover_of_cells : (int * int) list -> t list
+(** Greedy decomposition of an arbitrary cell set into disjoint maximal
+    horizontal-strip rectangles.  The cover is exact: it covers precisely
+    the input cells, with no overlaps. *)
+
+val cells : t -> (int * int) list
+(** All (row, col) pairs covered, row-major. *)
+
+val subtract : t -> t -> t list
+(** [subtract a b] is a disjoint rectangle set covering exactly [a \ b]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,251 @@
+type run = { ch : char; len : int }
+
+type t = run array
+
+let canonicalize (rs : run list) : run array =
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | { len = 0; _ } :: rest -> merge acc rest
+    | r :: rest -> (
+        if r.len < 0 then invalid_arg "Rle.of_runs: negative run length";
+        match acc with
+        | prev :: acc' when prev.ch = r.ch ->
+            merge ({ ch = r.ch; len = prev.len + r.len } :: acc') rest
+        | _ -> merge (r :: acc) rest)
+  in
+  Array.of_list (merge [] rs)
+
+let of_runs rs = canonicalize rs
+
+let runs t = Array.to_list t
+
+let encode s =
+  let n = String.length s in
+  let rec scan i acc =
+    if i >= n then List.rev acc
+    else
+      let c = s.[i] in
+      let j = ref i in
+      while !j < n && s.[!j] = c do
+        incr j
+      done;
+      scan !j ({ ch = c; len = !j - i } :: acc)
+  in
+  Array.of_list (scan 0 [])
+
+let raw_length t = Array.fold_left (fun acc r -> acc + r.len) 0 t
+
+let run_count t = Array.length t
+
+let decode t =
+  let buf = Buffer.create (raw_length t) in
+  Array.iter (fun r -> Buffer.add_string buf (String.make r.len r.ch)) t;
+  Buffer.contents buf
+
+let digits n = if n = 0 then 1 else String.length (string_of_int n)
+
+let encoded_size_bytes t =
+  Array.fold_left (fun acc r -> acc + 1 + digits r.len) 0 t
+
+let compression_ratio t =
+  let enc = encoded_size_bytes t in
+  if enc = 0 then 1.0 else float_of_int (raw_length t) /. float_of_int enc
+
+let char_at t i =
+  if i < 0 then invalid_arg "Rle.char_at";
+  let rec go k off =
+    if k >= Array.length t then invalid_arg "Rle.char_at"
+    else if i < off + t.(k).len then t.(k).ch
+    else go (k + 1) (off + t.(k).len)
+  in
+  go 0 0
+
+let sub t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > raw_length t then invalid_arg "Rle.sub";
+  if len = 0 then [||]
+  else
+    let out = ref [] in
+    let remaining = ref len in
+    let off = ref 0 in
+    Array.iter
+      (fun r ->
+        if !remaining > 0 then begin
+          let run_start = !off and run_end = !off + r.len in
+          let want_start = max run_start (pos + len - !remaining) in
+          let _ = want_start in
+          (* portion of this run that overlaps [pos, pos+len) *)
+          let lo = max run_start pos and hi = min run_end (pos + len) in
+          if hi > lo then begin
+            out := { ch = r.ch; len = hi - lo } :: !out;
+            remaining := !remaining - (hi - lo)
+          end;
+          off := run_end
+        end)
+      t;
+    canonicalize (List.rev !out)
+
+let append a b = canonicalize (Array.to_list a @ Array.to_list b)
+
+let equal a b = a = b
+
+(* Lexicographic comparison of decoded sequences, run by run. *)
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go ia ib oa ob =
+    (* oa/ob: chars already consumed from current run of a/b *)
+    if ia >= la && ib >= lb then 0
+    else if ia >= la then -1
+    else if ib >= lb then 1
+    else
+      let ra = a.(ia) and rb = b.(ib) in
+      let c = Char.compare ra.ch rb.ch in
+      if c <> 0 then c
+      else
+        let avail_a = ra.len - oa and avail_b = rb.len - ob in
+        let step = min avail_a avail_b in
+        let oa' = oa + step and ob' = ob + step in
+        let ia' = if oa' = ra.len then ia + 1 else ia in
+        let ib' = if ob' = rb.len then ib + 1 else ib in
+        go ia' ib' (if oa' = ra.len then 0 else oa') (if ob' = rb.len then 0 else ob')
+  in
+  go 0 0 0 0
+
+let compare_raw t s =
+  let n = String.length s in
+  let rec go k off si =
+    if k >= Array.length t && si >= n then 0
+    else if k >= Array.length t then -1
+    else if si >= n then 1
+    else
+      let r = t.(k) in
+      let c = Char.compare r.ch s.[si] in
+      if c <> 0 then c
+      else
+        let avail = r.len - off in
+        let step = min avail (n - si) in
+        let off' = off + step in
+        if off' = r.len then go (k + 1) 0 (si + step) else go k off' (si + step)
+  in
+  go 0 0 0
+
+(* Substring search over the compressed form: align pattern starts only at
+   positions where a match is possible given run structure.  A match can only
+   begin inside a run of the pattern's first character; within such a run,
+   candidate start offsets are constrained by how many leading repeats the
+   pattern needs. *)
+let find_substring t ~pattern =
+  let m = String.length pattern in
+  if m = 0 then Some 0
+  else begin
+    (* leading run of the pattern *)
+    let p0 = pattern.[0] in
+    let plead = ref 1 in
+    while !plead < m && pattern.[!plead] = p0 do
+      incr plead
+    done;
+    let plead = !plead in
+    let nruns = Array.length t in
+    (* offsets.(k) = raw offset of run k *)
+    let offsets = Array.make (nruns + 1) 0 in
+    for k = 0 to nruns - 1 do
+      offsets.(k + 1) <- offsets.(k) + t.(k).len
+    done;
+    let total = offsets.(nruns) in
+    (* verify a candidate start position without decompressing *)
+    let matches_at pos =
+      if pos + m > total then false
+      else begin
+        (* locate run containing pos *)
+        let k = ref 0 in
+        while offsets.(!k + 1) <= pos do
+          incr k
+        done;
+        let rec check k off si =
+          if si >= m then true
+          else if k >= nruns then false
+          else
+            let r = t.(k) in
+            if r.ch <> pattern.[si] then false
+            else
+              let avail = r.len - off in
+              (* all of the next [avail] raw chars are r.ch; pattern must
+                 match them char-by-char *)
+              let rec eat j =
+                if j >= m || j - si >= avail then j
+                else if pattern.[j] = r.ch then eat (j + 1)
+                else j
+              in
+              let j = eat si in
+              if j >= m then true
+              else if j - si = avail then check (k + 1) 0 j
+              else false
+        in
+        check !k (pos - offsets.(!k)) 0
+      end
+    in
+    let result = ref None in
+    let k = ref 0 in
+    while !result = None && !k < nruns do
+      let r = t.(!k) in
+      if r.ch = p0 && r.len >= plead then begin
+        (* A match starting in run k must leave at least [plead] copies of p0
+           before the run ends (or the pattern is all-p0 and may span runs --
+           impossible since runs are maximal; so require plead <= remaining). *)
+        let first = offsets.(!k) and last = offsets.(!k) + r.len - plead in
+        let pos = ref first in
+        while !result = None && !pos <= last do
+          (* candidate must be flush: if pattern continues past the run, the
+             leading run of the pattern must end exactly at the run boundary *)
+          if matches_at !pos then result := Some !pos;
+          incr pos
+        done
+      end;
+      incr k
+    done;
+    !result
+  end
+
+(* Greedy subsequence check over runs: consume as much of the pattern as
+   each run allows; greedy is optimal for subsequence matching. *)
+let is_subsequence t ~pattern =
+  let m = String.length pattern in
+  let pi = ref 0 in
+  Array.iter
+    (fun r ->
+      if !pi < m && pattern.[!pi] = r.ch then begin
+        (* this run can supply up to r.len copies of r.ch *)
+        let supplied = ref 0 in
+        while !pi < m && pattern.[!pi] = r.ch && !supplied < r.len do
+          incr pi;
+          incr supplied
+        done
+      end)
+    t;
+  !pi >= m
+
+let to_string t =
+  let buf = Buffer.create (2 * Array.length t) in
+  Array.iter
+    (fun r ->
+      Buffer.add_char buf r.ch;
+      Buffer.add_string buf (string_of_int r.len))
+    t;
+  Buffer.contents buf
+
+let of_string s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let c = s.[i] in
+      let j = ref (i + 1) in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      if !j = i + 1 then invalid_arg "Rle.of_string: missing run length";
+      let len = int_of_string (String.sub s (i + 1) (!j - i - 1)) in
+      go !j ({ ch = c; len } :: acc)
+  in
+  if n = 0 then [||] else canonicalize (go 0 [])
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,80 @@
+(** Run-length encoding of character sequences.
+
+    RLE replaces consecutive repeats of a character [c] by a single run
+    [(c, frequency)].  It is the compression scheme the paper applies to
+    biological sequences (protein secondary structures, Figure 12) before
+    indexing them with the SBC-tree, and to the outdated-data bitmaps of the
+    dependency manager (Section 5). *)
+
+type run = { ch : char; len : int }
+(** One maximal run: [len] consecutive occurrences of [ch].  [len >= 1]. *)
+
+type t
+(** An RLE-compressed sequence.  The compressed form is canonical: adjacent
+    runs always have distinct characters and every run has positive length. *)
+
+val encode : string -> t
+(** [encode s] compresses [s].  [decode (encode s) = s] for all [s]. *)
+
+val decode : t -> string
+(** Expand back to the raw sequence. *)
+
+val runs : t -> run list
+(** The canonical run list, in sequence order. *)
+
+val of_runs : run list -> t
+(** Build from a run list; adjacent equal characters are merged and
+    zero-length runs dropped, restoring canonical form.
+    @raise Invalid_argument on a negative run length. *)
+
+val raw_length : t -> int
+(** Length of the uncompressed sequence. *)
+
+val run_count : t -> int
+(** Number of runs in the compressed form. *)
+
+val encoded_size_bytes : t -> int
+(** Storage footprint of the compressed form using the paper's textual
+    convention (one byte per character plus the digits of each frequency),
+    e.g. ["H10"] costs 3 bytes. *)
+
+val compression_ratio : t -> float
+(** [raw_length t / encoded_size_bytes t]; > 1 when RLE wins. *)
+
+val char_at : t -> int -> char
+(** [char_at t i] is character [i] of the decoded sequence, computed without
+    decompressing.  @raise Invalid_argument if out of bounds. *)
+
+val sub : t -> pos:int -> len:int -> t
+(** Compressed substring extraction without full decompression.
+    @raise Invalid_argument if the range is out of bounds. *)
+
+val append : t -> t -> t
+(** Concatenation in compressed space (merges the boundary runs). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Lexicographic order of the {e decoded} sequences, computed run-by-run
+    without decompressing. *)
+
+val compare_raw : t -> string -> int
+(** Compare the decoded sequence with a raw string, without decompressing. *)
+
+val find_substring : t -> pattern:string -> int option
+(** First match position of [pattern] in the decoded sequence, scanning the
+    compressed form directly (used as the SBC-tree's verification step). *)
+
+val is_subsequence : t -> pattern:string -> bool
+(** Does [pattern] occur as a {e subsequence} (characters in order, gaps
+    allowed) of the decoded sequence?  Greedy scan over the runs — the
+    sequence-alignment-style operation the paper plans as an SBC-tree
+    extension — without decompressing. *)
+
+val to_string : t -> string
+(** Textual form like ["L3E7H22"], as in the paper's Figure 12. *)
+
+val of_string : string -> t
+(** Parse the textual form produced by {!to_string}.
+    @raise Invalid_argument on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,264 @@
+type t =
+  | Element of string * (string * string) list * t list
+  | Text of string
+
+exception Parse_error of string
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&apos;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '&' then begin
+      let j = try String.index_from s !i ';' with Not_found -> raise (Parse_error "unterminated entity") in
+      let ent = String.sub s (!i + 1) (j - !i - 1) in
+      let c =
+        match ent with
+        | "lt" -> "<"
+        | "gt" -> ">"
+        | "amp" -> "&"
+        | "quot" -> "\""
+        | "apos" -> "'"
+        | _ -> raise (Parse_error ("unknown entity: &" ^ ent ^ ";"))
+      in
+      Buffer.add_string buf c;
+      i := j + 1
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_spaces st =
+  while st.pos < String.length st.src && is_space st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+let read_name st =
+  let start = st.pos in
+  while st.pos < String.length st.src && is_name_char st.src.[st.pos] do
+    st.pos <- st.pos + 1
+  done;
+  if st.pos = start then raise (Parse_error "expected a name");
+  String.sub st.src start (st.pos - start)
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | _ -> raise (Parse_error (Printf.sprintf "expected '%c' at position %d" c st.pos))
+
+let read_attr st =
+  let name = read_name st in
+  skip_spaces st;
+  expect st '=';
+  skip_spaces st;
+  let quote =
+    match peek st with
+    | Some ('"' as q) | Some ('\'' as q) -> q
+    | _ -> raise (Parse_error "expected a quoted attribute value")
+  in
+  st.pos <- st.pos + 1;
+  let start = st.pos in
+  (try
+     while st.src.[st.pos] <> quote do
+       st.pos <- st.pos + 1
+     done
+   with Invalid_argument _ -> raise (Parse_error "unterminated attribute value"));
+  let value = unescape (String.sub st.src start (st.pos - start)) in
+  st.pos <- st.pos + 1;
+  (name, value)
+
+let rec parse_element st =
+  expect st '<';
+  let tag = read_name st in
+  let attrs = ref [] in
+  skip_spaces st;
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    attrs := read_attr st :: !attrs;
+    skip_spaces st
+  done;
+  match peek st with
+  | Some '/' ->
+      st.pos <- st.pos + 1;
+      expect st '>';
+      Element (tag, List.rev !attrs, [])
+  | Some '>' ->
+      st.pos <- st.pos + 1;
+      let children = parse_children st tag in
+      Element (tag, List.rev !attrs, children)
+  | _ -> raise (Parse_error "malformed start tag")
+
+and parse_children st tag =
+  let children = ref [] in
+  let finished = ref false in
+  while not !finished do
+    if st.pos >= String.length st.src then
+      raise (Parse_error ("unterminated element <" ^ tag ^ ">"));
+    if st.src.[st.pos] = '<' then
+      if st.pos + 1 < String.length st.src && st.src.[st.pos + 1] = '/' then begin
+        st.pos <- st.pos + 2;
+        let close = read_name st in
+        if close <> tag then
+          raise (Parse_error (Printf.sprintf "mismatched close tag </%s> for <%s>" close tag));
+        skip_spaces st;
+        expect st '>';
+        finished := true
+      end
+      else children := parse_element st :: !children
+    else begin
+      let start = st.pos in
+      while st.pos < String.length st.src && st.src.[st.pos] <> '<' do
+        st.pos <- st.pos + 1
+      done;
+      let txt = unescape (String.sub st.src start (st.pos - start)) in
+      if String.trim txt <> "" then children := Text txt :: !children
+    end
+  done;
+  List.rev !children
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  skip_spaces st;
+  let root = parse_element st in
+  skip_spaces st;
+  if st.pos <> String.length s then
+    raise (Parse_error "trailing content after root element");
+  root
+
+let rec to_string = function
+  | Text s -> escape s
+  | Element (tag, attrs, children) ->
+      let buf = Buffer.create 64 in
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape v);
+          Buffer.add_char buf '"')
+        attrs;
+      if children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter (fun c -> Buffer.add_string buf (to_string c)) children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>'
+      end;
+      Buffer.contents buf
+
+let tag = function Element (t, _, _) -> Some t | Text _ -> None
+
+let attr node name =
+  match node with
+  | Element (_, attrs, _) -> List.assoc_opt name attrs
+  | Text _ -> None
+
+let rec text_content = function
+  | Text s -> s
+  | Element (_, _, children) -> String.concat "" (List.map text_content children)
+
+let children = function Element (_, _, cs) -> cs | Text _ -> []
+
+let find_path root path =
+  let rec go nodes = function
+    | [] -> nodes
+    | tag_name :: rest ->
+        let next =
+          List.concat_map
+            (fun node ->
+              List.filter
+                (fun child -> tag child = Some tag_name)
+                (children node))
+            nodes
+        in
+        go next rest
+  in
+  go [ root ] path
+
+let element ?(attrs = []) tag_name kids = Element (tag_name, attrs, kids)
+let text s = Text s
+
+module Schema = struct
+  type rule = {
+    tag : string;
+    required_attrs : string list;
+    allowed_children : string list option;
+    required_children : string list;
+  }
+
+  type schema = { root : string; rules : (string, rule) Hashtbl.t }
+
+  let make ~root rules =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun r -> Hashtbl.replace tbl r.tag r) rules;
+    { root; rules = tbl }
+
+  let validate schema doc =
+    let problems = ref [] in
+    let fail msg = problems := msg :: !problems in
+    (match tag doc with
+    | Some t when t = schema.root -> ()
+    | Some t -> fail (Printf.sprintf "root tag is <%s>, expected <%s>" t schema.root)
+    | None -> fail "root must be an element");
+    let rec check node =
+      match node with
+      | Text _ -> ()
+      | Element (t, attrs, kids) ->
+          (match Hashtbl.find_opt schema.rules t with
+          | None -> ()
+          | Some rule ->
+              List.iter
+                (fun a ->
+                  if not (List.mem_assoc a attrs) then
+                    fail (Printf.sprintf "<%s> is missing required attribute %S" t a))
+                rule.required_attrs;
+              let child_tags = List.filter_map tag kids in
+              (match rule.allowed_children with
+              | None -> ()
+              | Some allowed ->
+                  List.iter
+                    (fun ct ->
+                      if not (List.mem ct allowed) then
+                        fail (Printf.sprintf "<%s> may not contain <%s>" t ct))
+                    child_tags);
+              List.iter
+                (fun rc ->
+                  if not (List.mem rc child_tags) then
+                    fail (Printf.sprintf "<%s> is missing required child <%s>" t rc))
+                rule.required_children);
+          List.iter check kids
+    in
+    check doc;
+    match List.rev !problems with
+    | [] -> Ok ()
+    | ps -> Error (String.concat "; " ps)
+end

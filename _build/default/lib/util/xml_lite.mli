@@ -1,0 +1,63 @@
+(** A small XML subset for annotation bodies and provenance records.
+
+    Section 3.2 plans XML-formatted annotations so users can
+    (semi-)structure them and query them; Section 4 requires provenance
+    records to follow a predefined XML schema enforced by the system.
+    This module implements exactly the subset those features need:
+    elements with attributes, text content, escaping, path lookup, and a
+    simple schema validator.  No namespaces, comments, CDATA or DTDs. *)
+
+type t =
+  | Element of string * (string * string) list * t list
+      (** [Element (tag, attributes, children)] *)
+  | Text of string
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse a single root element.  @raise Parse_error on malformed input. *)
+
+val to_string : t -> string
+(** Serialize with proper escaping; [parse (to_string x)] = [x] up to
+    whitespace normalization of pure-text nodes. *)
+
+val escape : string -> string
+val unescape : string -> string
+
+val tag : t -> string option
+(** Tag of an element, [None] for text. *)
+
+val attr : t -> string -> string option
+(** Attribute lookup on an element. *)
+
+val text_content : t -> string
+(** Concatenated text of the node and its descendants. *)
+
+val children : t -> t list
+
+val find_path : t -> string list -> t list
+(** [find_path root ["a"; "b"]] returns the [b] elements that are children
+    of [a] elements that are children of [root] (root's own tag is not
+    consumed by the path). *)
+
+val element : ?attrs:(string * string) list -> string -> t list -> t
+val text : string -> t
+
+(** Structural schemas: per-tag allowed/required children and attributes. *)
+module Schema : sig
+  type rule = {
+    tag : string;
+    required_attrs : string list;
+    allowed_children : string list option;
+        (** [None] = any children allowed; [Some tags] = only these. *)
+    required_children : string list;
+  }
+
+  type schema
+
+  val make : root:string -> rule list -> schema
+
+  val validate : schema -> t -> (unit, string) result
+  (** Checks the root tag, then every element against its rule (elements
+      with no rule are accepted as free-form). *)
+end

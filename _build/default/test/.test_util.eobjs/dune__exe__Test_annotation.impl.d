@@ -1,0 +1,1 @@
+test/test_annotation.ml: Alcotest Ann Ann_pred Ann_store Bdbms_annotation Bdbms_provenance Bdbms_relation Bdbms_storage Bdbms_util List Manager Printf Propagate Region Result

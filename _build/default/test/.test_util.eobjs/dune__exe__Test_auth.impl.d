@@ -1,0 +1,1 @@
+test/test_auth.ml: Acl Alcotest Approval Bdbms_auth Bdbms_relation Bdbms_storage Bdbms_util Gen List Option Principal Printf QCheck QCheck_alcotest Result String Test

@@ -1,0 +1,1 @@
+test/test_bio.ml: Alcotest Array Bdbms_bio Bdbms_dependency Bdbms_relation Bdbms_util Blast_like Dna Gen List Print Printf QCheck QCheck_alcotest Result Secondary String Test Translate Workload

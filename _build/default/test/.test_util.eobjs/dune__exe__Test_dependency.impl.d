@@ -1,0 +1,1 @@
+test/test_dependency.ml: Alcotest Bdbms_dependency Bdbms_relation Bdbms_storage Dep_graph List Outdated Procedure Result Rule Rule_set String Tracker

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Bdbms_index Bdbms_storage Bdbms_util Btree Char Fun Gen Hashtbl Key_codec List Printf QCheck QCheck_alcotest Rtree String Test

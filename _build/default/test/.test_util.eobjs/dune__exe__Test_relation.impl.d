@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Bdbms_relation Bdbms_storage Bdbms_util Cursor Expr Gen List Ops Option Printf QCheck QCheck_alcotest Result Schema String Table Test Tuple Value

@@ -1,0 +1,1 @@
+test/test_sbc.ml: Alcotest Array Bdbms_sbc Bdbms_storage Bdbms_util Buffer Char Gen List Print Printf QCheck QCheck_alcotest Sbc_tree String String_btree Test Text_store

@@ -1,0 +1,1 @@
+test/test_spgist.ml: Alcotest Array Bdbms_spgist Bdbms_storage Bdbms_util Gen Kd_tree List Print Printf QCheck QCheck_alcotest Quadtree Regex_lite Result String Test Trie

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bdbms_storage Buffer_pool Disk Gen Hashtbl Heap_file List Page Printf QCheck QCheck_alcotest Stats String Test

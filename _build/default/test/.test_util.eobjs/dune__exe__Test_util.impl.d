@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bdbms_util Bitmap Char Clock Gen Idgen List Print Printf Prng QCheck QCheck_alcotest Rect Result Rle Set String Test Xml_lite

@@ -1,0 +1,364 @@
+(* Tests for bdbms_auth: principals, GRANT/REVOKE, content-based approval
+   (Section 6, Figure 11). *)
+
+open Bdbms_auth
+module Catalog = Bdbms_relation.Catalog
+module Table = Bdbms_relation.Table
+module Schema = Bdbms_relation.Schema
+module Tuple = Bdbms_relation.Tuple
+module Value = Bdbms_relation.Value
+module Clock = Bdbms_util.Clock
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let v s = Value.VString s
+
+let mk_lab () =
+  let principals = Principal.create () in
+  List.iter (fun u -> ignore (Principal.add_user principals u)) [ "admin"; "alice"; "bob" ];
+  ignore (Principal.add_group principals "lab_members");
+  ignore (Principal.add_to_group principals ~user:"alice" ~group:"lab_members");
+  ignore (Principal.add_to_group principals ~user:"bob" ~group:"lab_members");
+  principals
+
+let mk_env () =
+  let d = Bdbms_storage.Disk.create ~page_size:1024 () in
+  let bp = Bdbms_storage.Buffer_pool.create ~capacity:64 d in
+  let catalog = Catalog.create bp in
+  let gene =
+    match
+      Catalog.create_table catalog ~name:"Gene"
+        (Schema.make
+           [
+             { Schema.name = "GID"; ty = Value.TString };
+             { Schema.name = "GSequence"; ty = Value.TDna };
+           ])
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let principals = mk_lab () in
+  let clock = Clock.create () in
+  (catalog, gene, principals, clock)
+
+(* ------------------------------------------------------------ principals *)
+
+let test_principals () =
+  let p = mk_lab () in
+  checkb "user exists" true (Principal.user_exists p "alice");
+  checkb "no ghost" false (Principal.user_exists p "mallory");
+  checkb "member" true (Principal.member p ~user:"alice" ~group:"lab_members");
+  checkb "admin not member" false (Principal.member p ~user:"admin" ~group:"lab_members");
+  Alcotest.(check (list string)) "groups of alice" [ "lab_members" ] (Principal.groups_of p "alice");
+  checkb "dup user" true (Result.is_error (Principal.add_user p "alice"));
+  checkb "unknown member add" true
+    (Result.is_error (Principal.add_to_group p ~user:"mallory" ~group:"lab_members"))
+
+(* ------------------------------------------------------------------- acl *)
+
+let test_acl_grant_revoke () =
+  let p = mk_lab () in
+  let acl = Acl.create p in
+  checkb "grant group" true
+    (Result.is_ok (Acl.grant acl Acl.Update ~table:"Gene" (Acl.Group "lab_members")));
+  checkb "alice can update" true (Acl.allowed acl ~user:"alice" Acl.Update ~table:"Gene" ());
+  checkb "admin cannot" false (Acl.allowed acl ~user:"admin" Acl.Update ~table:"Gene" ());
+  checkb "wrong privilege" false (Acl.allowed acl ~user:"alice" Acl.Delete ~table:"Gene" ());
+  checkb "revoke" true (Acl.revoke acl Acl.Update ~table:"Gene" (Acl.Group "lab_members"));
+  checkb "after revoke" false (Acl.allowed acl ~user:"alice" Acl.Update ~table:"Gene" ());
+  checkb "revoke again" false (Acl.revoke acl Acl.Update ~table:"Gene" (Acl.Group "lab_members"));
+  checkb "unknown grantee" true
+    (Result.is_error (Acl.grant acl Acl.Select ~table:"Gene" (Acl.User "mallory")))
+
+let test_acl_column_scope () =
+  let p = mk_lab () in
+  let acl = Acl.create p in
+  ignore (Acl.grant acl Acl.Update ~table:"Gene" ~columns:[ "GSequence" ] (Acl.User "alice"));
+  checkb "allowed on column" true
+    (Acl.allowed acl ~user:"alice" Acl.Update ~table:"Gene" ~column:"GSequence" ());
+  checkb "denied on other column" false
+    (Acl.allowed acl ~user:"alice" Acl.Update ~table:"Gene" ~column:"GID" ());
+  checkb "denied table-wide" false (Acl.allowed acl ~user:"alice" Acl.Update ~table:"Gene" ())
+
+(* -------------------------------------------------------------- approval *)
+
+let test_approval_lifecycle () =
+  let catalog, gene, principals, clock = mk_env () in
+  let ap = Approval.create catalog principals clock in
+  checkb "start" true
+    (Result.is_ok (Approval.start ap ~table:"Gene" ~approved_by:(Acl.User "admin") ()));
+  checkb "double start" true
+    (Result.is_error (Approval.start ap ~table:"Gene" ~approved_by:(Acl.User "admin") ()));
+  checkb "monitored" true (Approval.monitored ap ~table:"Gene" ());
+  (* alice inserts a row; it is applied immediately and logged *)
+  let row =
+    match Table.insert gene (Tuple.make [ v "JW0001"; Value.VDna "ATG" ]) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (match Approval.log_insert ap ~table:"Gene" ~row ~user:"alice" with
+  | Some entry -> checkb "pending" true (entry.Approval.status = Approval.Pending)
+  | None -> Alcotest.fail "insert not logged");
+  checki "one pending" 1 (List.length (Approval.pending ap ()));
+  (* data is visible while pending *)
+  checkb "visible" true (Table.get gene row <> None);
+  (* the admin approves *)
+  let entry = List.hd (Approval.pending ap ()) in
+  checkb "approve" true (Result.is_ok (Approval.approve ap entry.Approval.id ~by:"admin"));
+  checki "no pending" 0 (List.length (Approval.pending ap ()));
+  checkb "still visible" true (Table.get gene row <> None)
+
+let test_approval_disapprove_insert () =
+  let catalog, gene, principals, clock = mk_env () in
+  let ap = Approval.create catalog principals clock in
+  ignore (Approval.start ap ~table:"Gene" ~approved_by:(Acl.User "admin") ());
+  let row =
+    match Table.insert gene (Tuple.make [ v "bad"; Value.VDna "ATG" ]) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let entry = Option.get (Approval.log_insert ap ~table:"Gene" ~row ~user:"bob") in
+  checkb "disapprove" true
+    (Result.is_ok (Approval.disapprove ap entry.Approval.id ~by:"admin"));
+  (* the inverse DELETE executed *)
+  checkb "row gone" true (Table.get gene row = None);
+  checkb "status" true (entry.Approval.status = Approval.Disapproved)
+
+let test_approval_disapprove_update () =
+  let catalog, gene, principals, clock = mk_env () in
+  let ap = Approval.create catalog principals clock in
+  ignore (Approval.start ap ~table:"Gene" ~approved_by:(Acl.User "admin") ());
+  let row =
+    match Table.insert gene (Tuple.make [ v "JW1"; Value.VDna "AAA" ]) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (* alice updates the sequence *)
+  let old_value =
+    match Table.update_cell gene ~row ~col:1 (Value.VDna "CCC") with
+    | Ok old -> old
+    | Error e -> Alcotest.fail e
+  in
+  let entry =
+    Option.get
+      (Approval.log_update ap ~table:"Gene" ~row ~col:1 ~column_name:"GSequence"
+         ~old_value ~user:"alice")
+  in
+  checkb "disapprove update" true
+    (Result.is_ok (Approval.disapprove ap entry.Approval.id ~by:"admin"));
+  (* old value restored by the generated inverse UPDATE *)
+  (match Table.get gene row with
+  | Some tuple -> checks "restored" "AAA" (Value.to_display (Tuple.get tuple 1))
+  | None -> Alcotest.fail "row gone")
+
+let test_approval_disapprove_delete () =
+  let catalog, gene, principals, clock = mk_env () in
+  let ap = Approval.create catalog principals clock in
+  ignore (Approval.start ap ~table:"Gene" ~approved_by:(Acl.User "admin") ());
+  let tuple = Tuple.make [ v "JW2"; Value.VDna "GGG" ] in
+  let row =
+    match Table.insert gene tuple with Ok r -> r | Error e -> Alcotest.fail e
+  in
+  ignore (Table.delete gene row);
+  let entry =
+    Option.get (Approval.log_delete ap ~table:"Gene" ~row ~old_tuple:tuple ~user:"bob")
+  in
+  checkb "row dead" true (Table.get gene row = None);
+  checkb "disapprove delete" true
+    (Result.is_ok (Approval.disapprove ap entry.Approval.id ~by:"admin"));
+  (* the row came back at the same row number *)
+  (match Table.get gene row with
+  | Some t -> checks "resurrected" "JW2" (Value.to_display (Tuple.get t 0))
+  | None -> Alcotest.fail "row not resurrected")
+
+let test_approval_authorization () =
+  let catalog, gene, principals, clock = mk_env () in
+  let ap = Approval.create catalog principals clock in
+  ignore (Approval.start ap ~table:"Gene" ~approved_by:(Acl.User "admin") ());
+  let row =
+    match Table.insert gene (Tuple.make [ v "x"; Value.VDna "A" ]) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let entry = Option.get (Approval.log_insert ap ~table:"Gene" ~row ~user:"alice") in
+  (* lab members cannot approve their own work *)
+  checkb "alice cannot approve" true
+    (Result.is_error (Approval.approve ap entry.Approval.id ~by:"alice"));
+  checkb "admin can" true (Result.is_ok (Approval.approve ap entry.Approval.id ~by:"admin"));
+  (* double decision rejected *)
+  checkb "already decided" true
+    (Result.is_error (Approval.disapprove ap entry.Approval.id ~by:"admin"));
+  checkb "unknown entry" true (Result.is_error (Approval.approve ap 999 ~by:"admin"))
+
+let test_approval_group_approver () =
+  let catalog, gene, principals, clock = mk_env () in
+  ignore (Principal.add_group principals "curators");
+  ignore (Principal.add_to_group principals ~user:"admin" ~group:"curators");
+  let ap = Approval.create catalog principals clock in
+  ignore (Approval.start ap ~table:"Gene" ~approved_by:(Acl.Group "curators") ());
+  let row =
+    match Table.insert gene (Tuple.make [ v "x"; Value.VDna "A" ]) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let entry = Option.get (Approval.log_insert ap ~table:"Gene" ~row ~user:"alice") in
+  checkb "group member approves" true
+    (Result.is_ok (Approval.approve ap entry.Approval.id ~by:"admin"));
+  checkb "non-member cannot" false (Approval.can_decide ap ~user:"bob" ~table:"Gene")
+
+let test_approval_column_monitoring () =
+  let catalog, gene, principals, clock = mk_env () in
+  ignore catalog;
+  ignore gene;
+  let ap = Approval.create catalog principals clock in
+  ignore
+    (Approval.start ap ~table:"Gene" ~columns:[ "GSequence" ] ~approved_by:(Acl.User "admin") ());
+  checkb "sequence monitored" true
+    (Approval.monitored ap ~table:"Gene" ~column:"GSequence" ());
+  checkb "gid not monitored" false (Approval.monitored ap ~table:"Gene" ~column:"GID" ());
+  (* updates to unmonitored columns are not logged *)
+  checkb "unmonitored update not logged" true
+    (Approval.log_update ap ~table:"Gene" ~row:0 ~col:0 ~column_name:"GID"
+       ~old_value:(v "old") ~user:"alice"
+    = None);
+  (* stopping one column ends monitoring entirely when none remain *)
+  checkb "stop column" true (Approval.stop ap ~table:"Gene" ~columns:[ "GSequence" ] ());
+  checkb "nothing monitored" false (Approval.monitored ap ~table:"Gene" ())
+
+let test_approval_unmonitored_not_logged () =
+  let catalog, _, principals, clock = mk_env () in
+  let ap = Approval.create catalog principals clock in
+  checkb "not monitored: no log" true
+    (Approval.log_insert ap ~table:"Gene" ~row:0 ~user:"alice" = None);
+  checkb "stop when off" false (Approval.stop ap ~table:"Gene" ())
+
+let test_approval_revert_hook () =
+  let catalog, gene, principals, clock = mk_env () in
+  let ap = Approval.create catalog principals clock in
+  ignore (Approval.start ap ~table:"Gene" ~approved_by:(Acl.User "admin") ());
+  let reverted = ref [] in
+  Approval.set_on_revert ap (fun ~table ~row ~col ->
+      reverted := (table, row, col) :: !reverted);
+  let row =
+    match Table.insert gene (Tuple.make [ v "x"; Value.VDna "AAA" ]) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let old_value =
+    match Table.update_cell gene ~row ~col:1 (Value.VDna "TTT") with
+    | Ok old -> old
+    | Error e -> Alcotest.fail e
+  in
+  let entry =
+    Option.get
+      (Approval.log_update ap ~table:"Gene" ~row ~col:1 ~column_name:"GSequence"
+         ~old_value ~user:"alice")
+  in
+  ignore (Approval.disapprove ap entry.Approval.id ~by:"admin");
+  checki "hook fired" 1 (List.length !reverted);
+  (match !reverted with
+  | [ (table, r, Some c) ] ->
+      checks "table" "Gene" table;
+      checki "row" row r;
+      checki "col" 1 c
+  | _ -> Alcotest.fail "unexpected hook payload")
+
+let test_inverse_descriptions () =
+  let ins = Approval.Op_insert { table = "Gene"; row = 3 } in
+  checkb "insert inverse is delete" true
+    (String.length (Approval.inverse_description ins) > 0
+    && String.sub (Approval.inverse_description ins) 0 6 = "DELETE");
+  let upd =
+    Approval.Op_update { table = "Gene"; row = 1; col = 0; old_value = v "old" }
+  in
+  checkb "update inverse is update" true
+    (String.sub (Approval.inverse_description upd) 0 6 = "UPDATE");
+  let del =
+    Approval.Op_delete { table = "Gene"; row = 1; old_tuple = Tuple.make [ v "a" ] }
+  in
+  checkb "delete inverse is insert" true
+    (String.sub (Approval.inverse_description del) 0 6 = "INSERT")
+
+(* Model-based invariant: any sequence of logged updates, disapproved in
+   reverse order, restores the exact initial table state. *)
+let approval_qcheck =
+  let module T = Tuple in
+  let open QCheck in
+  let ops_gen =
+    make
+      ~print:(fun l ->
+        String.concat ";" (List.map (fun (r, v) -> Printf.sprintf "%d<-%d" r v) l))
+      Gen.(list_size (int_bound 40) (pair (int_bound 9) (int_bound 100)))
+  in
+  [
+    Test.make ~name:"disapprove-all restores the initial state" ~count:100 ops_gen
+      (fun ops ->
+        let catalog, gene, principals, clock =
+          let d = Bdbms_storage.Disk.create ~page_size:1024 () in
+          let bp = Bdbms_storage.Buffer_pool.create ~capacity:64 d in
+          let catalog = Catalog.create bp in
+          let t =
+            Result.get_ok
+              (Catalog.create_table catalog ~name:"G"
+                 (Bdbms_relation.Schema.make
+                    [ { Bdbms_relation.Schema.name = "v"; ty = Value.TInt } ]))
+          in
+          (catalog, t, mk_lab (), Clock.create ())
+        in
+        for i = 0 to 9 do
+          ignore (Table.insert gene (T.make [ Value.VInt i ]))
+        done;
+        let ap = Approval.create catalog principals clock in
+        ignore (Approval.start ap ~table:"G" ~approved_by:(Acl.User "admin") ());
+        let initial = Table.to_list gene in
+        (* apply and log every update *)
+        List.iter
+          (fun (row, v) ->
+            match Table.update_cell gene ~row ~col:0 (Value.VInt v) with
+            | Ok old_value ->
+                ignore
+                  (Approval.log_update ap ~table:"G" ~row ~col:0 ~column_name:"v"
+                     ~old_value ~user:"alice")
+            | Error _ -> ())
+          ops;
+        (* disapprove newest-first *)
+        let pending = List.rev (Approval.pending ap ()) in
+        List.iter
+          (fun (e : Approval.entry) ->
+            match Approval.disapprove ap e.Approval.id ~by:"admin" with
+            | Ok () -> ()
+            | Error msg -> failwith msg)
+          pending;
+        let final = Table.to_list gene in
+        List.length initial = List.length final
+        && List.for_all2
+             (fun (r1, t1) (r2, t2) -> r1 = r2 && T.equal t1 t2)
+             initial final);
+  ]
+
+let () =
+  Alcotest.run "bdbms_auth"
+    [
+      ("principals", [ Alcotest.test_case "users/groups" `Quick test_principals ]);
+      ( "acl",
+        [
+          Alcotest.test_case "grant/revoke" `Quick test_acl_grant_revoke;
+          Alcotest.test_case "column scope" `Quick test_acl_column_scope;
+        ] );
+      ( "approval",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_approval_lifecycle;
+          Alcotest.test_case "disapprove insert" `Quick test_approval_disapprove_insert;
+          Alcotest.test_case "disapprove update" `Quick test_approval_disapprove_update;
+          Alcotest.test_case "disapprove delete" `Quick test_approval_disapprove_delete;
+          Alcotest.test_case "authorization" `Quick test_approval_authorization;
+          Alcotest.test_case "group approver" `Quick test_approval_group_approver;
+          Alcotest.test_case "column monitoring" `Quick test_approval_column_monitoring;
+          Alcotest.test_case "unmonitored" `Quick test_approval_unmonitored_not_logged;
+          Alcotest.test_case "revert hook" `Quick test_approval_revert_hook;
+          Alcotest.test_case "inverse statements" `Quick test_inverse_descriptions;
+        ] );
+      ("approval-properties", List.map QCheck_alcotest.to_alcotest approval_qcheck);
+    ]

@@ -1,0 +1,272 @@
+(* Tests for bdbms_bio: DNA utilities, genetic-code translation, the
+   BLAST-like scorer, secondary-structure generation, and the workload
+   generators' determinism. *)
+
+open Bdbms_bio
+module Prng = Bdbms_util.Prng
+module Value = Bdbms_relation.Value
+module Procedure = Bdbms_dependency.Procedure
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* ------------------------------------------------------------------ dna *)
+
+let test_dna_basics () =
+  checkb "valid" true (Dna.is_valid "ACGTACGT");
+  checkb "invalid" false (Dna.is_valid "ACGU");
+  checkb "empty valid" true (Dna.is_valid "");
+  checks "revcomp" "CGAT" (Dna.reverse_complement "ATCG");
+  checks "revcomp twice" "ATCG" (Dna.reverse_complement (Dna.reverse_complement "ATCG"));
+  checkf "gc" 0.5 (Dna.gc_content "ATGC");
+  checkf "gc empty" 0.0 (Dna.gc_content "");
+  (match Dna.reverse_complement "AXC" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad base accepted")
+
+let test_dna_random_gene () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 20 do
+    let g = Dna.random_gene rng ~codons:10 in
+    checki "length" 30 (String.length g);
+    checks "starts ATG" "ATG" (String.sub g 0 3);
+    let last = String.sub g 27 3 in
+    checkb "ends with stop" true (List.mem last [ "TAA"; "TAG"; "TGA" ]);
+    (* no internal stop codons *)
+    for i = 1 to 8 do
+      checkb "no internal stop" false (List.mem (String.sub g (i * 3) 3) [ "TAA"; "TAG"; "TGA" ])
+    done
+  done;
+  match Dna.random_gene rng ~codons:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "gene of one codon accepted"
+
+let test_dna_mutate () =
+  let rng = Prng.create 7 in
+  let s = Dna.random rng ~len:100 in
+  let s' = Dna.mutate rng s ~edits:5 in
+  checki "same length" 100 (String.length s');
+  checkb "still valid" true (Dna.is_valid s')
+
+(* ------------------------------------------------------------ translate *)
+
+let test_codon_table () =
+  (* spot checks against the standard genetic code *)
+  Alcotest.(check (option char)) "ATG" (Some 'M') (Translate.codon_to_aa "ATG");
+  Alcotest.(check (option char)) "TGG" (Some 'W') (Translate.codon_to_aa "TGG");
+  Alcotest.(check (option char)) "AAA" (Some 'K') (Translate.codon_to_aa "AAA");
+  Alcotest.(check (option char)) "GGC" (Some 'G') (Translate.codon_to_aa "GGC");
+  Alcotest.(check (option char)) "TAA stop" None (Translate.codon_to_aa "TAA");
+  Alcotest.(check (option char)) "TAG stop" None (Translate.codon_to_aa "TAG");
+  Alcotest.(check (option char)) "TGA stop" None (Translate.codon_to_aa "TGA");
+  (match Translate.codon_to_aa "AT" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short codon accepted");
+  (* all 64 codons are covered *)
+  let bases = [ 'A'; 'C'; 'G'; 'T' ] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              ignore (Translate.codon_to_aa (Printf.sprintf "%c%c%c" a b c)))
+            bases)
+        bases)
+    bases
+
+let test_translate () =
+  (match Translate.translate "ATGAAATGGTAA" with
+  | Ok p -> checks "MKW" "MKW" p
+  | Error e -> Alcotest.fail e);
+  (* stop ends translation early *)
+  (match Translate.translate "ATGTAAAAATGG" with
+  | Ok p -> checks "stops at TAA" "M" p
+  | Error e -> Alcotest.fail e);
+  checkb "no start" true (Result.is_error (Translate.translate "AAAATGTAA"));
+  checkb "bad length" true (Result.is_error (Translate.translate "ATGA"));
+  checkb "not dna" true (Result.is_error (Translate.translate "ATGXXXTAA"));
+  (* generated ORFs always translate *)
+  let rng = Prng.create 11 in
+  for _ = 1 to 50 do
+    let g = Dna.random_gene rng ~codons:20 in
+    match Translate.translate g with
+    | Ok p -> checki "protein length" 19 (String.length p + 0) |> ignore
+    | Error e -> Alcotest.fail e
+  done
+
+let test_molecular_weight () =
+  checkb "water only" true (abs_float (Translate.molecular_weight "" -. 18.02) < 1e-6);
+  checkb "glycine adds 57" true
+    (abs_float (Translate.molecular_weight "G" -. (18.02 +. 57.05)) < 1e-6);
+  checkb "monotone" true
+    (Translate.molecular_weight "MKW" > Translate.molecular_weight "MK")
+
+let test_translate_procedure () =
+  let p = Translate.procedure () in
+  checkb "executable" true (Procedure.is_executable p);
+  (match Procedure.run p [ Value.VDna "ATGAAATAA" ] with
+  | Ok (Value.VProtein s) -> checks "MK" "MK" s
+  | _ -> Alcotest.fail "translation through procedure failed");
+  checkb "bad input" true (Result.is_error (Procedure.run p [ Value.VInt 3 ]));
+  checkb "arity" true (Result.is_error (Procedure.run p []));
+  let w = Translate.weight_procedure () in
+  match Procedure.run w [ Value.VProtein "G" ] with
+  | Ok (Value.VFloat f) -> checkb "weight" true (f > 70.0)
+  | _ -> Alcotest.fail "weight procedure failed"
+
+(* ---------------------------------------------------------------- blast *)
+
+let test_blast_score () =
+  checki "identical" 10 (Blast_like.score "AAAAA" "AAAAA");
+  checki "empty" 0 (Blast_like.score "" "AAA");
+  checkb "symmetric" true (Blast_like.score "ACGTAC" "TACGAT" = Blast_like.score "TACGAT" "ACGTAC");
+  (* local: a shared substring scores even with different flanks *)
+  checkb "local alignment found" true (Blast_like.score "XXXACGTXXX" "YYACGTYY" >= 8);
+  checkb "no similarity" true (Blast_like.score "AAAA" "CCCC" = 0)
+
+let test_blast_evalue () =
+  (* more similar pairs get smaller E-values *)
+  let similar = Blast_like.evalue "ACGTACGTAC" "ACGTACGTAC" in
+  let dissimilar = Blast_like.evalue "ACGTACGTAC" "TTTTTTTTTT" in
+  checkb "similar smaller" true (similar < dissimilar);
+  let p = Blast_like.procedure () in
+  (match Procedure.run p [ Value.VDna "ACGT"; Value.VDna "ACGT" ] with
+  | Ok (Value.VFloat f) -> checkb "positive" true (f > 0.0)
+  | _ -> Alcotest.fail "blast procedure failed");
+  checkb "versioned" true (p.Procedure.version = "2.2.15")
+
+(* ------------------------------------------------------------ secondary *)
+
+let test_secondary_generation () =
+  let rng = Prng.create 13 in
+  let s = Secondary.random rng ~len:5000 ~mean_run:8.0 in
+  checki "length" 5000 (String.length s);
+  checkb "alphabet" true (String.for_all (fun c -> c = 'H' || c = 'E' || c = 'L') s);
+  let mean = Secondary.mean_run_length s in
+  checkb
+    (Printf.sprintf "mean run %.2f near 8" mean)
+    true
+    (mean > 5.5 && mean < 10.5);
+  let tight = Secondary.random rng ~len:5000 ~mean_run:1.5 in
+  checkb "tight runs shorter" true (Secondary.mean_run_length tight < mean);
+  (match Secondary.random rng ~len:10 ~mean_run:0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mean_run < 1 accepted");
+  let hist = Secondary.run_histogram s in
+  checki "three states" 3 (List.length hist);
+  checki "histogram sums" 5000 (List.fold_left (fun acc (_, n) -> acc + n) 0 hist)
+
+(* ------------------------------------------------------------- workload *)
+
+let test_workload_determinism () =
+  let a = Workload.genes (Prng.create 99) ~n:10 () in
+  let b = Workload.genes (Prng.create 99) ~n:10 () in
+  checkb "same seed same genes" true (a = b);
+  let c = Workload.genes (Prng.create 100) ~n:10 () in
+  checkb "different seed differs" true (a <> c)
+
+let test_workload_identifiers_unique () =
+  let keys = Workload.identifier_keys (Prng.create 3) ~n:5000 in
+  checki "unique" 5000 (List.length (List.sort_uniq compare keys))
+
+let test_workload_gene_shape () =
+  let genes = Workload.genes (Prng.create 1) ~n:5 ~codons:12 () in
+  List.iter
+    (fun g ->
+      checkb "gid shape" true (String.length g.Workload.gid = 6);
+      checki "orf length" 36 (String.length g.Workload.gsequence);
+      checkb "translates" true
+        (Result.is_ok (Translate.translate g.Workload.gsequence)))
+    genes;
+  let prefixed = Workload.genes (Prng.create 1) ~n:3 ~id_prefix:"JX" () in
+  checks "prefix" "JX0001" (List.hd prefixed).Workload.gid
+
+let test_workload_points () =
+  let pts = Workload.points_uniform (Prng.create 2) ~n:500 ~extent:10.0 in
+  checki "count" 500 (Array.length pts);
+  Array.iter
+    (fun (x, y) -> checkb "in extent" true (x >= 0.0 && x <= 10.0 && y >= 0.0 && y <= 10.0))
+    pts;
+  let cl = Workload.points_clustered (Prng.create 2) ~n:500 ~extent:10.0 ~clusters:3 in
+  Array.iter
+    (fun (x, y) -> checkb "clustered in extent" true (x >= 0.0 && x <= 10.0 && y >= 0.0 && y <= 10.0))
+    cl;
+  match Workload.points_clustered (Prng.create 2) ~n:5 ~extent:1.0 ~clusters:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero clusters accepted"
+
+let test_workload_annotation_mix () =
+  let targets =
+    Workload.annotation_mix (Prng.create 4) ~rows:100 ~cols:5 ~count:200 ~profile:`Mixed
+  in
+  checki "count" 200 (List.length targets);
+  List.iter
+    (fun t ->
+      match t with
+      | Workload.On_cell (r, c) -> checkb "cell in range" true (r < 100 && c < 5)
+      | Workload.On_row r -> checkb "row in range" true (r < 100)
+      | Workload.On_column c -> checkb "col in range" true (c < 5)
+      | Workload.On_block (r0, r1, c0, c1) ->
+          checkb "block in range" true (r0 <= r1 && c0 <= c1 && r1 < 100 && c1 < 5))
+    targets;
+  checkb "empty table" true
+    (Workload.annotation_mix (Prng.create 4) ~rows:0 ~cols:5 ~count:10 ~profile:`Cells = [])
+
+let bio_qcheck =
+  let open QCheck in
+  let dna_gen =
+    make ~print:Print.string
+      Gen.(string_size ~gen:(oneofl [ 'A'; 'C'; 'G'; 'T' ]) (int_bound 60))
+  in
+  [
+    Test.make ~name:"reverse_complement is an involution" ~count:300 dna_gen (fun s ->
+        Dna.reverse_complement (Dna.reverse_complement s) = s);
+    Test.make ~name:"blast score is symmetric" ~count:200 (pair dna_gen dna_gen)
+      (fun (a, b) -> Blast_like.score a b = Blast_like.score b a);
+    Test.make ~name:"blast score bounded by 2*minlen" ~count:200 (pair dna_gen dna_gen)
+      (fun (a, b) ->
+        Blast_like.score a b <= 2 * min (String.length a) (String.length b));
+    Test.make ~name:"generated ORFs always translate" ~count:100 (int_range 2 40)
+      (fun codons ->
+        let g = Dna.random_gene (Prng.create codons) ~codons in
+        match Translate.translate g with
+        | Ok p -> String.length p = codons - 1
+        | Error _ -> false);
+  ]
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "bdbms_bio"
+    [
+      ( "dna",
+        [
+          Alcotest.test_case "basics" `Quick test_dna_basics;
+          Alcotest.test_case "random gene" `Quick test_dna_random_gene;
+          Alcotest.test_case "mutate" `Quick test_dna_mutate;
+        ] );
+      ( "translate",
+        [
+          Alcotest.test_case "codon table" `Quick test_codon_table;
+          Alcotest.test_case "translate" `Quick test_translate;
+          Alcotest.test_case "molecular weight" `Quick test_molecular_weight;
+          Alcotest.test_case "as procedure" `Quick test_translate_procedure;
+        ] );
+      ( "blast",
+        [
+          Alcotest.test_case "score" `Quick test_blast_score;
+          Alcotest.test_case "evalue" `Quick test_blast_evalue;
+        ] );
+      ("secondary", [ Alcotest.test_case "generation" `Quick test_secondary_generation ]);
+      ( "workload",
+        [
+          Alcotest.test_case "determinism" `Quick test_workload_determinism;
+          Alcotest.test_case "unique identifiers" `Quick test_workload_identifiers_unique;
+          Alcotest.test_case "gene shape" `Quick test_workload_gene_shape;
+          Alcotest.test_case "points" `Quick test_workload_points;
+          Alcotest.test_case "annotation mix" `Quick test_workload_annotation_mix;
+        ] );
+      ("bio-properties", q bio_qcheck);
+    ]

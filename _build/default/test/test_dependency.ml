@@ -1,0 +1,367 @@
+(* Tests for bdbms_dependency, built around the paper's Figure 9 scenario:
+   Gene --(prediction tool P)--> Protein.PSequence --(lab)--> PFunction,
+   and (Gene1, Gene2) --(BLAST)--> Evalue. *)
+
+open Bdbms_dependency
+module Catalog = Bdbms_relation.Catalog
+module Table = Bdbms_relation.Table
+module Schema = Bdbms_relation.Schema
+module Tuple = Bdbms_relation.Tuple
+module Value = Bdbms_relation.Value
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let v s = Value.VString s
+
+(* A tiny deterministic "prediction tool": translate a DNA sequence into a
+   fake protein by mapping codon first letters. *)
+let translate_body inputs =
+  match inputs with
+  | [ Value.VDna dna ] | [ Value.VString dna ] ->
+      let n = String.length dna / 3 in
+      Ok
+        (Value.VProtein
+           (String.init n (fun i ->
+                match dna.[i * 3] with
+                | 'A' -> 'M'
+                | 'C' -> 'K'
+                | 'G' -> 'V'
+                | _ -> 'L')))
+  | _ -> Error "translate: expected one DNA input"
+
+let blast_body inputs =
+  match inputs with
+  | [ a; b ] ->
+      let sa = Value.as_string a and sb = Value.as_string b in
+      let matches = ref 0 in
+      let n = min (String.length sa) (String.length sb) in
+      for i = 0 to n - 1 do
+        if sa.[i] = sb.[i] then incr matches
+      done;
+      Ok (Value.VFloat (1.0 /. float_of_int (1 + !matches)))
+  | _ -> Error "blast: expected two inputs"
+
+let mk_env () =
+  let d = Bdbms_storage.Disk.create ~page_size:1024 () in
+  let bp = Bdbms_storage.Buffer_pool.create ~capacity:64 d in
+  let catalog = Catalog.create bp in
+  let gene =
+    match
+      Catalog.create_table catalog ~name:"Gene"
+        (Schema.make
+           [
+             { Schema.name = "GID"; ty = Value.TString };
+             { Schema.name = "GSequence"; ty = Value.TDna };
+           ])
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let protein =
+    match
+      Catalog.create_table catalog ~name:"Protein"
+        (Schema.make
+           [
+             { Schema.name = "PName"; ty = Value.TString };
+             { Schema.name = "GID"; ty = Value.TString };
+             { Schema.name = "PSequence"; ty = Value.TProtein };
+             { Schema.name = "PFunction"; ty = Value.TString };
+           ])
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  (catalog, gene, protein)
+
+let tool_p () = Procedure.executable ~name:"P" translate_body
+let lab () = Procedure.non_executable ~name:"LabExperiment" ~description:"lab experiment" ()
+
+let rule1 () =
+  Rule.make ~id:"r1"
+    ~sources:[ Rule.attr "Gene" "GSequence" ]
+    ~target:(Rule.attr "Protein" "PSequence")
+    (tool_p ())
+
+let rule2 () =
+  Rule.make ~id:"r2"
+    ~sources:[ Rule.attr "Protein" "PSequence" ]
+    ~target:(Rule.attr "Protein" "PFunction")
+    (lab ())
+
+(* ------------------------------------------------------------ procedures *)
+
+let test_procedure_basics () =
+  let p = tool_p () in
+  checkb "executable" true (Procedure.is_executable p);
+  (match Procedure.run p [ Value.VDna "ATGGGA" ] with
+  | Ok (Value.VProtein s) -> checks "translated" "MV" s
+  | _ -> Alcotest.fail "translation failed");
+  let l = lab () in
+  checkb "not executable" false (Procedure.is_executable l);
+  (match Procedure.run l [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "running a lab experiment should fail");
+  checks "describe" "P-1 (executable, non-invertible)" (Procedure.describe p)
+
+let test_procedure_registry () =
+  let reg = Procedure.Registry.create () in
+  checkb "register" true (Result.is_ok (Procedure.Registry.register reg (tool_p ())));
+  checkb "duplicate" true (Result.is_error (Procedure.Registry.register reg (tool_p ())));
+  checkb "find" true (Procedure.Registry.find reg "P" <> None);
+  Alcotest.(check (list string)) "names" [ "P" ] (Procedure.Registry.names reg)
+
+(* ----------------------------------------------------------------- rules *)
+
+let test_rule_compose () =
+  let r1 = rule1 () and r2 = rule2 () in
+  (* the paper's Rule 4 = Rule 1 then Rule 2 *)
+  (match Rule.compose ~id:"r4" r1 r2 with
+  | Some r4 ->
+      checkb "sources" true (List.exists (Rule.attr_equal (Rule.attr "Gene" "GSequence")) r4.Rule.sources);
+      checkb "target" true (Rule.attr_equal r4.Rule.target (Rule.attr "Protein" "PFunction"));
+      checki "chain length" 2 (List.length r4.Rule.chain);
+      (* non-executable because the lab experiment is not *)
+      checkb "chain not executable" false (Rule.chain_executable r4);
+      checkb "derived" true r4.Rule.derived
+  | None -> Alcotest.fail "compose failed");
+  (* r2 then r1 does not compose *)
+  checkb "wrong order" true (Rule.compose ~id:"x" r2 (rule1 ()) = None)
+
+let test_rule_set_closures () =
+  let rs = Rule_set.create () in
+  checkb "add r1" true (Result.is_ok (Rule_set.add rs (rule1 ())));
+  checkb "add r2" true (Result.is_ok (Rule_set.add rs (rule2 ())));
+  (* attribute closure of Gene.GSequence = PSequence and PFunction *)
+  let closure = Rule_set.attribute_closure rs [ Rule.attr "Gene" "GSequence" ] in
+  checki "closure size" 2 (List.length closure);
+  checkb "includes PFunction" true
+    (List.exists (Rule.attr_equal (Rule.attr "Protein" "PFunction")) closure);
+  (* procedure closure of P = everything derived through it *)
+  let pc = Rule_set.procedure_closure rs "P" in
+  checki "P closure" 2 (List.length pc);
+  let lab_pc = Rule_set.procedure_closure rs "LabExperiment" in
+  checki "lab closure" 1 (List.length lab_pc);
+  (* derived rules contain Rule 4 *)
+  let derived = Rule_set.derived_rules rs in
+  checki "one derived rule" 1 (List.length derived);
+  checkb "derived is rule 4" true
+    (Rule.attr_equal (List.hd derived).Rule.target (Rule.attr "Protein" "PFunction"))
+
+let test_rule_set_conflict_and_cycle () =
+  let rs = Rule_set.create () in
+  ignore (Rule_set.add rs (rule1 ()));
+  (* conflict: a second rule deriving Protein.PSequence *)
+  let dup =
+    Rule.make ~id:"dup" ~sources:[ Rule.attr "X" "a" ]
+      ~target:(Rule.attr "Protein" "PSequence") (tool_p ())
+  in
+  checkb "conflict rejected" true (Result.is_error (Rule_set.add rs dup));
+  (* cycle: PSequence -> GSequence would close the loop *)
+  let back =
+    Rule.make ~id:"back"
+      ~sources:[ Rule.attr "Protein" "PSequence" ]
+      ~target:(Rule.attr "Gene" "GSequence") (tool_p ())
+  in
+  checkb "cycle rejected" true (Result.is_error (Rule_set.add rs back));
+  (* self-loop *)
+  let self =
+    Rule.make ~id:"self" ~sources:[ Rule.attr "T" "c" ] ~target:(Rule.attr "T" "c")
+      (tool_p ())
+  in
+  checkb "self loop rejected" true (Result.is_error (Rule_set.add rs self))
+
+(* --------------------------------------------------------------- bitmaps *)
+
+let test_outdated_bitmap () =
+  let _, gene, _ = mk_env () in
+  ignore (Table.insert gene (Tuple.make [ v "g1"; Value.VDna "ATG" ]));
+  ignore (Table.insert gene (Tuple.make [ v "g2"; Value.VDna "CCC" ]));
+  let b = Outdated.create gene in
+  checki "clean" 0 (Outdated.outdated_count b);
+  Outdated.mark b ~row:1 ~col:1;
+  checkb "marked" true (Outdated.is_outdated b ~row:1 ~col:1);
+  checkb "other clean" false (Outdated.is_outdated b ~row:0 ~col:0);
+  (* growth: marking a row beyond the bitmap *)
+  Outdated.mark b ~row:10 ~col:0;
+  checkb "grown" true (Outdated.is_outdated b ~row:10 ~col:0);
+  Outdated.clear b ~row:1 ~col:1;
+  checki "one left" 1 (Outdated.outdated_count b);
+  checkb "compressed <= raw for sparse bitmap" true
+    (Outdated.compressed_size_bytes b <= Outdated.raw_size_bytes b + 8)
+
+(* --------------------------------------------------------------- tracker *)
+
+let setup_tracker () =
+  let catalog, gene, protein = mk_env () in
+  let tracker = Tracker.create catalog in
+  checkb "add rule1" true (Result.is_ok (Tracker.add_rule tracker (rule1 ())));
+  checkb "add rule2" true (Result.is_ok (Tracker.add_rule tracker (rule2 ())));
+  (* paper's data: three genes and their proteins *)
+  let g0 =
+    match Table.insert gene (Tuple.make [ v "JW0080"; Value.VDna "ATGATGGAAAAA" ]) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let translate dna =
+    match translate_body [ Value.VDna dna ] with
+    | Ok p -> p
+    | Error e -> Alcotest.fail e
+  in
+  let p0 =
+    match
+      Table.insert protein
+        (Tuple.make [ v "mraW"; v "JW0080"; translate "ATGATGGAAAAA"; v "Exhibitor" ])
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (* instance links: gene row 0 feeds protein row 0 *)
+  checkb "link r1" true
+    (Result.is_ok (Tracker.link_rows tracker ~rule_id:"r1" ~source_rows:[ g0 ] ~target_row:p0));
+  checkb "link r2" true
+    (Result.is_ok (Tracker.link_rows tracker ~rule_id:"r2" ~source_rows:[ p0 ] ~target_row:p0));
+  (catalog, gene, protein, tracker, g0, p0)
+
+let test_tracker_figure9_cascade () =
+  let _, gene, protein, tracker, g0, p0 = setup_tracker () in
+  (* modify the gene sequence *)
+  (match Table.update_cell gene ~row:g0 ~col:1 (Value.VDna "CCCGGGAAA") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let report = Tracker.on_cell_update tracker ~table:"Gene" ~row:g0 ~col:1 in
+  (* PSequence recomputed automatically by tool P *)
+  checki "one recomputed" 1 (List.length report.Tracker.recomputed);
+  (match Table.get protein p0 with
+  | Some tuple -> checks "new PSequence" "KVM" (Value.to_display (Tuple.get tuple 2))
+  | None -> Alcotest.fail "protein row gone");
+  (* PSequence itself is NOT outdated (it was auto-updated)... *)
+  checkb "PSequence fresh" false (Tracker.is_outdated tracker ~table:"Protein" ~row:p0 ~col:2);
+  (* ...but PFunction is marked outdated (lab experiment, Figure 10) *)
+  checkb "PFunction outdated" true
+    (Tracker.is_outdated tracker ~table:"Protein" ~row:p0 ~col:3);
+  checkb "PFunction in marked list" true
+    (List.exists
+       (fun c -> c.Dep_graph.table = "protein" && c.Dep_graph.col = 3)
+       report.Tracker.marked)
+
+let test_tracker_revalidate () =
+  let _, gene, _, tracker, g0, p0 = setup_tracker () in
+  ignore (Table.update_cell gene ~row:g0 ~col:1 (Value.VDna "CCC"));
+  ignore (Tracker.on_cell_update tracker ~table:"Gene" ~row:g0 ~col:1);
+  checkb "outdated" true (Tracker.is_outdated tracker ~table:"Protein" ~row:p0 ~col:3);
+  (* the curator re-verifies the function without changing it *)
+  Tracker.revalidate tracker ~table:"Protein" ~row:p0 ~col:3;
+  checkb "valid again" false (Tracker.is_outdated tracker ~table:"Protein" ~row:p0 ~col:3);
+  checki "no outdated cells" 0 (List.length (Tracker.outdated_cells tracker ~table:"Protein"))
+
+let test_tracker_direct_update_clears () =
+  let _, gene, protein, tracker, g0, p0 = setup_tracker () in
+  ignore (Table.update_cell gene ~row:g0 ~col:1 (Value.VDna "CCC"));
+  ignore (Tracker.on_cell_update tracker ~table:"Gene" ~row:g0 ~col:1);
+  checkb "outdated" true (Tracker.is_outdated tracker ~table:"Protein" ~row:p0 ~col:3);
+  (* the lab re-runs the experiment and stores a fresh function value *)
+  ignore (Table.update_cell protein ~row:p0 ~col:3 (v "Methyltransferase"));
+  ignore (Tracker.on_cell_update tracker ~table:"Protein" ~row:p0 ~col:3);
+  checkb "fresh after direct update" false
+    (Tracker.is_outdated tracker ~table:"Protein" ~row:p0 ~col:3)
+
+let test_tracker_procedure_change () =
+  (* Figure 9b: Evalue depends on BLAST-2.2.15; upgrading BLAST re-evaluates *)
+  let d = Bdbms_storage.Disk.create ~page_size:1024 () in
+  let bp = Bdbms_storage.Buffer_pool.create ~capacity:64 d in
+  let catalog = Catalog.create bp in
+  let gm =
+    match
+      Catalog.create_table catalog ~name:"GeneMatching"
+        (Schema.make
+           [
+             { Schema.name = "Gene1"; ty = Value.TString };
+             { Schema.name = "Gene2"; ty = Value.TString };
+             { Schema.name = "Evalue"; ty = Value.TFloat };
+           ])
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.fail e
+  in
+  let tracker = Tracker.create catalog in
+  let blast = Procedure.executable ~name:"BLAST" ~version:"2.2.15" blast_body in
+  let r3 =
+    Rule.make ~id:"r3"
+      ~sources:[ Rule.attr "GeneMatching" "Gene1"; Rule.attr "GeneMatching" "Gene2" ]
+      ~target:(Rule.attr "GeneMatching" "Evalue")
+      blast
+  in
+  checkb "add r3" true (Result.is_ok (Tracker.add_rule tracker r3));
+  let row =
+    match Table.insert gm (Tuple.make [ v "ATCC"; v "ATCG"; Value.VFloat 0.0 ]) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  checkb "link" true
+    (Result.is_ok
+       (Tracker.link tracker ~rule_id:"r3" ~sources:[ (row, 0); (row, 1) ] ~target:(row, 2)));
+  (* a BLAST upgrade re-executes and refreshes Evalue automatically *)
+  Procedure.set_version blast "2.3.0";
+  let report = Tracker.on_procedure_change tracker "BLAST" in
+  checki "recomputed" 1 (List.length report.Tracker.recomputed);
+  (match Table.get gm row with
+  | Some tuple ->
+      (* 3 matching positions -> 1/4 *)
+      checkb "evalue" true (Value.as_float (Tuple.get tuple 2) = 0.25)
+  | None -> Alcotest.fail "row gone");
+  checkb "not outdated" false (Tracker.is_outdated tracker ~table:"GeneMatching" ~row ~col:2)
+
+let test_tracker_non_executable_procedure_change () =
+  let _, _, _, tracker, _, p0 = setup_tracker () in
+  (* the lab protocol changed: everything derived by it goes stale *)
+  let report = Tracker.on_procedure_change tracker "LabExperiment" in
+  checkb "marked" true (report.Tracker.marked <> []);
+  checkb "PFunction stale" true (Tracker.is_outdated tracker ~table:"Protein" ~row:p0 ~col:3)
+
+let test_tracker_multi_source_blast () =
+  let _, _, _, tracker, _, _ = setup_tracker () in
+  (* linking with wrong arity fails *)
+  checkb "bad arity" true
+    (Result.is_error (Tracker.link_rows tracker ~rule_id:"r1" ~source_rows:[ 0; 1 ] ~target_row:0));
+  checkb "unknown rule" true
+    (Result.is_error (Tracker.link_rows tracker ~rule_id:"nope" ~source_rows:[ 0 ] ~target_row:0))
+
+let test_tracker_bitmap_stats () =
+  let _, gene, _, tracker, g0, _ = setup_tracker () in
+  ignore (Table.update_cell gene ~row:g0 ~col:1 (Value.VDna "CCC"));
+  ignore (Tracker.on_cell_update tracker ~table:"Gene" ~row:g0 ~col:1);
+  match Tracker.bitmap_stats tracker ~table:"Protein" with
+  | Some (raw, compressed) ->
+      checkb "raw positive" true (raw > 0);
+      checkb "compressed positive" true (compressed > 0)
+  | None -> Alcotest.fail "no bitmap for Protein"
+
+let () =
+  Alcotest.run "bdbms_dependency"
+    [
+      ( "procedure",
+        [
+          Alcotest.test_case "basics" `Quick test_procedure_basics;
+          Alcotest.test_case "registry" `Quick test_procedure_registry;
+        ] );
+      ( "rule",
+        [
+          Alcotest.test_case "compose (rule 4)" `Quick test_rule_compose;
+          Alcotest.test_case "closures" `Quick test_rule_set_closures;
+          Alcotest.test_case "conflict and cycle" `Quick test_rule_set_conflict_and_cycle;
+        ] );
+      ("bitmap", [ Alcotest.test_case "outdated bitmap" `Quick test_outdated_bitmap ]);
+      ( "tracker",
+        [
+          Alcotest.test_case "figure 9 cascade" `Quick test_tracker_figure9_cascade;
+          Alcotest.test_case "revalidate" `Quick test_tracker_revalidate;
+          Alcotest.test_case "direct update clears" `Quick test_tracker_direct_update_clears;
+          Alcotest.test_case "procedure change (BLAST)" `Quick test_tracker_procedure_change;
+          Alcotest.test_case "non-executable procedure change" `Quick
+            test_tracker_non_executable_procedure_change;
+          Alcotest.test_case "link errors" `Quick test_tracker_multi_source_blast;
+          Alcotest.test_case "bitmap stats" `Quick test_tracker_bitmap_stats;
+        ] );
+    ]

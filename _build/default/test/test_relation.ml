@@ -1,0 +1,538 @@
+(* Tests for bdbms_relation: values, schemas, tuples, tables, expressions,
+   relational operators. *)
+
+open Bdbms_relation
+module Rle = Bdbms_util.Rle
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let v_int n = Value.VInt n
+let v_str s = Value.VString s
+let v_float f = Value.VFloat f
+
+let mk_env ?(page_size = 1024) ?(capacity = 32) () =
+  let d = Bdbms_storage.Disk.create ~page_size () in
+  Bdbms_storage.Buffer_pool.create ~capacity d
+
+let gene_schema () =
+  Schema.make
+    [
+      { Schema.name = "GID"; ty = Value.TString };
+      { Schema.name = "GName"; ty = Value.TString };
+      { Schema.name = "GSequence"; ty = Value.TDna };
+    ]
+
+(* ---------------------------------------------------------------- Value *)
+
+let test_value_codec () =
+  let values =
+    [
+      Value.VNull;
+      v_int 42;
+      v_int (-7);
+      v_float 3.25;
+      Value.VBool true;
+      Value.VBool false;
+      v_str "hello";
+      v_str "";
+      Value.VDna "ATGAAAGTATC";
+      Value.VProtein "MKVSVPGM";
+      Value.VRle (Rle.encode "LLLEEEHHH");
+    ]
+  in
+  List.iter
+    (fun v ->
+      let enc = Value.encode v in
+      let v', pos = Value.decode enc ~pos:0 in
+      checkb (Value.to_display v) true (Value.equal v v' || (Value.is_null v && Value.is_null v'));
+      checki "consumed all" (String.length enc) pos)
+    values
+
+let test_value_equal_across_seq_types () =
+  checkb "rle = raw" true
+    (Value.equal (Value.VRle (Rle.encode "HHEEL")) (Value.VProtein "HHEEL"));
+  checkb "string = dna" true (Value.equal (v_str "ACGT") (Value.VDna "ACGT"));
+  checkb "int = float" true (Value.equal (v_int 2) (v_float 2.0));
+  checkb "null != null is false" true (Value.equal Value.VNull Value.VNull)
+
+let test_value_compare () =
+  checkb "null first" true (Value.compare Value.VNull (v_int 0) < 0);
+  checkb "int order" true (Value.compare (v_int 1) (v_int 2) < 0);
+  checkb "mixed numeric" true (Value.compare (v_int 1) (v_float 1.5) < 0);
+  checkb "string order" true (Value.compare (v_str "a") (v_str "b") < 0);
+  checkb "rle vs raw" true
+    (Value.compare (Value.VRle (Rle.encode "AAB")) (v_str "AAC") < 0)
+
+let test_value_types () =
+  checkb "conforms" true (Value.conforms (v_int 3) Value.TInt);
+  checkb "null conforms" true (Value.conforms Value.VNull Value.TDna);
+  checkb "mismatch" false (Value.conforms (v_str "x") Value.TInt);
+  Alcotest.check Alcotest.(option string) "parse type" (Some "DNA")
+    (Option.map Value.type_name (Value.type_of_name "dna"));
+  Alcotest.check Alcotest.(option string) "varchar is text" (Some "TEXT")
+    (Option.map Value.type_name (Value.type_of_name "VARCHAR"))
+
+(* --------------------------------------------------------------- Schema *)
+
+let test_schema_basic () =
+  let s = gene_schema () in
+  checki "arity" 3 (Schema.arity s);
+  Alcotest.check Alcotest.(option int) "find" (Some 1) (Schema.index_of s "gname");
+  Alcotest.check Alcotest.(option int) "missing" None (Schema.index_of s "nope");
+  checkb "mem" true (Schema.mem s "GID")
+
+let test_schema_duplicate () =
+  match
+    Schema.make
+      [ { Schema.name = "A"; ty = Value.TInt }; { Schema.name = "a"; ty = Value.TInt } ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected duplicate rejection"
+
+let test_schema_project_concat () =
+  let s = gene_schema () in
+  let p = Schema.project s [ "GSequence"; "GID" ] in
+  checki "projected arity" 2 (Schema.arity p);
+  checks "order kept" "GSequence" (Schema.column_at p 0).Schema.name;
+  let j = Schema.concat s s in
+  checki "concat arity" 6 (Schema.arity j);
+  (* renamed duplicates *)
+  checkb "renamed" true (Schema.mem j "r_GID")
+
+let test_schema_union_compatible () =
+  let a = Schema.make [ { Schema.name = "x"; ty = Value.TInt } ] in
+  let b = Schema.make [ { Schema.name = "y"; ty = Value.TInt } ] in
+  let c = Schema.make [ { Schema.name = "x"; ty = Value.TString } ] in
+  checkb "compatible" true (Schema.union_compatible a b);
+  checkb "incompatible" false (Schema.union_compatible a c)
+
+(* ---------------------------------------------------------------- Tuple *)
+
+let test_tuple_codec () =
+  let t = Tuple.make [ v_str "JW0080"; v_str "mraW"; Value.VDna "ATGATGG" ] in
+  let t' = Tuple.decode (Tuple.encode t) in
+  checkb "roundtrip" true (Tuple.equal t t')
+
+let test_tuple_check () =
+  let s = gene_schema () in
+  checkb "ok" true
+    (Tuple.check s (Tuple.make [ v_str "a"; v_str "b"; Value.VDna "ACGT" ]) = Ok ());
+  checkb "null ok" true
+    (Tuple.check s (Tuple.make [ v_str "a"; Value.VNull; Value.VNull ]) = Ok ());
+  checkb "arity" true
+    (Result.is_error (Tuple.check s (Tuple.make [ v_str "a" ])));
+  checkb "type" true
+    (Result.is_error (Tuple.check s (Tuple.make [ v_int 1; v_str "b"; Value.VDna "A" ])))
+
+(* ---------------------------------------------------------------- Table *)
+
+let test_table_insert_get () =
+  let bp = mk_env () in
+  let t = Table.create bp ~name:"Gene" (gene_schema ()) in
+  let row =
+    match Table.insert t (Tuple.make [ v_str "JW0080"; v_str "mraW"; Value.VDna "ATG" ]) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  checki "first row is 0" 0 row;
+  (match Table.get t row with
+  | Some tuple -> checks "GID" "JW0080" (Value.to_display (Tuple.get tuple 0))
+  | None -> Alcotest.fail "row missing");
+  checkb "bad type rejected" true
+    (Result.is_error (Table.insert t (Tuple.make [ v_int 3; v_str "x"; Value.VNull ])))
+
+let test_table_stable_row_numbers () =
+  let bp = mk_env () in
+  let t = Table.create bp ~name:"T" (gene_schema ()) in
+  let ins gid =
+    match Table.insert t (Tuple.make [ v_str gid; v_str "n"; Value.VNull ]) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let r0 = ins "a" and r1 = ins "b" and r2 = ins "c" in
+  checkb "delete" true (Table.delete t r1);
+  checkb "r1 dead" false (Table.is_live t r1);
+  (* numbering unchanged, new rows get fresh numbers *)
+  let r3 = ins "d" in
+  checki "r3" 3 r3;
+  checki "row_count includes tombstones" 4 (Table.row_count t);
+  checki "live_count" 3 (Table.live_count t);
+  ignore r0;
+  ignore r2
+
+let test_table_update_cell () =
+  let bp = mk_env () in
+  let t = Table.create bp ~name:"T" (gene_schema ()) in
+  let row =
+    match Table.insert t (Tuple.make [ v_str "g"; v_str "n"; Value.VDna "AAA" ]) with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  (match Table.update_cell t ~row ~col:2 (Value.VDna "CCC") with
+  | Ok old -> checks "old value" "AAA" (Value.to_display old)
+  | Error e -> Alcotest.fail e);
+  (match Table.get t row with
+  | Some tuple -> checks "new value" "CCC" (Value.to_display (Tuple.get tuple 2))
+  | None -> Alcotest.fail "row missing");
+  checkb "bad col" true (Result.is_error (Table.update_cell t ~row ~col:9 Value.VNull));
+  checkb "bad type" true
+    (Result.is_error (Table.update_cell t ~row ~col:2 (v_int 3)))
+
+let test_table_many_rows () =
+  let bp = mk_env ~page_size:512 ~capacity:8 () in
+  let t = Table.create bp ~name:"Big" (gene_schema ()) in
+  for i = 0 to 199 do
+    match
+      Table.insert t
+        (Tuple.make [ v_str (Printf.sprintf "JW%04d" i); v_str "g"; Value.VDna "ACGTACGT" ])
+    with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail e
+  done;
+  checki "live" 200 (Table.live_count t);
+  checkb "spans pages" true (Table.storage_pages t > 1);
+  let seen = ref 0 in
+  Table.iter t (fun _ _ -> incr seen);
+  checki "iter sees all" 200 !seen
+
+(* ----------------------------------------------------------------- Expr *)
+
+let abc_schema =
+  Schema.make
+    [
+      { Schema.name = "a"; ty = Value.TInt };
+      { Schema.name = "b"; ty = Value.TString };
+      { Schema.name = "c"; ty = Value.TFloat };
+    ]
+
+let abc_tuple = Tuple.make [ v_int 10; v_str "hello"; v_float 2.5 ]
+
+let test_expr_eval () =
+  let open Expr in
+  let ev e = eval abc_schema abc_tuple e in
+  checkb "col" true (Value.equal (ev (Col "a")) (v_int 10));
+  checkb "arith" true (Value.equal (ev (Arith (Add, Col "a", Lit (v_int 5)))) (v_int 15));
+  checkb "mixed arith" true
+    (Value.equal (ev (Arith (Mul, Col "c", Lit (v_int 2)))) (v_float 5.0));
+  checkb "cmp" true (Value.equal (ev (Cmp (Gt, Col "a", Lit (v_int 3)))) (Value.VBool true));
+  checkb "concat" true
+    (Value.equal (ev (Concat (Col "b", Lit (v_str "!")))) (v_str "hello!"))
+
+let test_expr_pred_null_logic () =
+  let open Expr in
+  let schema = Schema.make [ { Schema.name = "x"; ty = Value.TInt } ] in
+  let null_tuple = Tuple.make [ Value.VNull ] in
+  (* NULL comparisons are not true *)
+  checkb "null = 1 is false" false
+    (eval_pred schema null_tuple (Cmp (Eq, Col "x", Lit (v_int 1))));
+  checkb "null <> 1 is false" false
+    (eval_pred schema null_tuple (Cmp (Neq, Col "x", Lit (v_int 1))));
+  checkb "is null" true (eval_pred schema null_tuple (Is_null (Col "x")));
+  (* three-valued AND/OR *)
+  checkb "null AND false = false" false
+    (eval_pred schema null_tuple
+       (And (Cmp (Eq, Col "x", Lit (v_int 1)), Lit (Value.VBool false))));
+  checkb "null OR true = true" true
+    (eval_pred schema null_tuple
+       (Or (Cmp (Eq, Col "x", Lit (v_int 1)), Lit (Value.VBool true))))
+
+let test_expr_like () =
+  checkb "exact" true (Expr.like_match ~pattern:"abc" "abc");
+  checkb "pct" true (Expr.like_match ~pattern:"a%" "abcdef");
+  checkb "pct middle" true (Expr.like_match ~pattern:"a%f" "abcdef");
+  checkb "underscore" true (Expr.like_match ~pattern:"a_c" "abc");
+  checkb "miss" false (Expr.like_match ~pattern:"a_c" "abbc");
+  checkb "pct empty" true (Expr.like_match ~pattern:"%" "");
+  checkb "double pct" true (Expr.like_match ~pattern:"%JW%" "xxJW0080")
+
+let test_expr_errors () =
+  let open Expr in
+  (match eval abc_schema abc_tuple (Col "nope") with
+  | exception Eval_error _ -> ()
+  | _ -> Alcotest.fail "unknown column should fail");
+  (match eval abc_schema abc_tuple (Arith (Div, Col "a", Lit (v_int 0))) with
+  | exception Eval_error _ -> ()
+  | _ -> Alcotest.fail "division by zero should fail");
+  (match eval abc_schema abc_tuple (Arith (Add, Col "b", Lit (v_int 1))) with
+  | exception Eval_error _ -> ()
+  | _ -> Alcotest.fail "string arith should fail")
+
+let test_expr_columns_used () =
+  let open Expr in
+  let e = And (Cmp (Eq, Col "a", Col "b"), Like (Col "a", "x%")) in
+  Alcotest.check Alcotest.(list string) "columns" [ "a"; "b" ] (columns_used e)
+
+(* ------------------------------------------------------------------ Ops *)
+
+let mk_gene_table () =
+  let bp = mk_env () in
+  let t = Table.create bp ~name:"G" (gene_schema ()) in
+  List.iter
+    (fun (gid, name, seq) ->
+      match Table.insert t (Tuple.make [ v_str gid; v_str name; Value.VDna seq ]) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    [
+      ("JW0080", "mraW", "ATGATGGAAAA");
+      ("JW0082", "ftsI", "ATGAAAGCAGC");
+      ("JW0055", "yabP", "ATGAAAGTATC");
+      ("JW0078", "fruR", "GTGAAACTGGA");
+    ];
+  t
+
+let test_ops_scan_select_project () =
+  let t = mk_gene_table () in
+  let rs = Ops.scan t in
+  checki "scan" 4 (Ops.row_count rs);
+  let sel = Ops.select rs (Expr.Like (Expr.Col "GSequence", "ATG%")) in
+  checki "select" 3 (Ops.row_count sel);
+  let proj = Ops.project sel [ "GID" ] in
+  checki "projected arity" 1 (Schema.arity proj.Ops.schema);
+  checki "projected rows" 3 (Ops.row_count proj)
+
+let test_ops_join () =
+  let t = mk_gene_table () in
+  let a = Ops.project (Ops.scan t) [ "GID"; "GName" ] in
+  let b = Ops.project (Ops.scan t) [ "GID"; "GSequence" ] in
+  let j = Ops.join a b ~on:(Expr.Cmp (Expr.Eq, Expr.Col "GID", Expr.Col "r_GID")) in
+  checki "join rows" 4 (Ops.row_count j);
+  checki "join arity" 4 (Schema.arity j.Ops.schema)
+
+let test_ops_set_operators () =
+  let t = mk_gene_table () in
+  let all = Ops.project (Ops.scan t) [ "GID" ] in
+  let some =
+    Ops.project
+      (Ops.select (Ops.scan t) (Expr.Like (Expr.Col "GSequence", "ATG%")))
+      [ "GID" ]
+  in
+  checki "intersect" 3 (Ops.row_count (Ops.intersect all some));
+  checki "except" 1 (Ops.row_count (Ops.except all some));
+  checki "union" 4 (Ops.row_count (Ops.union all some));
+  (* duplicates collapse *)
+  let doubled = { all with Ops.rows = all.Ops.rows @ all.Ops.rows } in
+  checki "union dedups" 4 (Ops.row_count (Ops.union doubled doubled))
+
+let test_ops_distinct_order_limit () =
+  let t = mk_gene_table () in
+  let names = Ops.project (Ops.scan t) [ "GName" ] in
+  let dup = { names with Ops.rows = names.Ops.rows @ names.Ops.rows } in
+  checki "distinct" 4 (Ops.row_count (Ops.distinct dup));
+  let sorted = Ops.order_by names [ ("GName", `Asc) ] in
+  checks "first sorted" "fruR" (Value.to_display (Tuple.get (List.hd sorted.Ops.rows) 0));
+  let top = Ops.limit sorted 2 in
+  checki "limit" 2 (Ops.row_count top)
+
+let test_ops_group_by () =
+  let bp = mk_env () in
+  let schema =
+    Schema.make
+      [ { Schema.name = "species"; ty = Value.TString };
+        { Schema.name = "len"; ty = Value.TInt } ]
+  in
+  let t = Table.create bp ~name:"S" schema in
+  List.iter
+    (fun (sp, len) ->
+      match Table.insert t (Tuple.make [ v_str sp; v_int len ]) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    [ ("ecoli", 100); ("ecoli", 200); ("yeast", 50) ];
+  let rs = Ops.scan t in
+  let g =
+    Ops.group_by rs ~keys:[ "species" ]
+      ~aggs:
+        [
+          (Ops.Count_star, "n");
+          (Ops.Sum "len", "total");
+          (Ops.Avg "len", "mean");
+          (Ops.Min "len", "lo");
+          (Ops.Max "len", "hi");
+        ]
+  in
+  checki "groups" 2 (Ops.row_count g);
+  let ecoli =
+    List.find (fun r -> Value.to_display (Tuple.get r 0) = "ecoli") g.Ops.rows
+  in
+  checki "count" 2 (Value.as_int (Tuple.get ecoli 1));
+  checki "sum" 300 (Value.as_int (Tuple.get ecoli 2));
+  checkb "avg" true (Value.as_float (Tuple.get ecoli 3) = 150.0);
+  checki "min" 100 (Value.as_int (Tuple.get ecoli 4));
+  checki "max" 200 (Value.as_int (Tuple.get ecoli 5))
+
+let test_ops_group_by_global () =
+  let t = mk_gene_table () in
+  let g = Ops.group_by (Ops.scan t) ~keys:[] ~aggs:[ (Ops.Count_star, "n") ] in
+  checki "one row" 1 (Ops.row_count g);
+  checki "count" 4 (Value.as_int (Tuple.get (List.hd g.Ops.rows) 0));
+  (* global aggregate over empty input still yields one row *)
+  let empty = Ops.select (Ops.scan t) (Expr.Lit (Value.VBool false)) in
+  let g0 = Ops.group_by empty ~keys:[] ~aggs:[ (Ops.Count_star, "n") ] in
+  checki "count empty" 0 (Value.as_int (Tuple.get (List.hd g0.Ops.rows) 0))
+
+let test_ops_extend () =
+  let t = mk_gene_table () in
+  let rs =
+    Ops.extend (Ops.scan t) ~name:"tagged" ~ty:Value.TString
+      (Expr.Concat (Expr.Col "GID", Expr.Lit (v_str "!")))
+  in
+  checki "arity" 4 (Schema.arity rs.Ops.schema);
+  checkb "value" true
+    (List.exists
+       (fun r -> Value.to_display (Tuple.get r 3) = "JW0080!")
+       rs.Ops.rows)
+
+let test_ops_incompatible_sets () =
+  let t = mk_gene_table () in
+  let a = Ops.project (Ops.scan t) [ "GID" ] in
+  let b = Ops.scan t in
+  match Ops.union a b with
+  | exception Expr.Eval_error _ -> ()
+  | _ -> Alcotest.fail "expected union-compatibility error"
+
+(* --------------------------------------------------------------- cursor *)
+
+let test_cursor_scan_pipeline () =
+  let t = mk_gene_table () in
+  let c =
+    Cursor.project
+      (Cursor.select (Cursor.scan t) (Expr.Like (Expr.Col "GSequence", "ATG%")))
+      [ "GID" ]
+  in
+  let rows = Cursor.to_list c in
+  checki "pipelined rows" 3 (List.length rows);
+  (* agrees with the materialized operators *)
+  let materialized =
+    Ops.project (Ops.select (Ops.scan t) (Expr.Like (Expr.Col "GSequence", "ATG%"))) [ "GID" ]
+  in
+  checkb "same as Ops" true
+    (List.for_all2 Tuple.equal rows materialized.Ops.rows)
+
+let test_cursor_limit_early_stop () =
+  let t = mk_gene_table () in
+  let pulled = ref 0 in
+  let counting =
+    let base = Cursor.scan t in
+    Cursor.of_list (Cursor.schema base)
+      (Cursor.to_list base |> List.map (fun x -> incr pulled; x))
+  in
+  ignore counting;
+  (* limit stops pulling from its input *)
+  let c = Cursor.limit (Cursor.scan t) 2 in
+  checki "limited" 2 (List.length (Cursor.to_list c));
+  (* exhausted cursors stay exhausted *)
+  let c2 = Cursor.scan t in
+  ignore (Cursor.to_list c2);
+  checkb "drained" true (Cursor.next c2 = None);
+  Cursor.close c2;
+  checkb "closed" true (Cursor.next c2 = None)
+
+let test_cursor_join () =
+  let t = mk_gene_table () in
+  let joined =
+    Cursor.nested_loop_join
+      (Cursor.project (Cursor.scan t) [ "GID" ])
+      ~rebuild:(fun () -> Cursor.project (Cursor.scan t) [ "GID"; "GName" ])
+      ~on:(Expr.Cmp (Expr.Eq, Expr.Col "GID", Expr.Col "r_GID"))
+  in
+  let rows = Cursor.to_list joined in
+  checki "self join" 4 (List.length rows);
+  checki "arity" 3 (Schema.arity (Cursor.schema joined))
+
+let test_cursor_count_and_rowset () =
+  let t = mk_gene_table () in
+  checki "count" 4 (Cursor.count (Cursor.scan t));
+  let rs = Cursor.to_rowset (Cursor.scan t) in
+  checki "rowset" 4 (Ops.row_count rs)
+
+let relation_qcheck =
+  let module T = Tuple in
+  let open QCheck in
+  let tuple_gen =
+    make
+      ~print:(fun (a, b, c) -> Printf.sprintf "(%d,%s,%f)" a b c)
+      Gen.(triple int (small_string ~gen:printable) float)
+  in
+  [
+    Test.make ~name:"tuple codec roundtrip" ~count:500 tuple_gen (fun (a, b, c) ->
+        let t = T.make [ v_int a; v_str b; v_float c ] in
+        T.equal t (T.decode (T.encode t)));
+    Test.make ~name:"tuple compare is a total order consistent with equal" ~count:300
+      (pair tuple_gen tuple_gen)
+      (fun ((a1, b1, c1), (a2, b2, c2)) ->
+        let t1 = T.make [ v_int a1; v_str b1; v_float c1 ] in
+        let t2 = T.make [ v_int a2; v_str b2; v_float c2 ] in
+        let c = T.compare t1 t2 in
+        if c = 0 then T.equal t1 t2 else T.compare t2 t1 = -c);
+    Test.make ~name:"intersect subset of both" ~count:100
+      (pair (list_of_size (Gen.int_bound 20) small_nat) (list_of_size (Gen.int_bound 20) small_nat))
+      (fun (xs, ys) ->
+        let schema = Schema.make [ { Schema.name = "v"; ty = Value.TInt } ] in
+        let rs vs = { Ops.schema; rows = List.map (fun v -> T.make [ v_int v ]) vs } in
+        let inter = Ops.intersect (rs xs) (rs ys) in
+        List.for_all
+          (fun t ->
+            let v = Value.as_int (T.get t 0) in
+            List.mem v xs && List.mem v ys)
+          inter.Ops.rows);
+  ]
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "bdbms_relation"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "codec" `Quick test_value_codec;
+          Alcotest.test_case "cross-type equality" `Quick test_value_equal_across_seq_types;
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "types" `Quick test_value_types;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basic" `Quick test_schema_basic;
+          Alcotest.test_case "duplicates" `Quick test_schema_duplicate;
+          Alcotest.test_case "project/concat" `Quick test_schema_project_concat;
+          Alcotest.test_case "union compatible" `Quick test_schema_union_compatible;
+        ] );
+      ( "tuple",
+        [
+          Alcotest.test_case "codec" `Quick test_tuple_codec;
+          Alcotest.test_case "check" `Quick test_tuple_check;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "insert/get" `Quick test_table_insert_get;
+          Alcotest.test_case "stable row numbers" `Quick test_table_stable_row_numbers;
+          Alcotest.test_case "update cell" `Quick test_table_update_cell;
+          Alcotest.test_case "many rows" `Quick test_table_many_rows;
+        ] );
+      ( "expr",
+        [
+          Alcotest.test_case "eval" `Quick test_expr_eval;
+          Alcotest.test_case "null logic" `Quick test_expr_pred_null_logic;
+          Alcotest.test_case "like" `Quick test_expr_like;
+          Alcotest.test_case "errors" `Quick test_expr_errors;
+          Alcotest.test_case "columns used" `Quick test_expr_columns_used;
+        ] );
+      ( "cursor",
+        [
+          Alcotest.test_case "scan/select/project pipeline" `Quick test_cursor_scan_pipeline;
+          Alcotest.test_case "limit and lifecycle" `Quick test_cursor_limit_early_stop;
+          Alcotest.test_case "nested loop join" `Quick test_cursor_join;
+          Alcotest.test_case "count/to_rowset" `Quick test_cursor_count_and_rowset;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "scan/select/project" `Quick test_ops_scan_select_project;
+          Alcotest.test_case "join" `Quick test_ops_join;
+          Alcotest.test_case "set operators" `Quick test_ops_set_operators;
+          Alcotest.test_case "distinct/order/limit" `Quick test_ops_distinct_order_limit;
+          Alcotest.test_case "group by" `Quick test_ops_group_by;
+          Alcotest.test_case "global aggregate" `Quick test_ops_group_by_global;
+          Alcotest.test_case "extend" `Quick test_ops_extend;
+          Alcotest.test_case "incompatible sets" `Quick test_ops_incompatible_sets;
+        ] );
+      ("relation-properties", q relation_qcheck);
+    ]

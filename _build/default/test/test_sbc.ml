@@ -1,0 +1,348 @@
+(* Tests for bdbms_sbc: text store, String B-tree, SBC-tree. *)
+
+open Bdbms_sbc
+module Rle = Bdbms_util.Rle
+module Prng = Bdbms_util.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let mk_bp ?(page_size = 256) ?(capacity = 512) () =
+  let d = Bdbms_storage.Disk.create ~page_size () in
+  (d, Bdbms_storage.Buffer_pool.create ~capacity d)
+
+(* naive oracle for substring occurrences *)
+let naive_occurrences texts pattern =
+  let m = String.length pattern in
+  List.concat
+    (List.mapi
+       (fun seq s ->
+         let n = String.length s in
+         let rec go i acc =
+           if i + m > n then List.rev acc
+           else if String.sub s i m = pattern then go (i + 1) (i :: acc)
+           else go (i + 1) acc
+         in
+         List.map (fun pos -> (seq, pos)) (go 0 []))
+       texts)
+
+(* ----------------------------------------------------------- text store *)
+
+let test_text_store_basic () =
+  let _, bp = mk_bp () in
+  let ts = Text_store.create bp in
+  let a = Text_store.add ts "HELLO" in
+  let b = Text_store.add ts (String.make 1000 'x') in
+  checki "len a" 5 (Text_store.length ts a);
+  checki "len b" 1000 (Text_store.length ts b);
+  checks "read" "ELL" (Text_store.read ts a ~pos:1 ~len:3);
+  checks "read all" "HELLO" (Text_store.read_all ts a);
+  checkb "byte" true (Text_store.byte_at ts b 999 = 'x');
+  checki "count" 2 (Text_store.count ts);
+  checkb "multi page" true (Text_store.page_count ts >= 5)
+
+let test_text_store_cross_page_read () =
+  let _, bp = mk_bp ~page_size:64 () in
+  let ts = Text_store.create bp in
+  let s = String.init 300 (fun i -> Char.chr (65 + (i mod 26))) in
+  let id = Text_store.add ts s in
+  (* a read spanning several pages *)
+  checks "span read" (String.sub s 50 200) (Text_store.read ts id ~pos:50 ~len:200);
+  (match Text_store.read ts id ~pos:290 ~len:20 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "oob read accepted")
+
+(* -------------------------------------------------------- String B-tree *)
+
+let secondary_structure rng len =
+  (* run-heavy H/E/L sequences like protein secondary structures *)
+  let buf = Buffer.create len in
+  while Buffer.length buf < len do
+    let c = Prng.choose rng [| 'H'; 'E'; 'L' |] in
+    let run = Prng.geometric rng ~p:0.2 in
+    Buffer.add_string buf (String.make (min run (len - Buffer.length buf)) c)
+  done;
+  Buffer.contents buf
+
+let test_strbtree_substring () =
+  let _, bp = mk_bp () in
+  let t = String_btree.create bp in
+  let texts = [ "HHELLLEEH"; "LLLEEEHHH"; "EHEHE" ] in
+  List.iter (fun s -> ignore (String_btree.insert t s)) texts;
+  let got =
+    String_btree.substring_search t "EH"
+    |> List.map (fun o -> (o.String_btree.seq, o.String_btree.pos))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int))) "EH occurrences"
+    (List.sort compare (naive_occurrences texts "EH"))
+    got
+
+let test_strbtree_prefix_range () =
+  let _, bp = mk_bp () in
+  let t = String_btree.create bp in
+  let texts = [ "HHE"; "HEL"; "LLE"; "HHH" ] in
+  List.iter (fun s -> ignore (String_btree.insert t s)) texts;
+  Alcotest.(check (list int)) "prefix HH" [ 0; 3 ]
+    (String_btree.prefix_search t "HH");
+  Alcotest.(check (list int)) "range" [ 0; 1; 3 ]
+    (String_btree.range_search t ~lo:"H" ~hi:"I")
+
+let test_strbtree_random_matches_naive () =
+  let _, bp = mk_bp ~capacity:2048 () in
+  let t = String_btree.create bp in
+  let rng = Prng.create 77 in
+  let texts = List.init 6 (fun _ -> secondary_structure rng 80) in
+  List.iter (fun s -> ignore (String_btree.insert t s)) texts;
+  List.iter
+    (fun pattern ->
+      let got =
+        String_btree.substring_search t pattern
+        |> List.map (fun o -> (o.String_btree.seq, o.String_btree.pos))
+        |> List.sort compare
+      in
+      Alcotest.(check (list (pair int int)))
+        ("pattern " ^ pattern)
+        (List.sort compare (naive_occurrences texts pattern))
+        got)
+    [ "H"; "HE"; "LLL"; "HEL"; "EEEE"; "LH"; "XYZ" ]
+
+(* --------------------------------------------------------------- SBC-tree *)
+
+let test_sbc_roundtrip () =
+  let _, bp = mk_bp () in
+  let t = Sbc_tree.create bp in
+  let s = "LLLEEEEEEEHHHHHHHHHHHHHHHHHHHHHHEEEEEELLEEEL" in
+  let id = Sbc_tree.insert t s in
+  checks "decode" s (Sbc_tree.decode t id);
+  checki "raw length" (String.length s) (Sbc_tree.raw_length t id);
+  checki "runs" (Rle.run_count (Rle.encode s)) (Sbc_tree.run_count t id)
+
+let test_sbc_insert_rle_never_decompresses () =
+  let _, bp = mk_bp () in
+  let t = Sbc_tree.create bp in
+  let r = Rle.of_string "H1000E2000L3000" in
+  let id = Sbc_tree.insert_rle t r in
+  checki "raw length" 6000 (Sbc_tree.raw_length t id);
+  checki "runs" 3 (Sbc_tree.run_count t id);
+  (* a substring query across the run boundary *)
+  let occs = Sbc_tree.substring_search t "HE" in
+  Alcotest.(check (list (pair int int))) "HE at boundary" [ (0, 999) ]
+    (List.map (fun o -> (o.Sbc_tree.seq, o.Sbc_tree.pos)) occs)
+
+let test_sbc_substring_multi_run () =
+  let _, bp = mk_bp () in
+  let t = Sbc_tree.create bp in
+  let texts = [ "HHHEELLLL"; "EELLHHH"; "LLLLEEHH" ] in
+  List.iter (fun s -> ignore (Sbc_tree.insert t s)) texts;
+  (* three-run pattern: first run suffix-aligned, middle exact, last prefix *)
+  let got =
+    Sbc_tree.substring_search t "HEEL"
+    |> List.map (fun o -> (o.Sbc_tree.seq, o.Sbc_tree.pos))
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int))) "HEEL" [ (0, 2) ] got;
+  (* single-run pattern: leftmost position per matching text run *)
+  let h3 =
+    Sbc_tree.substring_search t "HHH" |> List.map (fun o -> (o.Sbc_tree.seq, o.Sbc_tree.pos))
+  in
+  Alcotest.(check (list (pair int int))) "HHH" [ (0, 0); (1, 4) ] (List.sort compare h3)
+
+(* Occurrence semantics of the SBC-tree: one canonical occurrence per
+   matching suffix alignment, i.e. per text run that can host the pattern's
+   first run.  The oracle below reproduces that semantics from raw text. *)
+let naive_sbc texts pattern =
+  let pruns = Rle.runs (Rle.encode pattern) in
+  match pruns with
+  | [] -> []
+  | { Rle.ch = c1; len = l1 } :: rest ->
+      let k = List.length pruns in
+      List.concat
+        (List.mapi
+           (fun seq s ->
+             let truns = Array.of_list (Rle.runs (Rle.encode s)) in
+             let offsets = Array.make (Array.length truns) 0 in
+             Array.iteri
+               (fun i r -> if i > 0 then offsets.(i) <- offsets.(i - 1) + truns.(i - 1).Rle.len;
+                 ignore r)
+               truns;
+             let out = ref [] in
+             Array.iteri
+               (fun i r ->
+                 if r.Rle.ch = c1 && r.Rle.len >= l1 then
+                   if k = 1 then out := (seq, offsets.(i)) :: !out
+                   else if i + k <= Array.length truns then begin
+                     let ok = ref true in
+                     List.iteri
+                       (fun j pr ->
+                         let tr = truns.(i + 1 + j) in
+                         let is_last = j = List.length rest - 1 in
+                         if is_last then begin
+                           if tr.Rle.ch <> pr.Rle.ch || tr.Rle.len < pr.Rle.len then
+                             ok := false
+                         end
+                         else if tr.Rle.ch <> pr.Rle.ch || tr.Rle.len <> pr.Rle.len then
+                           ok := false)
+                       rest;
+                     if !ok then out := (seq, offsets.(i) + r.Rle.len - l1) :: !out
+                   end)
+               truns;
+             List.rev !out)
+           texts)
+
+let test_sbc_random_matches_oracle () =
+  let _, bp = mk_bp ~capacity:4096 () in
+  let t = Sbc_tree.create bp in
+  let rng = Prng.create 99 in
+  let texts = List.init 8 (fun _ -> secondary_structure rng 120) in
+  List.iter (fun s -> ignore (Sbc_tree.insert t s)) texts;
+  List.iter
+    (fun pattern ->
+      let got =
+        Sbc_tree.substring_search t pattern
+        |> List.map (fun o -> (o.Sbc_tree.seq, o.Sbc_tree.pos))
+        |> List.sort compare
+      in
+      Alcotest.(check (list (pair int int)))
+        ("pattern " ^ pattern)
+        (List.sort compare (naive_sbc texts pattern))
+        got)
+    [ "H"; "HH"; "HE"; "HEL"; "LLE"; "EEEHH"; "LLLLLLLL"; "HEH"; "XHX" ]
+
+let test_sbc_3sided_agrees () =
+  let _, bp = mk_bp ~capacity:4096 () in
+  let t = Sbc_tree.create bp in
+  let rng = Prng.create 101 in
+  let texts = List.init 8 (fun _ -> secondary_structure rng 100) in
+  List.iter (fun s -> ignore (Sbc_tree.insert t s)) texts;
+  List.iter
+    (fun pattern ->
+      let a =
+        Sbc_tree.substring_search t pattern
+        |> List.map (fun o -> (o.Sbc_tree.seq, o.Sbc_tree.pos))
+        |> List.sort compare
+      in
+      let b =
+        Sbc_tree.substring_search_3sided t pattern
+        |> List.map (fun o -> (o.Sbc_tree.seq, o.Sbc_tree.pos))
+        |> List.sort compare
+      in
+      Alcotest.(check (list (pair int int))) ("3sided " ^ pattern) a b)
+    [ "H"; "HHE"; "ELL"; "HEEEL"; "LLLLLL" ]
+
+let test_sbc_without_3sided () =
+  let _, bp = mk_bp () in
+  let t = Sbc_tree.create ~with_three_sided:false bp in
+  ignore (Sbc_tree.insert t "HHEELL");
+  checki "search works" 1 (List.length (Sbc_tree.substring_search t "HEE"));
+  checki "no rtree pages" 0 (Sbc_tree.rtree_pages t);
+  match Sbc_tree.substring_search_3sided t "HEE" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "3-sided search without structure accepted"
+
+let test_sbc_prefix_and_range () =
+  let _, bp = mk_bp () in
+  let t = Sbc_tree.create bp in
+  let texts = [ "HHEE"; "HEEL"; "HHHL"; "LLEE" ] in
+  List.iter (fun s -> ignore (Sbc_tree.insert t s)) texts;
+  Alcotest.(check (list int)) "prefix HH" [ 0; 2 ] (Sbc_tree.prefix_search t "HH");
+  Alcotest.(check (list int)) "prefix HHE (exact first run)" [ 0 ]
+    (Sbc_tree.prefix_search t "HHE");
+  Alcotest.(check (list int)) "range H..I" [ 0; 1; 2 ]
+    (Sbc_tree.range_search t ~lo:"H" ~hi:"I")
+
+let test_sbc_storage_savings () =
+  (* run-heavy data: the SBC-tree must use far fewer pages than the
+     uncompressed String B-tree (the paper's order-of-magnitude claim) *)
+  let disk_sbc, bp_sbc = mk_bp ~page_size:512 ~capacity:4096 () in
+  let disk_str, bp_str = mk_bp ~page_size:512 ~capacity:4096 () in
+  let sbc = Sbc_tree.create ~with_three_sided:false bp_sbc in
+  let str = String_btree.create bp_str in
+  let rng = Prng.create 55 in
+  let texts = List.init 10 (fun _ -> secondary_structure rng 300) in
+  List.iter (fun s -> ignore (Sbc_tree.insert sbc s)) texts;
+  List.iter (fun s -> ignore (String_btree.insert str s)) texts;
+  ignore disk_sbc;
+  ignore disk_str;
+  checkb
+    (Printf.sprintf "sbc pages (%d) < strbtree pages (%d)" (Sbc_tree.total_pages sbc)
+       (String_btree.total_pages str))
+    true
+    (Sbc_tree.total_pages sbc * 2 < String_btree.total_pages str)
+
+let sbc_qcheck =
+  let open QCheck in
+  let seq_gen =
+    let gen =
+      Gen.(
+        list_size (int_range 1 15) (pair (oneofl [ 'H'; 'E'; 'L' ]) (int_range 1 10))
+        >|= fun runs -> String.concat "" (List.map (fun (c, n) -> String.make n c) runs))
+    in
+    make ~print:Print.string gen
+  in
+  [
+    Test.make ~name:"sbc substring agrees with run-aligned oracle" ~count:60
+      (pair (list_of_size (Gen.int_range 1 5) seq_gen) seq_gen)
+      (fun (texts, pattern_src) ->
+        QCheck.assume (String.length pattern_src >= 1);
+        let pattern = String.sub pattern_src 0 (min 8 (String.length pattern_src)) in
+        let _, bp = mk_bp ~page_size:512 ~capacity:4096 () in
+        let t = Sbc_tree.create bp in
+        List.iter (fun s -> ignore (Sbc_tree.insert t s)) texts;
+        let got =
+          Sbc_tree.substring_search t pattern
+          |> List.map (fun o -> (o.Sbc_tree.seq, o.Sbc_tree.pos))
+          |> List.sort compare
+        in
+        got = List.sort compare (naive_sbc texts pattern));
+    Test.make ~name:"sbc decode roundtrip" ~count:100 seq_gen (fun s ->
+        let _, bp = mk_bp ~page_size:512 ~capacity:1024 () in
+        let t = Sbc_tree.create bp in
+        let id = Sbc_tree.insert t s in
+        Sbc_tree.decode t id = s);
+    Test.make ~name:"every sbc occurrence is a real occurrence" ~count:60
+      (pair (list_of_size (Gen.int_range 1 4) seq_gen) seq_gen)
+      (fun (texts, pattern_src) ->
+        QCheck.assume (String.length pattern_src >= 1);
+        let pattern = String.sub pattern_src 0 (min 6 (String.length pattern_src)) in
+        let _, bp = mk_bp ~page_size:512 ~capacity:4096 () in
+        let t = Sbc_tree.create bp in
+        List.iter (fun s -> ignore (Sbc_tree.insert t s)) texts;
+        let arr = Array.of_list texts in
+        Sbc_tree.substring_search t pattern
+        |> List.for_all (fun o ->
+               let s = arr.(o.Sbc_tree.seq) in
+               o.Sbc_tree.pos + String.length pattern <= String.length s
+               && String.sub s o.Sbc_tree.pos (String.length pattern) = pattern));
+  ]
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "bdbms_sbc"
+    [
+      ( "text-store",
+        [
+          Alcotest.test_case "basic" `Quick test_text_store_basic;
+          Alcotest.test_case "cross-page read" `Quick test_text_store_cross_page_read;
+        ] );
+      ( "string-btree",
+        [
+          Alcotest.test_case "substring" `Quick test_strbtree_substring;
+          Alcotest.test_case "prefix/range" `Quick test_strbtree_prefix_range;
+          Alcotest.test_case "random vs naive" `Quick test_strbtree_random_matches_naive;
+        ] );
+      ( "sbc-tree",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_sbc_roundtrip;
+          Alcotest.test_case "insert rle, search compressed" `Quick
+            test_sbc_insert_rle_never_decompresses;
+          Alcotest.test_case "multi-run substring" `Quick test_sbc_substring_multi_run;
+          Alcotest.test_case "random vs oracle" `Quick test_sbc_random_matches_oracle;
+          Alcotest.test_case "3-sided agrees" `Quick test_sbc_3sided_agrees;
+          Alcotest.test_case "without 3-sided" `Quick test_sbc_without_3sided;
+          Alcotest.test_case "prefix and range" `Quick test_sbc_prefix_and_range;
+          Alcotest.test_case "storage savings" `Quick test_sbc_storage_savings;
+        ] );
+      ("sbc-properties", q sbc_qcheck);
+    ]

@@ -1,0 +1,395 @@
+(* Tests for bdbms_spgist: regex engine, trie, kd-tree, quadtree. *)
+
+open Bdbms_spgist
+module Prng = Bdbms_util.Prng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let mk_bp ?(page_size = 512) ?(capacity = 256) () =
+  let d = Bdbms_storage.Disk.create ~page_size () in
+  Bdbms_storage.Buffer_pool.create ~capacity d
+
+(* ---------------------------------------------------------------- regex *)
+
+let compile_exn p =
+  match Regex_lite.compile p with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_regex_literals () =
+  let r = compile_exn "abc" in
+  checkb "match" true (Regex_lite.matches r "abc");
+  checkb "longer" false (Regex_lite.matches r "abcd");
+  checkb "shorter" false (Regex_lite.matches r "ab")
+
+let test_regex_operators () =
+  checkb "star" true (Regex_lite.matches (compile_exn "ab*c") "abbbc");
+  checkb "star zero" true (Regex_lite.matches (compile_exn "ab*c") "ac");
+  checkb "plus" true (Regex_lite.matches (compile_exn "ab+c") "abc");
+  checkb "plus zero" false (Regex_lite.matches (compile_exn "ab+c") "ac");
+  checkb "opt" true (Regex_lite.matches (compile_exn "ab?c") "ac");
+  checkb "alt" true (Regex_lite.matches (compile_exn "abc|def") "def");
+  checkb "dot" true (Regex_lite.matches (compile_exn "a.c") "axc");
+  checkb "group" true (Regex_lite.matches (compile_exn "(ab)+") "ababab");
+  checkb "class" true (Regex_lite.matches (compile_exn "[abc]+") "cab");
+  checkb "class range" true (Regex_lite.matches (compile_exn "[a-z]+[0-9]") "gene7");
+  checkb "negated class" true (Regex_lite.matches (compile_exn "[^x]+") "abc");
+  checkb "negated miss" false (Regex_lite.matches (compile_exn "[^x]+") "axc");
+  checkb "escape" true (Regex_lite.matches (compile_exn "a\\*b") "a*b")
+
+let test_regex_feasible_prefix () =
+  let r = compile_exn "JW[0-9]+" in
+  checkb "empty feasible" true (Regex_lite.feasible_prefix r "");
+  checkb "J feasible" true (Regex_lite.feasible_prefix r "J");
+  checkb "JW feasible" true (Regex_lite.feasible_prefix r "JW");
+  checkb "JW0 feasible" true (Regex_lite.feasible_prefix r "JW0");
+  checkb "X not feasible" false (Regex_lite.feasible_prefix r "X");
+  checkb "JWx not feasible" false (Regex_lite.feasible_prefix r "JWx")
+
+let test_regex_errors () =
+  checkb "unbalanced" true (Result.is_error (Regex_lite.compile "(ab"));
+  checkb "dangling star" true (Result.is_error (Regex_lite.compile "*ab"));
+  checkb "unterminated class" true (Result.is_error (Regex_lite.compile "[abc"))
+
+(* ----------------------------------------------------------------- trie *)
+
+let gene_names =
+  [ "mraW"; "mraY"; "mraZ"; "ftsI"; "ftsL"; "ftsW"; "yabP"; "yabQ"; "fruR"; "caiB" ]
+
+let mk_trie words =
+  let bp = mk_bp () in
+  let t = Trie.create bp in
+  List.iteri (fun i w -> Trie.insert t w i) words;
+  t
+
+let test_trie_exact () =
+  let t = mk_trie gene_names in
+  Alcotest.check Alcotest.(list int) "ftsI" [ 3 ] (Trie.exact t "ftsI");
+  Alcotest.check Alcotest.(list int) "missing" [] (Trie.exact t "ftsX");
+  Alcotest.check Alcotest.(list int) "prefix not key" [] (Trie.exact t "fts")
+
+let test_trie_prefix () =
+  let t = mk_trie gene_names in
+  let got = List.sort compare (List.map fst (Trie.prefix t "fts")) in
+  Alcotest.check Alcotest.(list string) "fts*" [ "ftsI"; "ftsL"; "ftsW" ] got;
+  checki "mra count" 3 (List.length (Trie.prefix t "mra"));
+  checki "empty prefix = all" (List.length gene_names) (List.length (Trie.prefix t ""))
+
+let test_trie_regex () =
+  let t = mk_trie gene_names in
+  (match Trie.regex t "(mra|fts)[WYZ]" with
+  | Ok results ->
+      let got = List.sort compare (List.map fst results) in
+      Alcotest.check Alcotest.(list string) "regex" [ "ftsW"; "mraW"; "mraY"; "mraZ" ] got
+  | Error e -> Alcotest.fail e);
+  checkb "bad pattern" true (Result.is_error (Trie.regex t "(ab"))
+
+let test_trie_duplicates_and_overflow () =
+  (* many identical keys exercise the overflow-chain path *)
+  let bp = mk_bp () in
+  let t = Trie.create bp in
+  for i = 0 to 99 do
+    Trie.insert t "same" i
+  done;
+  checki "all stored" 100 (List.length (Trie.exact t "same"));
+  checki "entry count" 100 (Trie.entry_count t)
+
+let test_trie_empty_string_key () =
+  let bp = mk_bp () in
+  let t = Trie.create bp in
+  Trie.insert t "" 7;
+  Trie.insert t "a" 8;
+  Alcotest.check Alcotest.(list int) "empty key" [ 7 ] (Trie.exact t "");
+  Alcotest.check Alcotest.(list int) "a" [ 8 ] (Trie.exact t "a")
+
+let test_trie_large () =
+  let bp = mk_bp ~capacity:1024 () in
+  let t = Trie.create bp in
+  let rng = Prng.create 3 in
+  let words =
+    Array.init 2000 (fun i ->
+        Printf.sprintf "%s%04d" (Prng.string rng ~alphabet:"acgt" ~len:4) i)
+  in
+  Array.iteri (fun i w -> Trie.insert t w i) words;
+  checki "entries" 2000 (Trie.entry_count t);
+  checkb "depth reasonable" true (Trie.max_depth t > 2);
+  (* every word findable *)
+  let ok = ref true in
+  Array.iteri (fun i w -> if Trie.exact t w <> [ i ] then ok := false) words;
+  checkb "all found" true !ok
+
+let trie_qcheck =
+  let open QCheck in
+  let words_gen =
+    make
+      ~print:(fun l -> String.concat "," l)
+      Gen.(list_size (int_bound 120) (string_size ~gen:(oneofl [ 'a'; 'c'; 'g'; 't' ]) (int_range 0 8)))
+  in
+  [
+    Test.make ~name:"trie prefix agrees with naive" ~count:80
+      (pair words_gen (make ~print:Print.string Gen.(string_size ~gen:(oneofl [ 'a'; 'c'; 'g'; 't' ]) (int_bound 4))))
+      (fun (words, prefix) ->
+        let bp = mk_bp ~capacity:1024 () in
+        let t = Trie.create bp in
+        List.iteri (fun i w -> Trie.insert t w i) words;
+        let got = List.sort compare (List.map snd (Trie.prefix t prefix)) in
+        let expected =
+          List.mapi (fun i w -> (i, w)) words
+          |> List.filter_map (fun (i, w) ->
+                 if String.length w >= String.length prefix
+                    && String.sub w 0 (String.length prefix) = prefix
+                 then Some i
+                 else None)
+          |> List.sort compare
+        in
+        got = expected);
+    Test.make ~name:"trie regex agrees with naive matches" ~count:50 words_gen
+      (fun words ->
+        let bp = mk_bp ~capacity:1024 () in
+        let t = Trie.create bp in
+        List.iteri (fun i w -> Trie.insert t w i) words;
+        let pattern = "a[cg]*t?" in
+        match (Trie.regex t pattern, Regex_lite.compile pattern) with
+        | Ok got, Ok r ->
+            let expected =
+              List.mapi (fun i w -> (i, w)) words
+              |> List.filter (fun (_, w) -> Regex_lite.matches r w)
+              |> List.map fst
+              |> List.sort compare
+            in
+            List.sort compare (List.map snd got) = expected
+        | _ -> false);
+  ]
+
+(* -------------------------------------------------------------- kd-tree *)
+
+let mk_points2 rng n =
+  Array.init n (fun i -> ([| Prng.float rng 100.0; Prng.float rng 100.0 |], i))
+
+let test_kd_point_query () =
+  let bp = mk_bp ~capacity:1024 () in
+  let t = Kd_tree.create ~dims:2 bp in
+  let rng = Prng.create 4 in
+  let pts = mk_points2 rng 500 in
+  Array.iter (fun (p, i) -> Kd_tree.insert t p i) pts;
+  checki "entries" 500 (Kd_tree.entry_count t);
+  let p, i = pts.(123) in
+  let found = Kd_tree.point_query t p in
+  checkb "found" true (List.exists (fun (_, v) -> v = i) found)
+
+let test_kd_window () =
+  let bp = mk_bp ~capacity:1024 () in
+  let t = Kd_tree.create ~dims:2 bp in
+  let rng = Prng.create 6 in
+  let pts = mk_points2 rng 400 in
+  Array.iter (fun (p, i) -> Kd_tree.insert t p i) pts;
+  let w = [| (20.0, 50.0); (10.0, 60.0) |] in
+  let got = List.sort compare (List.map snd (Kd_tree.window t w)) in
+  let expected =
+    Array.to_list pts
+    |> List.filter_map (fun (p, i) ->
+           if p.(0) >= 20.0 && p.(0) <= 50.0 && p.(1) >= 10.0 && p.(1) <= 60.0 then Some i
+           else None)
+    |> List.sort compare
+  in
+  Alcotest.check Alcotest.(list int) "window naive" expected got
+
+let test_kd_knn () =
+  let bp = mk_bp ~capacity:1024 () in
+  let t = Kd_tree.create ~dims:2 bp in
+  let rng = Prng.create 8 in
+  let pts = mk_points2 rng 300 in
+  Array.iter (fun (p, i) -> Kd_tree.insert t p i) pts;
+  let q = [| 50.0; 50.0 |] in
+  let got = Kd_tree.nearest t q ~k:7 in
+  checki "k" 7 (List.length got);
+  let dist p =
+    sqrt (((p.(0) -. 50.0) ** 2.0) +. ((p.(1) -. 50.0) ** 2.0))
+  in
+  let naive =
+    Array.to_list pts |> List.map (fun (p, i) -> (dist p, i)) |> List.sort compare
+  in
+  List.iteri
+    (fun idx (_, _, d) ->
+      let nd, _ = List.nth naive idx in
+      checkb "distance matches naive" true (abs_float (d -. nd) < 1e-9))
+    got
+
+let test_kd_3d () =
+  let bp = mk_bp ~capacity:1024 () in
+  let t = Kd_tree.create ~dims:3 bp in
+  let rng = Prng.create 12 in
+  let pts =
+    Array.init 200 (fun i ->
+        ([| Prng.float rng 10.0; Prng.float rng 10.0; Prng.float rng 10.0 |], i))
+  in
+  Array.iter (fun (p, i) -> Kd_tree.insert t p i) pts;
+  let p, i = pts.(50) in
+  checkb "3d point found" true
+    (List.exists (fun (_, v) -> v = i) (Kd_tree.point_query t p));
+  (match Kd_tree.insert t [| 1.0; 2.0 |] 999 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dimension mismatch accepted")
+
+let test_kd_duplicates () =
+  let bp = mk_bp () in
+  let t = Kd_tree.create ~dims:2 bp in
+  for i = 0 to 49 do
+    Kd_tree.insert t [| 3.0; 4.0 |] i
+  done;
+  checki "all duplicates stored" 50 (List.length (Kd_tree.point_query t [| 3.0; 4.0 |]))
+
+(* ------------------------------------------------------------- quadtree *)
+
+let test_quad_basic () =
+  let bp = mk_bp ~capacity:1024 () in
+  let t = Quadtree.create ~world:(0.0, 0.0, 100.0, 100.0) bp in
+  let rng = Prng.create 10 in
+  let pts =
+    Array.init 400 (fun i ->
+        ({ Quadtree.x = Prng.float rng 100.0; y = Prng.float rng 100.0 }, i))
+  in
+  Array.iter (fun (p, i) -> Quadtree.insert t p i) pts;
+  checki "entries" 400 (Quadtree.entry_count t);
+  let p, i = pts.(200) in
+  checkb "point found" true
+    (List.exists (fun (_, v) -> v = i) (Quadtree.point_query t p))
+
+let test_quad_window () =
+  let bp = mk_bp ~capacity:1024 () in
+  let t = Quadtree.create ~world:(0.0, 0.0, 100.0, 100.0) bp in
+  let rng = Prng.create 11 in
+  let pts =
+    Array.init 300 (fun i ->
+        ({ Quadtree.x = Prng.float rng 100.0; y = Prng.float rng 100.0 }, i))
+  in
+  Array.iter (fun (p, i) -> Quadtree.insert t p i) pts;
+  let got =
+    Quadtree.window t ~x_lo:25.0 ~x_hi:75.0 ~y_lo:10.0 ~y_hi:30.0
+    |> List.map snd |> List.sort compare
+  in
+  let expected =
+    Array.to_list pts
+    |> List.filter_map (fun (p, i) ->
+           if p.Quadtree.x >= 25.0 && p.Quadtree.x <= 75.0
+              && p.Quadtree.y >= 10.0 && p.Quadtree.y <= 30.0
+           then Some i
+           else None)
+    |> List.sort compare
+  in
+  Alcotest.check Alcotest.(list int) "window naive" expected got
+
+let test_quad_knn () =
+  let bp = mk_bp ~capacity:1024 () in
+  let t = Quadtree.create ~world:(0.0, 0.0, 100.0, 100.0) bp in
+  let rng = Prng.create 13 in
+  let pts =
+    Array.init 250 (fun i ->
+        ({ Quadtree.x = Prng.float rng 100.0; y = Prng.float rng 100.0 }, i))
+  in
+  Array.iter (fun (p, i) -> Quadtree.insert t p i) pts;
+  let got = Quadtree.nearest t { Quadtree.x = 50.0; y = 50.0 } ~k:5 in
+  checki "k" 5 (List.length got);
+  let naive =
+    Array.to_list pts
+    |> List.map (fun (p, i) ->
+           let dx = p.Quadtree.x -. 50.0 and dy = p.Quadtree.y -. 50.0 in
+           (sqrt ((dx *. dx) +. (dy *. dy)), i))
+    |> List.sort compare
+  in
+  List.iteri
+    (fun idx (_, _, d) ->
+      let nd, _ = List.nth naive idx in
+      checkb "distance matches naive" true (abs_float (d -. nd) < 1e-9))
+    got
+
+let test_quad_world_bounds () =
+  let bp = mk_bp () in
+  let t = Quadtree.create bp in
+  Quadtree.insert t { Quadtree.x = 0.5; y = 0.5 } 1;
+  Quadtree.insert t { Quadtree.x = 1.0; y = 1.0 } 2;
+  (* top edge belongs to the world *)
+  (match Quadtree.insert t { Quadtree.x = 1.5; y = 0.5 } 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "outside point accepted");
+  match Quadtree.create ~world:(1.0, 0.0, 1.0, 2.0) bp with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty world accepted"
+
+let spatial_qcheck =
+  let open QCheck in
+  let pts_gen =
+    make
+      ~print:(fun l ->
+        String.concat ";" (List.map (fun (x, y) -> Printf.sprintf "(%.1f,%.1f)" x y) l))
+      Gen.(
+        list_size (int_bound 120)
+          (pair (float_bound_inclusive 50.0) (float_bound_inclusive 50.0)))
+  in
+  [
+    Test.make ~name:"kd window agrees with naive" ~count:60
+      (pair pts_gen (pair (float_bound_inclusive 50.0) (float_bound_inclusive 50.0)))
+      (fun (pts, (a, b)) ->
+        let bp = mk_bp ~capacity:1024 () in
+        let t = Kd_tree.create ~dims:2 bp in
+        List.iteri (fun i (x, y) -> Kd_tree.insert t [| x; y |] i) pts;
+        let lo = min a b and hi = max a b in
+        let got =
+          Kd_tree.window t [| (lo, hi); (10.0, 40.0) |] |> List.map snd |> List.sort compare
+        in
+        let expected =
+          List.mapi (fun i (x, y) -> (i, x, y)) pts
+          |> List.filter_map (fun (i, x, y) ->
+                 if x >= lo && x <= hi && y >= 10.0 && y <= 40.0 then Some i else None)
+        in
+        got = List.sort compare expected);
+    Test.make ~name:"quadtree point query finds every inserted point" ~count:60 pts_gen
+      (fun pts ->
+        let bp = mk_bp ~capacity:1024 () in
+        let t = Quadtree.create ~world:(0.0, 0.0, 50.0, 50.0) bp in
+        List.iteri (fun i (x, y) -> Quadtree.insert t { Quadtree.x; y } i) pts;
+        List.for_all
+          (fun (i, (x, y)) ->
+            List.exists (fun (_, v) -> v = i) (Quadtree.point_query t { Quadtree.x; y }))
+          (List.mapi (fun i p -> (i, p)) pts));
+  ]
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "bdbms_spgist"
+    [
+      ( "regex",
+        [
+          Alcotest.test_case "literals" `Quick test_regex_literals;
+          Alcotest.test_case "operators" `Quick test_regex_operators;
+          Alcotest.test_case "feasible prefix" `Quick test_regex_feasible_prefix;
+          Alcotest.test_case "errors" `Quick test_regex_errors;
+        ] );
+      ( "trie",
+        [
+          Alcotest.test_case "exact" `Quick test_trie_exact;
+          Alcotest.test_case "prefix" `Quick test_trie_prefix;
+          Alcotest.test_case "regex" `Quick test_trie_regex;
+          Alcotest.test_case "duplicates/overflow" `Quick test_trie_duplicates_and_overflow;
+          Alcotest.test_case "empty string key" `Quick test_trie_empty_string_key;
+          Alcotest.test_case "large" `Quick test_trie_large;
+        ] );
+      ("trie-properties", q trie_qcheck);
+      ( "kd-tree",
+        [
+          Alcotest.test_case "point query" `Quick test_kd_point_query;
+          Alcotest.test_case "window" `Quick test_kd_window;
+          Alcotest.test_case "knn" `Quick test_kd_knn;
+          Alcotest.test_case "3d and dim mismatch" `Quick test_kd_3d;
+          Alcotest.test_case "duplicates" `Quick test_kd_duplicates;
+        ] );
+      ("spatial-properties", q spatial_qcheck);
+      ( "quadtree",
+        [
+          Alcotest.test_case "basic" `Quick test_quad_basic;
+          Alcotest.test_case "window" `Quick test_quad_window;
+          Alcotest.test_case "knn" `Quick test_quad_knn;
+          Alcotest.test_case "world bounds" `Quick test_quad_world_bounds;
+        ] );
+    ]
