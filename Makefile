@@ -1,0 +1,21 @@
+# Tier-1 verification in one command.
+
+.PHONY: check build test fmt bench clean
+
+check: ## build everything and run the full test suite
+	dune build @all && dune runtest
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+fmt: ## format the tree (requires an ocamlformat config/install)
+	dune fmt
+
+bench: ## all paper experiments + E11 durability
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -13,6 +13,9 @@
      E7  kd-tree/quadtree vs R-tree        (Section 7.1)
      E8  dependency bitmaps & cascades     (Section 5, Figure 10)
      E9  content-approval overhead         (Section 6)
+     E11 WAL / checkpoint / recovery       (durability subsystem; not in
+                                            the paper — PostgreSQL gave
+                                            the authors this for free)
 
    Usage:
      dune exec bench/main.exe                 # all paper experiments
@@ -32,6 +35,7 @@ let experiments =
     ("E8", E8_dependency.run);
     ("E9", E9_approval.run);
     ("E10", E10_compression.run);
+    ("E11", E11_recovery.run);
   ]
 
 (* ------------------------------------------------- bechamel micro-bench *)

@@ -1,8 +1,9 @@
 (* The bdbms shell: run A-SQL interactively or from a script file.
 
-     dune exec bin/bdbms_cli.exe                 # interactive
+     dune exec bin/bdbms_cli.exe                 # interactive, in-memory
      dune exec bin/bdbms_cli.exe -- -f setup.sql # run a script
-     dune exec bin/bdbms_cli.exe -- -u alice     # session user        *)
+     dune exec bin/bdbms_cli.exe -- -u alice     # session user
+     dune exec bin/bdbms_cli.exe -- -d genes.db  # durable database file  *)
 
 open Bdbms
 
@@ -24,7 +25,9 @@ let run_script db ~user path =
       List.iter
         (fun stmt ->
           match Bdbms_asql.Executor.execute (Db.context db) ~user stmt with
-          | Ok outcome -> print_endline (Bdbms_asql.Executor.render outcome)
+          | Ok outcome ->
+              if Db.durable db then Db.commit db;
+              print_endline (Bdbms_asql.Executor.render outcome)
           | Error e ->
               Printf.eprintf "error: %s\n" e;
               exit 1)
@@ -32,13 +35,23 @@ let run_script db ~user path =
 
 let repl db ~user =
   Printf.printf
-    "bdbms shell (user: %s). End statements with ';'. Type \\q to quit.\n" user;
+    "bdbms shell (user: %s%s). End statements with ';'. Type \\q to quit%s.\n"
+    user
+    (if Db.durable db then ", durable" else "")
+    (if Db.durable db then ", \\checkpoint to checkpoint" else "");
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "bdbms> " else "   ... ");
     match read_line () with
     | exception End_of_file -> ()
     | "\\q" -> ()
+    | "\\checkpoint" ->
+        if Db.durable db then begin
+          Db.checkpoint db;
+          print_endline "checkpointed"
+        end
+        else print_endline "not a durable database (start with --db PATH)";
+        loop ()
     | line ->
         Buffer.add_string buf line;
         Buffer.add_char buf '\n';
@@ -51,8 +64,22 @@ let repl db ~user =
   in
   loop ()
 
-let main user script strict_acl auto_prov stats =
-  let db = Db.create () in
+let report_recovery db =
+  match Db.recovery_info db with
+  | Some o
+    when o.Bdbms_storage.Recovery.applied > 0
+         || o.Bdbms_storage.Recovery.discarded > 0
+         || o.Bdbms_storage.Recovery.torn_tail ->
+      Printf.printf
+        "-- recovery: replayed %d committed record(s), discarded %d uncommitted%s\n"
+        o.Bdbms_storage.Recovery.applied o.Bdbms_storage.Recovery.discarded
+        (if o.Bdbms_storage.Recovery.torn_tail then " (torn log tail skipped)"
+         else "")
+  | _ -> ()
+
+let main user script strict_acl auto_prov stats db_path =
+  let db = Db.create ?path:db_path () in
+  report_recovery db;
   Db.set_strict_acl db strict_acl;
   Db.set_auto_provenance db auto_prov;
   (match script with
@@ -63,8 +90,15 @@ let main user script strict_acl auto_prov stats =
     Printf.printf
       "-- i/o: %d physical reads, %d writes, %d page allocations, %d buffer hits\n"
       s.Bdbms_storage.Stats.reads s.Bdbms_storage.Stats.writes
-      s.Bdbms_storage.Stats.allocs s.Bdbms_storage.Stats.hits
+      s.Bdbms_storage.Stats.allocs s.Bdbms_storage.Stats.hits;
+    if Db.durable db then
+      Printf.printf
+        "-- wal: %d appends, %d group flushes, %d checkpoints, %d recovered records\n"
+        s.Bdbms_storage.Stats.wal_appends s.Bdbms_storage.Stats.wal_flushes
+        s.Bdbms_storage.Stats.checkpoints
+        s.Bdbms_storage.Stats.recovered_records
   end;
+  Db.close db;
   0
 
 open Cmdliner
@@ -87,10 +121,22 @@ let prov_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print page-level I/O statistics on exit.")
 
+let db_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "d"; "db" ]
+        ~docv:"PATH"
+        ~doc:
+          "Open (or create) a durable database file; pages persist via a \
+           write-ahead log with crash recovery on open.")
+
 let cmd =
   let doc = "A-SQL shell for bdbms, the biological DBMS (CIDR 2007 reproduction)" in
   Cmd.v
     (Cmd.info "bdbms" ~doc)
-    Term.(const main $ user_arg $ script_arg $ strict_arg $ prov_arg $ stats_arg)
+    Term.(
+      const main $ user_arg $ script_arg $ strict_arg $ prov_arg $ stats_arg
+      $ db_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -39,8 +39,12 @@ let superuser = "admin"
 
 let norm = String.lowercase_ascii
 
-let create ?(page_size = 4096) ?(pool_capacity = 256) ?policy () =
-  let disk = Disk.create ~page_size () in
+let create ?(page_size = 4096) ?(pool_capacity = 256) ?policy ?path ?fault () =
+  let disk =
+    match path with
+    | None -> Disk.create ~page_size ()
+    | Some path -> Disk.open_file ~page_size ?fault path
+  in
   let bp = Buffer_pool.create ?policy ~capacity:pool_capacity disk in
   let clock = Clock.create () in
   let catalog = Catalog.create bp in
@@ -77,6 +81,22 @@ let create ?(page_size = 4096) ?(pool_capacity = 256) ?policy () =
     auto_provenance = false;
     indexes;
   }
+
+let durable t = Disk.is_durable t.disk
+
+(* Durability control: dirty buffer-pool frames are pushed down to the
+   disk (appending their redo records) before the log-level operation. *)
+let commit t =
+  Buffer_pool.flush_all t.bp;
+  Disk.commit t.disk
+
+let checkpoint t =
+  Buffer_pool.flush_all t.bp;
+  Disk.checkpoint t.disk
+
+let close t =
+  if not (Disk.crashed t.disk) then Buffer_pool.flush_all t.bp;
+  Disk.close t.disk
 
 let register_procedure t proc =
   Procedure.Registry.register (Tracker.registry t.tracker) proc

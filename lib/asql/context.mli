@@ -38,10 +38,26 @@ type t = {
 
 val create :
   ?page_size:int -> ?pool_capacity:int -> ?policy:Bdbms_storage.Buffer_pool.policy ->
+  ?path:string -> ?fault:Bdbms_storage.Fault.t ->
   unit -> t
 (** A fresh engine.  The superuser ["admin"] and the system actor exist
     from the start; approval inverse execution is wired into the
-    dependency tracker. *)
+    dependency tracker.  With [path], the page store is durable: backed
+    by a database file and write-ahead log, with crash recovery run at
+    open (see {!Bdbms_storage.Disk.open_file}). *)
+
+val durable : t -> bool
+
+val commit : t -> unit
+(** Flush dirty buffer-pool frames down to the disk and group-flush the
+    write-ahead log with a commit marker (no-op when not durable). *)
+
+val checkpoint : t -> unit
+(** {!commit}, then store dirty pages to the database file and reset the
+    log. *)
+
+val close : t -> unit
+(** Checkpoint (unless crashed) and release the database files. *)
 
 val register_procedure :
   t -> Bdbms_dependency.Procedure.t -> (unit, string) result

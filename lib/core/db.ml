@@ -5,8 +5,8 @@ module Disk = Bdbms_storage.Disk
 
 type t = { ctx : Context.t }
 
-let create ?page_size ?pool_capacity ?policy () =
-  let ctx = Context.create ?page_size ?pool_capacity ?policy () in
+let create ?page_size ?pool_capacity ?policy ?path () =
+  let ctx = Context.create ?page_size ?pool_capacity ?policy ?path () in
   List.iter
     (fun proc -> ignore (Context.register_procedure ctx proc))
     [
@@ -18,19 +18,38 @@ let create ?page_size ?pool_capacity ?policy () =
 
 let context t = t.ctx
 
-let exec t ?(user = Context.superuser) sql = Executor.run t.ctx ~user sql
+let durable t = Context.durable t.ctx
+
+(* Auto-commit: on a durable database each successful statement is made
+   durable before the result is returned. *)
+let autocommit t = function
+  | Ok _ when durable t -> Context.commit t.ctx
+  | _ -> ()
+
+let exec t ?(user = Context.superuser) sql =
+  let r = Executor.run t.ctx ~user sql in
+  autocommit t r;
+  r
 
 let exec_exn t ?user sql =
   match exec t ?user sql with
   | Ok outcome -> outcome
   | Error e -> failwith (Printf.sprintf "%s (statement: %s)" e sql)
 
-let exec_script t ?(user = Context.superuser) sql = Executor.run_script t.ctx ~user sql
+let exec_script t ?(user = Context.superuser) sql =
+  let r = Executor.run_script t.ctx ~user sql in
+  autocommit t r;
+  r
 
 let render_exn t ?user sql = Executor.render (exec_exn t ?user sql)
 
 let set_strict_acl t v = t.ctx.Context.strict_acl <- v
 let set_auto_provenance t v = t.ctx.Context.auto_provenance <- v
+
+let commit t = Context.commit t.ctx
+let checkpoint t = Context.checkpoint t.ctx
+let close t = Context.close t.ctx
+let recovery_info t = Disk.recovery_info t.ctx.Context.disk
 
 let io_stats t = Stats.snapshot (Disk.stats t.ctx.Context.disk)
 let reset_io_stats t = Stats.reset (Disk.stats t.ctx.Context.disk)

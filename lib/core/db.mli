@@ -22,11 +22,14 @@ val create :
   ?page_size:int ->
   ?pool_capacity:int ->
   ?policy:Bdbms_storage.Buffer_pool.policy ->
+  ?path:string ->
   unit ->
   t
-(** A fresh in-memory database.  The bio procedures ["P"] (gene→protein
+(** A fresh database.  The bio procedures ["P"] (gene→protein
     translation), ["MolWeight"], and ["BLAST"] are pre-registered for
-    [CREATE DEPENDENCY]. *)
+    [CREATE DEPENDENCY].  With [path] the page store is durable (database
+    file + write-ahead log, crash recovery at open) and every successful
+    statement is auto-committed; without it the database is in-memory. *)
 
 val context : t -> Bdbms_asql.Context.t
 (** Direct access to the assembled managers, for programmatic use. *)
@@ -52,6 +55,23 @@ val set_strict_acl : t -> bool -> unit
 val set_auto_provenance : t -> bool -> unit
 (** Record Local_insert / Local_update provenance on every DML (off by
     default). *)
+
+val durable : t -> bool
+
+val commit : t -> unit
+(** Make all writes so far durable (no-op on an in-memory database).
+    [exec]/[exec_script] already do this after each successful call. *)
+
+val checkpoint : t -> unit
+(** Store dirty pages to the database file and reset the write-ahead
+    log. *)
+
+val close : t -> unit
+(** Checkpoint and release the database files; the handle must not be
+    used afterwards. *)
+
+val recovery_info : t -> Bdbms_storage.Recovery.outcome option
+(** What crash recovery replayed when this database was opened. *)
 
 val io_stats : t -> Bdbms_storage.Stats.snapshot
 (** Cumulative page-level I/O of the database's simulated disk. *)

@@ -1,0 +1,142 @@
+(* Pluggable stable-store backend beneath [Disk].
+
+   The disk keeps the full working set of pages in memory in both modes;
+   the backend is what survives a crash:
+
+   - [mem]: no stable store at all — the original simulated disk.
+   - [file]: pages persisted to a database file.  Layout: a header page
+     (magic "BDBF", version, page size) followed by data pages, page [i]
+     at byte offset [(i + 1) * page_size].  All writes are guarded by a
+     [Fault.t] so tests can crash the store at any point.
+
+   The header is written once at creation and never rewritten, so it is
+   assumed atomic (a single sector in practice). *)
+
+type file_state = {
+  path : string;
+  fd : Unix.file_descr;
+  fault : Fault.t;
+  f_page_size : int;
+}
+
+type t = Mem of { m_page_size : int } | File of file_state
+
+let magic = "BDBF"
+let version = 1
+let header_fields = 12 (* magic + u32 version + u32 page_size *)
+
+let page_size = function Mem m -> m.m_page_size | File f -> f.f_page_size
+let is_persistent = function Mem _ -> false | File _ -> true
+let path = function Mem _ -> None | File f -> Some f.path
+
+let mem ~page_size = Mem { m_page_size = page_size }
+
+(* ------------------------------------------------------- raw file I/O *)
+
+let pread fd ~off buf =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let len = Bytes.length buf in
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let n = Unix.read fd buf !got (len - !got) in
+       if n = 0 then raise Exit;
+       got := !got + n
+     done
+   with Exit -> ());
+  !got
+
+let pwrite_raw fd ~off buf ~len =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write fd buf !sent (len - !sent)
+  done
+
+(* A stable write guarded by the fault injector: a crash may land only a
+   prefix of the buffer (torn write) before raising. *)
+let guarded_pwrite fault fd ~off buf =
+  let len = Bytes.length buf in
+  let allowed = Fault.allowance fault ~len in
+  if allowed > 0 then pwrite_raw fd ~off buf ~len:allowed;
+  Fault.check fault
+
+let file_size fd = (Unix.fstat fd).Unix.st_size
+
+(* --------------------------------------------------------- open/close *)
+
+let write_header fd ~page_size =
+  let h = Bytes.make page_size '\000' in
+  Bytes.blit_string magic 0 h 0 4;
+  Bytes.set_int32_le h 4 (Int32.of_int version);
+  Bytes.set_int32_le h 8 (Int32.of_int page_size);
+  pwrite_raw fd ~off:0 h ~len:page_size;
+  Unix.fsync fd
+
+(* Opens (or creates) the database file; returns the backend and the
+   number of pages currently in the stable store. *)
+let file ~fault ~page_size ~path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let size = file_size fd in
+  if size < header_fields then begin
+    (* fresh (or a file that died before its header landed): initialise *)
+    Unix.ftruncate fd 0;
+    write_header fd ~page_size;
+    (File { path; fd; fault; f_page_size = page_size }, 0)
+  end
+  else begin
+    let h = Bytes.create header_fields in
+    ignore (pread fd ~off:0 h);
+    if Bytes.sub_string h 0 4 <> magic then begin
+      Unix.close fd;
+      invalid_arg (Printf.sprintf "Backend.file: %s is not a bdbms database" path)
+    end;
+    let stored_ps = Int32.to_int (Bytes.get_int32_le h 8) in
+    if stored_ps <> page_size then begin
+      Unix.close fd;
+      invalid_arg
+        (Printf.sprintf
+           "Backend.file: %s has page_size %d, requested %d" path stored_ps
+           page_size)
+    end;
+    let count = max 0 ((size - page_size) / page_size) in
+    (File { path; fd; fault; f_page_size = page_size }, count)
+  end
+
+let close = function
+  | Mem _ -> ()
+  | File f -> ( try Unix.close f.fd with Unix.Unix_error _ -> ())
+
+(* ---------------------------------------------------------- page ops *)
+
+let load t id =
+  match t with
+  | Mem _ -> invalid_arg "Backend.load: in-memory backend has no stable store"
+  | File f ->
+      let page = Page.create ~size:f.f_page_size () in
+      ignore (pread f.fd ~off:((id + 1) * f.f_page_size) (Page.unsafe_bytes page));
+      page
+
+let store t id page =
+  match t with
+  | Mem _ -> ()
+  | File f ->
+      guarded_pwrite f.fault f.fd
+        ~off:((id + 1) * f.f_page_size)
+        (Page.unsafe_bytes page)
+
+(* Sets the stable page count (grows with zero pages, shrinks by
+   truncation); atomic under fault injection. *)
+let set_count t n =
+  match t with
+  | Mem _ -> ()
+  | File f ->
+      Fault.guard f.fault;
+      Unix.ftruncate f.fd ((n + 1) * f.f_page_size)
+
+let sync t =
+  match t with
+  | Mem _ -> ()
+  | File f ->
+      Fault.guard f.fault;
+      Unix.fsync f.fd

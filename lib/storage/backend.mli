@@ -1,0 +1,39 @@
+(** Pluggable stable-store backend beneath {!Disk}.
+
+    The disk keeps the full working set of pages in memory in both modes;
+    the backend is what survives a crash: {!mem} persists nothing (the
+    original simulated disk), {!file} persists pages to a database file
+    (a header page followed by data pages).  All file writes are guarded
+    by a {!Fault.t} so tests can crash the store at any point. *)
+
+type t
+
+val mem : page_size:int -> t
+
+val file : fault:Fault.t -> page_size:int -> path:string -> t * int
+(** Open (or create) the database file at [path]; also returns the number
+    of pages currently in the stable store.
+    @raise Invalid_argument if the file is not a bdbms database or its
+    page size disagrees with [page_size]. *)
+
+val page_size : t -> int
+val is_persistent : t -> bool
+val path : t -> string option
+
+val load : t -> Page.id -> Page.t
+(** Read a page from the stable store (file backend only). *)
+
+val store : t -> Page.id -> Page.t -> unit
+(** Write a page to the stable store; fault-guarded, may tear. *)
+
+val set_count : t -> int -> unit
+(** Set the stable page count (grow with zeros / shrink by truncation). *)
+
+val sync : t -> unit
+(** Flush the stable store (fsync); fault-guarded. *)
+
+val close : t -> unit
+
+val guarded_pwrite : Fault.t -> Unix.file_descr -> off:int -> Bytes.t -> unit
+(** A fault-guarded positional write: a crash may land only a prefix of
+    the buffer before raising.  Shared with {!Wal}. *)

@@ -1,17 +1,134 @@
+(* The disk: the full working set of pages in memory, with an optional
+   durability layer underneath.
+
+   - [create] gives the original ephemeral simulated disk (in-memory
+     backend, no log): nothing survives the process.
+   - [open_file] gives a durable disk: every [write]/[alloc] appends a
+     redo record to a write-ahead log ([path].wal) before updating the
+     working set, [commit] group-flushes the log with a commit marker,
+     and [checkpoint] stores dirty pages to the database file and resets
+     the log.  The database file is written only at checkpoints, after
+     the log is durable, so the log always precedes the data
+     (redo-only / no-steal).  On open, the committed prefix of the log is
+     replayed over the stored pages (tolerating a torn tail), the result
+     is checkpointed, and the log is reset.
+
+   All stable-storage operations pass through a [Fault.t], so tests can
+   crash the disk at any point and reopen it to exercise recovery. *)
+
+type durable = {
+  backend : Backend.t;
+  wal : Wal.t;
+  dirty : (int, unit) Hashtbl.t; (* pages written since the last checkpoint *)
+  autockpt_bytes : int; (* checkpoint when the log outgrows this *)
+  mutable uncommitted : int; (* records appended since the last commit *)
+}
+
 type t = {
   page_size : int;
   mutable pages : Page.t array;
   mutable count : int;
   stats : Stats.t;
+  fault : Fault.t;
+  durable : durable option;
+  recovery : Recovery.outcome option; (* from [open_file], durable only *)
 }
-
-let create ?(page_size = Page.default_size) () =
-  { page_size; pages = Array.make 64 (Page.create ~size:page_size ()); count = 0;
-    stats = Stats.create () }
 
 let page_size t = t.page_size
 let stats t = t.stats
 let page_count t = t.count
+let fault t = t.fault
+let is_durable t = t.durable <> None
+let crashed t = Fault.crashed t.fault
+let recovery_info t = t.recovery
+let used_bytes t = t.count * t.page_size
+
+let path t =
+  match t.durable with None -> None | Some d -> Backend.path d.backend
+
+let wal_size t = match t.durable with None -> 0 | Some d -> Wal.size d.wal
+
+(* ------------------------------------------------------------ creation *)
+
+let create ?(page_size = Page.default_size) () =
+  {
+    page_size;
+    pages = Array.make 64 (Page.create ~size:page_size ());
+    count = 0;
+    stats = Stats.create ();
+    fault = Fault.create ();
+    durable = None;
+    recovery = None;
+  }
+
+let open_file ?(page_size = Page.default_size) ?fault
+    ?(wal_autocheckpoint = 4 * 1024 * 1024) ?wal_group_bytes path =
+  let fault = match fault with Some f -> f | None -> Fault.create () in
+  let stats = Stats.create () in
+  let backend, stored = Backend.file ~fault ~page_size ~path in
+  let pages = ref (Array.make (max 64 stored) (Page.create ~size:page_size ())) in
+  let count = ref 0 in
+  for i = 0 to stored - 1 do
+    !pages.(i) <- Backend.load backend i
+  done;
+  count := stored;
+  let dirty = Hashtbl.create 64 in
+  let extend_to n =
+    if n > Array.length !pages then begin
+      let cap = max n (2 * Array.length !pages) in
+      let arr = Array.make cap (Page.create ~size:page_size ()) in
+      Array.blit !pages 0 arr 0 !count;
+      pages := arr
+    end;
+    while !count < n do
+      !pages.(!count) <- Page.create ~size:page_size ();
+      incr count
+    done
+  in
+  let apply = function
+    | Wal.Page_write { page_id; data } ->
+        extend_to (page_id + 1);
+        let p = Page.create ~size:page_size () in
+        Page.set_bytes p ~pos:0 data;
+        !pages.(page_id) <- p;
+        Hashtbl.replace dirty page_id ()
+    | Wal.Alloc { page_id } ->
+        extend_to (page_id + 1);
+        Hashtbl.replace dirty page_id ()
+    | Wal.Commit -> ()
+  in
+  let wal_path = path ^ ".wal" in
+  let outcome = Recovery.replay ~wal_path ~max_record:(page_size + 64) ~apply in
+  Stats.record_recovered stats outcome.Recovery.applied;
+  (* Checkpoint the recovered state, then reset the log.  The log is
+     untouched until the pages are durably stored, so a crash anywhere in
+     here just replays again on the next open. *)
+  match
+    if Hashtbl.length dirty > 0 then begin
+      Backend.set_count backend !count;
+      let ids = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) dirty []) in
+      List.iter (fun id -> Backend.store backend id !pages.(id)) ids;
+      Backend.sync backend
+    end;
+    Wal.open_reset ~fault ~stats ?group_bytes:wal_group_bytes wal_path
+  with
+  | wal ->
+      {
+        page_size;
+        pages = !pages;
+        count = !count;
+        stats;
+        fault;
+        durable =
+          Some
+            { backend; wal; dirty = Hashtbl.create 64; autockpt_bytes = wal_autocheckpoint; uncommitted = 0 };
+        recovery = Some outcome;
+      }
+  | exception e ->
+      Backend.close backend;
+      raise e
+
+(* ------------------------------------------------------------- page ops *)
 
 let ensure_capacity t n =
   if n > Array.length t.pages then begin
@@ -22,10 +139,17 @@ let ensure_capacity t n =
   end
 
 let alloc t =
+  Fault.check t.fault;
   ensure_capacity t (t.count + 1);
   let id = t.count in
   t.pages.(id) <- Page.create ~size:t.page_size ();
   t.count <- t.count + 1;
+  (match t.durable with
+  | Some d ->
+      Wal.append d.wal (Wal.Alloc { page_id = id });
+      Hashtbl.replace d.dirty id ();
+      d.uncommitted <- d.uncommitted + 1
+  | None -> ());
   Stats.record_alloc t.stats;
   Stats.record_write t.stats;
   id
@@ -42,7 +166,63 @@ let read t id =
 let write t id page =
   check t id;
   if Page.size page <> t.page_size then invalid_arg "Disk.write: page size mismatch";
+  Fault.check t.fault;
+  (* log before data: the redo record is appended (and possibly
+     group-flushed) before the working set changes *)
+  (match t.durable with
+  | Some d ->
+      Wal.append d.wal
+        (Wal.Page_write
+           { page_id = id; data = Page.get_bytes page ~pos:0 ~len:(Page.size page) });
+      Hashtbl.replace d.dirty id ();
+      d.uncommitted <- d.uncommitted + 1
+  | None -> ());
   Stats.record_write t.stats;
   t.pages.(id) <- Page.copy page
 
-let used_bytes t = t.count * t.page_size
+(* ----------------------------------------------------------- durability *)
+
+let checkpoint t =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      Fault.check t.fault;
+      if d.uncommitted > 0 then begin
+        Wal.commit d.wal;
+        d.uncommitted <- 0
+      end;
+      Backend.set_count d.backend t.count;
+      let ids = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) d.dirty []) in
+      List.iter (fun id -> Backend.store d.backend id t.pages.(id)) ids;
+      Backend.sync d.backend;
+      Wal.reset d.wal;
+      Hashtbl.reset d.dirty;
+      Stats.record_checkpoint t.stats
+
+let commit t =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      Fault.check t.fault;
+      if d.uncommitted > 0 then begin
+        Wal.commit d.wal;
+        d.uncommitted <- 0;
+        if Wal.size d.wal > d.autockpt_bytes then checkpoint t
+      end
+
+let close t =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      if not (Fault.crashed t.fault) then checkpoint t;
+      Backend.close d.backend;
+      Wal.close d.wal
+
+(* Closes the file descriptors without flushing anything — simulates a
+   process death for tests and benchmarks. *)
+let abandon t =
+  match t.durable with
+  | None -> ()
+  | Some d ->
+      Backend.close d.backend;
+      Wal.close d.wal

@@ -1,14 +1,40 @@
-(** A simulated page store.
+(** The page store: the full working set of pages in memory, with an
+    optional durability layer underneath.
 
-    Stands in for the physical disk of the authors' PostgreSQL testbed: a
-    growable array of fixed-size pages where every read, write, and
-    allocation is counted in a {!Stats.t}.  All index and heap-file claims
-    in the benchmarks are measured as page accesses against this store
-    (see DESIGN.md §2 for why this substitution is faithful). *)
+    {!create} stands in for the physical disk of the authors' PostgreSQL
+    testbed: a growable array of fixed-size pages where every read,
+    write, and allocation is counted in a {!Stats.t}.  All index and
+    heap-file claims in the benchmarks are measured as page accesses
+    against this store (see DESIGN.md §2 for why this substitution is
+    faithful).
+
+    {!open_file} adds durability: every write/alloc appends a redo record
+    to a write-ahead log ([path].wal) before the working set changes,
+    {!commit} group-flushes the log with a commit marker, and
+    {!checkpoint} stores dirty pages to the database file at [path] and
+    resets the log.  The data file is written only at checkpoints, after
+    the log is durable (redo-only, log-before-data).  On open, the
+    committed prefix of the log is replayed — tolerating a torn tail —
+    then checkpointed away. *)
 
 type t
 
 val create : ?page_size:int -> unit -> t
+(** An ephemeral in-memory disk: nothing survives the process. *)
+
+val open_file :
+  ?page_size:int ->
+  ?fault:Fault.t ->
+  ?wal_autocheckpoint:int ->
+  ?wal_group_bytes:int ->
+  string ->
+  t
+(** Open (or create) a durable disk backed by the database file at the
+    given path, running crash recovery from [path].wal first.
+    [wal_autocheckpoint] (default 4 MiB) checkpoints automatically when
+    the log outgrows it; [wal_group_bytes] is the WAL group-flush batch
+    size.  @raise Fault.Crash if [fault] fires during recovery. *)
+
 val page_size : t -> int
 val stats : t -> Stats.t
 val page_count : t -> int
@@ -22,7 +48,36 @@ val read : t -> Page.id -> Page.t
     @raise Invalid_argument on an unallocated id. *)
 
 val write : t -> Page.id -> Page.t -> unit
-(** Store the page contents (counted as a write). *)
+(** Store the page contents (counted as a write); on a durable disk the
+    redo record is logged before the working set changes. *)
 
 val used_bytes : t -> int
 (** [page_count * page_size]: allocated storage footprint. *)
+
+(** {1 Durability} — all no-ops on an ephemeral disk. *)
+
+val commit : t -> unit
+(** Make every write so far durable: group-flush the log with a commit
+    marker.  Recovery replays exactly up to the last such marker. *)
+
+val checkpoint : t -> unit
+(** Commit, store all dirty pages to the database file, fsync, and reset
+    the log. *)
+
+val close : t -> unit
+(** Checkpoint (unless crashed) and release the file descriptors. *)
+
+val abandon : t -> unit
+(** Release the file descriptors without flushing anything — simulates a
+    process death for tests and benchmarks. *)
+
+val is_durable : t -> bool
+val path : t -> string option
+val fault : t -> Fault.t
+val crashed : t -> bool
+
+val wal_size : t -> int
+(** Bytes in the log file plus the unflushed buffer (0 when ephemeral). *)
+
+val recovery_info : t -> Recovery.outcome option
+(** The outcome of the replay performed by {!open_file}. *)

@@ -1,0 +1,57 @@
+(* Fault injection for the durable storage stack.
+
+   Every operation that reaches stable storage (page store, WAL flush,
+   fsync, truncate) passes through a [t].  Arming a fault makes the N-th
+   such operation "crash": byte writes may land a configurable prefix
+   (simulating a torn write), then [Crash] is raised and the injector
+   stays crashed — all further guarded operations raise, so the handle
+   behaves like a dead process until the database is reopened. *)
+
+exception Crash of string
+
+type t = {
+  mutable ops_left : int; (* guarded ops before the crash; -1 = disarmed *)
+  mutable tear_frac : float; (* fraction of the crashing write that lands *)
+  mutable crashed : bool;
+}
+
+let create () = { ops_left = -1; tear_frac = 0.0; crashed = false }
+
+let arm t ?(tear_frac = 0.0) ~after_ops () =
+  if after_ops < 0 then invalid_arg "Fault.arm: after_ops must be >= 0";
+  t.ops_left <- after_ops;
+  t.tear_frac <- max 0.0 (min 1.0 tear_frac);
+  t.crashed <- false
+
+let disarm t =
+  t.ops_left <- -1;
+  t.crashed <- false
+
+let crashed t = t.crashed
+let check t = if t.crashed then raise (Crash "storage handle crashed")
+
+(* How many of [len] bytes of a stable write may land.  When the armed
+   operation count is exhausted this marks the injector crashed and
+   returns the torn prefix; the caller must write that prefix and then
+   [check] (which raises). *)
+let allowance t ~len =
+  check t;
+  if t.ops_left < 0 then len
+  else if t.ops_left > 0 then begin
+    t.ops_left <- t.ops_left - 1;
+    len
+  end
+  else begin
+    t.crashed <- true;
+    max 0 (min len (int_of_float (t.tear_frac *. float_of_int len)))
+  end
+
+(* Guard for atomic operations (fsync, ftruncate): either the operation
+   happens in full or the crash fires before it. *)
+let guard t =
+  check t;
+  if t.ops_left = 0 then begin
+    t.crashed <- true;
+    raise (Crash "injected crash")
+  end;
+  if t.ops_left > 0 then t.ops_left <- t.ops_left - 1

@@ -1,0 +1,35 @@
+(** Fault injection for the durable storage stack.
+
+    Every operation that reaches stable storage (page store, WAL flush,
+    fsync, truncate) passes through a [t].  Arming a fault makes the N-th
+    such operation crash: byte writes may land only a prefix (a torn
+    write), then {!Crash} is raised and all further guarded operations
+    raise too — the handle behaves like a dead process until the database
+    is reopened.  Used by [test_recovery] and the recovery benchmark. *)
+
+exception Crash of string
+
+type t
+
+val create : unit -> t
+(** A disarmed injector: all operations pass. *)
+
+val arm : t -> ?tear_frac:float -> after_ops:int -> unit -> unit
+(** Crash on the [after_ops]-th subsequent stable-storage operation
+    (0 = the very next one).  [tear_frac] (default 0) is the fraction of
+    the crashing byte-write that still reaches the file — a torn write. *)
+
+val disarm : t -> unit
+val crashed : t -> bool
+
+val check : t -> unit
+(** @raise Crash if the injector has crashed. *)
+
+val allowance : t -> len:int -> int
+(** How many of [len] bytes of a stable write may land; marks the
+    injector crashed when the armed operation fires.  The caller writes
+    the returned prefix, then calls {!check}. *)
+
+val guard : t -> unit
+(** Guard for atomic operations (fsync, truncate): the operation either
+    happens in full or {!Crash} is raised before it. *)

@@ -31,5 +31,7 @@ let set_u32 t i v =
 let get_bytes t ~pos ~len = Bytes.sub_string t pos len
 let set_bytes t ~pos s = Bytes.blit_string s 0 t pos (String.length s)
 
+let unsafe_bytes t = t
+
 let blit ~src ~src_pos ~dst ~dst_pos ~len = Bytes.blit src src_pos dst dst_pos len
 let zero t = Bytes.fill t 0 (Bytes.length t) '\000'

@@ -27,5 +27,9 @@ val set_u32 : t -> int -> int -> unit
 val get_bytes : t -> pos:int -> len:int -> string
 val set_bytes : t -> pos:int -> string -> unit
 
+val unsafe_bytes : t -> Bytes.t
+(** The page's underlying buffer, aliased (not copied) — for file I/O in
+    the storage backend only. *)
+
 val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
 val zero : t -> unit

@@ -1,0 +1,22 @@
+(** Crash recovery: redo-only replay of the write-ahead log.
+
+    Each commit marker seals the batch of records before it; {!replay}
+    applies sealed batches in order and discards the uncommitted tail.  A
+    torn or corrupt frame ends the scan without failing — committed data
+    before it is still recovered. *)
+
+type outcome = {
+  applied : int;  (** committed data records replayed *)
+  discarded : int;  (** valid but uncommitted tail records dropped *)
+  torn_tail : bool;  (** the log ended in a torn/corrupt frame *)
+  wal_bytes : int;  (** log size scanned *)
+}
+
+val empty : outcome
+
+val replay :
+  wal_path:string -> max_record:int -> apply:(Wal.record -> unit) -> outcome
+(** Replay the committed prefix of the log at [wal_path], calling [apply]
+    on each data record in log order. *)
+
+val pp : Format.formatter -> outcome -> unit

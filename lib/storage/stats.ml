@@ -1,38 +1,83 @@
-type snapshot = { reads : int; writes : int; allocs : int; hits : int }
+(* I/O and durability counters.
 
-type t = {
-  mutable n_reads : int;
-  mutable n_writes : int;
-  mutable n_allocs : int;
-  mutable n_hits : int;
+   Counters live in a plain int array; [snapshot]/[diff]/[reset]/[pp] all
+   go through the [to_array]/[of_array] codec below, which is the single
+   place the field list appears — adding a counter means adding a slot
+   index and one line in each codec function (the record construction in
+   [of_array] fails to compile if a field is forgotten), so [reset] and
+   [diff] cannot silently drift out of sync. *)
+
+type snapshot = {
+  reads : int;
+  writes : int;
+  allocs : int;
+  hits : int;
+  wal_appends : int;
+  wal_flushes : int;
+  checkpoints : int;
+  recovered_records : int;
 }
 
-let create () = { n_reads = 0; n_writes = 0; n_allocs = 0; n_hits = 0 }
+(* slot indices *)
+let i_reads = 0
+let i_writes = 1
+let i_allocs = 2
+let i_hits = 3
+let i_wal_appends = 4
+let i_wal_flushes = 5
+let i_checkpoints = 6
+let i_recovered = 7
+let n_counters = 8
 
-let record_read t = t.n_reads <- t.n_reads + 1
-let record_write t = t.n_writes <- t.n_writes + 1
-let record_alloc t = t.n_allocs <- t.n_allocs + 1
-let record_hit t = t.n_hits <- t.n_hits + 1
+let names =
+  [|
+    "reads"; "writes"; "allocs"; "hits"; "wal_appends"; "wal_flushes";
+    "checkpoints"; "recovered";
+  |]
 
-let snapshot t =
-  { reads = t.n_reads; writes = t.n_writes; allocs = t.n_allocs; hits = t.n_hits }
+let to_array s =
+  [|
+    s.reads; s.writes; s.allocs; s.hits; s.wal_appends; s.wal_flushes;
+    s.checkpoints; s.recovered_records;
+  |]
 
-let reset t =
-  t.n_reads <- 0;
-  t.n_writes <- 0;
-  t.n_allocs <- 0;
-  t.n_hits <- 0
-
-let diff ~after ~before =
+let of_array a =
   {
-    reads = after.reads - before.reads;
-    writes = after.writes - before.writes;
-    allocs = after.allocs - before.allocs;
-    hits = after.hits - before.hits;
+    reads = a.(i_reads);
+    writes = a.(i_writes);
+    allocs = a.(i_allocs);
+    hits = a.(i_hits);
+    wal_appends = a.(i_wal_appends);
+    wal_flushes = a.(i_wal_flushes);
+    checkpoints = a.(i_checkpoints);
+    recovered_records = a.(i_recovered);
   }
+
+type t = int array
+
+let create () : t = Array.make n_counters 0
+
+let bump (t : t) i = t.(i) <- t.(i) + 1
+
+let record_read t = bump t i_reads
+let record_write t = bump t i_writes
+let record_alloc t = bump t i_allocs
+let record_hit t = bump t i_hits
+let record_wal_append t = bump t i_wal_appends
+let record_wal_flush t = bump t i_wal_flushes
+let record_checkpoint t = bump t i_checkpoints
+let record_recovered t n = t.(i_recovered) <- t.(i_recovered) + n
+
+let snapshot (t : t) = of_array t
+let reset (t : t) = Array.fill t 0 n_counters 0
+let diff ~after ~before = of_array (Array.map2 ( - ) (to_array after) (to_array before))
 
 let total_io s = s.reads + s.writes
 
 let pp fmt s =
-  Format.fprintf fmt "reads=%d writes=%d allocs=%d hits=%d" s.reads s.writes
-    s.allocs s.hits
+  let a = to_array s in
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Format.pp_print_char fmt ' ';
+      Format.fprintf fmt "%s=%d" names.(i) v)
+    a

@@ -1,10 +1,14 @@
-(** I/O and storage accounting.
+(** I/O, durability, and storage accounting.
 
     The paper's quantitative claims (Section 7.2: storage reduction, I/O
     reduction for insertion, search I/O parity) are statements about page
     accesses and bytes, not wall-clock time on specific hardware.  Every
     storage-touching component threads one of these counter groups so the
-    benchmarks can report exact page-level I/O counts. *)
+    benchmarks can report exact page-level I/O counts.
+
+    Counters are stored in a single array and [snapshot]/[diff]/[reset]
+    all derive from one field-list codec, so adding a counter cannot leave
+    any of them behind. *)
 
 type t
 
@@ -13,14 +17,31 @@ val create : unit -> t
 val record_read : t -> unit
 val record_write : t -> unit
 val record_alloc : t -> unit
+
 val record_hit : t -> unit
 (** A logical page access satisfied by the buffer pool without disk I/O. *)
 
+val record_wal_append : t -> unit
+(** A redo record appended to the write-ahead log (buffered). *)
+
+val record_wal_flush : t -> unit
+(** A group flush of buffered log records to stable storage. *)
+
+val record_checkpoint : t -> unit
+(** Dirty pages stored to the database file and the log reset. *)
+
+val record_recovered : t -> int -> unit
+(** [n] committed log records replayed at open. *)
+
 type snapshot = {
-  reads : int;      (** physical page reads *)
-  writes : int;     (** physical page writes *)
-  allocs : int;     (** pages allocated *)
-  hits : int;       (** buffer-pool hits *)
+  reads : int;  (** physical page reads *)
+  writes : int;  (** physical page writes *)
+  allocs : int;  (** pages allocated *)
+  hits : int;  (** buffer-pool hits *)
+  wal_appends : int;  (** redo records appended to the log *)
+  wal_flushes : int;  (** group flushes of the log *)
+  checkpoints : int;  (** completed checkpoints *)
+  recovered_records : int;  (** committed records replayed at open *)
 }
 
 val snapshot : t -> snapshot

@@ -1,0 +1,50 @@
+(** Write-ahead log: redo records with CRC-checked framing and group-flush
+    batching.
+
+    Records are framed as [| len | crc32 | payload |] and buffered in
+    memory; {!flush} writes the whole batch in one guarded write plus an
+    fsync (group commit).  Recovery applies records only up to the last
+    durable commit marker, so flushing a partial batch early (buffer
+    full) is always safe. *)
+
+type record =
+  | Page_write of { page_id : int; data : string }  (** redo page image *)
+  | Alloc of { page_id : int }
+  | Commit  (** seals every record before it *)
+
+type t
+
+val open_reset : fault:Fault.t -> stats:Stats.t -> ?group_bytes:int -> string -> t
+(** Open the log at the given path for appending, truncated to an empty
+    (header-only) state — the caller must have replayed and checkpointed
+    any previous contents first.  [group_bytes] (default 64 KiB) is the
+    buffered-batch size that triggers an automatic group flush. *)
+
+val append : t -> record -> unit
+(** Buffer a record (counted as a wal_append); group-flushes when the
+    buffer outgrows [group_bytes]. *)
+
+val flush : t -> unit
+(** Write the buffered batch and fsync (one wal_flush). *)
+
+val commit : t -> unit
+(** Append a {!Commit} marker and {!flush}. *)
+
+val reset : t -> unit
+(** Empty the log after a checkpoint made the data pages durable. *)
+
+val size : t -> int
+(** Bytes in the log file plus the unflushed buffer. *)
+
+val close : t -> unit
+
+type scan_result = {
+  records : record list;  (** valid records, in log order *)
+  torn : bool;  (** the scan stopped at a torn/corrupt frame *)
+  bytes : int;  (** file size scanned *)
+}
+
+val scan : max_record:int -> string -> scan_result
+(** Read every well-formed record from the log file, stopping (without
+    failing) at the first torn or corrupt frame.  [max_record] bounds a
+    plausible payload length (page size + slack). *)

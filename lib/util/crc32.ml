@@ -1,0 +1,31 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.  Used by the
+   WAL to detect torn or corrupted records; check value for "123456789" is
+   0xCBF43926. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc byte =
+  let table = Lazy.force table in
+  table.((crc lxor byte) land 0xff) lxor (crc lsr 8)
+
+let digest_sub get len =
+  let crc = ref 0xFFFFFFFF in
+  for i = 0 to len - 1 do
+    crc := update !crc (get i)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let string ?(pos = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - pos in
+  digest_sub (fun i -> Char.code s.[pos + i]) len
+
+let bytes ?(pos = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - pos in
+  digest_sub (fun i -> Char.code (Bytes.get b (pos + i))) len

@@ -1,0 +1,469 @@
+(* Tests for the durability subsystem: file-backed disk, write-ahead log,
+   checkpointing, crash recovery, and the fault-injection harness.
+
+   The centrepiece is a randomized crash-replay test: a workload of
+   committed batches runs against a durable disk with a fault armed to
+   crash the N-th stable-storage operation (possibly tearing the final
+   write); the database is then reopened and must contain exactly the
+   committed prefix — no lost committed writes, no resurrected
+   uncommitted ones. *)
+
+open Bdbms_storage
+module Prng = Bdbms_util.Prng
+module Crc32 = Bdbms_util.Crc32
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let page_size = 256
+let val_len = 16
+
+let tmp_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bdbms_recovery_%d_%d.db" (Unix.getpid ()) !n)
+
+let cleanup path =
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ path; path ^ ".wal" ]
+
+(* Write a fixed-width value at the start of a page via the disk. *)
+let write_val disk id v =
+  let p = Disk.read disk id in
+  Page.set_bytes p ~pos:0 (Printf.sprintf "%-*s" val_len v);
+  Disk.write disk id p
+
+let read_val disk id =
+  let raw = Page.get_bytes (Disk.read disk id) ~pos:0 ~len:val_len in
+  let raw =
+    match String.index_opt raw '\000' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  String.trim raw
+
+(* ------------------------------------------------------------- basics *)
+
+let test_crc32_vector () =
+  checki "check value" 0xCBF43926 (Crc32.string "123456789");
+  checki "bytes agrees" (Crc32.string "abc") (Crc32.bytes (Bytes.of_string "abc"))
+
+let test_persist_across_close () =
+  let path = tmp_path () in
+  let d = Disk.open_file ~page_size path in
+  let a = Disk.alloc d in
+  let b = Disk.alloc d in
+  write_val d a "alpha";
+  write_val d b "beta";
+  Disk.close d;
+  let d2 = Disk.open_file ~page_size path in
+  checki "pages survive" 2 (Disk.page_count d2);
+  checks "a" "alpha" (read_val d2 a);
+  checks "b" "beta" (read_val d2 b);
+  checki "nothing replayed after clean close" 0
+    (match Disk.recovery_info d2 with Some o -> o.Recovery.applied | None -> -1);
+  Disk.close d2;
+  cleanup path
+
+let test_commit_survives_crash () =
+  let path = tmp_path () in
+  let d = Disk.open_file ~page_size path in
+  let a = Disk.alloc d in
+  write_val d a "committed";
+  Disk.commit d;
+  Disk.abandon d;
+  (* no checkpoint, no close: only the WAL holds the data *)
+  let d2 = Disk.open_file ~page_size path in
+  let o = Option.get (Disk.recovery_info d2) in
+  checkb "replayed something" true (o.Recovery.applied > 0);
+  checks "committed survives" "committed" (read_val d2 a);
+  Disk.close d2;
+  cleanup path
+
+let test_uncommitted_discarded () =
+  let path = tmp_path () in
+  (* a tiny group-flush threshold forces every record into the file as
+     soon as it is appended — uncommitted records ARE on disk, and must
+     still not be recovered without their commit marker *)
+  let d = Disk.open_file ~page_size ~wal_group_bytes:8 path in
+  let a = Disk.alloc d in
+  write_val d a "v1";
+  Disk.commit d;
+  write_val d a "v2-uncommitted";
+  let _b = Disk.alloc d in
+  Disk.abandon d;
+  let d2 = Disk.open_file ~page_size path in
+  let o = Option.get (Disk.recovery_info d2) in
+  checks "committed version" "v1" (read_val d2 a);
+  checki "uncommitted alloc not resurrected" 1 (Disk.page_count d2);
+  checki "uncommitted tail discarded" 2 o.Recovery.discarded;
+  Disk.close d2;
+  cleanup path
+
+let test_torn_tail_skipped () =
+  let path = tmp_path () in
+  let d = Disk.open_file ~page_size path in
+  let a = Disk.alloc d in
+  write_val d a "good";
+  Disk.commit d;
+  Disk.abandon d;
+  (* corrupt the log tail: garbage after the valid committed records *)
+  let fd = Unix.openfile (path ^ ".wal") [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644 in
+  let junk = Bytes.of_string "\x42\xff\x00garbage-not-a-record" in
+  ignore (Unix.write fd junk 0 (Bytes.length junk));
+  Unix.close fd;
+  let d2 = Disk.open_file ~page_size path in
+  let o = Option.get (Disk.recovery_info d2) in
+  checkb "torn tail detected" true o.Recovery.torn_tail;
+  checkb "committed prefix still replayed" true (o.Recovery.applied > 0);
+  checks "data recovered" "good" (read_val d2 a);
+  Disk.close d2;
+  cleanup path
+
+let test_truncated_tail_prefix () =
+  (* Batches write a uniform value across all pages; cutting K bytes off
+     the log tail must always recover a consistent batch prefix, never a
+     mix. *)
+  let path = tmp_path () in
+  let build () =
+    let d = Disk.open_file ~page_size path in
+    let ids = List.init 3 (fun _ -> Disk.alloc d) in
+    Disk.commit d;
+    for batch = 1 to 3 do
+      List.iter (fun id -> write_val d id (Printf.sprintf "batch%d" batch)) ids;
+      Disk.commit d
+    done;
+    Disk.abandon d;
+    ids
+  in
+  let ids = build () in
+  let wal = path ^ ".wal" in
+  let full = (Unix.stat wal).Unix.st_size in
+  (* cut ever deeper into the log; rebuild from scratch each time *)
+  let cuts = List.init 24 (fun i -> full - (1 + (i * full / 24))) in
+  List.iter
+    (fun keep ->
+      cleanup path;
+      ignore (build ());
+      let fd = Unix.openfile wal [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd (max 0 keep);
+      Unix.close fd;
+      let d = Disk.open_file ~page_size path in
+      (if Disk.page_count d > 0 then begin
+         let v0 = read_val d (List.hd ids) in
+         checkb
+           (Printf.sprintf "uniform state at cut %d (got %S)" keep v0)
+           true
+           (List.for_all (fun id -> read_val d id = v0) ids
+           && List.mem v0 [ ""; "batch1"; "batch2"; "batch3" ])
+       end);
+      Disk.close d)
+    cuts;
+  cleanup path
+
+(* ------------------------------------- randomized crash-replay harness *)
+
+(* One workload run against [path] with a fault armed to crash after
+   [crash_after] stable-storage ops.  Returns the committed model (value
+   per page, in batch order) and, if the crash hit mid-batch/commit, the
+   model as it would look had that in-flight batch landed. *)
+let run_workload ~rng ~path ~crash_after ~tear_frac =
+  let fault = Fault.create () in
+  let model = ref [||] in
+  (* apply a batch of (page, value) writes to a model copy *)
+  let apply m batch =
+    let top =
+      List.fold_left (fun acc (id, _) -> max acc (id + 1)) (Array.length m) batch
+    in
+    let m' = Array.make top "" in
+    Array.blit m 0 m' 0 (Array.length m);
+    List.iter (fun (id, v) -> m'.(id) <- v) batch;
+    m'
+  in
+  let inflight = ref None in
+  let crashed = ref false in
+  (try
+     let d = Disk.open_file ~page_size ~fault ~wal_group_bytes:512 path in
+     (* initial committed pages *)
+     let n0 = 4 in
+     let ids = ref (List.init n0 (fun _ -> Disk.alloc d)) in
+     let batch0 = List.map (fun id -> (id, "init")) !ids in
+     inflight := Some batch0;
+     List.iter (fun (id, v) -> write_val d id v) batch0;
+     Disk.commit d;
+     model := apply !model batch0;
+     inflight := None;
+     Fault.arm fault ~tear_frac ~after_ops:crash_after ();
+     for batch = 1 to 12 do
+       (* a random subset of pages, occasionally a fresh allocation *)
+       let members =
+         List.filter (fun _ -> Prng.bool rng) !ids
+         @ (if Prng.int rng 3 = 0 then [ -1 ] else [])
+       in
+       let members = if members = [] then [ List.hd !ids ] else members in
+       let batch_writes = ref [] in
+       inflight := Some [];
+       List.iter
+         (fun id ->
+           let id =
+             if id >= 0 then id
+             else begin
+               let id = Disk.alloc d in
+               ids := !ids @ [ id ];
+               id
+             end
+           in
+           let v = Printf.sprintf "b%d-%d" batch id in
+           batch_writes := (id, v) :: !batch_writes;
+           inflight := Some !batch_writes;
+           write_val d id v)
+         members;
+       if Prng.int rng 4 = 0 then Disk.checkpoint d else Disk.commit d;
+       model := apply !model !batch_writes;
+       inflight := None
+     done;
+     Disk.close d
+   with Fault.Crash _ -> crashed := true);
+  let committed = !model in
+  let alt =
+    match !inflight with
+    | Some batch when !crashed -> Some (apply committed batch)
+    | _ -> None
+  in
+  (!crashed, committed, alt)
+
+let check_state ~what path expected alt =
+  let d = Disk.open_file ~page_size path in
+  let matches m =
+    Disk.page_count d = Array.length m
+    && Array.for_all
+         (fun ok -> ok)
+         (Array.mapi (fun id v -> read_val d id = v || v = "") m)
+  in
+  let ok = matches expected || match alt with Some m -> matches m | None -> false in
+  if not ok then begin
+    let dump m = String.concat "," (Array.to_list m) in
+    Alcotest.failf "%s: recovered state matches neither model\n committed=[%s]%s\n disk(%d pages)=[%s]"
+      what (dump expected)
+      (match alt with
+      | Some m -> Printf.sprintf "\n in-flight=[%s]" (dump m)
+      | None -> "")
+      (Disk.page_count d)
+      (String.concat ","
+         (List.init (Disk.page_count d) (fun id -> read_val d id)))
+  end;
+  Disk.close d
+
+let test_randomized_crash_points () =
+  let rng = Prng.create 20260806 in
+  let crashes = ref 0 in
+  let iters = 64 in
+  for i = 1 to iters do
+    let path = tmp_path () in
+    let crash_after = Prng.int_in rng ~lo:1 ~hi:45 in
+    let tear_frac = [| 0.0; 0.0; 0.3; 0.7; 0.95 |].(Prng.int rng 5) in
+    let crashed, committed, alt =
+      run_workload ~rng ~path ~crash_after ~tear_frac
+    in
+    if crashed then incr crashes;
+    check_state ~what:(Printf.sprintf "iter %d (crash_after=%d tear=%.2f)" i crash_after tear_frac)
+      path committed alt;
+    cleanup path
+  done;
+  checkb
+    (Printf.sprintf "enough crash points exercised (%d/%d)" !crashes iters)
+    true (!crashes >= 50)
+
+(* -------------------------- buffer pool + WAL ordering (LRU and Clock) *)
+
+(* Dirty pages evicted by the pool reach the disk as WAL records; the
+   database file itself is only written at a checkpoint, after the log is
+   flushed.  Crashing at every point of a pool-driven workload must never
+   surface a page image whose log record did not precede it: recovery
+   always yields a committed batch prefix. *)
+let pool_workload ~policy ~path ~crash_after =
+  let fault = Fault.create () in
+  let committed = ref 0 in
+  (try
+     let d = Disk.open_file ~page_size ~fault ~wal_group_bytes:256 path in
+     let bp = Buffer_pool.create ~policy ~capacity:2 d in
+     let ids = List.init 6 (fun _ -> Buffer_pool.alloc_page bp) in
+     List.iteri
+       (fun i id ->
+         Buffer_pool.with_page_mut bp id (fun p ->
+             Page.set_bytes p ~pos:0 (Printf.sprintf "%-*s" val_len (Printf.sprintf "init-%d" i))))
+       ids;
+     Buffer_pool.flush_all bp;
+     Disk.commit d;
+     committed := 0;
+     Fault.arm fault ~tear_frac:0.5 ~after_ops:crash_after ();
+     for batch = 1 to 8 do
+       (* touching every page through a 2-frame pool forces evictions
+          (and hence mid-batch Disk.writes) in both policies *)
+       List.iter
+         (fun id ->
+           Buffer_pool.with_page_mut bp id (fun p ->
+               Page.set_bytes p ~pos:0
+                 (Printf.sprintf "%-*s" val_len (Printf.sprintf "b%d-%d" batch id))))
+         ids;
+       Buffer_pool.flush_all bp;
+       if batch mod 3 = 0 then Disk.checkpoint d else Disk.commit d;
+       committed := batch
+     done;
+     Disk.close d
+   with Fault.Crash _ -> ());
+  !committed
+
+let check_pool_state ~what path committed =
+  let d = Disk.open_file ~page_size path in
+  if Disk.page_count d > 0 then begin
+    checki (what ^ ": all six pages") 6 (Disk.page_count d);
+    let vals = List.init 6 (fun id -> read_val d id) in
+    (* all pages must reflect the same committed batch: either the batch
+       we know committed, or the next one if the crash hit between its
+       durable commit and our bookkeeping *)
+    let batch_of v =
+      if String.length v >= 4 && v.[0] = 'b' then
+        int_of_string (String.sub v 1 (String.index v '-' - 1))
+      else 0
+    in
+    let batches = List.sort_uniq compare (List.map batch_of vals) in
+    (match batches with
+    | [ b ] ->
+        checkb
+          (Printf.sprintf "%s: batch %d vs committed %d" what b committed)
+          true
+          (b = committed || b = committed + 1)
+    | _ ->
+        Alcotest.failf "%s: mixed batches after recovery: %s" what
+          (String.concat "," vals))
+  end;
+  Disk.close d
+
+let test_pool_wal_ordering policy () =
+  let rng = Prng.create 77 in
+  for _ = 1 to 20 do
+    let path = tmp_path () in
+    let crash_after = Prng.int_in rng ~lo:1 ~hi:30 in
+    let committed = pool_workload ~policy ~path ~crash_after in
+    check_pool_state
+      ~what:(Printf.sprintf "crash_after=%d" crash_after)
+      path committed;
+    cleanup path
+  done
+
+(* --------------------------------------------------- stats and control *)
+
+let test_stats_counters () =
+  let path = tmp_path () in
+  let d = Disk.open_file ~page_size path in
+  let before = Stats.snapshot (Disk.stats d) in
+  let a = Disk.alloc d in
+  write_val d a "x";
+  Disk.commit d;
+  Disk.checkpoint d;
+  let s = Stats.diff ~after:(Stats.snapshot (Disk.stats d)) ~before in
+  checki "wal appends (alloc + write + commit marker)" 3 s.Stats.wal_appends;
+  checkb "wal flushed" true (s.Stats.wal_flushes >= 1);
+  checki "one checkpoint" 1 s.Stats.checkpoints;
+  Disk.close d;
+  (* diff/reset must cover the new counters too *)
+  let d2 = Disk.open_file ~page_size path in
+  Stats.reset (Disk.stats d2);
+  let z = Stats.snapshot (Disk.stats d2) in
+  checki "reset zeroes wal_appends" 0 z.Stats.wal_appends;
+  checki "reset zeroes checkpoints" 0 z.Stats.checkpoints;
+  checki "reset zeroes recovered" 0 z.Stats.recovered_records;
+  Disk.close d2;
+  cleanup path
+
+let test_recovered_counter () =
+  let path = tmp_path () in
+  let d = Disk.open_file ~page_size path in
+  let a = Disk.alloc d in
+  write_val d a "x";
+  Disk.commit d;
+  Disk.abandon d;
+  let d2 = Disk.open_file ~page_size path in
+  let s = Stats.snapshot (Disk.stats d2) in
+  checki "recovered_records counted" 2 s.Stats.recovered_records;
+  Disk.close d2;
+  cleanup path
+
+let test_autocheckpoint () =
+  let path = tmp_path () in
+  (* tiny WAL budget: every commit should trigger a checkpoint *)
+  let d = Disk.open_file ~page_size ~wal_autocheckpoint:64 path in
+  let a = Disk.alloc d in
+  write_val d a "x";
+  Disk.commit d;
+  write_val d a "y";
+  Disk.commit d;
+  let s = Stats.snapshot (Disk.stats d) in
+  checkb "auto-checkpoints fired" true (s.Stats.checkpoints >= 2);
+  checkb "wal stays small" true (Disk.wal_size d <= 64);
+  Disk.close d;
+  cleanup path
+
+let test_db_facade_durable () =
+  let path = tmp_path () in
+  let db = Bdbms.Db.create ~path () in
+  checkb "durable" true (Bdbms.Db.durable db);
+  ignore (Bdbms.Db.exec_exn db "CREATE TABLE G (k TEXT, v INT)");
+  ignore (Bdbms.Db.exec_exn db "INSERT INTO G VALUES ('a', 1)");
+  let s = Bdbms.Db.io_stats db in
+  checkb "statements auto-committed to the wal" true (s.Stats.wal_appends > 0);
+  Bdbms.Db.close db;
+  (* reopen: page images survive (logical catalog rebuild is future work) *)
+  let db2 = Bdbms.Db.create ~path () in
+  checkb "pages persisted" true
+    (let d = (Bdbms.Db.context db2).Bdbms_asql.Context.disk in
+     Disk.page_count d > 0);
+  Bdbms.Db.close db2;
+  cleanup path
+
+let test_page_size_mismatch () =
+  let path = tmp_path () in
+  let d = Disk.open_file ~page_size path in
+  Disk.close d;
+  (match Disk.open_file ~page_size:(page_size * 2) path with
+  | exception Invalid_argument _ -> ()
+  | d -> Disk.close d; Alcotest.fail "expected page-size mismatch rejection");
+  cleanup path
+
+let () =
+  Alcotest.run "bdbms_recovery"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "crc32 vector" `Quick test_crc32_vector;
+          Alcotest.test_case "stats counters" `Quick test_stats_counters;
+          Alcotest.test_case "recovered counter" `Quick test_recovered_counter;
+          Alcotest.test_case "auto-checkpoint" `Quick test_autocheckpoint;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "persist across close" `Quick test_persist_across_close;
+          Alcotest.test_case "commit survives crash" `Quick test_commit_survives_crash;
+          Alcotest.test_case "uncommitted discarded" `Quick test_uncommitted_discarded;
+          Alcotest.test_case "torn tail skipped" `Quick test_torn_tail_skipped;
+          Alcotest.test_case "truncated tail prefixes" `Quick test_truncated_tail_prefix;
+          Alcotest.test_case "randomized crash points" `Quick test_randomized_crash_points;
+        ] );
+      ( "pool-ordering",
+        [
+          Alcotest.test_case "LRU log-before-data" `Quick
+            (test_pool_wal_ordering Buffer_pool.Lru);
+          Alcotest.test_case "Clock log-before-data" `Quick
+            (test_pool_wal_ordering Buffer_pool.Clock);
+        ] );
+      ( "facade",
+        [
+          Alcotest.test_case "durable Db" `Quick test_db_facade_durable;
+          Alcotest.test_case "page-size mismatch" `Quick test_page_size_mismatch;
+        ] );
+    ]
