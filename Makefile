@@ -1,9 +1,9 @@
 # Tier-1 verification in one command.
 
-.PHONY: check build test fmt bench clean
+.PHONY: check build test fmt bench bench-quick clean
 
-check: ## build everything and run the full test suite
-	dune build @all && dune runtest
+check: ## build everything, run the full test suite, smoke the query bench
+	dune build @all && dune runtest && $(MAKE) bench-quick
 
 build:
 	dune build @all
@@ -14,8 +14,11 @@ test:
 fmt: ## format the tree (requires an ocamlformat config/install)
 	dune fmt
 
-bench: ## all paper experiments + E11 durability
+bench: ## all paper experiments + E11 durability + E12 query engine
 	dune exec bench/main.exe
+
+bench-quick: ## E12 pipelined-query smoke run (reduced sizes)
+	dune exec bench/main.exe -- E12 --quick
 
 clean:
 	dune clean

@@ -16,6 +16,10 @@
      E11 WAL / checkpoint / recovery       (durability subsystem; not in
                                             the paper — PostgreSQL gave
                                             the authors this for free)
+     E12 pipelined query engine            (hash join / lazy annotation
+                                            attachment / top-k; the
+                                            executor PostgreSQL gave the
+                                            authors for free)
 
    Usage:
      dune exec bench/main.exe                 # all paper experiments
@@ -36,6 +40,7 @@ let experiments =
     ("E9", E9_approval.run);
     ("E10", E10_compression.run);
     ("E11", E11_recovery.run);
+    ("E12", E12_query.run);
   ]
 
 (* ------------------------------------------------- bechamel micro-bench *)

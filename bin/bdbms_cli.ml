@@ -96,7 +96,13 @@ let main user script strict_acl auto_prov stats db_path =
         "-- wal: %d appends, %d group flushes, %d checkpoints, %d recovered records\n"
         s.Bdbms_storage.Stats.wal_appends s.Bdbms_storage.Stats.wal_flushes
         s.Bdbms_storage.Stats.checkpoints
-        s.Bdbms_storage.Stats.recovered_records
+        s.Bdbms_storage.Stats.recovered_records;
+    Printf.printf
+      "-- query: %d hash builds, %d hash probes, %d pushdown-pruned, %d index probes\n"
+      s.Bdbms_storage.Stats.hash_builds s.Bdbms_storage.Stats.hash_probes
+      s.Bdbms_storage.Stats.pushdown_pruned s.Bdbms_storage.Stats.index_probes;
+    Printf.printf "-- query: %d tuples decoded, %d annotation envelopes\n"
+      s.Bdbms_storage.Stats.tuples_decoded s.Bdbms_storage.Stats.ann_envelopes
   end;
   Db.close db;
   0

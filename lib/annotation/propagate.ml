@@ -39,10 +39,13 @@ let scan mgr table ?ann_tables ?include_archived () =
   { schema; rows }
 
 let of_rowset (rs : Ops.rowset) =
-  let arity = Schema.arity rs.Ops.schema in
+  (* one shared all-empty annotation array: every operator here copies
+     before writing (promote, merge_group, ...), so sharing is safe and a
+     plain query wraps its answer without a per-row allocation *)
+  let empty = Array.make (Schema.arity rs.Ops.schema) [] in
   {
     schema = rs.Ops.schema;
-    rows = List.map (fun tuple -> { tuple; anns = Array.make arity [] }) rs.Ops.rows;
+    rows = List.map (fun tuple -> { tuple; anns = empty }) rs.Ops.rows;
   }
 
 let to_rowset t = { Ops.schema = t.schema; rows = List.map (fun at -> at.tuple) t.rows }
@@ -244,12 +247,13 @@ let order_by t specs =
   in
   { t with rows = List.stable_sort cmp t.rows }
 
+(* tail-recursive: LIMIT can be as large as the rowset *)
 let limit t n =
-  let rec take k = function
-    | [] -> []
-    | _ when k = 0 -> []
-    | x :: rest -> x :: take (k - 1) rest
+  let rec take acc k = function
+    | [] -> List.rev acc
+    | _ when k <= 0 -> List.rev acc
+    | x :: rest -> take (x :: acc) (k - 1) rest
   in
-  { t with rows = take (max 0 n) t.rows }
+  { t with rows = take [] (max 0 n) t.rows }
 
 let row_count t = List.length t.rows

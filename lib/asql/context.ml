@@ -32,6 +32,7 @@ type t = {
   approval : Approval.t;
   mutable strict_acl : bool;
   mutable auto_provenance : bool;
+  mutable pipelined : bool;
   indexes : (string, index_def) Hashtbl.t;
 }
 
@@ -79,6 +80,7 @@ let create ?(page_size = 4096) ?(pool_capacity = 256) ?policy ?path ?fault () =
     approval;
     strict_acl = false;
     auto_provenance = false;
+    pipelined = true;
     indexes;
   }
 

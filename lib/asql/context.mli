@@ -32,6 +32,11 @@ type t = {
       (** when on, non-admin DML and SELECT require GRANTs *)
   mutable auto_provenance : bool;
       (** when on, DML records Local_insert / Local_update provenance *)
+  mutable pipelined : bool;
+      (** when on (the default), SELECT runs through the streaming
+          plan-driven engine (hash joins, predicate pushdown, lazy
+          annotation attachment); off selects the naive materialized
+          evaluator, kept as the semantic oracle for equivalence tests *)
   indexes : (string, index_def) Hashtbl.t;
       (** by lowercase index name *)
 }

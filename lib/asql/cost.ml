@@ -1,30 +1,42 @@
 module Table = Bdbms_relation.Table
+module Schema = Bdbms_relation.Schema
 module Catalog = Bdbms_relation.Catalog
-module Expr = Bdbms_relation.Expr
 module Manager = Bdbms_annotation.Manager
 module Ann_store = Bdbms_annotation.Ann_store
 
 type estimate = { rows : float; pages : float }
 
-(* selectivity heuristics *)
-let rec selectivity = function
-  | Expr.Cmp (Expr.Eq, _, _) -> 0.10
-  | Expr.Cmp (Expr.Neq, _, _) -> 0.90
-  | Expr.Cmp ((Expr.Lt | Expr.Leq | Expr.Gt | Expr.Geq), _, _) -> 0.30
-  | Expr.Like _ -> 0.25
-  | Expr.In_list (_, vs) -> Float.min 0.9 (0.10 *. float_of_int (List.length vs))
-  | Expr.Is_null _ -> 0.05
-  | Expr.And (a, b) -> selectivity a *. selectivity b
-  | Expr.Or (a, b) ->
-      let sa = selectivity a and sb = selectivity b in
-      sa +. sb -. (sa *. sb)
-  | Expr.Not a -> 1.0 -. selectivity a
-  | Expr.Lit _ | Expr.Col _ | Expr.Arith _ | Expr.Concat _ -> 0.5
-
+(* selectivity heuristics live in Plan so the optimizer and EXPLAIN agree *)
+let selectivity = Plan.selectivity
 let awhere_selectivity = 0.5
 let distinct_factor = 0.8
 
 type node = { label : string; est : estimate; children : node list }
+
+(* Annotation-store page accounting for a FROM item: an unindexed
+   annotation lookup rescans the store per row. *)
+let ann_cost (ctx : Context.t) (f : Ast.from_item) rows =
+  match f.Ast.ann_tables with
+  | None -> (0.0, "")
+  | Some names ->
+      let names =
+        if names = [ "*" ] then
+          Manager.annotation_table_names ctx.ann ~table_name:f.Ast.table
+        else names
+      in
+      let pages =
+        List.fold_left
+          (fun acc n ->
+            match Manager.store_of ctx.ann ~table_name:f.Ast.table ~name:n with
+            | Some store ->
+                acc
+                +. float_of_int (Ann_store.storage_pages store)
+                +. float_of_int (Ann_store.index_pages store)
+            | None -> acc)
+          0.0 names
+      in
+      ( pages *. Float.max 1.0 rows,
+        Printf.sprintf " ANNOTATION(%s)" (String.concat "," names) )
 
 let scan_node (ctx : Context.t) (f : Ast.from_item) =
   match Catalog.find ctx.catalog f.Ast.table with
@@ -37,82 +49,131 @@ let scan_node (ctx : Context.t) (f : Ast.from_item) =
   | Some table ->
       let rows = float_of_int (Table.live_count table) in
       let pages = float_of_int (Table.storage_pages table) in
-      let ann_pages, ann_label =
-        match f.Ast.ann_tables with
-        | None -> (0.0, "")
-        | Some names ->
-            let names =
-              if names = [ "*" ] then
-                Manager.annotation_table_names ctx.ann ~table_name:f.Ast.table
-              else names
-            in
-            let pages =
-              List.fold_left
-                (fun acc n ->
-                  match Manager.store_of ctx.ann ~table_name:f.Ast.table ~name:n with
-                  | Some store ->
-                      acc
-                      +. float_of_int (Ann_store.storage_pages store)
-                      +. float_of_int (Ann_store.index_pages store)
-                  | None -> acc)
-                0.0 names
-            in
-            (* an unindexed annotation lookup rescans the store per row *)
-            (pages *. Float.max 1.0 rows, Printf.sprintf " ANNOTATION(%s)" (String.concat "," names))
-      in
+      let ann_pages, ann_label = ann_cost ctx f rows in
       {
         label = Printf.sprintf "SCAN %s%s" f.Ast.table ann_label;
         est = { rows; pages = pages +. ann_pages };
         children = [];
       }
 
-(* top-level equality columns of a WHERE expression *)
-let rec equality_columns = function
-  | Expr.Cmp (Expr.Eq, Expr.Col c, Expr.Lit _) | Expr.Cmp (Expr.Eq, Expr.Lit _, Expr.Col c)
-    ->
-      [ c ]
-  | Expr.And (a, b) -> equality_columns a @ equality_columns b
-  | _ -> []
+(* ------------------------------------------- plan-driven FROM/WHERE tree *)
 
-let index_for ctx (f : Ast.from_item) where =
-  match where with
-  | None -> None
-  | Some e ->
-      let eq_cols = List.map String.lowercase_ascii (equality_columns e) in
-      Context.indexes_on ctx ~table:f.Ast.table
-      |> List.find_opt (fun (idx : Context.index_def) ->
-             List.exists
-               (fun c ->
-                 c = String.lowercase_ascii idx.Context.idx_column
-                 || c
-                    = String.lowercase_ascii
-                        (Option.value f.Ast.table_alias ~default:f.Ast.table)
-                      ^ "_"
-                      ^ String.lowercase_ascii idx.Context.idx_column)
-               eq_cols)
-
-let rec select_node ctx (sel : Ast.select) =
-  let single = List.length sel.Ast.from = 1 in
-  let scans =
-    List.map
-      (fun f ->
-        match (single, index_for ctx f sel.Ast.where) with
-        | true, Some idx ->
-            let base = scan_node ctx f in
+(* Access path + pushed predicates for one planned source. *)
+let source_node ctx (src : Plan.source) =
+  let f = src.Plan.item in
+  let table_rows = float_of_int (Table.live_count src.Plan.table) in
+  let table_pages = float_of_int (Table.storage_pages src.Plan.table) in
+  let ann_pages, ann_label = ann_cost ctx f table_rows in
+  let scan =
+    match src.Plan.access with
+    | Plan.Seq_scan ->
+        {
+          label = Printf.sprintf "SCAN %s%s" f.Ast.table ann_label;
+          est = { rows = table_rows; pages = table_pages +. ann_pages };
+          children = [];
+        }
+    | Plan.Index_probe { index; value = _ } ->
+        {
+          label =
+            Printf.sprintf "INDEX SCAN %s via %s(%s)%s" f.Ast.table
+              index.Context.idx_name index.Context.idx_column ann_label;
+          est =
             {
-              base with
-              label =
-                Printf.sprintf "INDEX SCAN %s via %s(%s)" f.Ast.table
-                  idx.Context.idx_name idx.Context.idx_column;
-              est =
-                {
-                  rows = base.est.rows *. 0.10;
-                  pages = Float.min base.est.pages 4.0;
-                };
-            }
-        | _ -> scan_node ctx f)
+              rows = table_rows *. 0.10;
+              pages = Float.min table_pages 4.0 +. ann_pages;
+            };
+          children = [];
+        }
+  in
+  match src.Plan.pushed with
+  | [] -> scan
+  | es ->
+      {
+        label =
+          Printf.sprintf "WHERE (selectivity %.2f)"
+            (Plan.conjuncts_selectivity es);
+        est = { rows = src.Plan.est_rows; pages = scan.est.pages };
+        children = [ scan ];
+      }
+
+(* One join step: the accumulated left tree joined with the step's source,
+   then any deferred (post-join) conjuncts. *)
+let step_node ctx joined_schema acc (step : Plan.step) =
+  let right = source_node ctx step.Plan.src in
+  let post_sel = Plan.conjuncts_selectivity step.Plan.post in
+  let join_rows =
+    if post_sel > 0.0 then step.Plan.est_rows /. post_sel
+    else step.Plan.est_rows
+  in
+  let joined =
+    match step.Plan.kind with
+    | Plan.Hash { left_cols; right_cols; build_left } ->
+        let col p = (Schema.column_at joined_schema p).Schema.name in
+        let keys =
+          List.map2
+            (fun l r -> Printf.sprintf "%s=%s" (col l) (col r))
+            left_cols right_cols
+        in
+        {
+          label =
+            Printf.sprintf "HASH JOIN (%s, build=%s)"
+              (String.concat ", " keys)
+              (if build_left then "left" else "right");
+          est = { rows = join_rows; pages = acc.est.pages +. right.est.pages };
+          children = [ acc; right ];
+        }
+    | Plan.Nested ->
+        {
+          label = "BLOCK NESTED-LOOP JOIN";
+          est = { rows = join_rows; pages = acc.est.pages +. right.est.pages };
+          children = [ acc; right ];
+        }
+  in
+  match step.Plan.post with
+  | [] -> joined
+  | es ->
+      {
+        label =
+          Printf.sprintf "POST-JOIN WHERE (selectivity %.2f)"
+            (Plan.conjuncts_selectivity es);
+        est = { rows = step.Plan.est_rows; pages = joined.est.pages };
+        children = [ joined ];
+      }
+
+(* FROM/WHERE subtree through the planner when every table exists and the
+   WHERE resolves; legacy rendering otherwise (so EXPLAIN never fails). *)
+let planned_from_where ctx (sel : Ast.select) =
+  let entries =
+    List.map
+      (fun (f : Ast.from_item) ->
+        Option.map (fun t -> (f, t)) (Catalog.find ctx.Context.catalog f.Ast.table))
       sel.Ast.from
   in
+  if sel.Ast.from = [] || List.exists Option.is_none entries then None
+  else
+    let entries = List.filter_map Fun.id entries in
+    let frame = Plan.frame entries in
+    match sel.Ast.where with
+    | Some e
+      when Resolve.map_expr_opt frame.Plan.schema ~prefixes:frame.Plan.prefixes e
+           = None ->
+        None (* unresolvable column reference: fall back *)
+    | _ ->
+        let where =
+          Option.bind sel.Ast.where
+            (Resolve.map_expr_opt frame.Plan.schema ~prefixes:frame.Plan.prefixes)
+        in
+        let plan = Plan.build ctx frame ~where in
+        let base = source_node ctx plan.Plan.base in
+        Some
+          (List.fold_left
+             (step_node ctx plan.Plan.schema)
+             base plan.Plan.steps)
+
+(* Legacy FROM/WHERE rendering: flat nested-loop fold with the whole WHERE
+   applied on top.  Used for unknown tables and unresolvable predicates. *)
+let legacy_from_where ctx (sel : Ast.select) =
+  let scans = List.map (scan_node ctx) sel.Ast.from in
   let joined =
     match scans with
     | [] -> { label = "EMPTY"; est = { rows = 0.0; pages = 0.0 }; children = [] }
@@ -131,16 +192,21 @@ let rec select_node ctx (sel : Ast.select) =
             })
           first rest
   in
+  match sel.Ast.where with
+  | None -> joined
+  | Some e ->
+      let sel_f = selectivity e in
+      {
+        label = Printf.sprintf "WHERE (selectivity %.2f)" sel_f;
+        est = { joined.est with rows = joined.est.rows *. sel_f };
+        children = [ joined ];
+      }
+
+let rec select_node ctx (sel : Ast.select) =
   let with_where =
-    match sel.Ast.where with
-    | None -> joined
-    | Some e ->
-        let sel_f = selectivity e in
-        {
-          label = Printf.sprintf "WHERE (selectivity %.2f)" sel_f;
-          est = { joined.est with rows = joined.est.rows *. sel_f };
-          children = [ joined ];
-        }
+    match planned_from_where ctx sel with
+    | Some n -> n
+    | None -> legacy_from_where ctx sel
   in
   let with_awhere =
     match sel.Ast.awhere with
@@ -182,13 +248,34 @@ let rec select_node ctx (sel : Ast.select) =
           children = [ projected ];
         }
   in
-  if sel.Ast.distinct then
-    {
-      label = "DISTINCT";
-      est = { with_filter.est with rows = with_filter.est.rows *. distinct_factor };
-      children = [ with_filter ];
-    }
-  else with_filter
+  let with_distinct =
+    if sel.Ast.distinct then
+      {
+        label = "DISTINCT";
+        est = { with_filter.est with rows = with_filter.est.rows *. distinct_factor };
+        children = [ with_filter ];
+      }
+    else with_filter
+  in
+  match (sel.Ast.order_by, sel.Ast.limit) with
+  | [], _ -> with_distinct
+  | _, Some n ->
+      let k = n + Option.value sel.Ast.offset ~default:0 in
+      {
+        label = Printf.sprintf "TOP-K (k=%d)" k;
+        est =
+          {
+            with_distinct.est with
+            rows = Float.min with_distinct.est.rows (float_of_int (max 0 k));
+          };
+        children = [ with_distinct ];
+      }
+  | _, None ->
+      {
+        label = "SORT";
+        est = with_distinct.est;
+        children = [ with_distinct ];
+      }
 
 and query_node ctx = function
   | Ast.Select sel -> select_node ctx sel

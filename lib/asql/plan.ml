@@ -1,0 +1,259 @@
+module Schema = Bdbms_relation.Schema
+module Expr = Bdbms_relation.Expr
+module Value = Bdbms_relation.Value
+module Table = Bdbms_relation.Table
+
+(* ------------------------------------------------------------ selectivity *)
+
+(* Heuristic selectivities (textbook constants); also used by the cost
+   model's EXPLAIN estimates. *)
+let rec selectivity = function
+  | Expr.Cmp (Expr.Eq, _, _) -> 0.10
+  | Expr.Cmp (Expr.Neq, _, _) -> 0.90
+  | Expr.Cmp ((Expr.Lt | Expr.Leq | Expr.Gt | Expr.Geq), _, _) -> 0.30
+  | Expr.Like _ -> 0.25
+  | Expr.In_list (_, vs) -> Float.min 0.9 (0.10 *. float_of_int (List.length vs))
+  | Expr.Is_null _ -> 0.05
+  | Expr.And (a, b) -> selectivity a *. selectivity b
+  | Expr.Or (a, b) ->
+      let sa = selectivity a and sb = selectivity b in
+      sa +. sb -. (sa *. sb)
+  | Expr.Not a -> 1.0 -. selectivity a
+  | Expr.Lit _ | Expr.Col _ | Expr.Arith _ | Expr.Concat _ -> 0.5
+
+let conjuncts_selectivity es =
+  List.fold_left (fun acc e -> acc *. selectivity e) 1.0 es
+
+(* --------------------------------------------------------------- the frame *)
+
+type frame = {
+  entries : (Ast.from_item * Table.t) list;
+  schema : Schema.t;
+  prefixes : string list;
+  multi : bool;
+  slices : (int * Schema.t) list;
+}
+
+let item_prefix (f : Ast.from_item) =
+  Option.value f.Ast.table_alias ~default:f.Ast.table
+
+let frame entries =
+  let multi = List.length entries > 1 in
+  let prefixed =
+    List.map
+      (fun ((f : Ast.from_item), table) ->
+        let schema = Table.schema table in
+        if multi then
+          let prefix = item_prefix f in
+          Schema.rename_columns schema
+            (List.map
+               (fun c -> (c.Schema.name, prefix ^ "_" ^ c.Schema.name))
+               (Schema.columns schema))
+        else schema)
+      entries
+  in
+  (* the canonical output schema is the fold of Schema.concat (which
+     renames collisions), exactly as the naive evaluator builds it; each
+     source owns a contiguous slice of it *)
+  let schema =
+    match prefixed with
+    | [] -> invalid_arg "Plan.frame: empty FROM"
+    | first :: rest -> List.fold_left Schema.concat first rest
+  in
+  let columns = Schema.columns schema in
+  let slices =
+    let rec go offset cols = function
+      | [] -> []
+      | s :: rest ->
+          let arity = Schema.arity s in
+          let rec split n acc = function
+            | rest when n = 0 -> (List.rev acc, rest)
+            | c :: tl -> split (n - 1) (c :: acc) tl
+            | [] -> invalid_arg "Plan.frame: slice underflow"
+          in
+          let mine, others = split arity [] cols in
+          (offset, Schema.make mine) :: go (offset + arity) others rest
+    in
+    go 0 columns prefixed
+  in
+  {
+    entries;
+    schema;
+    prefixes = List.map (fun (f, _) -> item_prefix f) entries;
+    multi;
+    slices;
+  }
+
+(* ---------------------------------------------------------------- the plan *)
+
+type access =
+  | Seq_scan
+  | Index_probe of { index : Context.index_def; value : Value.t }
+
+type source = {
+  item : Ast.from_item;
+  table : Table.t;
+  prefix : string;
+  offset : int;
+  schema : Schema.t;
+  access : access;
+  pushed : Expr.t list;
+  est_rows : float;
+}
+
+type join_kind =
+  | Hash of { left_cols : int list; right_cols : int list; build_left : bool }
+  | Nested
+
+type step = { src : source; kind : join_kind; post : Expr.t list; est_rows : float }
+
+type t = {
+  base : source;
+  steps : step list;
+  schema : Schema.t;
+  prefixes : string list;
+}
+
+let rec split_conjuncts = function
+  | Expr.And (a, b) -> split_conjuncts a @ split_conjuncts b
+  | e -> [ e ]
+
+(* Classification of one resolved conjunct against the source slices. *)
+type classified =
+  | Pushed of int * Expr.t
+  | Edge of { lo : int; lo_col : int; hi : int; hi_col : int }
+      (* equi-join edge, absolute column positions, [lo < hi] source order *)
+  | Deferred of int * Expr.t  (* applied once source [i] has been joined *)
+
+let classify frame conjunct =
+  let source_of pos =
+    let rec go i = function
+      | [] -> invalid_arg "Plan.classify: position out of range"
+      | (offset, slice) :: rest ->
+          if pos < offset + Schema.arity slice then i else go (i + 1) rest
+    in
+    go 0 frame.slices
+  in
+  let positions =
+    List.map (Schema.index_of_exn frame.schema) (Expr.columns_used conjunct)
+  in
+  let sources = List.sort_uniq compare (List.map source_of positions) in
+  match (sources, conjunct) with
+  | [], _ -> Pushed (0, conjunct) (* column-free predicate: cheapest at base *)
+  | [ i ], _ -> Pushed (i, conjunct)
+  | [ i; j ], Expr.Cmp (Expr.Eq, Expr.Col a, Expr.Col b) ->
+      let pa = Schema.index_of_exn frame.schema a
+      and pb = Schema.index_of_exn frame.schema b in
+      let sa = source_of pa in
+      (* orient the edge so [lo] is the earlier FROM item *)
+      if sa = i then Edge { lo = i; lo_col = pa; hi = j; hi_col = pb }
+      else Edge { lo = i; lo_col = pb; hi = j; hi_col = pa }
+  | is, _ -> Deferred (List.fold_left max 0 is, conjunct)
+
+(* An equality [col = literal] usable as an index probe, in slice-local
+   terms: the pushed conjuncts reference slice column names. *)
+let probe_of_pushed ctx (f : Ast.from_item) base_schema slice pushed =
+  List.find_map
+    (fun e ->
+      let probe c v =
+        match Schema.index_of slice c with
+        | None -> None
+        | Some pos ->
+            (* same position in the slice and in the base table schema *)
+            let base_col = (Schema.column_at base_schema pos).Schema.name in
+            Context.indexes_on ctx ~table:f.Ast.table
+            |> List.find_map (fun (idx : Context.index_def) ->
+                   if
+                     String.lowercase_ascii idx.Context.idx_column
+                     = String.lowercase_ascii base_col
+                   then Some (Index_probe { index = idx; value = v })
+                   else None)
+      in
+      match e with
+      | Expr.Cmp (Expr.Eq, Expr.Col c, Expr.Lit v)
+      | Expr.Cmp (Expr.Eq, Expr.Lit v, Expr.Col c) ->
+          probe c v
+      | _ -> None)
+    pushed
+
+let build ctx frame ~where =
+  let conjuncts =
+    match where with None -> [] | Some e -> split_conjuncts e
+  in
+  let classified = List.map (classify frame) conjuncts in
+  let pushed_for i =
+    List.filter_map
+      (function Pushed (j, e) when j = i -> Some e | _ -> None)
+      classified
+  in
+  let deferred_for i =
+    List.filter_map
+      (function Deferred (j, e) when j = i -> Some e | _ -> None)
+      classified
+  in
+  let edges_for i =
+    List.filter_map
+      (function
+        | Edge { lo = _; lo_col; hi; hi_col } when hi = i -> Some (lo_col, hi_col)
+        | _ -> None)
+      classified
+  in
+  let sources =
+    List.mapi
+      (fun i ((f : Ast.from_item), table) ->
+        let offset, slice = List.nth frame.slices i in
+        let pushed = pushed_for i in
+        let access =
+          match probe_of_pushed ctx f (Table.schema table) slice pushed with
+          | Some probe -> probe
+          | None -> Seq_scan
+        in
+        let est_rows =
+          float_of_int (Table.live_count table) *. conjuncts_selectivity pushed
+        in
+        { item = f; table; prefix = item_prefix f; offset; schema = slice;
+          access; pushed; est_rows })
+      frame.entries
+  in
+  match sources with
+  | [] -> invalid_arg "Plan.build: empty FROM"
+  | base :: rest ->
+      (* left-deep, in FROM order (preserves the naive evaluator's output
+         schema); the accumulated estimate picks each step's build side *)
+      let _, rev_steps =
+        List.fold_left
+          (fun (acc_est, acc_steps) (i, (src : source)) ->
+            let edges = edges_for i in
+            let post = deferred_for i in
+            let kind =
+              match edges with
+              | [] -> Nested
+              | _ ->
+                  Hash
+                    {
+                      left_cols = List.map fst edges;
+                      right_cols = List.map snd edges;
+                      (* build the smaller input *)
+                      build_left = acc_est <= src.est_rows;
+                    }
+            in
+            let join_sel =
+              match edges with
+              | [] -> 1.0
+              | es -> Float.pow 0.10 (float_of_int (List.length es))
+            in
+            let est_rows =
+              acc_est *. Float.max 1.0 src.est_rows *. join_sel
+              *. conjuncts_selectivity post
+            in
+            (est_rows, { src; kind; post; est_rows } :: acc_steps))
+          (Float.max 1.0 base.est_rows, [])
+          (List.mapi (fun k src -> (k + 1, src)) rest)
+      in
+      { base; steps = List.rev rev_steps; schema = frame.schema;
+        prefixes = frame.prefixes }
+
+let out_est plan =
+  match List.rev plan.steps with
+  | [] -> plan.base.est_rows
+  | last :: _ -> last.est_rows

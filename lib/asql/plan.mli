@@ -1,0 +1,87 @@
+(** SELECT planning: conjunct classification, predicate pushdown, access
+    path selection, and left-deep join ordering.
+
+    The planner takes the FROM list and a WHERE expression {e already
+    resolved} against the canonical joined schema (the fold of
+    [Schema.concat] over the per-table schemas, alias-prefixed for
+    multi-table queries) and splits the WHERE into top-level conjuncts:
+
+    - a conjunct touching a single table is {e pushed} below the join and
+      evaluated during that table's scan;
+    - an equality between columns of two different tables becomes a hash
+      join key ({e edge});
+    - everything else is {e deferred} to the earliest join step at which
+      all its tables are available.
+
+    Joins stay in FROM order (left-deep), so the output column order
+    matches the naive evaluator's; each step with at least one edge runs
+    as a hash join building on the estimated-smaller input, edge-less
+    steps fall back to a block nested-loop cross product filtered by the
+    deferred conjuncts.  Both the streaming executor and the cost model's
+    EXPLAIN rendering consume this plan. *)
+
+val selectivity : Bdbms_relation.Expr.t -> float
+(** Heuristic predicate selectivity (equality 0.10, range 0.30, ...). *)
+
+val conjuncts_selectivity : Bdbms_relation.Expr.t list -> float
+
+type frame = {
+  entries : (Ast.from_item * Bdbms_relation.Table.t) list;
+  schema : Bdbms_relation.Schema.t;  (** canonical joined schema *)
+  prefixes : string list;            (** alias/table qualifier per entry *)
+  multi : bool;
+  slices : (int * Bdbms_relation.Schema.t) list;
+      (** per entry: column offset and slice of the joined schema *)
+}
+
+val frame : (Ast.from_item * Bdbms_relation.Table.t) list -> frame
+(** Name-resolution frame for a FROM list (tables already looked up).
+    @raise Invalid_argument on an empty list. *)
+
+type access =
+  | Seq_scan
+  | Index_probe of { index : Context.index_def; value : Bdbms_relation.Value.t }
+      (** fetch candidate rows from a secondary index for a pushed
+          [col = literal] conjunct; the full pushed predicate is still
+          applied to each candidate *)
+
+type source = {
+  item : Ast.from_item;
+  table : Bdbms_relation.Table.t;
+  prefix : string;
+  offset : int;  (** first column of this table's slice in the joined schema *)
+  schema : Bdbms_relation.Schema.t;  (** the slice *)
+  access : access;
+  pushed : Bdbms_relation.Expr.t list;
+      (** single-table conjuncts, resolved against the slice schema *)
+  est_rows : float;
+}
+
+type join_kind =
+  | Hash of { left_cols : int list; right_cols : int list; build_left : bool }
+      (** equi-join; columns are absolute joined-schema positions,
+          pairwise.  [build_left] hashes the accumulated left input *)
+  | Nested  (** no equi edge: block nested-loop cross product *)
+
+type step = {
+  src : source;
+  kind : join_kind;
+  post : Bdbms_relation.Expr.t list;
+      (** deferred conjuncts that become evaluable after this step *)
+  est_rows : float;
+}
+
+type t = {
+  base : source;
+  steps : step list;
+  schema : Bdbms_relation.Schema.t;
+  prefixes : string list;
+}
+
+val build : Context.t -> frame -> where:Bdbms_relation.Expr.t option -> t
+(** Plan a FROM/WHERE pair.  [where] must already be resolved against
+    [frame.schema] (use {!Resolve}); unresolvable queries should not
+    reach the planner. *)
+
+val out_est : t -> float
+(** Estimated output rows of the full join tree. *)

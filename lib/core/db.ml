@@ -45,6 +45,7 @@ let render_exn t ?user sql = Executor.render (exec_exn t ?user sql)
 
 let set_strict_acl t v = t.ctx.Context.strict_acl <- v
 let set_auto_provenance t v = t.ctx.Context.auto_provenance <- v
+let set_pipelined t v = t.ctx.Context.pipelined <- v
 
 let commit t = Context.commit t.ctx
 let checkpoint t = Context.checkpoint t.ctx

@@ -56,6 +56,11 @@ val set_auto_provenance : t -> bool -> unit
 (** Record Local_insert / Local_update provenance on every DML (off by
     default). *)
 
+val set_pipelined : t -> bool -> unit
+(** Route SELECTs through the streaming pushdown planner (on by default).
+    Turning it off falls back to the naive materialize-everything
+    evaluator — kept as a differential-testing oracle. *)
+
 val durable : t -> bool
 
 val commit : t -> unit

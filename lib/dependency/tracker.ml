@@ -219,6 +219,11 @@ let is_outdated t ~table ~row ~col =
   | None -> false
   | Some b -> Outdated.is_outdated b ~row ~col
 
+let has_outdated t ~table =
+  match Hashtbl.find_opt t.bitmaps (norm table) with
+  | None -> false
+  | Some b -> Outdated.outdated_count b > 0
+
 let outdated_cells t ~table =
   match Hashtbl.find_opt t.bitmaps (norm table) with
   | None -> []

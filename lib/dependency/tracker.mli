@@ -55,6 +55,11 @@ val revalidate : t -> table:string -> row:int -> col:int -> unit
 
 val is_outdated : t -> table:string -> row:int -> col:int -> bool
 
+val has_outdated : t -> table:string -> bool
+(** Whether any cell of [table] is currently marked outdated — cheap, used
+    by the executor to decide if a plain scan must still surface outdated
+    warnings. *)
+
 val outdated_cells : t -> table:string -> (int * int) list
 
 val outdated_tables : t -> (string * Outdated.t) list

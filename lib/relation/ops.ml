@@ -69,13 +69,16 @@ let order_by rs specs =
   in
   { rs with rows = List.stable_sort cmp rs.rows }
 
-let limit rs n =
-  let rec take k = function
-    | [] -> []
-    | _ when k = 0 -> []
-    | x :: rest -> x :: take (k - 1) rest
+(* tail-recursive: LIMIT can be as large as the rowset *)
+let take_rows k rows =
+  let rec go acc k = function
+    | [] -> List.rev acc
+    | _ when k <= 0 -> List.rev acc
+    | x :: rest -> go (x :: acc) (k - 1) rest
   in
-  { rs with rows = take (max 0 n) rs.rows }
+  go [] k rows
+
+let limit rs n = { rs with rows = take_rows (max 0 n) rs.rows }
 
 let check_compatible op a b =
   if not (Schema.union_compatible a.schema b.schema) then

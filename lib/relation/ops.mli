@@ -40,6 +40,12 @@ type aggregate =
 
 val aggregate_name : aggregate -> string
 
+val agg_column : aggregate -> string option
+(** The input column an aggregate reads; [None] for [Count_star]. *)
+
+val agg_type : Schema.t -> aggregate -> Value.ty
+(** Result type of an aggregate over the given input schema. *)
+
 val group_by :
   rowset -> keys:string list -> aggs:(aggregate * string) list -> rowset
 (** Group on [keys]; each [(agg, out_name)] adds an output column.  With

@@ -1,20 +1,40 @@
 module Heap_file = Bdbms_storage.Heap_file
 module Buffer_pool = Bdbms_storage.Buffer_pool
+module Disk = Bdbms_storage.Disk
+module Stats = Bdbms_storage.Stats
 
 type slot = Live of Heap_file.rid | Dead
+
+(* Direct-mapped cache of decoded tuples: [get] on a hot row skips the
+   heap read and payload decode.  Must stay small (a query touching every
+   row only pays one decode per row anyway) and is invalidated per-slot on
+   any mutation of the cached row. *)
+let cache_slots = 256
+
+type cached = Empty | Cached of int * Tuple.t
 
 type t = {
   name : string;
   schema : Schema.t;
   heap : Heap_file.t;
+  stats : Stats.t;
+  cache : cached array;
   mutable rows : slot array;
   mutable nrows : int;
   mutable live : int;
 }
 
 let create bp ~name schema =
-  { name; schema; heap = Heap_file.create bp; rows = Array.make 16 Dead;
-    nrows = 0; live = 0 }
+  { name; schema; heap = Heap_file.create bp;
+    stats = Disk.stats (Buffer_pool.disk bp);
+    cache = Array.make cache_slots Empty;
+    rows = Array.make 16 Dead; nrows = 0; live = 0 }
+
+let cache_invalidate t row =
+  let i = row land (cache_slots - 1) in
+  match t.cache.(i) with
+  | Cached (r, _) when r = row -> t.cache.(i) <- Empty
+  | _ -> ()
 
 let name t = t.name
 let schema t = t.schema
@@ -45,9 +65,17 @@ let get t row =
   match slot_of t row with
   | Dead -> None
   | Live rid -> (
-      match Heap_file.get t.heap rid with
-      | Some payload -> Some (Tuple.decode payload)
-      | None -> None)
+      let i = row land (cache_slots - 1) in
+      match t.cache.(i) with
+      | Cached (r, tuple) when r = row -> Some tuple
+      | _ -> (
+          match Heap_file.get t.heap rid with
+          | Some payload ->
+              Stats.record_tuple_decode t.stats;
+              let tuple = Tuple.decode payload in
+              t.cache.(i) <- Cached (row, tuple);
+              Some tuple
+          | None -> None))
 
 let update t row tuple =
   match Tuple.check t.schema tuple with
@@ -58,6 +86,7 @@ let update t row tuple =
       | Live rid ->
           let rid' = Heap_file.update t.heap rid (Tuple.encode tuple) in
           t.rows.(row) <- Live rid';
+          cache_invalidate t row;
           Ok ())
 
 let update_cell t ~row ~col value =
@@ -85,6 +114,7 @@ let delete t row =
   | Live rid ->
       ignore (Heap_file.delete t.heap rid);
       t.rows.(row) <- Dead;
+      cache_invalidate t row;
       t.live <- t.live - 1;
       true
 
@@ -100,6 +130,7 @@ let resurrect t row tuple =
         | Dead ->
             let rid = Heap_file.insert t.heap (Tuple.encode tuple) in
             t.rows.(row) <- Live rid;
+            cache_invalidate t row;
             t.live <- t.live + 1;
             Ok ())
 

@@ -221,3 +221,18 @@ let as_string v =
 let as_bool = function
   | VBool b -> b
   | v -> invalid_arg ("Value.as_bool: " ^ to_display v)
+
+(* Equality-compatible hash key: [hash_key a = hash_key b] whenever
+   [equal a b] (ints and floats share the numeric encoding, string-likes
+   their decoded content).  The reverse need not hold — a hash join must
+   re-check [equal] on each candidate pair — and NULL has no key because
+   SQL equality never matches it. *)
+let hash_key = function
+  | VNull -> None
+  | VBool b -> Some (if b then "b1" else "b0")
+  | (VInt _ | VFloat _) as v ->
+      let f = as_float v in
+      let f = if f = 0.0 then 0.0 (* collapse -0.0 *) else f in
+      Some ("f" ^ Int64.to_string (Int64.bits_of_float f))
+  | v -> (
+      match seq_string v with Some s -> Some ("s" ^ s) | None -> None)

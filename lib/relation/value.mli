@@ -64,3 +64,10 @@ val as_string : t -> string
 (** Accepts every string-like value; RLE values decode. *)
 
 val as_bool : t -> bool
+
+val hash_key : t -> string option
+(** Equality-compatible hash key for join/grouping tables:
+    [equal a b] implies [hash_key a = hash_key b] (numeric values share
+    one encoding, string-likes their decoded content).  [None] for NULL —
+    SQL equality never matches it.  Collisions are possible; callers must
+    re-check {!equal} on candidates. *)

@@ -16,6 +16,12 @@ type snapshot = {
   wal_flushes : int;
   checkpoints : int;
   recovered_records : int;
+  hash_builds : int;
+  hash_probes : int;
+  pushdown_pruned : int;
+  index_probes : int;
+  tuples_decoded : int;
+  ann_envelopes : int;
 }
 
 (* slot indices *)
@@ -27,18 +33,26 @@ let i_wal_appends = 4
 let i_wal_flushes = 5
 let i_checkpoints = 6
 let i_recovered = 7
-let n_counters = 8
+let i_hash_builds = 8
+let i_hash_probes = 9
+let i_pushdown_pruned = 10
+let i_index_probes = 11
+let i_tuples_decoded = 12
+let i_ann_envelopes = 13
+let n_counters = 14
 
 let names =
   [|
     "reads"; "writes"; "allocs"; "hits"; "wal_appends"; "wal_flushes";
-    "checkpoints"; "recovered";
+    "checkpoints"; "recovered"; "hash_builds"; "hash_probes";
+    "pushdown_pruned"; "index_probes"; "tuples_decoded"; "ann_envelopes";
   |]
 
 let to_array s =
   [|
     s.reads; s.writes; s.allocs; s.hits; s.wal_appends; s.wal_flushes;
-    s.checkpoints; s.recovered_records;
+    s.checkpoints; s.recovered_records; s.hash_builds; s.hash_probes;
+    s.pushdown_pruned; s.index_probes; s.tuples_decoded; s.ann_envelopes;
   |]
 
 let of_array a =
@@ -51,6 +65,12 @@ let of_array a =
     wal_flushes = a.(i_wal_flushes);
     checkpoints = a.(i_checkpoints);
     recovered_records = a.(i_recovered);
+    hash_builds = a.(i_hash_builds);
+    hash_probes = a.(i_hash_probes);
+    pushdown_pruned = a.(i_pushdown_pruned);
+    index_probes = a.(i_index_probes);
+    tuples_decoded = a.(i_tuples_decoded);
+    ann_envelopes = a.(i_ann_envelopes);
   }
 
 type t = int array
@@ -67,6 +87,12 @@ let record_wal_append t = bump t i_wal_appends
 let record_wal_flush t = bump t i_wal_flushes
 let record_checkpoint t = bump t i_checkpoints
 let record_recovered t n = t.(i_recovered) <- t.(i_recovered) + n
+let record_hash_build t = bump t i_hash_builds
+let record_hash_probe t = bump t i_hash_probes
+let record_pushdown_prune t = bump t i_pushdown_pruned
+let record_index_probe t = bump t i_index_probes
+let record_tuple_decode t = bump t i_tuples_decoded
+let record_ann_envelope t = bump t i_ann_envelopes
 
 let snapshot (t : t) = of_array t
 let reset (t : t) = Array.fill t 0 n_counters 0

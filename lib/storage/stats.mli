@@ -33,6 +33,34 @@ val record_checkpoint : t -> unit
 val record_recovered : t -> int -> unit
 (** [n] committed log records replayed at open. *)
 
+(** {2 Query-engine counters}
+
+    The pipelined executor accounts its work here so plan behaviour
+    (which join algorithm ran, how much a pushed-down predicate pruned,
+    whether annotation envelopes were ever built) is observable from
+    [bdbms_cli --stats] and assertable in tests. *)
+
+val record_hash_build : t -> unit
+(** A tuple inserted into a hash-join build table. *)
+
+val record_hash_probe : t -> unit
+(** A tuple probed against a hash-join build table. *)
+
+val record_pushdown_prune : t -> unit
+(** A tuple dropped by a predicate pushed below a join (or applied
+    during a base-table scan). *)
+
+val record_index_probe : t -> unit
+(** A B+-tree probe used as an access path instead of a full scan. *)
+
+val record_tuple_decode : t -> unit
+(** A heap payload decoded into a tuple ({!val:Bdbms_relation.Table.get}
+    misses of the decoded-tuple cache). *)
+
+val record_ann_envelope : t -> unit
+(** A row materialized with its per-cell annotation array — zero for
+    queries that never touch annotations (lazy attachment). *)
+
 type snapshot = {
   reads : int;  (** physical page reads *)
   writes : int;  (** physical page writes *)
@@ -42,6 +70,12 @@ type snapshot = {
   wal_flushes : int;  (** group flushes of the log *)
   checkpoints : int;  (** completed checkpoints *)
   recovered_records : int;  (** committed records replayed at open *)
+  hash_builds : int;  (** hash-join build-side tuples hashed *)
+  hash_probes : int;  (** hash-join probe-side tuples probed *)
+  pushdown_pruned : int;  (** tuples dropped by pushed-down predicates *)
+  index_probes : int;  (** index probes used as access paths *)
+  tuples_decoded : int;  (** heap payloads decoded into tuples *)
+  ann_envelopes : int;  (** rows materialized with annotation arrays *)
 }
 
 val snapshot : t -> snapshot
