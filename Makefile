@@ -1,9 +1,9 @@
 # Tier-1 verification in one command.
 
-.PHONY: check build test fmt bench bench-quick clean
+.PHONY: check build test fmt bench bench-quick fuzz-recovery clean
 
-check: ## build everything, run the full test suite, smoke the query bench
-	dune build @all && dune runtest && $(MAKE) bench-quick
+check: ## build everything, run the full test suite, deep crash sweep, bench smoke
+	dune build @all && dune runtest && $(MAKE) fuzz-recovery && $(MAKE) bench-quick
 
 build:
 	dune build @all
@@ -19,6 +19,9 @@ bench: ## all paper experiments + E11 durability + E12 query engine
 
 bench-quick: ## E12 pipelined-query smoke run (reduced sizes)
 	dune exec bench/main.exe -- E12 --quick
+
+fuzz-recovery: ## crash-anywhere sweep: fault at every op of the bootstrap workload
+	BDBMS_FUZZ_DEEP=1 dune exec test/test_recovery.exe -- test bootstrap
 
 clean:
 	dune clean

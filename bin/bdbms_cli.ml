@@ -26,19 +26,33 @@ let run_script db ~user path =
         (fun stmt ->
           match Bdbms_asql.Executor.execute (Db.context db) ~user stmt with
           | Ok outcome ->
-              if Db.durable db then Db.commit db;
+              if Db.durable db then ignore (Db.commit db);
               print_endline (Bdbms_asql.Executor.render outcome)
           | Error e ->
               Printf.eprintf "error: %s\n" e;
               exit 1)
         stmts
 
+let report_recovery db =
+  (match Db.recovery_info db with
+  | Some o ->
+      Printf.printf
+        "-- recovery: replayed %d committed record(s), discarded %d uncommitted%s\n"
+        o.Bdbms_storage.Recovery.applied o.Bdbms_storage.Recovery.discarded
+        (if o.Bdbms_storage.Recovery.torn_tail then " (torn log tail skipped)"
+         else "")
+  | None -> print_endline "-- recovery: not a durable database");
+  if Db.catalog_records db > 0 then
+    Printf.printf "-- catalog: bootstrapped %d metadata record(s) from page 0\n"
+      (Db.catalog_records db)
+
 let repl db ~user =
   Printf.printf
     "bdbms shell (user: %s%s). End statements with ';'. Type \\q to quit%s.\n"
     user
     (if Db.durable db then ", durable" else "")
-    (if Db.durable db then ", \\checkpoint to checkpoint" else "");
+    (if Db.durable db then ", \\checkpoint to checkpoint, \\recover for recovery info"
+     else "");
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "bdbms> " else "   ... ");
@@ -46,11 +60,13 @@ let repl db ~user =
     | exception End_of_file -> ()
     | "\\q" -> ()
     | "\\checkpoint" ->
-        if Db.durable db then begin
-          Db.checkpoint db;
-          print_endline "checkpointed"
-        end
-        else print_endline "not a durable database (start with --db PATH)";
+        (match Db.checkpoint db with
+        | Ok () when Db.durable db -> print_endline "checkpointed"
+        | Ok () -> print_endline "not a durable database (start with --db PATH)"
+        | Error e -> Printf.printf "error: %s\n" e);
+        loop ()
+    | "\\recover" ->
+        report_recovery db;
         loop ()
     | line ->
         Buffer.add_string buf line;
@@ -64,8 +80,8 @@ let repl db ~user =
   in
   loop ()
 
-let report_recovery db =
-  match Db.recovery_info db with
+let report_recovery_if_notable db =
+  (match Db.recovery_info db with
   | Some o
     when o.Bdbms_storage.Recovery.applied > 0
          || o.Bdbms_storage.Recovery.discarded > 0
@@ -75,11 +91,14 @@ let report_recovery db =
         o.Bdbms_storage.Recovery.applied o.Bdbms_storage.Recovery.discarded
         (if o.Bdbms_storage.Recovery.torn_tail then " (torn log tail skipped)"
          else "")
-  | _ -> ()
+  | _ -> ());
+  if Db.catalog_records db > 0 then
+    Printf.printf "-- catalog: bootstrapped %d metadata record(s) from page 0\n"
+      (Db.catalog_records db)
 
 let main user script strict_acl auto_prov stats db_path =
   let db = Db.create ?path:db_path () in
-  report_recovery db;
+  report_recovery_if_notable db;
   Db.set_strict_acl db strict_acl;
   Db.set_auto_provenance db auto_prov;
   (match script with
@@ -97,6 +116,12 @@ let main user script strict_acl auto_prov stats db_path =
         s.Bdbms_storage.Stats.wal_appends s.Bdbms_storage.Stats.wal_flushes
         s.Bdbms_storage.Stats.checkpoints
         s.Bdbms_storage.Stats.recovered_records;
+    if Db.durable db then
+      Printf.printf
+        "-- catalog: %d records bootstrapped, %d pages CRC-verified, %d CRC failures, %d root swaps\n"
+        s.Bdbms_storage.Stats.catalog_replayed
+        s.Bdbms_storage.Stats.pages_crc_verified
+        s.Bdbms_storage.Stats.crc_failures s.Bdbms_storage.Stats.root_swaps;
     Printf.printf
       "-- query: %d hash builds, %d hash probes, %d pushdown-pruned, %d index probes\n"
       s.Bdbms_storage.Stats.hash_builds s.Bdbms_storage.Stats.hash_probes

@@ -178,3 +178,37 @@ let record_count t = t.records
 let logical_bytes t = t.bytes
 let storage_pages t = Heap_file.page_count t.heap
 let index_pages t = match t.index with None -> 0 | Some rt -> Rtree.node_pages rt
+let heap_pages t = Heap_file.pages t.heap
+
+(* Reattach a store to its heap pages after a restart.  The record and
+   byte counters are recounted from the heap, and the R-tree (derived
+   data, not serialized) is rebuilt by re-inserting every record; the
+   previous incarnation's index pages are abandoned. *)
+let restore ?(indexed = false) scheme bp ~heap_pages =
+  let heap = Heap_file.restore bp ~pages:heap_pages in
+  let t =
+    {
+      scheme;
+      heap;
+      index = (if indexed then Some (Rtree.create bp) else None);
+      rids = Array.make 16 { Heap_file.page = 0; slot = 0 };
+      nrids = 0;
+      records = 0;
+      bytes = 0;
+    }
+  in
+  Heap_file.iter heap (fun rid payload ->
+      t.records <- t.records + 1;
+      t.bytes <- t.bytes + String.length payload;
+      if t.index <> None then
+        let rect =
+          match scheme with
+          | Cell ->
+              let row, col, _, _ = decode_cell_record payload in
+              Rect.cell ~row ~col
+          | Compact ->
+              let rect, _, _ = decode_rect_record payload in
+              rect
+        in
+        register_rid t rid rect);
+  t

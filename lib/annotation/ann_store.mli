@@ -49,3 +49,16 @@ val storage_pages : t -> int
 
 val index_pages : t -> int
 (** R-tree pages (0 when not indexed). *)
+
+val heap_pages : t -> Bdbms_storage.Page.id list
+(** The store's heap pages in allocation order (for the durable catalog). *)
+
+val restore :
+  ?indexed:bool ->
+  scheme ->
+  Bdbms_storage.Buffer_pool.t ->
+  heap_pages:Bdbms_storage.Page.id list ->
+  t
+(** Reattach a store to its heap pages after a restart (from a catalog
+    record written by {!heap_pages}).  Counters are recounted from the
+    heap; an R-tree, being derived data, is rebuilt by re-insertion. *)

@@ -198,3 +198,53 @@ let store_of t ~table_name ~name =
   | Some h -> Option.map (fun at -> at.store) (Hashtbl.find_opt h (norm name))
 
 let registry_size t = Hashtbl.length t.registry
+
+(* ---------------------------------------------- durable-catalog hooks *)
+
+type ann_table_info = {
+  ati_table : string; (* user-table name as registered (lowercase key) *)
+  ati_name : string;
+  ati_scheme : Ann_store.scheme;
+  ati_indexed : bool;
+  ati_category : Ann.category;
+  ati_heap_pages : Bdbms_storage.Page.id list;
+}
+
+let dump_tables t =
+  Hashtbl.fold
+    (fun table_key h acc ->
+      Hashtbl.fold
+        (fun _ at acc ->
+          {
+            ati_table = table_key;
+            ati_name = at.at_name;
+            ati_scheme = Ann_store.scheme at.store;
+            ati_indexed = Ann_store.indexed at.store;
+            ati_category = at.default_category;
+            ati_heap_pages = Ann_store.heap_pages at.store;
+          }
+          :: acc)
+        h acc)
+    t.tables []
+  |> List.sort (fun a b ->
+         compare (a.ati_table, a.ati_name) (b.ati_table, b.ati_name))
+
+let dump_registry t =
+  Hashtbl.fold (fun _ ann acc -> ann :: acc) t.registry []
+  |> List.sort (fun a b -> String.compare a.Ann.id b.Ann.id)
+
+let id_counter t = Idgen.counter t.ids
+
+let restore_annotation_table t info =
+  let h = table_entry t info.ati_table in
+  Hashtbl.replace h (norm info.ati_name)
+    {
+      at_name = info.ati_name;
+      store =
+        Ann_store.restore ~indexed:info.ati_indexed info.ati_scheme t.bp
+          ~heap_pages:info.ati_heap_pages;
+      default_category = info.ati_category;
+    }
+
+let restore_ann t ann = Hashtbl.replace t.registry ann.Ann.id ann
+let restore_id_counter t n = Idgen.restore t.ids n

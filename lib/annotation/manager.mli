@@ -113,3 +113,30 @@ val restore :
 
 val store_of : t -> table_name:string -> name:string -> Ann_store.t option
 val registry_size : t -> int
+
+(** {1 Durable-catalog hooks}
+
+    What the self-bootstrapping catalog serializes at commit and feeds
+    back at open: annotation-table definitions with their heap pages,
+    the annotation registry, and the id-generator high-water mark. *)
+
+type ann_table_info = {
+  ati_table : string;  (** owning user table (lowercase key) *)
+  ati_name : string;
+  ati_scheme : Ann_store.scheme;
+  ati_indexed : bool;
+  ati_category : Ann.category;
+  ati_heap_pages : Bdbms_storage.Page.id list;
+}
+
+val dump_tables : t -> ann_table_info list
+(** All annotation tables, sorted — deterministic catalog encoding. *)
+
+val dump_registry : t -> Ann.t list
+(** All registered annotations, sorted by id. *)
+
+val id_counter : t -> int
+
+val restore_annotation_table : t -> ann_table_info -> unit
+val restore_ann : t -> Ann.t -> unit
+val restore_id_counter : t -> int -> unit

@@ -1,4 +1,6 @@
 module Disk = Bdbms_storage.Disk
+module Meta_page = Bdbms_storage.Meta_page
+module Stats = Bdbms_storage.Stats
 module Buffer_pool = Bdbms_storage.Buffer_pool
 module Clock = Bdbms_util.Clock
 module Catalog = Bdbms_relation.Catalog
@@ -46,6 +48,9 @@ let create ?(page_size = 4096) ?(pool_capacity = 256) ?policy ?path ?fault () =
     | None -> Disk.create ~page_size ()
     | Some path -> Disk.open_file ~page_size ?fault path
   in
+  (* the catalog root must own page 0, so reserve it before any table or
+     heap file can allocate (no-op when reopening an existing file) *)
+  if Disk.is_durable disk then Meta_page.ensure_root disk;
   let bp = Buffer_pool.create ?policy ~capacity:pool_capacity disk in
   let clock = Clock.create () in
   let catalog = Catalog.create bp in
@@ -86,18 +91,74 @@ let create ?(page_size = 4096) ?(pool_capacity = 256) ?policy ?path ?fault () =
 
 let durable t = Disk.is_durable t.disk
 
+let components t =
+  {
+    Durable_catalog.dc_clock = t.clock;
+    dc_catalog = t.catalog;
+    dc_ann = t.ann;
+    dc_prov = t.prov;
+    dc_tracker = t.tracker;
+    dc_principals = t.principals;
+    dc_acl = t.acl;
+    dc_approval = t.approval;
+  }
+
+let index_infos t =
+  Hashtbl.fold
+    (fun _ idx acc ->
+      {
+        Durable_catalog.ix_name = idx.idx_name;
+        ix_table = idx.idx_table;
+        ix_column = idx.idx_column;
+      }
+      :: acc)
+    t.indexes []
+
+(* Serialize the whole engine metadata into the page-0 catalog.  The
+   chain pages go through Disk.write, so the catalog is redo-logged and
+   becomes durable exactly with the commit that follows. *)
+let persist_catalog t =
+  if durable t then
+    Meta_page.write_root t.disk
+      (Durable_catalog.encode (components t) ~indexes:(index_infos t))
+
+let bootstrap t =
+  match if durable t then Meta_page.read_root t.disk else None with
+  | None -> 0
+  | Some blob ->
+      let infos, count = Durable_catalog.restore t.bp (components t) blob in
+      List.iter
+        (fun (ix : Durable_catalog.index_info) ->
+          Hashtbl.replace t.indexes (norm ix.ix_name)
+            {
+              idx_name = ix.ix_name;
+              idx_table = ix.ix_table;
+              idx_column = ix.ix_column;
+              tree = Bdbms_index.Btree.create t.bp;
+              built = false;
+              dirty = false;
+            })
+        infos;
+      Stats.record_catalog_replayed (Disk.stats t.disk) count;
+      count
+
 (* Durability control: dirty buffer-pool frames are pushed down to the
    disk (appending their redo records) before the log-level operation. *)
 let commit t =
+  persist_catalog t;
   Buffer_pool.flush_all t.bp;
   Disk.commit t.disk
 
 let checkpoint t =
+  persist_catalog t;
   Buffer_pool.flush_all t.bp;
   Disk.checkpoint t.disk
 
 let close t =
-  if not (Disk.crashed t.disk) then Buffer_pool.flush_all t.bp;
+  if not (Disk.crashed t.disk) then begin
+    persist_catalog t;
+    Buffer_pool.flush_all t.bp
+  end;
   Disk.close t.disk
 
 let register_procedure t proc =

@@ -53,6 +53,21 @@ val create :
 
 val durable : t -> bool
 
+val bootstrap : t -> int
+(** Rebuild the engine's logical state from the page-0 durable catalog:
+    table schemas reattach to their heap pages, annotation tables and
+    the registry return, dependency rules rebind their procedure chains
+    against the registry (so call this {e after} registering built-in
+    procedures), grants, approval log, provenance tools and index
+    definitions come back.  Returns the number of catalog records
+    replayed (0 on a fresh or in-memory database).
+    @raise Bdbms_storage.Backend.Corrupt on a CRC failure,
+    @raise Durable_catalog.Malformed on a framing failure. *)
+
+val persist_catalog : t -> unit
+(** Serialize the current metadata into the page-0 catalog (done
+    automatically by {!commit}, {!checkpoint} and {!close}). *)
+
 val commit : t -> unit
 (** Flush dirty buffer-pool frames down to the disk and group-flush the
     write-ahead log with a commit marker (no-op when not durable). *)

@@ -1,0 +1,53 @@
+(** The durable catalog codec: every piece of engine metadata — table
+    schemas and heap roots, annotation-table definitions, the annotation
+    registry, dependency rules and instances, outdated marks, principals,
+    ACL grants, the approval log, provenance tool registrations, index
+    definitions and the logical clock — serialized as versioned,
+    CRC-framed records into one blob.  {!Meta_page} anchors the blob at
+    page 0; {!Context} writes it at every durable commit and feeds it
+    back through {!restore} when a database file is reopened, so
+    [Db.create ~path] bootstraps the full engine with zero manual
+    re-registration.
+
+    Blob layout: ["BCAT"] magic, u32 format version, u32 record count,
+    then records.  Record: u8 tag, u32 payload length, payload, u32
+    CRC-32 of the payload.  Unknown tags are skipped on restore (forward
+    compatibility); a bad record CRC raises {!Malformed}. *)
+
+exception Malformed of string
+(** The blob (already page- and blob-CRC-verified by {!Meta_page})
+    fails record-level verification or refers to impossible state. *)
+
+type index_info = { ix_name : string; ix_table : string; ix_column : string }
+(** A secondary-index definition, decoupled from {!Context.index_def}
+    so the codec does not depend on the context (trees are not
+    serialized — they are rebuilt lazily on first use). *)
+
+(** The component handles the codec reads from / writes into.  Passing
+    them explicitly (rather than a [Context.t]) keeps the dependency
+    arrow pointing one way. *)
+type components = {
+  dc_clock : Bdbms_util.Clock.t;
+  dc_catalog : Bdbms_relation.Catalog.t;
+  dc_ann : Bdbms_annotation.Manager.t;
+  dc_prov : Bdbms_provenance.Prov_store.t;
+  dc_tracker : Bdbms_dependency.Tracker.t;
+  dc_principals : Bdbms_auth.Principal.t;
+  dc_acl : Bdbms_auth.Acl.t;
+  dc_approval : Bdbms_auth.Approval.t;
+}
+
+val encode : components -> indexes:index_info list -> Bytes.t
+(** Deterministic: dumps are sorted, so identical metadata encodes to
+    identical bytes. *)
+
+val restore :
+  Bdbms_storage.Buffer_pool.t -> components -> Bytes.t -> index_info list * int
+(** Feed a blob back into freshly created (empty) components; returns
+    the index definitions to re-register and the number of catalog
+    records replayed.  Procedure chains are rebound against the
+    tracker's registry by name: a procedure registered before restore
+    (e.g. the built-in bio tools) keeps its executable body and adopts
+    the persisted version; a missing one becomes a non-executable
+    placeholder, so its targets can still be marked outdated.
+    @raise Malformed on a framing or record-CRC failure. *)

@@ -38,6 +38,11 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
 
 let ok_or_fail = function Ok v -> v | Error e -> raise (Exec_error e)
 
+(* crash-injection point for the recovery harness: fires inside DDL,
+   after permission checks but before the catalog mutates *)
+let ddl_hit (ctx : Context.t) =
+  Bdbms_storage.Fault.hit (Disk.fault ctx.Context.disk) Bdbms_storage.Fault.Ddl
+
 let find_table (ctx : Context.t) name =
   match Catalog.find ctx.catalog name with
   | Some t -> t
@@ -1207,12 +1212,14 @@ let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
   | Ast.Query q -> Rows (exec_query ctx ~user q)
   | Ast.Explain q -> Message (Cost.explain ctx q)
   | Ast.Create_table { name; columns } ->
+      ddl_hit ctx;
       let schema =
         Schema.make (List.map (fun (n, ty) -> { Schema.name = n; ty }) columns)
       in
       ignore (ok_or_fail (Catalog.create_table ctx.catalog ~name schema));
       Message (Printf.sprintf "table %s created" name)
   | Ast.Drop_table name ->
+      ddl_hit ctx;
       if Catalog.drop_table ctx.catalog name then
         Message (Printf.sprintf "table %s dropped" name)
       else fail "unknown table %s" name
@@ -1228,6 +1235,7 @@ let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
   | Ast.Create_ann_table { table; name; scheme; category; indexed } ->
       let tbl = find_table ctx table in
       let category = Option.map Ann.category_of_name category in
+      ddl_hit ctx;
       ok_or_fail
         (Manager.create_annotation_table ctx.ann ~table:tbl ~name ?scheme ?category
            ~indexed ());
@@ -1256,6 +1264,7 @@ let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
       Message (Printf.sprintf "entry %d disapproved; inverse statement executed" id)
   | Ast.Show_pending table -> Entries (Approval.pending ctx.approval ?table ())
   | Ast.Grant { privilege; table; columns; grantee } ->
+      ddl_hit ctx;
       ok_or_fail (Acl.grant ctx.acl privilege ~table ?columns:columns grantee);
       Message "granted"
   | Ast.Revoke { privilege; table; grantee } ->
@@ -1271,6 +1280,7 @@ let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
       ok_or_fail (Principal.add_to_group ctx.principals ~user:u ~group);
       Message (Printf.sprintf "%s added to %s" u group)
   | Ast.Create_dependency { id; sources; target; procedure } ->
+      ddl_hit ctx;
       do_create_dependency ctx id sources target procedure
   | Ast.Link_dependency { id; source_rows; target_row } ->
       ok_or_fail (Tracker.link_rows ctx.tracker ~rule_id:id ~source_rows ~target_row);
@@ -1286,6 +1296,7 @@ let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
         fail "no column %s on %s" column table;
       let key = String.lowercase_ascii name in
       if Hashtbl.mem ctx.indexes key then fail "index %s already exists" name;
+      ddl_hit ctx;
       let idx =
         {
           Context.idx_name = name;

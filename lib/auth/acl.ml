@@ -83,3 +83,11 @@ let grants_for t ~table =
   match Hashtbl.find_opt t.grants (norm table) with
   | None -> []
   | Some entries -> List.map (fun e -> (e.privilege, e.grantee, e.columns)) entries
+
+(* Durable-catalog hooks: dump every grant list (sorted by table) and put
+   one back verbatim, preserving entry order. *)
+let dump_grants t =
+  Hashtbl.fold (fun table entries acc -> (table, entries) :: acc) t.grants []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let restore_grants t ~table entries = Hashtbl.replace t.grants (norm table) entries

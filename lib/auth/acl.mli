@@ -9,6 +9,12 @@ val privilege_of_name : string -> privilege option
 
 type grantee = User of string | Group of string
 
+type grant_entry = {
+  privilege : privilege;
+  grantee : grantee;
+  columns : string list option;
+}
+
 type t
 
 val create : Principal.t -> t
@@ -27,3 +33,9 @@ val allowed :
     a column list covers only those columns. *)
 
 val grants_for : t -> table:string -> (privilege * grantee * string list option) list
+
+val dump_grants : t -> (string * grant_entry list) list
+(** Every grant list, sorted by table — for the durable catalog. *)
+
+val restore_grants : t -> table:string -> grant_entry list -> unit
+(** Reinstall a table's grant list verbatim at bootstrap. *)

@@ -223,3 +223,21 @@ let disapprove t id ~by =
       | Ok () ->
           decide e ~by ~at:(Clock.tick t.clock) ~status:Disapproved;
           Ok ())
+
+(* ---------------------------------------------- durable-catalog hooks *)
+
+let dump_monitored t =
+  Hashtbl.fold (fun table config acc -> (table, config) :: acc) t.monitored_tables []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let next_id t = t.next_id
+
+let restore_monitored t ~table config =
+  Hashtbl.replace t.monitored_tables (norm table) config
+
+(* Entries must be fed oldest-first (the order [entries] reports). *)
+let restore_entry t ~id ~operation ~user ~at ~status ~decided_by ~decided_at =
+  t.log <- { id; operation; user; at; status; decided_by; decided_at } :: t.log;
+  if id >= t.next_id then t.next_id <- id + 1
+
+let restore_next_id t n = if n > t.next_id then t.next_id <- n

@@ -92,3 +92,29 @@ val disapprove : t -> int -> by:string -> (unit, string) result
 (** Executes the inverse statement against the catalog, then marks the
     entry disapproved.  Same failure cases as {!approve}, plus failures
     executing the inverse (e.g. the row has since been deleted). *)
+
+(** {1 Durable-catalog hooks} *)
+
+type config = { columns : string list option; approver : Acl.grantee }
+
+val dump_monitored : t -> (string * config) list
+(** Monitored tables (sorted) with their configs. *)
+
+val next_id : t -> int
+
+val restore_monitored : t -> table:string -> config -> unit
+
+val restore_entry :
+  t ->
+  id:int ->
+  operation:operation ->
+  user:string ->
+  at:Bdbms_util.Clock.time ->
+  status:status ->
+  decided_by:string option ->
+  decided_at:Bdbms_util.Clock.time option ->
+  unit
+(** Reinstall one log entry at bootstrap; feed entries oldest-first (the
+    order {!entries} reports).  Advances the id counter past [id]. *)
+
+val restore_next_id : t -> int -> unit

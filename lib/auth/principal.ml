@@ -42,3 +42,9 @@ let groups_of t user =
 let member t ~user ~group = List.mem group (groups_of t user)
 
 let users t = Hashtbl.fold (fun k _ acc -> k :: acc) t.users [] |> List.sort String.compare
+let groups t = Hashtbl.fold (fun k _ acc -> k :: acc) t.groups [] |> List.sort String.compare
+
+let memberships t =
+  Hashtbl.fold (fun user groups acc -> (user, List.sort String.compare groups) :: acc)
+    t.membership []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

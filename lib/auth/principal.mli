@@ -17,3 +17,9 @@ val groups_of : t -> string -> string list
 val member : t -> user:string -> group:string -> bool
 
 val users : t -> string list
+
+val groups : t -> string list
+(** All groups (sorted). *)
+
+val memberships : t -> (string * string list) list
+(** (user, groups) pairs, both sorted — for the durable catalog. *)

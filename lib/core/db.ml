@@ -3,33 +3,87 @@ module Executor = Bdbms_asql.Executor
 module Stats = Bdbms_storage.Stats
 module Disk = Bdbms_storage.Disk
 
-type t = { ctx : Context.t }
+type t = {
+  mutable ctx : Context.t;
+  mutable closed : bool;
+  mutable catalog_records : int;
+  page_size : int option;
+  pool_capacity : int option;
+  policy : Bdbms_storage.Buffer_pool.policy option;
+  path : string option;
+  fault : Bdbms_storage.Fault.t option;
+}
 
-let create ?page_size ?pool_capacity ?policy ?path () =
-  let ctx = Context.create ?page_size ?pool_capacity ?policy ?path () in
+let register_bio ctx =
   List.iter
     (fun proc -> ignore (Context.register_procedure ctx proc))
     [
       Bdbms_bio.Translate.procedure ();
       Bdbms_bio.Translate.weight_procedure ();
       Bdbms_bio.Blast_like.procedure ();
-    ];
-  { ctx }
+    ]
+
+(* The built-in procedures must exist before the catalog bootstrap so
+   persisted dependency chains rebind to their executable bodies. *)
+let open_ctx ?page_size ?pool_capacity ?policy ?path ?fault () =
+  let ctx = Context.create ?page_size ?pool_capacity ?policy ?path ?fault () in
+  register_bio ctx;
+  let n = Context.bootstrap ctx in
+  (ctx, n)
+
+let create ?page_size ?pool_capacity ?policy ?path ?fault () =
+  let ctx, n = open_ctx ?page_size ?pool_capacity ?policy ?path ?fault () in
+  {
+    ctx;
+    closed = false;
+    catalog_records = n;
+    page_size;
+    pool_capacity;
+    policy;
+    path;
+    fault;
+  }
 
 let context t = t.ctx
 
 let durable t = Context.durable t.ctx
 
+let closed_error = "database is closed"
+
+let guard t f = if t.closed then Error closed_error else f ()
+
+(* Error atomicity on a durable database: a failed statement or script
+   must not leave partial effects — not in the WAL, not in the buffer
+   pool, not in the in-memory metadata (which the next commit would
+   otherwise sweep into the durable catalog).  Abandon the handle and
+   re-bootstrap from the last committed state, carrying the session
+   settings over to the fresh context. *)
+let rollback t =
+  if durable t then begin
+    let old = t.ctx in
+    Disk.abandon old.Context.disk;
+    let ctx, n =
+      open_ctx ?page_size:t.page_size ?pool_capacity:t.pool_capacity
+        ?policy:t.policy ?path:t.path ?fault:t.fault ()
+    in
+    ctx.Context.strict_acl <- old.Context.strict_acl;
+    ctx.Context.auto_provenance <- old.Context.auto_provenance;
+    ctx.Context.pipelined <- old.Context.pipelined;
+    t.ctx <- ctx;
+    t.catalog_records <- n
+  end
+
 (* Auto-commit: on a durable database each successful statement is made
-   durable before the result is returned. *)
+   durable before the result is returned; a failed one rolls back. *)
 let autocommit t = function
-  | Ok _ when durable t -> Context.commit t.ctx
-  | _ -> ()
+  | Ok _ -> if durable t then Context.commit t.ctx
+  | Error _ -> rollback t
 
 let exec t ?(user = Context.superuser) sql =
-  let r = Executor.run t.ctx ~user sql in
-  autocommit t r;
-  r
+  guard t (fun () ->
+      let r = Executor.run t.ctx ~user sql in
+      autocommit t r;
+      r)
 
 let exec_exn t ?user sql =
   match exec t ?user sql with
@@ -37,9 +91,10 @@ let exec_exn t ?user sql =
   | Error e -> failwith (Printf.sprintf "%s (statement: %s)" e sql)
 
 let exec_script t ?(user = Context.superuser) sql =
-  let r = Executor.run_script t.ctx ~user sql in
-  autocommit t r;
-  r
+  guard t (fun () ->
+      let r = Executor.run_script t.ctx ~user sql in
+      autocommit t r;
+      r)
 
 let render_exn t ?user sql = Executor.render (exec_exn t ?user sql)
 
@@ -47,10 +102,19 @@ let set_strict_acl t v = t.ctx.Context.strict_acl <- v
 let set_auto_provenance t v = t.ctx.Context.auto_provenance <- v
 let set_pipelined t v = t.ctx.Context.pipelined <- v
 
-let commit t = Context.commit t.ctx
-let checkpoint t = Context.checkpoint t.ctx
-let close t = Context.close t.ctx
+let commit t = guard t (fun () -> Ok (Context.commit t.ctx))
+let checkpoint t = guard t (fun () -> Ok (Context.checkpoint t.ctx))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Context.close t.ctx
+  end
+
+let is_closed t = t.closed
+
 let recovery_info t = Disk.recovery_info t.ctx.Context.disk
+let catalog_records t = t.catalog_records
 
 let io_stats t = Stats.snapshot (Disk.stats t.ctx.Context.disk)
 let reset_io_stats t = Stats.reset (Disk.stats t.ctx.Context.disk)

@@ -23,13 +23,24 @@ val create :
   ?pool_capacity:int ->
   ?policy:Bdbms_storage.Buffer_pool.policy ->
   ?path:string ->
+  ?fault:Bdbms_storage.Fault.t ->
   unit ->
   t
 (** A fresh database.  The bio procedures ["P"] (gene→protein
     translation), ["MolWeight"], and ["BLAST"] are pre-registered for
     [CREATE DEPENDENCY].  With [path] the page store is durable (database
     file + write-ahead log, crash recovery at open) and every successful
-    statement is auto-committed; without it the database is in-memory. *)
+    statement is auto-committed; without it the database is in-memory.
+
+    Reopening an existing file is self-bootstrapping: crash recovery
+    replays the write-ahead log, then the page-0 durable catalog rebuilds
+    every manager — tables, annotation tables and registry, dependency
+    rules and instances, outdated marks, users/groups/grants, the
+    approval log, provenance tools, and index definitions — with zero
+    manual re-registration.  [fault] injects crash points for recovery
+    testing.
+    @raise Bdbms_storage.Backend.Corrupt when a stored page or the
+    catalog fails CRC verification. *)
 
 val context : t -> Bdbms_asql.Context.t
 (** Direct access to the assembled managers, for programmatic use. *)
@@ -44,7 +55,10 @@ val exec_exn : t -> ?user:string -> string -> Bdbms_asql.Executor.outcome
 
 val exec_script :
   t -> ?user:string -> string -> (Bdbms_asql.Executor.outcome list, string) result
-(** Execute a [;]-separated script, stopping at the first error. *)
+(** Execute a [;]-separated script, stopping at the first error.  On a
+    durable database a failing script rolls back: the uncommitted WAL
+    tail is abandoned and the engine re-bootstraps from the last
+    committed state, so no partial effects survive. *)
 
 val render_exn : t -> ?user:string -> string -> string
 (** Execute and render human-readable output. *)
@@ -63,20 +77,28 @@ val set_pipelined : t -> bool -> unit
 
 val durable : t -> bool
 
-val commit : t -> unit
+val commit : t -> (unit, string) result
 (** Make all writes so far durable (no-op on an in-memory database).
-    [exec]/[exec_script] already do this after each successful call. *)
+    [exec]/[exec_script] already do this after each successful call.
+    [Error] once the database is closed. *)
 
-val checkpoint : t -> unit
+val checkpoint : t -> (unit, string) result
 (** Store dirty pages to the database file and reset the write-ahead
-    log. *)
+    log.  [Error] once the database is closed. *)
 
 val close : t -> unit
-(** Checkpoint and release the database files; the handle must not be
-    used afterwards. *)
+(** Checkpoint and release the database files.  The handle is dead
+    afterwards: [exec]/[commit]/[checkpoint] return
+    [Error "database is closed"], and closing again is a no-op. *)
+
+val is_closed : t -> bool
 
 val recovery_info : t -> Bdbms_storage.Recovery.outcome option
 (** What crash recovery replayed when this database was opened. *)
+
+val catalog_records : t -> int
+(** How many durable-catalog records the open bootstrapped (0 for a
+    fresh or in-memory database). *)
 
 val io_stats : t -> Bdbms_storage.Stats.snapshot
 (** Cumulative page-level I/O of the database's simulated disk. *)

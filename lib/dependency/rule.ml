@@ -20,6 +20,13 @@ let make ~id ~sources ~target procedure =
   if sources = [] then invalid_arg "Rule.make: a rule needs at least one source";
   { id; sources; target; chain = [ procedure ]; derived = false }
 
+(* Rebuild a rule from the durable catalog, chain and all (a restored
+   chain may be longer than one procedure for derived rules). *)
+let restore ~id ~sources ~target ~chain ~derived =
+  if sources = [] then invalid_arg "Rule.restore: a rule needs at least one source";
+  if chain = [] then invalid_arg "Rule.restore: empty procedure chain";
+  { id; sources; target; chain; derived }
+
 let compose ~id r1 r2 =
   if List.exists (attr_equal r1.target) r2.sources then
     let other_sources =

@@ -28,6 +28,15 @@ type t = {
 
 val make : id:string -> sources:attr list -> target:attr -> Procedure.t -> t
 
+val restore :
+  id:string ->
+  sources:attr list ->
+  target:attr ->
+  chain:Procedure.t list ->
+  derived:bool ->
+  t
+(** Rebuild a rule from the durable catalog (chains of any length). *)
+
 val compose : id:string -> t -> t -> t option
 (** [compose r1 r2] derives a rule when [r1]'s target is one of [r2]'s
     sources; the derived rule's sources are [r1]'s sources plus [r2]'s

@@ -214,6 +214,10 @@ let on_procedure_change t proc_name =
 let revalidate t ~table ~row ~col =
   Outdated.clear (bitmap_for t table) ~row ~col
 
+(* Re-flag a cell outdated while bootstrapping from the durable catalog
+   (the table must already be restored into the relation catalog). *)
+let restore_mark t ~table ~row ~col = Outdated.mark (bitmap_for t table) ~row ~col
+
 let is_outdated t ~table ~row ~col =
   match Hashtbl.find_opt t.bitmaps (norm table) with
   | None -> false

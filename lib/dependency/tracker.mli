@@ -53,6 +53,10 @@ val on_procedure_change : t -> string -> report
 val revalidate : t -> table:string -> row:int -> col:int -> unit
 (** Clear a cell's outdated mark after out-of-band verification. *)
 
+val restore_mark : t -> table:string -> row:int -> col:int -> unit
+(** Re-flag a cell outdated while bootstrapping from the durable catalog
+    (the table must already exist in the relation catalog). *)
+
 val is_outdated : t -> table:string -> row:int -> col:int -> bool
 
 val has_outdated : t -> table:string -> bool

@@ -12,6 +12,8 @@ let create mgr = { mgr; tools = Hashtbl.create 4 }
 
 let register_tool t name = Hashtbl.replace t.tools name ()
 
+let tools t = Hashtbl.fold (fun k () acc -> k :: acc) t.tools [] |> List.sort String.compare
+
 let is_authorized_actor t actor = actor = "system" || Hashtbl.mem t.tools actor
 
 let ensure_table t table =

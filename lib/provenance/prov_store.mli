@@ -18,6 +18,9 @@ val reserved_table_name : string
 val register_tool : t -> string -> unit
 (** Allow an integration tool (actor name) to record provenance. *)
 
+val tools : t -> string list
+(** Registered tool actors (sorted) — for the durable catalog. *)
+
 val is_authorized_actor : t -> string -> bool
 (** The system actor ["system"] and registered tools only. *)
 

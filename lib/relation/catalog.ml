@@ -25,6 +25,9 @@ let drop_table t name =
   end
   else false
 
+(* Re-register a table rebuilt from the durable catalog at bootstrap. *)
+let restore_table t table = Hashtbl.replace t.tables (norm (Table.name table)) table
+
 let find t name = Hashtbl.find_opt t.tables (norm name)
 let find_exn t name = Hashtbl.find t.tables (norm name)
 let exists t name = Hashtbl.mem t.tables (norm name)

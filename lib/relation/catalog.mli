@@ -8,6 +8,10 @@ val buffer_pool : t -> Bdbms_storage.Buffer_pool.t
 val create_table : t -> name:string -> Schema.t -> (Table.t, string) result
 (** Fails if the name is taken. *)
 
+val restore_table : t -> Table.t -> unit
+(** Re-register a table rebuilt from the durable catalog at bootstrap
+    (overwrites any same-name entry). *)
+
 val drop_table : t -> string -> bool
 val find : t -> string -> Table.t option
 val find_exn : t -> string -> Table.t

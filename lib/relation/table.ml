@@ -152,3 +152,28 @@ let fold t ~init ~f =
 let to_list t = List.rev (fold t ~init:[] ~f:(fun acc row tuple -> (row, tuple) :: acc))
 
 let storage_pages t = Heap_file.page_count t.heap
+let heap_pages t = Heap_file.pages t.heap
+let slots t = Array.to_list (Array.sub t.rows 0 t.nrows)
+
+(* Reattach a table to its heap pages after a restart: the schema, the
+   page list, and the row-number -> rid slot array all come from the
+   durable catalog. *)
+let restore bp ~name schema ~heap_pages ~slots =
+  let heap = Heap_file.restore bp ~pages:heap_pages in
+  let arr = Array.of_list slots in
+  let nrows = Array.length arr in
+  let live =
+    Array.fold_left (fun n s -> match s with Live _ -> n + 1 | Dead -> n) 0 arr
+  in
+  let rows = Array.make (max 16 nrows) Dead in
+  Array.blit arr 0 rows 0 nrows;
+  {
+    name;
+    schema;
+    heap;
+    stats = Disk.stats (Buffer_pool.disk bp);
+    cache = Array.make cache_slots Empty;
+    rows;
+    nrows;
+    live;
+  }

@@ -9,6 +9,11 @@
 
 type t
 
+type slot = Live of Bdbms_storage.Heap_file.rid | Dead
+(** One entry of the row-number -> record mapping; tombstones are kept so
+    row numbers stay stable (and so the mapping can be serialized to the
+    durable catalog and restored by {!restore}). *)
+
 val create : Bdbms_storage.Buffer_pool.t -> name:string -> Schema.t -> t
 val name : t -> string
 val schema : t -> Schema.t
@@ -48,3 +53,20 @@ val iter : t -> (int -> Tuple.t -> unit) -> unit
 val fold : t -> init:'a -> f:('a -> int -> Tuple.t -> 'a) -> 'a
 val to_list : t -> (int * Tuple.t) list
 val storage_pages : t -> int
+
+val heap_pages : t -> Bdbms_storage.Page.id list
+(** The table's heap pages in allocation order (for the durable catalog). *)
+
+val slots : t -> slot list
+(** The row-number -> rid mapping including tombstones (for the durable
+    catalog). *)
+
+val restore :
+  Bdbms_storage.Buffer_pool.t ->
+  name:string ->
+  Schema.t ->
+  heap_pages:Bdbms_storage.Page.id list ->
+  slots:slot list ->
+  t
+(** Reattach a table to its heap pages after a restart, from a catalog
+    record written via {!heap_pages} and {!slots}. *)

@@ -4,13 +4,21 @@
    the backend is what survives a crash:
 
    - [mem]: no stable store at all — the original simulated disk.
-   - [file]: pages persisted to a database file.  Layout: a header page
-     (magic "BDBF", version, page size) followed by data pages, page [i]
-     at byte offset [(i + 1) * page_size].  All writes are guarded by a
+   - [file]: pages persisted to a database file.  Layout (format v2): a
+     header page (magic "BDBF", version, page size) followed by data
+     slots of [page_size + trailer_len] bytes, page [i] at byte offset
+     [page_size + i * (page_size + trailer_len)].  Each slot ends in an
+     8-byte trailer (magic "PGCK" + CRC-32 of the page image) so a
+     flipped byte or a torn checkpoint store is detected on load instead
+     of being returned as page data.  All writes are guarded by a
      [Fault.t] so tests can crash the store at any point.
 
    The header is written once at creation and never rewritten, so it is
    assumed atomic (a single sector in practice). *)
+
+exception Corrupt of { page : int; detail : string }
+
+module Crc32 = Bdbms_util.Crc32
 
 type file_state = {
   path : string;
@@ -22,14 +30,19 @@ type file_state = {
 type t = Mem of { m_page_size : int } | File of file_state
 
 let magic = "BDBF"
-let version = 1
+let version = 2
 let header_fields = 12 (* magic + u32 version + u32 page_size *)
+let trailer_magic = "PGCK"
+let trailer_len = 8 (* magic + u32 crc of the page image *)
 
 let page_size = function Mem m -> m.m_page_size | File f -> f.f_page_size
 let is_persistent = function Mem _ -> false | File _ -> true
 let path = function Mem _ -> None | File f -> Some f.path
 
 let mem ~page_size = Mem { m_page_size = page_size }
+
+let slot_len ps = ps + trailer_len
+let slot_off ps id = ps + (id * slot_len ps)
 
 (* ------------------------------------------------------- raw file I/O *)
 
@@ -91,6 +104,13 @@ let file ~fault ~page_size ~path =
       Unix.close fd;
       invalid_arg (Printf.sprintf "Backend.file: %s is not a bdbms database" path)
     end;
+    let stored_version = Int32.to_int (Bytes.get_int32_le h 4) in
+    if stored_version <> version then begin
+      Unix.close fd;
+      invalid_arg
+        (Printf.sprintf "Backend.file: %s has format version %d, expected %d"
+           path stored_version version)
+    end;
     let stored_ps = Int32.to_int (Bytes.get_int32_le h 8) in
     if stored_ps <> page_size then begin
       Unix.close fd;
@@ -99,7 +119,7 @@ let file ~fault ~page_size ~path =
            "Backend.file: %s has page_size %d, requested %d" path stored_ps
            page_size)
     end;
-    let count = max 0 ((size - page_size) / page_size) in
+    let count = max 0 ((size - page_size) / slot_len page_size) in
     (File { path; fd; fault; f_page_size = page_size }, count)
   end
 
@@ -109,21 +129,48 @@ let close = function
 
 (* ---------------------------------------------------------- page ops *)
 
+(* Verdict of the CRC trailer check on load.  An all-zero slot is a page
+   that was allocated (by growing the file) but never stored — valid and
+   empty, not corrupt. *)
+type verdict = Crc_ok | Crc_zero | Crc_bad
+
+let all_zero buf =
+  let n = Bytes.length buf in
+  let rec go i = i >= n || (Bytes.get buf i = '\000' && go (i + 1)) in
+  go 0
+
 let load t id =
   match t with
   | Mem _ -> invalid_arg "Backend.load: in-memory backend has no stable store"
   | File f ->
-      let page = Page.create ~size:f.f_page_size () in
-      ignore (pread f.fd ~off:((id + 1) * f.f_page_size) (Page.unsafe_bytes page));
-      page
+      let ps = f.f_page_size in
+      let slot = Bytes.make (slot_len ps) '\000' in
+      ignore (pread f.fd ~off:(slot_off ps id) slot);
+      let page = Page.create ~size:ps () in
+      Bytes.blit slot 0 (Page.unsafe_bytes page) 0 ps;
+      let verdict =
+        if Bytes.sub_string slot ps 4 = trailer_magic then begin
+          let stored = Int32.to_int (Bytes.get_int32_le slot (ps + 4)) in
+          let actual = Crc32.bytes (Page.unsafe_bytes page) ~pos:0 ~len:ps in
+          if stored land 0xFFFFFFFF = actual land 0xFFFFFFFF then Crc_ok
+          else Crc_bad
+        end
+        else if all_zero slot then Crc_zero
+        else Crc_bad
+      in
+      (page, verdict)
 
 let store t id page =
   match t with
   | Mem _ -> ()
   | File f ->
-      guarded_pwrite f.fault f.fd
-        ~off:((id + 1) * f.f_page_size)
-        (Page.unsafe_bytes page)
+      let ps = f.f_page_size in
+      let slot = Bytes.create (slot_len ps) in
+      Bytes.blit (Page.unsafe_bytes page) 0 slot 0 ps;
+      Bytes.blit_string trailer_magic 0 slot ps 4;
+      Bytes.set_int32_le slot (ps + 4)
+        (Int32.of_int (Crc32.bytes (Page.unsafe_bytes page) ~pos:0 ~len:ps));
+      guarded_pwrite f.fault f.fd ~off:(slot_off ps id) slot
 
 (* Sets the stable page count (grows with zero pages, shrinks by
    truncation); atomic under fault injection. *)
@@ -132,7 +179,7 @@ let set_count t n =
   | Mem _ -> ()
   | File f ->
       Fault.guard f.fault;
-      Unix.ftruncate f.fd ((n + 1) * f.f_page_size)
+      Unix.ftruncate f.fd (f.f_page_size + (n * slot_len f.f_page_size))
 
 let sync t =
   match t with

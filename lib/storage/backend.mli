@@ -6,6 +6,12 @@
     (a header page followed by data pages).  All file writes are guarded
     by a {!Fault.t} so tests can crash the store at any point. *)
 
+exception Corrupt of { page : int; detail : string }
+(** A stored page (or catalog structure) whose checksum does not match
+    its contents.  Raised on read instead of returning the bytes as
+    data; {!Disk.open_file} filters out pages that a replayed WAL record
+    fully repairs before raising. *)
+
 type t
 
 val mem : page_size:int -> t
@@ -20,11 +26,19 @@ val page_size : t -> int
 val is_persistent : t -> bool
 val path : t -> string option
 
-val load : t -> Page.id -> Page.t
-(** Read a page from the stable store (file backend only). *)
+type verdict = Crc_ok | Crc_zero | Crc_bad
+(** Result of the CRC-trailer check on {!load}: verified, legitimately
+    empty (all-zero slot, allocated but never stored), or corrupt. *)
+
+val load : t -> Page.id -> Page.t * verdict
+(** Read a page from the stable store (file backend only) and check its
+    CRC trailer.  Classification, not an exception: the caller decides
+    whether a bad page is repairable (by WAL replay) before raising
+    {!Corrupt}. *)
 
 val store : t -> Page.id -> Page.t -> unit
-(** Write a page to the stable store; fault-guarded, may tear. *)
+(** Write a page image plus its CRC trailer to the stable store;
+    fault-guarded, may tear (which the trailer then detects). *)
 
 val set_count : t -> int -> unit
 (** Set the stable page count (grow with zeros / shrink by truncation). *)

@@ -48,6 +48,9 @@ let path t =
 
 let wal_size t = match t.durable with None -> 0 | Some d -> Wal.size d.wal
 
+let has_uncommitted t =
+  match t.durable with None -> false | Some d -> d.uncommitted > 0
+
 (* ------------------------------------------------------------ creation *)
 
 let create ?(page_size = Page.default_size) () =
@@ -61,6 +64,25 @@ let create ?(page_size = Page.default_size) () =
     recovery = None;
   }
 
+(* Stores the dirty pages to the backend with the catalog root (page 0)
+   strictly last: all other pages are stored and synced before the root
+   page lands, so even without the log a crash mid-checkpoint can never
+   leave a root slot pointing at unstored catalog pages.  (The WAL
+   already makes the checkpoint repairable; this ordering is the
+   belt-and-braces half of the shadow-root swap.) *)
+let store_dirty ~backend ~get_page ~count dirty =
+  Backend.set_count backend count;
+  let ids = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) dirty []) in
+  let root_dirty = List.mem 0 ids in
+  List.iter
+    (fun id -> if id <> 0 then Backend.store backend id (get_page id))
+    ids;
+  Backend.sync backend;
+  if root_dirty then begin
+    Backend.store backend 0 (get_page 0);
+    Backend.sync backend
+  end
+
 let open_file ?(page_size = Page.default_size) ?fault
     ?(wal_autocheckpoint = 4 * 1024 * 1024) ?wal_group_bytes path =
   let fault = match fault with Some f -> f | None -> Fault.create () in
@@ -68,8 +90,22 @@ let open_file ?(page_size = Page.default_size) ?fault
   let backend, stored = Backend.file ~fault ~page_size ~path in
   let pages = ref (Array.make (max 64 stored) (Page.create ~size:page_size ())) in
   let count = ref 0 in
+  (* Load the checkpointed pages, verifying each CRC trailer.  A bad page
+     is not an error yet: a crash during a checkpoint store legitimately
+     tears pages whose redo records are still in the log, so judgement is
+     deferred until after replay — only a bad page NOT fully rewritten by
+     a replayed record is real corruption. *)
+  let bad = Hashtbl.create 4 in
   for i = 0 to stored - 1 do
-    !pages.(i) <- Backend.load backend i
+    let page, verdict = Backend.load backend i in
+    !pages.(i) <- page;
+    (match verdict with
+    | Backend.Crc_ok -> Stats.record_page_crc_verified stats
+    | Backend.Crc_zero -> ()
+    | Backend.Crc_bad ->
+        Stats.record_page_crc_verified stats;
+        Stats.record_crc_failure stats;
+        Hashtbl.replace bad i ())
   done;
   count := stored;
   let dirty = Hashtbl.create 64 in
@@ -91,6 +127,7 @@ let open_file ?(page_size = Page.default_size) ?fault
         let p = Page.create ~size:page_size () in
         Page.set_bytes p ~pos:0 data;
         !pages.(page_id) <- p;
+        Hashtbl.remove bad page_id;
         Hashtbl.replace dirty page_id ()
     | Wal.Alloc { page_id } ->
         extend_to (page_id + 1);
@@ -100,16 +137,19 @@ let open_file ?(page_size = Page.default_size) ?fault
   let wal_path = path ^ ".wal" in
   let outcome = Recovery.replay ~wal_path ~max_record:(page_size + 64) ~apply in
   Stats.record_recovered stats outcome.Recovery.applied;
+  if Hashtbl.length bad > 0 then begin
+    let page = Hashtbl.fold (fun k () acc -> min k acc) bad max_int in
+    Backend.close backend;
+    raise
+      (Backend.Corrupt
+         { page; detail = "stored page failed CRC verification" })
+  end;
   (* Checkpoint the recovered state, then reset the log.  The log is
      untouched until the pages are durably stored, so a crash anywhere in
      here just replays again on the next open. *)
   match
-    if Hashtbl.length dirty > 0 then begin
-      Backend.set_count backend !count;
-      let ids = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) dirty []) in
-      List.iter (fun id -> Backend.store backend id !pages.(id)) ids;
-      Backend.sync backend
-    end;
+    if Hashtbl.length dirty > 0 then
+      store_dirty ~backend ~get_page:(fun id -> !pages.(id)) ~count:!count dirty;
     Wal.open_reset ~fault ~stats ?group_bytes:wal_group_bytes wal_path
   with
   | wal ->
@@ -191,10 +231,9 @@ let checkpoint t =
         Wal.commit d.wal;
         d.uncommitted <- 0
       end;
-      Backend.set_count d.backend t.count;
-      let ids = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) d.dirty []) in
-      List.iter (fun id -> Backend.store d.backend id t.pages.(id)) ids;
-      Backend.sync d.backend;
+      store_dirty ~backend:d.backend
+        ~get_page:(fun id -> t.pages.(id))
+        ~count:t.count d.dirty;
       Wal.reset d.wal;
       Hashtbl.reset d.dirty;
       Stats.record_checkpoint t.stats

@@ -33,7 +33,9 @@ val open_file :
     given path, running crash recovery from [path].wal first.
     [wal_autocheckpoint] (default 4 MiB) checkpoints automatically when
     the log outgrows it; [wal_group_bytes] is the WAL group-flush batch
-    size.  @raise Fault.Crash if [fault] fires during recovery. *)
+    size.  @raise Fault.Crash if [fault] fires during recovery.
+    @raise Backend.Corrupt if a stored page fails CRC verification and no
+    replayed log record repairs it. *)
 
 val page_size : t -> int
 val stats : t -> Stats.t
@@ -78,6 +80,10 @@ val crashed : t -> bool
 
 val wal_size : t -> int
 (** Bytes in the log file plus the unflushed buffer (0 when ephemeral). *)
+
+val has_uncommitted : t -> bool
+(** Whether redo records have been appended since the last commit marker
+    (always [false] when ephemeral). *)
 
 val recovery_info : t -> Recovery.outcome option
 (** The outcome of the replay performed by {!open_file}. *)

@@ -9,13 +9,28 @@
 
 exception Crash of string
 
+(* Logical crash points above the raw-I/O layer: [hit] is called at the
+   named spot and crashes only when that point is armed, letting tests
+   target e.g. the middle of a catalog serialization or the instant
+   between writing chain pages and swapping the root slot. *)
+type point = Catalog_write | Root_swap | Ddl
+
 type t = {
   mutable ops_left : int; (* guarded ops before the crash; -1 = disarmed *)
   mutable tear_frac : float; (* fraction of the crashing write that lands *)
   mutable crashed : bool;
+  mutable point_armed : point option;
+  mutable point_left : int; (* matching hits to let pass first *)
 }
 
-let create () = { ops_left = -1; tear_frac = 0.0; crashed = false }
+let create () =
+  {
+    ops_left = -1;
+    tear_frac = 0.0;
+    crashed = false;
+    point_armed = None;
+    point_left = 0;
+  }
 
 let arm t ?(tear_frac = 0.0) ~after_ops () =
   if after_ops < 0 then invalid_arg "Fault.arm: after_ops must be >= 0";
@@ -23,8 +38,33 @@ let arm t ?(tear_frac = 0.0) ~after_ops () =
   t.tear_frac <- max 0.0 (min 1.0 tear_frac);
   t.crashed <- false
 
+let arm_point t ?(after = 0) point =
+  if after < 0 then invalid_arg "Fault.arm_point: after must be >= 0";
+  t.point_armed <- Some point;
+  t.point_left <- after;
+  t.crashed <- false
+
+let point_name = function
+  | Catalog_write -> "catalog-write"
+  | Root_swap -> "root-swap"
+  | Ddl -> "ddl"
+
+let hit t point =
+  if t.crashed then raise (Crash "storage handle crashed");
+  match t.point_armed with
+  | Some p when p = point ->
+      if t.point_left > 0 then t.point_left <- t.point_left - 1
+      else begin
+        t.crashed <- true;
+        t.point_armed <- None;
+        raise (Crash ("injected crash at " ^ point_name point))
+      end
+  | _ -> ()
+
 let disarm t =
   t.ops_left <- -1;
+  t.point_armed <- None;
+  t.point_left <- 0;
   t.crashed <- false
 
 let crashed t = t.crashed

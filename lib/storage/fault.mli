@@ -9,6 +9,11 @@
 
 exception Crash of string
 
+type point = Catalog_write | Root_swap | Ddl
+(** Logical crash points above the raw-I/O layer: inside a catalog
+    serialization, between writing catalog chain pages and committing the
+    root-slot swap, and inside a DDL statement's metadata mutation. *)
+
 type t
 
 val create : unit -> t
@@ -18,6 +23,15 @@ val arm : t -> ?tear_frac:float -> after_ops:int -> unit -> unit
 (** Crash on the [after_ops]-th subsequent stable-storage operation
     (0 = the very next one).  [tear_frac] (default 0) is the fraction of
     the crashing byte-write that still reaches the file — a torn write. *)
+
+val arm_point : t -> ?after:int -> point -> unit
+(** Crash at the [after]-th subsequent {!hit} of the named point
+    (default 0 = the very next one).  Independent of {!arm}'s
+    operation counter. *)
+
+val hit : t -> point -> unit
+(** Declare that execution reached the named logical point.
+    @raise Crash if that point is armed (or the injector already crashed). *)
 
 val disarm : t -> unit
 val crashed : t -> bool

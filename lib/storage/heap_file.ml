@@ -194,6 +194,30 @@ let fold t ~init ~f =
 
 let record_count t = t.live
 let page_count t = t.npages
+let pages t = Array.to_list (Array.sub t.pages 0 t.npages)
+
+(* Reattach a heap file to pages it owned before a restart.  The live
+   count is recounted from the slot directories rather than trusted from
+   the caller's serialized copy. *)
+let restore bp ~pages:ids =
+  match ids with
+  | [] -> invalid_arg "Heap_file.restore: empty page list"
+  | _ ->
+      let arr = Array.of_list ids in
+      let n = Array.length arr in
+      let t = { bp; pages = arr; npages = n; last_page = arr.(n - 1); live = 0 } in
+      let live = ref 0 in
+      Array.iter
+        (fun id ->
+          Buffer_pool.with_page bp id (fun page ->
+              let nslots = Page.get_u16 page 0 in
+              for s = 0 to nslots - 1 do
+                let off, _ = slot_entry page s in
+                if off <> dead_offset then incr live
+              done))
+        arr;
+      t.live <- !live;
+      t
 
 let pp_rid fmt rid = Format.fprintf fmt "(%d,%d)" rid.page rid.slot
 let rid_equal a b = a.page = b.page && a.slot = b.slot

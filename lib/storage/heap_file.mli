@@ -46,6 +46,16 @@ val record_count : t -> int
 val page_count : t -> int
 (** Pages owned by this file. *)
 
+val pages : t -> Page.id list
+(** The file's pages in allocation order — what the durable catalog
+    serializes so {!restore} can reattach the file after a restart. *)
+
+val restore : Buffer_pool.t -> pages:Page.id list -> t
+(** Reattach a heap file to the pages it owned before a restart (from a
+    catalog record written by {!pages}).  The live-record count is
+    recounted from the slot directories.
+    @raise Invalid_argument on an empty page list. *)
+
 val pp_rid : Format.formatter -> rid -> unit
 val rid_equal : rid -> rid -> bool
 val rid_compare : rid -> rid -> int

@@ -22,6 +22,10 @@ type snapshot = {
   index_probes : int;
   tuples_decoded : int;
   ann_envelopes : int;
+  catalog_replayed : int;
+  pages_crc_verified : int;
+  crc_failures : int;
+  root_swaps : int;
 }
 
 (* slot indices *)
@@ -39,13 +43,18 @@ let i_pushdown_pruned = 10
 let i_index_probes = 11
 let i_tuples_decoded = 12
 let i_ann_envelopes = 13
-let n_counters = 14
+let i_catalog_replayed = 14
+let i_pages_crc_verified = 15
+let i_crc_failures = 16
+let i_root_swaps = 17
+let n_counters = 18
 
 let names =
   [|
     "reads"; "writes"; "allocs"; "hits"; "wal_appends"; "wal_flushes";
     "checkpoints"; "recovered"; "hash_builds"; "hash_probes";
     "pushdown_pruned"; "index_probes"; "tuples_decoded"; "ann_envelopes";
+    "catalog_replayed"; "pages_crc_verified"; "crc_failures"; "root_swaps";
   |]
 
 let to_array s =
@@ -53,6 +62,7 @@ let to_array s =
     s.reads; s.writes; s.allocs; s.hits; s.wal_appends; s.wal_flushes;
     s.checkpoints; s.recovered_records; s.hash_builds; s.hash_probes;
     s.pushdown_pruned; s.index_probes; s.tuples_decoded; s.ann_envelopes;
+    s.catalog_replayed; s.pages_crc_verified; s.crc_failures; s.root_swaps;
   |]
 
 let of_array a =
@@ -71,6 +81,10 @@ let of_array a =
     index_probes = a.(i_index_probes);
     tuples_decoded = a.(i_tuples_decoded);
     ann_envelopes = a.(i_ann_envelopes);
+    catalog_replayed = a.(i_catalog_replayed);
+    pages_crc_verified = a.(i_pages_crc_verified);
+    crc_failures = a.(i_crc_failures);
+    root_swaps = a.(i_root_swaps);
   }
 
 type t = int array
@@ -93,6 +107,10 @@ let record_pushdown_prune t = bump t i_pushdown_pruned
 let record_index_probe t = bump t i_index_probes
 let record_tuple_decode t = bump t i_tuples_decoded
 let record_ann_envelope t = bump t i_ann_envelopes
+let record_catalog_replayed t n = t.(i_catalog_replayed) <- t.(i_catalog_replayed) + n
+let record_page_crc_verified t = bump t i_pages_crc_verified
+let record_crc_failure t = bump t i_crc_failures
+let record_root_swap t = bump t i_root_swaps
 
 let snapshot (t : t) = of_array t
 let reset (t : t) = Array.fill t 0 n_counters 0

@@ -61,6 +61,23 @@ val record_ann_envelope : t -> unit
 (** A row materialized with its per-cell annotation array — zero for
     queries that never touch annotations (lazy attachment). *)
 
+(** {2 Recovery-path counters}
+
+    Catalog bootstrap and corruption defense account their work here so
+    operators can see from [--stats] what recovery actually did. *)
+
+val record_catalog_replayed : t -> int -> unit
+(** [n] catalog records decoded while bootstrapping metadata at open. *)
+
+val record_page_crc_verified : t -> unit
+(** A stored page whose CRC trailer was checked on read. *)
+
+val record_crc_failure : t -> unit
+(** A stored page whose CRC trailer did not match its contents. *)
+
+val record_root_swap : t -> unit
+(** A catalog root committed by writing the alternate page-0 slot. *)
+
 type snapshot = {
   reads : int;  (** physical page reads *)
   writes : int;  (** physical page writes *)
@@ -76,6 +93,10 @@ type snapshot = {
   index_probes : int;  (** index probes used as access paths *)
   tuples_decoded : int;  (** heap payloads decoded into tuples *)
   ann_envelopes : int;  (** rows materialized with annotation arrays *)
+  catalog_replayed : int;  (** catalog records decoded at bootstrap *)
+  pages_crc_verified : int;  (** stored pages CRC-checked on read *)
+  crc_failures : int;  (** stored pages failing CRC verification *)
+  root_swaps : int;  (** catalog root slot swaps committed *)
 }
 
 val snapshot : t -> snapshot

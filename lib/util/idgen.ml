@@ -7,3 +7,5 @@ let next_int t =
   t.counter
 
 let next t = t.prefix ^ string_of_int (next_int t)
+let counter t = t.counter
+let restore t n = t.counter <- max t.counter n

@@ -8,3 +8,10 @@ val next : t -> string
 
 val next_int : t -> int
 (** The raw counter, when a numeric id is more convenient. *)
+
+val counter : t -> int
+(** The last value handed out (0 if none) — serialized by the durable
+    catalog so reopened databases never reissue an id. *)
+
+val restore : t -> int -> unit
+(** Fast-forward the counter to at least [n]. *)

@@ -418,12 +418,339 @@ let test_db_facade_durable () =
   let s = Bdbms.Db.io_stats db in
   checkb "statements auto-committed to the wal" true (s.Stats.wal_appends > 0);
   Bdbms.Db.close db;
-  (* reopen: page images survive (logical catalog rebuild is future work) *)
+  (* reopen: the durable catalog rebuilds the logical state *)
   let db2 = Bdbms.Db.create ~path () in
-  checkb "pages persisted" true
-    (let d = (Bdbms.Db.context db2).Bdbms_asql.Context.disk in
-     Disk.page_count d > 0);
+  checkb "catalog bootstrapped" true (Bdbms.Db.catalog_records db2 > 0);
+  checks "data queryable with zero re-registration" "a"
+    (String.trim
+       (List.nth (String.split_on_char '\n' (Bdbms.Db.render_exn db2 "SELECT k FROM G")) 1));
   Bdbms.Db.close db2;
+  cleanup path
+
+(* ----------------------- self-bootstrapping durable catalog (page 0) *)
+
+module Db = Bdbms.Db
+module Context = Bdbms_asql.Context
+module Catalog = Bdbms_relation.Catalog
+module Table = Bdbms_relation.Table
+module Schema = Bdbms_relation.Schema
+module Value = Bdbms_relation.Value
+module Manager = Bdbms_annotation.Manager
+module Tracker = Bdbms_dependency.Tracker
+module Rule = Bdbms_dependency.Rule
+module Rule_set = Bdbms_dependency.Rule_set
+module Principal = Bdbms_auth.Principal
+module Acl = Bdbms_auth.Acl
+module Approval = Bdbms_auth.Approval
+module Prov_store = Bdbms_provenance.Prov_store
+module Clock = Bdbms_util.Clock
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* A full logical fingerprint of the engine: schemas, data and attached
+   annotation envelopes (via rendered annotated SELECTs), outdated marks,
+   annotation tables, dependency rules, principals, grants, the approval
+   log, provenance tools, index definitions, and the logical clock.  The
+   clock is deterministic (it only ticks on statements), so a bootstrapped
+   engine must fingerprint identically to an in-memory oracle that
+   replayed the same statement prefix. *)
+let fingerprint db =
+  let ctx = Db.context db in
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun name ->
+      let tbl = Catalog.find_exn ctx.Context.catalog name in
+      add "table %s" (Table.name tbl);
+      List.iter
+        (fun (c : Schema.column) -> add "  col %s:%s" c.Schema.name (Value.type_name c.ty))
+        (Schema.columns (Table.schema tbl));
+      add "%s" (Db.render_exn db (Printf.sprintf "SELECT * FROM %s ANNOTATION(*)" name));
+      List.iter
+        (fun (r, c) -> add "  outdated %d.%d" r c)
+        (List.sort compare (Tracker.outdated_cells ctx.Context.tracker ~table:name));
+      List.iter
+        (fun n -> add "  anntab %s" n)
+        (List.sort compare
+           (Manager.annotation_table_names ctx.Context.ann ~table_name:name)))
+    (List.sort compare (Catalog.table_names ctx.Context.catalog));
+  List.iter
+    (fun (r : Rule.t) -> add "rule %s" (Rule.describe r))
+    (Rule_set.rules (Tracker.rule_set ctx.Context.tracker));
+  add "users %s" (String.concat "," (Principal.users ctx.Context.principals));
+  add "groups %s" (String.concat "," (Principal.groups ctx.Context.principals));
+  List.iter
+    (fun (u, gs) -> add "member %s: %s" u (String.concat "," gs))
+    (Principal.memberships ctx.Context.principals);
+  List.iter
+    (fun (table, entries) ->
+      List.iter
+        (fun (e : Acl.grant_entry) ->
+          add "grant %s %s %s %s" table
+            (Acl.privilege_name e.privilege)
+            (match e.grantee with Acl.User u -> "u:" ^ u | Acl.Group g -> "g:" ^ g)
+            (match e.columns with None -> "*" | Some cs -> String.concat "," cs))
+        entries)
+    (Acl.dump_grants ctx.Context.acl);
+  List.iter
+    (fun (e : Approval.entry) ->
+      add "approval #%d by %s at t%d [%s] decided by %s: %s" e.Approval.id
+        e.Approval.user e.Approval.at
+        (match e.Approval.status with
+        | Approval.Pending -> "pending"
+        | Approval.Approved -> "approved"
+        | Approval.Disapproved -> "disapproved")
+        (match e.Approval.decided_by with None -> "-" | Some u -> u)
+        (Approval.inverse_description e.Approval.operation))
+    (Approval.entries ctx.Context.approval);
+  List.iter (fun t -> add "provtool %s" t) (Prov_store.tools ctx.Context.prov);
+  List.iter
+    (fun (idx : Context.index_def) ->
+      add "index %s on %s(%s)" idx.Context.idx_name idx.Context.idx_table
+        idx.Context.idx_column)
+    (List.sort compare
+       (Hashtbl.fold (fun _ i acc -> i :: acc) ctx.Context.indexes []));
+  add "clock t%d" (Clock.now ctx.Context.clock);
+  Buffer.contents b
+
+(* The mixed workload the crash harness sweeps over: DDL, DML (driving
+   dependency recomputation), annotations, dependency rules and links,
+   principals/grants, a secondary index, content approval with a
+   disapproval (running an inverse statement), and a delete.  Every
+   statement is valid, so any [Error] is a harness bug. *)
+let workload =
+  [
+    "CREATE TABLE Gene (GID TEXT, GSequence DNA)";
+    "CREATE TABLE Protein (PName TEXT, PSequence PROTEIN)";
+    "INSERT INTO Gene VALUES ('g1', 'ATGATG')";
+    "INSERT INTO Gene VALUES ('g2', 'CCGTTA')";
+    "INSERT INTO Protein VALUES ('p1', 'MM')";
+    "CREATE ANNOTATION TABLE notes ON Gene";
+    "CREATE ANNOTATION TABLE curation ON Protein";
+    "ADD ANNOTATION TO Gene.notes VALUE 'from GenoBase' ON (SELECT * FROM Gene WHERE GID = 'g1')";
+    "CREATE DEPENDENCY r1 FROM Gene.GSequence TO Protein.PSequence USING P";
+    "LINK DEPENDENCY r1 FROM (0) TO 0";
+    "CREATE USER alice";
+    "CREATE GROUP lab";
+    "ADD USER alice TO GROUP lab";
+    "GRANT SELECT ON Gene TO alice";
+    "GRANT UPDATE ON Gene TO GROUP lab";
+    "CREATE INDEX gidx ON Gene (GID)";
+    "UPDATE Gene SET GSequence = 'TTGTTG' WHERE GID = 'g1'";
+    "START CONTENT APPROVAL ON Protein APPROVED BY admin";
+    "INSERT INTO Protein VALUES ('p2', 'MV')";
+    "UPDATE Protein SET PName = 'p2x' WHERE PName = 'p2'";
+    "ADD ANNOTATION TO Protein.curation VALUE 'curator checked' ON (SELECT * FROM Protein WHERE PName = 'p1')";
+    "DISAPPROVE 2";
+    "INSERT INTO Gene VALUES ('g3', 'AAACCC')";
+    "DELETE FROM Gene WHERE GID = 'g2'";
+  ]
+
+(* Oracle: an in-memory engine that replayed the first [k] statements. *)
+let oracle_fps =
+  lazy
+    (Array.init
+       (List.length workload + 1)
+       (fun k ->
+         let db = Db.create () in
+         List.iteri (fun i sql -> if i < k then ignore (Db.exec_exn db sql)) workload;
+         let fp = fingerprint db in
+         Db.close db;
+         fp))
+
+type arming = Ops of int * float | Point of Fault.point * int
+
+let describe_arming = function
+  | Ops (n, tear) -> Printf.sprintf "after %d ops (tear %.2f)" n tear
+  | Point (p, after) ->
+      Printf.sprintf "point %s #%d"
+        (match p with
+        | Fault.Catalog_write -> "catalog-write"
+        | Fault.Root_swap -> "root-swap"
+        | Fault.Ddl -> "ddl")
+        after
+
+(* Run the workload against [path] with [arming] armed; returns whether
+   the fault fired and how many statements returned before it did. *)
+let run_bootstrap_workload ~path ~arming =
+  let fault = Fault.create () in
+  let db = Db.create ~page_size ~path ~fault () in
+  (match arming with
+  | Ops (n, tear_frac) -> Fault.arm fault ~tear_frac ~after_ops:n ()
+  | Point (p, after) -> Fault.arm_point fault ~after p);
+  let applied = ref 0 in
+  let crashed = ref false in
+  (try
+     List.iter
+       (fun sql ->
+         match Db.exec db sql with
+         | Ok _ -> incr applied
+         | Error e -> Alcotest.failf "workload statement failed: %s (%s)" e sql)
+       workload;
+     (* the fault can also fire inside the close checkpoint *)
+     Db.close db
+   with Fault.Crash _ ->
+     crashed := true;
+     (try Disk.abandon (Db.context db).Context.disk with Fault.Crash _ -> ()));
+  (!crashed, !applied)
+
+(* Reopen with [Db.create ~path] alone and differentially compare against
+   the oracle.  A crash can land between a statement's durable commit and
+   the harness bumping [applied], so prefix [applied] or [applied + 1]
+   both count as exact recovery. *)
+let check_bootstrap ~what path applied =
+  let oracles = Lazy.force oracle_fps in
+  let db = Db.create ~page_size ~path () in
+  let fp = fingerprint db in
+  Db.close db;
+  let matches k = k >= 0 && k < Array.length oracles && fp = oracles.(k) in
+  if not (matches applied || matches (applied + 1)) then
+    Alcotest.failf "%s: bootstrapped state differs from oracle prefix %d/%d\n--- got:\n%s\n--- oracle %d:\n%s"
+      what applied (applied + 1) fp applied oracles.(min applied (Array.length oracles - 1))
+
+let test_bootstrap_roundtrip () =
+  let path = tmp_path () in
+  let db = Db.create ~page_size ~path () in
+  List.iter (fun sql -> ignore (Db.exec_exn db sql)) workload;
+  Db.close db;
+  check_bootstrap ~what:"clean close" path (List.length workload);
+  (* double bootstrap: reopening again must be stable *)
+  check_bootstrap ~what:"second reopen" path (List.length workload);
+  (* and the rebuilt index must actually serve probes *)
+  let db2 = Db.create ~page_size ~path () in
+  checkb "index probe after bootstrap" true
+    (contains ~needle:"g1" (Db.render_exn db2 "SELECT GID FROM Gene WHERE GID = 'g1'"));
+  let s = Db.io_stats db2 in
+  checkb "catalog records counted" true (s.Stats.catalog_replayed > 0);
+  checkb "pages CRC-verified on load" true (s.Stats.pages_crc_verified > 0);
+  checki "no CRC failures on a healthy file" 0 s.Stats.crc_failures;
+  ignore (Db.exec_exn db2 "INSERT INTO Gene VALUES ('g9', 'ACGT')");
+  checkb "commits swap the catalog root" true ((Db.io_stats db2).Stats.root_swaps > 0);
+  Db.close db2;
+  cleanup path
+
+let test_bootstrap_crash_anywhere () =
+  let deep = Sys.getenv_opt "BDBMS_FUZZ_DEEP" = Some "1" in
+  let op_points =
+    if deep then List.init 240 (fun i -> i + 1)
+    else [ 1; 2; 3; 5; 7; 10; 14; 19; 25; 33; 43; 56; 73; 95; 120; 160; 210; 400 ]
+  in
+  let armings =
+    List.mapi (fun i n -> Ops (n, if i mod 2 = 0 then 0.0 else 0.6)) op_points
+    @ List.concat_map
+        (fun p -> List.map (fun k -> Point (p, k)) [ 0; 1; 3; 7; 15 ])
+        [ Fault.Catalog_write; Fault.Root_swap ]
+    @ List.map (fun k -> Point (Fault.Ddl, k)) [ 0; 1; 2; 3; 4; 5 ]
+  in
+  let crashes = ref 0 and completions = ref 0 in
+  List.iter
+    (fun arming ->
+      let path = tmp_path () in
+      let crashed, applied = run_bootstrap_workload ~path ~arming in
+      if crashed then incr crashes else incr completions;
+      check_bootstrap ~what:(describe_arming arming) path applied;
+      cleanup path)
+    armings;
+  checkb
+    (Printf.sprintf "crash points exercised (%d crashed)" !crashes)
+    true (!crashes > 10);
+  checkb "some sweeps outlived the fault" true (!completions >= 1)
+
+let test_corruption_detected () =
+  let path = tmp_path () in
+  let db = Db.create ~page_size ~path () in
+  ignore (Db.exec_exn db "CREATE TABLE T (k TEXT, v INT)");
+  for i = 1 to 30 do
+    ignore (Db.exec_exn db (Printf.sprintf "INSERT INTO T VALUES ('key%d', %d)" i i))
+  done;
+  Db.close db;
+  (* flip one byte inside a checkpointed page's stored image (the clean
+     close reset the WAL, so nothing can repair it) *)
+  let slot_len = page_size + 8 in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let off = page_size + (2 * slot_len) + 17 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  (* the flip must surface as a typed corruption error, never as data *)
+  (match Db.create ~page_size ~path () with
+  | exception Backend.Corrupt { page; _ } -> checki "corrupt page identified" 2 page
+  | db ->
+      Db.close db;
+      Alcotest.fail "flipped byte was not detected");
+  cleanup path
+
+let test_script_atomicity () =
+  let path = tmp_path () in
+  let db = Db.create ~page_size ~path () in
+  ignore (Db.exec_exn db "CREATE TABLE T (k TEXT)");
+  ignore (Db.exec_exn db "INSERT INTO T VALUES ('a')");
+  (match
+     Db.exec_script db
+       "INSERT INTO T VALUES ('b'); INSERT INTO T VALUES ('c'); INSERT INTO nosuch VALUES ('x')"
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected the script to fail");
+  checkb "no committed WAL tail left behind" false
+    (Disk.has_uncommitted (Db.context db).Context.disk);
+  let out = Db.render_exn db "SELECT k FROM T" in
+  checkb "rolled back in memory too" false (contains ~needle:"b" out);
+  checkb "committed row survives" true (contains ~needle:"a" out);
+  Db.close db;
+  let db2 = Db.create ~path:path ~page_size () in
+  let out2 = Db.render_exn db2 "SELECT k FROM T" in
+  checkb "after reopen: only the committed prefix" true
+    (contains ~needle:"a" out2 && not (contains ~needle:"b" out2));
+  Db.close db2;
+  cleanup path
+
+let test_script_crash_prefix () =
+  let path = tmp_path () in
+  let fault = Fault.create () in
+  let db = Db.create ~page_size ~path ~fault () in
+  ignore (Db.exec_exn db "CREATE TABLE T (k TEXT)");
+  ignore (Db.exec_exn db "INSERT INTO T VALUES ('a')");
+  (* crash inside the script's commit, before the catalog write lands *)
+  Fault.arm_point fault Fault.Catalog_write;
+  (try
+     ignore
+       (Db.exec_script db "INSERT INTO T VALUES ('b'); INSERT INTO T VALUES ('c')")
+   with Fault.Crash _ -> ());
+  Disk.abandon (Db.context db).Context.disk;
+  let db2 = Db.create ~page_size ~path () in
+  let out = Db.render_exn db2 "SELECT k FROM T" in
+  checkb "exactly the pre-script state" true
+    (contains ~needle:"a" out
+    && (not (contains ~needle:"b" out))
+    && not (contains ~needle:"c" out));
+  Db.close db2;
+  cleanup path
+
+let test_use_after_close () =
+  let path = tmp_path () in
+  let db = Db.create ~page_size ~path () in
+  ignore (Db.exec_exn db "CREATE TABLE T (k TEXT)");
+  Db.close db;
+  checkb "marked closed" true (Db.is_closed db);
+  (match Db.exec db "SELECT k FROM T" with
+  | Error e -> checks "exec rejected" "database is closed" e
+  | Ok _ -> Alcotest.fail "exec on a closed handle succeeded");
+  (match Db.commit db with
+  | Error e -> checks "commit rejected" "database is closed" e
+  | Ok () -> Alcotest.fail "commit on a closed handle succeeded");
+  (match Db.checkpoint db with
+  | Error e -> checks "checkpoint rejected" "database is closed" e
+  | Ok () -> Alcotest.fail "checkpoint on a closed handle succeeded");
+  Db.close db;
+  (* double close is a no-op *)
+  Db.close db;
   cleanup path
 
 let test_page_size_mismatch () =
@@ -465,5 +792,16 @@ let () =
         [
           Alcotest.test_case "durable Db" `Quick test_db_facade_durable;
           Alcotest.test_case "page-size mismatch" `Quick test_page_size_mismatch;
+          Alcotest.test_case "use after close" `Quick test_use_after_close;
+        ] );
+      ( "bootstrap",
+        [
+          Alcotest.test_case "catalog round-trip" `Quick test_bootstrap_roundtrip;
+          Alcotest.test_case "crash anywhere" `Quick test_bootstrap_crash_anywhere;
+          Alcotest.test_case "flipped byte is typed corruption" `Quick
+            test_corruption_detected;
+          Alcotest.test_case "script error atomicity" `Quick test_script_atomicity;
+          Alcotest.test_case "script crash keeps prefix" `Quick
+            test_script_crash_prefix;
         ] );
     ]
