@@ -1,9 +1,9 @@
 # Tier-1 verification in one command.
 
-.PHONY: check build test fmt bench bench-quick fuzz-recovery clean
+.PHONY: check build test fmt bench bench-quick fuzz-recovery fuzz-paging clean
 
-check: ## build everything, run the full test suite, deep crash sweep, bench smoke
-	dune build @all && dune runtest && $(MAKE) fuzz-recovery && $(MAKE) bench-quick
+check: ## build everything, run the full test suite, deep crash sweeps, bench smoke
+	dune build @all && dune runtest && $(MAKE) fuzz-recovery && $(MAKE) fuzz-paging && $(MAKE) bench-quick
 
 build:
 	dune build @all
@@ -17,11 +17,14 @@ fmt: ## format the tree (requires an ocamlformat config/install)
 bench: ## all paper experiments + E11 durability + E12 query engine
 	dune exec bench/main.exe
 
-bench-quick: ## E12 pipelined-query smoke run (reduced sizes)
-	dune exec bench/main.exe -- E12 --quick
+bench-quick: ## E12 query + E13 paging smoke runs (reduced sizes)
+	dune exec bench/main.exe -- E12 E13 --quick
 
 fuzz-recovery: ## crash-anywhere sweep: fault at every op of the bootstrap workload
 	BDBMS_FUZZ_DEEP=1 dune exec test/test_recovery.exe -- test bootstrap
+
+fuzz-paging: ## crash-anywhere sweep through a 4-frame pool, incl. eviction fault points
+	BDBMS_FUZZ_PAGING=1 dune exec test/test_recovery.exe -- test bootstrap
 
 clean:
 	dune clean

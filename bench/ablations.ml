@@ -3,7 +3,7 @@
    page size driving the SBC storage ratio. *)
 
 module Prng = Bdbms_util.Prng
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 module Disk = Bdbms_storage.Disk
 module Btree = Bdbms_index.Btree
 module Key_codec = Bdbms_index.Key_codec
@@ -18,8 +18,8 @@ open Bench_util
 let pool_policy_rows () =
   List.map
     (fun (policy, name) ->
-      let disk = Disk.create ~page_size:512 () in
-      let bp = Buffer_pool.create ~policy ~capacity:16 disk in
+      let disk = Disk.create ~page_size:512 ~pool_pages:16 ~policy () in
+      let bp = Disk.pager disk in
       let t = Btree.create bp in
       for i = 0 to 4999 do
         Btree.insert t ~key:(Key_codec.of_int i) ~value:i
@@ -41,7 +41,7 @@ let pool_policy_rows () =
           *. float_of_int s.Stats.hits
           /. float_of_int (max 1 (s.Stats.hits + s.Stats.reads)));
       ])
-    [ (Buffer_pool.Lru, "LRU"); (Buffer_pool.Clock, "Clock") ]
+    [ (Pager.Lru, "LRU"); (Pager.Clock, "Clock") ]
 
 (* (2) 3-sided structure on vs off: candidate filtering cost for
    single-run (high first-run-length selectivity) patterns. *)
@@ -71,10 +71,10 @@ let page_size_rows () =
   let texts = Workload.structures (Prng.create 103) ~n:20 ~len:600 ~mean_run:8.0 in
   List.map
     (fun page_size ->
-      let d1 = Disk.create ~page_size () in
-      let d2 = Disk.create ~page_size () in
-      let bp1 = Buffer_pool.create ~capacity:4096 d1 in
-      let bp2 = Buffer_pool.create ~capacity:4096 d2 in
+      let d1 = Disk.create ~page_size ~pool_pages:4096 () in
+      let d2 = Disk.create ~page_size ~pool_pages:4096 () in
+      let bp1 = Disk.pager d1 in
+      let bp2 = Disk.pager d2 in
       let sbc = Sbc_tree.create ~with_three_sided:false bp1 in
       let strb = String_btree.create bp2 in
       List.iter (fun s -> ignore (Sbc_tree.insert sbc s)) texts;

@@ -3,7 +3,7 @@
 
 module Stats = Bdbms_storage.Stats
 module Disk = Bdbms_storage.Disk
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 
 let print_table ~title ~headers ~rows =
   let ncols = List.length headers in
@@ -40,8 +40,8 @@ let measure_accesses disk f =
   (result, accesses_between ~before ~after)
 
 let mk_pool ?(page_size = 1024) ?(capacity = 4096) () =
-  let d = Disk.create ~page_size () in
-  (d, Buffer_pool.create ~capacity d)
+  let d = Disk.create ~page_size ~pool_pages:capacity () in
+  (d, Disk.pager d)
 
 let fmt_f f = Printf.sprintf "%.2f" f
 let fmt_f1 f = Printf.sprintf "%.1f" f

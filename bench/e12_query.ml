@@ -38,7 +38,7 @@ let rows_us db sql =
    so the equi-join output stays ~n rows at every scale (the measured
    cost is the join algorithm, not result explosion). *)
 let mk_db n =
-  let db = Bdbms.Db.create ~page_size:4096 ~pool_capacity:4096 () in
+  let db = Bdbms.Db.create ~page_size:4096 ~pool_pages:4096 () in
   let st = Random.State.make [| 0xe1; 0x2b |] in
   exec db "CREATE TABLE T1 (id INT, k INT, v TEXT)";
   exec db "CREATE TABLE T2 (id INT, k INT, w TEXT)";

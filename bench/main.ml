@@ -20,6 +20,10 @@
                                             attachment / top-k; the
                                             executor PostgreSQL gave the
                                             authors for free)
+     E13 demand paging                     (scan + probe a table 10x the
+                                            buffer pool, LRU vs Clock;
+                                            the buffer manager PostgreSQL
+                                            gave the authors for free)
 
    Usage:
      dune exec bench/main.exe                 # all paper experiments
@@ -41,6 +45,7 @@ let experiments =
     ("E10", E10_compression.run);
     ("E11", E11_recovery.run);
     ("E12", E12_query.run);
+    ("E13", E13_paging.run);
   ]
 
 (* ------------------------------------------------- bechamel micro-bench *)

@@ -96,8 +96,8 @@ let report_recovery_if_notable db =
     Printf.printf "-- catalog: bootstrapped %d metadata record(s) from page 0\n"
       (Db.catalog_records db)
 
-let main user script strict_acl auto_prov stats db_path =
-  let db = Db.create ?path:db_path () in
+let main user script strict_acl auto_prov stats pool_pages db_path =
+  let db = Db.create ?pool_pages ?path:db_path () in
   report_recovery_if_notable db;
   Db.set_strict_acl db strict_acl;
   Db.set_auto_provenance db auto_prov;
@@ -110,6 +110,14 @@ let main user script strict_acl auto_prov stats db_path =
       "-- i/o: %d physical reads, %d writes, %d page allocations, %d buffer hits\n"
       s.Bdbms_storage.Stats.reads s.Bdbms_storage.Stats.writes
       s.Bdbms_storage.Stats.allocs s.Bdbms_storage.Stats.hits;
+    let disk = (Db.context db).Bdbms_asql.Context.disk in
+    Printf.printf
+      "-- pager: %d frames, %d page-ins, %d evictions, %d write-backs, %d \
+       forced WAL flushes, peak %d pinned\n"
+      (Bdbms_storage.Disk.pool_pages disk)
+      s.Bdbms_storage.Stats.page_ins s.Bdbms_storage.Stats.evictions
+      s.Bdbms_storage.Stats.writebacks s.Bdbms_storage.Stats.wal_forced_flushes
+      s.Bdbms_storage.Stats.peak_pinned;
     if Db.durable db then
       Printf.printf
         "-- wal: %d appends, %d group flushes, %d checkpoints, %d recovered records\n"
@@ -152,6 +160,16 @@ let prov_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print page-level I/O statistics on exit.")
 
+let pool_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pool-pages" ] ~docv:"N"
+        ~doc:
+          "Bound the buffer pool to N frames; pages beyond that are \
+           demand-paged from the database file (default 256 for durable \
+           databases, unbounded in memory).")
+
 let db_arg =
   Arg.(
     value
@@ -168,6 +186,6 @@ let cmd =
     (Cmd.info "bdbms" ~doc)
     Term.(
       const main $ user_arg $ script_arg $ strict_arg $ prov_arg $ stats_arg
-      $ db_arg)
+      $ pool_arg $ db_arg)
 
 let () = exit (Cmd.eval' cmd)

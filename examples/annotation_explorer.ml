@@ -11,7 +11,7 @@ module Rect = Bdbms_util.Rect
 module Prng = Bdbms_util.Prng
 module Workload = Bdbms_bio.Workload
 module Disk = Bdbms_storage.Disk
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 module Stats = Bdbms_storage.Stats
 
 let show db sql = Printf.printf "asql> %s\n%s\n\n" sql (Db.render_exn db sql)
@@ -26,8 +26,8 @@ let rects_of_target ~rows ~cols = function
 let compare_schemes ~rows ~cols ~count =
   let rng = Prng.create 7 in
   let targets = Workload.annotation_mix rng ~rows ~cols ~count ~profile:`Mixed in
-  let disk = Disk.create ~page_size:1024 () in
-  let bp = Buffer_pool.create ~capacity:2048 disk in
+  let disk = Disk.create ~page_size:1024 ~pool_pages:2048 () in
+  let bp = Disk.pager disk in
   let cell = Ann_store.create Ann_store.Cell bp in
   let compact = Ann_store.create Ann_store.Compact bp in
   List.iteri

@@ -12,12 +12,12 @@ module Secondary = Bdbms_bio.Secondary
 module Sbc_tree = Bdbms_sbc.Sbc_tree
 module String_btree = Bdbms_sbc.String_btree
 module Disk = Bdbms_storage.Disk
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 module Stats = Bdbms_storage.Stats
 
 let mk_pool () =
-  let d = Disk.create ~page_size:1024 () in
-  (d, Buffer_pool.create ~capacity:4096 d)
+  let d = Disk.create ~page_size:1024 ~pool_pages:4096 () in
+  (d, Disk.pager d)
 
 let () =
   let rng = Prng.create 42 in

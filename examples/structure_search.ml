@@ -13,14 +13,14 @@ module Kd_tree = Bdbms_spgist.Kd_tree
 module Quadtree = Bdbms_spgist.Quadtree
 module Rtree = Bdbms_index.Rtree
 module Disk = Bdbms_storage.Disk
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 module Stats = Bdbms_storage.Stats
 
 let extent = 100.0
 
 let mk_pool () =
-  let d = Disk.create ~page_size:1024 () in
-  (d, Buffer_pool.create ~capacity:4096 d)
+  let d = Disk.create ~page_size:1024 ~pool_pages:4096 () in
+  (d, Disk.pager d)
 
 let accesses disk f =
   Stats.reset (Disk.stats disk);

@@ -16,7 +16,7 @@ type scheme = Cell | Compact
 
 type t
 
-val create : ?indexed:bool -> scheme -> Bdbms_storage.Buffer_pool.t -> t
+val create : ?indexed:bool -> scheme -> Bdbms_storage.Pager.t -> t
 (** [indexed] (default false) additionally maintains a paged R-tree over
     the stored regions (Section 3.1 calls for {e indexing} schemes, not
     just storage): cell and rectangle lookups then descend the index
@@ -56,7 +56,7 @@ val heap_pages : t -> Bdbms_storage.Page.id list
 val restore :
   ?indexed:bool ->
   scheme ->
-  Bdbms_storage.Buffer_pool.t ->
+  Bdbms_storage.Pager.t ->
   heap_pages:Bdbms_storage.Page.id list ->
   t
 (** Reattach a store to its heap pages after a restart (from a catalog

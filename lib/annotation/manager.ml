@@ -1,4 +1,4 @@
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 module Clock = Bdbms_util.Clock
 module Idgen = Bdbms_util.Idgen
 module Xml_lite = Bdbms_util.Xml_lite
@@ -11,7 +11,7 @@ type ann_table = {
 }
 
 type t = {
-  bp : Buffer_pool.t;
+  bp : Pager.t;
   clock : Clock.t;
   ids : Idgen.t;
   (* user-table name (lowercase) -> its annotation tables *)

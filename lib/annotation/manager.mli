@@ -10,7 +10,7 @@
 type t
 
 val create :
-  Bdbms_storage.Buffer_pool.t -> Bdbms_util.Clock.t -> t
+  Bdbms_storage.Pager.t -> Bdbms_util.Clock.t -> t
 
 val clock : t -> Bdbms_util.Clock.t
 

@@ -1,7 +1,7 @@
 module Disk = Bdbms_storage.Disk
 module Meta_page = Bdbms_storage.Meta_page
 module Stats = Bdbms_storage.Stats
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 module Clock = Bdbms_util.Clock
 module Catalog = Bdbms_relation.Catalog
 module Manager = Bdbms_annotation.Manager
@@ -23,7 +23,7 @@ type index_def = {
 
 type t = {
   disk : Disk.t;
-  bp : Buffer_pool.t;
+  bp : Pager.t;
   clock : Clock.t;
   catalog : Catalog.t;
   ann : Manager.t;
@@ -42,16 +42,17 @@ let superuser = "admin"
 
 let norm = String.lowercase_ascii
 
-let create ?(page_size = 4096) ?(pool_capacity = 256) ?policy ?path ?fault () =
+let create ?(page_size = 4096) ?pool_pages ?policy ?path ?fault () =
   let disk =
     match path with
-    | None -> Disk.create ~page_size ()
-    | Some path -> Disk.open_file ~page_size ?fault path
+    | None -> Disk.create ~page_size ?pool_pages ?policy ()
+    | Some path ->
+        Disk.open_file ~page_size ?fault ?pool_pages ?policy path
   in
   (* the catalog root must own page 0, so reserve it before any table or
      heap file can allocate (no-op when reopening an existing file) *)
   if Disk.is_durable disk then Meta_page.ensure_root disk;
-  let bp = Buffer_pool.create ?policy ~capacity:pool_capacity disk in
+  let bp = Disk.pager disk in
   let clock = Clock.create () in
   let catalog = Catalog.create bp in
   let ann = Manager.create bp clock in
@@ -115,8 +116,9 @@ let index_infos t =
     t.indexes []
 
 (* Serialize the whole engine metadata into the page-0 catalog.  The
-   chain pages go through Disk.write, so the catalog is redo-logged and
-   becomes durable exactly with the commit that follows. *)
+   chain pages go through pin-scoped mutation, so the catalog is
+   redo-logged at write-back and becomes durable exactly with the commit
+   that follows. *)
 let persist_catalog t =
   if durable t then
     Meta_page.write_root t.disk
@@ -142,23 +144,18 @@ let bootstrap t =
       Stats.record_catalog_replayed (Disk.stats t.disk) count;
       count
 
-(* Durability control: dirty buffer-pool frames are pushed down to the
-   disk (appending their redo records) before the log-level operation. *)
+(* Durability control: [Disk.commit]/[Disk.checkpoint] write back every
+   dirty frame (appending the redo records) before the log operation. *)
 let commit t =
   persist_catalog t;
-  Buffer_pool.flush_all t.bp;
   Disk.commit t.disk
 
 let checkpoint t =
   persist_catalog t;
-  Buffer_pool.flush_all t.bp;
   Disk.checkpoint t.disk
 
 let close t =
-  if not (Disk.crashed t.disk) then begin
-    persist_catalog t;
-    Buffer_pool.flush_all t.bp
-  end;
+  if not (Disk.crashed t.disk) then persist_catalog t;
   Disk.close t.disk
 
 let register_procedure t proc =

@@ -19,7 +19,7 @@ type index_def = {
 
 type t = {
   disk : Bdbms_storage.Disk.t;
-  bp : Bdbms_storage.Buffer_pool.t;
+  bp : Bdbms_storage.Pager.t;
   clock : Bdbms_util.Clock.t;
   catalog : Bdbms_relation.Catalog.t;
   ann : Bdbms_annotation.Manager.t;
@@ -42,14 +42,16 @@ type t = {
 }
 
 val create :
-  ?page_size:int -> ?pool_capacity:int -> ?policy:Bdbms_storage.Buffer_pool.policy ->
+  ?page_size:int -> ?pool_pages:int -> ?policy:Bdbms_storage.Pager.policy ->
   ?path:string -> ?fault:Bdbms_storage.Fault.t ->
   unit -> t
 (** A fresh engine.  The superuser ["admin"] and the system actor exist
     from the start; approval inverse execution is wired into the
-    dependency tracker.  With [path], the page store is durable: backed
-    by a database file and write-ahead log, with crash recovery run at
-    open (see {!Bdbms_storage.Disk.open_file}). *)
+    dependency tracker.  [pool_pages] bounds the pager's frame table
+    (durable default 256; in-memory default unbounded).  With [path],
+    the page store is durable: backed by a database file and write-ahead
+    log, with crash recovery run at open (see
+    {!Bdbms_storage.Disk.open_file}). *)
 
 val durable : t -> bool
 
@@ -69,8 +71,9 @@ val persist_catalog : t -> unit
     automatically by {!commit}, {!checkpoint} and {!close}). *)
 
 val commit : t -> unit
-(** Flush dirty buffer-pool frames down to the disk and group-flush the
-    write-ahead log with a commit marker (no-op when not durable). *)
+(** Write back dirty pager frames (appending their redo records) and
+    group-flush the write-ahead log with a commit marker (no-op when not
+    durable). *)
 
 val checkpoint : t -> unit
 (** {!commit}, then store dirty pages to the database file and reset the

@@ -1,7 +1,7 @@
 module Clock = Bdbms_util.Clock
 module Crc32 = Bdbms_util.Crc32
 module Xml_lite = Bdbms_util.Xml_lite
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 module Heap_file = Bdbms_storage.Heap_file
 module Catalog = Bdbms_relation.Catalog
 module Table = Bdbms_relation.Table

@@ -42,7 +42,7 @@ val encode : components -> indexes:index_info list -> Bytes.t
     identical bytes. *)
 
 val restore :
-  Bdbms_storage.Buffer_pool.t -> components -> Bytes.t -> index_info list * int
+  Bdbms_storage.Pager.t -> components -> Bytes.t -> index_info list * int
 (** Feed a blob back into freshly created (empty) components; returns
     the index definitions to re-register and the number of catalog
     records replayed.  Procedure chains are rebound against the

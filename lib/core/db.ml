@@ -8,8 +8,8 @@ type t = {
   mutable closed : bool;
   mutable catalog_records : int;
   page_size : int option;
-  pool_capacity : int option;
-  policy : Bdbms_storage.Buffer_pool.policy option;
+  pool_pages : int option;
+  policy : Bdbms_storage.Pager.policy option;
   path : string option;
   fault : Bdbms_storage.Fault.t option;
 }
@@ -25,20 +25,20 @@ let register_bio ctx =
 
 (* The built-in procedures must exist before the catalog bootstrap so
    persisted dependency chains rebind to their executable bodies. *)
-let open_ctx ?page_size ?pool_capacity ?policy ?path ?fault () =
-  let ctx = Context.create ?page_size ?pool_capacity ?policy ?path ?fault () in
+let open_ctx ?page_size ?pool_pages ?policy ?path ?fault () =
+  let ctx = Context.create ?page_size ?pool_pages ?policy ?path ?fault () in
   register_bio ctx;
   let n = Context.bootstrap ctx in
   (ctx, n)
 
-let create ?page_size ?pool_capacity ?policy ?path ?fault () =
-  let ctx, n = open_ctx ?page_size ?pool_capacity ?policy ?path ?fault () in
+let create ?page_size ?pool_pages ?policy ?path ?fault () =
+  let ctx, n = open_ctx ?page_size ?pool_pages ?policy ?path ?fault () in
   {
     ctx;
     closed = false;
     catalog_records = n;
     page_size;
-    pool_capacity;
+    pool_pages;
     policy;
     path;
     fault;
@@ -63,7 +63,7 @@ let rollback t =
     let old = t.ctx in
     Disk.abandon old.Context.disk;
     let ctx, n =
-      open_ctx ?page_size:t.page_size ?pool_capacity:t.pool_capacity
+      open_ctx ?page_size:t.page_size ?pool_pages:t.pool_pages
         ?policy:t.policy ?path:t.path ?fault:t.fault ()
     in
     ctx.Context.strict_acl <- old.Context.strict_acl;

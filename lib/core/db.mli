@@ -20,8 +20,8 @@ type t
 
 val create :
   ?page_size:int ->
-  ?pool_capacity:int ->
-  ?policy:Bdbms_storage.Buffer_pool.policy ->
+  ?pool_pages:int ->
+  ?policy:Bdbms_storage.Pager.policy ->
   ?path:string ->
   ?fault:Bdbms_storage.Fault.t ->
   unit ->

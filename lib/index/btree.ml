@@ -1,4 +1,4 @@
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 module Page = Bdbms_storage.Page
 
 type node =
@@ -8,7 +8,7 @@ type node =
          child.(i+1) holds keys >= seps.(i) *)
 
 type t = {
-  bp : Buffer_pool.t;
+  bp : Pager.t;
   cmp : string -> string -> int;
   mutable root : Page.id;
   mutable entry_count : int;
@@ -85,12 +85,12 @@ let node_size = function
 
 (* -------------------------------------------------------------- helpers *)
 
-let load t page_id = Buffer_pool.with_page t.bp page_id read_node
+let load t page_id = Pager.with_page t.bp page_id read_node
 
-let store t page_id node = Buffer_pool.with_page_mut t.bp page_id (fun p -> write_node p node)
+let store t page_id node = Pager.with_page_mut t.bp page_id (fun p -> write_node p node)
 
 let alloc_node t node =
-  let id = Buffer_pool.alloc_page t.bp in
+  let id = Pager.alloc_page t.bp in
   t.node_pages <- t.node_pages + 1;
   store t id node;
   id
@@ -100,7 +100,7 @@ let create ?(cmp = String.compare) bp =
   t.root <- alloc_node t (Leaf { entries = [||]; next = None });
   t
 
-let page_capacity t = Bdbms_storage.Disk.page_size (Buffer_pool.disk t.bp)
+let page_capacity t = Pager.page_size t.bp
 
 (* index of the child to follow for [key] when inserting (equal keys go
    right, next to the separator copy) *)

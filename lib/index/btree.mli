@@ -11,7 +11,7 @@
 type t
 
 val create :
-  ?cmp:(string -> string -> int) -> Bdbms_storage.Buffer_pool.t -> t
+  ?cmp:(string -> string -> int) -> Bdbms_storage.Pager.t -> t
 (** An empty tree rooted at a fresh page. *)
 
 val insert : t -> key:string -> value:int -> unit

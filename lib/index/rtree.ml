@@ -1,4 +1,4 @@
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 module Page = Bdbms_storage.Page
 
 type mbr = { x_lo : float; x_hi : float; y_lo : float; y_hi : float }
@@ -33,7 +33,7 @@ type entry = { rect : mbr; payload : int }
 type node = { is_leaf : bool; entries : entry list }
 
 type t = {
-  bp : Buffer_pool.t;
+  bp : Pager.t;
   max_entries : int;
   mutable root : Page.id;
   mutable entry_count : int;
@@ -90,17 +90,17 @@ let read_node page =
   in
   { is_leaf; entries }
 
-let load t id = Buffer_pool.with_page t.bp id read_node
-let store t id node = Buffer_pool.with_page_mut t.bp id (fun p -> write_node p node)
+let load t id = Pager.with_page t.bp id read_node
+let store t id node = Pager.with_page_mut t.bp id (fun p -> write_node p node)
 
 let alloc_node t node =
-  let id = Buffer_pool.alloc_page t.bp in
+  let id = Pager.alloc_page t.bp in
   t.node_pages <- t.node_pages + 1;
   store t id node;
   id
 
 let create ?max_entries bp =
-  let page_size = Bdbms_storage.Disk.page_size (Buffer_pool.disk bp) in
+  let page_size = Pager.page_size bp in
   let cap = (page_size - 3) / entry_bytes in
   let max_entries =
     match max_entries with Some m -> min m cap | None -> cap

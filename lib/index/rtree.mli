@@ -20,7 +20,7 @@ val mbr_min_dist : mbr -> x:float -> y:float -> float
 
 type t
 
-val create : ?max_entries:int -> Bdbms_storage.Buffer_pool.t -> t
+val create : ?max_entries:int -> Bdbms_storage.Pager.t -> t
 (** [max_entries] caps node fanout (default: as many as fit in a page). *)
 
 val insert : t -> mbr -> int -> unit

@@ -1,10 +1,10 @@
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 
-type t = { bp : Buffer_pool.t; tables : (string, Table.t) Hashtbl.t }
+type t = { bp : Pager.t; tables : (string, Table.t) Hashtbl.t }
 
 let create bp = { bp; tables = Hashtbl.create 16 }
 
-let buffer_pool t = t.bp
+let pager t = t.bp
 
 let norm = String.lowercase_ascii
 

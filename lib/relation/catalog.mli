@@ -2,8 +2,8 @@
 
 type t
 
-val create : Bdbms_storage.Buffer_pool.t -> t
-val buffer_pool : t -> Bdbms_storage.Buffer_pool.t
+val create : Bdbms_storage.Pager.t -> t
+val pager : t -> Bdbms_storage.Pager.t
 
 val create_table : t -> name:string -> Schema.t -> (Table.t, string) result
 (** Fails if the name is taken. *)

@@ -1,5 +1,5 @@
 module Heap_file = Bdbms_storage.Heap_file
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 module Disk = Bdbms_storage.Disk
 module Stats = Bdbms_storage.Stats
 
@@ -26,7 +26,7 @@ type t = {
 
 let create bp ~name schema =
   { name; schema; heap = Heap_file.create bp;
-    stats = Disk.stats (Buffer_pool.disk bp);
+    stats = Pager.stats bp;
     cache = Array.make cache_slots Empty;
     rows = Array.make 16 Dead; nrows = 0; live = 0 }
 
@@ -38,7 +38,7 @@ let cache_invalidate t row =
 
 let name t = t.name
 let schema t = t.schema
-let buffer_pool t = Heap_file.buffer_pool t.heap
+let pager t = Heap_file.pager t.heap
 
 let grow t =
   if t.nrows >= Array.length t.rows then begin
@@ -171,7 +171,7 @@ let restore bp ~name schema ~heap_pages ~slots =
     name;
     schema;
     heap;
-    stats = Disk.stats (Buffer_pool.disk bp);
+    stats = Pager.stats bp;
     cache = Array.make cache_slots Empty;
     rows;
     nrows;

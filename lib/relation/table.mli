@@ -14,10 +14,10 @@ type slot = Live of Bdbms_storage.Heap_file.rid | Dead
     row numbers stay stable (and so the mapping can be serialized to the
     durable catalog and restored by {!restore}). *)
 
-val create : Bdbms_storage.Buffer_pool.t -> name:string -> Schema.t -> t
+val create : Bdbms_storage.Pager.t -> name:string -> Schema.t -> t
 val name : t -> string
 val schema : t -> Schema.t
-val buffer_pool : t -> Bdbms_storage.Buffer_pool.t
+val pager : t -> Bdbms_storage.Pager.t
 
 val insert : t -> Tuple.t -> (int, string) result
 (** Append a tuple; returns its row number.  Fails on schema violation. *)
@@ -62,7 +62,7 @@ val slots : t -> slot list
     catalog). *)
 
 val restore :
-  Bdbms_storage.Buffer_pool.t ->
+  Bdbms_storage.Pager.t ->
   name:string ->
   Schema.t ->
   heap_pages:Bdbms_storage.Page.id list ->

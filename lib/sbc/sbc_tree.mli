@@ -21,7 +21,7 @@ type occurrence = { seq : Text_store.seq_id; pos : int }
 (** A match position in the {e raw} (decompressed) coordinates. *)
 
 val create :
-  ?with_three_sided:bool -> Bdbms_storage.Buffer_pool.t -> t
+  ?with_three_sided:bool -> Bdbms_storage.Pager.t -> t
 (** [with_three_sided] (default true) also maintains the R-tree used by
     {!substring_search_3sided}. *)
 

@@ -11,7 +11,7 @@ type t
 
 type occurrence = { seq : Text_store.seq_id; pos : int }
 
-val create : Bdbms_storage.Buffer_pool.t -> t
+val create : Bdbms_storage.Pager.t -> t
 (** Creates its own text store on the same buffer pool. *)
 
 val insert : t -> string -> Text_store.seq_id

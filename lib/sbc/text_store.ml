@@ -1,4 +1,4 @@
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 module Page = Bdbms_storage.Page
 
 type seq_id = int
@@ -6,7 +6,7 @@ type seq_id = int
 type entry = { pages : Page.id array; len : int }
 
 type t = {
-  bp : Buffer_pool.t;
+  bp : Pager.t;
   mutable entries : entry array;
   mutable n : int;
   mutable page_count : int;
@@ -17,7 +17,7 @@ let create bp =
   { bp; entries = Array.make 16 { pages = [||]; len = 0 }; n = 0; page_count = 0;
     total_bytes = 0 }
 
-let chunk_size t = Bdbms_storage.Disk.page_size (Buffer_pool.disk t.bp)
+let chunk_size t = Pager.page_size t.bp
 
 let add t s =
   let cs = chunk_size t in
@@ -25,9 +25,9 @@ let add t s =
   let npages = (len + cs - 1) / cs in
   let pages =
     Array.init npages (fun i ->
-        let id = Buffer_pool.alloc_page t.bp in
+        let id = Pager.alloc_page t.bp in
         let chunk_len = min cs (len - (i * cs)) in
-        Buffer_pool.with_page_mut t.bp id (fun p ->
+        Pager.with_page_mut t.bp id (fun p ->
             Page.set_bytes p ~pos:0 (String.sub s (i * cs) chunk_len));
         id)
   in
@@ -59,7 +59,7 @@ let read t id ~pos ~len =
     for pi = first_page to last_page do
       let page_start = pi * cs in
       let lo = max pos page_start and hi = min (pos + len) (page_start + cs) in
-      Buffer_pool.with_page t.bp e.pages.(pi) (fun p ->
+      Pager.with_page t.bp e.pages.(pi) (fun p ->
           Buffer.add_string buf (Page.get_bytes p ~pos:(lo - page_start) ~len:(hi - lo)))
     done;
     Buffer.contents buf

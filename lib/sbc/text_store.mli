@@ -10,7 +10,7 @@ type t
 
 type seq_id = int
 
-val create : Bdbms_storage.Buffer_pool.t -> t
+val create : Bdbms_storage.Pager.t -> t
 
 val add : t -> string -> seq_id
 (** Store a byte string, chunked across fresh pages. *)

@@ -15,7 +15,7 @@ type query =
 
 type t
 
-val create : dims:int -> Bdbms_storage.Buffer_pool.t -> t
+val create : dims:int -> Bdbms_storage.Pager.t -> t
 (** @raise Invalid_argument if [dims < 1]. *)
 
 val insert : t -> point -> int -> unit

@@ -16,7 +16,7 @@ type t
 
 val create :
   ?world:float * float * float * float ->
-  Bdbms_storage.Buffer_pool.t ->
+  Bdbms_storage.Pager.t ->
   t
 (** [world] is [(x_lo, y_lo, x_hi, y_hi)], default the unit square.
     Points outside the world are rejected by {!insert}. *)

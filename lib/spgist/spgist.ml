@@ -1,4 +1,4 @@
-module Buffer_pool = Bdbms_storage.Buffer_pool
+module Pager = Bdbms_storage.Pager
 module Page = Bdbms_storage.Page
 
 module type STRATEGY = sig
@@ -32,7 +32,7 @@ module Make (S : STRATEGY) = struct
     | Internal of (S.label * Page.id) list
 
   type t = {
-    bp : Buffer_pool.t;
+    bp : Pager.t;
     mutable root : Page.id;
     mutable entry_count : int;
     mutable node_pages : int;
@@ -106,11 +106,11 @@ module Make (S : STRATEGY) = struct
           (fun acc (l, _) -> acc + 6 + String.length (S.encode_label l))
           3 children
 
-  let load t id = Buffer_pool.with_page t.bp id read_node
-  let store t id node = Buffer_pool.with_page_mut t.bp id (fun p -> write_node p node)
+  let load t id = Pager.with_page t.bp id read_node
+  let store t id node = Pager.with_page_mut t.bp id (fun p -> write_node p node)
 
   let alloc_node t node =
-    let id = Buffer_pool.alloc_page t.bp in
+    let id = Pager.alloc_page t.bp in
     t.node_pages <- t.node_pages + 1;
     store t id node;
     id
@@ -120,7 +120,7 @@ module Make (S : STRATEGY) = struct
     t.root <- alloc_node t (Leaf { entries = []; overflow = None });
     t
 
-  let page_capacity t = Bdbms_storage.Disk.page_size (Buffer_pool.disk t.bp)
+  let page_capacity t = Pager.page_size t.bp
 
   (* Gather all entries of a leaf chain. *)
   let rec chain_entries t id =

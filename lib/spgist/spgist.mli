@@ -49,7 +49,7 @@ end
 module Make (S : STRATEGY) : sig
   type t
 
-  val create : Bdbms_storage.Buffer_pool.t -> t
+  val create : Bdbms_storage.Pager.t -> t
   val insert : t -> S.key -> int -> unit
   val search : t -> S.query -> (S.key * int) list
   (** All (key, value) entries matching the query, found by

@@ -13,7 +13,7 @@ type query =
 
 type t
 
-val create : Bdbms_storage.Buffer_pool.t -> t
+val create : Bdbms_storage.Pager.t -> t
 val insert : t -> string -> int -> unit
 val search : t -> query -> (string * int) list
 val exact : t -> string -> int list

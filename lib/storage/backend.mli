@@ -51,3 +51,7 @@ val close : t -> unit
 val guarded_pwrite : Fault.t -> Unix.file_descr -> off:int -> Bytes.t -> unit
 (** A fault-guarded positional write: a crash may land only a prefix of
     the buffer before raising.  Shared with {!Wal}. *)
+
+val pread : Unix.file_descr -> off:int -> Bytes.t -> int
+(** Positional read filling as much of the buffer as the file provides;
+    returns the number of bytes read.  Shared with {!Wal}. *)

@@ -1,39 +1,58 @@
-(** The page store: the full working set of pages in memory, with an
-    optional durability layer underneath.
+(** The page store: a demand-paged working set (bounded by [pool_pages])
+    with an optional durability layer underneath.
 
     {!create} stands in for the physical disk of the authors' PostgreSQL
-    testbed: a growable array of fixed-size pages where every read,
-    write, and allocation is counted in a {!Stats.t}.  All index and
-    heap-file claims in the benchmarks are measured as page accesses
-    against this store (see DESIGN.md §2 for why this substitution is
-    faithful).
+    testbed: fixed-size pages where every read, write, and allocation is
+    counted in a {!Stats.t}.  All index and heap-file claims in the
+    benchmarks are measured as page accesses against this store (see
+    DESIGN.md §2 for why this substitution is faithful).  Residency is
+    delegated to a {!Pager.t} ({!pager}); the in-memory mode defaults to
+    an unbounded pool (degenerate everything-resident behaviour), while a
+    bounded pool demand-faults pages against the simulated store.
 
-    {!open_file} adds durability: every write/alloc appends a redo record
-    to a write-ahead log ([path].wal) before the working set changes,
-    {!commit} group-flushes the log with a commit marker, and
+    {!open_file} adds durability with a steal/no-force discipline:
+    {!alloc} logs immediately; a dirty frame's full-page redo record is
+    appended when it is written back (at {!commit}/{!checkpoint}, on the
+    historical {!write}, or at eviction), and WAL-before-data is enforced
+    — an evicted dirty frame's record is flushed before the frame is
+    forgotten, and its file slot is overwritten early (stolen) only when
+    a committed record in the current log rewrites the page at replay.
     {!checkpoint} stores dirty pages to the database file at [path] and
-    resets the log.  The data file is written only at checkpoints, after
-    the log is durable (redo-only, log-before-data).  On open, the
-    committed prefix of the log is replayed — tolerating a torn tail —
-    then checkpointed away. *)
+    resets the log.  On open, stored slots are CRC-verified and the
+    committed log prefix is replayed onto them, streaming — recovery is
+    O(1) in memory like the rest of the pager.  See DESIGN.md §8. *)
 
 type t
 
-val create : ?page_size:int -> unit -> t
-(** An ephemeral in-memory disk: nothing survives the process. *)
+val create :
+  ?page_size:int ->
+  ?pool_pages:int ->
+  ?policy:Pager.policy ->
+  ?guard:bool ->
+  unit ->
+  t
+(** An ephemeral in-memory disk: nothing survives the process.
+    [pool_pages] bounds the resident frame table (default: unbounded);
+    [policy] picks the eviction policy (default LRU); [guard] enables the
+    pager's read-only pin checksum assertion (default: the
+    [BDBMS_PAGER_GUARD] environment variable). *)
 
 val open_file :
   ?page_size:int ->
   ?fault:Fault.t ->
   ?wal_autocheckpoint:int ->
   ?wal_group_bytes:int ->
+  ?pool_pages:int ->
+  ?policy:Pager.policy ->
+  ?guard:bool ->
   string ->
   t
 (** Open (or create) a durable disk backed by the database file at the
-    given path, running crash recovery from [path].wal first.
+    given path, running streaming crash recovery from [path].wal first.
     [wal_autocheckpoint] (default 4 MiB) checkpoints automatically when
     the log outgrows it; [wal_group_bytes] is the WAL group-flush batch
-    size.  @raise Fault.Crash if [fault] fires during recovery.
+    size; [pool_pages] bounds the resident frame table (default 256).
+    @raise Fault.Crash if [fault] fires during recovery.
     @raise Backend.Corrupt if a stored page fails CRC verification and no
     replayed log record repairs it. *)
 
@@ -41,9 +60,27 @@ val page_size : t -> int
 val stats : t -> Stats.t
 val page_count : t -> int
 
+val pager : t -> Pager.t
+(** The frame table all access methods share. *)
+
+val pool_pages : t -> int
+(** The pager's capacity in frames. *)
+
+val resident : t -> int
+(** Frames currently resident (≤ {!pool_pages} always). *)
+
 val alloc : t -> Page.id
 (** Allocate a fresh zeroed page and return its id (counted as an alloc and
     a write). *)
+
+val with_page : t -> Page.id -> (Page.t -> 'a) -> 'a
+(** Pin-scoped read-only access to the resident page
+    ({!Pager.with_page} on {!pager}). *)
+
+val with_page_mut : t -> Page.id -> (Page.t -> 'a) -> 'a
+(** Pin-scoped mutating access; the frame is marked dirty and written
+    back (with its redo record) at the next commit, checkpoint, or
+    eviction. *)
 
 val read : t -> Page.id -> Page.t
 (** A copy of the page's current contents (counted as a read).
@@ -51,20 +88,21 @@ val read : t -> Page.id -> Page.t
 
 val write : t -> Page.id -> Page.t -> unit
 (** Store the page contents (counted as a write); on a durable disk the
-    redo record is logged before the working set changes. *)
+    redo record is appended to the log before control returns. *)
 
 val used_bytes : t -> int
-(** [page_count * page_size]: allocated storage footprint. *)
+(** [page_count * page_size]: allocated storage footprint (the resident
+    footprint is [resident * page_size]). *)
 
 (** {1 Durability} — all no-ops on an ephemeral disk. *)
 
 val commit : t -> unit
-(** Make every write so far durable: group-flush the log with a commit
+(** Write back every dirty frame and group-flush the log with a commit
     marker.  Recovery replays exactly up to the last such marker. *)
 
 val checkpoint : t -> unit
-(** Commit, store all dirty pages to the database file, fsync, and reset
-    the log. *)
+(** Commit, store all since-checkpoint dirty pages to the database file
+    (root page 0 strictly last), fsync, and reset the log. *)
 
 val close : t -> unit
 (** Checkpoint (unless crashed) and release the file descriptors. *)
@@ -82,8 +120,8 @@ val wal_size : t -> int
 (** Bytes in the log file plus the unflushed buffer (0 when ephemeral). *)
 
 val has_uncommitted : t -> bool
-(** Whether redo records have been appended since the last commit marker
-    (always [false] when ephemeral). *)
+(** Whether changes (appended records or dirty frames) exist since the
+    last commit marker (always [false] when ephemeral). *)
 
 val recovery_info : t -> Recovery.outcome option
 (** The outcome of the replay performed by {!open_file}. *)

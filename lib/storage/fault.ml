@@ -13,7 +13,7 @@ exception Crash of string
    named spot and crashes only when that point is armed, letting tests
    target e.g. the middle of a catalog serialization or the instant
    between writing chain pages and swapping the root slot. *)
-type point = Catalog_write | Root_swap | Ddl
+type point = Catalog_write | Root_swap | Ddl | Evict_writeback | Evict_store
 
 type t = {
   mutable ops_left : int; (* guarded ops before the crash; -1 = disarmed *)
@@ -48,6 +48,8 @@ let point_name = function
   | Catalog_write -> "catalog-write"
   | Root_swap -> "root-swap"
   | Ddl -> "ddl"
+  | Evict_writeback -> "evict-writeback"
+  | Evict_store -> "evict-store"
 
 let hit t point =
   if t.crashed then raise (Crash "storage handle crashed");

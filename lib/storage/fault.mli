@@ -9,10 +9,16 @@
 
 exception Crash of string
 
-type point = Catalog_write | Root_swap | Ddl
+type point = Catalog_write | Root_swap | Ddl | Evict_writeback | Evict_store
 (** Logical crash points above the raw-I/O layer: inside a catalog
     serialization, between writing catalog chain pages and committing the
-    root-slot swap, and inside a DDL statement's metadata mutation. *)
+    root-slot swap, inside a DDL statement's metadata mutation, at the
+    start of an eviction-time dirty-page write-back (before its redo
+    record reaches the log), and between the eviction's WAL flush and the
+    stolen page's store to its file slot. *)
+
+val point_name : point -> string
+(** Stable human-readable name of a crash point (used in test output). *)
 
 type t
 

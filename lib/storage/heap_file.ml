@@ -7,7 +7,7 @@
 type rid = { page : Page.id; slot : int }
 
 type t = {
-  bp : Buffer_pool.t;
+  bp : Pager.t;
   mutable pages : Page.id array; (* in allocation order *)
   mutable npages : int;
   mutable last_page : Page.id;
@@ -18,7 +18,7 @@ let header_size = 4
 let slot_size = 4
 let dead_offset = 0xffff
 
-let page_size t = Disk.page_size (Buffer_pool.disk t.bp)
+let page_size t = Pager.page_size t.bp
 
 let init_page page =
   Page.set_u16 page 0 0;
@@ -34,13 +34,13 @@ let add_page t id =
   t.npages <- t.npages + 1
 
 let create bp =
-  let id = Buffer_pool.alloc_page bp in
-  Buffer_pool.with_page_mut bp id init_page;
+  let id = Pager.alloc_page bp in
+  Pager.with_page_mut bp id init_page;
   let t = { bp; pages = Array.make 8 0; npages = 0; last_page = id; live = 0 } in
   add_page t id;
   t
 
-let buffer_pool t = t.bp
+let pager t = t.bp
 
 let max_record_size t = page_size t - header_size - slot_size
 
@@ -93,18 +93,18 @@ let insert t payload =
       (Printf.sprintf "Heap_file.insert: record of %d bytes exceeds max %d"
          (String.length payload) (max_record_size t));
   let placed =
-    Buffer_pool.with_page_mut t.bp t.last_page (fun page -> try_place page payload)
+    Pager.with_page_mut t.bp t.last_page (fun page -> try_place page payload)
   in
   let rid =
     match placed with
     | Some slot -> { page = t.last_page; slot }
     | None ->
-        let id = Buffer_pool.alloc_page t.bp in
-        Buffer_pool.with_page_mut t.bp id init_page;
+        let id = Pager.alloc_page t.bp in
+        Pager.with_page_mut t.bp id init_page;
         add_page t id;
         t.last_page <- id;
         let slot =
-          Buffer_pool.with_page_mut t.bp id (fun page ->
+          Pager.with_page_mut t.bp id (fun page ->
               match try_place page payload with
               | Some s -> s
               | None -> assert false)
@@ -115,7 +115,7 @@ let insert t payload =
   rid
 
 let get t rid =
-  Buffer_pool.with_page t.bp rid.page (fun page ->
+  Pager.with_page t.bp rid.page (fun page ->
       let nslots = Page.get_u16 page 0 in
       if rid.slot < 0 || rid.slot >= nslots then None
       else
@@ -125,7 +125,7 @@ let get t rid =
 
 let delete t rid =
   let deleted =
-    Buffer_pool.with_page_mut t.bp rid.page (fun page ->
+    Pager.with_page_mut t.bp rid.page (fun page ->
         let nslots = Page.get_u16 page 0 in
         if rid.slot < 0 || rid.slot >= nslots then false
         else
@@ -141,7 +141,7 @@ let delete t rid =
 
 let update t rid payload =
   let fits_in_place =
-    Buffer_pool.with_page_mut t.bp rid.page (fun page ->
+    Pager.with_page_mut t.bp rid.page (fun page ->
         let nslots = Page.get_u16 page 0 in
         if rid.slot < 0 || rid.slot >= nslots then raise Not_found;
         let off, len = slot_entry page rid.slot in
@@ -174,7 +174,7 @@ let iter t f =
     (fun page_id ->
       (* Snapshot live slots first so [f] may mutate the file. *)
       let records =
-        Buffer_pool.with_page t.bp page_id (fun page ->
+        Pager.with_page t.bp page_id (fun page ->
             let nslots = Page.get_u16 page 0 in
             let out = ref [] in
             for slot = nslots - 1 downto 0 do
@@ -209,7 +209,7 @@ let restore bp ~pages:ids =
       let live = ref 0 in
       Array.iter
         (fun id ->
-          Buffer_pool.with_page bp id (fun page ->
+          Pager.with_page bp id (fun page ->
               let nslots = Page.get_u16 page 0 in
               for s = 0 to nslots - 1 do
                 let off, _ = slot_entry page s in

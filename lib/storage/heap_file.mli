@@ -11,10 +11,10 @@ type t
 type rid = { page : Page.id; slot : int }
 (** Stable record identifier. *)
 
-val create : Buffer_pool.t -> t
+val create : Pager.t -> t
 (** A new empty heap file (allocates its first page). *)
 
-val buffer_pool : t -> Buffer_pool.t
+val pager : t -> Pager.t
 
 val max_record_size : t -> int
 (** Largest insertable record for this file's page size. *)
@@ -50,7 +50,7 @@ val pages : t -> Page.id list
 (** The file's pages in allocation order — what the durable catalog
     serializes so {!restore} can reattach the file after a restart. *)
 
-val restore : Buffer_pool.t -> pages:Page.id list -> t
+val restore : Pager.t -> pages:Page.id list -> t
 (** Reattach a heap file to the pages it owned before a restart (from a
     catalog record written by {!pages}).  The live-record count is
     recounted from the slot directories.

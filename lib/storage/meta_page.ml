@@ -28,8 +28,10 @@
    shrinking blob leaves them linked past the live prefix (readers stop
    at the blob length) and a growing blob reuses them before allocating
    more, so rewriting the catalog does not leak pages.  All page traffic
-   goes through [Disk.read]/[Disk.write], so chain and root updates are
-   WAL-logged like any data page and roll back with the transaction. *)
+   goes through pin-scoped [Disk.with_page]/[Disk.with_page_mut], so
+   chain and root updates are WAL-logged (at write-back) like any data
+   page and roll back with the transaction, and a bounded pool reads the
+   chain one resident page at a time. *)
 
 module Crc32 = Bdbms_util.Crc32
 
@@ -106,8 +108,7 @@ let chain_pages disk first =
   let rec go acc id steps =
     if id < 0 || steps > limit then List.rev acc
     else
-      let page = Disk.read disk id in
-      let next = Page.get_u32 page 0 - 1 in
+      let next = Disk.with_page disk id (fun page -> Page.get_u32 page 0 - 1) in
       go (id :: acc) next (steps + 1)
   in
   go [] first 0
@@ -122,35 +123,45 @@ let read_root disk =
   check_page_size (Disk.page_size disk);
   if Disk.page_count disk = 0 then None
   else begin
-    let page0 = Disk.read disk 0 in
-    if all_zero page0 then None
-    else if Page.get_bytes page0 ~pos:0 ~len:4 <> page_magic then
-      raise (Backend.Corrupt { page = 0; detail = "catalog root magic" })
-    else
-      match current_slot page0 with
-      | None ->
-          raise
-            (Backend.Corrupt { page = 0; detail = "no valid catalog root slot" })
-      | Some (_, slot) ->
-          let cap = chain_capacity disk in
-          let blob = Bytes.create slot.blob_len in
-          let got = ref 0 in
-          let id = ref slot.first in
-          while !got < slot.blob_len do
-            if !id < 0 then
-              raise
-                (Backend.Corrupt
-                   { page = 0; detail = "catalog chain shorter than blob" });
-            let page = Disk.read disk !id in
-            let chunk = min cap (slot.blob_len - !got) in
-            Bytes.blit (Page.unsafe_bytes page) 4 blob !got chunk;
-            got := !got + chunk;
-            id := Page.get_u32 page 0 - 1
-          done;
-          let crc = Crc32.bytes blob in
-          if crc land 0xFFFFFFFF <> slot.blob_crc land 0xFFFFFFFF then
-            raise (Backend.Corrupt { page = 0; detail = "catalog blob CRC" });
-          Some blob
+    let root =
+      Disk.with_page disk 0 (fun page0 ->
+          if all_zero page0 then `Empty
+          else if Page.get_bytes page0 ~pos:0 ~len:4 <> page_magic then
+            raise (Backend.Corrupt { page = 0; detail = "catalog root magic" })
+          else
+            match current_slot page0 with
+            | None ->
+                raise
+                  (Backend.Corrupt
+                     { page = 0; detail = "no valid catalog root slot" })
+            | Some (_, slot) -> `Root slot)
+    in
+    match root with
+    | `Empty -> None
+    | `Root slot ->
+        let cap = chain_capacity disk in
+        let blob = Bytes.create slot.blob_len in
+        let got = ref 0 in
+        let id = ref slot.first in
+        while !got < slot.blob_len do
+          if !id < 0 then
+            raise
+              (Backend.Corrupt
+                 { page = 0; detail = "catalog chain shorter than blob" });
+          (* one chain page pinned at a time: bounded pools stream *)
+          let next =
+            Disk.with_page disk !id (fun page ->
+                let chunk = min cap (slot.blob_len - !got) in
+                Bytes.blit (Page.unsafe_bytes page) 4 blob !got chunk;
+                got := !got + chunk;
+                Page.get_u32 page 0 - 1)
+          in
+          id := next
+        done;
+        let crc = Crc32.bytes blob in
+        if crc land 0xFFFFFFFF <> slot.blob_crc land 0xFFFFFFFF then
+          raise (Backend.Corrupt { page = 0; detail = "catalog blob CRC" });
+        Some blob
   end
 
 let write_root disk blob =
@@ -158,8 +169,14 @@ let write_root disk blob =
   ensure_root disk;
   let fault = Disk.fault disk in
   Fault.hit fault Fault.Catalog_write;
-  let page0 = Disk.read disk 0 in
-  let cur = current_slot page0 in
+  let cur, target_slot =
+    Disk.with_page disk 0 (fun page0 ->
+        let cur = current_slot page0 in
+        let target_idx =
+          match cur with None -> 0 | Some (idx, _) -> 1 - idx
+        in
+        (cur, parse_slot page0 target_idx))
+  in
   let target_idx, generation =
     match cur with
     | None -> (0, 1)
@@ -169,7 +186,7 @@ let write_root disk blob =
      outgrew it.  (The target slot is the *older* of the two roots, so
      its chain pages are no longer referenced by the current root.) *)
   let owned =
-    match parse_slot page0 target_idx with
+    match target_slot with
     | Some s -> chain_pages disk s.first
     | None -> []
   in
@@ -186,31 +203,32 @@ let write_root disk blob =
     total := owned @ List.rev !fresh
   end;
   let pages = Array.of_list !total in
-  (* Rewrite the live prefix; links past it are already in place. *)
+  (* Rewrite the live prefix in place; links past it are already there. *)
   for i = 0 to needed - 1 do
-    let page = Disk.read disk pages.(i) in
-    let next = if i + 1 < Array.length pages then pages.(i + 1) + 1 else 0 in
-    Page.set_u32 page 0 next;
-    let chunk = min cap (len - (i * cap)) in
-    Bytes.blit blob (i * cap) (Page.unsafe_bytes page) 4 chunk;
-    Disk.write disk pages.(i) page
+    Disk.with_page_mut disk pages.(i) (fun page ->
+        let next =
+          if i + 1 < Array.length pages then pages.(i + 1) + 1 else 0
+        in
+        Page.set_u32 page 0 next;
+        let chunk = min cap (len - (i * cap)) in
+        Bytes.blit blob (i * cap) (Page.unsafe_bytes page) 4 chunk)
   done;
   (* The chain is in place; crashing here must leave the old root live. *)
   Fault.hit fault Fault.Root_swap;
-  Page.set_bytes page0 ~pos:0 page_magic;
-  write_slot page0 target_idx
-    {
-      generation;
-      blob_len = len;
-      blob_crc = Crc32.bytes blob land 0xFFFFFFFF;
-      first = (if needed > 0 then pages.(0) else -1);
-    };
-  Disk.write disk 0 page0;
+  Disk.with_page_mut disk 0 (fun page0 ->
+      Page.set_bytes page0 ~pos:0 page_magic;
+      write_slot page0 target_idx
+        {
+          generation;
+          blob_len = len;
+          blob_crc = Crc32.bytes blob land 0xFFFFFFFF;
+          first = (if needed > 0 then pages.(0) else -1);
+        });
   Stats.record_root_swap (Disk.stats disk)
 
 let generation disk =
   if Disk.page_count disk = 0 then 0
   else
-    match current_slot (Disk.read disk 0) with
+    match Disk.with_page disk 0 current_slot with
     | None -> 0
     | Some (_, s) -> s.generation

@@ -26,6 +26,11 @@ type snapshot = {
   pages_crc_verified : int;
   crc_failures : int;
   root_swaps : int;
+  page_ins : int;
+  evictions : int;
+  writebacks : int;
+  wal_forced_flushes : int;
+  peak_pinned : int;
 }
 
 (* slot indices *)
@@ -47,7 +52,12 @@ let i_catalog_replayed = 14
 let i_pages_crc_verified = 15
 let i_crc_failures = 16
 let i_root_swaps = 17
-let n_counters = 18
+let i_page_ins = 18
+let i_evictions = 19
+let i_writebacks = 20
+let i_wal_forced_flushes = 21
+let i_peak_pinned = 22
+let n_counters = 23
 
 let names =
   [|
@@ -55,6 +65,8 @@ let names =
     "checkpoints"; "recovered"; "hash_builds"; "hash_probes";
     "pushdown_pruned"; "index_probes"; "tuples_decoded"; "ann_envelopes";
     "catalog_replayed"; "pages_crc_verified"; "crc_failures"; "root_swaps";
+    "page_ins"; "evictions"; "writebacks"; "wal_forced_flushes";
+    "peak_pinned";
   |]
 
 let to_array s =
@@ -63,6 +75,8 @@ let to_array s =
     s.checkpoints; s.recovered_records; s.hash_builds; s.hash_probes;
     s.pushdown_pruned; s.index_probes; s.tuples_decoded; s.ann_envelopes;
     s.catalog_replayed; s.pages_crc_verified; s.crc_failures; s.root_swaps;
+    s.page_ins; s.evictions; s.writebacks; s.wal_forced_flushes;
+    s.peak_pinned;
   |]
 
 let of_array a =
@@ -85,6 +99,11 @@ let of_array a =
     pages_crc_verified = a.(i_pages_crc_verified);
     crc_failures = a.(i_crc_failures);
     root_swaps = a.(i_root_swaps);
+    page_ins = a.(i_page_ins);
+    evictions = a.(i_evictions);
+    writebacks = a.(i_writebacks);
+    wal_forced_flushes = a.(i_wal_forced_flushes);
+    peak_pinned = a.(i_peak_pinned);
   }
 
 type t = int array
@@ -111,6 +130,13 @@ let record_catalog_replayed t n = t.(i_catalog_replayed) <- t.(i_catalog_replaye
 let record_page_crc_verified t = bump t i_pages_crc_verified
 let record_crc_failure t = bump t i_crc_failures
 let record_root_swap t = bump t i_root_swaps
+let record_page_in t = bump t i_page_ins
+let record_eviction t = bump t i_evictions
+let record_writeback t = bump t i_writebacks
+let record_wal_forced_flush t = bump t i_wal_forced_flushes
+
+let record_pinned t n =
+  if n > t.(i_peak_pinned) then t.(i_peak_pinned) <- n
 
 let snapshot (t : t) = of_array t
 let reset (t : t) = Array.fill t 0 n_counters 0

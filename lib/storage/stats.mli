@@ -78,6 +78,31 @@ val record_crc_failure : t -> unit
 val record_root_swap : t -> unit
 (** A catalog root committed by writing the alternate page-0 slot. *)
 
+(** {2 Pager counters}
+
+    The demand pager (bounded frame table) accounts its residency traffic
+    here so bounded-memory behaviour — how often pages fault in, how often
+    dirty frames are stolen — is observable from [bdbms_cli --stats] and
+    assertable in tests. *)
+
+val record_page_in : t -> unit
+(** A page faulted into the frame table from stable storage (a pool miss
+    that performed physical I/O). *)
+
+val record_eviction : t -> unit
+(** A frame evicted to make room (clean drop or dirty steal). *)
+
+val record_writeback : t -> unit
+(** A dirty frame written back at eviction time (a steal). *)
+
+val record_wal_forced_flush : t -> unit
+(** A WAL flush forced by the WAL-before-data rule: a dirty frame was
+    evicted while the log record covering its last update was still
+    buffered. *)
+
+val record_pinned : t -> int -> unit
+(** [n] frames currently pinned; retains the high-water mark. *)
+
 type snapshot = {
   reads : int;  (** physical page reads *)
   writes : int;  (** physical page writes *)
@@ -97,6 +122,11 @@ type snapshot = {
   pages_crc_verified : int;  (** stored pages CRC-checked on read *)
   crc_failures : int;  (** stored pages failing CRC verification *)
   root_swaps : int;  (** catalog root slot swaps committed *)
+  page_ins : int;  (** pages faulted into the frame table *)
+  evictions : int;  (** frames evicted to make room *)
+  writebacks : int;  (** dirty frames written back at eviction (steals) *)
+  wal_forced_flushes : int;  (** WAL flushes forced by evictions *)
+  peak_pinned : int;  (** high-water mark of simultaneously pinned frames *)
 }
 
 val snapshot : t -> snapshot

@@ -118,6 +118,45 @@ let append t r =
   Stats.record_wal_append t.stats;
   if Buffer.length t.buf >= t.group_bytes then flush t
 
+(* Like [append], but returns the file offset the record's frame will
+   occupy once flushed, so the pager can read a stolen page's image back
+   out of the log ([read_page_image]) before the next checkpoint makes
+   the slot authoritative again. *)
+let append_located t r =
+  let off = t.file_bytes + Buffer.length t.buf in
+  append t r;
+  off
+
+let flushed_bytes t = t.file_bytes
+
+(* Random-access read of a [Page_write] record previously appended at
+   [off] (as returned by [append_located]) and since flushed.  The frame
+   is CRC-verified; any mismatch means the log we ourselves wrote was
+   damaged underneath us, which is surfaced as corruption of the page. *)
+let read_page_image t ~off ~page_id ~page_size =
+  let corrupt detail = raise (Backend.Corrupt { page = page_id; detail }) in
+  if off + frame_len > t.file_bytes then
+    corrupt "WAL page image offset beyond flushed log";
+  let frame = Bytes.create frame_len in
+  if Backend.pread t.fd ~off frame <> frame_len then
+    corrupt "short read of WAL frame";
+  let plen = Int32.to_int (Bytes.get_int32_le frame 0) in
+  let crc = Int32.to_int (Bytes.get_int32_le frame 4) in
+  if plen <= 0 || plen > page_size + 64 then corrupt "bad WAL frame length";
+  let payload = Bytes.create plen in
+  if Backend.pread t.fd ~off:(off + frame_len) payload <> plen then
+    corrupt "short read of WAL payload";
+  let payload = Bytes.unsafe_to_string payload in
+  if Crc32.string payload land 0xFFFFFFFF <> crc land 0xFFFFFFFF then
+    corrupt "WAL page image failed CRC verification";
+  match decode_payload payload with
+  | Some (Page_write { page_id = pid; data })
+    when pid = page_id && String.length data = page_size ->
+      let page = Page.create ~size:page_size () in
+      Page.set_bytes page ~pos:0 data;
+      page
+  | _ -> corrupt "WAL record at offset is not this page's image"
+
 let commit t =
   append t Commit;
   flush t

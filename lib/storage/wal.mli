@@ -24,8 +24,23 @@ val append : t -> record -> unit
 (** Buffer a record (counted as a wal_append); group-flushes when the
     buffer outgrows [group_bytes]. *)
 
+val append_located : t -> record -> int
+(** {!append}, returning the file offset the record's frame will occupy
+    once flushed — the handle for {!read_page_image}. *)
+
 val flush : t -> unit
 (** Write the buffered batch and fsync (one wal_flush). *)
+
+val flushed_bytes : t -> int
+(** Bytes durably in the log file (excludes the unflushed buffer): an
+    offset below this can be read back with {!read_page_image}. *)
+
+val read_page_image : t -> off:int -> page_id:int -> page_size:int -> Page.t
+(** Read back the page image of a [Page_write] record appended at [off]
+    (per {!append_located}) and since flushed.  Used by the pager to
+    fault in a stolen page whose latest image lives only in the log.
+    @raise Backend.Corrupt if the frame fails CRC verification or does
+    not hold this page's image. *)
 
 val commit : t -> unit
 (** Append a {!Commit} marker and {!flush}. *)

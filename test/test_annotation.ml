@@ -23,8 +23,8 @@ let v s = Value.VString s
 let dna s = Value.VDna s
 
 let mk_env () =
-  let d = Bdbms_storage.Disk.create ~page_size:1024 () in
-  let bp = Bdbms_storage.Buffer_pool.create ~capacity:64 d in
+  let d = Bdbms_storage.Disk.create ~page_size:1024 ~pool_pages:64 () in
+  let bp = Bdbms_storage.Disk.pager d in
   let clock = Clock.create () in
   (bp, clock, Manager.create bp clock)
 

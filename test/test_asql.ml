@@ -39,7 +39,7 @@ let script ?(user = "admin") ctx sql =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "%s -- in script" e
 
-let mk_ctx () = Context.create ~page_size:1024 ~pool_capacity:128 ()
+let mk_ctx () = Context.create ~page_size:1024 ~pool_pages:128 ()
 
 (* set up the paper's two gene tables with annotations, in pure A-SQL *)
 let setup_genes ctx =

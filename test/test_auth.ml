@@ -24,8 +24,8 @@ let mk_lab () =
   principals
 
 let mk_env () =
-  let d = Bdbms_storage.Disk.create ~page_size:1024 () in
-  let bp = Bdbms_storage.Buffer_pool.create ~capacity:64 d in
+  let d = Bdbms_storage.Disk.create ~page_size:1024 ~pool_pages:64 () in
+  let bp = Bdbms_storage.Disk.pager d in
   let catalog = Catalog.create bp in
   let gene =
     match
@@ -296,8 +296,8 @@ let approval_qcheck =
     Test.make ~name:"disapprove-all restores the initial state" ~count:100 ops_gen
       (fun ops ->
         let catalog, gene, principals, clock =
-          let d = Bdbms_storage.Disk.create ~page_size:1024 () in
-          let bp = Bdbms_storage.Buffer_pool.create ~capacity:64 d in
+          let d = Bdbms_storage.Disk.create ~page_size:1024 ~pool_pages:64 () in
+          let bp = Bdbms_storage.Disk.pager d in
           let catalog = Catalog.create bp in
           let t =
             Result.get_ok

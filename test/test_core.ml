@@ -258,8 +258,8 @@ let test_index_dirty_after_rederivation () =
 (* -------------------------------------------------- subsequence + BWT *)
 
 let test_subsequence_search () =
-  let d = Bdbms_storage.Disk.create ~page_size:512 () in
-  let bp = Bdbms_storage.Buffer_pool.create ~capacity:512 d in
+  let d = Bdbms_storage.Disk.create ~page_size:512 ~pool_pages:512 () in
+  let bp = Bdbms_storage.Disk.pager d in
   let t = Bdbms_sbc.Sbc_tree.create ~with_three_sided:false bp in
   let texts = [ "HHEELL"; "HLHLHL"; "EEEE"; "LEH" ] in
   List.iter (fun s -> ignore (Bdbms_sbc.Sbc_tree.insert t s)) texts;

@@ -44,8 +44,8 @@ let blast_body inputs =
   | _ -> Error "blast: expected two inputs"
 
 let mk_env () =
-  let d = Bdbms_storage.Disk.create ~page_size:1024 () in
-  let bp = Bdbms_storage.Buffer_pool.create ~capacity:64 d in
+  let d = Bdbms_storage.Disk.create ~page_size:1024 ~pool_pages:64 () in
+  let bp = Bdbms_storage.Disk.pager d in
   let catalog = Catalog.create bp in
   let gene =
     match
@@ -269,8 +269,8 @@ let test_tracker_direct_update_clears () =
 
 let test_tracker_procedure_change () =
   (* Figure 9b: Evalue depends on BLAST-2.2.15; upgrading BLAST re-evaluates *)
-  let d = Bdbms_storage.Disk.create ~page_size:1024 () in
-  let bp = Bdbms_storage.Buffer_pool.create ~capacity:64 d in
+  let d = Bdbms_storage.Disk.create ~page_size:1024 ~pool_pages:64 () in
+  let bp = Bdbms_storage.Disk.pager d in
   let catalog = Catalog.create bp in
   let gm =
     match

@@ -8,8 +8,8 @@ let checki = Alcotest.check Alcotest.int
 let checkli = Alcotest.check Alcotest.(list int)
 
 let mk_bp ?(page_size = 512) ?(capacity = 64) () =
-  let d = Bdbms_storage.Disk.create ~page_size () in
-  (d, Bdbms_storage.Buffer_pool.create ~capacity d)
+  let d = Bdbms_storage.Disk.create ~page_size ~pool_pages:capacity () in
+  (d, Bdbms_storage.Disk.pager d)
 
 (* ------------------------------------------------------------ key codec *)
 
@@ -229,17 +229,17 @@ let btree_qcheck =
       (fun (a, b) ->
         compare (String.compare (Key_codec.of_int a) (Key_codec.of_int b)) 0
         = compare (compare a b) 0);
-    Test.make ~name:"buffer pool stays within capacity" ~count:50
+    Test.make ~name:"pager stays within capacity" ~count:50
       (list_of_size (Gen.int_bound 200) (int_bound 300))
       (fun accesses ->
-        let d = Bdbms_storage.Disk.create ~page_size:128 () in
-        let bp = Bdbms_storage.Buffer_pool.create ~capacity:8 d in
-        let pages = Array.init 50 (fun _ -> Bdbms_storage.Buffer_pool.alloc_page bp) in
+        let d = Bdbms_storage.Disk.create ~page_size:128 ~pool_pages:8 () in
+        let bp = Bdbms_storage.Disk.pager d in
+        let pages = Array.init 50 (fun _ -> Bdbms_storage.Pager.alloc_page bp) in
         List.iter
           (fun i ->
-            Bdbms_storage.Buffer_pool.with_page bp pages.(i mod 50) (fun _ -> ()))
+            Bdbms_storage.Pager.with_page bp pages.(i mod 50) (fun _ -> ()))
           accesses;
-        Bdbms_storage.Buffer_pool.resident bp <= 8);
+        Bdbms_storage.Pager.resident bp <= 8);
   ]
 
 (* ---------------------------------------------------------------- R-tree *)

@@ -64,7 +64,7 @@ let setup db =
   stmt "ADD ANNOTATION TO T1.notes VALUE 'two' ON (SELECT id, v FROM T1 WHERE k = 2)"
 
 let mk_db () =
-  let db = Db.create ~page_size:1024 ~pool_capacity:256 () in
+  let db = Db.create ~page_size:1024 ~pool_pages:256 () in
   setup db;
   db
 

@@ -289,15 +289,15 @@ let pool_workload ~policy ~path ~crash_after =
   let fault = Fault.create () in
   let committed = ref 0 in
   (try
-     let d = Disk.open_file ~page_size ~fault ~wal_group_bytes:256 path in
-     let bp = Buffer_pool.create ~policy ~capacity:2 d in
-     let ids = List.init 6 (fun _ -> Buffer_pool.alloc_page bp) in
+     let d = Disk.open_file ~page_size ~fault ~wal_group_bytes:256 ~pool_pages:2 ~policy path in
+     let bp = Disk.pager d in
+     let ids = List.init 6 (fun _ -> Pager.alloc_page bp) in
      List.iteri
        (fun i id ->
-         Buffer_pool.with_page_mut bp id (fun p ->
+         Pager.with_page_mut bp id (fun p ->
              Page.set_bytes p ~pos:0 (Printf.sprintf "%-*s" val_len (Printf.sprintf "init-%d" i))))
        ids;
-     Buffer_pool.flush_all bp;
+     Pager.flush_dirty bp;
      Disk.commit d;
      committed := 0;
      Fault.arm fault ~tear_frac:0.5 ~after_ops:crash_after ();
@@ -306,11 +306,11 @@ let pool_workload ~policy ~path ~crash_after =
           (and hence mid-batch Disk.writes) in both policies *)
        List.iter
          (fun id ->
-           Buffer_pool.with_page_mut bp id (fun p ->
+           Pager.with_page_mut bp id (fun p ->
                Page.set_bytes p ~pos:0
                  (Printf.sprintf "%-*s" val_len (Printf.sprintf "b%d-%d" batch id))))
          ids;
-       Buffer_pool.flush_all bp;
+       Pager.flush_dirty bp;
        if batch mod 3 = 0 then Disk.checkpoint d else Disk.commit d;
        committed := batch
      done;
@@ -567,17 +567,16 @@ let describe_arming = function
   | Ops (n, tear) -> Printf.sprintf "after %d ops (tear %.2f)" n tear
   | Point (p, after) ->
       Printf.sprintf "point %s #%d"
-        (match p with
-        | Fault.Catalog_write -> "catalog-write"
-        | Fault.Root_swap -> "root-swap"
-        | Fault.Ddl -> "ddl")
+        (Fault.point_name p)
         after
 
 (* Run the workload against [path] with [arming] armed; returns whether
-   the fault fired and how many statements returned before it did. *)
-let run_bootstrap_workload ~path ~arming =
+   the fault fired and how many statements returned before it did.
+   [pool_pages] shrinks the pager so the sweep exercises demand paging
+   and eviction-time write-back on every statement. *)
+let run_bootstrap_workload ?pool_pages ~path ~arming () =
   let fault = Fault.create () in
-  let db = Db.create ~page_size ~path ~fault () in
+  let db = Db.create ~page_size ?pool_pages ~path ~fault () in
   (match arming with
   | Ops (n, tear_frac) -> Fault.arm fault ~tear_frac ~after_ops:n ()
   | Point (p, after) -> Fault.arm_point fault ~after p);
@@ -649,7 +648,7 @@ let test_bootstrap_crash_anywhere () =
   List.iter
     (fun arming ->
       let path = tmp_path () in
-      let crashed, applied = run_bootstrap_workload ~path ~arming in
+      let crashed, applied = run_bootstrap_workload ~path ~arming () in
       if crashed then incr crashes else incr completions;
       check_bootstrap ~what:(describe_arming arming) path applied;
       cleanup path)
@@ -658,6 +657,46 @@ let test_bootstrap_crash_anywhere () =
     (Printf.sprintf "crash points exercised (%d crashed)" !crashes)
     true (!crashes > 10);
   checkb "some sweeps outlived the fault" true (!completions >= 1)
+
+(* Same differential sweep squeezed through a 4-frame pager, so nearly
+   every page touch evicts: steal write-backs and WAL-forced flushes run
+   under the same crash-anywhere contract.  The two eviction-time fault
+   points crash (a) as a dirty page's redo record is appended mid-scan
+   and (b) in the window between the eviction's WAL flush and the stolen
+   page's store into its file slot — the spot where a data write
+   overtaking the log would corrupt recovery.  [BDBMS_FUZZ_PAGING=1]
+   (the [make fuzz-paging] target) widens the sweep. *)
+let test_paging_crash_anywhere () =
+  let deep = Sys.getenv_opt "BDBMS_FUZZ_PAGING" = Some "1" in
+  let op_points =
+    if deep then List.init 240 (fun i -> i + 1)
+    else [ 1; 3; 7; 14; 25; 43; 73; 120; 210; 400 ]
+  in
+  let point_hits = if deep then List.init 16 (fun k -> k) else [ 0; 1; 3; 7; 15 ] in
+  let armings =
+    List.mapi (fun i n -> Ops (n, if i mod 2 = 0 then 0.0 else 0.6)) op_points
+    @ List.concat_map
+        (fun p -> List.map (fun k -> Point (p, k)) point_hits)
+        [ Fault.Evict_writeback; Fault.Evict_store ]
+  in
+  let crashes = ref 0 and evict_crashes = ref 0 in
+  List.iter
+    (fun arming ->
+      let path = tmp_path () in
+      let crashed, applied = run_bootstrap_workload ~pool_pages:4 ~path ~arming () in
+      if crashed then begin
+        incr crashes;
+        match arming with Point _ -> incr evict_crashes | Ops _ -> ()
+      end;
+      check_bootstrap ~what:("pool=4 " ^ describe_arming arming) path applied;
+      cleanup path)
+    armings;
+  checkb
+    (Printf.sprintf "paging crash points exercised (%d crashed)" !crashes)
+    true (!crashes > 10);
+  checkb
+    (Printf.sprintf "eviction fault points fired (%d)" !evict_crashes)
+    true (!evict_crashes >= List.length point_hits)
 
 let test_corruption_detected () =
   let path = tmp_path () in
@@ -784,9 +823,9 @@ let () =
       ( "pool-ordering",
         [
           Alcotest.test_case "LRU log-before-data" `Quick
-            (test_pool_wal_ordering Buffer_pool.Lru);
+            (test_pool_wal_ordering Pager.Lru);
           Alcotest.test_case "Clock log-before-data" `Quick
-            (test_pool_wal_ordering Buffer_pool.Clock);
+            (test_pool_wal_ordering Pager.Clock);
         ] );
       ( "facade",
         [
@@ -798,6 +837,8 @@ let () =
         [
           Alcotest.test_case "catalog round-trip" `Quick test_bootstrap_roundtrip;
           Alcotest.test_case "crash anywhere" `Quick test_bootstrap_crash_anywhere;
+          Alcotest.test_case "crash anywhere, 4-frame pool" `Quick
+            test_paging_crash_anywhere;
           Alcotest.test_case "flipped byte is typed corruption" `Quick
             test_corruption_detected;
           Alcotest.test_case "script error atomicity" `Quick test_script_atomicity;

@@ -13,8 +13,8 @@ let v_str s = Value.VString s
 let v_float f = Value.VFloat f
 
 let mk_env ?(page_size = 1024) ?(capacity = 32) () =
-  let d = Bdbms_storage.Disk.create ~page_size () in
-  Bdbms_storage.Buffer_pool.create ~capacity d
+  let d = Bdbms_storage.Disk.create ~page_size ~pool_pages:capacity () in
+  Bdbms_storage.Disk.pager d
 
 let gene_schema () =
   Schema.make

@@ -9,8 +9,8 @@ let checki = Alcotest.check Alcotest.int
 let checks = Alcotest.check Alcotest.string
 
 let mk_bp ?(page_size = 256) ?(capacity = 512) () =
-  let d = Bdbms_storage.Disk.create ~page_size () in
-  (d, Bdbms_storage.Buffer_pool.create ~capacity d)
+  let d = Bdbms_storage.Disk.create ~page_size ~pool_pages:capacity () in
+  (d, Bdbms_storage.Disk.pager d)
 
 (* naive oracle for substring occurrences *)
 let naive_occurrences texts pattern =

@@ -7,8 +7,8 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 
 let mk_bp ?(page_size = 512) ?(capacity = 256) () =
-  let d = Bdbms_storage.Disk.create ~page_size () in
-  Bdbms_storage.Buffer_pool.create ~capacity d
+  let d = Bdbms_storage.Disk.create ~page_size ~pool_pages:capacity () in
+  Bdbms_storage.Disk.pager d
 
 (* ---------------------------------------------------------------- regex *)
 

@@ -60,75 +60,74 @@ let test_disk_bad_page () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected invalid write")
 
-(* ---------------------------------------------------------- Buffer pool *)
+(* --------------------------------------------------------------- Pager *)
 
 let test_pool_hit_miss () =
-  let d = Disk.create () in
-  let bp = Buffer_pool.create ~capacity:2 d in
-  let p1 = Buffer_pool.alloc_page bp in
+  let d = Disk.create ~pool_pages:2 () in
+  let bp = Disk.pager d in
+  let p1 = Pager.alloc_page bp in
   let before = Stats.snapshot (Disk.stats d) in
   (* cached: no disk read *)
-  Buffer_pool.with_page bp p1 (fun _ -> ());
-  Buffer_pool.with_page bp p1 (fun _ -> ());
+  Pager.with_page bp p1 (fun _ -> ());
+  Pager.with_page bp p1 (fun _ -> ());
   let s = Stats.diff ~after:(Stats.snapshot (Disk.stats d)) ~before in
   checki "no reads" 0 s.Stats.reads;
   checki "two hits" 2 s.Stats.hits
 
 let test_pool_eviction_lru () =
-  let d = Disk.create () in
-  let bp = Buffer_pool.create ~policy:Buffer_pool.Lru ~capacity:2 d in
-  let p1 = Buffer_pool.alloc_page bp in
-  let p2 = Buffer_pool.alloc_page bp in
-  let p3 = Buffer_pool.alloc_page bp in
+  let d = Disk.create ~pool_pages:2 ~policy:Pager.Lru () in
+  let bp = Disk.pager d in
+  let p1 = Pager.alloc_page bp in
+  let p2 = Pager.alloc_page bp in
+  let p3 = Pager.alloc_page bp in
   (* p1 was least recently used; it must have been evicted *)
-  checki "resident at cap" 2 (Buffer_pool.resident bp);
+  checki "resident at cap" 2 (Pager.resident bp);
   let before = Stats.snapshot (Disk.stats d) in
-  Buffer_pool.with_page bp p1 (fun _ -> ());
+  Pager.with_page bp p1 (fun _ -> ());
   let s = Stats.diff ~after:(Stats.snapshot (Disk.stats d)) ~before in
   checki "p1 was a miss" 1 s.Stats.reads;
+  checki "p1 was a page-in" 1 s.Stats.page_ins;
   ignore p2;
   ignore p3
 
 let test_pool_dirty_writeback () =
-  let d = Disk.create ~page_size:64 () in
-  let bp = Buffer_pool.create ~capacity:1 d in
-  let p1 = Buffer_pool.alloc_page bp in
-  Buffer_pool.with_page_mut bp p1 (fun p -> Page.set_bytes p ~pos:0 "dirty!");
+  let d = Disk.create ~page_size:64 ~pool_pages:1 () in
+  let bp = Disk.pager d in
+  let p1 = Pager.alloc_page bp in
+  Pager.with_page_mut bp p1 (fun p -> Page.set_bytes p ~pos:0 "dirty!");
   (* force eviction by touching another page *)
-  let _p2 = Buffer_pool.alloc_page bp in
+  let _p2 = Pager.alloc_page bp in
   let p = Disk.read d p1 in
   checks "written back" "dirty!" (Page.get_bytes p ~pos:0 ~len:6)
 
 let test_pool_flush_all () =
-  let d = Disk.create ~page_size:64 () in
-  let bp = Buffer_pool.create ~capacity:4 d in
-  let p1 = Buffer_pool.alloc_page bp in
-  Buffer_pool.with_page_mut bp p1 (fun p -> Page.set_bytes p ~pos:0 "x");
-  Buffer_pool.flush_all bp;
+  let d = Disk.create ~page_size:64 ~pool_pages:4 () in
+  let bp = Disk.pager d in
+  let p1 = Pager.alloc_page bp in
+  Pager.with_page_mut bp p1 (fun p -> Page.set_bytes p ~pos:0 "x");
+  Pager.flush_dirty bp;
   let p = Disk.read d p1 in
   checks "flushed" "x" (Page.get_bytes p ~pos:0 ~len:1)
 
 let test_pool_clock_policy () =
-  let d = Disk.create () in
-  let bp = Buffer_pool.create ~policy:Buffer_pool.Clock ~capacity:3 d in
-  let pages = List.init 6 (fun _ -> Buffer_pool.alloc_page bp) in
-  checkb "resident bounded" true (Buffer_pool.resident bp <= 3);
+  let d = Disk.create ~pool_pages:3 ~policy:Pager.Clock () in
+  let bp = Disk.pager d in
+  let pages = List.init 6 (fun _ -> Pager.alloc_page bp) in
+  checkb "resident bounded" true (Pager.resident bp <= 3);
   (* every page still readable after evictions *)
-  List.iter (fun id -> Buffer_pool.with_page bp id (fun _ -> ())) pages;
-  checkb "resident still bounded" true (Buffer_pool.resident bp <= 3)
+  List.iter (fun id -> Pager.with_page bp id (fun _ -> ())) pages;
+  checkb "resident still bounded" true (Pager.resident bp <= 3)
 
 let test_pool_bad_capacity () =
-  let d = Disk.create () in
-  match Buffer_pool.create ~capacity:0 d with
+  match Disk.create ~pool_pages:0 () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected invalid capacity"
 
 (* ------------------------------------------------------------ Heap file *)
 
 let mk_heap ?(page_size = 256) ?(capacity = 8) () =
-  let d = Disk.create ~page_size () in
-  let bp = Buffer_pool.create ~capacity d in
-  (d, Heap_file.create bp)
+  let d = Disk.create ~page_size ~pool_pages:capacity () in
+  (d, Heap_file.create (Disk.pager d))
 
 let test_heap_insert_get () =
   let _, h = mk_heap () in
