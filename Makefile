@@ -17,8 +17,8 @@ fmt: ## format the tree (requires an ocamlformat config/install)
 bench: ## all paper experiments + E11 durability + E12 query engine
 	dune exec bench/main.exe
 
-bench-quick: ## E12 query + E13 paging smoke runs (reduced sizes)
-	dune exec bench/main.exe -- E12 E13 --quick
+bench-quick: ## E12 query + E13 paging + E14 observability smoke runs (reduced sizes)
+	dune exec bench/main.exe -- E12 E13 E14 --quick
 
 fuzz-recovery: ## crash-anywhere sweep: fault at every op of the bootstrap workload
 	BDBMS_FUZZ_DEEP=1 dune exec test/test_recovery.exe -- test bootstrap

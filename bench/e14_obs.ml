@@ -1,0 +1,166 @@
+(* E14 — Observability overhead: the cost of the always-compiled-in
+   instrumentation (trace spans, latency histograms, EXPLAIN ANALYZE
+   plumbing) added to every engine path.
+
+   Not a paper experiment: it guards our own engineering claim that the
+   disabled path is near-free.  Two measurements:
+
+   - micro: the per-call cost of a disabled [Trace.with_span] (one field
+     load and branch) against calling the thunk directly;
+   - macro: an E12-style query workload (hash join, filtered scan,
+     GROUP BY, top-k) timed with tracing off and with tracing on.
+
+   The disabled-path overhead is then estimated as
+   (disabled span cost x spans opened per statement) / statement time
+   and the experiment FAILS if it exceeds 5% — so instrumentation creep
+   that slows the production (tracing-off) path breaks `make check`.
+
+   Pass --quick for the reduced sizes used by `make bench-quick`. *)
+
+open Bench_util
+module Trace = Bdbms_obs.Trace
+module Obs = Bdbms_obs.Obs
+module Metrics = Bdbms_obs.Metrics
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+
+let exec db sql =
+  match Bdbms.Db.exec db sql with
+  | Ok _ -> ()
+  | Error e -> failwith (Printf.sprintf "E14: %s -- for: %s" e sql)
+
+(* E12's fixture: two joinable tables, join output stays ~n rows. *)
+let mk_db n =
+  let db = Bdbms.Db.create ~page_size:4096 ~pool_pages:4096 () in
+  let st = Random.State.make [| 0xe1; 0x40 |] in
+  exec db "CREATE TABLE T1 (id INT, k INT, v TEXT)";
+  exec db "CREATE TABLE T2 (id INT, k INT, w TEXT)";
+  let insert table mkrow =
+    let batch = 1000 in
+    let rec go i =
+      if i < n then begin
+        let hi = min n (i + batch) in
+        let vals =
+          List.init (hi - i) (fun j -> mkrow (i + j)) |> String.concat ", "
+        in
+        exec db (Printf.sprintf "INSERT INTO %s VALUES %s" table vals);
+        go hi
+      end
+    in
+    go 0
+  in
+  insert "T1" (fun i ->
+      Printf.sprintf "(%d, %d, 's%d')" i (Random.State.int st n) (i mod 7));
+  insert "T2" (fun i ->
+      Printf.sprintf "(%d, %d, 's%d')" i (Random.State.int st n) (i mod 5));
+  db
+
+let workload =
+  [
+    "SELECT a.id, b.id FROM T1 a, T2 b WHERE a.k = b.k";
+    "SELECT * FROM T1 WHERE k < 50";
+    "SELECT k, COUNT(*) AS n FROM T1 GROUP BY k HAVING n > 1";
+    "SELECT id, k FROM T1 ORDER BY k LIMIT 10";
+  ]
+
+let run_workload db reps =
+  for _ = 1 to reps do
+    List.iter (exec db) workload
+  done
+
+let run () =
+  (* ------------------------------------------- micro: disabled span *)
+  let iters = if quick then 2_000_000 else 10_000_000 in
+  let t = Trace.create () in
+  let sink = ref 0 in
+  let nop () = incr sink in
+  let (), bare_us = time_us (fun () -> for _ = 1 to iters do nop () done) in
+  let (), span_us =
+    time_us (fun () ->
+        for _ = 1 to iters do
+          Trace.with_span t "x" nop
+        done)
+  in
+  let disabled_span_ns =
+    Float.max 0.0 ((span_us -. bare_us) *. 1000.0 /. float_of_int iters)
+  in
+  (* enabled spans for scale: ring write + two clock reads *)
+  Trace.set_enabled t true;
+  let en_iters = iters / 10 in
+  let (), en_us =
+    time_us (fun () ->
+        for _ = 1 to en_iters do
+          Trace.with_span t "x" nop
+        done)
+  in
+  let enabled_span_ns = en_us *. 1000.0 /. float_of_int en_iters in
+  print_table ~title:"E14a. Trace span cost per call"
+    ~headers:[ "path"; "ns/call" ]
+    ~rows:
+      [
+        [ "disabled (field load + branch)"; fmt_f disabled_span_ns ];
+        [ "enabled (timed + ring write)"; fmt_f enabled_span_ns ];
+      ];
+
+  (* -------------------------------------- macro: E12-style workload *)
+  let n = if quick then 1000 else 5000 in
+  let reps = if quick then 20 else 50 in
+  let stmts = reps * List.length workload in
+  let db = mk_db n in
+  run_workload db 2 (* warm the decoded-tuple cache both ways *);
+  let (), off_us = time_us (fun () -> run_workload db reps) in
+  (* count the spans a traced statement opens (ring seq delta) *)
+  let obs = Bdbms.Db.obs db in
+  Bdbms.Db.set_tracing db true;
+  let mark = Trace.mark obs.Obs.trace in
+  List.iter (exec db) workload;
+  let spans_per_stmt =
+    float_of_int (Trace.mark obs.Obs.trace - mark)
+    /. float_of_int (List.length workload)
+  in
+  let (), on_us = time_us (fun () -> run_workload db reps) in
+  Bdbms.Db.set_tracing db false;
+  let stmt_off_us = off_us /. float_of_int stmts in
+  let stmt_on_us = on_us /. float_of_int stmts in
+  let tracing_overhead_pct =
+    (stmt_on_us -. stmt_off_us) /. stmt_off_us *. 100.0
+  in
+  (* the guarded number: what the disabled span sites cost a statement *)
+  let disabled_overhead_pct =
+    disabled_span_ns *. spans_per_stmt /. (stmt_off_us *. 1000.0) *. 100.0
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E14b. E12-style workload (%d rows/side, %d statements): tracing \
+          off vs on"
+         n stmts)
+    ~headers:[ "configuration"; "us/statement" ]
+    ~rows:
+      [
+        [ "tracing off (production)"; fmt_f stmt_off_us ];
+        [ "tracing on"; fmt_f stmt_on_us ];
+      ];
+  Printf.printf
+    "\n%.1f spans/statement; disabled-path cost %.4f%% of statement time \
+     (budget 5%%); tracing-on overhead %.1f%%\n"
+    spans_per_stmt disabled_overhead_pct tracing_overhead_pct;
+  (* the statement histogram saw every exec above: show the p50/p95/p99
+     the \metrics command would report *)
+  print_endline "";
+  List.iter
+    (fun h -> print_endline (Metrics.summary_line h))
+    (Metrics.histograms obs.Obs.metrics);
+
+  Printf.printf
+    "BENCH_obs {\"disabled_span_ns\": %.2f, \"enabled_span_ns\": %.2f, \
+     \"spans_per_stmt\": %.1f, \"stmt_us_tracing_off\": %.2f, \
+     \"stmt_us_tracing_on\": %.2f, \"tracing_overhead_pct\": %.1f, \
+     \"disabled_overhead_pct\": %.4f}\n"
+    disabled_span_ns enabled_span_ns spans_per_stmt stmt_off_us stmt_on_us
+    tracing_overhead_pct disabled_overhead_pct;
+  if disabled_overhead_pct > 5.0 then
+    failwith
+      (Printf.sprintf
+         "E14: disabled-path overhead %.2f%% exceeds the 5%% budget"
+         disabled_overhead_pct)

@@ -24,6 +24,9 @@
                                             buffer pool, LRU vs Clock;
                                             the buffer manager PostgreSQL
                                             gave the authors for free)
+     E14 observability overhead            (trace spans + histograms:
+                                            disabled-path cost budget,
+                                            enforced at 5%)
 
    Usage:
      dune exec bench/main.exe                 # all paper experiments
@@ -46,6 +49,7 @@ let experiments =
     ("E11", E11_recovery.run);
     ("E12", E12_query.run);
     ("E13", E13_paging.run);
+    ("E14", E14_obs.run);
   ]
 
 (* ------------------------------------------------- bechamel micro-bench *)

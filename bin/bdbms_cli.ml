@@ -6,11 +6,14 @@
      dune exec bin/bdbms_cli.exe -- -d genes.db  # durable database file  *)
 
 open Bdbms
+module Timer = Bdbms_util.Timer
 
-let run_statement db ~user sql =
-  match Db.exec db ~user sql with
+let run_statement db ~user ~timing sql =
+  let r, elapsed = Timer.timed (fun () -> Db.exec db ~user sql) in
+  (match r with
   | Ok outcome -> print_endline (Bdbms_asql.Executor.render outcome)
-  | Error e -> Printf.printf "error: %s\n" e
+  | Error e -> Printf.printf "error: %s\n" e);
+  if timing then Printf.printf "Time: %s\n" (Format.asprintf "%a" Timer.pp_ns elapsed)
 
 let run_script db ~user path =
   let ic = open_in path in
@@ -53,6 +56,9 @@ let repl db ~user =
     (if Db.durable db then ", durable" else "")
     (if Db.durable db then ", \\checkpoint to checkpoint, \\recover for recovery info"
      else "");
+  (* per-statement wall time on by default interactively (off in scripts);
+     toggle with \timing *)
+  let timing = ref true in
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "bdbms> " else "   ... ");
@@ -68,13 +74,34 @@ let repl db ~user =
     | "\\recover" ->
         report_recovery db;
         loop ()
+    | "\\timing" ->
+        timing := not !timing;
+        Printf.printf "Timing is %s.\n" (if !timing then "on" else "off");
+        loop ()
+    | "\\metrics" ->
+        print_string (Db.metrics db);
+        loop ()
+    | "\\trace" ->
+        print_string (Db.trace_tree db);
+        loop ()
+    | "\\trace on" ->
+        Db.set_tracing db true;
+        print_endline "Tracing is on.";
+        loop ()
+    | "\\trace off" ->
+        Db.set_tracing db false;
+        print_endline "Tracing is off.";
+        loop ()
+    | "\\trace json" ->
+        print_endline (Db.trace_json db);
+        loop ()
     | line ->
         Buffer.add_string buf line;
         Buffer.add_char buf '\n';
         let src = Buffer.contents buf in
         if String.contains line ';' then begin
           Buffer.clear buf;
-          run_statement db ~user (String.trim src)
+          run_statement db ~user ~timing:!timing (String.trim src)
         end;
         loop ()
   in
@@ -96,11 +123,12 @@ let report_recovery_if_notable db =
     Printf.printf "-- catalog: bootstrapped %d metadata record(s) from page 0\n"
       (Db.catalog_records db)
 
-let main user script strict_acl auto_prov stats pool_pages db_path =
+let main user script strict_acl auto_prov stats pool_pages slow_ms db_path =
   let db = Db.create ?pool_pages ?path:db_path () in
   report_recovery_if_notable db;
   Db.set_strict_acl db strict_acl;
   Db.set_auto_provenance db auto_prov;
+  (match slow_ms with Some ms -> Db.set_slow_ms db (Some ms) | None -> ());
   (match script with
   | Some path -> run_script db ~user path
   | None -> repl db ~user);
@@ -180,12 +208,21 @@ let db_arg =
           "Open (or create) a durable database file; pages persist via a \
            write-ahead log with crash recovery on open.")
 
+let slow_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Log any statement taking at least MS milliseconds to stderr, \
+           with its trace-span tree (arming this enables tracing).")
+
 let cmd =
   let doc = "A-SQL shell for bdbms, the biological DBMS (CIDR 2007 reproduction)" in
   Cmd.v
     (Cmd.info "bdbms" ~doc)
     Term.(
       const main $ user_arg $ script_arg $ strict_arg $ prov_arg $ stats_arg
-      $ pool_arg $ db_arg)
+      $ pool_arg $ slow_arg $ db_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,47 @@
+(** EXPLAIN ANALYZE recorder: per-operator actuals (rows, loop counts,
+    wall time, {!Bdbms_storage.Stats} counter deltas) collected while a
+    query really executes, rendered side by side with the planner's
+    estimates.
+
+    The executor installs a recorder in [Context.analyze] for the
+    duration of an [EXPLAIN ANALYZE] statement and builds one {!node} per
+    plan operator, mirroring the estimate tree [Cost] prints.
+    Accounting is inclusive (a node includes its children), matching
+    Postgres's EXPLAIN ANALYZE semantics. *)
+
+type node = {
+  label : string;
+  est_rows : float;  (** planner estimate; [nan] = none available *)
+  mutable actual_rows : int;
+  mutable loops : int;
+  mutable time_ns : int;  (** inclusive wall time *)
+  scratch : int array;
+  acc : int array;  (** accumulated {!Bdbms_storage.Stats} deltas *)
+  mutable children : node list;
+}
+
+type t
+
+val create : Bdbms_storage.Stats.t -> t
+(** A recorder reading deltas off the given live counters. *)
+
+val node : ?est_rows:float -> ?children:node list -> string -> node
+val set_root : t -> node -> unit
+val root : t -> node option
+val add_child : node -> node -> unit
+(** [add_child parent child] appends. *)
+
+val meter_pull : t -> node -> (unit -> 'a option) -> unit -> 'a option
+(** Wrap an operator's pull function: every call is timed and its counter
+    delta attributed to the node; each [Some] counts as an actual row.
+    Wrapping increments [loops] (a restart wraps again). *)
+
+val timed_block : t -> node -> (unit -> 'a) -> 'a
+(** Materialized-path metering: time one whole evaluation (recorded even
+    if it raises); report produced rows separately via {!record_rows}. *)
+
+val record_rows : node -> int -> unit
+
+val render : ?total_ns:int -> ?returned:int -> node -> string
+(** The annotated plan tree ([Cost.explain] layout, estimates and actuals
+    side by side, non-zero counter deltas per node). *)

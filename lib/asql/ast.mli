@@ -67,6 +67,7 @@ type copy_format = Csv | Fasta
 type statement =
   | Query of query
   | Explain of query
+  | Explain_analyze of query
   | Create_table of { name : string; columns : (string * Value.ty) list }
   | Drop_table of string
   | Insert of { table : string; values : Value.t list list }

@@ -11,6 +11,7 @@ module Procedure = Bdbms_dependency.Procedure
 module Principal = Bdbms_auth.Principal
 module Acl = Bdbms_auth.Acl
 module Approval = Bdbms_auth.Approval
+module Obs = Bdbms_obs.Obs
 
 type index_def = {
   idx_name : string;
@@ -36,18 +37,24 @@ type t = {
   mutable auto_provenance : bool;
   mutable pipelined : bool;
   indexes : (string, index_def) Hashtbl.t;
+  obs : Obs.t;
+  mutable analyze : Analyze.t option;
 }
 
 let superuser = "admin"
 
 let norm = String.lowercase_ascii
 
-let create ?(page_size = 4096) ?pool_pages ?policy ?path ?fault () =
+let create ?(page_size = 4096) ?pool_pages ?policy ?path ?fault ?obs () =
+  (* The observability handle outlives the context: [Db.rollback]
+     recreates the context but passes the same handle back in, so traces
+     and histograms accumulate across transactions. *)
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   let disk =
     match path with
-    | None -> Disk.create ~page_size ?pool_pages ?policy ()
+    | None -> Disk.create ~page_size ?pool_pages ?policy ~obs ()
     | Some path ->
-        Disk.open_file ~page_size ?fault ?pool_pages ?policy path
+        Disk.open_file ~page_size ?fault ?pool_pages ?policy ~obs path
   in
   (* the catalog root must own page 0, so reserve it before any table or
      heap file can allocate (no-op when reopening an existing file) *)
@@ -88,6 +95,8 @@ let create ?(page_size = 4096) ?pool_pages ?policy ?path ?fault () =
     auto_provenance = false;
     pipelined = true;
     indexes;
+    obs;
+    analyze = None;
   }
 
 let durable t = Disk.is_durable t.disk
@@ -121,10 +130,12 @@ let index_infos t =
    that follows. *)
 let persist_catalog t =
   if durable t then
-    Meta_page.write_root t.disk
-      (Durable_catalog.encode (components t) ~indexes:(index_infos t))
+    Obs.timed t.obs t.obs.Obs.root_swap_hist "catalog.root_swap" (fun () ->
+        Meta_page.write_root t.disk
+          (Durable_catalog.encode (components t) ~indexes:(index_infos t)))
 
 let bootstrap t =
+  Obs.span t.obs "catalog.bootstrap" @@ fun () ->
   match if durable t then Meta_page.read_root t.disk else None with
   | None -> 0
   | Some blob ->

@@ -39,11 +39,18 @@ type t = {
           evaluator, kept as the semantic oracle for equivalence tests *)
   indexes : (string, index_def) Hashtbl.t;
       (** by lowercase index name *)
+  obs : Bdbms_obs.Obs.t;
+      (** trace spans + metrics; shared with the disk manager and WAL,
+          and carried across [Db.rollback]'s context recreation *)
+  mutable analyze : Analyze.t option;
+      (** installed by the executor for the duration of an
+          [EXPLAIN ANALYZE] statement; [None] otherwise *)
 }
 
 val create :
   ?page_size:int -> ?pool_pages:int -> ?policy:Bdbms_storage.Pager.policy ->
   ?path:string -> ?fault:Bdbms_storage.Fault.t ->
+  ?obs:Bdbms_obs.Obs.t ->
   unit -> t
 (** A fresh engine.  The superuser ["admin"] and the system actor exist
     from the start; approval inverse execution is wired into the

@@ -25,6 +25,8 @@ module Principal = Bdbms_auth.Principal
 module Acl = Bdbms_auth.Acl
 module Approval = Bdbms_auth.Approval
 module Clock = Bdbms_util.Clock
+module Timer = Bdbms_util.Timer
+module Obs = Bdbms_obs.Obs
 
 type outcome =
   | Rows of Propagate.t
@@ -207,6 +209,101 @@ let order_cmp schema specs =
     in
     go indices
 
+(* ------------------------------------------------ EXPLAIN ANALYZE hooks *)
+
+(* While an EXPLAIN ANALYZE statement executes, [ctx.analyze] holds an
+   {!Analyze} recorder and the select paths build one node per plan
+   operator — labels and estimate formulas mirror the {!Cost} EXPLAIN
+   tree so the two render side by side — and meter each operator's
+   cursor pulls (plain path) or materialized evaluation (annotated and
+   naive paths) through it. *)
+
+(* The access-path node(s) for one planned source: the scan itself, and
+   a pushdown-WHERE node above it when the planner pushed conjuncts.
+   Returns (scan, top); they are the same node when nothing was pushed. *)
+let analyze_source_nodes (src : Plan.source) =
+  let table_rows = float_of_int (Table.live_count src.Plan.table) in
+  let scan =
+    match src.Plan.access with
+    | Plan.Seq_scan ->
+        Analyze.node ~est_rows:table_rows
+          (Printf.sprintf "SCAN %s" src.Plan.item.Ast.table)
+    | Plan.Index_probe { index; value = _ } ->
+        Analyze.node ~est_rows:(table_rows *. 0.10)
+          (Printf.sprintf "INDEX SCAN %s via %s(%s)" src.Plan.item.Ast.table
+             index.Context.idx_name index.Context.idx_column)
+  in
+  match src.Plan.pushed with
+  | [] -> (scan, scan)
+  | es ->
+      let top =
+        Analyze.node ~est_rows:src.Plan.est_rows ~children:[ scan ]
+          (Printf.sprintf "WHERE (selectivity %.2f)"
+             (Plan.conjuncts_selectivity es))
+      in
+      (scan, top)
+
+(* The join node(s) for one plan step over the already-built left and
+   right subtrees, with a post-join-WHERE node above when the step has
+   deferred conjuncts. *)
+let analyze_step_nodes schema acc_n (step : Plan.step) right_n =
+  let post_sel = Plan.conjuncts_selectivity step.Plan.post in
+  let join_rows =
+    if post_sel > 0.0 then step.Plan.est_rows /. post_sel
+    else step.Plan.est_rows
+  in
+  let join_label =
+    match step.Plan.kind with
+    | Plan.Hash { left_cols; right_cols; build_left } ->
+        let col p = (Schema.column_at schema p).Schema.name in
+        let keys =
+          List.map2
+            (fun l r -> Printf.sprintf "%s=%s" (col l) (col r))
+            left_cols right_cols
+        in
+        Printf.sprintf "HASH JOIN (%s, build=%s)" (String.concat ", " keys)
+          (if build_left then "left" else "right")
+    | Plan.Nested -> "BLOCK NESTED-LOOP JOIN"
+  in
+  let join_n =
+    Analyze.node ~est_rows:join_rows ~children:[ acc_n; right_n ] join_label
+  in
+  match step.Plan.post with
+  | [] -> (join_n, join_n)
+  | es ->
+      let top =
+        Analyze.node ~est_rows:step.Plan.est_rows ~children:[ join_n ]
+          (Printf.sprintf "POST-JOIN WHERE (selectivity %.2f)"
+             (Plan.conjuncts_selectivity es))
+      in
+      (join_n, top)
+
+(* Materialized-path metering: evaluate [f] under [n], charging its rows
+   and runtime to the node (no-op without a recorder). *)
+let analyze_block an n f =
+  match an with
+  | None -> f ()
+  | Some a ->
+      let rs = Analyze.timed_block a n f in
+      Analyze.record_rows n (List.length rs.Propagate.rows);
+      rs
+
+(* The materialized tail (everything finish_select does) as one node,
+   which then becomes the recorded root. *)
+let analyze_finish an input_n f =
+  match an with
+  | None -> f ()
+  | Some a ->
+      let n =
+        Analyze.node
+          ~children:(match input_n with Some c -> [ c ] | None -> [])
+          "RESULT (awhere/group/project/order/limit)"
+      in
+      let r = Analyze.timed_block a n f in
+      Analyze.record_rows n (List.length r.Propagate.rows);
+      Analyze.set_root a n;
+      r
+
 (* Hash join over annotated tuples; key columns are positions local to
    each side.  Output tuples (and annotation arrays) are always
    [left ++ right] regardless of which side builds. *)
@@ -263,10 +360,30 @@ let hash_join_atuples stats ~build_left ~left_cols ~right_cols
 let rec exec_query (ctx : Context.t) ~user (q : Ast.query) : Propagate.t =
   match q with
   | Ast.Select sel -> exec_select ctx ~user sel
-  | Ast.Union (a, b) -> Propagate.union (exec_query ctx ~user a) (exec_query ctx ~user b)
+  | Ast.Union (a, b) -> exec_compound ctx ~user "UNION" Propagate.union a b
   | Ast.Intersect (a, b) ->
-      Propagate.intersect (exec_query ctx ~user a) (exec_query ctx ~user b)
-  | Ast.Except (a, b) -> Propagate.except (exec_query ctx ~user a) (exec_query ctx ~user b)
+      exec_compound ctx ~user "INTERSECT" Propagate.intersect a b
+  | Ast.Except (a, b) -> exec_compound ctx ~user "EXCEPT" Propagate.except a b
+
+(* Compound queries under EXPLAIN ANALYZE: each side's recorder root is
+   captured and reparented under a combining node, mirroring [Cost]. *)
+and exec_compound ctx ~user label combine a b =
+  match ctx.Context.analyze with
+  | None -> combine (exec_query ctx ~user a) (exec_query ctx ~user b)
+  | Some an ->
+      let side q =
+        let rs = exec_query ctx ~user q in
+        let n = Analyze.root an in
+        (rs, n)
+      in
+      let ra, na = side a in
+      let rb, nb = side b in
+      let children = List.filter_map Fun.id [ na; nb ] in
+      let node = Analyze.node ~children label in
+      let out = Analyze.timed_block an node (fun () -> combine ra rb) in
+      Analyze.record_rows node (Propagate.row_count out);
+      Analyze.set_root an node;
+      out
 
 (* Top-level equality conjuncts col = literal of a WHERE expression. *)
 and equality_conjuncts expr =
@@ -311,8 +428,13 @@ and exec_select ctx ~user (sel : Ast.select) : Propagate.t =
     let resolve = make_resolver frame.Plan.schema frame.Plan.prefixes in
     (* resolve the WHERE up front (same errors as the naive evaluator),
        then let the planner classify its conjuncts *)
-    let where = Option.map (resolve_expr resolve) sel.Ast.where in
-    let plan = Plan.build ctx frame ~where in
+    let where =
+      Obs.span ctx.Context.obs "resolve" (fun () ->
+          Option.map (resolve_expr resolve) sel.Ast.where)
+    in
+    let plan =
+      Obs.span ctx.Context.obs "plan" (fun () -> Plan.build ctx frame ~where)
+    in
     if select_needs_anns ctx sel then exec_select_annotated ctx plan sel
     else exec_select_plain ctx plan sel
   end
@@ -322,23 +444,43 @@ and exec_select ctx ~user (sel : Ast.select) : Propagate.t =
    (minus index probing) as the semantic oracle the equivalence tests run
    the pipelined engine against. *)
 and exec_select_naive ctx (sel : Ast.select) : Propagate.t =
+  let an = ctx.Context.analyze in
   let multi = List.length sel.Ast.from > 1 in
   let scans =
     List.map
       (fun (f : Ast.from_item) ->
         let table = find_table ctx f.Ast.table in
-        let rs = scan_table ctx table ~ann_tables:f.Ast.ann_tables () in
-        if multi then
-          prefix_schema (Option.value f.Ast.table_alias ~default:f.Ast.table) rs
-        else rs)
+        let n =
+          Analyze.node
+            ~est_rows:(float_of_int (Table.live_count table))
+            (Printf.sprintf "SCAN %s" f.Ast.table)
+        in
+        let rs =
+          analyze_block an n (fun () ->
+              let rs = scan_table ctx table ~ann_tables:f.Ast.ann_tables () in
+              if multi then
+                prefix_schema
+                  (Option.value f.Ast.table_alias ~default:f.Ast.table)
+                  rs
+              else rs)
+        in
+        (rs, n))
       sel.Ast.from
   in
-  let joined =
+  let joined, joined_n =
     match scans with
     | [] -> assert false
     | first :: rest ->
         List.fold_left
-          (fun acc rs -> Propagate.join acc rs ~on:(Expr.Lit (Value.VBool true)))
+          (fun (acc, acc_n) (rs, rs_n) ->
+            let n =
+              Analyze.node
+                ~est_rows:(acc_n.Analyze.est_rows *. rs_n.Analyze.est_rows)
+                ~children:[ acc_n; rs_n ] "NESTED-LOOP JOIN"
+            in
+            ( analyze_block an n (fun () ->
+                  Propagate.join acc rs ~on:(Expr.Lit (Value.VBool true))),
+              n ))
           first rest
   in
   let prefixes =
@@ -347,46 +489,72 @@ and exec_select_naive ctx (sel : Ast.select) : Propagate.t =
       sel.Ast.from
   in
   let resolve = make_resolver joined.Propagate.schema prefixes in
-  let filtered =
+  let filtered, filtered_n =
     match sel.Ast.where with
-    | None -> joined
-    | Some e -> Propagate.select joined (resolve_expr resolve e)
+    | None -> (joined, joined_n)
+    | Some e ->
+        let sel_f = Plan.selectivity e in
+        let n =
+          Analyze.node
+            ~est_rows:(joined_n.Analyze.est_rows *. sel_f)
+            ~children:[ joined_n ]
+            (Printf.sprintf "WHERE (selectivity %.2f)" sel_f)
+        in
+        (analyze_block an n (fun () -> Propagate.select joined (resolve_expr resolve e)), n)
   in
-  finish_select sel filtered prefixes
+  analyze_finish an (Some filtered_n) (fun () -> finish_select sel filtered prefixes)
 
 (* Pipelined execution over annotated tuples: per-source pushdown, hash
    joins carrying annotation arrays, then the shared materialized tail. *)
 and exec_select_annotated ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
+  Obs.span ctx.Context.obs "annotation.propagate" @@ fun () ->
   let stats = Disk.stats ctx.Context.disk in
+  let an = ctx.Context.analyze in
   let source_atuples (src : Plan.source) =
-    let rs =
-      let ann_tables = src.Plan.item.Ast.ann_tables in
-      match src.Plan.access with
-      | Plan.Seq_scan -> scan_table ctx src.Plan.table ~ann_tables ()
-      | Plan.Index_probe { index; value } ->
-          let idx = fresh_index ctx index in
-          Stats.record_index_probe stats;
-          let rows =
-            Bdbms_index.Btree.search idx.Context.tree (Context.index_key value)
-          in
-          scan_table ctx src.Plan.table ~ann_tables ~only_rows:rows ()
+    let nodes =
+      match an with None -> None | Some _ -> Some (analyze_source_nodes src)
     in
-    let rs = { rs with Propagate.schema = src.Plan.schema } in
-    List.fold_left
-      (fun rs e ->
-        let before = Propagate.row_count rs in
-        let rs = Propagate.select rs e in
-        for _ = 1 to before - Propagate.row_count rs do
-          Stats.record_pushdown_prune stats
-        done;
-        rs)
-      rs src.Plan.pushed
+    let scan () =
+      let rs =
+        let ann_tables = src.Plan.item.Ast.ann_tables in
+        match src.Plan.access with
+        | Plan.Seq_scan -> scan_table ctx src.Plan.table ~ann_tables ()
+        | Plan.Index_probe { index; value } ->
+            let idx = fresh_index ctx index in
+            Stats.record_index_probe stats;
+            let rows =
+              Bdbms_index.Btree.search idx.Context.tree (Context.index_key value)
+            in
+            scan_table ctx src.Plan.table ~ann_tables ~only_rows:rows ()
+      in
+      { rs with Propagate.schema = src.Plan.schema }
+    in
+    let pushed rs =
+      List.fold_left
+        (fun rs e ->
+          let before = Propagate.row_count rs in
+          let rs = Propagate.select rs e in
+          for _ = 1 to before - Propagate.row_count rs do
+            Stats.record_pushdown_prune stats
+          done;
+          rs)
+        rs src.Plan.pushed
+    in
+    match nodes with
+    | None -> (pushed (scan ()), None)
+    | Some (scan_n, top_n) ->
+        let rs = analyze_block an scan_n scan in
+        let rs =
+          if top_n == scan_n then pushed rs
+          else analyze_block an top_n (fun () -> pushed rs)
+        in
+        (rs, Some top_n)
   in
-  let joined =
+  let joined, joined_n =
     List.fold_left
-      (fun acc (step : Plan.step) ->
-        let right = source_atuples step.Plan.src in
-        let joined =
+      (fun (acc, acc_n) (step : Plan.step) ->
+        let right, right_n = source_atuples step.Plan.src in
+        let join () =
           match step.Plan.kind with
           | Plan.Hash { left_cols; right_cols; build_left } ->
               let off = step.Plan.src.Plan.offset in
@@ -396,11 +564,25 @@ and exec_select_annotated ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
           | Plan.Nested ->
               Propagate.join acc right ~on:(Expr.Lit (Value.VBool true))
         in
-        List.fold_left Propagate.select joined step.Plan.post)
+        match (acc_n, right_n) with
+        | Some acc_n, Some right_n ->
+            let join_n, top_n =
+              analyze_step_nodes plan.Plan.schema acc_n step right_n
+            in
+            let rs = analyze_block an join_n join in
+            let rs =
+              if top_n == join_n then
+                List.fold_left Propagate.select rs step.Plan.post
+              else
+                analyze_block an top_n (fun () ->
+                    List.fold_left Propagate.select rs step.Plan.post)
+            in
+            (rs, Some top_n)
+        | _ -> (List.fold_left Propagate.select (join ()) step.Plan.post, None))
       (source_atuples plan.Plan.base)
       plan.Plan.steps
   in
-  finish_select sel joined plan.Plan.prefixes
+  analyze_finish an joined_n (fun () -> finish_select sel joined plan.Plan.prefixes)
 
 (* Pipelined execution over bare tuples (no annotation operators in the
    query, no outdated marks): volcano cursors end to end, the [Propagate]
@@ -408,6 +590,15 @@ and exec_select_annotated ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
 and exec_select_plain ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
   let stats = Disk.stats ctx.Context.disk in
   let prefixes = plan.Plan.prefixes in
+  let an = ctx.Context.analyze in
+  (* Wrap a cursor so every pull is timed and attributed to [n]. *)
+  let meter n cur =
+    match an with
+    | None -> cur
+    | Some a ->
+        Cursor.make (Cursor.schema cur)
+          (Analyze.meter_pull a n (fun () -> Cursor.next cur))
+  in
   let source_cursor (src : Plan.source) =
     let base =
       match src.Plan.access with
@@ -433,17 +624,26 @@ and exec_select_plain ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
           Cursor.make (Table.schema table) pull
     in
     let cur = Cursor.rename base src.Plan.schema in
-    List.fold_left
-      (fun cur e ->
-        Cursor.select
-          ~on_drop:(fun () -> Stats.record_pushdown_prune stats)
-          cur e)
-      cur src.Plan.pushed
+    let pushed cur =
+      List.fold_left
+        (fun cur e ->
+          Cursor.select
+            ~on_drop:(fun () -> Stats.record_pushdown_prune stats)
+            cur e)
+        cur src.Plan.pushed
+    in
+    match an with
+    | None -> (pushed cur, None)
+    | Some _ ->
+        let scan_n, top_n = analyze_source_nodes src in
+        let cur = pushed (meter scan_n cur) in
+        let cur = if top_n == scan_n then cur else meter top_n cur in
+        (cur, Some top_n)
   in
-  let cur =
+  let cur, plan_n =
     List.fold_left
-      (fun acc (step : Plan.step) ->
-        let right = source_cursor step.Plan.src in
+      (fun (acc, acc_n) (step : Plan.step) ->
+        let right, right_n = source_cursor step.Plan.src in
         let joined =
           match step.Plan.kind with
           | Plan.Hash { left_cols; right_cols; build_left } ->
@@ -453,13 +653,67 @@ and exec_select_plain ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
                 acc right
           | Plan.Nested -> Cursor.block_join acc right
         in
-        List.fold_left Cursor.select joined step.Plan.post)
+        match (acc_n, right_n) with
+        | Some acc_n, Some right_n ->
+            let join_n, top_n =
+              analyze_step_nodes plan.Plan.schema acc_n step right_n
+            in
+            let cur =
+              List.fold_left Cursor.select (meter join_n joined) step.Plan.post
+            in
+            let cur = if top_n == join_n then cur else meter top_n cur in
+            (cur, Some top_n)
+        | _ -> (List.fold_left Cursor.select joined step.Plan.post, None))
       (source_cursor plan.Plan.base)
       plan.Plan.steps
+  in
+  (* Tail-stage recorder: each stage node stacks on the previous one, so
+     the analyze tree mirrors the actual execution order (which may sort
+     before projecting, unlike the estimate tree). *)
+  let top_ref = ref plan_n in
+  let cur_est = ref (match an with
+    | None -> Float.nan
+    | Some _ -> (
+        match List.rev plan.Plan.steps with
+        | step :: _ -> step.Plan.est_rows
+        | [] -> plan.Plan.base.Plan.est_rows))
+  in
+  let push ?est label =
+    (match est with Some e -> cur_est := e | None -> ());
+    let n =
+      Analyze.node ~est_rows:!cur_est
+        ~children:(Option.to_list !top_ref)
+        label
+    in
+    top_ref := Some n;
+    n
+  in
+  (* streaming stage: meter the pulls *)
+  let stage ?est label cur =
+    match an with
+    | None -> cur
+    | Some a ->
+        let n = push ?est label in
+        Cursor.make (Cursor.schema cur)
+          (Analyze.meter_pull a n (fun () -> Cursor.next cur))
+  in
+  (* eager stage: time the materializing computation as one block *)
+  let stage_rs ?est label f =
+    match an with
+    | None -> f ()
+    | Some a ->
+        let n = push ?est label in
+        let rs = Analyze.timed_block a n f in
+        Analyze.record_rows n (List.length rs.Ops.rows);
+        rs
   in
   let resolve = make_resolver plan.Plan.schema prefixes in
   let limit_n = Option.map (max 0) sel.Ast.limit in
   let offset_n = max 0 (Option.value sel.Ast.offset ~default:0) in
+  let project_label =
+    if sel.Ast.items = [ Ast.Star ] then "PROJECT *"
+    else Printf.sprintf "PROJECT (%d items)" (List.length sel.Ast.items)
+  in
   let has_aggregates =
     List.exists
       (function Ast.Item { expr = Ast.Aggregate _; _ } -> true | _ -> false)
@@ -497,10 +751,15 @@ and exec_select_plain ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
           | Ast.Item { expr = Ast.Aggregate _; _ } -> ())
         sel.Ast.items;
       let grouped =
-        if keys = [] then
-          (* ungrouped aggregates: one streaming pass, constant memory *)
-          Cursor.aggregate cur aggs
-        else Ops.group_by (Cursor.to_rowset cur) ~keys ~aggs
+        let label =
+          if keys = [] then "AGGREGATE"
+          else Printf.sprintf "GROUP BY %s" (String.concat "," sel.Ast.group_by)
+        in
+        stage_rs ~est:(Float.max 1.0 (!cur_est /. 10.0)) label (fun () ->
+            if keys = [] then
+              (* ungrouped aggregates: one streaming pass, constant memory *)
+              Cursor.aggregate cur aggs
+            else Ops.group_by (Cursor.to_rowset cur) ~keys ~aggs)
       in
       let grouped =
         match sel.Ast.having with
@@ -520,18 +779,21 @@ and exec_select_plain ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
             | _ -> assert false)
           sel.Ast.items
       in
-      let projected = Ops.project grouped (List.map fst out_names) in
-      let renames = List.filter (fun (src, dst) -> src <> dst) out_names in
       let rs =
-        { projected with
-          Ops.schema = Schema.rename_columns projected.Ops.schema renames }
+        stage_rs project_label (fun () ->
+            let projected = Ops.project grouped (List.map fst out_names) in
+            let renames =
+              List.filter (fun (src, dst) -> src <> dst) out_names
+            in
+            { projected with
+              Ops.schema = Schema.rename_columns projected.Ops.schema renames })
       in
       Cursor.of_list rs.Ops.schema rs.Ops.rows
     end
     else begin
       (* scalar path (PROMOTE never reaches here: it needs annotations) *)
       match sel.Ast.items with
-      | [ Ast.Star ] -> cur
+      | [ Ast.Star ] -> stage project_label cur
       | items ->
           let extended, proj_names =
             List.fold_left
@@ -567,22 +829,38 @@ and exec_select_plain ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
                 let schema = Cursor.schema extended in
                 match limit_n with
                 | Some n when not sel.Ast.distinct ->
-                    Cursor.of_list schema
-                      (Cursor.top_k extended ~cmp:(order_cmp schema specs)
-                         ~k:(offset_n + n))
+                    let k = offset_n + n in
+                    let rs =
+                      stage_rs
+                        ~est:(Float.min !cur_est (float_of_int k))
+                        (Printf.sprintf "TOP-K (k=%d)" k)
+                        (fun () ->
+                          { Ops.schema;
+                            rows =
+                              Cursor.top_k extended
+                                ~cmp:(order_cmp schema specs) ~k })
+                    in
+                    Cursor.of_list rs.Ops.schema rs.Ops.rows
                 | _ ->
-                    let rs = Ops.order_by (Cursor.to_rowset extended) specs in
+                    let rs =
+                      stage_rs "SORT" (fun () ->
+                          Ops.order_by (Cursor.to_rowset extended) specs)
+                    in
                     Cursor.of_list rs.Ops.schema rs.Ops.rows)
           in
           let projected = Cursor.project extended (List.map fst proj_names) in
           let renames = List.filter (fun (src, dst) -> src <> dst) proj_names in
-          Cursor.rename projected
-            (Schema.rename_columns (Cursor.schema projected) renames)
+          stage project_label
+            (Cursor.rename projected
+               (Schema.rename_columns (Cursor.schema projected) renames))
     end
   in
   let already_sorted = not (has_aggregates || sel.Ast.group_by <> []) in
   let result =
-    if sel.Ast.distinct then Cursor.distinct projected else projected
+    if sel.Ast.distinct then
+      (* 0.8 mirrors Cost.distinct_factor *)
+      stage ~est:(!cur_est *. 0.8) "DISTINCT" (Cursor.distinct projected)
+    else projected
   in
   let result =
     match sel.Ast.order_by with
@@ -595,18 +873,32 @@ and exec_select_plain ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
         match limit_n with
         | Some n ->
             (* DISTINCT (if any) already ran, so top-k is safe here *)
-            Cursor.of_list schema
-              (Cursor.top_k result ~cmp:(order_cmp schema specs)
-                 ~k:(offset_n + n))
+            let k = offset_n + n in
+            let rs =
+              stage_rs
+                ~est:(Float.min !cur_est (float_of_int k))
+                (Printf.sprintf "TOP-K (k=%d)" k)
+                (fun () ->
+                  { Ops.schema;
+                    rows = Cursor.top_k result ~cmp:(order_cmp schema specs) ~k })
+            in
+            Cursor.of_list rs.Ops.schema rs.Ops.rows
         | None ->
-            let rs = Ops.order_by (Cursor.to_rowset result) specs in
+            let rs =
+              stage_rs "SORT" (fun () ->
+                  Ops.order_by (Cursor.to_rowset result) specs)
+            in
             Cursor.of_list rs.Ops.schema rs.Ops.rows)
   in
   let result = if offset_n > 0 then Cursor.offset result offset_n else result in
   let result =
     match limit_n with None -> result | Some n -> Cursor.limit result n
   in
-  Propagate.of_rowset (Cursor.to_rowset result)
+  let out = Propagate.of_rowset (Cursor.to_rowset result) in
+  (match (an, !top_ref) with
+  | Some a, Some n -> Analyze.set_root a n
+  | _ -> ());
+  out
 
 (* Everything from AWHERE to LIMIT over a materialized annotated rowset —
    shared by the naive oracle and the annotated pipelined path. *)
@@ -1205,12 +1497,40 @@ let show_outdated (ctx : Context.t) table_name =
   in
   Rows { Propagate.schema = out_schema; rows }
 
+(* -------------------------------------------------------- explain analyze *)
+
+(* Run a query with the EXPLAIN ANALYZE recorder installed, returning the
+   recorded operator tree alongside the result and total wall time.
+   Exposed for the differential tests, which check per-node actual row
+   counts against the naive oracle. *)
+let analyze_query (ctx : Context.t) ~user (q : Ast.query) =
+  let an = Analyze.create (Disk.stats ctx.Context.disk) in
+  ctx.Context.analyze <- Some an;
+  Fun.protect
+    ~finally:(fun () -> ctx.Context.analyze <- None)
+    (fun () ->
+      let result, elapsed =
+        Timer.timed (fun () ->
+            Obs.span ctx.Context.obs "explain_analyze" (fun () ->
+                exec_query ctx ~user q))
+      in
+      (Analyze.root an, result, elapsed))
+
+let explain_analyze ctx ~user q =
+  match analyze_query ctx ~user q with
+  | Some root, result, elapsed ->
+      Analyze.render ~total_ns:elapsed
+        ~returned:(Propagate.row_count result)
+        root
+  | None, _, _ -> "EXPLAIN ANALYZE: no operators recorded"
+
 (* --------------------------------------------------------------- execute *)
 
 let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
   match stmt with
   | Ast.Query q -> Rows (exec_query ctx ~user q)
   | Ast.Explain q -> Message (Cost.explain ctx q)
+  | Ast.Explain_analyze q -> Message (explain_analyze ctx ~user q)
   | Ast.Create_table { name; columns } ->
       ddl_hit ctx;
       let schema =
@@ -1433,18 +1753,24 @@ let execute ctx ~user stmt =
   | exception Invalid_argument msg -> Error msg
 
 let run ctx ~user src =
-  match Parser.parse src with
+  match Obs.span ctx.Context.obs "parse" (fun () -> Parser.parse src) with
   | Error e -> Error e
-  | Ok stmt -> execute ctx ~user stmt
+  | Ok stmt ->
+      Obs.span ctx.Context.obs "execute" (fun () -> execute ctx ~user stmt)
 
 let run_script ctx ~user src =
-  match Parser.parse_multi src with
+  match
+    Obs.span ctx.Context.obs "parse" (fun () -> Parser.parse_multi src)
+  with
   | Error e -> Error e
   | Ok stmts ->
       let rec go acc = function
         | [] -> Ok (List.rev acc)
         | stmt :: rest -> (
-            match execute ctx ~user stmt with
+            match
+              Obs.span ctx.Context.obs "execute" (fun () ->
+                  execute ctx ~user stmt)
+            with
             | Ok outcome -> go (outcome :: acc) rest
             | Error _ as e -> e)
       in

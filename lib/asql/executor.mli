@@ -16,6 +16,16 @@ type outcome =
 val execute :
   Context.t -> user:string -> Ast.statement -> (outcome, string) result
 
+val analyze_query :
+  Context.t ->
+  user:string ->
+  Ast.query ->
+  Analyze.node option * Bdbms_annotation.Propagate.t * Bdbms_util.Timer.ns
+(** Execute [q] with the {!Analyze} recorder installed: the recorded
+    operator tree (if any), the result rows, and total wall time.  This
+    is [EXPLAIN ANALYZE] before rendering; exposed so tests can compare
+    per-node actuals against the naive oracle. *)
+
 val run : Context.t -> user:string -> string -> (outcome, string) result
 (** Parse then execute one statement. *)
 

@@ -609,7 +609,9 @@ let parse_create st =
 
 let parse_statement_inner st =
   if at_kw st "SELECT" then Ast.Query (parse_query st)
-  else if try_kw st "EXPLAIN" then Ast.Explain (parse_query st)
+  else if try_kw st "EXPLAIN" then
+    if try_kw st "ANALYZE" then Ast.Explain_analyze (parse_query st)
+    else Ast.Explain (parse_query st)
   else if try_kw st "CREATE" then parse_create st
   else if try_kw st "DROP" then begin
     if try_kw st "TABLE" then Ast.Drop_table (ident st)

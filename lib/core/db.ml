@@ -2,6 +2,10 @@ module Context = Bdbms_asql.Context
 module Executor = Bdbms_asql.Executor
 module Stats = Bdbms_storage.Stats
 module Disk = Bdbms_storage.Disk
+module Obs = Bdbms_obs.Obs
+module Trace = Bdbms_obs.Trace
+module Metrics = Bdbms_obs.Metrics
+module Timer = Bdbms_util.Timer
 
 type t = {
   mutable ctx : Context.t;
@@ -12,6 +16,8 @@ type t = {
   policy : Bdbms_storage.Pager.policy option;
   path : string option;
   fault : Bdbms_storage.Fault.t option;
+  obs : Obs.t;
+  mutable slow_ms : float option;
 }
 
 let register_bio ctx =
@@ -25,14 +31,15 @@ let register_bio ctx =
 
 (* The built-in procedures must exist before the catalog bootstrap so
    persisted dependency chains rebind to their executable bodies. *)
-let open_ctx ?page_size ?pool_pages ?policy ?path ?fault () =
-  let ctx = Context.create ?page_size ?pool_pages ?policy ?path ?fault () in
+let open_ctx ?page_size ?pool_pages ?policy ?path ?fault ?obs () =
+  let ctx = Context.create ?page_size ?pool_pages ?policy ?path ?fault ?obs () in
   register_bio ctx;
   let n = Context.bootstrap ctx in
   (ctx, n)
 
 let create ?page_size ?pool_pages ?policy ?path ?fault () =
-  let ctx, n = open_ctx ?page_size ?pool_pages ?policy ?path ?fault () in
+  let obs = Obs.create () in
+  let ctx, n = open_ctx ?page_size ?pool_pages ?policy ?path ?fault ~obs () in
   {
     ctx;
     closed = false;
@@ -42,6 +49,8 @@ let create ?page_size ?pool_pages ?policy ?path ?fault () =
     policy;
     path;
     fault;
+    obs;
+    slow_ms = None;
   }
 
 let context t = t.ctx
@@ -64,7 +73,7 @@ let rollback t =
     Disk.abandon old.Context.disk;
     let ctx, n =
       open_ctx ?page_size:t.page_size ?pool_pages:t.pool_pages
-        ?policy:t.policy ?path:t.path ?fault:t.fault ()
+        ?policy:t.policy ?path:t.path ?fault:t.fault ~obs:t.obs ()
     in
     ctx.Context.strict_acl <- old.Context.strict_acl;
     ctx.Context.auto_provenance <- old.Context.auto_provenance;
@@ -79,11 +88,29 @@ let autocommit t = function
   | Ok _ -> if durable t then Context.commit t.ctx
   | Error _ -> rollback t
 
+(* Per-statement observation: every execution lands in the statement
+   latency histogram; when the slow-query log is armed, statements at or
+   over the threshold print their text plus the trace spans they opened
+   (tracing is enabled by [set_slow_ms], so the spans are there). *)
+let observed t sql f =
+  let mark = Trace.mark t.obs.Obs.trace in
+  let r, elapsed = Timer.timed f in
+  Metrics.observe t.obs.Obs.stmt_hist elapsed;
+  (match t.slow_ms with
+  | Some threshold when Timer.ns_to_ms elapsed >= threshold ->
+      Printf.eprintf "[slow query: %s] %s\n%s%!"
+        (Format.asprintf "%a" Timer.pp_ns elapsed)
+        (String.trim sql)
+        (Trace.render_tree ~since:mark t.obs.Obs.trace)
+  | _ -> ());
+  r
+
 let exec t ?(user = Context.superuser) sql =
   guard t (fun () ->
-      let r = Executor.run t.ctx ~user sql in
-      autocommit t r;
-      r)
+      observed t sql (fun () ->
+          let r = Executor.run t.ctx ~user sql in
+          autocommit t r;
+          r))
 
 let exec_exn t ?user sql =
   match exec t ?user sql with
@@ -92,9 +119,10 @@ let exec_exn t ?user sql =
 
 let exec_script t ?(user = Context.superuser) sql =
   guard t (fun () ->
-      let r = Executor.run_script t.ctx ~user sql in
-      autocommit t r;
-      r)
+      observed t sql (fun () ->
+          let r = Executor.run_script t.ctx ~user sql in
+          autocommit t r;
+          r))
 
 let render_exn t ?user sql = Executor.render (exec_exn t ?user sql)
 
@@ -118,3 +146,20 @@ let catalog_records t = t.catalog_records
 
 let io_stats t = Stats.snapshot (Disk.stats t.ctx.Context.disk)
 let reset_io_stats t = Stats.reset (Disk.stats t.ctx.Context.disk)
+
+(* ---------------------------------------------------------- observability *)
+
+let obs t = t.obs
+let metrics t = Metrics.render t.obs.Obs.metrics
+
+let set_tracing t v = Trace.set_enabled t.obs.Obs.trace v
+let tracing t = Trace.enabled t.obs.Obs.trace
+let trace_tree t = Trace.render_tree t.obs.Obs.trace
+let trace_json t = Trace.render_json t.obs.Obs.trace
+
+let set_slow_ms t v =
+  t.slow_ms <- v;
+  (* the slow log prints the offender's span tree, so arm tracing with it *)
+  if v <> None then Trace.set_enabled t.obs.Obs.trace true
+
+let slow_ms t = t.slow_ms

@@ -104,3 +104,37 @@ val io_stats : t -> Bdbms_storage.Stats.snapshot
 (** Cumulative page-level I/O of the database's simulated disk. *)
 
 val reset_io_stats : t -> unit
+
+(** {1 Observability}
+
+    Every handle owns one {!Bdbms_obs.Obs.t} shared with the storage
+    layer and the executor; it survives the context recreation a rollback
+    performs, so histograms and traces accumulate across transactions. *)
+
+val obs : t -> Bdbms_obs.Obs.t
+(** The handle's trace ring and metrics registry, for programmatic use. *)
+
+val metrics : t -> string
+(** Prometheus-style text exposition of every registered counter, gauge,
+    and latency histogram (statement execution, WAL group flush, eviction
+    write-back, catalog root swap, checkpoint, recovery). *)
+
+val set_tracing : t -> bool -> unit
+(** Turn hierarchical trace-span recording on or off (off by default;
+    the disabled path costs one branch per span site). *)
+
+val tracing : t -> bool
+
+val trace_tree : t -> string
+(** The recorded spans as an indented tree (most recent window of the
+    fixed-size ring). *)
+
+val trace_json : t -> string
+(** The recorded spans as a flat JSON array. *)
+
+val set_slow_ms : t -> float option -> unit
+(** Arm (or disarm with [None]) the slow-query log: any statement whose
+    wall time reaches the threshold prints its text and span tree to
+    stderr.  Arming also enables tracing so the spans exist. *)
+
+val slow_ms : t -> float option

@@ -1,0 +1,211 @@
+(* The metrics registry: named counters, gauges, and log-scale latency
+   histograms with Prometheus-style text exposition.
+
+   Instruments are cheap enough to stay always-on: a counter increment is
+   one int store, a histogram observation is a bucket-index computation
+   (a handful of shifts) plus two int stores.  There is no locking — the
+   engine is single-threaded — and no allocation on the hot path.
+
+   Histograms are log-linear (HDR-style): values below [linear_cutoff]
+   get exact buckets; above it each power-of-two octave is split into
+   [sub_per_octave] sub-buckets, bounding the relative quantile error to
+   1/sub_per_octave (~6%).  Quantiles are computed on demand by walking
+   the bucket array, so [observe] never sorts or samples. *)
+
+type counter = { c_name : string; c_help : string; mutable c_value : int }
+type gauge = { g_name : string; g_help : string; mutable g_value : float }
+
+let linear_cutoff = 32 (* exact buckets for 0..31 *)
+let sub_per_octave = 16
+let sub_shift = 4 (* log2 sub_per_octave *)
+
+(* Bucket count for 62-bit values: 32 linear + one sub-bucketed band per
+   octave from 2^5 up to 2^62. *)
+let n_buckets = linear_cutoff + ((62 - 5 + 1) * sub_per_octave)
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = {
+  tbl : (string, instrument) Hashtbl.t;
+  mutable order : string list; (* registration order, newest first *)
+}
+
+let create () = { tbl = Hashtbl.create 16; order = [] }
+
+let register t name instr =
+  if Hashtbl.mem t.tbl name then
+    invalid_arg (Printf.sprintf "Metrics: %s already registered" name);
+  Hashtbl.replace t.tbl name instr;
+  t.order <- name :: t.order
+
+let counter t ?(help = "") name =
+  let c = { c_name = name; c_help = help; c_value = 0 } in
+  register t name (Counter c);
+  c
+
+let gauge t ?(help = "") name =
+  let g = { g_name = name; g_help = help; g_value = 0.0 } in
+  register t name (Gauge g);
+  g
+
+let histogram t ?(help = "") name =
+  let h =
+    {
+      h_name = name;
+      h_help = help;
+      h_buckets = Array.make n_buckets 0;
+      h_count = 0;
+      h_sum = 0;
+      h_min = max_int;
+      h_max = 0;
+    }
+  in
+  register t name (Histogram h);
+  h
+
+let inc c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+(* ------------------------------------------------------------- buckets *)
+
+let bit_length v =
+  let rec go n v = if v = 0 then n else go (n + 1) (v lsr 1) in
+  go 0 v
+
+let bucket_of v =
+  if v < linear_cutoff then v
+  else
+    let msb = bit_length v - 1 in
+    let sub = (v lsr (msb - sub_shift)) land (sub_per_octave - 1) in
+    linear_cutoff + ((msb - 5) * sub_per_octave) + sub
+
+(* Lower bound of a bucket: the smallest value mapping to it (the
+   quantile estimate reported; under-reports by < 1/sub_per_octave). *)
+let bucket_floor i =
+  if i < linear_cutoff then i
+  else
+    let band = (i - linear_cutoff) / sub_per_octave in
+    let sub = (i - linear_cutoff) mod sub_per_octave in
+    let msb = band + 5 in
+    (1 lsl msb) lor (sub lsl (msb - sub_shift))
+
+let observe h v =
+  let v = if v < 0 then 0 else v in
+  let i = bucket_of v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let count h = h.h_count
+let sum h = h.h_sum
+
+(* The value at quantile [q] (0 < q <= 1): the floor of the bucket where
+   the cumulative count first reaches [ceil (q * count)], clamped to the
+   observed min/max so tiny histograms read sensibly. *)
+let quantile h q =
+  if h.h_count = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int h.h_count)) in
+      if r < 1 then 1 else if r > h.h_count then h.h_count else r
+    in
+    let rec walk i acc =
+      if i >= n_buckets then h.h_max
+      else
+        let acc = acc + h.h_buckets.(i) in
+        if acc >= rank then bucket_floor i else walk (i + 1) acc
+    in
+    let v = walk 0 0 in
+    if v < h.h_min then h.h_min else if v > h.h_max then h.h_max else v
+  end
+
+let reset_histogram h =
+  Array.fill h.h_buckets 0 n_buckets 0;
+  h.h_count <- 0;
+  h.h_sum <- 0;
+  h.h_min <- max_int;
+  h.h_max <- 0
+
+(* ---------------------------------------------------------- exposition *)
+
+(* Prometheus-ish text format.  Histograms are exposed summary-style:
+   quantile series plus _count and _sum.  Times are recorded in
+   nanoseconds; any *_ns name is also given in seconds under the
+   conventional _seconds name, so dashboards get SI units. *)
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let render_instrument buf = function
+  | Counter c ->
+      if c.c_help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" c.c_name c.c_help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" c.c_name);
+      Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name c.c_value)
+  | Gauge g ->
+      if g.g_help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" g.g_name g.g_help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" g.g_name);
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s\n" g.g_name (float_str g.g_value))
+  | Histogram h ->
+      if h.h_help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" h.h_name h.h_help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" h.h_name);
+      List.iter
+        (fun q ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{quantile=\"%s\"} %d\n" h.h_name
+               (float_str q) (quantile h q)))
+        [ 0.5; 0.95; 0.99 ];
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" h.h_name h.h_count);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" h.h_name h.h_sum)
+
+let render t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some i -> render_instrument buf i
+      | None -> ())
+    (List.rev t.order);
+  Buffer.contents buf
+
+(* One human line per histogram, for the CLI. *)
+let summary_line h =
+  if h.h_count = 0 then Printf.sprintf "%-32s (no observations)" h.h_name
+  else
+    Printf.sprintf "%-32s n=%-6d p50=%-10s p95=%-10s p99=%-10s max=%s"
+      h.h_name h.h_count
+      (Format.asprintf "%a" Bdbms_util.Timer.pp_ns (quantile h 0.5))
+      (Format.asprintf "%a" Bdbms_util.Timer.pp_ns (quantile h 0.95))
+      (Format.asprintf "%a" Bdbms_util.Timer.pp_ns (quantile h 0.99))
+      (Format.asprintf "%a" Bdbms_util.Timer.pp_ns h.h_max)
+
+let histograms t =
+  List.filter_map
+    (fun name ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Histogram h) -> Some h
+      | _ -> None)
+    (List.rev t.order)

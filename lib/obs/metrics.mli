@@ -1,0 +1,64 @@
+(** Metrics registry: named counters, gauges, and log-scale latency
+    histograms, with Prometheus-style text exposition.
+
+    All instruments are always-on: an observation is a few integer
+    operations with no allocation, so the engine registers its latency
+    histograms unconditionally and [Db.metrics] / the CLI's [\metrics]
+    read them on demand.
+
+    Histograms are log-linear (exact below 32, then 16 sub-buckets per
+    power-of-two octave), bounding quantile error to ~6% without storing
+    samples.  Values are conventionally nanoseconds ({!Bdbms_util.Timer}
+    readings), but any non-negative int works. *)
+
+type t
+(** A registry.  Names must be unique within a registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> string -> counter
+(** @raise Invalid_argument if the name is already registered. *)
+
+val gauge : t -> ?help:string -> string -> gauge
+val histogram : t -> ?help:string -> string -> histogram
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> int -> unit
+(** Record one value (negative values clamp to 0). *)
+
+val count : histogram -> int
+val sum : histogram -> int
+
+val quantile : histogram -> float -> int
+(** [quantile h 0.95] is the p95 estimate: the floor of the bucket where
+    the cumulative count reaches the rank, clamped to observed min/max.
+    0 when the histogram is empty. *)
+
+val reset_histogram : histogram -> unit
+
+val render : t -> string
+(** Prometheus-style text: counters and gauges as single samples,
+    histograms as summaries ([name{quantile="0.5"}], [name_count],
+    [name_sum]), in registration order. *)
+
+val summary_line : histogram -> string
+(** One aligned human-readable line: count, p50/p95/p99, max. *)
+
+val histograms : t -> histogram list
+
+(**/**)
+
+val bucket_of : int -> int
+(** Exposed for the percentile-math tests. *)
+
+val bucket_floor : int -> int

@@ -37,6 +37,8 @@
      is untouched until the replayed state is synced, so a crash during
      recovery just replays again. *)
 
+module Obs = Bdbms_obs.Obs
+
 type location =
   | In_slot (* latest image stolen to (or already in) its file slot *)
   | In_wal of int (* latest image is the Page_write record at this offset *)
@@ -56,6 +58,7 @@ type core = {
   page_size : int;
   stats : Stats.t;
   fault : Fault.t;
+  obs : Obs.t option;
   mutable mem : Page.t array; (* mem mode: the simulated stable store *)
   mutable count : int;
   durable : durable option;
@@ -156,11 +159,18 @@ let push_record c d id page ~evicting =
   end
 
 let src_write_back c id page ~evicting =
-  match c.durable with
-  | None ->
-      c.mem.(id) <- Page.copy page;
-      Stats.record_write c.stats
-  | Some d -> push_record c d id page ~evicting
+  let work () =
+    match c.durable with
+    | None ->
+        c.mem.(id) <- Page.copy page;
+        Stats.record_write c.stats
+    | Some d -> push_record c d id page ~evicting
+  in
+  if evicting then
+    match c.obs with
+    | Some o -> Obs.timed o o.Obs.evict_writeback_hist "pager.evict_writeback" work
+    | None -> work ()
+  else work ()
 
 let src_alloc c () =
   Fault.check c.fault;
@@ -196,12 +206,13 @@ let make_pager core ~policy ~guard ~capacity =
 (* ------------------------------------------------------------ creation *)
 
 let create ?(page_size = Page.default_size) ?pool_pages
-    ?(policy = Pager.Lru) ?guard () =
+    ?(policy = Pager.Lru) ?guard ?obs () =
   let core =
     {
       page_size;
       stats = Stats.create ();
       fault = Fault.create ();
+      obs;
       mem = Array.make 64 (Page.create ~size:page_size ());
       count = 0;
       durable = None;
@@ -216,7 +227,11 @@ let default_pool_pages = 256
 
 let open_file ?(page_size = Page.default_size) ?fault
     ?(wal_autocheckpoint = 4 * 1024 * 1024) ?wal_group_bytes
-    ?(pool_pages = default_pool_pages) ?(policy = Pager.Lru) ?guard path =
+    ?(pool_pages = default_pool_pages) ?(policy = Pager.Lru) ?guard ?obs path =
+  (* The whole open — CRC sweep, replay, sync — is the recovery
+     bootstrap; it feeds the recovery histogram (and a span when a
+     pre-enabled tracer is passed in). *)
+  let run () =
   let fault = match fault with Some f -> f | None -> Fault.create () in
   let stats = Stats.create () in
   let backend, stored = Backend.file ~fault ~page_size ~path in
@@ -267,7 +282,7 @@ let open_file ?(page_size = Page.default_size) ?fault
        just replays again on the next open. *)
     Backend.set_count backend !count;
     Backend.sync backend;
-    (Wal.open_reset ~fault ~stats ?group_bytes:wal_group_bytes wal_path, outcome)
+    (Wal.open_reset ~fault ~stats ?obs ?group_bytes:wal_group_bytes wal_path, outcome)
   with
   | wal, outcome ->
       let core =
@@ -275,6 +290,7 @@ let open_file ?(page_size = Page.default_size) ?fault
           page_size;
           stats;
           fault;
+          obs;
           mem = [||];
           count = !count;
           durable =
@@ -296,6 +312,10 @@ let open_file ?(page_size = Page.default_size) ?fault
   | exception e ->
       Backend.close backend;
       raise e
+  in
+  match obs with
+  | Some o -> Obs.timed o o.Obs.recovery_hist "recovery.bootstrap" run
+  | None -> run ()
 
 (* ------------------------------------------------------------- page ops *)
 
@@ -324,6 +344,7 @@ let checkpoint t =
   match t.core.durable with
   | None -> ()
   | Some d ->
+      let work () =
       Fault.check t.core.fault;
       Pager.flush_dirty t.pager;
       if d.uncommitted > 0 then begin
@@ -365,6 +386,10 @@ let checkpoint t =
       Hashtbl.reset d.logged;
       Hashtbl.reset d.stealable;
       Stats.record_checkpoint t.core.stats
+      in
+      (match t.core.obs with
+      | Some o -> Obs.timed o o.Obs.checkpoint_hist "disk.checkpoint" work
+      | None -> work ())
 
 let commit t =
   match t.core.durable with

@@ -29,6 +29,7 @@ val create :
   ?pool_pages:int ->
   ?policy:Pager.policy ->
   ?guard:bool ->
+  ?obs:Bdbms_obs.Obs.t ->
   unit ->
   t
 (** An ephemeral in-memory disk: nothing survives the process.
@@ -45,6 +46,7 @@ val open_file :
   ?pool_pages:int ->
   ?policy:Pager.policy ->
   ?guard:bool ->
+  ?obs:Bdbms_obs.Obs.t ->
   string ->
   t
 (** Open (or create) a durable disk backed by the database file at the

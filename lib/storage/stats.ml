@@ -142,6 +142,22 @@ let snapshot (t : t) = of_array t
 let reset (t : t) = Array.fill t 0 n_counters 0
 let diff ~after ~before = of_array (Array.map2 ( - ) (to_array after) (to_array before))
 
+let to_alist s =
+  Array.to_list (Array.mapi (fun i v -> (names.(i), v)) (to_array s))
+
+(* Raw-array access for hot-loop delta accumulation (EXPLAIN ANALYZE
+   takes a reading around every operator pull; snapshot records would
+   allocate per pull, these are blits into caller-owned scratch). *)
+let scratch () = Array.make n_counters 0
+let blit (t : t) ~into = Array.blit t 0 into 0 n_counters
+
+let accum_diff (t : t) ~before ~into =
+  for i = 0 to n_counters - 1 do
+    into.(i) <- into.(i) + (t.(i) - before.(i))
+  done
+
+let of_accum = of_array
+
 let total_io s = s.reads + s.writes
 
 let pp fmt s =

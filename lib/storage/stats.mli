@@ -139,3 +139,26 @@ val total_io : snapshot -> int
 (** [reads + writes]. *)
 
 val pp : Format.formatter -> snapshot -> unit
+
+val to_alist : snapshot -> (string * int) list
+(** Every counter as a [(name, value)] pair, in slot order.  This is the
+    same field list [pp] renders, so tests can assert the two never
+    drift. *)
+
+(** {2 Raw accumulation}
+
+    EXPLAIN ANALYZE attributes counter deltas to individual plan
+    operators by reading around every pull.  These work on caller-owned
+    scratch arrays so the hot loop never allocates. *)
+
+val scratch : unit -> int array
+(** A zeroed array sized for {!blit}/{!accum_diff}. *)
+
+val blit : t -> into:int array -> unit
+(** Copy the live counters into [into]. *)
+
+val accum_diff : t -> before:int array -> into:int array -> unit
+(** [into.(i) <- into.(i) + (live.(i) - before.(i))] for every slot. *)
+
+val of_accum : int array -> snapshot
+(** View an accumulator as a snapshot (for rendering deltas). *)

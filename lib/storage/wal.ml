@@ -19,6 +19,7 @@
    partial batch early (buffer full) is always safe. *)
 
 module Crc32 = Bdbms_util.Crc32
+module Obs = Bdbms_obs.Obs
 
 type record =
   | Page_write of { page_id : int; data : string }
@@ -30,6 +31,7 @@ type t = {
   path : string;
   fault : Fault.t;
   stats : Stats.t;
+  obs : Obs.t option;
   buf : Buffer.t; (* encoded records awaiting a group flush *)
   group_bytes : int; (* auto-flush threshold for [buf] *)
   mutable file_bytes : int; (* bytes written to the file so far *)
@@ -85,7 +87,7 @@ let encode_into buf r =
 (* Opens the log for appending.  The caller is expected to have already
    recovered (and checkpointed away) any previous contents: the log is
    reset to just its header. *)
-let open_reset ~fault ~stats ?(group_bytes = 64 * 1024) path =
+let open_reset ~fault ~stats ?obs ?(group_bytes = 64 * 1024) path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   Fault.guard fault;
   Unix.ftruncate fd 0;
@@ -95,6 +97,7 @@ let open_reset ~fault ~stats ?(group_bytes = 64 * 1024) path =
     path;
     fault;
     stats;
+    obs;
     buf = Buffer.create 4096;
     group_bytes;
     file_bytes = header_len;
@@ -102,16 +105,22 @@ let open_reset ~fault ~stats ?(group_bytes = 64 * 1024) path =
 
 let size t = t.file_bytes + Buffer.length t.buf
 
+let flush_inner t =
+  let batch = Buffer.to_bytes t.buf in
+  Buffer.clear t.buf;
+  Backend.guarded_pwrite t.fault t.fd ~off:t.file_bytes batch;
+  t.file_bytes <- t.file_bytes + Bytes.length batch;
+  Fault.guard t.fault;
+  Unix.fsync t.fd;
+  Stats.record_wal_flush t.stats
+
 let flush t =
-  if Buffer.length t.buf > 0 then begin
-    let batch = Buffer.to_bytes t.buf in
-    Buffer.clear t.buf;
-    Backend.guarded_pwrite t.fault t.fd ~off:t.file_bytes batch;
-    t.file_bytes <- t.file_bytes + Bytes.length batch;
-    Fault.guard t.fault;
-    Unix.fsync t.fd;
-    Stats.record_wal_flush t.stats
-  end
+  if Buffer.length t.buf > 0 then
+    match t.obs with
+    | None -> flush_inner t
+    | Some obs ->
+        Obs.timed obs obs.Obs.wal_flush_hist "wal.flush" (fun () ->
+            flush_inner t)
 
 let append t r =
   encode_into t.buf r;

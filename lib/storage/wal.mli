@@ -14,11 +14,19 @@ type record =
 
 type t
 
-val open_reset : fault:Fault.t -> stats:Stats.t -> ?group_bytes:int -> string -> t
+val open_reset :
+  fault:Fault.t ->
+  stats:Stats.t ->
+  ?obs:Bdbms_obs.Obs.t ->
+  ?group_bytes:int ->
+  string ->
+  t
 (** Open the log at the given path for appending, truncated to an empty
     (header-only) state — the caller must have replayed and checkpointed
     any previous contents first.  [group_bytes] (default 64 KiB) is the
-    buffered-batch size that triggers an automatic group flush. *)
+    buffered-batch size that triggers an automatic group flush.  When
+    [obs] is given, every group flush feeds its WAL-flush histogram and
+    (if tracing is on) records a ["wal.flush"] span. *)
 
 val append : t -> record -> unit
 (** Buffer a record (counted as a wal_append); group-flushes when the

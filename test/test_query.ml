@@ -20,6 +20,11 @@ module Stats = Bdbms_storage.Stats
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 
+let contains s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
 let rows_of db sql =
   match Db.exec db sql with
   | Ok (Executor.Rows rs) -> rs
@@ -289,6 +294,158 @@ let test_decode_cache () =
   let d = diff_for db "SELECT * FROM T1" in
   checkb "only invalidated rows re-decode" true (d.Stats.tuples_decoded <= 2)
 
+(* ------------------------------------------------- EXPLAIN ANALYZE *)
+
+module Analyze = Bdbms_asql.Analyze
+
+(* Run [sql] under the EXPLAIN ANALYZE recorder (on whichever engine
+   [set_pipelined] selected) and return the recorded tree + results. *)
+let analyze db sql =
+  match Bdbms_asql.Parser.parse sql with
+  | Ok (Bdbms_asql.Ast.Query q) ->
+      let root, rs, elapsed =
+        Executor.analyze_query (Db.context db) ~user:"admin" q
+      in
+      (match root with
+      | Some root -> (root, rs, elapsed)
+      | None -> Alcotest.failf "no analyze tree recorded for %s" sql)
+  | Ok _ -> Alcotest.failf "not a query: %s" sql
+  | Error e -> Alcotest.failf "%s -- for: %s" e sql
+
+let rec iter_nodes (n : Analyze.node) f =
+  f n;
+  List.iter (fun c -> iter_nodes c f) n.Analyze.children
+
+let find_node root prefix =
+  let found = ref None in
+  iter_nodes root (fun n ->
+      if
+        !found = None
+        && String.length n.Analyze.label >= String.length prefix
+        && String.sub n.Analyze.label 0 (String.length prefix) = prefix
+      then found := Some n);
+  match !found with
+  | Some n -> n
+  | None -> Alcotest.failf "no node labelled %s*" prefix
+
+(* Per-node actuals, differentially: the count the recorder attributes to
+   an operator must equal what the naive oracle returns for the
+   equivalent (sub)query. *)
+let test_analyze_actuals () =
+  let db = mk_db () in
+  let oracle_count sql =
+    Db.set_pipelined db false;
+    let n = Propagate.row_count (rows_of db sql) in
+    Db.set_pipelined db true;
+    n
+  in
+  (* full scan: the scan node sees every live row, the PROJECT root
+     returns exactly the result *)
+  let root, rs, elapsed = analyze db "SELECT * FROM T1" in
+  checkb "wall time recorded" true (elapsed > 0);
+  checki "scan actuals = live rows" t1_rows
+    (find_node root "SCAN T1").Analyze.actual_rows;
+  checki "root actuals = result rows" (Propagate.row_count rs)
+    root.Analyze.actual_rows;
+  (* pushed-down WHERE: the filter node's actuals match the oracle *)
+  let root, _, _ = analyze db "SELECT * FROM T1 WHERE k = 3" in
+  checki "WHERE actuals = oracle" (oracle_count "SELECT * FROM T1 WHERE k = 3")
+    (find_node root "WHERE (selectivity").Analyze.actual_rows;
+  checki "scan below WHERE still sees every row" t1_rows
+    (find_node root "SCAN T1").Analyze.actual_rows;
+  (* hash join: join-node actuals = oracle count of the join itself *)
+  let jsql = "SELECT a.id FROM T1 a, T2 b WHERE a.k = b.k" in
+  let root, _, _ = analyze db jsql in
+  let join = find_node root "HASH JOIN" in
+  checki "hash join actuals = oracle" (oracle_count jsql) join.Analyze.actual_rows;
+  checki "join has two inputs" 2 (List.length join.Analyze.children);
+  (* group by: one output row per distinct k *)
+  let gsql = "SELECT k, COUNT(*) AS n FROM T1 GROUP BY k" in
+  let root, _, _ = analyze db gsql in
+  checki "group actuals = oracle" (oracle_count gsql)
+    (find_node root "GROUP BY").Analyze.actual_rows;
+  (* index probe: the INDEX SCAN access path is recorded with its rows *)
+  (match Db.exec db "CREATE INDEX t1_id ON T1 (id)" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "index: %s" e);
+  let root, _, _ = analyze db "SELECT * FROM T1 WHERE id = 5" in
+  checki "index scan actuals" 1
+    (find_node root "INDEX SCAN T1 via t1_id(id)").Analyze.actual_rows;
+  (* compound: each side keeps its subtree under the combining node *)
+  let usql = "SELECT id FROM T1 WHERE k < 3 UNION SELECT id FROM T2 WHERE k < 3" in
+  let root, _, _ = analyze db usql in
+  checki "union node on top" 2 (List.length (find_node root "UNION").Analyze.children);
+  checki "union actuals = oracle" (oracle_count usql) root.Analyze.actual_rows;
+  (* the annotated path records the same shape *)
+  let asql = "SELECT id FROM T1 ANNOTATION(notes) WHERE k = 2" in
+  let root, rs, _ = analyze db asql in
+  checki "annotated root actuals" (Propagate.row_count rs)
+    (find_node root "RESULT").Analyze.actual_rows;
+  checkb "annotated tree keeps the scan" true
+    ((find_node root "SCAN T1").Analyze.actual_rows > 0)
+
+(* Sweep: on every fixed query without LIMIT/OFFSET, both engines'
+   recorded roots must account for exactly the rows they returned, and
+   those row multisets must agree. *)
+let test_analyze_differential_sweep () =
+  let db = mk_db () in
+  let has_limit sql = contains sql "LIMIT" || contains sql "OFFSET" in
+  let queries =
+    List.filter (fun s -> not (has_limit s)) (fixed_ordered @ fixed_unordered)
+  in
+  List.iter
+    (fun sql ->
+      Db.set_pipelined db true;
+      let root_p, rs_p, _ = analyze db sql in
+      Db.set_pipelined db false;
+      let root_n, rs_n, _ = analyze db sql in
+      Db.set_pipelined db true;
+      checki
+        (Printf.sprintf "pipelined root accounts for its rows: %s" sql)
+        (Propagate.row_count rs_p)
+        root_p.Analyze.actual_rows;
+      checki
+        (Printf.sprintf "naive root accounts for its rows: %s" sql)
+        (Propagate.row_count rs_n)
+        root_n.Analyze.actual_rows;
+      Alcotest.(check (list string))
+        (Printf.sprintf "analyzed rows agree: %s" sql)
+        (List.sort compare (List.map encode_row rs_n.Propagate.rows))
+        (List.sort compare (List.map encode_row rs_p.Propagate.rows));
+      (* structural sanity on both trees *)
+      List.iter
+        (fun root ->
+          iter_nodes root (fun n ->
+              checkb (Printf.sprintf "loops>=1 at %s: %s" n.Analyze.label sql)
+                true (n.Analyze.loops >= 1);
+              checkb
+                (Printf.sprintf "rows>=0 at %s: %s" n.Analyze.label sql)
+                true
+                (n.Analyze.actual_rows >= 0 && n.Analyze.time_ns >= 0)))
+        [ root_p; root_n ])
+    queries
+
+(* EXPLAIN ANALYZE through SQL renders estimates and actuals together
+   and leaves no recorder installed afterwards. *)
+let test_analyze_statement () =
+  let db = mk_db () in
+  let msg =
+    match Db.exec db "EXPLAIN ANALYZE SELECT id FROM T1 WHERE k = 3" with
+    | Ok (Executor.Message m) -> m
+    | Ok _ -> Alcotest.fail "expected a message"
+    | Error e -> Alcotest.failf "explain analyze: %s" e
+  in
+  List.iter
+    (fun needle -> checkb (needle ^ " in output") true (contains msg needle))
+    [ "EXPLAIN ANALYZE"; "total time="; "rows returned="; "est. rows=";
+      "actual rows="; "loops="; "SCAN T1" ];
+  checkb "recorder uninstalled" true
+    ((Db.context db).Bdbms_asql.Context.analyze = None);
+  (* plain EXPLAIN is untouched: estimates only *)
+  (match Db.exec db "EXPLAIN SELECT id FROM T1 WHERE k = 3" with
+  | Ok (Executor.Message m) -> checkb "no actuals" false (contains m "actual rows=")
+  | _ -> Alcotest.fail "expected EXPLAIN message")
+
 (* ------------------------------------------------------- stack safety *)
 
 let test_limit_stack_safety () =
@@ -313,6 +470,13 @@ let () =
         [
           Alcotest.test_case "stats counters" `Quick test_stats_counters;
           Alcotest.test_case "decode cache" `Quick test_decode_cache;
+        ] );
+      ( "explain-analyze",
+        [
+          Alcotest.test_case "per-node actuals" `Quick test_analyze_actuals;
+          Alcotest.test_case "differential sweep" `Quick
+            test_analyze_differential_sweep;
+          Alcotest.test_case "statement rendering" `Quick test_analyze_statement;
         ] );
       ( "stack-safety",
         [ Alcotest.test_case "limit on 1M rows" `Quick test_limit_stack_safety ] );
