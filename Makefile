@@ -1,9 +1,9 @@
 # Tier-1 verification in one command.
 
-.PHONY: check build test fmt bench bench-quick fuzz-recovery fuzz-paging clean
+.PHONY: check build test fmt bench bench-quick fuzz-recovery fuzz-paging fuzz-server clean
 
 check: ## build everything, run the full test suite, deep crash sweeps, bench smoke
-	dune build @all && dune runtest && $(MAKE) fuzz-recovery && $(MAKE) fuzz-paging && $(MAKE) bench-quick
+	dune build @all && dune runtest && $(MAKE) fuzz-recovery && $(MAKE) fuzz-paging && $(MAKE) fuzz-server && $(MAKE) bench-quick
 
 build:
 	dune build @all
@@ -17,14 +17,17 @@ fmt: ## format the tree (requires an ocamlformat config/install)
 bench: ## all paper experiments + E11 durability + E12 query engine
 	dune exec bench/main.exe
 
-bench-quick: ## E12 query + E13 paging + E14 observability smoke runs (reduced sizes)
-	dune exec bench/main.exe -- E12 E13 E14 --quick
+bench-quick: ## E12 query + E13 paging + E14 observability + E15 server smoke runs (reduced sizes)
+	dune exec bench/main.exe -- E12 E13 E14 E15 --quick
 
 fuzz-recovery: ## crash-anywhere sweep: fault at every op of the bootstrap workload
 	BDBMS_FUZZ_DEEP=1 dune exec test/test_recovery.exe -- test bootstrap
 
 fuzz-paging: ## crash-anywhere sweep through a 4-frame pool, incl. eviction fault points
 	BDBMS_FUZZ_PAGING=1 dune exec test/test_recovery.exe -- test bootstrap
+
+fuzz-server: ## randomized concurrent sessions vs serial oracle + crash injection at commit
+	BDBMS_FUZZ_SERVER=1 dune exec test/test_server.exe -- test fuzz
 
 clean:
 	dune clean

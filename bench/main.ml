@@ -27,6 +27,10 @@
      E14 observability overhead            (trace spans + histograms:
                                             disabled-path cost budget,
                                             enforced at 5%)
+     E15 multi-session throughput          (snapshot-isolated sessions,
+                                            group commit; the MVCC +
+                                            server PostgreSQL gave the
+                                            authors for free)
 
    Usage:
      dune exec bench/main.exe                 # all paper experiments
@@ -50,6 +54,7 @@ let experiments =
     ("E12", E12_query.run);
     ("E13", E13_paging.run);
     ("E14", E14_obs.run);
+    ("E15", E15_server.run);
   ]
 
 (* ------------------------------------------------- bechamel micro-bench *)

@@ -7,6 +7,8 @@
 
 open Bdbms
 module Timer = Bdbms_util.Timer
+module Client = Bdbms_server.Client
+module P = Bdbms_server.Protocol
 
 let run_statement db ~user ~timing sql =
   let r, elapsed = Timer.timed (fun () -> Db.exec db ~user sql) in
@@ -107,6 +109,124 @@ let repl db ~user =
   in
   loop ()
 
+(* ----------------------------------------------------- remote (--connect) *)
+
+(* ADDR is host:port when the part after the last ':' is a port number,
+   otherwise a Unix-domain socket path. *)
+let connect_client addr =
+  match String.rindex_opt addr ':' with
+  | Some i -> (
+      let host = String.sub addr 0 i in
+      let port = String.sub addr (i + 1) (String.length addr - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 ->
+          Client.connect_tcp
+            ~host:(if host = "" then "127.0.0.1" else host)
+            ~port:p
+      | _ -> Client.connect_unix addr)
+  | None -> Client.connect_unix addr
+
+let print_response = function
+  | P.Rows { rendered } -> print_endline rendered
+  | P.Count { affected; verb } -> Printf.printf "%d %s\n" affected verb
+  | P.Message { text } -> print_endline text
+  | P.Committed { seq } -> Printf.printf "COMMIT (seq %d)\n" seq
+  | P.Hello_ok { session } -> Printf.printf "session #%d\n" session
+  | P.Error_resp { code; message } ->
+      Printf.printf "error: %s%s\n" message
+        (if P.code_retryable code then " (retryable, safe to re-run)" else "")
+
+let remote_statement client ~timing sql =
+  let resp, elapsed = Timer.timed (fun () -> Client.query client sql) in
+  print_response resp;
+  if timing then
+    Printf.printf "Time: %s\n" (Format.asprintf "%a" Timer.pp_ns elapsed)
+
+(* Scripts over the wire reuse the shell's convention: statements are
+   ';'-separated. *)
+let remote_script client path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  String.split_on_char ';' src
+  |> List.iter (fun chunk ->
+         let sql = String.trim chunk in
+         if sql <> "" then
+           match Client.query client sql with
+           | P.Error_resp { message; _ } ->
+               Printf.eprintf "error: %s\n" message;
+               exit 1
+           | resp -> print_response resp)
+
+let remote_repl client ~user ~session =
+  Printf.printf
+    "bdbms shell (user: %s, remote session #%d). End statements with ';'. \
+     Type \\q to quit; BEGIN/COMMIT/ROLLBACK run a snapshot-isolated \
+     transaction.\n"
+    user session;
+  let timing = ref true in
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "bdbms> " else "   ... ");
+    match read_line () with
+    | exception End_of_file -> ()
+    | "\\q" -> ()
+    | "\\timing" ->
+        timing := not !timing;
+        Printf.printf "Timing is %s.\n" (if !timing then "on" else "off");
+        loop ()
+    | "\\metrics" ->
+        print_response (Client.control client "metrics");
+        loop ()
+    | "\\stats" ->
+        print_response (Client.control client "stats");
+        loop ()
+    | "\\ping" ->
+        print_response (Client.control client "ping");
+        loop ()
+    | line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        let src = Buffer.contents buf in
+        if String.contains line ';' then begin
+          Buffer.clear buf;
+          remote_statement client ~timing:!timing (String.trim src)
+        end;
+        loop ()
+  in
+  loop ()
+
+let remote_main addr ~user ~script =
+  match connect_client addr with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: cannot connect to %s: %s\n" addr
+        (Unix.error_message e);
+      2
+  | client -> (
+      let finish code =
+        Client.close client;
+        code
+      in
+      match Client.hello client ~user with
+      | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          finish 2
+      | Ok session -> (
+          try
+            (match script with
+            | Some path -> remote_script client path
+            | None -> remote_repl client ~user ~session);
+            finish 0
+          with
+          | P.Protocol_error m ->
+              Printf.eprintf "error: connection lost: %s\n" m;
+              finish 2
+          | Unix.Unix_error (e, _, _) ->
+              Printf.eprintf "error: connection lost: %s\n"
+                (Unix.error_message e);
+              finish 2))
+
 let report_recovery_if_notable db =
   (match Db.recovery_info db with
   | Some o
@@ -123,8 +243,21 @@ let report_recovery_if_notable db =
     Printf.printf "-- catalog: bootstrapped %d metadata record(s) from page 0\n"
       (Db.catalog_records db)
 
-let main user script strict_acl auto_prov stats pool_pages slow_ms db_path =
-  let db = Db.create ?pool_pages ?path:db_path () in
+let main user script strict_acl auto_prov stats pool_pages slow_ms connect
+    db_path =
+  match connect with
+  | Some addr -> remote_main addr ~user ~script
+  | None ->
+  let db =
+    try Db.create ?pool_pages ?path:db_path ()
+    with Bdbms_storage.Backend.Locked { path } ->
+      Printf.eprintf
+        "error: database file %S is locked by another process\n\
+         (a bdbms_serve or another shell holds it; use --connect to talk \
+         to the server instead)\n"
+        path;
+      exit 2
+  in
   report_recovery_if_notable db;
   Db.set_strict_acl db strict_acl;
   Db.set_auto_provenance db auto_prov;
@@ -163,7 +296,19 @@ let main user script strict_acl auto_prov stats pool_pages slow_ms db_path =
       s.Bdbms_storage.Stats.hash_builds s.Bdbms_storage.Stats.hash_probes
       s.Bdbms_storage.Stats.pushdown_pruned s.Bdbms_storage.Stats.index_probes;
     Printf.printf "-- query: %d tuples decoded, %d annotation envelopes\n"
-      s.Bdbms_storage.Stats.tuples_decoded s.Bdbms_storage.Stats.ann_envelopes
+      s.Bdbms_storage.Stats.tuples_decoded s.Bdbms_storage.Stats.ann_envelopes;
+    if
+      s.Bdbms_storage.Stats.sessions_opened > 0
+      || s.Bdbms_storage.Stats.frames_rx > 0
+      || s.Bdbms_storage.Stats.frames_tx > 0
+    then
+      Printf.printf
+        "-- server: %d sessions opened, %d commit conflicts, %d group \
+         commits, %d frames rx, %d frames tx\n"
+        s.Bdbms_storage.Stats.sessions_opened
+        s.Bdbms_storage.Stats.commit_conflicts
+        s.Bdbms_storage.Stats.group_commits s.Bdbms_storage.Stats.frames_rx
+        s.Bdbms_storage.Stats.frames_tx
   end;
   Db.close db;
   0
@@ -208,6 +353,17 @@ let db_arg =
           "Open (or create) a durable database file; pages persist via a \
            write-ahead log with crash recovery on open.")
 
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "c"; "connect" ] ~docv:"ADDR"
+        ~doc:
+          "Connect to a running $(b,bdbms_serve) instead of opening a \
+           database file.  ADDR is a Unix-domain socket path, or \
+           HOST:PORT for TCP.  BEGIN/COMMIT/ROLLBACK then run \
+           snapshot-isolated transactions on the server.")
+
 let slow_arg =
   Arg.(
     value
@@ -223,6 +379,6 @@ let cmd =
     (Cmd.info "bdbms" ~doc)
     Term.(
       const main $ user_arg $ script_arg $ strict_arg $ prov_arg $ stats_arg
-      $ pool_arg $ slow_arg $ db_arg)
+      $ pool_arg $ slow_arg $ connect_arg $ db_arg)
 
 let () = exit (Cmd.eval' cmd)

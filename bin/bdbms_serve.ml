@@ -1,0 +1,150 @@
+(* bdbms_serve: the multi-session server.
+
+     dune exec bin/bdbms_serve.exe -- --db genes.db --unix /tmp/bdbms.sock
+     dune exec bin/bdbms_serve.exe -- --db genes.db --tcp 127.0.0.1:7687
+
+   Serves the length-prefixed wire protocol (see DESIGN.md §10) over
+   Unix-domain and/or TCP sockets.  Every connection gets its own
+   session; BEGIN/COMMIT/ROLLBACK run snapshot-isolated transactions
+   over the one shared database.  Connect with
+   [bdbms_cli --connect ADDR]. *)
+
+module Engine = Bdbms_server.Engine
+module Server = Bdbms_server.Server
+module Stats = Bdbms_storage.Stats
+
+let parse_host_port s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 ->
+          Some ((if host = "" then "127.0.0.1" else host), p)
+      | _ -> None)
+  | None -> None
+
+let main db_path unix_sock tcp pool_pages snapshot_pool strict_acl stats =
+  let engine =
+    try
+      Engine.create ?pool_pages ?snapshot_pool_pages:snapshot_pool ~strict_acl
+        ~path:db_path ()
+    with Bdbms_storage.Backend.Locked { path } ->
+      Printf.eprintf
+        "error: database file %S is locked by another process\n\
+         (another bdbms_serve or bdbms shell holds it)\n"
+        path;
+      exit 2
+  in
+  let server = Server.create engine in
+  let endpoints = ref [] in
+  (* default to a Unix socket next to the database file when no
+     endpoint was requested *)
+  let unix_sock =
+    match (unix_sock, tcp) with
+    | None, None -> Some (db_path ^ ".sock")
+    | u, _ -> u
+  in
+  (match unix_sock with
+  | Some path ->
+      Server.listen_unix server path;
+      endpoints := Printf.sprintf "unix:%s" path :: !endpoints
+  | None -> ());
+  (match tcp with
+  | Some spec -> (
+      match parse_host_port spec with
+      | Some (host, port) ->
+          Server.listen_tcp server ~host ~port;
+          endpoints :=
+            Printf.sprintf "tcp:%s:%d" host (Server.bound_port server)
+            :: !endpoints
+      | None ->
+          Printf.eprintf "error: --tcp expects HOST:PORT, got %S\n" spec;
+          Server.stop server;
+          Engine.close engine;
+          exit 2)
+  | None -> ());
+  Printf.printf "bdbms_serve: db %s, listening on %s\n%!" db_path
+    (String.concat ", " (List.rev !endpoints));
+  let stop_flag = ref false in
+  let request_stop _ = stop_flag := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  while not !stop_flag do
+    Thread.delay 0.1
+  done;
+  print_endline "bdbms_serve: shutting down";
+  Server.stop server;
+  if stats then begin
+    let s = Engine.stats engine in
+    Format.printf "%a@." Stats.pp s;
+    Printf.printf
+      "-- server: %d sessions opened, %d commit conflicts, %d group \
+       commits, %d frames rx, %d frames tx\n"
+      s.Stats.sessions_opened s.Stats.commit_conflicts s.Stats.group_commits
+      s.Stats.frames_rx s.Stats.frames_tx
+  end;
+  Engine.close engine;
+  0
+
+open Cmdliner
+
+let db_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "d"; "db" ] ~docv:"PATH"
+        ~doc:
+          "Open (or create) the durable database file to serve; crash \
+           recovery runs on open.")
+
+let unix_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "unix" ] ~docv:"PATH"
+        ~doc:
+          "Listen on a Unix-domain socket at PATH (default: the database \
+           path plus $(b,.sock) when no endpoint is given).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:"Listen on a TCP socket (port 0 picks a free port).")
+
+let pool_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "pool-pages" ] ~docv:"N"
+        ~doc:"Bound the canonical buffer pool to N frames.")
+
+let snapshot_pool_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "snapshot-pool-pages" ] ~docv:"N"
+        ~doc:"Bound each transaction snapshot's private pool to N frames.")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict-acl" ] ~doc:"Enforce GRANT/REVOKE for non-admin users.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print I/O and server statistics on shutdown.")
+
+let cmd =
+  let doc = "multi-session server for bdbms, the biological DBMS" in
+  Cmd.v
+    (Cmd.info "bdbms_serve" ~doc)
+    Term.(
+      const main $ db_arg $ unix_arg $ tcp_arg $ pool_arg $ snapshot_pool_arg
+      $ strict_arg $ stats_arg)
+
+let () = exit (Cmd.eval' cmd)

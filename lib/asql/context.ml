@@ -39,21 +39,27 @@ type t = {
   indexes : (string, index_def) Hashtbl.t;
   obs : Obs.t;
   mutable analyze : Analyze.t option;
+  mutable session_label : string option;
+      (* owning session (server mode), for trace-span attribution *)
 }
 
 let superuser = "admin"
 
 let norm = String.lowercase_ascii
 
-let create ?(page_size = 4096) ?pool_pages ?policy ?path ?fault ?obs () =
+let create ?(page_size = 4096) ?pool_pages ?policy ?path ?disk ?fault ?obs ()
+    =
   (* The observability handle outlives the context: [Db.rollback]
      recreates the context but passes the same handle back in, so traces
      and histograms accumulate across transactions. *)
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let disk =
-    match path with
-    | None -> Disk.create ~page_size ?pool_pages ?policy ~obs ()
-    | Some path ->
+    match (disk, path) with
+    | Some disk, _ ->
+        (* caller-supplied store — the server's per-snapshot overlay *)
+        disk
+    | None, None -> Disk.create ~page_size ?pool_pages ?policy ~obs ()
+    | None, Some path ->
         Disk.open_file ~page_size ?fault ?pool_pages ?policy ~obs path
   in
   (* the catalog root must own page 0, so reserve it before any table or
@@ -97,6 +103,7 @@ let create ?(page_size = 4096) ?pool_pages ?policy ?path ?fault ?obs () =
     indexes;
     obs;
     analyze = None;
+    session_label = None;
   }
 
 let durable t = Disk.is_durable t.disk
@@ -136,7 +143,12 @@ let persist_catalog t =
 
 let bootstrap t =
   Obs.span t.obs "catalog.bootstrap" @@ fun () ->
-  match if durable t then Meta_page.read_root t.disk else None with
+  (* A snapshot overlay is not durable but carries the committed catalog
+     root at page 0 through its base — bootstrap from it all the same. *)
+  match
+    if durable t || Disk.is_overlay t.disk then Meta_page.read_root t.disk
+    else None
+  with
   | None -> 0
   | Some blob ->
       let infos, count = Durable_catalog.restore t.bp (components t) blob in

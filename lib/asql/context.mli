@@ -45,11 +45,14 @@ type t = {
   mutable analyze : Analyze.t option;
       (** installed by the executor for the duration of an
           [EXPLAIN ANALYZE] statement; [None] otherwise *)
+  mutable session_label : string option;
+      (** owning session (server mode), for trace-span attribution *)
 }
 
 val create :
   ?page_size:int -> ?pool_pages:int -> ?policy:Bdbms_storage.Pager.policy ->
-  ?path:string -> ?fault:Bdbms_storage.Fault.t ->
+  ?path:string -> ?disk:Bdbms_storage.Disk.t ->
+  ?fault:Bdbms_storage.Fault.t ->
   ?obs:Bdbms_obs.Obs.t ->
   unit -> t
 (** A fresh engine.  The superuser ["admin"] and the system actor exist
@@ -58,7 +61,11 @@ val create :
     (durable default 256; in-memory default unbounded).  With [path],
     the page store is durable: backed by a database file and write-ahead
     log, with crash recovery run at open (see
-    {!Bdbms_storage.Disk.open_file}). *)
+    {!Bdbms_storage.Disk.open_file}).  With [disk], the engine runs over
+    the caller's store instead of constructing one — this is how the
+    multi-session server builds a transaction snapshot: an engine over a
+    copy-on-write {!Bdbms_storage.Disk.overlay}, bootstrapped from the
+    committed catalog visible through the overlay's base. *)
 
 val durable : t -> bool
 

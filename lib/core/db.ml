@@ -18,6 +18,9 @@ type t = {
   fault : Bdbms_storage.Fault.t option;
   obs : Obs.t;
   mutable slow_ms : float option;
+  mutable on_first_dirty :
+    (Bdbms_storage.Page.id -> Bdbms_storage.Page.t -> unit) option;
+      (* pre-image observer, reinstalled across rollback's disk swap *)
 }
 
 let register_bio ctx =
@@ -51,6 +54,7 @@ let create ?page_size ?pool_pages ?policy ?path ?fault () =
     fault;
     obs;
     slow_ms = None;
+    on_first_dirty = None;
   }
 
 let context t = t.ctx
@@ -79,7 +83,12 @@ let rollback t =
     ctx.Context.auto_provenance <- old.Context.auto_provenance;
     ctx.Context.pipelined <- old.Context.pipelined;
     t.ctx <- ctx;
-    t.catalog_records <- n
+    t.catalog_records <- n;
+    (* the fresh context has a fresh disk: the pre-image observer must
+       follow it or the version store would go blind after a rollback *)
+    match t.on_first_dirty with
+    | Some _ as hook -> Disk.set_on_first_dirty ctx.Context.disk hook
+    | None -> ()
   end
 
 (* Auto-commit: on a durable database each successful statement is made
@@ -125,6 +134,24 @@ let exec_script t ?(user = Context.superuser) sql =
           r))
 
 let render_exn t ?user sql = Executor.render (exec_exn t ?user sql)
+
+(* ------------------------------------------------- server entry points *)
+
+(* The multi-session server owns transaction boundaries itself: it
+   replays buffered statements with [exec_nocommit], then seals the whole
+   batch with one [commit] (group commit) or discards it with
+   [force_rollback].  A failed statement here does NOT roll back — the
+   committer must decide what of the batch survives. *)
+let exec_nocommit t ?(user = Context.superuser) sql =
+  guard t (fun () -> observed t sql (fun () -> Executor.run t.ctx ~user sql))
+
+let force_rollback t = rollback t
+
+let set_on_first_dirty t hook =
+  t.on_first_dirty <- hook;
+  Disk.set_on_first_dirty t.ctx.Context.disk hook
+
+let register_builtin_procedures = register_bio
 
 let set_strict_acl t v = t.ctx.Context.strict_acl <- v
 let set_auto_provenance t v = t.ctx.Context.auto_provenance <- v

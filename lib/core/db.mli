@@ -63,6 +63,36 @@ val exec_script :
 val render_exn : t -> ?user:string -> string -> string
 (** Execute and render human-readable output. *)
 
+(** {1 Server entry points}
+
+    Used by the multi-session server ([Bdbms_server]), which owns
+    transaction boundaries itself.  Regular callers want {!exec}. *)
+
+val exec_nocommit :
+  t -> ?user:string -> string -> (Bdbms_asql.Executor.outcome, string) result
+(** Execute one statement {e without} auto-commit or auto-rollback: the
+    caller replays a transaction's buffered statements with this, then
+    seals the batch with {!commit} (one WAL flush for the whole group) or
+    discards it with {!force_rollback}. *)
+
+val force_rollback : t -> unit
+(** Abandon everything since the last commit and re-bootstrap the engine
+    from the committed state (no-op on an in-memory database). *)
+
+val set_on_first_dirty :
+  t ->
+  (Bdbms_storage.Page.id -> Bdbms_storage.Page.t -> unit) option ->
+  unit
+(** Install (or clear) the pager's clean→dirty pre-image observer
+    ({!Bdbms_storage.Disk.set_on_first_dirty}), keeping it installed
+    across the context recreation a rollback performs.  The snapshot
+    version store captures committed page images here. *)
+
+val register_builtin_procedures : Bdbms_asql.Context.t -> unit
+(** Register the bio procedures (["P"], ["MolWeight"], ["BLAST"]) into a
+    caller-assembled context — required before [Context.bootstrap] so
+    persisted dependency chains rebind; [create] does this itself. *)
+
 val set_strict_acl : t -> bool -> unit
 (** Enforce GRANT/REVOKE for non-admin users (off by default). *)
 

@@ -22,6 +22,9 @@ type t = {
   root_swap_hist : Metrics.histogram;
   checkpoint_hist : Metrics.histogram;
   recovery_hist : Metrics.histogram;
+  req_hist : Metrics.histogram;
+  conflict_retry_hist : Metrics.histogram;
+  sessions_gauge : Metrics.gauge;
 }
 
 let create ?capacity () =
@@ -45,6 +48,17 @@ let create ?capacity () =
   let recovery_hist =
     histogram "bdbms_recovery_ns" "Recovery bootstrap latency (ns)"
   in
+  let req_hist =
+    histogram "bdbms_request_ns" "Server request handling latency (ns)"
+  in
+  let conflict_retry_hist =
+    histogram "bdbms_commit_conflict_retries"
+      "Conflict aborts a transaction absorbed before committing"
+  in
+  let sessions_gauge =
+    Metrics.gauge metrics ~help:"Sessions currently open"
+      "bdbms_sessions_in_flight"
+  in
   {
     trace = Trace.create ?capacity ();
     metrics;
@@ -54,6 +68,9 @@ let create ?capacity () =
     root_swap_hist;
     checkpoint_hist;
     recovery_hist;
+    req_hist;
+    conflict_retry_hist;
+    sessions_gauge;
   }
 
 let span t name f = Trace.with_span t.trace name f

@@ -17,6 +17,11 @@ type t = {
   root_swap_hist : Metrics.histogram; (** catalog root swap *)
   checkpoint_hist : Metrics.histogram;
   recovery_hist : Metrics.histogram;  (** recovery bootstrap *)
+  req_hist : Metrics.histogram;
+      (** server request handling (frame in → frame out) *)
+  conflict_retry_hist : Metrics.histogram;
+      (** conflict aborts absorbed before a transaction committed *)
+  sessions_gauge : Metrics.gauge;  (** sessions currently open *)
 }
 
 val create : ?capacity:int -> unit -> t

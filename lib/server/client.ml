@@ -1,0 +1,49 @@
+(* Blocking protocol client: one socket, one session.  Shared by the
+   CLI's [--connect] remote REPL, the concurrency integration tests, and
+   the fuzz harness. *)
+
+module P = Protocol
+
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  { fd; closed = false }
+
+let connect_tcp ~host ~port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  { fd; closed = false }
+
+let request t req =
+  if t.closed then raise (P.Protocol_error "client is closed");
+  P.send_request t.fd req;
+  match P.recv_response t.fd with
+  | Some resp -> resp
+  | None -> raise (P.Protocol_error "server closed the connection")
+
+let hello t ~user =
+  match request t (P.Hello { user }) with
+  | P.Hello_ok { session } -> Ok session
+  | P.Error_resp { message; _ } -> Error message
+  | _ -> Error "unexpected response to Hello"
+
+let query t sql = request t (P.Query { sql })
+let control t name = request t (P.Control { name })
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

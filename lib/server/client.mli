@@ -1,0 +1,19 @@
+(** Blocking protocol client: one socket, one session.  Used by the
+    CLI's [--connect] remote REPL and the concurrency tests. *)
+
+type t
+
+val connect_unix : string -> t
+val connect_tcp : host:string -> port:int -> t
+
+val hello : t -> user:string -> (int, string) result
+(** Open the session; returns the server-assigned session id. *)
+
+val request : t -> Protocol.request -> Protocol.response
+(** Send one frame, wait for the answer.
+    @raise Protocol.Protocol_error on transport or framing failure. *)
+
+val query : t -> string -> Protocol.response
+val control : t -> string -> Protocol.response
+
+val close : t -> unit

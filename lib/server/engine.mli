@@ -1,0 +1,104 @@
+(** The concurrency engine: one shared durable {!Bdbms.Db.t} behind
+    snapshot-isolated transactions with group commit.
+
+    Sessions run transactions against private snapshots (a
+    copy-on-write {!Bdbms_storage.Disk.overlay} whose base reads come
+    from the {!Version_store} at the transaction's horizon), so readers
+    never block behind writers and never observe a partial transaction.
+    Write statements execute against the snapshot (read-your-own-writes)
+    {e and} are buffered; at commit they are replayed onto the canonical
+    engine by a single committer that drains all concurrently queued
+    transactions and seals the batch with one WAL fsync — group commit.
+
+    Conflicts are first-writer-wins at table granularity: if any commit
+    sealed after this transaction's horizon wrote a table in this
+    transaction's footprint (tables its write statements read or wrote;
+    DDL is a wildcard), the commit fails with {!Conflict} and the client
+    may retry on a fresh snapshot. *)
+
+type t
+
+type error =
+  | Sql of string  (** parse/execution/authorization error — not retryable *)
+  | Conflict of string  (** first-writer-wins abort — retry on a fresh snapshot *)
+  | Busy of string  (** transient resource exhaustion (e.g. pager pool) — retryable *)
+  | Closed  (** the engine is shut down *)
+
+val retryable : error -> bool
+val error_message : error -> string
+
+val create :
+  ?page_size:int ->
+  ?pool_pages:int ->
+  ?snapshot_pool_pages:int ->
+  ?strict_acl:bool ->
+  path:string ->
+  unit ->
+  t
+(** Open (or create) the database file at [path] and wrap it for
+    concurrent use.  Always durable: snapshots bootstrap from the
+    committed page-0 catalog and rollback re-bootstraps from disk, so a
+    file path is required.  [snapshot_pool_pages] bounds each
+    transaction overlay's frame table (default 128).
+    @raise Bdbms_storage.Backend.Locked if another handle (this process
+    or another) has the file open. *)
+
+val db : t -> Bdbms.Db.t
+(** The canonical engine.  Exposed for wiring (stats, metrics, obs);
+    arbitrary concurrent [Db.exec] calls through it would bypass the
+    engine lock — use {!execute}. *)
+
+val obs : t -> Bdbms_obs.Obs.t
+
+val counters : t -> Bdbms_storage.Stats.t
+(** The engine-owned server counter group ([sessions_opened],
+    [commit_conflicts], [frames_rx/tx], [group_commits]).  Kept separate
+    from the canonical disk's counters, which reset when a rollback
+    recreates the context. *)
+
+val stats : t -> Bdbms_storage.Stats.snapshot
+(** The canonical disk's I/O snapshot with the server counter group
+    merged in. *)
+
+val metrics : t -> string
+
+val version_store : t -> Version_store.t
+
+val execute :
+  t -> ?user:string -> string -> (Bdbms_asql.Executor.outcome, error) result
+(** Autocommit path: execute one statement on the canonical engine under
+    the engine lock, commit (sealing a version-store cycle), and return.
+    Never conflicts — it runs at the head of history. *)
+
+(** {1 Explicit transactions} *)
+
+type txn
+
+val begin_txn : t -> ?user:string -> unit -> txn
+(** Take a snapshot: pin the current CSN as the horizon and build a
+    private engine over a copy-on-write overlay. *)
+
+val txn_exec :
+  txn -> string -> (Bdbms_asql.Executor.outcome, error) result
+(** Execute a statement inside the transaction, against its snapshot.
+    Write statements also enter the replay buffer.  After any error the
+    transaction is failed: subsequent statements return [Sql] errors
+    until rollback (commit will also refuse). *)
+
+val commit_txn : txn -> (int, error) result
+(** Commit: conflict-check against commits sealed after the horizon,
+    replay the buffered writes on the canonical engine, group-commit
+    with concurrently arriving transactions (one WAL fsync per batch),
+    and return this transaction's position in the global commit order
+    (0 for a read-only transaction, which commits trivially).  The
+    transaction is finished afterwards regardless of outcome. *)
+
+val rollback_txn : txn -> unit
+(** Discard the transaction: drop the overlay and release the horizon. *)
+
+val txn_user : txn -> string
+val txn_active : txn -> bool
+
+val close : t -> unit
+(** Checkpoint and close the canonical engine.  In-flight transactions
+    fail with {!Closed} at their next commit. *)

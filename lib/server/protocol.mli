@@ -1,0 +1,75 @@
+(** The length-prefixed binary wire protocol.
+
+    Every frame is:
+
+    {v
+      +----------------+--------+------------------------+
+      | u32 big-endian |  u8    |  length-1 bytes        |
+      |    length      |  tag   |  payload               |
+      +----------------+--------+------------------------+
+    v}
+
+    where [length] counts the tag byte plus the payload (so it is always
+    ≥ 1) and is capped at {!max_frame} — an oversized or zero-length
+    prefix is a protocol error, not an allocation.  See DESIGN.md §10
+    for the full frame catalogue. *)
+
+val max_frame : int
+(** Maximum [length] value accepted (16 MiB). *)
+
+type request =
+  | Hello of { user : string }  (** tag [0x01]: open a session *)
+  | Query of { sql : string }  (** tag [0x02]: execute one statement *)
+  | Control of { name : string }
+      (** tag [0x03]: out-of-band op: [ping], [metrics], [stats] *)
+
+type error_code =
+  | E_internal
+  | E_exec  (** parse/execution/authorization error *)
+  | E_conflict  (** snapshot conflict: retry the transaction *)
+  | E_busy  (** transient resource exhaustion: retry *)
+  | E_auth
+  | E_proto
+
+val code_retryable : error_code -> bool
+
+type response =
+  | Hello_ok of { session : int }  (** tag [0x81] *)
+  | Rows of { rendered : string }  (** tag [0x82]: server-rendered table *)
+  | Count of { affected : int; verb : string }  (** tag [0x83] *)
+  | Message of { text : string }  (** tag [0x84] *)
+  | Committed of { seq : int }
+      (** tag [0x85]: global commit-order position *)
+  | Error_resp of { code : error_code; message : string }  (** tag [0xE0] *)
+
+(** {1 Pure codec} — exercised by the property tests. *)
+
+val encode_request : request -> Bytes.t
+val encode_response : response -> Bytes.t
+
+type 'a decoded =
+  | Frame of 'a * int  (** the value and the bytes consumed *)
+  | Need_more  (** the buffer holds a valid but incomplete frame *)
+  | Invalid of string  (** malformed: bad tag, bad length, short payload *)
+
+val decode_request : Bytes.t -> request decoded
+val decode_response : Bytes.t -> response decoded
+
+(** {1 Blocking frame I/O} over a connected socket.  [stats], when
+    given, counts frames into [frames_rx]/[frames_tx]. *)
+
+exception Protocol_error of string
+
+val send_request :
+  ?stats:Bdbms_storage.Stats.t -> Unix.file_descr -> request -> unit
+
+val send_response :
+  ?stats:Bdbms_storage.Stats.t -> Unix.file_descr -> response -> unit
+
+val recv_request :
+  ?stats:Bdbms_storage.Stats.t -> Unix.file_descr -> request option
+(** [None] on a clean EOF at a frame boundary.
+    @raise Protocol_error on a malformed or truncated frame. *)
+
+val recv_response :
+  ?stats:Bdbms_storage.Stats.t -> Unix.file_descr -> response option

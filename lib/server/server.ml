@@ -1,0 +1,238 @@
+(* The network front end: listeners (Unix-domain and TCP) accepting
+   connections, one handler thread per connection, all sessions sharing
+   one [Engine.t].
+
+   A connection's first frame must be [Hello {user}]; authentication
+   failures answer [E_auth] and close.  After that, [Query] frames run
+   through the session (so BEGIN/COMMIT/ROLLBACK work per connection)
+   and [Control] frames answer out-of-band ops.  Every per-request
+   failure — SQL errors, conflicts, pool exhaustion, even unexpected
+   exceptions — becomes an error *frame*, never a dead server loop: the
+   session survives and the client decides whether to retry (the frame
+   says if it is retryable). *)
+
+module Executor = Bdbms_asql.Executor
+module Pager = Bdbms_storage.Pager
+module Stats = Bdbms_storage.Stats
+module Obs = Bdbms_obs.Obs
+module P = Protocol
+
+type t = {
+  engine : Engine.t;
+  counters : Stats.t;
+  mutable listeners : (Unix.file_descr * string option) list;
+      (* fd, unix path to unlink at stop *)
+  mutable threads : Thread.t list;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable next_conn : int;
+  mu : Mutex.t;
+  mutable stopping : bool;
+}
+
+let create engine =
+  {
+    engine;
+    counters = Engine.counters engine;
+    listeners = [];
+    threads = [];
+    conns = Hashtbl.create 8;
+    next_conn = 0;
+    mu = Mutex.create ();
+    stopping = false;
+  }
+
+(* ------------------------------------------------------------ requests *)
+
+let error_resp (e : Engine.error) =
+  let code =
+    match e with
+    | Engine.Sql _ -> P.E_exec
+    | Engine.Conflict _ -> P.E_conflict
+    | Engine.Busy _ -> P.E_busy
+    | Engine.Closed -> P.E_internal
+  in
+  P.Error_resp { code; message = Engine.error_message e }
+
+let reply_resp = function
+  | Session.Outcome (Executor.Count { affected; verb }) ->
+      P.Count { affected; verb }
+  | Session.Outcome (Executor.Message m) -> P.Message { text = m }
+  | Session.Outcome o ->
+      (* Rows and approval entries reuse the REPL rendering server-side *)
+      P.Rows { rendered = Executor.render o }
+  | Session.Began -> P.Message { text = "BEGIN" }
+  | Session.Committed seq -> P.Committed { seq }
+  | Session.Rolled_back -> P.Message { text = "ROLLBACK" }
+
+let handle_query session sql =
+  match Session.execute session sql with
+  | Ok reply -> reply_resp reply
+  | Error e -> error_resp e
+  | exception Pager.Pool_exhausted _ ->
+      P.Error_resp
+        { code = P.E_busy; message = "buffer pool exhausted; retry" }
+  | exception e ->
+      P.Error_resp
+        { code = P.E_internal; message = Printexc.to_string e }
+
+let handle_control t name =
+  match String.lowercase_ascii (String.trim name) with
+  | "ping" -> P.Message { text = "pong" }
+  | "metrics" -> P.Message { text = Engine.metrics t.engine }
+  | "stats" ->
+      P.Message
+        { text = Format.asprintf "%a" Stats.pp (Engine.stats t.engine) }
+  | other ->
+      P.Error_resp
+        {
+          code = P.E_proto;
+          message = Printf.sprintf "unknown control op %S" other;
+        }
+
+(* ---------------------------------------------------------- connection *)
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let register_conn t fd =
+  Mutex.protect t.mu (fun () ->
+      t.next_conn <- t.next_conn + 1;
+      Hashtbl.replace t.conns t.next_conn fd;
+      t.next_conn)
+
+let unregister_conn t id = Mutex.protect t.mu (fun () -> Hashtbl.remove t.conns id)
+
+let request_loop t fd session =
+  let stats = t.counters in
+  let obs = Engine.obs t.engine in
+  let span =
+    Printf.sprintf "session#%d(%s).request" (Session.id session)
+      (Session.user session)
+  in
+  let continue = ref true in
+  while !continue do
+    match P.recv_request ~stats fd with
+    | None -> continue := false
+    | Some req ->
+        let resp =
+          Obs.timed obs obs.Obs.req_hist span (fun () ->
+              match req with
+              | P.Hello _ ->
+                  P.Error_resp
+                    { code = P.E_proto; message = "session already open" }
+              | P.Query { sql } -> handle_query session sql
+              | P.Control { name } -> handle_control t name)
+        in
+        P.send_response ~stats fd resp
+  done
+
+let handle_conn t fd =
+  let id = register_conn t fd in
+  let stats = t.counters in
+  (try
+     match P.recv_request ~stats fd with
+     | None -> ()
+     | Some (P.Hello { user }) -> (
+         match Session.create t.engine ~user with
+         | Ok session ->
+             P.send_response ~stats fd
+               (P.Hello_ok { session = Session.id session });
+             Fun.protect
+               ~finally:(fun () -> Session.close session)
+               (fun () -> request_loop t fd session)
+         | Error e ->
+             P.send_response ~stats fd
+               (P.Error_resp
+                  { code = P.E_auth; message = Engine.error_message e }))
+     | Some _ ->
+         P.send_response ~stats fd
+           (P.Error_resp
+              { code = P.E_proto; message = "expected Hello first" })
+   with
+  | P.Protocol_error _ | Unix.Unix_error _ | End_of_file -> ());
+  unregister_conn t id;
+  close_quiet fd
+
+(* ----------------------------------------------------------- listeners *)
+
+let accept_loop t lfd =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept lfd with
+    | fd, _addr ->
+        let th = Thread.create (fun () -> handle_conn t fd) () in
+        Mutex.protect t.mu (fun () -> t.threads <- th :: t.threads)
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+      ->
+        continue := not t.stopping
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let add_listener t lfd ~unix_path =
+  Mutex.protect t.mu (fun () ->
+      t.listeners <- (lfd, unix_path) :: t.listeners);
+  let th = Thread.create (fun () -> accept_loop t lfd) () in
+  Mutex.protect t.mu (fun () -> t.threads <- th :: t.threads)
+
+let listen_unix t path =
+  (if Sys.file_exists path then
+     try Unix.unlink path with Unix.Unix_error _ -> ());
+  let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind lfd (Unix.ADDR_UNIX path);
+  Unix.listen lfd 64;
+  add_listener t lfd ~unix_path:(Some path)
+
+let listen_tcp t ~host ~port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+  in
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (addr, port));
+  Unix.listen lfd 64;
+  add_listener t lfd ~unix_path:None
+
+let bound_port t =
+  match
+    List.find_map
+      (fun (fd, _) ->
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, port) -> Some port
+        | _ -> None)
+      t.listeners
+  with
+  | Some port -> port
+  | None -> invalid_arg "Server.bound_port: no TCP listener"
+
+let stop t =
+  t.stopping <- true;
+  let listeners, conns, threads =
+    Mutex.protect t.mu (fun () ->
+        let ls = t.listeners and ths = t.threads in
+        let cs = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
+        t.listeners <- [];
+        t.threads <- [];
+        Hashtbl.reset t.conns;
+        (ls, cs, ths))
+  in
+  List.iter
+    (fun (fd, path) ->
+      (* shutdown wakes a thread blocked in [accept]; close alone does
+         not on Linux *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      close_quiet fd;
+      match path with
+      | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+      | None -> ())
+    listeners;
+  List.iter
+    (fun fd ->
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      close_quiet fd)
+    conns;
+  List.iter Thread.join threads
+
+let engine t = t.engine

@@ -1,0 +1,30 @@
+(** The network front end: Unix-domain and TCP listeners serving the
+    wire protocol, one thread per connection, all sessions sharing one
+    {!Engine.t}.
+
+    Request failures of any kind become error {e frames} (with a
+    retryable code where appropriate) — a client error can never kill
+    the accept loop or another session. *)
+
+type t
+
+val create : Engine.t -> t
+
+val listen_unix : t -> string -> unit
+(** Bind and serve a Unix-domain socket at the path (an existing socket
+    file is replaced); the accept thread starts immediately. *)
+
+val listen_tcp : t -> host:string -> port:int -> unit
+(** Bind and serve [host:port] ([SO_REUSEADDR]; port 0 picks a free
+    port — see {!bound_port}). *)
+
+val bound_port : t -> int
+(** The actual port of the first TCP listener (for port-0 binds).
+    @raise Invalid_argument with no TCP listener. *)
+
+val stop : t -> unit
+(** Close listeners (unlinking Unix socket paths), shut down every live
+    connection, and join all server threads.  Does not close the
+    engine. *)
+
+val engine : t -> Engine.t

@@ -1,0 +1,150 @@
+module Context = Bdbms_asql.Context
+module Principal = Bdbms_auth.Principal
+module Stats = Bdbms_storage.Stats
+module Obs = Bdbms_obs.Obs
+module Metrics = Bdbms_obs.Metrics
+module Db = Bdbms.Db
+
+type reply =
+  | Outcome of Bdbms_asql.Executor.outcome
+  | Began
+  | Committed of int
+  | Rolled_back
+
+type t = {
+  id : int;
+  engine : Engine.t;
+  user : string;
+  mutable txn : Engine.txn option;
+  mutable conflict_streak : int;
+      (* consecutive Conflict aborts since the last successful commit;
+         observed into the retry histogram when a commit finally lands *)
+  mutable closed : bool;
+}
+
+let next_id = ref 0
+let id_mu = Mutex.create ()
+let live = ref 0
+
+let fresh_id () =
+  Mutex.protect id_mu (fun () ->
+      incr next_id;
+      !next_id)
+
+let set_gauge engine delta =
+  let n = Mutex.protect id_mu (fun () -> live := !live + delta; !live) in
+  let o = Engine.obs engine in
+  Metrics.set o.Obs.sessions_gauge (float_of_int n)
+
+let create engine ~user =
+  (* authentication = existence in the shared principal store; the
+     canonical context is only read, but take the engine's view through
+     [Engine.db] under no lock — principals mutate only under the engine
+     lock via DDL, and [user_exists] is a pure lookup *)
+  let ctx = Db.context (Engine.db engine) in
+  if
+    user <> Context.superuser
+    && not (Principal.user_exists ctx.Context.principals user)
+  then Error (Engine.Sql (Printf.sprintf "unknown user %S" user))
+  else begin
+    Stats.record_session_opened (Engine.counters engine);
+    set_gauge engine 1;
+    Ok
+      {
+        id = fresh_id ();
+        engine;
+        user;
+        txn = None;
+        conflict_streak = 0;
+        closed = false;
+      }
+  end
+
+let id t = t.id
+let user t = t.user
+let in_txn t = t.txn <> None
+
+(* Transaction-control statements are session state changes, not A-SQL;
+   recognize them (case-insensitively, trailing [;] stripped) before
+   anything reaches a parser. *)
+type control = Begin_txn | Commit_txn | Rollback_txn
+
+let control_of sql =
+  let s = String.trim sql in
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = ';' then
+      String.trim (String.sub s 0 (String.length s - 1))
+    else s
+  in
+  match String.uppercase_ascii s with
+  | "BEGIN" | "BEGIN TRANSACTION" | "BEGIN WORK" | "START TRANSACTION" ->
+      Some Begin_txn
+  | "COMMIT" | "COMMIT WORK" | "COMMIT TRANSACTION" | "END" -> Some Commit_txn
+  | "ROLLBACK" | "ROLLBACK WORK" | "ROLLBACK TRANSACTION" | "ABORT" ->
+      Some Rollback_txn
+  | _ -> None
+
+let rollback_open t =
+  match t.txn with
+  | Some txn ->
+      Engine.rollback_txn txn;
+      t.txn <- None
+  | None -> ()
+
+let observe_commit_landed t =
+  let o = Engine.obs t.engine in
+  Metrics.observe o.Obs.conflict_retry_hist t.conflict_streak;
+  t.conflict_streak <- 0
+
+let execute t sql =
+  if t.closed then Error Engine.Closed
+  else
+    match control_of sql with
+    | Some Begin_txn -> (
+        if t.txn <> None then
+          Error (Engine.Sql "a transaction is already in progress")
+        else
+          match Engine.begin_txn t.engine ~user:t.user () with
+          | txn ->
+              t.txn <- Some txn;
+              Ok Began
+          | exception Failure e -> Error (Engine.Sql e))
+    | Some Commit_txn -> (
+        match t.txn with
+        | None -> Error (Engine.Sql "no transaction in progress")
+        | Some txn -> (
+            t.txn <- None;
+            match Engine.commit_txn txn with
+            | Ok seq ->
+                observe_commit_landed t;
+                Ok (Committed seq)
+            | Error (Engine.Conflict _ as e) ->
+                t.conflict_streak <- t.conflict_streak + 1;
+                Error e
+            | Error e -> Error e))
+    | Some Rollback_txn ->
+        if t.txn = None then Error (Engine.Sql "no transaction in progress")
+        else begin
+          rollback_open t;
+          Ok Rolled_back
+        end
+    | None -> (
+        match t.txn with
+        | Some txn -> (
+            match Engine.txn_exec txn sql with
+            | Ok outcome -> Ok (Outcome outcome)
+            | Error e -> Error e)
+        | None -> (
+            (* autocommit on the canonical engine *)
+            match Engine.execute t.engine ~user:t.user sql with
+            | Ok outcome ->
+                observe_commit_landed t;
+                Ok (Outcome outcome)
+            | Error e -> Error e))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    rollback_open t;
+    set_gauge t.engine (-1)
+  end

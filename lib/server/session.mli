@@ -1,0 +1,39 @@
+(** Per-connection session state over a shared {!Engine.t}.
+
+    A session carries an authenticated user, at most one open
+    transaction, and its conflict bookkeeping.  Many sessions share one
+    engine; their statements interleave freely — reads run against
+    snapshots, writes group-commit.
+
+    The session layer is also where transaction-control statements
+    ([BEGIN] / [COMMIT] / [ROLLBACK]) are intercepted: they are session
+    state changes, not engine statements. *)
+
+type t
+
+type reply =
+  | Outcome of Bdbms_asql.Executor.outcome
+  | Began
+  | Committed of int
+      (** position in the global commit order (0 = read-only) *)
+  | Rolled_back
+
+val create : Engine.t -> user:string -> (t, Engine.error) result
+(** Authenticate [user] (must exist in the shared engine's principal
+    store, or be the superuser) and open a session.  Bumps the
+    [sessions_opened] counter and the sessions-in-flight gauge. *)
+
+val id : t -> int
+val user : t -> string
+val in_txn : t -> bool
+
+val execute : t -> string -> (reply, Engine.error) result
+(** Run one statement: [BEGIN]/[COMMIT]/[ROLLBACK] (and their synonyms)
+    drive the session's transaction; anything else executes inside the
+    open transaction, or autocommits on the engine when none is open.
+    Transient errors ([Busy], [Conflict]) fail the statement (and abort
+    an open transaction) but never the session. *)
+
+val close : t -> unit
+(** Roll back any open transaction and release the session (drops the
+    sessions gauge).  Idempotent. *)

@@ -1,0 +1,105 @@
+module Page = Bdbms_storage.Page
+
+(* One retained version of a page: [image] is the content the page had
+   before commit [end_csn]; equivalently, the content seen by any
+   horizon h with h < end_csn that no earlier entry covers. *)
+type entry = { end_csn : int; image : Page.t }
+
+type t = {
+  mutable csn : int;
+  chains : (int, entry list ref) Hashtbl.t; (* newest (highest csn) first *)
+  pending : (int, Page.t) Hashtbl.t; (* pre-images of the open cycle *)
+  horizons : (int, int) Hashtbl.t; (* live snapshot horizons, refcounted *)
+  mu : Mutex.t;
+}
+
+let create () =
+  {
+    csn = 0;
+    chains = Hashtbl.create 64;
+    pending = Hashtbl.create 16;
+    horizons = Hashtbl.create 8;
+    mu = Mutex.create ();
+  }
+
+let csn t = Mutex.protect t.mu (fun () -> t.csn)
+
+let capture t id page =
+  Mutex.protect t.mu (fun () ->
+      (* Only the FIRST announcement of a cycle is the committed image:
+         if the frame was evicted and re-dirtied, the second announcement
+         carries uncommitted bytes and must not replace it. *)
+      if not (Hashtbl.mem t.pending id) then
+        Hashtbl.replace t.pending id (Page.copy page))
+
+let abort_cycle t = Mutex.protect t.mu (fun () -> Hashtbl.reset t.pending)
+
+let min_horizon_locked t =
+  Hashtbl.fold (fun h _ acc -> min h acc) t.horizons max_int
+
+(* Drop every entry no live horizon can select.  An entry with
+   [end_csn <= min live horizon] is dead: any such horizon h has
+   h >= end_csn, and [read] only returns entries with end_csn > h. *)
+let prune_locked t =
+  let floor = min_horizon_locked t in
+  let dead = ref [] in
+  Hashtbl.iter
+    (fun id chain ->
+      chain := List.filter (fun e -> e.end_csn > floor) !chain;
+      if !chain = [] then dead := id :: !dead)
+    t.chains;
+  List.iter (Hashtbl.remove t.chains) !dead
+
+let seal t =
+  Mutex.protect t.mu (fun () ->
+      t.csn <- t.csn + 1;
+      Hashtbl.iter
+        (fun id image ->
+          let chain =
+            match Hashtbl.find_opt t.chains id with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.replace t.chains id c;
+                c
+          in
+          chain := { end_csn = t.csn; image } :: !chain)
+        t.pending;
+      Hashtbl.reset t.pending;
+      prune_locked t;
+      t.csn)
+
+let read t ~horizon id =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.chains id with
+      | None -> None
+      | Some chain ->
+          (* newest-first: the LAST entry with end_csn > horizon is the
+             one with the smallest such csn — the content at [horizon] *)
+          let best =
+            List.fold_left
+              (fun acc e -> if e.end_csn > horizon then Some e else acc)
+              None !chain
+          in
+          Option.map (fun e -> Page.copy e.image) best)
+
+let retain t ~horizon =
+  Mutex.protect t.mu (fun () ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt t.horizons horizon) in
+      Hashtbl.replace t.horizons horizon (n + 1))
+
+let release t ~horizon =
+  Mutex.protect t.mu (fun () ->
+      (match Hashtbl.find_opt t.horizons horizon with
+      | Some n when n > 1 -> Hashtbl.replace t.horizons horizon (n - 1)
+      | Some _ -> Hashtbl.remove t.horizons horizon
+      | None -> ());
+      prune_locked t)
+
+let min_horizon t = Mutex.protect t.mu (fun () -> min_horizon_locked t)
+
+let live_horizons t =
+  Mutex.protect t.mu (fun () ->
+      Hashtbl.fold (fun _ n acc -> acc + n) t.horizons 0)
+
+let chain_pages t = Mutex.protect t.mu (fun () -> Hashtbl.length t.chains)

@@ -1,0 +1,64 @@
+(** Copy-on-write page version store: the substrate of snapshot
+    isolation.
+
+    The canonical pager announces every clean→dirty frame transition
+    (see {!Bdbms_storage.Pager.set_on_first_dirty}); the store captures
+    those pre-images — the page's {e committed} content — as pending.
+    When the engine commits, {!seal} advances the commit sequence number
+    (CSN) and files each pending image as "this was the content before
+    commit [csn]".  A transaction whose snapshot horizon is [h] then
+    reads page [p] as: the version chain entry with the smallest
+    [end_csn > h] if any (the content [p] had at time [h]), else the
+    canonical page (unchanged since [h]).
+
+    Entries are pruned as soon as no live snapshot's horizon can reach
+    them, so the store's footprint is bounded by write traffic times
+    snapshot lifetime, not by database size.
+
+    The store has its own lock, but {!capture}, {!seal}, {!abort_cycle},
+    and {!read} are called with the engine's big lock held — the engine
+    lock is what makes "pending becomes a version atomically with the
+    commit" true. *)
+
+type t
+
+val create : unit -> t
+
+val csn : t -> int
+(** The current commit sequence number — a new snapshot's horizon. *)
+
+val capture : t -> Bdbms_storage.Page.id -> Bdbms_storage.Page.t -> unit
+(** Record a committed pre-image (copied) for the current write cycle.
+    Idempotent per page per cycle: eviction + re-dirty within one cycle
+    announces again with a now-uncommitted image, which is ignored. *)
+
+val abort_cycle : t -> unit
+(** Discard pending pre-images: the write cycle rolled back, canonical
+    pages revert to their committed content, so no versions are born. *)
+
+val seal : t -> int
+(** Commit the write cycle: advance the CSN, file every pending
+    pre-image as ending at the new CSN, prune entries no live horizon
+    can reach, and return the new CSN. *)
+
+val read : t -> horizon:int -> Bdbms_storage.Page.id -> Bdbms_storage.Page.t option
+(** The content the page had at [horizon]: the version with the smallest
+    [end_csn > horizon], copied — or [None] if the canonical page is
+    still current for that horizon. *)
+
+val retain : t -> horizon:int -> unit
+(** Declare a live snapshot at [horizon], blocking pruning past it. *)
+
+val release : t -> horizon:int -> unit
+(** Drop one retention of [horizon] (refcounted). *)
+
+val min_horizon : t -> int
+(** The lowest retained horizon, or [max_int] with no live snapshots —
+    the pruning floor for commit-history entries. *)
+
+val live_horizons : t -> int
+(** Retained snapshot count (for tests and the sessions gauge). *)
+
+val chain_pages : t -> int
+(** Pages that currently hold at least one retained version (for
+    bounded-footprint assertions in tests). *)

@@ -17,11 +17,22 @@
    assumed atomic (a single sector in practice). *)
 
 exception Corrupt of { page : int; detail : string }
+exception Locked of { path : string }
+
+let () =
+  Printexc.register_printer (function
+    | Locked { path } ->
+        Some
+          (Printf.sprintf
+             "Backend.Locked(%s): database file is locked by another process"
+             path)
+    | _ -> None)
 
 module Crc32 = Bdbms_util.Crc32
 
 type file_state = {
   path : string;
+  lock_key : string;
   fd : Unix.file_descr;
   fault : Fault.t;
   f_page_size : int;
@@ -86,46 +97,92 @@ let write_header fd ~page_size =
   pwrite_raw fd ~off:0 h ~len:page_size;
   Unix.fsync fd
 
+(* Advisory locking: an fcntl write lock on the whole database file keeps
+   a second *process* out (released automatically when the fd closes or
+   the process dies, so a crashed process never leaves a stale lock), and
+   a process-local registry of open paths keeps a second handle in the
+   *same* process out (fcntl locks do not conflict within one process).
+   [close] — reached by both [Disk.close] and [Disk.abandon] — releases
+   both, so crash-recovery reopens work. *)
+
+let open_paths : (string, unit) Hashtbl.t = Hashtbl.create 4
+let open_paths_mu = Mutex.create ()
+
+let lock_key_of path =
+  match Unix.realpath path with p -> p | exception Unix.Unix_error _ -> path
+
+let register_open ~path ~key fd =
+  let locked_out =
+    Mutex.protect open_paths_mu (fun () ->
+        if Hashtbl.mem open_paths key then true
+        else begin
+          Hashtbl.replace open_paths key ();
+          false
+        end)
+  in
+  let raise_locked () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise (Locked { path })
+  in
+  if locked_out then raise_locked ();
+  match
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    Unix.lockf fd Unix.F_TLOCK 0
+  with
+  | () -> ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+      Mutex.protect open_paths_mu (fun () -> Hashtbl.remove open_paths key);
+      raise_locked ()
+
+let unregister_open key =
+  Mutex.protect open_paths_mu (fun () -> Hashtbl.remove open_paths key)
+
 (* Opens (or creates) the database file; returns the backend and the
    number of pages currently in the stable store. *)
 let file ~fault ~page_size ~path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let lock_key = lock_key_of path in
+  register_open ~path ~key:lock_key fd;
+  let unregister_and f = unregister_open lock_key; f () in
   let size = file_size fd in
   if size < header_fields then begin
     (* fresh (or a file that died before its header landed): initialise *)
     Unix.ftruncate fd 0;
     write_header fd ~page_size;
-    (File { path; fd; fault; f_page_size = page_size }, 0)
+    (File { path; lock_key; fd; fault; f_page_size = page_size }, 0)
   end
   else begin
     let h = Bytes.create header_fields in
     ignore (pread fd ~off:0 h);
-    if Bytes.sub_string h 0 4 <> magic then begin
-      Unix.close fd;
-      invalid_arg (Printf.sprintf "Backend.file: %s is not a bdbms database" path)
-    end;
+    if Bytes.sub_string h 0 4 <> magic then
+      unregister_and (fun () ->
+          Unix.close fd;
+          invalid_arg
+            (Printf.sprintf "Backend.file: %s is not a bdbms database" path));
     let stored_version = Int32.to_int (Bytes.get_int32_le h 4) in
-    if stored_version <> version then begin
-      Unix.close fd;
-      invalid_arg
-        (Printf.sprintf "Backend.file: %s has format version %d, expected %d"
-           path stored_version version)
-    end;
+    if stored_version <> version then
+      unregister_and (fun () ->
+          Unix.close fd;
+          invalid_arg
+            (Printf.sprintf
+               "Backend.file: %s has format version %d, expected %d" path
+               stored_version version));
     let stored_ps = Int32.to_int (Bytes.get_int32_le h 8) in
-    if stored_ps <> page_size then begin
-      Unix.close fd;
-      invalid_arg
-        (Printf.sprintf
-           "Backend.file: %s has page_size %d, requested %d" path stored_ps
-           page_size)
-    end;
+    if stored_ps <> page_size then
+      unregister_and (fun () ->
+          Unix.close fd;
+          invalid_arg
+            (Printf.sprintf "Backend.file: %s has page_size %d, requested %d"
+               path stored_ps page_size));
     let count = max 0 ((size - page_size) / slot_len page_size) in
-    (File { path; fd; fault; f_page_size = page_size }, count)
+    (File { path; lock_key; fd; fault; f_page_size = page_size }, count)
   end
 
 let close = function
   | Mem _ -> ()
-  | File f -> ( try Unix.close f.fd with Unix.Unix_error _ -> ())
+  | File f ->
+      unregister_open f.lock_key;
+      (try Unix.close f.fd with Unix.Unix_error _ -> ())
 
 (* ---------------------------------------------------------- page ops *)
 

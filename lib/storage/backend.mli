@@ -12,13 +12,23 @@ exception Corrupt of { page : int; detail : string }
     data; {!Disk.open_file} filters out pages that a replayed WAL record
     fully repairs before raising. *)
 
+exception Locked of { path : string }
+(** The database file is already open — by another process (detected via
+    an fcntl advisory lock on the whole file, released automatically when
+    that process exits or closes the file) or by another handle in this
+    process (detected via a process-local registry, since fcntl locks do
+    not conflict within one process).  Raised by {!file} instead of
+    letting two writers corrupt each other's WAL. *)
+
 type t
 
 val mem : page_size:int -> t
 
 val file : fault:Fault.t -> page_size:int -> path:string -> t * int
-(** Open (or create) the database file at [path]; also returns the number
-    of pages currently in the stable store.
+(** Open (or create) the database file at [path], taking an advisory
+    whole-file write lock; also returns the number of pages currently in
+    the stable store.
+    @raise Locked if the file is already open (this process or another).
     @raise Invalid_argument if the file is not a bdbms database or its
     page size disagrees with [page_size]. *)
 

@@ -54,6 +54,11 @@ type durable = {
   mutable uncommitted : int; (* records appended since the last commit *)
 }
 
+type overlay_base = {
+  ob_count : int; (* pages the base held when the overlay was created *)
+  ob_read : Page.id -> Page.t; (* committed-version read from the base *)
+}
+
 type core = {
   page_size : int;
   stats : Stats.t;
@@ -61,6 +66,8 @@ type core = {
   obs : Obs.t option;
   mutable mem : Page.t array; (* mem mode: the simulated stable store *)
   mutable count : int;
+  base : overlay_base option; (* overlay mode: copy-on-write over a base *)
+  local : (int, unit) Hashtbl.t; (* overlay mode: ids written locally *)
   durable : durable option;
   recovery : Recovery.outcome option; (* from [open_file], durable only *)
 }
@@ -101,7 +108,9 @@ let mem_ensure c n =
   if n > Array.length c.mem then begin
     let cap = max n (2 * max 1 (Array.length c.mem)) in
     let arr = Array.make cap (Page.create ~size:c.page_size ()) in
-    Array.blit c.mem 0 arr 0 c.count;
+    (* an overlay starts with count = base pages but an empty array, so
+       only blit what the array actually holds *)
+    Array.blit c.mem 0 arr 0 (min c.count (Array.length c.mem));
     c.mem <- arr
   end
 
@@ -120,7 +129,11 @@ let load_slot c d id =
 
 let src_load c id =
   match c.durable with
-  | None -> Page.copy c.mem.(id)
+  | None -> (
+      match c.base with
+      | Some b when id < b.ob_count && not (Hashtbl.mem c.local id) ->
+          b.ob_read id
+      | _ -> Page.copy c.mem.(id))
   | Some d -> (
       match Hashtbl.find_opt d.loc id with
       | Some (In_wal off) ->
@@ -162,7 +175,9 @@ let src_write_back c id page ~evicting =
   let work () =
     match c.durable with
     | None ->
+        mem_ensure c (id + 1);
         c.mem.(id) <- Page.copy page;
+        if c.base <> None then Hashtbl.replace c.local id ();
         Stats.record_write c.stats
     | Some d -> push_record c d id page ~evicting
   in
@@ -205,8 +220,8 @@ let make_pager core ~policy ~guard ~capacity =
 
 (* ------------------------------------------------------------ creation *)
 
-let create ?(page_size = Page.default_size) ?pool_pages
-    ?(policy = Pager.Lru) ?guard ?obs () =
+let make_mem ?(page_size = Page.default_size) ?pool_pages
+    ?(policy = Pager.Lru) ?guard ?obs ?base () =
   let core =
     {
       page_size;
@@ -214,7 +229,9 @@ let create ?(page_size = Page.default_size) ?pool_pages
       fault = Fault.create ();
       obs;
       mem = Array.make 64 (Page.create ~size:page_size ());
-      count = 0;
+      count = (match base with Some b -> b.ob_count | None -> 0);
+      base;
+      local = Hashtbl.create 16;
       durable = None;
       recovery = None;
     }
@@ -222,6 +239,24 @@ let create ?(page_size = Page.default_size) ?pool_pages
   (* Unbounded by default: the degenerate everything-resident mode. *)
   let capacity = match pool_pages with Some n -> n | None -> max_int in
   { core; pager = make_pager core ~policy ~guard ~capacity }
+
+let create ?page_size ?pool_pages ?policy ?guard ?obs () =
+  make_mem ?page_size ?pool_pages ?policy ?guard ?obs ()
+
+(* A copy-on-write overlay: reads below [base_count] that were not locally
+   overwritten come from [base_read] (the snapshot layer's committed-
+   version lookup); writes and fresh allocations live only in this
+   overlay's private store and die with it.  Ephemeral by construction —
+   [commit]/[checkpoint] are no-ops, nothing reaches the base. *)
+let overlay ~page_size ?pool_pages ?policy ?guard ?obs ~base_count ~base_read
+    () =
+  make_mem ~page_size ?pool_pages ?policy ?guard ?obs
+    ~base:{ ob_count = base_count; ob_read = base_read }
+    ()
+
+let is_overlay t = t.core.base <> None
+
+let set_on_first_dirty t hook = Pager.set_on_first_dirty t.pager hook
 
 let default_pool_pages = 256
 
@@ -293,6 +328,8 @@ let open_file ?(page_size = Page.default_size) ?fault
           obs;
           mem = [||];
           count = !count;
+          base = None;
+          local = Hashtbl.create 1;
           durable =
             Some
               {

@@ -38,6 +38,34 @@ val create :
     pager's read-only pin checksum assertion (default: the
     [BDBMS_PAGER_GUARD] environment variable). *)
 
+val overlay :
+  page_size:int ->
+  ?pool_pages:int ->
+  ?policy:Pager.policy ->
+  ?guard:bool ->
+  ?obs:Bdbms_obs.Obs.t ->
+  base_count:int ->
+  base_read:(Page.id -> Page.t) ->
+  unit ->
+  t
+(** A copy-on-write overlay over some base store: reads of pages below
+    [base_count] that have not been locally overwritten are served by
+    [base_read] (the snapshot layer's committed-version lookup — called
+    on pager miss, so it must return a page the overlay may own);
+    writes and fresh allocations live only in this overlay's private
+    in-memory store and die with it.  Ephemeral by construction —
+    {!commit} and {!checkpoint} are no-ops and nothing ever reaches the
+    base.  This is what gives each transaction's snapshot {!t} in the
+    multi-session server. *)
+
+val is_overlay : t -> bool
+
+val set_on_first_dirty : t -> (Page.id -> Page.t -> unit) option -> unit
+(** Install (or clear) the pager's clean→dirty observer
+    ({!Pager.set_on_first_dirty} on {!pager}): called with a frame's
+    last-committed image just before its first mutation of a write-back
+    cycle.  The snapshot-isolation layer captures pre-images here. *)
+
 val open_file :
   ?page_size:int ->
   ?fault:Fault.t ->

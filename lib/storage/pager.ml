@@ -77,6 +77,10 @@ type t = {
   clock_queue : Page.id Queue.t;
   mutable pinned_frames : int; (* frames with f_pins > 0 *)
   guard : bool; (* verify with_page callbacks did not mutate *)
+  mutable on_first_dirty : (Page.id -> Page.t -> unit) option;
+      (* observer of clean->dirty frame transitions; the snapshot layer
+         captures committed pre-images here.  Receives the resident page
+         (not a copy) and must not mutate or retain it. *)
 }
 
 let create ?(policy = Lru) ?(guard = false) ~capacity src =
@@ -91,7 +95,10 @@ let create ?(policy = Lru) ?(guard = false) ~capacity src =
     clock_queue = Queue.create ();
     pinned_frames = 0;
     guard;
+    on_first_dirty = None;
   }
+
+let set_on_first_dirty t hook = t.on_first_dirty <- hook
 
 let capacity t = t.cap
 let page_size t = t.src.src_page_size
@@ -242,7 +249,14 @@ let unpin t frame =
 let with_pin t ~accounting ~dirty page_id f =
   let frame = fetch t ~accounting page_id in
   pin t frame;
-  if dirty then frame.f_dirty <- true;
+  if dirty && not frame.f_dirty then begin
+    (* the frame still holds its last written-back (or loaded) image:
+       announce it before the mutation callback can touch it *)
+    (match t.on_first_dirty with
+    | Some hook -> hook page_id frame.f_page
+    | None -> ());
+    frame.f_dirty <- true
+  end;
   Fun.protect
     ~finally:(fun () -> unpin t frame)
     (fun () ->

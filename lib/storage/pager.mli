@@ -42,6 +42,14 @@ val create : ?policy:policy -> ?guard:bool -> capacity:int -> source -> t
     not mutate the page — the debug build of the read-only contract.
     @raise Invalid_argument if [capacity < 1]. *)
 
+val set_on_first_dirty : t -> (Page.id -> Page.t -> unit) option -> unit
+(** Install (or clear) an observer of clean→dirty frame transitions:
+    called with the frame's current — i.e. last written-back or loaded —
+    image just before the first mutation of a write-back cycle.  The
+    snapshot-isolation layer captures committed pre-images here.  The
+    callback receives the {e resident} page; it must copy what it wants
+    to keep and must not mutate the page or raise. *)
+
 val with_page : ?accounting:accounting -> t -> Page.id -> (Page.t -> 'a) -> 'a
 (** Pin the frame and run the callback on the resident page.  The page
     must not be mutated (mutations are not marked dirty and are lost at

@@ -31,6 +31,11 @@ type snapshot = {
   writebacks : int;
   wal_forced_flushes : int;
   peak_pinned : int;
+  sessions_opened : int;
+  commit_conflicts : int;
+  frames_rx : int;
+  frames_tx : int;
+  group_commits : int;
 }
 
 (* slot indices *)
@@ -57,7 +62,12 @@ let i_evictions = 19
 let i_writebacks = 20
 let i_wal_forced_flushes = 21
 let i_peak_pinned = 22
-let n_counters = 23
+let i_sessions_opened = 23
+let i_commit_conflicts = 24
+let i_frames_rx = 25
+let i_frames_tx = 26
+let i_group_commits = 27
+let n_counters = 28
 
 let names =
   [|
@@ -66,7 +76,8 @@ let names =
     "pushdown_pruned"; "index_probes"; "tuples_decoded"; "ann_envelopes";
     "catalog_replayed"; "pages_crc_verified"; "crc_failures"; "root_swaps";
     "page_ins"; "evictions"; "writebacks"; "wal_forced_flushes";
-    "peak_pinned";
+    "peak_pinned"; "sessions_opened"; "commit_conflicts"; "frames_rx";
+    "frames_tx"; "group_commits";
   |]
 
 let to_array s =
@@ -76,7 +87,8 @@ let to_array s =
     s.pushdown_pruned; s.index_probes; s.tuples_decoded; s.ann_envelopes;
     s.catalog_replayed; s.pages_crc_verified; s.crc_failures; s.root_swaps;
     s.page_ins; s.evictions; s.writebacks; s.wal_forced_flushes;
-    s.peak_pinned;
+    s.peak_pinned; s.sessions_opened; s.commit_conflicts; s.frames_rx;
+    s.frames_tx; s.group_commits;
   |]
 
 let of_array a =
@@ -104,6 +116,11 @@ let of_array a =
     writebacks = a.(i_writebacks);
     wal_forced_flushes = a.(i_wal_forced_flushes);
     peak_pinned = a.(i_peak_pinned);
+    sessions_opened = a.(i_sessions_opened);
+    commit_conflicts = a.(i_commit_conflicts);
+    frames_rx = a.(i_frames_rx);
+    frames_tx = a.(i_frames_tx);
+    group_commits = a.(i_group_commits);
   }
 
 type t = int array
@@ -134,6 +151,11 @@ let record_page_in t = bump t i_page_ins
 let record_eviction t = bump t i_evictions
 let record_writeback t = bump t i_writebacks
 let record_wal_forced_flush t = bump t i_wal_forced_flushes
+let record_session_opened t = bump t i_sessions_opened
+let record_commit_conflict t = bump t i_commit_conflicts
+let record_frame_rx t = bump t i_frames_rx
+let record_frame_tx t = bump t i_frames_tx
+let record_group_commit t = bump t i_group_commits
 
 let record_pinned t n =
   if n > t.(i_peak_pinned) then t.(i_peak_pinned) <- n

@@ -103,6 +103,30 @@ val record_wal_forced_flush : t -> unit
 val record_pinned : t -> int -> unit
 (** [n] frames currently pinned; retains the high-water mark. *)
 
+(** {2 Server counters}
+
+    The multi-session server accounts its concurrency and wire traffic
+    here so session churn, snapshot-isolation conflict pressure, and
+    protocol volume are observable from [--stats] and the [\metrics]
+    control request. *)
+
+val record_session_opened : t -> unit
+(** A session authenticated and admitted (local or over the wire). *)
+
+val record_commit_conflict : t -> unit
+(** A transaction rejected at commit by first-writer-wins conflict
+    detection (the client may retry). *)
+
+val record_frame_rx : t -> unit
+(** A protocol frame received from a client. *)
+
+val record_frame_tx : t -> unit
+(** A protocol frame sent to a client. *)
+
+val record_group_commit : t -> unit
+(** A committer batch made durable with a single WAL flush (one or more
+    transactions amortized per fsync). *)
+
 type snapshot = {
   reads : int;  (** physical page reads *)
   writes : int;  (** physical page writes *)
@@ -127,6 +151,11 @@ type snapshot = {
   writebacks : int;  (** dirty frames written back at eviction (steals) *)
   wal_forced_flushes : int;  (** WAL flushes forced by evictions *)
   peak_pinned : int;  (** high-water mark of simultaneously pinned frames *)
+  sessions_opened : int;  (** sessions authenticated and admitted *)
+  commit_conflicts : int;  (** transactions rejected by conflict detection *)
+  frames_rx : int;  (** protocol frames received from clients *)
+  frames_tx : int;  (** protocol frames sent to clients *)
+  group_commits : int;  (** committer batches flushed with one fsync *)
 }
 
 val snapshot : t -> snapshot

@@ -186,8 +186,11 @@ let run_workload ~rng ~path ~crash_after ~tear_frac =
   in
   let inflight = ref None in
   let crashed = ref false in
+  (* the fault is armed only after the open, so the open itself cannot
+     crash; holding [d] outside the handler lets the crash path release
+     its descriptors (and the file lock) like a real process death would *)
+  let d = Disk.open_file ~page_size ~fault ~wal_group_bytes:512 path in
   (try
-     let d = Disk.open_file ~page_size ~fault ~wal_group_bytes:512 path in
      (* initial committed pages *)
      let n0 = 4 in
      let ids = ref (List.init n0 (fun _ -> Disk.alloc d)) in
@@ -227,7 +230,9 @@ let run_workload ~rng ~path ~crash_after ~tear_frac =
        inflight := None
      done;
      Disk.close d
-   with Fault.Crash _ -> crashed := true);
+   with Fault.Crash _ ->
+     crashed := true;
+     Disk.abandon d);
   let committed = !model in
   let alt =
     match !inflight with
@@ -288,8 +293,8 @@ let test_randomized_crash_points () =
 let pool_workload ~policy ~path ~crash_after =
   let fault = Fault.create () in
   let committed = ref 0 in
+  let d = Disk.open_file ~page_size ~fault ~wal_group_bytes:256 ~pool_pages:2 ~policy path in
   (try
-     let d = Disk.open_file ~page_size ~fault ~wal_group_bytes:256 ~pool_pages:2 ~policy path in
      let bp = Disk.pager d in
      let ids = List.init 6 (fun _ -> Pager.alloc_page bp) in
      List.iteri
@@ -315,7 +320,7 @@ let pool_workload ~policy ~path ~crash_after =
        committed := batch
      done;
      Disk.close d
-   with Fault.Crash _ -> ());
+   with Fault.Crash _ -> Disk.abandon d);
   !committed
 
 let check_pool_state ~what path committed =
