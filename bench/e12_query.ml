@@ -6,7 +6,7 @@
    speed.  Our reproduction owns the query engine; this experiment pins
    the streaming planner's three wins against the naive
    materialize-everything evaluator it replaced (still reachable via
-   [Db.set_pipelined db false] as the differential-testing oracle):
+   [Db.set_exec_mode db `Naive] as the differential-testing oracle):
 
    - equi-joins: hash join (O(n)) vs the naive cross-product-then-filter
      (O(n^2) in both time and materialized tuples).  The naive side is
@@ -81,9 +81,9 @@ let run () =
         let naive_us =
           if n > naive_cap then None
           else begin
-            Bdbms.Db.set_pipelined db false;
+            Bdbms.Db.set_exec_mode db `Naive;
             let us = rows_us db join_sql in
-            Bdbms.Db.set_pipelined db true;
+            Bdbms.Db.set_exec_mode db `Batch;
             Some us
           end
         in
@@ -170,9 +170,9 @@ let run () =
   let db = mk_db topk_n in
   let topk_sql = "SELECT id, k FROM T1 ORDER BY k LIMIT 10" in
   let topk_us = rows_us db topk_sql in
-  Bdbms.Db.set_pipelined db false;
+  Bdbms.Db.set_exec_mode db `Naive;
   let sort_us = rows_us db topk_sql in
-  Bdbms.Db.set_pipelined db true;
+  Bdbms.Db.set_exec_mode db `Batch;
   print_table
     ~title:
       (Printf.sprintf "E12c. ORDER BY k LIMIT 10 over %d rows" topk_n)

@@ -1,0 +1,182 @@
+(* E16 — Vectorized batch execution: the batched engine vs tuple-at-a-time.
+
+   Not a paper experiment: the authors' prototype inherited PostgreSQL's
+   executor (Section 2), so the paper never measures plain relational
+   speed.  Our reproduction owns the query engine, and PR 7 added a third
+   engine — batch-at-a-time over column vectors with selection vectors —
+   behind [Db.set_exec_mode db `Batch] (the default).  This experiment
+   pins the vectorized engine against the pipelined tuple engine it
+   shadows, on the four operator shapes the batch pipeline covers:
+
+   - scan:       SELECT * (page-at-a-time decode into column batches)
+   - filter:     a selective WHERE (compiled predicate over a selection
+                 vector, no per-row closure dispatch)
+   - join:       an equi-join (batched hash join, columnar probe side)
+   - aggregate:  selective scan -> filter -> ungrouped aggregates (the
+                 acceptance workload: the batch engine folds over column
+                 vectors without materializing tuples)
+
+   The aggregate workload at the largest size is also rendered under
+   EXPLAIN ANALYZE in both modes, so the speedup is attributable
+   per-operator (the batch scan node reports batches=..., and the time
+   shifts out of the scan/filter nodes).
+
+   Guard: the batch engine must not be slower than the tuple engine on
+   the scan workload at the largest size — if it is, the experiment
+   fails loudly (exit 1) with the measured ratio, so a regression in the
+   batch path cannot hide behind a green test suite.
+
+   Pass --quick for the reduced sizes used by `make bench-quick`. *)
+
+open Bench_util
+
+let quick = Array.exists (String.equal "--quick") Sys.argv
+
+let exec db sql =
+  match Bdbms.Db.exec db sql with
+  | Ok _ -> ()
+  | Error e -> failwith (Printf.sprintf "E16: %s -- for: %s" e sql)
+
+let render db sql =
+  match Bdbms.Db.exec db sql with
+  | Ok outcome -> Bdbms_asql.Executor.render outcome
+  | Error e -> failwith (Printf.sprintf "E16: %s -- for: %s" e sql)
+
+(* Best of three runs: the tables are hot in the buffer pool after the
+   first, so this measures the execution engine, not first-touch I/O. *)
+let best_us db sql =
+  let run () =
+    let (), us = time_us (fun () -> exec db sql) in
+    us
+  in
+  let a = run () in
+  let b = run () in
+  let c = run () in
+  Float.min a (Float.min b c)
+
+let mode_us db mode sql =
+  Bdbms.Db.set_exec_mode db mode;
+  (* start each measurement from a settled heap so the scan/join
+     workloads' large materialized results don't tax their neighbours *)
+  Gc.compact ();
+  let us = best_us db sql in
+  Bdbms.Db.set_exec_mode db `Batch;
+  us
+
+(* Same shape as E12's corpus: two joinable tables, [k] uniform over
+   [0..n-1] so the equi-join output stays ~n rows at every scale. *)
+let mk_db n =
+  let db = Bdbms.Db.create ~page_size:4096 ~pool_pages:8192 () in
+  let st = Random.State.make [| 0xe1; 0x6b |] in
+  exec db "CREATE TABLE T1 (id INT, k INT, v TEXT)";
+  exec db "CREATE TABLE T2 (id INT, k INT, w TEXT)";
+  let insert table mkrow =
+    let batch = 1000 in
+    let rec go i =
+      if i < n then begin
+        let hi = min n (i + batch) in
+        let vals =
+          List.init (hi - i) (fun j -> mkrow (i + j)) |> String.concat ", "
+        in
+        exec db (Printf.sprintf "INSERT INTO %s VALUES %s" table vals);
+        go hi
+      end
+    in
+    go 0
+  in
+  insert "T1" (fun i ->
+      Printf.sprintf "(%d, %d, 's%d')" i (Random.State.int st n) (i mod 7));
+  insert "T2" (fun i ->
+      Printf.sprintf "(%d, %d, 's%d')" i (Random.State.int st n) (i mod 5));
+  db
+
+(* The four operator shapes, parameterized by table size so the filter
+   and the acceptance aggregate stay ~10% / ~5% selective at any n. *)
+let workloads n =
+  [
+    ("scan", "SELECT * FROM T1");
+    ("filter", Printf.sprintf "SELECT id, k FROM T1 WHERE k < %d" (n / 10));
+    ("join", "SELECT a.id, b.id FROM T1 a, T2 b WHERE a.k = b.k");
+    ( "aggregate",
+      Printf.sprintf "SELECT COUNT(*), SUM(k), AVG(k) FROM T1 WHERE k < %d"
+        (n / 20) );
+  ]
+
+let run () =
+  let sizes = if quick then [ 1000; 10_000 ] else [ 1000; 10_000; 100_000 ] in
+  let biggest = List.nth sizes (List.length sizes - 1) in
+  let results =
+    (* (n, name, tuple_us, batch_us) in sweep order *)
+    List.concat_map
+      (fun n ->
+        let db = mk_db n in
+        let rows =
+          List.map
+            (fun (name, sql) ->
+              let tuple_us = mode_us db `Tuple sql in
+              let batch_us = mode_us db `Batch sql in
+              (n, name, tuple_us, batch_us))
+            (workloads n)
+        in
+        Bdbms.Db.close db;
+        rows)
+      sizes
+  in
+  print_table
+    ~title:
+      (Printf.sprintf
+         "E16a. Tuple vs batch engine, %d..%d rows (best of 3, hot pool)"
+         (List.hd sizes) biggest)
+    ~headers:[ "rows"; "workload"; "tuple us"; "batch us"; "speedup" ]
+    ~rows:
+      (List.map
+         (fun (n, name, tu, bu) ->
+           [ fmt_i n; name; fmt_f tu; fmt_f bu; fmt_f1 (tu /. Float.max 1.0 bu) ])
+         results);
+
+  (* ---------------- per-operator attribution at the largest size ----- *)
+  let db = mk_db biggest in
+  let agg_sql = List.assoc "aggregate" (workloads biggest) in
+  let explain = "EXPLAIN ANALYZE " ^ agg_sql in
+  exec db agg_sql;
+  (* warm the pool before metering *)
+  Bdbms.Db.set_exec_mode db `Tuple;
+  let tuple_plan = render db explain in
+  Bdbms.Db.set_exec_mode db `Batch;
+  let batch_plan = render db explain in
+  Printf.printf
+    "\nE16b. EXPLAIN ANALYZE, selective scan-filter-aggregate over %d rows\n"
+    biggest;
+  Printf.printf "-- tuple engine:\n%s\n" tuple_plan;
+  Printf.printf "-- batch engine (scan node reports batches=):\n%s\n"
+    batch_plan;
+  Bdbms.Db.close db;
+
+  let at name =
+    List.find_map
+      (fun (n, w, tu, bu) -> if n = biggest && w = name then Some (tu, bu) else None)
+      results
+    |> Option.get
+  in
+  let ratio (tu, bu) = tu /. Float.max 1.0 bu in
+  let scan_r = ratio (at "scan")
+  and filter_r = ratio (at "filter")
+  and join_r = ratio (at "join")
+  and agg_r = ratio (at "aggregate") in
+  Printf.printf
+    "BENCH_batch {\"rows\": %d, \"scan_speedup\": %.2f, \
+     \"filter_speedup\": %.2f, \"join_speedup\": %.2f, \
+     \"aggregate_speedup\": %.2f}\n"
+    biggest scan_r filter_r join_r agg_r;
+
+  (* ------------------------------------------------------------ guard *)
+  if scan_r < 1.0 then begin
+    Printf.eprintf
+      "E16 GUARD FAILED: batch engine slower than tuple engine on the \
+       %d-row scan (batch/tuple throughput ratio %.2fx, need >= 1.0x)\n"
+      biggest scan_r;
+    exit 1
+  end;
+  Printf.printf
+    "E16 guard: batch >= tuple throughput on the %d-row scan (%.2fx)\n"
+    biggest scan_r

@@ -31,6 +31,10 @@
                                             group commit; the MVCC +
                                             server PostgreSQL gave the
                                             authors for free)
+     E16 vectorized batch execution        (column batches + selection
+                                            vectors vs tuple-at-a-time;
+                                            guards batch >= tuple on the
+                                            scan workload)
 
    Usage:
      dune exec bench/main.exe                 # all paper experiments
@@ -55,6 +59,7 @@ let experiments =
     ("E13", E13_paging.run);
     ("E14", E14_obs.run);
     ("E15", E15_server.run);
+    ("E16", E16_batch.run);
   ]
 
 (* ------------------------------------------------- bechamel micro-bench *)

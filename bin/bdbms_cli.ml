@@ -51,6 +51,8 @@ let report_recovery db =
     Printf.printf "-- catalog: bootstrapped %d metadata record(s) from page 0\n"
       (Db.catalog_records db)
 
+let exec_mode_help = "usage: \\exec [naive|tuple|batch]"
+
 let repl db ~user =
   Printf.printf
     "bdbms shell (user: %s%s). End statements with ';'. Type \\q to quit%s.\n"
@@ -97,6 +99,19 @@ let repl db ~user =
     | "\\trace json" ->
         print_endline (Db.trace_json db);
         loop ()
+    | "\\exec" ->
+        Printf.printf "exec mode: %s\n"
+          (Bdbms_asql.Context.exec_mode_name (Db.exec_mode db));
+        loop ()
+    | line when String.length line > 6 && String.sub line 0 6 = "\\exec " -> (
+        let arg = String.trim (String.sub line 6 (String.length line - 6)) in
+        (match Bdbms_asql.Context.exec_mode_of_string arg with
+        | Some m ->
+            Db.set_exec_mode db m;
+            Printf.printf "exec mode: %s\n"
+              (Bdbms_asql.Context.exec_mode_name m)
+        | None -> Printf.printf "unknown exec mode %S; %s\n" arg exec_mode_help);
+        loop ())
     | line ->
         Buffer.add_string buf line;
         Buffer.add_char buf '\n';
@@ -185,6 +200,13 @@ let remote_repl client ~user ~session =
     | "\\ping" ->
         print_response (Client.control client "ping");
         loop ()
+    | "\\exec" ->
+        print_response (Client.control client "exec");
+        loop ()
+    | line when String.length line > 6 && String.sub line 0 6 = "\\exec " ->
+        let arg = String.trim (String.sub line 6 (String.length line - 6)) in
+        print_response (Client.control client ("exec " ^ arg));
+        loop ()
     | line ->
         Buffer.add_string buf line;
         Buffer.add_char buf '\n';
@@ -197,7 +219,7 @@ let remote_repl client ~user ~session =
   in
   loop ()
 
-let remote_main addr ~user ~script =
+let remote_main addr ~user ~script ~exec_mode =
   match connect_client addr with
   | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "error: cannot connect to %s: %s\n" addr
@@ -214,11 +236,25 @@ let remote_main addr ~user ~script =
           finish 2
       | Ok session -> (
           try
+            (match exec_mode with
+            | Some m -> (
+                (* session-scoped override on the server side *)
+                match
+                  Client.control client
+                    ("exec " ^ Bdbms_asql.Context.exec_mode_name m)
+                with
+                | P.Error_resp { message; _ } ->
+                    failwith ("cannot set exec mode: " ^ message)
+                | _ -> ())
+            | None -> ());
             (match script with
             | Some path -> remote_script client path
             | None -> remote_repl client ~user ~session);
             finish 0
           with
+          | Failure m ->
+              Printf.eprintf "error: %s\n" m;
+              finish 2
           | P.Protocol_error m ->
               Printf.eprintf "error: connection lost: %s\n" m;
               finish 2
@@ -243,10 +279,10 @@ let report_recovery_if_notable db =
     Printf.printf "-- catalog: bootstrapped %d metadata record(s) from page 0\n"
       (Db.catalog_records db)
 
-let main user script strict_acl auto_prov stats pool_pages slow_ms connect
-    db_path =
+let main user script strict_acl auto_prov stats pool_pages slow_ms exec_mode
+    connect db_path =
   match connect with
-  | Some addr -> remote_main addr ~user ~script
+  | Some addr -> remote_main addr ~user ~script ~exec_mode
   | None ->
   let db =
     try Db.create ?pool_pages ?path:db_path ()
@@ -261,6 +297,7 @@ let main user script strict_acl auto_prov stats pool_pages slow_ms connect
   report_recovery_if_notable db;
   Db.set_strict_acl db strict_acl;
   Db.set_auto_provenance db auto_prov;
+  (match exec_mode with Some m -> Db.set_exec_mode db m | None -> ());
   (match slow_ms with Some ms -> Db.set_slow_ms db (Some ms) | None -> ());
   (match script with
   | Some path -> run_script db ~user path
@@ -297,6 +334,11 @@ let main user script strict_acl auto_prov stats pool_pages slow_ms connect
       s.Bdbms_storage.Stats.pushdown_pruned s.Bdbms_storage.Stats.index_probes;
     Printf.printf "-- query: %d tuples decoded, %d annotation envelopes\n"
       s.Bdbms_storage.Stats.tuples_decoded s.Bdbms_storage.Stats.ann_envelopes;
+    Printf.printf
+      "-- query: %d column batches decoded, %d batch fallbacks to the tuple \
+       engine\n"
+      s.Bdbms_storage.Stats.batches_decoded
+      s.Bdbms_storage.Stats.batch_fallbacks;
     if
       s.Bdbms_storage.Stats.sessions_opened > 0
       || s.Bdbms_storage.Stats.frames_rx > 0
@@ -364,6 +406,19 @@ let connect_arg =
            HOST:PORT for TCP.  BEGIN/COMMIT/ROLLBACK then run \
            snapshot-isolated transactions on the server.")
 
+let exec_arg =
+  Arg.(
+    value
+    & opt
+        (some (enum [ ("naive", `Naive); ("tuple", `Tuple); ("batch", `Batch) ]))
+        None
+    & info [ "exec" ] ~docv:"MODE"
+        ~doc:
+          "SELECT engine: $(b,naive) (materializing), $(b,tuple) (pipelined \
+           tuple-at-a-time), or $(b,batch) (vectorized, the default).  With \
+           $(b,--connect) this installs a session-scoped override on the \
+           server.")
+
 let slow_arg =
   Arg.(
     value
@@ -379,6 +434,6 @@ let cmd =
     (Cmd.info "bdbms" ~doc)
     Term.(
       const main $ user_arg $ script_arg $ strict_arg $ prov_arg $ stats_arg
-      $ pool_arg $ slow_arg $ connect_arg $ db_arg)
+      $ pool_arg $ slow_arg $ exec_arg $ connect_arg $ db_arg)
 
 let () = exit (Cmd.eval' cmd)

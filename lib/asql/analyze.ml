@@ -26,6 +26,7 @@ type node = {
   est_rows : float; (* planner estimate; nan = no estimate available *)
   mutable actual_rows : int;
   mutable loops : int; (* times the operator was (re)started *)
+  mutable batches : int; (* column batches produced (vectorized path) *)
   mutable time_ns : int; (* inclusive wall time *)
   scratch : int array; (* live counters at the current pull's start *)
   acc : int array; (* accumulated counter deltas (inclusive) *)
@@ -42,6 +43,7 @@ let node ?(est_rows = Float.nan) ?(children = []) label =
     est_rows;
     actual_rows = 0;
     loops = 0;
+    batches = 0;
     time_ns = 0;
     scratch = Stats.scratch ();
     acc = Stats.scratch ();
@@ -79,6 +81,24 @@ let timed_block t n f =
 
 let record_rows n count = n.actual_rows <- n.actual_rows + count
 
+(* Batched-operator metering: one pull yields a whole column batch, so
+   the produced-row count is the batch's selected-row count and [batches]
+   tracks how many pulls produced data. *)
+let meter_batch_pull t n ~rows next =
+  n.loops <- n.loops + 1;
+  fun () ->
+    let start = Timer.now_ns () in
+    Stats.blit t.stats ~into:n.scratch;
+    let r = next () in
+    Stats.accum_diff t.stats ~before:n.scratch ~into:n.acc;
+    n.time_ns <- n.time_ns + (Timer.now_ns () - start);
+    (match r with
+    | Some b ->
+        n.actual_rows <- n.actual_rows + rows b;
+        n.batches <- n.batches + 1
+    | None -> ());
+    r
+
 (* ----------------------------------------------------------- rendering *)
 
 (* The per-node counters worth printing: the executor/pager work the
@@ -86,7 +106,8 @@ let record_rows n count = n.actual_rows <- n.actual_rows + count
 let shown_counters =
   [
     "page_ins"; "reads"; "hits"; "index_probes"; "hash_builds";
-    "hash_probes"; "pushdown_pruned"; "tuples_decoded"; "ann_envelopes";
+    "hash_probes"; "pushdown_pruned"; "tuples_decoded"; "batches_decoded";
+    "ann_envelopes";
   ]
 
 let counters_line n =
@@ -125,9 +146,12 @@ let render ?total_ns ?returned root_node =
       if Float.is_nan n.est_rows then "est. rows=?"
       else Printf.sprintf "est. rows=%.0f" n.est_rows
     in
+    let batches =
+      if n.batches > 0 then Printf.sprintf ", batches=%d" n.batches else ""
+    in
     Buffer.add_string buf
-      (Printf.sprintf "%s  (%s)  (actual rows=%d, loops=%d, time=%s)%s\n"
-         n.label est n.actual_rows n.loops
+      (Printf.sprintf "%s  (%s)  (actual rows=%d, loops=%d%s, time=%s)%s\n"
+         n.label est n.actual_rows n.loops batches
          (Format.asprintf "%a" Timer.pp_ns n.time_ns)
          (counters_line n));
     let child_prefix =

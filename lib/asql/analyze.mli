@@ -14,6 +14,7 @@ type node = {
   est_rows : float;  (** planner estimate; [nan] = none available *)
   mutable actual_rows : int;
   mutable loops : int;
+  mutable batches : int;  (** column batches produced (vectorized path) *)
   mutable time_ns : int;  (** inclusive wall time *)
   scratch : int array;
   acc : int array;  (** accumulated {!Bdbms_storage.Stats} deltas *)
@@ -35,6 +36,12 @@ val meter_pull : t -> node -> (unit -> 'a option) -> unit -> 'a option
 (** Wrap an operator's pull function: every call is timed and its counter
     delta attributed to the node; each [Some] counts as an actual row.
     Wrapping increments [loops] (a restart wraps again). *)
+
+val meter_batch_pull :
+  t -> node -> rows:('b -> int) -> (unit -> 'b option) -> unit -> 'b option
+(** {!meter_pull} for batched operators: each produced batch counts
+    [rows b] actual rows and one batch.  Rendered as [batches=n] next to
+    the loop count. *)
 
 val timed_block : t -> node -> (unit -> 'a) -> 'a
 (** Materialized-path metering: time one whole evaluation (recorded even

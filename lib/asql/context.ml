@@ -13,6 +13,24 @@ module Acl = Bdbms_auth.Acl
 module Approval = Bdbms_auth.Approval
 module Obs = Bdbms_obs.Obs
 
+(* The three SELECT engines.  [`Naive] materializes every intermediate
+   (the semantic oracle), [`Tuple] is the pipelined volcano executor,
+   [`Batch] the vectorized path (falling back to [`Tuple] for
+   annotated/ASQL-extended queries and plan shapes it does not cover). *)
+type exec_mode = [ `Naive | `Tuple | `Batch ]
+
+let exec_mode_of_string s =
+  match String.lowercase_ascii s with
+  | "naive" -> Some `Naive
+  | "tuple" -> Some `Tuple
+  | "batch" -> Some `Batch
+  | _ -> None
+
+let exec_mode_name = function
+  | `Naive -> "naive"
+  | `Tuple -> "tuple"
+  | `Batch -> "batch"
+
 type index_def = {
   idx_name : string;
   idx_table : string;
@@ -35,7 +53,8 @@ type t = {
   approval : Approval.t;
   mutable strict_acl : bool;
   mutable auto_provenance : bool;
-  mutable pipelined : bool;
+  mutable exec_mode : exec_mode;
+  mutable batch_rows : int;
   indexes : (string, index_def) Hashtbl.t;
   obs : Obs.t;
   mutable analyze : Analyze.t option;
@@ -99,7 +118,8 @@ let create ?(page_size = 4096) ?pool_pages ?policy ?path ?disk ?fault ?obs ()
     approval;
     strict_acl = false;
     auto_provenance = false;
-    pipelined = true;
+    exec_mode = `Batch;
+    batch_rows = 1024;
     indexes;
     obs;
     analyze = None;

@@ -3,6 +3,20 @@
     clock.  The A-SQL executor runs against this; the [Bdbms.Db] facade
     owns one. *)
 
+type exec_mode = [ `Naive | `Tuple | `Batch ]
+(** The three SELECT engines.  [`Naive] materializes every intermediate
+    result (the semantic oracle for equivalence tests), [`Tuple] is the
+    pipelined volcano executor, [`Batch] the vectorized path over column
+    batches with selection vectors.  [`Batch] transparently falls back
+    to [`Tuple] for annotated/ASQL-extended queries (ANNOTATION, AWHERE,
+    provenance propagation) and plan shapes it does not cover, counting
+    each fallback in [Stats.batch_fallbacks]. *)
+
+val exec_mode_of_string : string -> exec_mode option
+(** Case-insensitive ["naive"] / ["tuple"] / ["batch"]. *)
+
+val exec_mode_name : exec_mode -> string
+
 (** A secondary B+-tree index over one column of a user table.  Indexes
     are maintained incrementally by the executor's DML paths; mutations
     that bypass the executor (approval inverse statements, dependency
@@ -32,11 +46,12 @@ type t = {
       (** when on, non-admin DML and SELECT require GRANTs *)
   mutable auto_provenance : bool;
       (** when on, DML records Local_insert / Local_update provenance *)
-  mutable pipelined : bool;
-      (** when on (the default), SELECT runs through the streaming
-          plan-driven engine (hash joins, predicate pushdown, lazy
-          annotation attachment); off selects the naive materialized
-          evaluator, kept as the semantic oracle for equivalence tests *)
+  mutable exec_mode : exec_mode;
+      (** which SELECT engine runs; the default is [`Batch] (vectorized,
+          with transparent tuple fallback for annotated queries) *)
+  mutable batch_rows : int;
+      (** rows per column batch on the [`Batch] path (default 1024;
+          tests use 1 as the degenerate case) *)
   indexes : (string, index_def) Hashtbl.t;
       (** by lowercase index name *)
   obs : Bdbms_obs.Obs.t;

@@ -357,6 +357,90 @@ let hash_join_atuples stats ~build_left ~left_cols ~right_cols
   in
   { Propagate.schema; rows }
 
+(* Projection pruning for the batch engine: the set of joined-schema
+   columns a plain SELECT can reach at runtime.  Every runtime read is
+   either a by-name [Schema.index_of] lookup of a resolved column name
+   (filters, grouping, aggregate inputs, projection, ordering, scalar
+   expressions) or a join-key position from the plan, so marking exactly
+   those names and indices is sound: a pruned column's garbage vector
+   slots may ride along inside intermediate tuples, but projection drops
+   them before any output and nothing ever looks at them by name.
+   Returns [None] — decode everything — whenever pruning cannot be
+   proven: SELECT *, a frame with duplicate column names (a by-name
+   lookup could land on a different index than the plan's), or any name
+   that does not resolve against the frame (aliases of computed columns,
+   HAVING over aggregate outputs). *)
+let needed_frame_cols (plan : Plan.t) (sel : Ast.select) =
+  let schema = plan.Plan.schema in
+  let arity = Schema.arity schema in
+  if List.exists (function Ast.Star -> true | _ -> false) sel.Ast.items then
+    None
+  else if
+    (* first-match name lookup must be injective over the frame *)
+    List.exists
+      (fun (i, (c : Schema.column)) -> Schema.index_of schema c.Schema.name <> Some i)
+      (List.mapi (fun i c -> (i, c)) (Schema.columns schema))
+  then None
+  else
+    match
+      let resolve = make_resolver schema plan.Plan.prefixes in
+      let needed = Array.make arity false in
+      let mark_name n =
+        match Schema.index_of schema n with
+        | Some i -> needed.(i) <- true
+        | None -> raise Exit
+      in
+      let rec mark_expr = function
+        | Expr.Col n -> mark_name n
+        | Expr.Lit _ -> ()
+        | Expr.Cmp (_, a, b)
+        | Expr.And (a, b)
+        | Expr.Or (a, b)
+        | Expr.Arith (_, a, b)
+        | Expr.Concat (a, b) ->
+            mark_expr a;
+            mark_expr b
+        | Expr.Not a | Expr.Like (a, _) | Expr.In_list (a, _) | Expr.Is_null a
+          ->
+            mark_expr a
+      in
+      let mark_raw c = mark_name (resolve c) in
+      let mark_source (src : Plan.source) =
+        List.iter mark_expr src.Plan.pushed
+      in
+      mark_source plan.Plan.base;
+      List.iter
+        (fun (step : Plan.step) ->
+          mark_source step.Plan.src;
+          List.iter mark_expr step.Plan.post;
+          match step.Plan.kind with
+          | Plan.Hash { left_cols; right_cols; _ } ->
+              List.iter (fun i -> needed.(i) <- true) left_cols;
+              List.iter (fun i -> needed.(i) <- true) right_cols
+          | Plan.Nested -> raise Exit (* tuple fallback; no pruning *))
+        plan.Plan.steps;
+      Option.iter (fun e -> mark_expr (resolve_expr resolve e)) sel.Ast.where;
+      List.iter mark_raw sel.Ast.group_by;
+      Option.iter
+        (fun e -> List.iter mark_raw (Expr.columns_used e))
+        sel.Ast.having;
+      List.iter (fun (c, _) -> mark_raw c) sel.Ast.order_by;
+      List.iter
+        (function
+          | Ast.Star -> raise Exit (* excluded above *)
+          | Ast.Item { expr; promote; _ } -> (
+              List.iter mark_raw promote;
+              match expr with
+              | Ast.Col_ref c -> mark_raw c
+              | Ast.Scalar e -> mark_expr (resolve_expr resolve e)
+              | Ast.Aggregate agg ->
+                  Option.iter mark_raw (Ops.agg_column agg)))
+        sel.Ast.items;
+      needed
+    with
+    | exception _ -> None
+    | needed -> if Array.for_all Fun.id needed then None else Some needed
+
 let rec exec_query (ctx : Context.t) ~user (q : Ast.query) : Propagate.t =
   match q with
   | Ast.Select sel -> exec_select ctx ~user sel
@@ -417,27 +501,33 @@ and exec_select ctx ~user (sel : Ast.select) : Propagate.t =
     (fun (f : Ast.from_item) ->
       check_acl ctx ~user Acl.Select ~table:f.Ast.table ())
     sel.Ast.from;
-  if not ctx.Context.pipelined then exec_select_naive ctx sel
-  else begin
-    let entries =
-      List.map
-        (fun (f : Ast.from_item) -> (f, find_table ctx f.Ast.table))
-        sel.Ast.from
-    in
-    let frame = Plan.frame entries in
-    let resolve = make_resolver frame.Plan.schema frame.Plan.prefixes in
-    (* resolve the WHERE up front (same errors as the naive evaluator),
-       then let the planner classify its conjuncts *)
-    let where =
-      Obs.span ctx.Context.obs "resolve" (fun () ->
-          Option.map (resolve_expr resolve) sel.Ast.where)
-    in
-    let plan =
-      Obs.span ctx.Context.obs "plan" (fun () -> Plan.build ctx frame ~where)
-    in
-    if select_needs_anns ctx sel then exec_select_annotated ctx plan sel
-    else exec_select_plain ctx plan sel
-  end
+  match ctx.Context.exec_mode with
+  | `Naive -> exec_select_naive ctx sel
+  | (`Tuple | `Batch) as mode ->
+      let entries =
+        List.map
+          (fun (f : Ast.from_item) -> (f, find_table ctx f.Ast.table))
+          sel.Ast.from
+      in
+      let frame = Plan.frame entries in
+      let resolve = make_resolver frame.Plan.schema frame.Plan.prefixes in
+      (* resolve the WHERE up front (same errors as the naive evaluator),
+         then let the planner classify its conjuncts *)
+      let where =
+        Obs.span ctx.Context.obs "resolve" (fun () ->
+            Option.map (resolve_expr resolve) sel.Ast.where)
+      in
+      let plan =
+        Obs.span ctx.Context.obs "plan" (fun () -> Plan.build ctx frame ~where)
+      in
+      if select_needs_anns ctx sel then begin
+        (* annotation envelopes force the tuple-at-a-time representation *)
+        if mode = `Batch then
+          Stats.record_batch_fallback (Disk.stats ctx.Context.disk);
+        exec_select_annotated ctx plan sel
+      end
+      else if mode = `Batch then exec_select_batch ctx plan sel
+      else exec_select_plain ctx plan sel
 
 (* The naive reference evaluator: materialize every scan with its
    annotations, cross-product the FROM list, then filter.  Kept verbatim
@@ -588,8 +678,29 @@ and exec_select_annotated ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
    query, no outdated marks): volcano cursors end to end, the [Propagate]
    envelope is attached only to the final result. *)
 and exec_select_plain ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
+  plain_tail ctx plan sel (tuple_pipeline ctx plan)
+
+(* Vectorized execution over column batches: same plan, same tail, but
+   scans decode page-at-a-time into column vectors and WHERE/JOIN run
+   over selection vectors.  Plan shapes the batch operators do not cover
+   (block nested-loop joins) fall back to the tuple pipeline, counted in
+   [Stats.batch_fallbacks]. *)
+and exec_select_batch ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
+  match batch_pipeline ?need:(needed_frame_cols plan sel) ctx plan with
+  | None ->
+      Stats.record_batch_fallback (Disk.stats ctx.Context.disk);
+      exec_select_plain ctx plan sel
+  | Some (bsrc, plan_n) ->
+      (* [to_cursor] is lazy, so the tail's tuple-level stages (group-by,
+         DISTINCT, LIMIT) pull batches on demand; the aggregate and
+         top-k stages bypass it and consume [bsrc] directly. *)
+      plain_tail ~batched:bsrc ctx plan sel (Vexec.to_cursor bsrc, plan_n)
+
+(* The volcano operator pipeline for one plan: scans, pushed-down
+   filters and joins, each metered under EXPLAIN ANALYZE.  Returns the
+   top cursor and its recorder node. *)
+and tuple_pipeline ctx (plan : Plan.t) =
   let stats = Disk.stats ctx.Context.disk in
-  let prefixes = plan.Plan.prefixes in
   let an = ctx.Context.analyze in
   (* Wrap a cursor so every pull is timed and attributed to [n]. *)
   let meter n cur =
@@ -667,6 +778,113 @@ and exec_select_plain ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
       (source_cursor plan.Plan.base)
       plan.Plan.steps
   in
+  (cur, plan_n)
+
+(* The batch-at-a-time mirror of [tuple_pipeline]: same plan walk, same
+   recorder nodes (labels, estimates, tree shape), operators from
+   {!Vexec}.  Returns [None] when a step needs an operator the batch
+   path does not implement. *)
+and batch_pipeline ?need ctx (plan : Plan.t) =
+  if
+    List.exists
+      (fun (s : Plan.step) -> s.Plan.kind = Plan.Nested)
+      plan.Plan.steps
+  then None
+  else begin
+    let stats = Disk.stats ctx.Context.disk in
+    let an = ctx.Context.analyze in
+    let batch_rows = ctx.Context.batch_rows in
+    let meter n src =
+      match an with None -> src | Some a -> Vexec.meter a n src
+    in
+    let filter ?on_drop src e = Vexec.filter ?on_drop src e in
+    let source_batches (src : Plan.source) =
+      let base =
+        match src.Plan.access with
+        | Plan.Seq_scan ->
+            (* this source's slice of the frame-wide pruning mask *)
+            let need =
+              Option.map
+                (fun m ->
+                  Array.sub m src.Plan.offset (Schema.arity src.Plan.schema))
+                need
+            in
+            Vexec.scan ~batch_rows ?need src.Plan.table
+        | Plan.Index_probe { index; value } ->
+            let idx = fresh_index ctx index in
+            Stats.record_index_probe stats;
+            let rows =
+              Bdbms_index.Btree.search idx.Context.tree
+                (Context.index_key value)
+              |> List.sort_uniq compare
+            in
+            Vexec.of_rows ~batch_rows src.Plan.table rows
+      in
+      let bsrc = Vexec.with_schema base src.Plan.schema in
+      let pushed bsrc =
+        List.fold_left
+          (fun bsrc e ->
+            filter
+              ~on_drop:(fun dropped ->
+                for _ = 1 to dropped do
+                  Stats.record_pushdown_prune stats
+                done)
+              bsrc e)
+          bsrc src.Plan.pushed
+      in
+      match an with
+      | None -> (pushed bsrc, None)
+      | Some _ ->
+          let scan_n, top_n = analyze_source_nodes src in
+          let bsrc = pushed (meter scan_n bsrc) in
+          let bsrc = if top_n == scan_n then bsrc else meter top_n bsrc in
+          (bsrc, Some top_n)
+    in
+    let bsrc, plan_n =
+      List.fold_left
+        (fun (acc, acc_n) (step : Plan.step) ->
+          let right, right_n = source_batches step.Plan.src in
+          let joined =
+            match step.Plan.kind with
+            | Plan.Hash { left_cols; right_cols; build_left } ->
+                let off = step.Plan.src.Plan.offset in
+                Vexec.hash_join ~stats ~batch_rows ~build_left
+                  ~left_keys:left_cols
+                  ~right_keys:(List.map (fun c -> c - off) right_cols)
+                  acc right
+            | Plan.Nested -> assert false (* excluded above *)
+          in
+          match (acc_n, right_n) with
+          | Some acc_n, Some right_n ->
+              let join_n, top_n =
+                analyze_step_nodes plan.Plan.schema acc_n step right_n
+              in
+              let bsrc =
+                List.fold_left
+                  (fun bsrc e -> filter bsrc e)
+                  (meter join_n joined) step.Plan.post
+              in
+              let bsrc = if top_n == join_n then bsrc else meter top_n bsrc in
+              (bsrc, Some top_n)
+          | _ ->
+              ( List.fold_left (fun bsrc e -> filter bsrc e) joined
+                  step.Plan.post,
+                None ))
+        (source_batches plan.Plan.base)
+        plan.Plan.steps
+    in
+    Some (bsrc, plan_n)
+  end
+
+(* Everything from aggregation to LIMIT over the pipeline's top cursor —
+   shared by the tuple and batch engines.  With [batched], the ungrouped
+   aggregate and the pre-projection top-k consume the batch source
+   directly through the typed {!Vexec} operators instead of the boxed
+   cursor view. *)
+and plain_tail ?batched ctx (plan : Plan.t) (sel : Ast.select)
+    ((cur : Cursor.t), (plan_n : Analyze.node option)) : Propagate.t =
+  let prefixes = plan.Plan.prefixes in
+  let an = ctx.Context.analyze in
   (* Tail-stage recorder: each stage node stacks on the previous one, so
      the analyze tree mirrors the actual execution order (which may sort
      before projecting, unlike the estimate tree). *)
@@ -757,8 +975,11 @@ and exec_select_plain ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
         in
         stage_rs ~est:(Float.max 1.0 (!cur_est /. 10.0)) label (fun () ->
             if keys = [] then
-              (* ungrouped aggregates: one streaming pass, constant memory *)
-              Cursor.aggregate cur aggs
+              (* ungrouped aggregates: one streaming pass, constant
+                 memory; on the batch path, typed per-column loops *)
+              match batched with
+              | Some bsrc -> Vexec.aggregate bsrc aggs
+              | None -> Cursor.aggregate cur aggs
             else Ops.group_by (Cursor.to_rowset cur) ~keys ~aggs)
       in
       let grouped =
@@ -837,8 +1058,15 @@ and exec_select_plain ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
                         (fun () ->
                           { Ops.schema;
                             rows =
-                              Cursor.top_k extended
-                                ~cmp:(order_cmp schema specs) ~k })
+                              (match batched with
+                              | Some bsrc when extended == cur ->
+                                  (* no computed columns: heap straight
+                                     over the batches *)
+                                  Vexec.top_k bsrc
+                                    ~cmp:(order_cmp schema specs) ~k
+                              | _ ->
+                                  Cursor.top_k extended
+                                    ~cmp:(order_cmp schema specs) ~k) })
                     in
                     Cursor.of_list rs.Ops.schema rs.Ops.rows
                 | _ ->

@@ -81,7 +81,8 @@ let rollback t =
     in
     ctx.Context.strict_acl <- old.Context.strict_acl;
     ctx.Context.auto_provenance <- old.Context.auto_provenance;
-    ctx.Context.pipelined <- old.Context.pipelined;
+    ctx.Context.exec_mode <- old.Context.exec_mode;
+    ctx.Context.batch_rows <- old.Context.batch_rows;
     t.ctx <- ctx;
     t.catalog_records <- n;
     (* the fresh context has a fresh disk: the pre-image observer must
@@ -155,7 +156,14 @@ let register_builtin_procedures = register_bio
 
 let set_strict_acl t v = t.ctx.Context.strict_acl <- v
 let set_auto_provenance t v = t.ctx.Context.auto_provenance <- v
-let set_pipelined t v = t.ctx.Context.pipelined <- v
+let set_exec_mode t m = t.ctx.Context.exec_mode <- m
+let exec_mode t = t.ctx.Context.exec_mode
+let set_batch_rows t n =
+  if n <= 0 then invalid_arg "Db.set_batch_rows: rows must be positive";
+  t.ctx.Context.batch_rows <- n
+
+(* deprecated shim: the old boolean toggle maps onto the mode enum *)
+let set_pipelined t v = set_exec_mode t (if v then `Batch else `Naive)
 
 let commit t = guard t (fun () -> Ok (Context.commit t.ctx))
 let checkpoint t = guard t (fun () -> Ok (Context.checkpoint t.ctx))

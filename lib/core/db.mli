@@ -100,10 +100,25 @@ val set_auto_provenance : t -> bool -> unit
 (** Record Local_insert / Local_update provenance on every DML (off by
     default). *)
 
+val set_exec_mode : t -> Bdbms_asql.Context.exec_mode -> unit
+(** Select the SELECT engine: [`Naive] materializes every intermediate
+    (the differential-testing oracle), [`Tuple] is the pipelined volcano
+    executor, [`Batch] (the default) the vectorized engine over column
+    batches, which transparently falls back to the tuple path for
+    annotated queries and uncovered plan shapes (counted in
+    {!io_stats}'s [batch_fallbacks]). *)
+
+val exec_mode : t -> Bdbms_asql.Context.exec_mode
+
+val set_batch_rows : t -> int -> unit
+(** Rows per column batch on the [`Batch] path (default 1024).
+    @raise Invalid_argument when not positive. *)
+
 val set_pipelined : t -> bool -> unit
-(** Route SELECTs through the streaming pushdown planner (on by default).
-    Turning it off falls back to the naive materialize-everything
-    evaluator — kept as a differential-testing oracle. *)
+  [@@deprecated "use set_exec_mode: true = `Batch, false = `Naive"]
+(** Deprecated boolean toggle kept for source compatibility:
+    [set_pipelined db true] is [set_exec_mode db `Batch] and
+    [set_pipelined db false] is [set_exec_mode db `Naive]. *)
 
 val durable : t -> bool
 

@@ -35,4 +35,13 @@ val columns_used : t -> string list
 val like_match : pattern:string -> string -> bool
 (** The LIKE matcher, exposed for index-level regex/prefix rewrites. *)
 
+val apply_cmp : cmp -> Value.t -> Value.t -> Value.t
+(** One comparison under three-valued logic (NULL operand -> VNull).
+    Exposed so the vectorized executor's compiled predicates share the
+    exact comparison semantics.  @raise Eval_error on type mismatch. *)
+
+val apply_arith : arith -> Value.t -> Value.t -> Value.t
+(** One arithmetic step (NULL operand -> VNull).
+    @raise Eval_error on division by zero or non-numeric operands. *)
+
 val pp : Format.formatter -> t -> unit

@@ -16,6 +16,7 @@ type cached = Empty | Cached of int * Tuple.t
 type t = {
   name : string;
   schema : Schema.t;
+  layout : Batch.layout;  (* schema lookups hoisted out of decode loops *)
   heap : Heap_file.t;
   stats : Stats.t;
   cache : cached array;
@@ -25,7 +26,8 @@ type t = {
 }
 
 let create bp ~name schema =
-  { name; schema; heap = Heap_file.create bp;
+  { name; schema; layout = Batch.layout_of_schema schema;
+    heap = Heap_file.create bp;
     stats = Pager.stats bp;
     cache = Array.make cache_slots Empty;
     rows = Array.make 16 Dead; nrows = 0; live = 0 }
@@ -38,6 +40,7 @@ let cache_invalidate t row =
 
 let name t = t.name
 let schema t = t.schema
+let layout t = t.layout
 let pager t = Heap_file.pager t.heap
 
 let grow t =
@@ -48,7 +51,7 @@ let grow t =
   end
 
 let insert t tuple =
-  match Tuple.check t.schema tuple with
+  match Tuple.check_cols t.layout.Batch.cols tuple with
   | Error _ as e -> e
   | Ok () ->
       let rid = Heap_file.insert t.heap (Tuple.encode tuple) in
@@ -72,13 +75,13 @@ let get t row =
           match Heap_file.get t.heap rid with
           | Some payload ->
               Stats.record_tuple_decode t.stats;
-              let tuple = Tuple.decode payload in
+              let tuple = Tuple.decode_using ~arity:t.layout.Batch.arity payload in
               t.cache.(i) <- Cached (row, tuple);
               Some tuple
           | None -> None))
 
 let update t row tuple =
-  match Tuple.check t.schema tuple with
+  match Tuple.check_cols t.layout.Batch.cols tuple with
   | Error _ as e -> e
   | Ok () -> (
       match slot_of t row with
@@ -119,7 +122,7 @@ let delete t row =
       true
 
 let resurrect t row tuple =
-  match Tuple.check t.schema tuple with
+  match Tuple.check_cols t.layout.Batch.cols tuple with
   | Error _ as e -> e
   | Ok () -> (
       if row < 0 || row >= t.nrows then
@@ -151,6 +154,45 @@ let fold t ~init ~f =
 
 let to_list t = List.rev (fold t ~init:[] ~f:(fun acc row tuple -> (row, tuple) :: acc))
 
+(* Batch scan: live rows in row order, decoded straight into column
+   vectors.  Consecutive rows whose records landed on the same heap page
+   decode under a single pin (one page fault / CRC check per run instead
+   of per row); after in-place updates relocate records the run merely
+   shortens — row order is preserved regardless, so all three executors
+   see rows in the same order. *)
+let batches ?(batch_rows = Batch.default_rows) ?need t =
+  let row = ref 0 in
+  fun () ->
+    if !row >= t.nrows then None
+    else begin
+      let b = Batch.builder ~cap:batch_rows ?need t.schema t.layout in
+      while !row < t.nrows && not (Batch.full b) do
+        match t.rows.(!row) with
+        | Dead -> incr row
+        | Live rid ->
+            let page = rid.Heap_file.page in
+            Heap_file.with_page_spans t.heap page (fun buf read ->
+                let in_run = ref true in
+                while !in_run && !row < t.nrows && not (Batch.full b) do
+                  match t.rows.(!row) with
+                  | Dead -> incr row
+                  | Live r when r.Heap_file.page = page ->
+                      (match read r.Heap_file.slot with
+                      | Some (pos, len) ->
+                          Stats.record_tuple_decode t.stats;
+                          Batch.append_span b buf ~pos ~len
+                      | None -> ());
+                      incr row
+                  | Live _ -> in_run := false
+                done)
+      done;
+      if Batch.length b = 0 then None
+      else begin
+        Stats.record_batch_decoded t.stats;
+        Some (Batch.finish b)
+      end
+    end
+
 let storage_pages t = Heap_file.page_count t.heap
 let heap_pages t = Heap_file.pages t.heap
 let slots t = Array.to_list (Array.sub t.rows 0 t.nrows)
@@ -170,6 +212,7 @@ let restore bp ~name schema ~heap_pages ~slots =
   {
     name;
     schema;
+    layout = Batch.layout_of_schema schema;
     heap;
     stats = Pager.stats bp;
     cache = Array.make cache_slots Empty;

@@ -17,6 +17,11 @@ type slot = Live of Bdbms_storage.Heap_file.rid | Dead
 val create : Bdbms_storage.Pager.t -> name:string -> Schema.t -> t
 val name : t -> string
 val schema : t -> Schema.t
+
+val layout : t -> Batch.layout
+(** The precomputed decode plan for this table's schema (column records
+    and vector kinds), shared by the tuple and batch decoders. *)
+
 val pager : t -> Bdbms_storage.Pager.t
 
 val insert : t -> Tuple.t -> (int, string) result
@@ -52,6 +57,15 @@ val iter : t -> (int -> Tuple.t -> unit) -> unit
 
 val fold : t -> init:'a -> f:('a -> int -> Tuple.t -> 'a) -> 'a
 val to_list : t -> (int * Tuple.t) list
+
+val batches : ?batch_rows:int -> ?need:bool array -> t -> unit -> Batch.t option
+(** Pull-based batch scan: live rows in row order, decoded into column
+    batches of up to [batch_rows] (default {!Batch.default_rows}) rows.
+    Runs of rows on the same heap page decode under a single page pin.
+    Row order matches {!iter}, so every executor sees the same order.
+    [need] prunes decode to the marked columns ({!Batch.builder}) — the
+    caller guarantees nothing reads an unmarked column's vectors. *)
+
 val storage_pages : t -> int
 
 val heap_pages : t -> Bdbms_storage.Page.id list

@@ -22,6 +22,29 @@ let check schema t =
     match !problem with None -> Ok () | Some msg -> Error msg
   end
 
+(* [check] against a precomputed column array (a [Batch.layout]'s view of
+   the schema), so the hot insert/update path skips the per-value
+   [Schema.column_at] calls.  Error messages match [check] exactly. *)
+let check_cols (cols : Schema.column array) t =
+  if Array.length t <> Array.length cols then
+    Error
+      (Printf.sprintf "arity mismatch: tuple has %d values, schema has %d"
+         (Array.length t) (Array.length cols))
+  else begin
+    let problem = ref None in
+    Array.iteri
+      (fun i v ->
+        if !problem = None then
+          let col = cols.(i) in
+          if not (Value.conforms v col.ty) then
+            problem :=
+              Some
+                (Printf.sprintf "column %s expects %s, got %s" col.name
+                   (Value.type_name col.ty) (Value.to_display v)))
+      t;
+    match !problem with None -> Ok () | Some msg -> Error msg
+  end
+
 let get t i = t.(i)
 
 let set t i v =
@@ -42,6 +65,26 @@ let encode t =
 let decode s =
   if String.length s < 2 then invalid_arg "Tuple.decode: truncated";
   let n = Char.code s.[0] lor (Char.code s.[1] lsl 8) in
+  let pos = ref 2 in
+  let t =
+    Array.init n (fun _ ->
+        let v, pos' = Value.decode s ~pos:!pos in
+        pos := pos';
+        v)
+  in
+  if !pos <> String.length s then invalid_arg "Tuple.decode: trailing bytes";
+  t
+
+(* [decode] when the caller already knows the arity (from a table layout):
+   validates the stored header against it instead of trusting the payload
+   to size the result. *)
+let decode_using ~arity s =
+  if String.length s < 2 then invalid_arg "Tuple.decode: truncated";
+  let n = Char.code s.[0] lor (Char.code s.[1] lsl 8) in
+  if n <> arity then
+    invalid_arg
+      (Printf.sprintf "Tuple.decode_using: payload has %d values, expected %d" n
+         arity);
   let pos = ref 2 in
   let t =
     Array.init n (fun _ ->

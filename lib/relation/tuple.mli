@@ -7,6 +7,10 @@ val make : Value.t list -> t
 val check : Schema.t -> t -> (unit, string) result
 (** Arity and per-column type conformance (nulls always conform). *)
 
+val check_cols : Schema.column array -> t -> (unit, string) result
+(** {!check} against a precomputed column array (from a table layout) —
+    same checks and error messages, no per-value schema lookups. *)
+
 val get : t -> int -> Value.t
 val set : t -> int -> Value.t -> t
 (** Functional update (copies). *)
@@ -17,6 +21,11 @@ val project : Schema.t -> t -> string list -> t
 val encode : t -> string
 val decode : string -> t
 (** @raise Invalid_argument on corrupt input. *)
+
+val decode_using : arity:int -> string -> t
+(** {!decode} validating the stored arity against the caller's (from a
+    table layout).  @raise Invalid_argument on corrupt input or arity
+    mismatch. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

@@ -105,6 +105,14 @@ let metrics t =
   ^ counter "group_commits" "group-commit batches sealed" s.Stats.group_commits
   ^ counter "frames_rx" "protocol frames received" s.Stats.frames_rx
   ^ counter "frames_tx" "protocol frames sent" s.Stats.frames_tx
+  ^
+  (* batch-engine counters live in the canonical disk's stats *)
+  let d = Db.io_stats t.db in
+  counter "batches_decoded" "column batches decoded by the vectorized engine"
+    d.Stats.batches_decoded
+  ^ counter "batch_fallbacks"
+      "vectorized queries that fell back to the tuple engine"
+      d.Stats.batch_fallbacks
 
 (* The canonical disk's stats reset when a rollback recreates the
    context, so the server counters live in their own group and are
@@ -198,33 +206,43 @@ let abort_cycle_locked t =
 
 let superuser = Context.superuser
 
-let execute t ?(user = superuser) sql =
+let execute t ?(user = superuser) ?exec_mode sql =
   match Parser.parse sql with
   | Error e -> Error (Sql e)
   | Ok stmt ->
       let cls = Stmt_class.classify stmt in
       Mutex.protect t.mu (fun () ->
           if t.closed then Error Closed
-          else
-            match Db.exec_nocommit t.db ~user sql with
-            | Ok outcome -> (
-                match Db.commit t.db with
-                | Ok () ->
-                    t.commit_seq <- t.commit_seq + 1;
-                    record_commit_locked t
-                      ~tables:
-                        (if cls.Stmt_class.ddl then [ wildcard ]
-                         else cls.Stmt_class.writes);
-                    Ok outcome
+          else begin
+            let saved = (Db.context t.db).Context.exec_mode in
+            (match exec_mode with
+            | Some m -> (Db.context t.db).Context.exec_mode <- m
+            | None -> ());
+            Fun.protect
+              ~finally:(fun () ->
+                (* a rollback recreates the context, so re-fetch it *)
+                (Db.context t.db).Context.exec_mode <- saved)
+              (fun () ->
+                match Db.exec_nocommit t.db ~user sql with
+                | Ok outcome -> (
+                    match Db.commit t.db with
+                    | Ok () ->
+                        t.commit_seq <- t.commit_seq + 1;
+                        record_commit_locked t
+                          ~tables:
+                            (if cls.Stmt_class.ddl then [ wildcard ]
+                             else cls.Stmt_class.writes);
+                        Ok outcome
+                    | Error e ->
+                        abort_cycle_locked t;
+                        Error (Sql e))
                 | Error e ->
                     abort_cycle_locked t;
-                    Error (Sql e))
-            | Error e ->
-                abort_cycle_locked t;
-                Error (Sql e)
-            | exception Pager.Pool_exhausted _ ->
-                abort_cycle_locked t;
-                Error (Busy "buffer pool exhausted; retry"))
+                    Error (Sql e)
+                | exception Pager.Pool_exhausted _ ->
+                    abort_cycle_locked t;
+                    Error (Busy "buffer pool exhausted; retry"))
+          end)
 
 (* ------------------------------------------------------- transactions *)
 
@@ -239,7 +257,8 @@ let begin_txn t ?(user = superuser) () =
           Disk.page_count ctx.Context.disk,
           ( ctx.Context.strict_acl,
             ctx.Context.auto_provenance,
-            ctx.Context.pipelined ) ))
+            ctx.Context.exec_mode,
+            ctx.Context.batch_rows ) ))
   in
   match
     let disk =
@@ -252,10 +271,11 @@ let begin_txn t ?(user = superuser) () =
     (* built-ins before bootstrap so persisted dependency chains rebind *)
     Db.register_builtin_procedures ctx;
     let (_ : int) = Context.bootstrap ctx in
-    let sa, ap, pl = flags in
+    let sa, ap, em, br = flags in
     ctx.Context.strict_acl <- sa;
     ctx.Context.auto_provenance <- ap;
-    ctx.Context.pipelined <- pl;
+    ctx.Context.exec_mode <- em;
+    ctx.Context.batch_rows <- br;
     ctx.Context.session_label <- Some (Printf.sprintf "%s@%d" user horizon);
     ctx
   with
@@ -278,6 +298,10 @@ let begin_txn t ?(user = superuser) () =
 
 let txn_user txn = txn.tx_user
 let txn_active txn = not txn.tx_done
+
+(* session `\exec` override: a transaction runs on its own snapshot
+   context, so the mode is set there directly *)
+let txn_set_exec_mode txn m = txn.tx_ctx.Context.exec_mode <- m
 
 (* The overlay needs no teardown (ephemeral, not durable): dropping the
    context drops it; only the horizon retention must be returned. *)

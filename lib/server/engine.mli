@@ -65,10 +65,16 @@ val metrics : t -> string
 val version_store : t -> Version_store.t
 
 val execute :
-  t -> ?user:string -> string -> (Bdbms_asql.Executor.outcome, error) result
+  t ->
+  ?user:string ->
+  ?exec_mode:Bdbms_asql.Context.exec_mode ->
+  string ->
+  (Bdbms_asql.Executor.outcome, error) result
 (** Autocommit path: execute one statement on the canonical engine under
     the engine lock, commit (sealing a version-store cycle), and return.
-    Never conflicts — it runs at the head of history. *)
+    Never conflicts — it runs at the head of history.  [exec_mode]
+    overrides the SELECT engine for this statement only (the session
+    [\exec] setting); the canonical engine's mode is restored after. *)
 
 (** {1 Explicit transactions} *)
 
@@ -98,6 +104,10 @@ val rollback_txn : txn -> unit
 
 val txn_user : txn -> string
 val txn_active : txn -> bool
+
+val txn_set_exec_mode : txn -> Bdbms_asql.Context.exec_mode -> unit
+(** Apply a session [\exec] override to the transaction's snapshot
+    context (it begins with the canonical engine's mode). *)
 
 val close : t -> unit
 (** Checkpoint and close the canonical engine.  In-flight transactions

@@ -75,19 +75,39 @@ let handle_query session sql =
       P.Error_resp
         { code = P.E_internal; message = Printexc.to_string e }
 
-let handle_control t name =
+let handle_control t session name =
+  let module Context = Bdbms_asql.Context in
   match String.lowercase_ascii (String.trim name) with
   | "ping" -> P.Message { text = "pong" }
   | "metrics" -> P.Message { text = Engine.metrics t.engine }
   | "stats" ->
       P.Message
         { text = Format.asprintf "%a" Stats.pp (Engine.stats t.engine) }
-  | other ->
-      P.Error_resp
-        {
-          code = P.E_proto;
-          message = Printf.sprintf "unknown control op %S" other;
-        }
+  | "exec" ->
+      P.Message
+        { text = Context.exec_mode_name (Session.exec_mode session) }
+  | other -> (
+      (* "exec <mode>": session-scoped SELECT-engine override *)
+      match String.split_on_char ' ' other with
+      | [ "exec"; mode ] -> (
+          match Context.exec_mode_of_string mode with
+          | Some m ->
+              Session.set_exec_mode session (Some m);
+              P.Message { text = "exec mode: " ^ Context.exec_mode_name m }
+          | None ->
+              P.Error_resp
+                {
+                  code = P.E_proto;
+                  message =
+                    Printf.sprintf
+                      "unknown exec mode %S (naive|tuple|batch)" mode;
+                })
+      | _ ->
+          P.Error_resp
+            {
+              code = P.E_proto;
+              message = Printf.sprintf "unknown control op %S" other;
+            })
 
 (* ---------------------------------------------------------- connection *)
 
@@ -120,7 +140,7 @@ let request_loop t fd session =
                   P.Error_resp
                     { code = P.E_proto; message = "session already open" }
               | P.Query { sql } -> handle_query session sql
-              | P.Control { name } -> handle_control t name)
+              | P.Control { name } -> handle_control t session name)
         in
         P.send_response ~stats fd resp
   done

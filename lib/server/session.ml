@@ -19,6 +19,10 @@ type t = {
   mutable conflict_streak : int;
       (* consecutive Conflict aborts since the last successful commit;
          observed into the retry histogram when a commit finally lands *)
+  mutable exec_override : Context.exec_mode option;
+      (* session-scoped [\exec] setting: applied per autocommit statement
+         and to every transaction this session begins; [None] follows the
+         engine default *)
   mutable closed : bool;
 }
 
@@ -56,6 +60,7 @@ let create engine ~user =
         user;
         txn = None;
         conflict_streak = 0;
+        exec_override = None;
         closed = false;
       }
   end
@@ -63,6 +68,22 @@ let create engine ~user =
 let id t = t.id
 let user t = t.user
 let in_txn t = t.txn <> None
+
+let set_exec_mode t mode =
+  t.exec_override <- mode;
+  (* an open transaction picks the change up immediately *)
+  match (t.txn, mode) with
+  | Some txn, Some m -> Engine.txn_set_exec_mode txn m
+  | Some txn, None ->
+      Engine.txn_set_exec_mode txn
+        (Db.context (Engine.db t.engine)).Context.exec_mode
+  | None, _ -> ()
+
+(* the mode this session's next statement will run under *)
+let exec_mode t =
+  match t.exec_override with
+  | Some m -> m
+  | None -> (Db.context (Engine.db t.engine)).Context.exec_mode
 
 (* Transaction-control statements are session state changes, not A-SQL;
    recognize them (case-insensitively, trailing [;] stripped) before
@@ -106,6 +127,9 @@ let execute t sql =
         else
           match Engine.begin_txn t.engine ~user:t.user () with
           | txn ->
+              (match t.exec_override with
+              | Some m -> Engine.txn_set_exec_mode txn m
+              | None -> ());
               t.txn <- Some txn;
               Ok Began
           | exception Failure e -> Error (Engine.Sql e))
@@ -136,7 +160,10 @@ let execute t sql =
             | Error e -> Error e)
         | None -> (
             (* autocommit on the canonical engine *)
-            match Engine.execute t.engine ~user:t.user sql with
+            match
+              Engine.execute t.engine ~user:t.user
+                ?exec_mode:t.exec_override sql
+            with
             | Ok outcome ->
                 observe_commit_landed t;
                 Ok (Outcome outcome)

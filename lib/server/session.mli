@@ -27,6 +27,16 @@ val id : t -> int
 val user : t -> string
 val in_txn : t -> bool
 
+val set_exec_mode : t -> Bdbms_asql.Context.exec_mode option -> unit
+(** Install (or with [None] clear) the session's SELECT-engine override
+    (the [\exec] control op).  Applies to subsequent autocommit
+    statements, to transactions this session begins, and immediately to
+    an already-open transaction. *)
+
+val exec_mode : t -> Bdbms_asql.Context.exec_mode
+(** The engine the session's next statement will run under (the
+    override, or the shared engine's default). *)
+
 val execute : t -> string -> (reply, Engine.error) result
 (** Run one statement: [BEGIN]/[COMMIT]/[ROLLBACK] (and their synonyms)
     drive the session's transaction; anything else executes inside the

@@ -123,6 +123,25 @@ let get t rid =
         if off = dead_offset then None
         else Some (Page.get_bytes page ~pos:off ~len))
 
+let with_page_payloads t page_id f =
+  Pager.with_page t.bp page_id (fun page ->
+      let nslots = Page.get_u16 page 0 in
+      f (fun slot ->
+          if slot < 0 || slot >= nslots then None
+          else
+            let off, len = slot_entry page slot in
+            if off = dead_offset then None
+            else Some (Page.get_bytes page ~pos:off ~len)))
+
+let with_page_spans t page_id f =
+  Pager.with_page t.bp page_id (fun page ->
+      let nslots = Page.get_u16 page 0 in
+      f (Page.unsafe_bytes page) (fun slot ->
+          if slot < 0 || slot >= nslots then None
+          else
+            let off, len = slot_entry page slot in
+            if off = dead_offset then None else Some (off, len)))
+
 let delete t rid =
   let deleted =
     Pager.with_page_mut t.bp rid.page (fun page ->

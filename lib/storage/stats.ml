@@ -36,6 +36,8 @@ type snapshot = {
   frames_rx : int;
   frames_tx : int;
   group_commits : int;
+  batches_decoded : int;
+  batch_fallbacks : int;
 }
 
 (* slot indices *)
@@ -67,7 +69,9 @@ let i_commit_conflicts = 24
 let i_frames_rx = 25
 let i_frames_tx = 26
 let i_group_commits = 27
-let n_counters = 28
+let i_batches_decoded = 28
+let i_batch_fallbacks = 29
+let n_counters = 30
 
 let names =
   [|
@@ -77,7 +81,7 @@ let names =
     "catalog_replayed"; "pages_crc_verified"; "crc_failures"; "root_swaps";
     "page_ins"; "evictions"; "writebacks"; "wal_forced_flushes";
     "peak_pinned"; "sessions_opened"; "commit_conflicts"; "frames_rx";
-    "frames_tx"; "group_commits";
+    "frames_tx"; "group_commits"; "batches_decoded"; "batch_fallbacks";
   |]
 
 let to_array s =
@@ -88,7 +92,7 @@ let to_array s =
     s.catalog_replayed; s.pages_crc_verified; s.crc_failures; s.root_swaps;
     s.page_ins; s.evictions; s.writebacks; s.wal_forced_flushes;
     s.peak_pinned; s.sessions_opened; s.commit_conflicts; s.frames_rx;
-    s.frames_tx; s.group_commits;
+    s.frames_tx; s.group_commits; s.batches_decoded; s.batch_fallbacks;
   |]
 
 let of_array a =
@@ -121,6 +125,8 @@ let of_array a =
     frames_rx = a.(i_frames_rx);
     frames_tx = a.(i_frames_tx);
     group_commits = a.(i_group_commits);
+    batches_decoded = a.(i_batches_decoded);
+    batch_fallbacks = a.(i_batch_fallbacks);
   }
 
 type t = int array
@@ -156,6 +162,8 @@ let record_commit_conflict t = bump t i_commit_conflicts
 let record_frame_rx t = bump t i_frames_rx
 let record_frame_tx t = bump t i_frames_tx
 let record_group_commit t = bump t i_group_commits
+let record_batch_decoded t = bump t i_batches_decoded
+let record_batch_fallback t = bump t i_batch_fallbacks
 
 let record_pinned t n =
   if n > t.(i_peak_pinned) then t.(i_peak_pinned) <- n

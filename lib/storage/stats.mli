@@ -127,6 +127,21 @@ val record_group_commit : t -> unit
 (** A committer batch made durable with a single WAL flush (one or more
     transactions amortized per fsync). *)
 
+(** {2 Batch-executor counters}
+
+    The vectorized engine accounts its page-to-column decoding and its
+    transparent fallbacks here, so production deployments can see from
+    [--stats] or Prometheus whether queries actually run batched. *)
+
+val record_batch_decoded : t -> unit
+(** A column batch decoded from heap pages (one pin scope covering up to
+    [batch_rows] tuples). *)
+
+val record_batch_fallback : t -> unit
+(** A query that requested the batch engine but fell back to the tuple
+    path (annotated/ASQL-extended semantics, or a plan shape the batch
+    pipeline does not cover). *)
+
 type snapshot = {
   reads : int;  (** physical page reads *)
   writes : int;  (** physical page writes *)
@@ -156,6 +171,8 @@ type snapshot = {
   frames_rx : int;  (** protocol frames received from clients *)
   frames_tx : int;  (** protocol frames sent to clients *)
   group_commits : int;  (** committer batches flushed with one fsync *)
+  batches_decoded : int;  (** column batches decoded from heap pages *)
+  batch_fallbacks : int;  (** batch-engine queries that fell back to tuple *)
 }
 
 val snapshot : t -> snapshot

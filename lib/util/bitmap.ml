@@ -25,6 +25,9 @@ let get t ~row ~col =
   let byte = i / 8 and bit = i mod 8 in
   Char.code (Bytes.get t.bits byte) land (1 lsl bit) <> 0
 
+let unsafe_get_flat t i =
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
 let set_row t ~row v =
   for col = 0 to t.cols - 1 do
     set t ~row ~col v

@@ -19,6 +19,12 @@ val set : t -> row:int -> col:int -> bool -> unit
 
 val get : t -> row:int -> col:int -> bool
 
+val unsafe_get_flat : t -> int -> bool
+(** Bit [i] of the row-major bit layout, without bounds checks: for a
+    single-column bitmap, [unsafe_get_flat t row] = [get t ~row ~col:0].
+    The vectorized executor's per-row null test — callers must guarantee
+    [0 <= i < rows * cols]. *)
+
 val set_row : t -> row:int -> bool -> unit
 (** Set every bit of a row (a fully outdated tuple). *)
 

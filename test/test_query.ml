@@ -1,11 +1,12 @@
-(* Differential tests for the pipelined query engine: every query —
-   fixed edge cases plus a deterministic randomized sweep — must return
-   the same rows under the streaming pushdown planner and the naive
-   materialize-everything evaluator (the oracle, reachable via
-   [Db.set_pipelined db false]).  A second group asserts through the
+(* Differential tests for the query engines: every query — fixed edge
+   cases plus a deterministic randomized sweep — must return the same
+   rows under all three engines ([`Naive] the materialize-everything
+   oracle, [`Tuple] the volcano executor, [`Batch] the vectorized
+   path; see [Db.set_exec_mode]).  A second group asserts through the
    Stats counters that the fast paths actually ran: hash joins build and
    probe, pushdown prunes during the scan, index probes replace full
-   scans, and plain queries never materialize annotation envelopes. *)
+   scans, batches are decoded on the vectorized path, and plain queries
+   never materialize annotation envelopes. *)
 
 open Bdbms
 module Value = Bdbms_relation.Value
@@ -90,22 +91,33 @@ let encode_row (r : Propagate.atuple) =
   in
   Tuple.encode r.Propagate.tuple ^ "#" ^ anns
 
-let run_both db ~ordered sql =
-  Db.set_pipelined db true;
-  let p = rows_of db sql in
-  Db.set_pipelined db false;
-  let n = rows_of db sql in
-  Db.set_pipelined db true;
-  Alcotest.(check (list string))
-    (Printf.sprintf "schema: %s" sql)
-    (schema_names n) (schema_names p);
-  let ep = List.map encode_row p.Propagate.rows
-  and en = List.map encode_row n.Propagate.rows in
-  let ep, en =
-    if ordered then (ep, en)
-    else (List.sort compare ep, List.sort compare en)
+let mode_name = Bdbms_asql.Context.exec_mode_name
+
+(* Run [sql] under every engine and check each against the naive
+   oracle. *)
+let run_all_modes db ~ordered sql =
+  let run mode =
+    Db.set_exec_mode db mode;
+    rows_of db sql
   in
-  Alcotest.(check (list string)) (Printf.sprintf "rows: %s" sql) en ep
+  let n = run `Naive in
+  let fast = List.map (fun m -> (m, run m)) [ `Tuple; `Batch ] in
+  Db.set_exec_mode db `Batch;
+  let en =
+    let e = List.map encode_row n.Propagate.rows in
+    if ordered then e else List.sort compare e
+  in
+  List.iter
+    (fun (m, p) ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "schema (%s): %s" (mode_name m) sql)
+        (schema_names n) (schema_names p);
+      let ep = List.map encode_row p.Propagate.rows in
+      let ep = if ordered then ep else List.sort compare ep in
+      Alcotest.(check (list string))
+        (Printf.sprintf "rows (%s): %s" (mode_name m) sql)
+        en ep)
+    fast
 
 (* ---------------------------------------------------------- fixed cases *)
 
@@ -149,8 +161,17 @@ let fixed_unordered =
 
 let test_fixed () =
   let db = mk_db () in
-  List.iter (run_both db ~ordered:true) fixed_ordered;
-  List.iter (run_both db ~ordered:false) fixed_unordered
+  List.iter (run_all_modes db ~ordered:true) fixed_ordered;
+  List.iter (run_all_modes db ~ordered:false) fixed_unordered
+
+(* the whole fixed corpus again with one-row batches: every batch
+   boundary condition (empty tail, cut mid-batch, per-batch dictionaries
+   of one string) is exercised on every query *)
+let test_fixed_batch1 () =
+  let db = mk_db () in
+  Db.set_batch_rows db 1;
+  List.iter (run_all_modes db ~ordered:true) fixed_ordered;
+  List.iter (run_all_modes db ~ordered:false) fixed_unordered
 
 (* ------------------------------------------------------ randomized sweep *)
 
@@ -238,11 +259,68 @@ let test_randomized () =
   let st = Random.State.make [| 0x51; 0xee; 0xd0 |] in
   for _ = 1 to 60 do
     let sql, ordered = rand_single st in
-    run_both db ~ordered sql
+    run_all_modes db ~ordered sql
   done;
   for _ = 1 to 30 do
-    run_both db ~ordered:false (rand_join st)
+    run_all_modes db ~ordered:false (rand_join st)
   done
+
+(* -------------------------------------------------- batch edge cases *)
+
+(* A NULL-heavy fixture: every vector kind with a null bitmap that is
+   actually dense, so three-valued logic, aggregate null-skipping, and
+   NULL join keys diverge loudly if any engine gets them wrong. *)
+let test_batch_edges () =
+  let db = Db.create ~page_size:1024 ~pool_pages:256 () in
+  let stmt sql =
+    match Db.exec db sql with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "%s -- in setup" e
+  in
+  stmt "CREATE TABLE N (id INT, a INT, b REAL, s TEXT)";
+  let st = Random.State.make [| 0x9a; 0x11 |] in
+  let cell f = if Random.State.int st 3 = 0 then "NULL" else f () in
+  stmt
+    (Printf.sprintf "INSERT INTO N VALUES %s"
+       (String.concat ", "
+          (List.init 70 (fun i ->
+               Printf.sprintf "(%d, %s, %s, %s)" i
+                 (cell (fun () -> string_of_int (Random.State.int st 8)))
+                 (cell (fun () ->
+                      Printf.sprintf "%d.25" (Random.State.int st 50)))
+                 (cell (fun () ->
+                      Printf.sprintf "'n%d'" (Random.State.int st 4)))))));
+  let ordered =
+    [
+      "SELECT * FROM N ORDER BY id";
+      "SELECT id FROM N WHERE a IS NULL ORDER BY id";
+      "SELECT id FROM N WHERE a IS NOT NULL AND a > 3 ORDER BY id";
+      "SELECT id, s FROM N WHERE s = 'n1' OR a = 2 ORDER BY id";
+      (* LIMIT cut mid-batch: the lazy cursor view must stop decoding *)
+      "SELECT id FROM N ORDER BY id LIMIT 7";
+      "SELECT id FROM N WHERE a IS NULL ORDER BY id DESC LIMIT 5 OFFSET 2";
+      (* all-filtered: every batch flows through empty *)
+      "SELECT id FROM N WHERE a = -1 ORDER BY id";
+    ]
+  and unordered =
+    [
+      "SELECT COUNT(*) AS c, COUNT(a) AS ca, SUM(a) AS sa, AVG(b) AS ab, \
+       MIN(s) AS mn, MAX(s) AS mx FROM N";
+      "SELECT SUM(a) AS s, AVG(a) AS av FROM N WHERE a = -1";
+      "SELECT a, COUNT(*) AS c FROM N GROUP BY a";
+      (* NULL keys never match in an equi-join *)
+      "SELECT x.id, y.id FROM N x, N y WHERE x.a = y.a AND x.id < 12 AND \
+       y.id < 12";
+    ]
+  in
+  let sweep () =
+    List.iter (run_all_modes db ~ordered:true) ordered;
+    List.iter (run_all_modes db ~ordered:false) unordered
+  in
+  sweep ();
+  (* degenerate batch size: every batch holds one row *)
+  Db.set_batch_rows db 1;
+  sweep ()
 
 (* --------------------------------------------------------- stats checks *)
 
@@ -274,14 +352,31 @@ let test_stats_counters () =
   let d = diff_for db "SELECT * FROM T1 WHERE id = 5" in
   checkb "index probe" true (d.Stats.index_probes > 0);
   (* the naive oracle never touches the hash-join machinery *)
-  Db.set_pipelined db false;
+  Db.set_exec_mode db `Naive;
   let d = diff_for db "SELECT a.id FROM T1 a, T2 b WHERE a.k = b.k" in
-  Db.set_pipelined db true;
+  Db.set_exec_mode db `Batch;
   checki "oracle: no hash builds" 0 d.Stats.hash_builds;
-  checki "oracle: no probes" 0 d.Stats.hash_probes
+  checki "oracle: no probes" 0 d.Stats.hash_probes;
+  (* the vectorized engine decodes column batches; the tuple engine
+     never does *)
+  let d = diff_for db "SELECT id FROM T1 WHERE k > 2" in
+  checkb "batches decoded" true (d.Stats.batches_decoded > 0);
+  checki "no fallback on a plain query" 0 d.Stats.batch_fallbacks;
+  Db.set_exec_mode db `Tuple;
+  let d = diff_for db "SELECT id FROM T1 WHERE k > 2" in
+  checki "tuple mode decodes no batches" 0 d.Stats.batches_decoded;
+  Db.set_exec_mode db `Batch;
+  (* annotated queries transparently fall back to the tuple path *)
+  let d = diff_for db "SELECT * FROM T1 ANNOTATION(notes) WHERE k < 5" in
+  checkb "annotated query counted as fallback" true
+    (d.Stats.batch_fallbacks > 0);
+  checki "fallback decodes no batches" 0 d.Stats.batches_decoded
 
 let test_decode_cache () =
   let db = mk_db () in
+  (* pinned to the tuple engine: the batch path re-decodes pages into
+     column vectors by design, bypassing the decoded-tuple cache *)
+  Db.set_exec_mode db `Tuple;
   ignore (rows_of db "SELECT * FROM T1");
   (* every T1 row now sits in the decoded-tuple cache (direct-mapped, 256
      slots, 60 rows): a rescan decodes nothing *)
@@ -299,7 +394,7 @@ let test_decode_cache () =
 module Analyze = Bdbms_asql.Analyze
 
 (* Run [sql] under the EXPLAIN ANALYZE recorder (on whichever engine
-   [set_pipelined] selected) and return the recorded tree + results. *)
+   [set_exec_mode] selected) and return the recorded tree + results. *)
 let analyze db sql =
   match Bdbms_asql.Parser.parse sql with
   | Ok (Bdbms_asql.Ast.Query q) ->
@@ -334,9 +429,9 @@ let find_node root prefix =
 let test_analyze_actuals () =
   let db = mk_db () in
   let oracle_count sql =
-    Db.set_pipelined db false;
+    Db.set_exec_mode db `Naive;
     let n = Propagate.row_count (rows_of db sql) in
-    Db.set_pipelined db true;
+    Db.set_exec_mode db `Batch;
     n
   in
   (* full scan: the scan node sees every live row, the PROJECT root
@@ -345,6 +440,8 @@ let test_analyze_actuals () =
   checkb "wall time recorded" true (elapsed > 0);
   checki "scan actuals = live rows" t1_rows
     (find_node root "SCAN T1").Analyze.actual_rows;
+  checkb "scan node counts its batches (vectorized default)" true
+    ((find_node root "SCAN T1").Analyze.batches > 0);
   checki "root actuals = result rows" (Propagate.row_count rs)
     root.Analyze.actual_rows;
   (* pushed-down WHERE: the filter node's actuals match the oracle *)
@@ -384,7 +481,7 @@ let test_analyze_actuals () =
   checkb "annotated tree keeps the scan" true
     ((find_node root "SCAN T1").Analyze.actual_rows > 0)
 
-(* Sweep: on every fixed query without LIMIT/OFFSET, both engines'
+(* Sweep: on every fixed query without LIMIT/OFFSET, all three engines'
    recorded roots must account for exactly the rows they returned, and
    those row multisets must agree. *)
 let test_analyze_differential_sweep () =
@@ -395,26 +492,31 @@ let test_analyze_differential_sweep () =
   in
   List.iter
     (fun sql ->
-      Db.set_pipelined db true;
-      let root_p, rs_p, _ = analyze db sql in
-      Db.set_pipelined db false;
-      let root_n, rs_n, _ = analyze db sql in
-      Db.set_pipelined db true;
-      checki
-        (Printf.sprintf "pipelined root accounts for its rows: %s" sql)
-        (Propagate.row_count rs_p)
-        root_p.Analyze.actual_rows;
-      checki
-        (Printf.sprintf "naive root accounts for its rows: %s" sql)
-        (Propagate.row_count rs_n)
-        root_n.Analyze.actual_rows;
-      Alcotest.(check (list string))
-        (Printf.sprintf "analyzed rows agree: %s" sql)
-        (List.sort compare (List.map encode_row rs_n.Propagate.rows))
-        (List.sort compare (List.map encode_row rs_p.Propagate.rows));
-      (* structural sanity on both trees *)
+      let runs =
+        List.map
+          (fun m ->
+            Db.set_exec_mode db m;
+            let root, rs, _ = analyze db sql in
+            (m, root, rs))
+          [ `Naive; `Tuple; `Batch ]
+      in
+      Db.set_exec_mode db `Batch;
+      let _, _, rs_n = List.hd runs in
+      let en =
+        List.sort compare (List.map encode_row rs_n.Propagate.rows)
+      in
       List.iter
-        (fun root ->
+        (fun (m, root, rs) ->
+          checki
+            (Printf.sprintf "%s root accounts for its rows: %s" (mode_name m)
+               sql)
+            (Propagate.row_count rs)
+            root.Analyze.actual_rows;
+          Alcotest.(check (list string))
+            (Printf.sprintf "analyzed rows agree (%s): %s" (mode_name m) sql)
+            en
+            (List.sort compare (List.map encode_row rs.Propagate.rows));
+          (* structural sanity on every tree *)
           iter_nodes root (fun n ->
               checkb (Printf.sprintf "loops>=1 at %s: %s" n.Analyze.label sql)
                 true (n.Analyze.loops >= 1);
@@ -422,7 +524,7 @@ let test_analyze_differential_sweep () =
                 (Printf.sprintf "rows>=0 at %s: %s" n.Analyze.label sql)
                 true
                 (n.Analyze.actual_rows >= 0 && n.Analyze.time_ns >= 0)))
-        [ root_p; root_n ])
+        runs)
     queries
 
 (* EXPLAIN ANALYZE through SQL renders estimates and actuals together
@@ -446,6 +548,156 @@ let test_analyze_statement () =
   | Ok (Executor.Message m) -> checkb "no actuals" false (contains m "actual rows=")
   | _ -> Alcotest.fail "expected EXPLAIN message")
 
+(* ------------------------------------- batch representation properties *)
+
+module Batch = Bdbms_relation.Batch
+module Expr = Bdbms_relation.Expr
+module Cursor = Bdbms_relation.Cursor
+module Vexec = Bdbms_asql.Vexec
+
+let prop_schema =
+  Schema.make
+    [
+      { Schema.name = "id"; ty = Value.TInt };
+      { Schema.name = "a"; ty = Value.TInt };
+      { Schema.name = "b"; ty = Value.TFloat };
+      { Schema.name = "s"; ty = Value.TString };
+      { Schema.name = "c"; ty = Value.TBool };
+    ]
+
+let rand_tuple st i =
+  let maybe v = if Random.State.int st 4 = 0 then Value.VNull else v in
+  Tuple.make
+    [
+      Value.VInt i;
+      maybe (Value.VInt (Random.State.int st 10 - 5));
+      maybe (Value.VFloat (float_of_int (Random.State.int st 40) /. 4.0));
+      maybe (Value.VString (Printf.sprintf "s%d" (Random.State.int st 5)));
+      maybe (Value.VBool (Random.State.bool st));
+    ]
+
+let rand_batch st n =
+  let b = Batch.builder ~cap:n prop_schema (Batch.layout_of_schema prop_schema) in
+  let tuples = List.init n (fun i -> rand_tuple st i) in
+  List.iter (Batch.append_tuple b) tuples;
+  (Batch.finish b, tuples)
+
+(* Round-trip and selection-vector algebra: boxing a batch back out
+   yields the input tuples; [retain] behaves exactly like filtering the
+   selected-row list and composes; unboxed hash/join keys agree with
+   their [Value]/[Cursor] definitions. *)
+let test_batch_properties () =
+  let st = Random.State.make [| 0xba; 0x7c |] in
+  for _ = 1 to 25 do
+    let n = 1 + Random.State.int st 40 in
+    let batch, tuples = rand_batch st n in
+    checki "rows" n (Batch.rows batch);
+    checki "all selected at birth" n (Batch.selected batch);
+    List.iteri
+      (fun i t ->
+        checkb (Printf.sprintf "tuple_of round-trips row %d" i) true
+          (Tuple.equal (Batch.tuple_of batch i) t);
+        Array.iteri
+          (fun col v ->
+            checkb "hash_key matches Value.hash_key" true
+              (Batch.hash_key batch ~row:i ~col = Value.hash_key v);
+            checkb "is_null matches" true
+              (Batch.is_null batch ~row:i ~col = (v = Value.VNull)))
+          t)
+      tuples;
+    let cols = [ 1; 3 ] in
+    List.iteri
+      (fun i t ->
+        checkb "join_key matches Cursor.join_key" true
+          (Batch.join_key batch i cols = Cursor.join_key t cols))
+      tuples;
+    (* retain ≡ filter over the selected list, and it composes *)
+    let keep row = Batch.is_null batch ~row ~col:1 = false in
+    let expect = List.filter keep (Batch.selected_rows batch) in
+    let dropped = Batch.retain batch keep in
+    checki "retain drop count" (n - List.length expect) dropped;
+    Alcotest.(check (list int)) "retain keeps the right rows" expect
+      (Batch.selected_rows batch);
+    let before = Batch.selected_rows batch in
+    let st2 = Random.State.copy st in
+    let expect2 = List.filter (fun _ -> Random.State.bool st2) before in
+    ignore (Batch.retain batch (fun _ -> Random.State.bool st));
+    Alcotest.(check (list int)) "second retain composes" expect2
+      (Batch.selected_rows batch);
+    Batch.reset_selection batch;
+    checki "reset restores everything" n (Batch.selected batch);
+    Batch.set_selection batch (Array.of_list expect);
+    Alcotest.(check (list int)) "set_selection installs" expect
+      (Batch.selected_rows batch)
+  done
+
+(* Compiled predicates must agree with the reference three-valued
+   evaluator on every row, for every predicate shape the compiler
+   specializes (and the ones it falls back on). *)
+let test_compiled_predicates () =
+  let st = Random.State.make [| 0xc0; 0x0e |] in
+  let lit_int () = Expr.Lit (Value.VInt (Random.State.int st 10 - 5)) in
+  let cmp () =
+    [| Expr.Eq; Expr.Neq; Expr.Lt; Expr.Leq; Expr.Gt; Expr.Geq |].(Random.State.int st 6)
+  in
+  let preds =
+    [
+      Expr.Cmp (Expr.Eq, Expr.Col "a", Expr.Lit (Value.VInt 2));
+      Expr.Cmp (Expr.Lt, Expr.Lit (Value.VInt 0), Expr.Col "a");
+      Expr.Cmp (Expr.Gt, Expr.Col "b", Expr.Lit (Value.VFloat 4.5));
+      Expr.Cmp (Expr.Eq, Expr.Col "s", Expr.Lit (Value.VString "s1"));
+      Expr.Cmp (Expr.Eq, Expr.Col "c", Expr.Lit (Value.VBool true));
+      Expr.Cmp (Expr.Leq, Expr.Col "a", Expr.Col "id");
+      Expr.Cmp (Expr.Eq, Expr.Col "s", Expr.Col "s");
+      Expr.Cmp (Expr.Gt, Expr.Col "b", Expr.Col "a");
+      Expr.Cmp (Expr.Eq, Expr.Col "a", Expr.Lit Value.VNull);
+      Expr.Is_null (Expr.Col "s");
+      Expr.Not (Expr.Is_null (Expr.Col "a"));
+      Expr.Not (Expr.Cmp (Expr.Eq, Expr.Col "a", Expr.Lit (Value.VInt 1)));
+      Expr.And
+        ( Expr.Cmp (Expr.Gt, Expr.Col "a", Expr.Lit (Value.VInt (-2))),
+          Expr.Cmp (Expr.Lt, Expr.Col "id", Expr.Lit (Value.VInt 30)) );
+      Expr.Or
+        ( Expr.Is_null (Expr.Col "b"),
+          Expr.Cmp (Expr.Eq, Expr.Col "s", Expr.Lit (Value.VString "s3")) );
+      Expr.Like (Expr.Col "s", "s%");
+      Expr.In_list (Expr.Col "a", [ Value.VInt 1; Value.VInt 3; Value.VNull ]);
+      Expr.Cmp
+        ( Expr.Eq,
+          Expr.Arith (Expr.Add, Expr.Col "a", Expr.Lit (Value.VInt 1)),
+          Expr.Lit (Value.VInt 2) );
+    ]
+  in
+  for _ = 1 to 15 do
+    let n = 1 + Random.State.int st 48 in
+    let batch, tuples = rand_batch st n in
+    let check_pred e =
+      let compiled = Vexec.compile_pred prop_schema e batch in
+      List.iteri
+        (fun i t ->
+          checkb
+            (Printf.sprintf "compiled pred row %d" i)
+            (Expr.eval_pred prop_schema t e)
+            (compiled i))
+        tuples
+    in
+    List.iter check_pred preds;
+    (* random column/literal comparisons over every kind pairing *)
+    for _ = 1 to 20 do
+      let col = [| "id"; "a"; "b"; "s"; "c" |].(Random.State.int st 5) in
+      let lit =
+        match Random.State.int st 4 with
+        | 0 -> lit_int ()
+        | 1 -> Expr.Lit (Value.VFloat (float_of_int (Random.State.int st 8)))
+        | 2 -> Expr.Lit (Value.VString (Printf.sprintf "s%d" (Random.State.int st 5)))
+        | _ -> Expr.Lit Value.VNull
+      in
+      check_pred
+        (if Random.State.bool st then Expr.Cmp (cmp (), Expr.Col col, lit)
+         else Expr.Cmp (cmp (), lit, Expr.Col col))
+    done
+  done
+
 (* ------------------------------------------------------- stack safety *)
 
 let test_limit_stack_safety () =
@@ -464,7 +716,17 @@ let () =
       ( "equivalence",
         [
           Alcotest.test_case "fixed cases" `Quick test_fixed;
+          Alcotest.test_case "fixed cases, one-row batches" `Quick
+            test_fixed_batch1;
           Alcotest.test_case "randomized sweep" `Quick test_randomized;
+          Alcotest.test_case "null-heavy batch edges" `Quick test_batch_edges;
+        ] );
+      ( "batch-representation",
+        [
+          Alcotest.test_case "selection vectors and round-trips" `Quick
+            test_batch_properties;
+          Alcotest.test_case "compiled predicates" `Quick
+            test_compiled_predicates;
         ] );
       ( "observability",
         [
