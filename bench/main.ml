@@ -35,6 +35,9 @@
                                             vectors vs tuple-at-a-time;
                                             guards batch >= tuple on the
                                             scan workload)
+     E17 fault-tolerance machinery         (statement-deadline checkpoints
+                                            + I/O retry wrappers: armed
+                                            overhead guarded at 5%)
 
    Usage:
      dune exec bench/main.exe                 # all paper experiments
@@ -60,6 +63,7 @@ let experiments =
     ("E14", E14_obs.run);
     ("E15", E15_server.run);
     ("E16", E16_batch.run);
+    ("E17", E17_resilience.run);
   ]
 
 (* ------------------------------------------------- bechamel micro-bench *)

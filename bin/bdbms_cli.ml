@@ -52,6 +52,20 @@ let report_recovery db =
       (Db.catalog_records db)
 
 let exec_mode_help = "usage: \\exec [naive|tuple|batch]"
+let timeout_help = "usage: \\timeout [MS|off]"
+
+(* "\timeout" / "\timeout 500" / "\timeout off" — shared parse for the
+   local and remote REPLs; [None] = not a timeout line. *)
+let timeout_cmd line =
+  if line = "\\timeout" then Some `Show
+  else if String.length line > 9 && String.sub line 0 9 = "\\timeout " then
+    match String.trim (String.sub line 9 (String.length line - 9)) with
+    | "off" -> Some `Off
+    | arg -> (
+        match float_of_string_opt arg with
+        | Some ms when ms >= 0. -> Some (`Set ms)
+        | _ -> Some `Bad)
+  else None
 
 let repl db ~user =
   Printf.printf
@@ -112,6 +126,21 @@ let repl db ~user =
               (Bdbms_asql.Context.exec_mode_name m)
         | None -> Printf.printf "unknown exec mode %S; %s\n" arg exec_mode_help);
         loop ())
+    | line when timeout_cmd line <> None ->
+        (match timeout_cmd line with
+        | Some `Show ->
+            Printf.printf "statement timeout: %s\n"
+              (match Db.stmt_timeout_ms db with
+              | None -> "off"
+              | Some ms -> Printf.sprintf "%gms" ms)
+        | Some `Off ->
+            Db.set_stmt_timeout_ms db None;
+            print_endline "statement timeout: off"
+        | Some (`Set ms) ->
+            Db.set_stmt_timeout_ms db (Some ms);
+            Printf.printf "statement timeout: %gms\n" ms
+        | Some `Bad | None -> print_endline timeout_help);
+        loop ()
     | line ->
         Buffer.add_string buf line;
         Buffer.add_char buf '\n';
@@ -151,8 +180,45 @@ let print_response = function
       Printf.printf "error: %s%s\n" message
         (if P.code_retryable code then " (retryable, safe to re-run)" else "")
 
-let remote_statement client ~timing sql =
-  let resp, elapsed = Timer.timed (fun () -> Client.query client sql) in
+(* Is this statement transaction control?  Mirrors the server's session
+   layer: the client only needs it to know when auto-retry is safe. *)
+let txn_kind sql =
+  let s = String.trim sql in
+  let s =
+    if String.length s > 0 && s.[String.length s - 1] = ';' then
+      String.trim (String.sub s 0 (String.length s - 1))
+    else s
+  in
+  match String.uppercase_ascii s with
+  | "BEGIN" | "BEGIN TRANSACTION" | "BEGIN WORK" | "START TRANSACTION" ->
+      `Begin
+  | "COMMIT" | "COMMIT WORK" | "COMMIT TRANSACTION" | "END" | "ROLLBACK"
+  | "ROLLBACK WORK" | "ROLLBACK TRANSACTION" | "ABORT" ->
+      `End
+  | _ -> `Other
+
+(* Autocommit statements auto-retry on retryable error frames (Busy,
+   Conflict, Degraded) — the server rolled the statement back, so
+   resending is safe.  Inside an explicit transaction the whole
+   transaction must restart, so retry is off and the error surfaces. *)
+let remote_statement client ~timing ~in_txn sql =
+  let resp, elapsed =
+    Timer.timed (fun () ->
+        if !in_txn then Client.query client sql
+        else
+          fst
+            (Client.query_retry client
+               ~on_retry:(fun ~attempt ~delay_ms ->
+                 Printf.printf
+                   "-- retryable error (attempt %d); retrying in %.0fms\n%!"
+                   attempt delay_ms)
+               sql))
+  in
+  (match (txn_kind sql, resp) with
+  | `Begin, P.Error_resp _ -> ()
+  | `Begin, _ -> in_txn := true
+  | `End, _ -> in_txn := false (* the server finishes the txn either way *)
+  | `Other, _ -> ());
   print_response resp;
   if timing then
     Printf.printf "Time: %s\n" (Format.asprintf "%a" Timer.pp_ns elapsed)
@@ -181,6 +247,7 @@ let remote_repl client ~user ~session =
      transaction.\n"
     user session;
   let timing = ref true in
+  let in_txn = ref false in
   let buf = Buffer.create 256 in
   let rec loop () =
     print_string (if Buffer.length buf = 0 then "bdbms> " else "   ... ");
@@ -207,19 +274,28 @@ let remote_repl client ~user ~session =
         let arg = String.trim (String.sub line 6 (String.length line - 6)) in
         print_response (Client.control client ("exec " ^ arg));
         loop ()
+    | line when timeout_cmd line <> None ->
+        (match timeout_cmd line with
+        | Some `Show -> print_response (Client.control client "timeout")
+        | Some `Off -> print_response (Client.control client "timeout off")
+        | Some (`Set ms) ->
+            print_response
+              (Client.control client (Printf.sprintf "timeout %g" ms))
+        | Some `Bad | None -> print_endline timeout_help);
+        loop ()
     | line ->
         Buffer.add_string buf line;
         Buffer.add_char buf '\n';
         let src = Buffer.contents buf in
         if String.contains line ';' then begin
           Buffer.clear buf;
-          remote_statement client ~timing:!timing (String.trim src)
+          remote_statement client ~timing:!timing ~in_txn (String.trim src)
         end;
         loop ()
   in
   loop ()
 
-let remote_main addr ~user ~script ~exec_mode =
+let remote_main addr ~user ~script ~exec_mode ~stmt_timeout =
   match connect_client addr with
   | exception Unix.Unix_error (e, _, _) ->
       Printf.eprintf "error: cannot connect to %s: %s\n" addr
@@ -245,6 +321,16 @@ let remote_main addr ~user ~script ~exec_mode =
                 with
                 | P.Error_resp { message; _ } ->
                     failwith ("cannot set exec mode: " ^ message)
+                | _ -> ())
+            | None -> ());
+            (match stmt_timeout with
+            | Some ms -> (
+                (* session-default statement deadline on the server side *)
+                match
+                  Client.control client (Printf.sprintf "timeout %g" ms)
+                with
+                | P.Error_resp { message; _ } ->
+                    failwith ("cannot set statement timeout: " ^ message)
                 | _ -> ())
             | None -> ());
             (match script with
@@ -280,9 +366,9 @@ let report_recovery_if_notable db =
       (Db.catalog_records db)
 
 let main user script strict_acl auto_prov stats pool_pages slow_ms exec_mode
-    connect db_path =
+    stmt_timeout connect db_path =
   match connect with
-  | Some addr -> remote_main addr ~user ~script ~exec_mode
+  | Some addr -> remote_main addr ~user ~script ~exec_mode ~stmt_timeout
   | None ->
   let db =
     try Db.create ?pool_pages ?path:db_path ()
@@ -299,6 +385,9 @@ let main user script strict_acl auto_prov stats pool_pages slow_ms exec_mode
   Db.set_auto_provenance db auto_prov;
   (match exec_mode with Some m -> Db.set_exec_mode db m | None -> ());
   (match slow_ms with Some ms -> Db.set_slow_ms db (Some ms) | None -> ());
+  (match stmt_timeout with
+  | Some ms -> Db.set_stmt_timeout_ms db (Some ms)
+  | None -> ());
   (match script with
   | Some path -> run_script db ~user path
   | None -> repl db ~user);
@@ -350,7 +439,22 @@ let main user script strict_acl auto_prov stats pool_pages slow_ms exec_mode
         s.Bdbms_storage.Stats.sessions_opened
         s.Bdbms_storage.Stats.commit_conflicts
         s.Bdbms_storage.Stats.group_commits s.Bdbms_storage.Stats.frames_rx
-        s.Bdbms_storage.Stats.frames_tx
+        s.Bdbms_storage.Stats.frames_tx;
+    (* the resilience counters live in the metrics registry, which
+       survives rollback (the per-disk stats array does not) *)
+    let module Metrics = Bdbms_obs.Metrics in
+    let module Obs = Bdbms_obs.Obs in
+    let o = Db.obs db in
+    Printf.printf
+      "-- resilience: %d I/O retries, %d gave up, %d statements timed out, \
+       %d degraded entries%s\n"
+      (Metrics.counter_value o.Obs.io_retries_c)
+      (Metrics.counter_value o.Obs.io_gave_up_c)
+      (Metrics.counter_value o.Obs.stmts_timed_out_c)
+      (Metrics.counter_value o.Obs.degraded_entries_c)
+      (if Metrics.gauge_value o.Obs.degraded_gauge > 0. then
+         " (currently degraded)"
+       else "")
   end;
   Db.close db;
   0
@@ -428,12 +532,25 @@ let slow_arg =
           "Log any statement taking at least MS milliseconds to stderr, \
            with its trace-span tree (arming this enables tracing).")
 
+let stmt_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "stmt-timeout" ] ~docv:"MS"
+        ~doc:
+          "Abort (and roll back) any statement running at least MS \
+           milliseconds — a cooperative deadline checked at page pins, \
+           every 64 tuples, and every batch.  With $(b,--connect) this \
+           installs the session's default deadline on the server; \
+           $(b,\\\\timeout) adjusts it from the shell.")
+
 let cmd =
   let doc = "A-SQL shell for bdbms, the biological DBMS (CIDR 2007 reproduction)" in
   Cmd.v
     (Cmd.info "bdbms" ~doc)
     Term.(
       const main $ user_arg $ script_arg $ strict_arg $ prov_arg $ stats_arg
-      $ pool_arg $ slow_arg $ exec_arg $ connect_arg $ db_arg)
+      $ pool_arg $ slow_arg $ exec_arg $ stmt_timeout_arg $ connect_arg
+      $ db_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -24,7 +24,8 @@ let parse_host_port s =
       | _ -> None)
   | None -> None
 
-let main db_path unix_sock tcp pool_pages snapshot_pool strict_acl stats =
+let main db_path unix_sock tcp pool_pages snapshot_pool strict_acl
+    idle_timeout grace stats =
   let engine =
     try
       Engine.create ?pool_pages ?snapshot_pool_pages:snapshot_pool ~strict_acl
@@ -36,7 +37,10 @@ let main db_path unix_sock tcp pool_pages snapshot_pool strict_acl stats =
         path;
       exit 2
   in
-  let server = Server.create engine in
+  let idle_timeout_s =
+    match idle_timeout with Some s when s > 0. -> Some s | _ -> None
+  in
+  let server = Server.create ?idle_timeout_s engine in
   let endpoints = ref [] in
   (* default to a Unix socket next to the database file when no
      endpoint was requested *)
@@ -73,8 +77,11 @@ let main db_path unix_sock tcp pool_pages snapshot_pool strict_acl stats =
   while not !stop_flag do
     Thread.delay 0.1
   done;
-  print_endline "bdbms_serve: shutting down";
-  Server.stop server;
+  (* graceful drain: stop accepting, let in-flight requests finish (up to
+     the grace period), roll back what remains; [Engine.close] below then
+     checkpoints and releases the file lock *)
+  Printf.printf "bdbms_serve: draining (grace %gs)\n%!" grace;
+  Server.drain ~grace_s:grace server;
   if stats then begin
     let s = Engine.stats engine in
     Format.printf "%a@." Stats.pp s;
@@ -133,6 +140,25 @@ let strict_arg =
     value & flag
     & info [ "strict-acl" ] ~doc:"Enforce GRANT/REVOKE for non-admin users.")
 
+let idle_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) (Some 60.)
+    & info [ "idle-timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Reap a connection silent this long — between frames or stalled \
+           mid-frame — rolling back its open transaction (default 60; 0 \
+           disables).")
+
+let grace_arg =
+  Arg.(
+    value
+    & opt float 5.
+    & info [ "grace" ] ~docv:"SECONDS"
+        ~doc:
+          "On SIGTERM/SIGINT, wait this long for in-flight requests to \
+           finish before cutting their connections (graceful drain).")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -145,6 +171,6 @@ let cmd =
     (Cmd.info "bdbms_serve" ~doc)
     Term.(
       const main $ db_arg $ unix_arg $ tcp_arg $ pool_arg $ snapshot_pool_arg
-      $ strict_arg $ stats_arg)
+      $ strict_arg $ idle_timeout_arg $ grace_arg $ stats_arg)
 
 let () = exit (Cmd.eval' cmd)

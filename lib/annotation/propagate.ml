@@ -175,13 +175,15 @@ let except a b =
   in
   { a with rows }
 
-let join a b ~on =
+let join ?on_pair a b ~on =
   let schema = Schema.concat a.schema b.schema in
+  let hit = match on_pair with None -> ignore | Some f -> f in
   let rows =
     List.concat_map
       (fun ra ->
         List.filter_map
           (fun rb ->
+            hit ();
             let tuple = Array.append ra.tuple rb.tuple in
             if Expr.eval_pred schema tuple on then
               Some { tuple; anns = Array.append ra.anns rb.anns }

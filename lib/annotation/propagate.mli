@@ -60,7 +60,11 @@ val distinct : t -> t
 val union : t -> t -> t
 val intersect : t -> t -> t
 val except : t -> t -> t
-val join : t -> t -> on:Bdbms_relation.Expr.t -> t
+val join : ?on_pair:(unit -> unit) -> t -> t -> on:Bdbms_relation.Expr.t -> t
+(** Nested-loop join keeping both sides' annotations.  [on_pair] is
+    invoked once per considered pair — the executor hangs its
+    cooperative-cancellation checkpoint there, since the product can
+    dwarf both inputs. *)
 
 val group_by :
   t ->

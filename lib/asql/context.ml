@@ -12,6 +12,7 @@ module Principal = Bdbms_auth.Principal
 module Acl = Bdbms_auth.Acl
 module Approval = Bdbms_auth.Approval
 module Obs = Bdbms_obs.Obs
+module Cancel = Bdbms_util.Cancel
 
 (* The three SELECT engines.  [`Naive] materializes every intermediate
    (the semantic oracle), [`Tuple] is the pipelined volcano executor,
@@ -57,6 +58,13 @@ type t = {
   mutable batch_rows : int;
   indexes : (string, index_def) Hashtbl.t;
   obs : Obs.t;
+  cancel : Cancel.t;
+      (* cooperative cancellation/deadline token shared with the pager
+         and the backend retry loops (via [Disk.set_cancel]) *)
+  mutable read_only : string option;
+      (* [Some reason] while the engine is in degraded mode: write
+         statements fail fast with a retryable error, reads keep
+         serving *)
   mutable analyze : Analyze.t option;
   mutable session_label : string option;
       (* owning session (server mode), for trace-span attribution *)
@@ -84,6 +92,8 @@ let create ?(page_size = 4096) ?pool_pages ?policy ?path ?disk ?fault ?obs ()
   (* the catalog root must own page 0, so reserve it before any table or
      heap file can allocate (no-op when reopening an existing file) *)
   if Disk.is_durable disk then Meta_page.ensure_root disk;
+  let cancel = Cancel.create () in
+  Disk.set_cancel disk (Some cancel);
   let bp = Disk.pager disk in
   let clock = Clock.create () in
   let catalog = Catalog.create bp in
@@ -122,11 +132,17 @@ let create ?(page_size = 4096) ?pool_pages ?policy ?path ?disk ?fault ?obs ()
     batch_rows = 1024;
     indexes;
     obs;
+    cancel;
+    read_only = None;
     analyze = None;
     session_label = None;
   }
 
 let durable t = Disk.is_durable t.disk
+
+(* Run [f] under a statement deadline (no-op when [timeout_ms] is
+   [None]); any cancellation state is restored afterwards. *)
+let with_deadline t ?timeout_ms f = Cancel.with_deadline t.cancel ?timeout_ms f
 
 let components t =
   {

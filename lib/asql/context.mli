@@ -57,6 +57,13 @@ type t = {
   obs : Bdbms_obs.Obs.t;
       (** trace spans + metrics; shared with the disk manager and WAL,
           and carried across [Db.rollback]'s context recreation *)
+  cancel : Bdbms_util.Cancel.t;
+      (** cooperative cancellation/deadline token; also attached to the
+          pager (checked at every pin) and the backend retry loops *)
+  mutable read_only : string option;
+      (** [Some reason] while the engine is in read-only degraded mode:
+          write statements fail fast with a retryable error, reads keep
+          serving from clean pages *)
   mutable analyze : Analyze.t option;
       (** installed by the executor for the duration of an
           [EXPLAIN ANALYZE] statement; [None] otherwise *)
@@ -83,6 +90,12 @@ val create :
     committed catalog visible through the overlay's base. *)
 
 val durable : t -> bool
+
+val with_deadline : t -> ?timeout_ms:float -> (unit -> 'a) -> 'a
+(** Run a thunk under a statement deadline (no-op without [timeout_ms]);
+    previous cancellation state is restored on exit.  Expired deadlines
+    surface as {!Bdbms_util.Cancel.Cancelled} from the next cooperative
+    checkpoint. *)
 
 val bootstrap : t -> int
 (** Rebuild the engine's logical state from the page-0 durable catalog:

@@ -38,6 +38,61 @@ exception Exec_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Exec_error s)) fmt
 
+module Cancel = Bdbms_util.Cancel
+
+exception Read_only of string
+
+(* Statements that mutate the database (data writes or DDL) — the ones
+   rejected in read-only degraded mode.  Keep in sync with the server's
+   [Stmt_class.classify]; [Copy_to] exports to a file and stays allowed. *)
+let is_write_stmt = function
+  | Ast.Query _ | Ast.Explain _ | Ast.Explain_analyze _ | Ast.Show_pending _
+  | Ast.Show_outdated _ | Ast.Show_dependencies | Ast.Show_provenance _
+  | Ast.Show_tables | Ast.Describe _ | Ast.Copy_to _ ->
+      false
+  | _ -> true
+
+(* Cooperative cancellation checkpoints: sources check once per
+   [checkpoint_mask + 1] pulled tuples (or every batch).  A disarmed
+   token wraps nothing, so the idle hot path pays a single branch per
+   pipeline construction — E17 guards this at <5%. *)
+let checkpoint_mask = 63
+
+let checked_cursor (ctx : Context.t) cur =
+  if not (Cancel.armed ctx.Context.cancel) then cur
+  else begin
+    let pulls = ref 0 in
+    Cursor.make (Cursor.schema cur) (fun () ->
+        incr pulls;
+        if !pulls land checkpoint_mask = 0 then Cancel.check ctx.Context.cancel;
+        Cursor.next cur)
+  end
+
+let checked_src (ctx : Context.t) (src : Vexec.src) =
+  if not (Cancel.armed ctx.Context.cancel) then src
+  else
+    {
+      src with
+      Vexec.next =
+        (fun () ->
+          Cancel.check ctx.Context.cancel;
+          src.Vexec.next ());
+    }
+
+(* Checkpoint hook for the materializing joins (naive oracle, annotated
+   path): called once per considered pair, far more often than either
+   input is scanned, so a runaway cross product still honours its
+   deadline.  [None] while disarmed. *)
+let cancel_hook (ctx : Context.t) =
+  if not (Cancel.armed ctx.Context.cancel) then None
+  else begin
+    let n = ref 0 in
+    Some
+      (fun () ->
+        incr n;
+        if !n land checkpoint_mask = 0 then Cancel.check ctx.Context.cancel)
+  end
+
 let ok_or_fail = function Ok v -> v | Error e -> raise (Exec_error e)
 
 (* crash-injection point for the recovery harness: fires inside DDL,
@@ -93,9 +148,12 @@ let scan_table (ctx : Context.t) table ~ann_tables ?only_rows () =
         |> List.filter_map (fun row ->
                Option.map (fun tuple -> (row, tuple)) (Table.get table row))
   in
+  let seen = ref 0 in
   let rows =
     List.map
       (fun (row, tuple) ->
+        incr seen;
+        if !seen land checkpoint_mask = 0 then Cancel.check ctx.Context.cancel;
         Stats.record_ann_envelope stats;
         let anns =
           Array.init arity (fun col ->
@@ -307,8 +365,9 @@ let analyze_finish an input_n f =
 (* Hash join over annotated tuples; key columns are positions local to
    each side.  Output tuples (and annotation arrays) are always
    [left ++ right] regardless of which side builds. *)
-let hash_join_atuples stats ~build_left ~left_cols ~right_cols
+let hash_join_atuples ?on_pair stats ~build_left ~left_cols ~right_cols
     (a : Propagate.t) (b : Propagate.t) : Propagate.t =
+  let hit = match on_pair with None -> ignore | Some f -> f in
   let schema = Schema.concat a.Propagate.schema b.Propagate.schema in
   let build_rows, probe_rows, build_cols, probe_cols =
     if build_left then (a.Propagate.rows, b.Propagate.rows, left_cols, right_cols)
@@ -339,6 +398,7 @@ let hash_join_atuples stats ~build_left ~left_cols ~right_cols
   let rows =
     List.concat_map
       (fun pat ->
+        hit ();
         Stats.record_hash_probe stats;
         match key pat probe_cols with
         | None -> []
@@ -569,7 +629,8 @@ and exec_select_naive ctx (sel : Ast.select) : Propagate.t =
                 ~children:[ acc_n; rs_n ] "NESTED-LOOP JOIN"
             in
             ( analyze_block an n (fun () ->
-                  Propagate.join acc rs ~on:(Expr.Lit (Value.VBool true))),
+                  Propagate.join ?on_pair:(cancel_hook ctx) acc rs
+                    ~on:(Expr.Lit (Value.VBool true))),
               n ))
           first rest
   in
@@ -648,11 +709,13 @@ and exec_select_annotated ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
           match step.Plan.kind with
           | Plan.Hash { left_cols; right_cols; build_left } ->
               let off = step.Plan.src.Plan.offset in
-              hash_join_atuples stats ~build_left ~left_cols
+              hash_join_atuples ?on_pair:(cancel_hook ctx) stats ~build_left
+                ~left_cols
                 ~right_cols:(List.map (fun c -> c - off) right_cols)
                 acc right
           | Plan.Nested ->
-              Propagate.join acc right ~on:(Expr.Lit (Value.VBool true))
+              Propagate.join ?on_pair:(cancel_hook ctx) acc right
+                ~on:(Expr.Lit (Value.VBool true))
         in
         match (acc_n, right_n) with
         | Some acc_n, Some right_n ->
@@ -734,6 +797,7 @@ and tuple_pipeline ctx (plan : Plan.t) =
           in
           Cursor.make (Table.schema table) pull
     in
+    let base = checked_cursor ctx base in
     let cur = Cursor.rename base src.Plan.schema in
     let pushed cur =
       List.fold_left
@@ -762,7 +826,10 @@ and tuple_pipeline ctx (plan : Plan.t) =
               Cursor.hash_join ~stats ~build_left ~left_keys:left_cols
                 ~right_keys:(List.map (fun c -> c - off) right_cols)
                 acc right
-          | Plan.Nested -> Cursor.block_join acc right
+          | Plan.Nested ->
+              (* a block join's output can dwarf its inputs; checkpoint
+                 the joined stream, not just the leaf scans *)
+              checked_cursor ctx (Cursor.block_join acc right)
         in
         match (acc_n, right_n) with
         | Some acc_n, Some right_n ->
@@ -820,7 +887,7 @@ and batch_pipeline ?need ctx (plan : Plan.t) =
             in
             Vexec.of_rows ~batch_rows src.Plan.table rows
       in
-      let bsrc = Vexec.with_schema base src.Plan.schema in
+      let bsrc = Vexec.with_schema (checked_src ctx base) src.Plan.schema in
       let pushed bsrc =
         List.fold_left
           (fun bsrc e ->
@@ -873,7 +940,8 @@ and batch_pipeline ?need ctx (plan : Plan.t) =
         (source_batches plan.Plan.base)
         plan.Plan.steps
     in
-    Some (bsrc, plan_n)
+    (* hash joins can amplify: checkpoint the top of the pipeline too *)
+    Some (checked_src ctx bsrc, plan_n)
   end
 
 (* Everything from aggregation to LIMIT over the pipeline's top cursor —
@@ -1755,6 +1823,10 @@ let explain_analyze ctx ~user q =
 (* --------------------------------------------------------------- execute *)
 
 let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
+  Cancel.check ctx.Context.cancel;
+  (match ctx.Context.read_only with
+  | Some reason when is_write_stmt stmt -> raise (Read_only reason)
+  | _ -> ());
   match stmt with
   | Ast.Query q -> Rows (exec_query ctx ~user q)
   | Ast.Explain q -> Message (Cost.explain ctx q)

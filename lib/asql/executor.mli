@@ -13,8 +13,22 @@ type outcome =
   | Message of string
   | Entries of Bdbms_auth.Approval.entry list
 
+exception Read_only of string
+(** Raised (before any mutation) when a write or DDL statement arrives
+    while the engine is in read-only degraded mode; the payload is the
+    reason recorded at entry.  Deliberately not folded into {!execute}'s
+    [Error] so the engine layers can map it to a retryable error. *)
+
+val is_write_stmt : Ast.statement -> bool
+(** True for statements that mutate the database (data writes or DDL);
+    [COPY TO] exports to a file and does not count. *)
+
 val execute :
   Context.t -> user:string -> Ast.statement -> (outcome, string) result
+(** Evaluate one statement.  SQL-level failures return [Error];
+    {!Read_only}, {!Bdbms_util.Cancel.Cancelled} (statement deadline)
+    and {!Bdbms_storage.Backend.Io_degraded} (retry budget exhausted)
+    propagate as exceptions for the transaction layer to handle. *)
 
 val analyze_query :
   Context.t ->

@@ -6,6 +6,9 @@ module Obs = Bdbms_obs.Obs
 module Trace = Bdbms_obs.Trace
 module Metrics = Bdbms_obs.Metrics
 module Timer = Bdbms_util.Timer
+module Cancel = Bdbms_util.Cancel
+module Backoff = Bdbms_util.Backoff
+module Backend = Bdbms_storage.Backend
 
 type t = {
   mutable ctx : Context.t;
@@ -18,6 +21,10 @@ type t = {
   fault : Bdbms_storage.Fault.t option;
   obs : Obs.t;
   mutable slow_ms : float option;
+  mutable stmt_timeout_ms : float option;
+      (* default statement deadline; [None] = unbounded *)
+  mutable degraded : string option;
+      (* [Some reason] while in read-only degraded mode *)
   mutable on_first_dirty :
     (Bdbms_storage.Page.id -> Bdbms_storage.Page.t -> unit) option;
       (* pre-image observer, reinstalled across rollback's disk swap *)
@@ -54,6 +61,8 @@ let create ?page_size ?pool_pages ?policy ?path ?fault () =
     fault;
     obs;
     slow_ms = None;
+    stmt_timeout_ms = None;
+    degraded = None;
     on_first_dirty = None;
   }
 
@@ -83,6 +92,7 @@ let rollback t =
     ctx.Context.auto_provenance <- old.Context.auto_provenance;
     ctx.Context.exec_mode <- old.Context.exec_mode;
     ctx.Context.batch_rows <- old.Context.batch_rows;
+    ctx.Context.read_only <- t.degraded;
     t.ctx <- ctx;
     t.catalog_records <- n;
     (* the fresh context has a fresh disk: the pre-image observer must
@@ -92,11 +102,66 @@ let rollback t =
     | None -> ()
   end
 
+(* ----------------------------------------------- degraded-mode lifecycle *)
+
+let transient_reopen = function
+  | Backend.Io_degraded _ -> true
+  | e -> Backend.io_retryable e
+
+(* Flip into read-only degraded mode: record the reason, then discard the
+   possibly-poisoned uncommitted state by re-bootstrapping from the last
+   commit.  The reopen itself needs I/O (WAL replay restores page slots),
+   so it runs under its own bounded retry — transient faults are finite
+   by construction, and the backend's inner retry absorbs most of them.
+   After this, reads serve normally from the consistent re-bootstrapped
+   state and writes fail fast with a retryable error until a health probe
+   succeeds ([try_heal]). *)
+let enter_degraded t reason =
+  if t.degraded = None then begin
+    Metrics.inc t.obs.Obs.degraded_entries_c;
+    Metrics.set t.obs.Obs.degraded_gauge 1.
+  end;
+  t.degraded <- Some reason;
+  let rec reopen attempt =
+    match rollback t with
+    | () -> ()
+    | exception e when attempt < 8 && transient_reopen e ->
+        Unix.sleepf
+          (Backoff.delay_ms Backoff.default ~attempt:(min attempt 6) /. 1000.);
+        reopen (attempt + 1)
+  in
+  reopen 1;
+  t.ctx.Context.read_only <- Some reason
+
+(* Single-attempt health probe; on success write mode is re-armed. *)
+let try_heal t =
+  match t.degraded with
+  | None -> ()
+  | Some _ ->
+      if Disk.probe_io t.ctx.Context.disk then begin
+        t.degraded <- None;
+        t.ctx.Context.read_only <- None;
+        Metrics.set t.obs.Obs.degraded_gauge 0.
+      end
+
+let degraded t = t.degraded
+
+(* A rollback that cannot throw transient I/O errors at the caller: if
+   the reopen's own I/O keeps failing, fall through to degraded mode
+   (whose entry retries the reopen with backoff). *)
+let safe_rollback t =
+  try rollback t
+  with
+  | Backend.Io_degraded { op; detail } ->
+      enter_degraded t (Printf.sprintf "%s: %s" op detail)
+  | e when Backend.io_retryable e ->
+      enter_degraded t (Printexc.to_string e)
+
 (* Auto-commit: on a durable database each successful statement is made
    durable before the result is returned; a failed one rolls back. *)
 let autocommit t = function
   | Ok _ -> if durable t then Context.commit t.ctx
-  | Error _ -> rollback t
+  | Error _ -> safe_rollback t
 
 (* Per-statement observation: every execution lands in the statement
    latency histogram; when the slow-query log is armed, statements at or
@@ -115,12 +180,46 @@ let observed t sql f =
   | _ -> ());
   r
 
+(* Fold the fault-lifecycle exceptions into [Error]s with the right side
+   effects.  A deadline expiry rolls back (the statement may have
+   half-applied) and counts; a write refused in degraded mode rolls back
+   too (earlier statements of a script may have applied); an exhausted
+   I/O retry budget drops the engine into read-only degraded mode.  In
+   every case the error means the statement is not committed, which is
+   what makes client-side retry safe. *)
+let protected t f =
+  if t.degraded <> None then try_heal t;
+  match f () with
+  | r -> r
+  | exception Cancel.Cancelled reason ->
+      Metrics.inc t.obs.Obs.stmts_timed_out_c;
+      safe_rollback t;
+      Error ("statement aborted: " ^ reason)
+  | exception Executor.Read_only reason ->
+      safe_rollback t;
+      Error
+        (Printf.sprintf "database is read-only (degraded: %s); retry later"
+           reason)
+  | exception Backend.Io_degraded { op; detail } ->
+      enter_degraded t (Printf.sprintf "%s: %s" op detail);
+      Error
+        (Printf.sprintf
+           "I/O failing (%s: %s); entering read-only degraded mode" op detail)
+
+(* The deadline covers statement execution only — a commit, once started,
+   is never half-cancelled (its own failures are handled above). *)
+let with_stmt_deadline t f =
+  match t.stmt_timeout_ms with
+  | None -> f ()
+  | Some ms -> Context.with_deadline t.ctx ~timeout_ms:ms f
+
 let exec t ?(user = Context.superuser) sql =
   guard t (fun () ->
       observed t sql (fun () ->
-          let r = Executor.run t.ctx ~user sql in
-          autocommit t r;
-          r))
+          protected t (fun () ->
+              let r = with_stmt_deadline t (fun () -> Executor.run t.ctx ~user sql) in
+              autocommit t r;
+              r)))
 
 let exec_exn t ?user sql =
   match exec t ?user sql with
@@ -130,9 +229,13 @@ let exec_exn t ?user sql =
 let exec_script t ?(user = Context.superuser) sql =
   guard t (fun () ->
       observed t sql (fun () ->
-          let r = Executor.run_script t.ctx ~user sql in
-          autocommit t r;
-          r))
+          protected t (fun () ->
+              let r =
+                with_stmt_deadline t (fun () ->
+                    Executor.run_script t.ctx ~user sql)
+              in
+              autocommit t r;
+              r)))
 
 let render_exn t ?user sql = Executor.render (exec_exn t ?user sql)
 
@@ -143,8 +246,18 @@ let render_exn t ?user sql = Executor.render (exec_exn t ?user sql)
    batch with one [commit] (group commit) or discards it with
    [force_rollback].  A failed statement here does NOT roll back — the
    committer must decide what of the batch survives. *)
-let exec_nocommit t ?(user = Context.superuser) sql =
-  guard t (fun () -> observed t sql (fun () -> Executor.run t.ctx ~user sql))
+(* Unlike {!exec}, the fault-lifecycle exceptions (deadline expiry, I/O
+   degradation, read-only refusal) propagate to the caller, which owns
+   the transaction and decides how to abort it.  [timeout_ms] overrides
+   the handle-level default for this statement. *)
+let exec_nocommit t ?(user = Context.superuser) ?timeout_ms sql =
+  let timeout_ms =
+    match timeout_ms with Some _ as v -> v | None -> t.stmt_timeout_ms
+  in
+  guard t (fun () ->
+      observed t sql (fun () ->
+          Context.with_deadline t.ctx ?timeout_ms (fun () ->
+              Executor.run t.ctx ~user sql)))
 
 let force_rollback t = rollback t
 
@@ -162,8 +275,13 @@ let set_batch_rows t n =
   if n <= 0 then invalid_arg "Db.set_batch_rows: rows must be positive";
   t.ctx.Context.batch_rows <- n
 
-(* deprecated shim: the old boolean toggle maps onto the mode enum *)
-let set_pipelined t v = set_exec_mode t (if v then `Batch else `Naive)
+let set_stmt_timeout_ms t v =
+  (match v with
+  | Some ms when ms < 0. -> invalid_arg "Db.set_stmt_timeout_ms: negative"
+  | _ -> ());
+  t.stmt_timeout_ms <- v
+
+let stmt_timeout_ms t = t.stmt_timeout_ms
 
 let commit t = guard t (fun () -> Ok (Context.commit t.ctx))
 let checkpoint t = guard t (fun () -> Ok (Context.checkpoint t.ctx))

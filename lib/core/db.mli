@@ -69,11 +69,20 @@ val render_exn : t -> ?user:string -> string -> string
     transaction boundaries itself.  Regular callers want {!exec}. *)
 
 val exec_nocommit :
-  t -> ?user:string -> string -> (Bdbms_asql.Executor.outcome, string) result
+  t ->
+  ?user:string ->
+  ?timeout_ms:float ->
+  string ->
+  (Bdbms_asql.Executor.outcome, string) result
 (** Execute one statement {e without} auto-commit or auto-rollback: the
     caller replays a transaction's buffered statements with this, then
     seals the batch with {!commit} (one WAL flush for the whole group) or
-    discards it with {!force_rollback}. *)
+    discards it with {!force_rollback}.  [timeout_ms] overrides the
+    handle-level {!set_stmt_timeout_ms} for this statement.  Unlike
+    {!exec}, the fault-lifecycle exceptions
+    ({!Bdbms_util.Cancel.Cancelled}, {!Bdbms_asql.Executor.Read_only},
+    {!Bdbms_storage.Backend.Io_degraded}) propagate to the caller, which
+    owns the transaction boundary. *)
 
 val force_rollback : t -> unit
 (** Abandon everything since the last commit and re-bootstrap the engine
@@ -114,11 +123,33 @@ val set_batch_rows : t -> int -> unit
 (** Rows per column batch on the [`Batch] path (default 1024).
     @raise Invalid_argument when not positive. *)
 
-val set_pipelined : t -> bool -> unit
-  [@@deprecated "use set_exec_mode: true = `Batch, false = `Naive"]
-(** Deprecated boolean toggle kept for source compatibility:
-    [set_pipelined db true] is [set_exec_mode db `Batch] and
-    [set_pipelined db false] is [set_exec_mode db `Naive]. *)
+val set_stmt_timeout_ms : t -> float option -> unit
+(** Arm (or disarm with [None]) the default statement deadline: any
+    statement running at least this long is cooperatively cancelled at
+    its next checkpoint (page pin, every 64 tuples, every batch, or
+    between I/O retry sleeps), rolled back, and returned as an [Error].
+    A timeout of [0] cancels at the very first checkpoint.
+    @raise Invalid_argument when negative. *)
+
+val stmt_timeout_ms : t -> float option
+
+val degraded : t -> string option
+(** [Some reason] while the engine is in read-only degraded mode (an
+    I/O retry budget was exhausted): reads keep serving from the last
+    committed state, writes fail fast with a retryable error.  A health
+    probe runs at the next statement and re-arms write mode once I/O
+    recovers. *)
+
+val enter_degraded : t -> string -> unit
+(** Force read-only degraded mode (normally triggered internally by
+    {!Bdbms_storage.Backend.Io_degraded}): records the reason, bumps the
+    [degraded] gauge/counter, and re-bootstraps from the last committed
+    state under its own bounded retry.  Used by the server engine when a
+    transaction's I/O gives out. *)
+
+val try_heal : t -> unit
+(** Run one I/O health probe if degraded; on success clear degraded mode
+    and re-arm writes.  No-op when healthy. *)
 
 val durable : t -> bool
 

@@ -24,7 +24,13 @@ type t = {
   recovery_hist : Metrics.histogram;
   req_hist : Metrics.histogram;
   conflict_retry_hist : Metrics.histogram;
+  retry_backoff_hist : Metrics.histogram;
   sessions_gauge : Metrics.gauge;
+  degraded_gauge : Metrics.gauge;
+  io_retries_c : Metrics.counter;
+  io_gave_up_c : Metrics.counter;
+  stmts_timed_out_c : Metrics.counter;
+  degraded_entries_c : Metrics.counter;
 }
 
 let create ?capacity () =
@@ -55,9 +61,30 @@ let create ?capacity () =
     histogram "bdbms_commit_conflict_retries"
       "Conflict aborts a transaction absorbed before committing"
   in
+  let retry_backoff_hist =
+    histogram "bdbms_io_retry_backoff_ns" "Sleep before an I/O retry (ns)"
+  in
   let sessions_gauge =
     Metrics.gauge metrics ~help:"Sessions currently open"
       "bdbms_sessions_in_flight"
+  in
+  let degraded_gauge =
+    Metrics.gauge metrics ~help:"1 while the engine is in read-only degraded mode"
+      "bdbms_degraded"
+  in
+  let counter name help = Metrics.counter metrics ~help name in
+  let io_retries_c =
+    counter "bdbms_io_retries_total" "Transient I/O errors absorbed by retry"
+  in
+  let io_gave_up_c =
+    counter "bdbms_io_gave_up_total"
+      "I/O operations that exhausted their retry budget"
+  in
+  let stmts_timed_out_c =
+    counter "bdbms_stmts_timed_out_total" "Statements aborted by their deadline"
+  in
+  let degraded_entries_c =
+    counter "bdbms_degraded_entries_total" "Times the engine entered degraded mode"
   in
   {
     trace = Trace.create ?capacity ();
@@ -70,7 +97,13 @@ let create ?capacity () =
     recovery_hist;
     req_hist;
     conflict_retry_hist;
+    retry_backoff_hist;
     sessions_gauge;
+    degraded_gauge;
+    io_retries_c;
+    io_gave_up_c;
+    stmts_timed_out_c;
+    degraded_entries_c;
   }
 
 let span t name f = Trace.with_span t.trace name f

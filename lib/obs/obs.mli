@@ -21,7 +21,19 @@ type t = {
       (** server request handling (frame in → frame out) *)
   conflict_retry_hist : Metrics.histogram;
       (** conflict aborts absorbed before a transaction committed *)
+  retry_backoff_hist : Metrics.histogram;
+      (** sleep durations before I/O retries *)
   sessions_gauge : Metrics.gauge;  (** sessions currently open *)
+  degraded_gauge : Metrics.gauge;
+      (** 1 while the engine is in read-only degraded mode *)
+  io_retries_c : Metrics.counter;
+      (** transient I/O errors absorbed by retry *)
+  io_gave_up_c : Metrics.counter;
+      (** operations that exhausted their retry budget *)
+  stmts_timed_out_c : Metrics.counter;
+      (** statements aborted by their deadline *)
+  degraded_entries_c : Metrics.counter;
+      (** times the engine entered degraded mode *)
 }
 
 val create : ?capacity:int -> unit -> t

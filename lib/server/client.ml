@@ -6,13 +6,21 @@ module P = Protocol
 
 type t = { fd : Unix.file_descr; mutable closed : bool }
 
+(* A server that dropped the connection must surface as EPIPE on our
+   next write, not kill the process. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
 let connect_unix path =
+  ignore_sigpipe ();
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX path)
    with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
   { fd; closed = false }
 
 let connect_tcp ~host ~port =
+  ignore_sigpipe ();
   let addr =
     try Unix.inet_addr_of_string host
     with Failure _ -> (
@@ -38,8 +46,32 @@ let hello t ~user =
   | P.Error_resp { message; _ } -> Error message
   | _ -> Error "unexpected response to Hello"
 
-let query t sql = request t (P.Query { sql })
+let query t ?timeout_ms sql = request t (P.Query { sql; timeout_ms })
 let control t name = request t (P.Control { name })
+
+(* Client-side auto-retry: resend on a retryable error frame (Busy,
+   Conflict, Degraded) with jittered exponential backoff.  Only safe
+   outside an explicit transaction — there a conflict aborts the whole
+   transaction, and the *transaction*, not the statement, must restart —
+   so the CLI only routes autocommit statements here. *)
+let query_retry t ?timeout_ms ?(policy = Bdbms_util.Backoff.default)
+    ?on_retry sql =
+  let retries = ref 0 in
+  let rec go attempt =
+    match request t (P.Query { sql; timeout_ms }) with
+    | P.Error_resp { code; _ }
+      when P.code_retryable code && attempt < policy.Bdbms_util.Backoff.max_attempts
+      ->
+        incr retries;
+        let d = Bdbms_util.Backoff.delay_ms policy ~attempt in
+        (match on_retry with
+        | Some f -> f ~attempt ~delay_ms:d
+        | None -> ());
+        Unix.sleepf (d /. 1000.);
+        go (attempt + 1)
+    | resp -> (resp, !retries)
+  in
+  go 1
 
 let close t =
   if not t.closed then begin

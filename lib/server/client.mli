@@ -13,7 +13,25 @@ val request : t -> Protocol.request -> Protocol.response
 (** Send one frame, wait for the answer.
     @raise Protocol.Protocol_error on transport or framing failure. *)
 
-val query : t -> string -> Protocol.response
+val query : t -> ?timeout_ms:int -> string -> Protocol.response
+(** One statement; [timeout_ms] rides in the frame as the statement's
+    deadline (tag [0x04]) — the server aborts and rolls it back on
+    expiry, answering [E_timeout]. *)
+
+val query_retry :
+  t ->
+  ?timeout_ms:int ->
+  ?policy:Bdbms_util.Backoff.policy ->
+  ?on_retry:(attempt:int -> delay_ms:float -> unit) ->
+  string ->
+  Protocol.response * int
+(** [query] with client-side auto-retry on retryable error frames
+    ([E_busy], [E_conflict], [E_degraded]), sleeping a jittered
+    exponential backoff between attempts; returns the final response and
+    how many retries were spent.  Only safe for autocommit statements —
+    inside an explicit transaction the {e transaction} must restart, not
+    the statement. *)
+
 val control : t -> string -> Protocol.response
 
 val close : t -> unit

@@ -30,20 +30,29 @@ module Parser = Bdbms_asql.Parser
 module Disk = Bdbms_storage.Disk
 module Pager = Bdbms_storage.Pager
 module Stats = Bdbms_storage.Stats
+module Backend = Bdbms_storage.Backend
 module Obs = Bdbms_obs.Obs
+module Metrics = Bdbms_obs.Metrics
+module Cancel = Bdbms_util.Cancel
 
 type error =
   | Sql of string
   | Conflict of string
   | Busy of string
+  | Timeout of string
+  | Degraded of string
   | Closed
 
+(* [Degraded] is transient by design (a health probe re-arms writes once
+   I/O recovers), so clients may retry.  [Timeout] is not: the statement
+   blew its own deadline and was rolled back — retrying with the same
+   deadline would blow it again. *)
 let retryable = function
-  | Conflict _ | Busy _ -> true
-  | Sql _ | Closed -> false
+  | Conflict _ | Busy _ | Degraded _ -> true
+  | Sql _ | Timeout _ | Closed -> false
 
 let error_message = function
-  | Sql m | Conflict m | Busy m -> m
+  | Sql m | Conflict m | Busy m | Timeout m | Degraded m -> m
   | Closed -> "engine is closed"
 
 (* What a sealed commit wrote, for first-writer-wins checks against
@@ -130,8 +139,8 @@ let stats t =
   }
 
 let create ?page_size ?pool_pages ?(snapshot_pool_pages = 128)
-    ?(strict_acl = false) ~path () =
-  let db = Db.create ?page_size ?pool_pages ~path () in
+    ?(strict_acl = false) ?fault ~path () =
+  let db = Db.create ?page_size ?pool_pages ?fault ~path () in
   Db.set_strict_acl db strict_acl;
   let vs = Version_store.create () in
   Db.set_on_first_dirty db (Some (fun id page -> Version_store.capture vs id page));
@@ -206,7 +215,23 @@ let abort_cycle_locked t =
 
 let superuser = Context.superuser
 
-let execute t ?(user = superuser) ?exec_mode sql =
+(* An exhausted I/O retry budget anywhere under the engine lock: drop
+   into read-only degraded mode (which re-bootstraps the canonical
+   engine) and discard the version store's pending pre-images — the
+   rollback already reinstalled the capture hook on the fresh disk. *)
+let io_degraded_locked t ~op ~detail =
+  Db.enter_degraded t.db (Printf.sprintf "%s: %s" op detail);
+  Version_store.abort_cycle t.vs;
+  Error
+    (Degraded
+       (Printf.sprintf "I/O failing (%s: %s); engine is read-only" op detail))
+
+let note_timeout t reason =
+  let o = Db.obs t.db in
+  Metrics.inc o.Obs.stmts_timed_out_c;
+  Error (Timeout ("statement aborted: " ^ reason))
+
+let execute t ?(user = superuser) ?exec_mode ?timeout_ms sql =
   match Parser.parse sql with
   | Error e -> Error (Sql e)
   | Ok stmt ->
@@ -214,6 +239,7 @@ let execute t ?(user = superuser) ?exec_mode sql =
       Mutex.protect t.mu (fun () ->
           if t.closed then Error Closed
           else begin
+            if Db.degraded t.db <> None then Db.try_heal t.db;
             let saved = (Db.context t.db).Context.exec_mode in
             (match exec_mode with
             | Some m -> (Db.context t.db).Context.exec_mode <- m
@@ -223,7 +249,7 @@ let execute t ?(user = superuser) ?exec_mode sql =
                 (* a rollback recreates the context, so re-fetch it *)
                 (Db.context t.db).Context.exec_mode <- saved)
               (fun () ->
-                match Db.exec_nocommit t.db ~user sql with
+                match Db.exec_nocommit t.db ~user ?timeout_ms sql with
                 | Ok outcome -> (
                     match Db.commit t.db with
                     | Ok () ->
@@ -235,13 +261,26 @@ let execute t ?(user = superuser) ?exec_mode sql =
                         Ok outcome
                     | Error e ->
                         abort_cycle_locked t;
-                        Error (Sql e))
+                        Error (Sql e)
+                    | exception Backend.Io_degraded { op; detail } ->
+                        io_degraded_locked t ~op ~detail)
                 | Error e ->
                     abort_cycle_locked t;
                     Error (Sql e)
                 | exception Pager.Pool_exhausted _ ->
                     abort_cycle_locked t;
-                    Error (Busy "buffer pool exhausted; retry"))
+                    Error (Busy "buffer pool exhausted; retry")
+                | exception Cancel.Cancelled reason ->
+                    abort_cycle_locked t;
+                    note_timeout t reason
+                | exception Executor.Read_only reason ->
+                    abort_cycle_locked t;
+                    Error
+                      (Degraded
+                         (Printf.sprintf "engine is read-only (degraded: %s)"
+                            reason))
+                | exception Backend.Io_degraded { op; detail } ->
+                    io_degraded_locked t ~op ~detail)
           end)
 
 (* ------------------------------------------------------- transactions *)
@@ -313,7 +352,7 @@ let finish txn =
 
 let rollback_txn txn = finish txn
 
-let txn_exec txn sql =
+let rec txn_exec txn ?timeout_ms sql =
   let t = txn.tx_engine in
   if txn.tx_done then Error (Sql "no transaction in progress")
   else if txn.tx_failed then
@@ -325,28 +364,46 @@ let txn_exec txn sql =
         Error (Sql e)
     | Ok stmt -> (
         let cls = Stmt_class.classify stmt in
-        let o = Db.obs t.db in
-        match
-          Obs.timed o o.Obs.stmt_hist "txn.stmt" (fun () ->
-              Executor.execute txn.tx_ctx ~user:txn.tx_user stmt)
-        with
-        | Ok outcome ->
-            if Stmt_class.is_write cls then begin
-              txn.tx_stmts <- sql :: txn.tx_stmts;
-              txn.tx_touched <-
-                dedup
-                  (cls.Stmt_class.reads @ cls.Stmt_class.writes
-                 @ txn.tx_touched);
-              txn.tx_writes <- dedup (cls.Stmt_class.writes @ txn.tx_writes);
-              if cls.Stmt_class.ddl then txn.tx_ddl <- true
-            end;
-            Ok outcome
-        | Error e ->
+        if Stmt_class.is_write cls && Db.degraded t.db <> None then begin
+          (* fail fast instead of buffering a write that commit replay
+             would refuse anyway (the canonical engine is read-only) *)
+          Db.try_heal t.db;
+          if Db.degraded t.db <> None then begin
             txn.tx_failed <- true;
-            Error (Sql e)
-        | exception Pager.Pool_exhausted _ ->
-            txn.tx_failed <- true;
-            Error (Busy "snapshot buffer pool exhausted; ROLLBACK and retry"))
+            Error
+              (Degraded "engine is read-only (degraded); ROLLBACK and retry")
+          end
+          else txn_exec_stmt txn cls ?timeout_ms sql stmt
+        end
+        else txn_exec_stmt txn cls ?timeout_ms sql stmt)
+
+and txn_exec_stmt txn cls ?timeout_ms sql stmt =
+  let t = txn.tx_engine in
+  let o = Db.obs t.db in
+  match
+    Obs.timed o o.Obs.stmt_hist "txn.stmt" (fun () ->
+        Context.with_deadline txn.tx_ctx ?timeout_ms (fun () ->
+            Executor.execute txn.tx_ctx ~user:txn.tx_user stmt))
+  with
+  | Ok outcome ->
+      if Stmt_class.is_write cls then begin
+        txn.tx_stmts <- sql :: txn.tx_stmts;
+        txn.tx_touched <-
+          dedup
+            (cls.Stmt_class.reads @ cls.Stmt_class.writes @ txn.tx_touched);
+        txn.tx_writes <- dedup (cls.Stmt_class.writes @ txn.tx_writes);
+        if cls.Stmt_class.ddl then txn.tx_ddl <- true
+      end;
+      Ok outcome
+  | Error e ->
+      txn.tx_failed <- true;
+      Error (Sql e)
+  | exception Pager.Pool_exhausted _ ->
+      txn.tx_failed <- true;
+      Error (Busy "snapshot buffer pool exhausted; ROLLBACK and retry")
+  | exception Cancel.Cancelled reason ->
+      txn.tx_failed <- true;
+      note_timeout t reason
 
 (* ------------------------------------------------------- group commit *)
 
@@ -364,7 +421,14 @@ let replay_txn t txn =
         | Ok _ -> go rest
         | Error e -> Error (Sql e)
         | exception Pager.Pool_exhausted _ ->
-            Error (Busy "buffer pool exhausted during commit replay; retry"))
+            Error (Busy "buffer pool exhausted during commit replay; retry")
+        | exception Cancel.Cancelled reason -> note_timeout t reason
+        | exception Executor.Read_only reason ->
+            Error
+              (Degraded
+                 (Printf.sprintf "engine is read-only (degraded: %s)" reason))
+        | exception Backend.Io_degraded { op; detail } ->
+            io_degraded_locked t ~op ~detail)
   in
   go (List.rev txn.tx_stmts)
 
@@ -378,6 +442,7 @@ let process_batch t reqs =
       if t.closed then
         List.iter (fun rq -> rq.rq_result <- Some (Error Closed)) reqs
       else begin
+        if Db.degraded t.db <> None then Db.try_heal t.db;
         let rec attempt () =
           let replayed = ref [] in
           let batch_tables = ref [] in
@@ -446,6 +511,12 @@ let process_batch t reqs =
                      (fun rq ->
                        if rq.rq_result = None then
                          rq.rq_result <- Some (Error (Sql e)))
+                     reqs
+               | exception Backend.Io_degraded { op; detail } ->
+                   let e = io_degraded_locked t ~op ~detail in
+                   List.iter
+                     (fun rq ->
+                       if rq.rq_result = None then rq.rq_result <- Some e)
                      reqs
              end
            with Restart_batch -> attempt ())

@@ -22,6 +22,13 @@ type error =
   | Sql of string  (** parse/execution/authorization error — not retryable *)
   | Conflict of string  (** first-writer-wins abort — retry on a fresh snapshot *)
   | Busy of string  (** transient resource exhaustion (e.g. pager pool) — retryable *)
+  | Timeout of string
+      (** statement deadline expired; rolled back — not retryable (the
+          same deadline would expire again) *)
+  | Degraded of string
+      (** engine is in read-only degraded mode after an exhausted I/O
+          retry budget — retryable (a health probe re-arms writes once
+          I/O recovers) *)
   | Closed  (** the engine is shut down *)
 
 val retryable : error -> bool
@@ -32,6 +39,7 @@ val create :
   ?pool_pages:int ->
   ?snapshot_pool_pages:int ->
   ?strict_acl:bool ->
+  ?fault:Bdbms_storage.Fault.t ->
   path:string ->
   unit ->
   t
@@ -68,13 +76,18 @@ val execute :
   t ->
   ?user:string ->
   ?exec_mode:Bdbms_asql.Context.exec_mode ->
+  ?timeout_ms:float ->
   string ->
   (Bdbms_asql.Executor.outcome, error) result
 (** Autocommit path: execute one statement on the canonical engine under
     the engine lock, commit (sealing a version-store cycle), and return.
     Never conflicts — it runs at the head of history.  [exec_mode]
     overrides the SELECT engine for this statement only (the session
-    [\exec] setting); the canonical engine's mode is restored after. *)
+    [\exec] setting); the canonical engine's mode is restored after.
+    [timeout_ms] arms a cooperative deadline on the statement: on expiry
+    it is rolled back and answered with {!Timeout}.  When degraded, a
+    health probe runs first; if still degraded, write statements are
+    refused with {!Degraded}. *)
 
 (** {1 Explicit transactions} *)
 
@@ -85,11 +98,15 @@ val begin_txn : t -> ?user:string -> unit -> txn
     private engine over a copy-on-write overlay. *)
 
 val txn_exec :
-  txn -> string -> (Bdbms_asql.Executor.outcome, error) result
+  txn -> ?timeout_ms:float -> string -> (Bdbms_asql.Executor.outcome, error) result
 (** Execute a statement inside the transaction, against its snapshot.
     Write statements also enter the replay buffer.  After any error the
     transaction is failed: subsequent statements return [Sql] errors
-    until rollback (commit will also refuse). *)
+    until rollback (commit will also refuse).  [timeout_ms] arms a
+    cooperative deadline on this statement (expiry fails the transaction
+    with {!Timeout}); while the engine is degraded, write statements are
+    refused with {!Degraded} rather than buffered, since commit replay
+    would refuse them anyway. *)
 
 val commit_txn : txn -> (int, error) result
 (** Commit: conflict-check against commits sealed after the horizon,

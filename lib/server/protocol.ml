@@ -4,14 +4,26 @@ let max_frame = 16 * 1024 * 1024
 
 type request =
   | Hello of { user : string }
-  | Query of { sql : string }
+  | Query of { sql : string; timeout_ms : int option }
   | Control of { name : string }
 
-type error_code = E_internal | E_exec | E_conflict | E_busy | E_auth | E_proto
+type error_code =
+  | E_internal
+  | E_exec
+  | E_conflict
+  | E_busy
+  | E_auth
+  | E_proto
+  | E_timeout
+  | E_degraded
 
+(* [E_degraded] is retryable: degraded mode is transient by design (a
+   health probe re-arms writes once I/O recovers).  [E_timeout] is not —
+   retrying a statement that just blew its own deadline would blow it
+   again; the client should raise the deadline instead. *)
 let code_retryable = function
-  | E_conflict | E_busy -> true
-  | E_internal | E_exec | E_auth | E_proto -> false
+  | E_conflict | E_busy | E_degraded -> true
+  | E_internal | E_exec | E_auth | E_proto | E_timeout -> false
 
 let code_byte = function
   | E_internal -> 0
@@ -20,6 +32,8 @@ let code_byte = function
   | E_busy -> 3
   | E_auth -> 4
   | E_proto -> 5
+  | E_timeout -> 6
+  | E_degraded -> 7
 
 let code_of_byte = function
   | 0 -> Some E_internal
@@ -28,6 +42,8 @@ let code_of_byte = function
   | 3 -> Some E_busy
   | 4 -> Some E_auth
   | 5 -> Some E_proto
+  | 6 -> Some E_timeout
+  | 7 -> Some E_degraded
   | _ -> None
 
 type response =
@@ -56,9 +72,18 @@ let frame_str tag s =
 let frame_u32 tag n =
   frame tag 4 (fun b off -> Bytes.set_int32_be b off (Int32.of_int n))
 
+(* A query without a deadline keeps the original 0x02 framing (old
+   clients and servers interoperate); a deadline rides in the newer 0x04
+   frame as a u32 millisecond prefix. *)
 let encode_request = function
   | Hello { user } -> frame_str 0x01 user
-  | Query { sql } -> frame_str 0x02 sql
+  | Query { sql; timeout_ms = None } -> frame_str 0x02 sql
+  | Query { sql; timeout_ms = Some ms } ->
+      frame 0x04
+        (4 + String.length sql)
+        (fun b off ->
+          Bytes.set_int32_be b off (Int32.of_int ms);
+          Bytes.blit_string sql 0 b (off + 4) (String.length sql))
   | Control { name } -> frame_str 0x03 name
 
 let encode_response = function
@@ -110,8 +135,18 @@ let decode_request buf =
   decode_frame buf (fun tag payload ->
       match tag with
       | 0x01 -> Some (Hello { user = payload })
-      | 0x02 -> Some (Query { sql = payload })
+      | 0x02 -> Some (Query { sql = payload; timeout_ms = None })
       | 0x03 -> Some (Control { name = payload })
+      | 0x04 ->
+          u32_payload payload (fun ms ->
+              if ms < 0 then None
+              else
+                Some
+                  (Query
+                     {
+                       sql = String.sub payload 4 (String.length payload - 4);
+                       timeout_ms = Some ms;
+                     }))
       | _ -> None)
 
 let decode_response buf =

@@ -19,9 +19,14 @@ val max_frame : int
 
 type request =
   | Hello of { user : string }  (** tag [0x01]: open a session *)
-  | Query of { sql : string }  (** tag [0x02]: execute one statement *)
+  | Query of { sql : string; timeout_ms : int option }
+      (** tag [0x02] without a deadline (wire-compatible with older
+          peers); tag [0x04] ([u32 timeout_ms | sql]) with one.  The
+          server aborts and rolls back a statement that outlives its
+          deadline, answering {!E_timeout}. *)
   | Control of { name : string }
-      (** tag [0x03]: out-of-band op: [ping], [metrics], [stats] *)
+      (** tag [0x03]: out-of-band op: [ping], [metrics], [stats],
+          [exec [mode]], [timeout [ms|off]] *)
 
 type error_code =
   | E_internal
@@ -30,6 +35,9 @@ type error_code =
   | E_busy  (** transient resource exhaustion: retry *)
   | E_auth
   | E_proto
+  | E_timeout  (** statement deadline expired; rolled back, not retryable *)
+  | E_degraded
+      (** engine is in read-only degraded mode; writes retryable later *)
 
 val code_retryable : error_code -> bool
 

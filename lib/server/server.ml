@@ -17,22 +17,38 @@ module Stats = Bdbms_storage.Stats
 module Obs = Bdbms_obs.Obs
 module P = Protocol
 
+type conn = { c_fd : Unix.file_descr; mutable c_busy : bool }
+(* [c_busy] is true while the handler thread is between receiving a
+   request and sending its response — what a graceful drain waits for *)
+
 type t = {
   engine : Engine.t;
   counters : Stats.t;
+  idle_timeout_s : float option;
+      (* per-connection receive timeout ([SO_RCVTIMEO]): a peer that goes
+         quiet mid-frame or between frames for this long is reaped (its
+         session closes, rolling back any open transaction) — the
+         slow-loris defense *)
   mutable listeners : (Unix.file_descr * string option) list;
       (* fd, unix path to unlink at stop *)
   mutable threads : Thread.t list;
-  conns : (int, Unix.file_descr) Hashtbl.t;
+  conns : (int, conn) Hashtbl.t;
   mutable next_conn : int;
   mu : Mutex.t;
   mutable stopping : bool;
 }
 
-let create engine =
+let create ?idle_timeout_s engine =
+  (match idle_timeout_s with
+  | Some s when s <= 0. -> invalid_arg "Server.create: idle_timeout_s <= 0"
+  | _ -> ());
+  (* a peer that vanished mid-response must surface as EPIPE on the
+     write (handled per connection), not kill the whole process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   {
     engine;
     counters = Engine.counters engine;
+    idle_timeout_s;
     listeners = [];
     threads = [];
     conns = Hashtbl.create 8;
@@ -49,6 +65,8 @@ let error_resp (e : Engine.error) =
     | Engine.Sql _ -> P.E_exec
     | Engine.Conflict _ -> P.E_conflict
     | Engine.Busy _ -> P.E_busy
+    | Engine.Timeout _ -> P.E_timeout
+    | Engine.Degraded _ -> P.E_degraded
     | Engine.Closed -> P.E_internal
   in
   P.Error_resp { code; message = Engine.error_message e }
@@ -64,8 +82,8 @@ let reply_resp = function
   | Session.Committed seq -> P.Committed { seq }
   | Session.Rolled_back -> P.Message { text = "ROLLBACK" }
 
-let handle_query session sql =
-  match Session.execute session sql with
+let handle_query session ?timeout_ms sql =
+  match Session.execute session ?timeout_ms sql with
   | Ok reply -> reply_resp reply
   | Error e -> error_resp e
   | exception Pager.Pool_exhausted _ ->
@@ -86,9 +104,32 @@ let handle_control t session name =
   | "exec" ->
       P.Message
         { text = Context.exec_mode_name (Session.exec_mode session) }
+  | "timeout" ->
+      P.Message
+        {
+          text =
+            (match Session.stmt_timeout_ms session with
+            | None -> "timeout: off"
+            | Some ms -> Printf.sprintf "timeout: %gms" ms);
+        }
   | other -> (
-      (* "exec <mode>": session-scoped SELECT-engine override *)
+      (* "exec <mode>" / "timeout <ms>|off": session-scoped overrides *)
       match String.split_on_char ' ' other with
+      | [ "timeout"; "off" ] ->
+          Session.set_stmt_timeout_ms session None;
+          P.Message { text = "timeout: off" }
+      | [ "timeout"; ms ] -> (
+          match float_of_string_opt ms with
+          | Some v when v >= 0. ->
+              Session.set_stmt_timeout_ms session (Some v);
+              P.Message { text = Printf.sprintf "timeout: %gms" v }
+          | _ ->
+              P.Error_resp
+                {
+                  code = P.E_proto;
+                  message =
+                    Printf.sprintf "bad timeout %S (milliseconds or off)" ms;
+                })
       | [ "exec"; mode ] -> (
           match Context.exec_mode_of_string mode with
           | Some m ->
@@ -113,15 +154,16 @@ let handle_control t session name =
 
 let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
-let register_conn t fd =
+let register_conn t conn =
   Mutex.protect t.mu (fun () ->
       t.next_conn <- t.next_conn + 1;
-      Hashtbl.replace t.conns t.next_conn fd;
+      Hashtbl.replace t.conns t.next_conn conn;
       t.next_conn)
 
 let unregister_conn t id = Mutex.protect t.mu (fun () -> Hashtbl.remove t.conns id)
 
-let request_loop t fd session =
+let request_loop t conn session =
+  let fd = conn.c_fd in
   let stats = t.counters in
   let obs = Engine.obs t.engine in
   let span =
@@ -133,21 +175,37 @@ let request_loop t fd session =
     match P.recv_request ~stats fd with
     | None -> continue := false
     | Some req ->
-        let resp =
-          Obs.timed obs obs.Obs.req_hist span (fun () ->
-              match req with
-              | P.Hello _ ->
-                  P.Error_resp
-                    { code = P.E_proto; message = "session already open" }
-              | P.Query { sql } -> handle_query session sql
-              | P.Control { name } -> handle_control t session name)
-        in
-        P.send_response ~stats fd resp
+        conn.c_busy <- true;
+        Fun.protect
+          ~finally:(fun () -> conn.c_busy <- false)
+          (fun () ->
+            let resp =
+              Obs.timed obs obs.Obs.req_hist span (fun () ->
+                  match req with
+                  | P.Hello _ ->
+                      P.Error_resp
+                        { code = P.E_proto; message = "session already open" }
+                  | P.Query { sql; timeout_ms } ->
+                      handle_query session
+                        ?timeout_ms:(Option.map float_of_int timeout_ms)
+                        sql
+                  | P.Control { name } -> handle_control t session name)
+            in
+            P.send_response ~stats fd resp)
   done
 
-let handle_conn t fd =
-  let id = register_conn t fd in
+let handle_conn t conn =
+  let fd = conn.c_fd in
+  let id = register_conn t conn in
   let stats = t.counters in
+  (* arm the idle reaper: a blocked [read] returns EAGAIN after the
+     timeout, which the catch-all below treats as a dead peer — the
+     session's [Fun.protect] close rolls back any open transaction *)
+  (match t.idle_timeout_s with
+  | Some s -> (
+      try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+      with Unix.Unix_error _ -> ())
+  | None -> ());
   (try
      match P.recv_request ~stats fd with
      | None -> ()
@@ -158,7 +216,7 @@ let handle_conn t fd =
                (P.Hello_ok { session = Session.id session });
              Fun.protect
                ~finally:(fun () -> Session.close session)
-               (fun () -> request_loop t fd session)
+               (fun () -> request_loop t conn session)
          | Error e ->
              P.send_response ~stats fd
                (P.Error_resp
@@ -179,7 +237,8 @@ let accept_loop t lfd =
   while !continue do
     match Unix.accept lfd with
     | fd, _addr ->
-        let th = Thread.create (fun () -> handle_conn t fd) () in
+        let conn = { c_fd = fd; c_busy = false } in
+        let th = Thread.create (fun () -> handle_conn t conn) () in
         Mutex.protect t.mu (fun () -> t.threads <- th :: t.threads)
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
       ->
@@ -227,32 +286,55 @@ let bound_port t =
   | Some port -> port
   | None -> invalid_arg "Server.bound_port: no TCP listener"
 
-let stop t =
-  t.stopping <- true;
-  let listeners, conns, threads =
+(* Stop accepting: shutdown wakes a thread blocked in [accept]; close
+   alone does not on Linux. *)
+let close_listeners t =
+  let listeners =
     Mutex.protect t.mu (fun () ->
-        let ls = t.listeners and ths = t.threads in
-        let cs = Hashtbl.fold (fun _ fd acc -> fd :: acc) t.conns [] in
+        let ls = t.listeners in
         t.listeners <- [];
-        t.threads <- [];
-        Hashtbl.reset t.conns;
-        (ls, cs, ths))
+        ls)
   in
   List.iter
     (fun (fd, path) ->
-      (* shutdown wakes a thread blocked in [accept]; close alone does
-         not on Linux *)
       (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
       close_quiet fd;
       match path with
       | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
       | None -> ())
-    listeners;
+    listeners
+
+(* Graceful shutdown: stop accepting, give in-flight requests up to
+   [grace_s] to finish (their commits land or abort normally), then cut
+   every remaining connection — each handler thread's [Fun.protect]
+   closes its session, rolling back any open transaction — and join all
+   threads.  [stop] is the impatient special case. *)
+let drain ?(grace_s = 5.0) t =
+  t.stopping <- true;
+  close_listeners t;
+  let any_busy () =
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.fold (fun _ c acc -> acc || c.c_busy) t.conns false)
+  in
+  let deadline = Unix.gettimeofday () +. grace_s in
+  while any_busy () && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  let conns, threads =
+    Mutex.protect t.mu (fun () ->
+        let ths = t.threads in
+        let cs = Hashtbl.fold (fun _ c acc -> c.c_fd :: acc) t.conns [] in
+        t.threads <- [];
+        Hashtbl.reset t.conns;
+        (cs, ths))
+  in
   List.iter
     (fun fd ->
       (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
       close_quiet fd)
     conns;
   List.iter Thread.join threads
+
+let stop t = drain ~grace_s:0. t
 
 let engine t = t.engine

@@ -8,7 +8,12 @@
 
 type t
 
-val create : Engine.t -> t
+val create : ?idle_timeout_s:float -> Engine.t -> t
+(** [idle_timeout_s] arms a per-connection receive timeout
+    ([SO_RCVTIMEO]): a peer silent that long — between frames or stalled
+    mid-frame (slow loris) — is reaped, its session closed and any open
+    transaction rolled back.  Omit for no timeout.
+    @raise Invalid_argument when not positive. *)
 
 val listen_unix : t -> string -> unit
 (** Bind and serve a Unix-domain socket at the path (an existing socket
@@ -22,9 +27,15 @@ val bound_port : t -> int
 (** The actual port of the first TCP listener (for port-0 binds).
     @raise Invalid_argument with no TCP listener. *)
 
+val drain : ?grace_s:float -> t -> unit
+(** Graceful shutdown: stop accepting new connections (unlinking Unix
+    socket paths), wait up to [grace_s] seconds (default 5) for in-flight
+    requests to finish, then shut down every remaining connection
+    (rolling back their open transactions) and join all server threads.
+    Does not close the engine — the caller checkpoints and closes it,
+    releasing the file lock. *)
+
 val stop : t -> unit
-(** Close listeners (unlinking Unix socket paths), shut down every live
-    connection, and join all server threads.  Does not close the
-    engine. *)
+(** [drain ~grace_s:0.]: immediate shutdown. *)
 
 val engine : t -> Engine.t

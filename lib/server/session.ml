@@ -23,6 +23,9 @@ type t = {
       (* session-scoped [\exec] setting: applied per autocommit statement
          and to every transaction this session begins; [None] follows the
          engine default *)
+  mutable stmt_timeout_ms : float option;
+      (* session-scoped [\timeout] default, overridable per query by the
+         wire frame's own deadline; [None] = unbounded *)
   mutable closed : bool;
 }
 
@@ -61,6 +64,7 @@ let create engine ~user =
         txn = None;
         conflict_streak = 0;
         exec_override = None;
+        stmt_timeout_ms = None;
         closed = false;
       }
   end
@@ -84,6 +88,14 @@ let exec_mode t =
   match t.exec_override with
   | Some m -> m
   | None -> (Db.context (Engine.db t.engine)).Context.exec_mode
+
+let set_stmt_timeout_ms t v =
+  (match v with
+  | Some ms when ms < 0. -> invalid_arg "Session.set_stmt_timeout_ms: negative"
+  | _ -> ());
+  t.stmt_timeout_ms <- v
+
+let stmt_timeout_ms t = t.stmt_timeout_ms
 
 (* Transaction-control statements are session state changes, not A-SQL;
    recognize them (case-insensitively, trailing [;] stripped) before
@@ -117,7 +129,11 @@ let observe_commit_landed t =
   Metrics.observe o.Obs.conflict_retry_hist t.conflict_streak;
   t.conflict_streak <- 0
 
-let execute t sql =
+let execute t ?timeout_ms sql =
+  (* the query frame's own deadline wins over the session default *)
+  let timeout_ms =
+    match timeout_ms with Some _ as v -> v | None -> t.stmt_timeout_ms
+  in
   if t.closed then Error Engine.Closed
   else
     match control_of sql with
@@ -155,14 +171,14 @@ let execute t sql =
     | None -> (
         match t.txn with
         | Some txn -> (
-            match Engine.txn_exec txn sql with
+            match Engine.txn_exec txn ?timeout_ms sql with
             | Ok outcome -> Ok (Outcome outcome)
             | Error e -> Error e)
         | None -> (
             (* autocommit on the canonical engine *)
             match
               Engine.execute t.engine ~user:t.user
-                ?exec_mode:t.exec_override sql
+                ?exec_mode:t.exec_override ?timeout_ms sql
             with
             | Ok outcome ->
                 observe_commit_landed t;

@@ -37,12 +37,22 @@ val exec_mode : t -> Bdbms_asql.Context.exec_mode
 (** The engine the session's next statement will run under (the
     override, or the shared engine's default). *)
 
-val execute : t -> string -> (reply, Engine.error) result
+val set_stmt_timeout_ms : t -> float option -> unit
+(** Install (or with [None] clear) the session's default statement
+    deadline (the [\timeout] control op).  A query frame carrying its
+    own deadline overrides it for that statement.
+    @raise Invalid_argument when negative. *)
+
+val stmt_timeout_ms : t -> float option
+
+val execute : t -> ?timeout_ms:float -> string -> (reply, Engine.error) result
 (** Run one statement: [BEGIN]/[COMMIT]/[ROLLBACK] (and their synonyms)
     drive the session's transaction; anything else executes inside the
     open transaction, or autocommits on the engine when none is open.
-    Transient errors ([Busy], [Conflict]) fail the statement (and abort
-    an open transaction) but never the session. *)
+    [timeout_ms] (from the query frame) overrides the session's default
+    deadline for this statement.  Transient errors ([Busy], [Conflict],
+    [Degraded]) and deadline expiries ([Timeout]) fail the statement
+    (and abort an open transaction) but never the session. *)
 
 val close : t -> unit
 (** Roll back any open transaction and release the session (drops the

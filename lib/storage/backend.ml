@@ -18,6 +18,7 @@
 
 exception Corrupt of { page : int; detail : string }
 exception Locked of { path : string }
+exception Io_degraded of { op : string; detail : string }
 
 let () =
   Printexc.register_printer (function
@@ -26,9 +27,16 @@ let () =
           (Printf.sprintf
              "Backend.Locked(%s): database file is locked by another process"
              path)
+    | Io_degraded { op; detail } ->
+        Some
+          (Printf.sprintf "Backend.Io_degraded(%s): %s (retry budget exhausted)"
+             op detail)
     | _ -> None)
 
 module Crc32 = Bdbms_util.Crc32
+module Backoff = Bdbms_util.Backoff
+module Obs = Bdbms_obs.Obs
+module Metrics = Bdbms_obs.Metrics
 
 type file_state = {
   path : string;
@@ -36,6 +44,7 @@ type file_state = {
   fd : Unix.file_descr;
   fault : Fault.t;
   f_page_size : int;
+  obs : Obs.t option;
 }
 
 type t = Mem of { m_page_size : int } | File of file_state
@@ -86,6 +95,51 @@ let guarded_pwrite fault fd ~off buf =
   Fault.check fault
 
 let file_size fd = (Unix.fstat fd).Unix.st_size
+
+(* ----------------------------------------------------- transient retry *)
+
+(* What counts as transient: injected [Fault.Io] plus the Unix errors a
+   real deployment sees come and go (I/O error, disk full, interrupted
+   or would-block syscalls).  Crashes and corruption are never retried. *)
+let io_retryable = function
+  | Fault.Io _ -> true
+  | Unix.Unix_error
+      ((Unix.EIO | Unix.ENOSPC | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      true
+  | _ -> false
+
+let describe_io = function
+  | Fault.Io { kind; op } ->
+      Printf.sprintf "injected %s during %s" (Fault.io_kind_name kind) op
+  | Unix.Unix_error (e, fn, _) ->
+      Printf.sprintf "%s in %s" (Unix.error_message e) fn
+  | e -> Printexc.to_string e
+
+(* Retry an idempotent stable-storage operation with bounded jittered
+   backoff.  Every retried operation here rewrites the same bytes at the
+   same offset (full-page slot store, WAL batch at a fixed offset, fsync,
+   ftruncate), so repeating a partially-applied attempt is safe.  The
+   attached cancellation token is polled around each sleep so a statement
+   deadline cuts the loop short; after the budget is exhausted the typed
+   [Io_degraded] tells the engine to drop into read-only mode. *)
+let with_io_retry fault ?obs ~op f =
+  try
+    Backoff.retry
+      ~on_retry:(fun ~attempt:_ ~delay_ms ->
+        match obs with
+        | None -> ()
+        | Some o ->
+            Metrics.inc o.Obs.io_retries_c;
+            Metrics.observe o.Obs.retry_backoff_hist
+              (int_of_float (delay_ms *. 1e6)))
+      ~before_wait:(fun () -> Fault.cancel_point fault)
+      ~retryable:io_retryable f
+  with e when io_retryable e ->
+    (match obs with None -> () | Some o -> Metrics.inc o.Obs.io_gave_up_c);
+    raise (Io_degraded { op; detail = describe_io e })
+
+let retrying f_state ~op f = with_io_retry f_state.fault ?obs:f_state.obs ~op f
 
 (* --------------------------------------------------------- open/close *)
 
@@ -139,7 +193,7 @@ let unregister_open key =
 
 (* Opens (or creates) the database file; returns the backend and the
    number of pages currently in the stable store. *)
-let file ~fault ~page_size ~path =
+let file ~fault ?obs ~page_size ~path () =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let lock_key = lock_key_of path in
   register_open ~path ~key:lock_key fd;
@@ -149,7 +203,7 @@ let file ~fault ~page_size ~path =
     (* fresh (or a file that died before its header landed): initialise *)
     Unix.ftruncate fd 0;
     write_header fd ~page_size;
-    (File { path; lock_key; fd; fault; f_page_size = page_size }, 0)
+    (File { path; lock_key; fd; fault; f_page_size = page_size; obs }, 0)
   end
   else begin
     let h = Bytes.create header_fields in
@@ -175,7 +229,7 @@ let file ~fault ~page_size ~path =
             (Printf.sprintf "Backend.file: %s has page_size %d, requested %d"
                path stored_ps page_size));
     let count = max 0 ((size - page_size) / slot_len page_size) in
-    (File { path; lock_key; fd; fault; f_page_size = page_size }, count)
+    (File { path; lock_key; fd; fault; f_page_size = page_size; obs }, count)
   end
 
 let close = function
@@ -227,7 +281,15 @@ let store t id page =
       Bytes.blit_string trailer_magic 0 slot ps 4;
       Bytes.set_int32_le slot (ps + 4)
         (Int32.of_int (Crc32.bytes (Page.unsafe_bytes page) ~pos:0 ~len:ps));
-      guarded_pwrite f.fault f.fd ~off:(slot_off ps id) slot
+      retrying f ~op:"store" (fun () ->
+          (try Fault.transient f.fault ~op:"store"
+           with Fault.Io { kind = Fault.Short_write; _ } as e ->
+             (* land a torn prefix before failing: the retry rewrites the
+                whole slot at the same offset, repairing it *)
+             pwrite_raw f.fd ~off:(slot_off ps id) slot
+               ~len:(Bytes.length slot / 2);
+             raise e);
+          guarded_pwrite f.fault f.fd ~off:(slot_off ps id) slot)
 
 (* Sets the stable page count (grows with zero pages, shrinks by
    truncation); atomic under fault injection. *)
@@ -235,12 +297,30 @@ let set_count t n =
   match t with
   | Mem _ -> ()
   | File f ->
-      Fault.guard f.fault;
-      Unix.ftruncate f.fd (f.f_page_size + (n * slot_len f.f_page_size))
+      retrying f ~op:"truncate" (fun () ->
+          Fault.transient f.fault ~op:"truncate";
+          Fault.guard f.fault;
+          Unix.ftruncate f.fd (f.f_page_size + (n * slot_len f.f_page_size)))
 
 let sync t =
   match t with
   | Mem _ -> ()
   | File f ->
-      Fault.guard f.fault;
-      Unix.fsync f.fd
+      retrying f ~op:"fsync" (fun () ->
+          Fault.transient f.fault ~op:"fsync";
+          Fault.guard f.fault;
+          Unix.fsync f.fd)
+
+(* Single-attempt health check for degraded-mode recovery: true iff one
+   fsync gets through cleanly.  No retry — the caller polls. *)
+let probe t =
+  match t with
+  | Mem _ -> true
+  | File f -> (
+      match
+        Fault.transient f.fault ~op:"probe";
+        Fault.check f.fault;
+        Unix.fsync f.fd
+      with
+      | () -> true
+      | exception e when io_retryable e -> false)

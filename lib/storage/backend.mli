@@ -20,14 +20,26 @@ exception Locked of { path : string }
     not conflict within one process).  Raised by {!file} instead of
     letting two writers corrupt each other's WAL. *)
 
+exception Io_degraded of { op : string; detail : string }
+(** A stable-storage operation kept failing transiently until its retry
+    budget ran out.  The engine responds by entering read-only degraded
+    mode: reads keep serving, writes fail fast with a retryable error,
+    and a {!probe} re-arms write mode once I/O recovers. *)
+
 type t
 
 val mem : page_size:int -> t
 
-val file : fault:Fault.t -> page_size:int -> path:string -> t * int
+val file :
+  fault:Fault.t ->
+  ?obs:Bdbms_obs.Obs.t ->
+  page_size:int ->
+  path:string ->
+  unit ->
+  t * int
 (** Open (or create) the database file at [path], taking an advisory
     whole-file write lock; also returns the number of pages currently in
-    the stable store.
+    the stable store.  [obs] feeds the retry counters/histogram.
     @raise Locked if the file is already open (this process or another).
     @raise Invalid_argument if the file is not a bdbms database or its
     page size disagrees with [page_size]. *)
@@ -48,15 +60,35 @@ val load : t -> Page.id -> Page.t * verdict
 
 val store : t -> Page.id -> Page.t -> unit
 (** Write a page image plus its CRC trailer to the stable store;
-    fault-guarded, may tear (which the trailer then detects). *)
+    fault-guarded, may tear (which the trailer then detects).  Transient
+    failures are retried with backoff; @raise Io_degraded when the
+    budget is exhausted. *)
 
 val set_count : t -> int -> unit
-(** Set the stable page count (grow with zeros / shrink by truncation). *)
+(** Set the stable page count (grow with zeros / shrink by truncation).
+    Retried; @raise Io_degraded on budget exhaustion. *)
 
 val sync : t -> unit
-(** Flush the stable store (fsync); fault-guarded. *)
+(** Flush the stable store (fsync); fault-guarded.  Retried;
+    @raise Io_degraded on budget exhaustion. *)
+
+val probe : t -> bool
+(** Single-attempt health check (one fsync, no retry): [true] iff the
+    stable store is accepting I/O again.  Polled by the engine to leave
+    degraded mode.  Always [true] for {!mem}. *)
 
 val close : t -> unit
+
+val io_retryable : exn -> bool
+(** True for transient faults worth retrying: injected {!Fault.Io} and
+    the usual come-and-go Unix errors (EIO, ENOSPC, EINTR, EAGAIN). *)
+
+val with_io_retry :
+  Fault.t -> ?obs:Bdbms_obs.Obs.t -> op:string -> (unit -> 'a) -> 'a
+(** Retry an idempotent stable-storage operation under the shared
+    backoff policy (shared with {!Wal} for batch flushes); polls the
+    fault handle's cancellation token around each sleep.
+    @raise Io_degraded once the retry budget is exhausted. *)
 
 val guarded_pwrite : Fault.t -> Unix.file_descr -> off:int -> Bytes.t -> unit
 (** A fault-guarded positional write: a crash may land only a prefix of

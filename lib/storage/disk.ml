@@ -258,6 +258,19 @@ let is_overlay t = t.core.base <> None
 
 let set_on_first_dirty t hook = Pager.set_on_first_dirty t.pager hook
 
+(* One token serves both cancellation sites: the pager checks it at each
+   pin, the backend's retry loops poll it between backoff sleeps. *)
+let set_cancel t c =
+  Pager.set_cancel t.pager c;
+  Fault.set_cancel t.core.fault c
+
+(* Single-attempt I/O health check; true for mem/overlay disks (nothing
+   to probe) and for a file whose fsync currently succeeds. *)
+let probe_io t =
+  match t.core.durable with
+  | None -> true
+  | Some d -> Backend.probe d.backend
+
 let default_pool_pages = 256
 
 let open_file ?(page_size = Page.default_size) ?fault
@@ -269,7 +282,7 @@ let open_file ?(page_size = Page.default_size) ?fault
   let run () =
   let fault = match fault with Some f -> f | None -> Fault.create () in
   let stats = Stats.create () in
-  let backend, stored = Backend.file ~fault ~page_size ~path in
+  let backend, stored = Backend.file ~fault ?obs ~page_size ~path () in
   (* Verify every stored slot's CRC trailer, one page resident at a time.
      A bad page is not an error yet: a crash during a checkpoint store or
      an eviction steal legitimately tears pages whose redo records are in

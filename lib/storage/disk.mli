@@ -146,6 +146,17 @@ val path : t -> string option
 val fault : t -> Fault.t
 val crashed : t -> bool
 
+val set_cancel : t -> Bdbms_util.Cancel.t option -> unit
+(** Attach the execution context's cancellation token to both
+    checkpoint sites below the executor: the pager (checked at every
+    pin) and the backend's retry loops (polled between backoff
+    sleeps). *)
+
+val probe_io : t -> bool
+(** Single-attempt I/O health check (one fsync, no retry): [true] iff
+    the stable store is accepting writes.  Used to leave read-only
+    degraded mode.  Always [true] for mem/overlay disks. *)
+
 val wal_size : t -> int
 (** Bytes in the log file plus the unflushed buffer (0 when ephemeral). *)
 

@@ -15,12 +15,27 @@ exception Crash of string
    between writing chain pages and swapping the root slot. *)
 type point = Catalog_write | Root_swap | Ddl | Evict_writeback | Evict_store
 
+(* Transient faults, unlike crashes, are *recoverable*: the armed count
+   of operations fail with [Io], then the injector returns to healthy.
+   The storage layer's retry loops are expected to absorb them. *)
+type io_kind = Eio | Enospc | Short_write
+
+exception Io of { kind : io_kind; op : string }
+
 type t = {
   mutable ops_left : int; (* guarded ops before the crash; -1 = disarmed *)
   mutable tear_frac : float; (* fraction of the crashing write that lands *)
   mutable crashed : bool;
   mutable point_armed : point option;
   mutable point_left : int; (* matching hits to let pass first *)
+  mutable io_kind : io_kind;
+  mutable io_left : int; (* transient failures still to inject; 0 = healthy *)
+  mutable io_skip : int; (* healthy ops to let pass before the first failure *)
+  mutable latency_ms : float; (* injected delay per stable op *)
+  mutable latency_left : int; (* ops still to delay; 0 = no latency *)
+  mutable cancel : Bdbms_util.Cancel.t option;
+      (* cooperative-cancellation token; storage retry loops poll it
+         between backoff sleeps so a deadline can cut retries short *)
 }
 
 let create () =
@@ -30,6 +45,12 @@ let create () =
     crashed = false;
     point_armed = None;
     point_left = 0;
+    io_kind = Eio;
+    io_left = 0;
+    io_skip = 0;
+    latency_ms = 0.0;
+    latency_left = 0;
+    cancel = None;
   }
 
 let arm t ?(tear_frac = 0.0) ~after_ops () =
@@ -63,14 +84,55 @@ let hit t point =
       end
   | _ -> ()
 
+let io_kind_name = function
+  | Eio -> "EIO"
+  | Enospc -> "ENOSPC"
+  | Short_write -> "short-write"
+
+let arm_io t ?(skip = 0) ?(count = 1) kind =
+  if count < 0 || skip < 0 then invalid_arg "Fault.arm_io";
+  t.io_kind <- kind;
+  t.io_left <- count;
+  t.io_skip <- skip
+
+let arm_latency t ~ms ~ops =
+  if ms < 0. || ops < 0 then invalid_arg "Fault.arm_latency";
+  t.latency_ms <- ms;
+  t.latency_left <- ops
+
+let io_pending t = t.io_left > 0
+
 let disarm t =
   t.ops_left <- -1;
   t.point_armed <- None;
   t.point_left <- 0;
-  t.crashed <- false
+  t.crashed <- false;
+  t.io_left <- 0;
+  t.io_skip <- 0;
+  t.latency_left <- 0
 
 let crashed t = t.crashed
 let check t = if t.crashed then raise (Crash "storage handle crashed")
+let set_cancel t c = t.cancel <- c
+
+let cancel_point t =
+  match t.cancel with None -> () | Some c -> Bdbms_util.Cancel.check c
+
+(* Called at the top of each stable-storage operation: injects the armed
+   latency spike and/or transient error.  Deliberately separate from the
+   crash counter — a transient fault heals, a crash does not. *)
+let transient t ~op =
+  if t.latency_left > 0 then begin
+    t.latency_left <- t.latency_left - 1;
+    Unix.sleepf (t.latency_ms /. 1000.)
+  end;
+  if t.io_left > 0 then begin
+    if t.io_skip > 0 then t.io_skip <- t.io_skip - 1
+    else begin
+      t.io_left <- t.io_left - 1;
+      raise (Io { kind = t.io_kind; op })
+    end
+  end
 
 (* How many of [len] bytes of a stable write may land.  When the armed
    operation count is exhausted this marks the injector crashed and

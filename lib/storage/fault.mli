@@ -20,6 +20,16 @@ type point = Catalog_write | Root_swap | Ddl | Evict_writeback | Evict_store
 val point_name : point -> string
 (** Stable human-readable name of a crash point (used in test output). *)
 
+type io_kind = Eio | Enospc | Short_write
+(** Transient I/O fault flavors: generic I/O error, disk full, and a
+    write that lands fewer bytes than asked.  Unlike {!Crash} these are
+    *recoverable* — the armed count of operations fail, then the handle
+    is healthy again; the storage layer's retry loops absorb them. *)
+
+exception Io of { kind : io_kind; op : string }
+
+val io_kind_name : io_kind -> string
+
 type t
 
 val create : unit -> t
@@ -39,11 +49,35 @@ val hit : t -> point -> unit
 (** Declare that execution reached the named logical point.
     @raise Crash if that point is armed (or the injector already crashed). *)
 
+val arm_io : t -> ?skip:int -> ?count:int -> io_kind -> unit
+(** Make the next [count] (default 1) stable-storage operations fail
+    transiently with {!Io}, after letting [skip] (default 0) pass. *)
+
+val arm_latency : t -> ms:float -> ops:int -> unit
+(** Delay the next [ops] stable-storage operations by [ms] each. *)
+
+val io_pending : t -> bool
+(** True while armed transient failures remain to be injected. *)
+
 val disarm : t -> unit
+(** Disarm everything: crash counter, points, transient faults, latency. *)
+
 val crashed : t -> bool
 
 val check : t -> unit
 (** @raise Crash if the injector has crashed. *)
+
+val set_cancel : t -> Bdbms_util.Cancel.t option -> unit
+(** Attach the execution context's cancellation token; retry loops in
+    the backend poll it between backoff sleeps via {!cancel_point}. *)
+
+val cancel_point : t -> unit
+(** @raise Bdbms_util.Cancel.Cancelled if an attached token tripped. *)
+
+val transient : t -> op:string -> unit
+(** Entry hook for each stable-storage operation: sleeps the armed
+    latency spike, then raises {!Io} while armed transient failures
+    remain.  Healthy handles return immediately. *)
 
 val allowance : t -> len:int -> int
 (** How many of [len] bytes of a stable write may land; marks the

@@ -81,6 +81,9 @@ type t = {
       (* observer of clean->dirty frame transitions; the snapshot layer
          captures committed pre-images here.  Receives the resident page
          (not a copy) and must not mutate or retain it. *)
+  mutable p_cancel : Bdbms_util.Cancel.t option;
+      (* cooperative cancellation checked at every pin: a cancelled scan
+         stops before faulting in its next page *)
 }
 
 let create ?(policy = Lru) ?(guard = false) ~capacity src =
@@ -96,9 +99,11 @@ let create ?(policy = Lru) ?(guard = false) ~capacity src =
     pinned_frames = 0;
     guard;
     on_first_dirty = None;
+    p_cancel = None;
   }
 
 let set_on_first_dirty t hook = t.on_first_dirty <- hook
+let set_cancel t c = t.p_cancel <- c
 
 let capacity t = t.cap
 let page_size t = t.src.src_page_size
@@ -247,6 +252,9 @@ let unpin t frame =
   if frame.f_pins = 0 then t.pinned_frames <- t.pinned_frames - 1
 
 let with_pin t ~accounting ~dirty page_id f =
+  (match t.p_cancel with
+  | None -> ()
+  | Some c -> Bdbms_util.Cancel.check c);
   let frame = fetch t ~accounting page_id in
   pin t frame;
   if dirty && not frame.f_dirty then begin

@@ -50,6 +50,11 @@ val set_on_first_dirty : t -> (Page.id -> Page.t -> unit) option -> unit
     callback receives the {e resident} page; it must copy what it wants
     to keep and must not mutate the page or raise. *)
 
+val set_cancel : t -> Bdbms_util.Cancel.t option -> unit
+(** Attach a cooperative cancellation token: every pin checks it, so a
+    cancelled statement stops before faulting in another page.  Pins
+    already held are unaffected (unpin is exception-safe). *)
+
 val with_page : ?accounting:accounting -> t -> Page.id -> (Page.t -> 'a) -> 'a
 (** Pin the frame and run the callback on the resident page.  The page
     must not be mutated (mutations are not marked dirty and are lost at

@@ -105,13 +105,18 @@ let open_reset ~fault ~stats ?obs ?(group_bytes = 64 * 1024) path =
 
 let size t = t.file_bytes + Buffer.length t.buf
 
+(* The batch is captured (and the buffer cleared) before any I/O, and
+   [file_bytes] only advances after the fsync succeeds, so a retried
+   attempt rewrites the same bytes at the same offset — idempotent. *)
 let flush_inner t =
   let batch = Buffer.to_bytes t.buf in
   Buffer.clear t.buf;
-  Backend.guarded_pwrite t.fault t.fd ~off:t.file_bytes batch;
+  Backend.with_io_retry t.fault ?obs:t.obs ~op:"wal-flush" (fun () ->
+      Fault.transient t.fault ~op:"wal-flush";
+      Backend.guarded_pwrite t.fault t.fd ~off:t.file_bytes batch;
+      Fault.guard t.fault;
+      Unix.fsync t.fd);
   t.file_bytes <- t.file_bytes + Bytes.length batch;
-  Fault.guard t.fault;
-  Unix.fsync t.fd;
   Stats.record_wal_flush t.stats
 
 let flush t =
@@ -170,16 +175,20 @@ let commit t =
   append t Commit;
   flush t
 
-(* Empties the log after a checkpoint has made the data pages durable. *)
+(* Empties the log after a checkpoint has made the data pages durable.
+   Truncate-then-rewrite-header is idempotent, so the whole sequence can
+   be retried as one unit. *)
 let reset t =
   Buffer.clear t.buf;
-  Fault.guard t.fault;
-  Unix.ftruncate t.fd 0;
-  t.file_bytes <- 0;
-  Backend.guarded_pwrite t.fault t.fd ~off:0 (Bytes.of_string (header ()));
-  t.file_bytes <- header_len;
-  Fault.guard t.fault;
-  Unix.fsync t.fd
+  Backend.with_io_retry t.fault ?obs:t.obs ~op:"wal-reset" (fun () ->
+      Fault.transient t.fault ~op:"wal-reset";
+      Fault.guard t.fault;
+      Unix.ftruncate t.fd 0;
+      t.file_bytes <- 0;
+      Backend.guarded_pwrite t.fault t.fd ~off:0 (Bytes.of_string (header ()));
+      t.file_bytes <- header_len;
+      Fault.guard t.fault;
+      Unix.fsync t.fd)
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 

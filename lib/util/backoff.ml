@@ -1,0 +1,45 @@
+type policy = {
+  base_ms : float;
+  max_ms : float;
+  multiplier : float;
+  jitter : float;
+  max_attempts : int;
+}
+
+let default =
+  { base_ms = 1.0; max_ms = 40.0; multiplier = 2.0; jitter = 0.3; max_attempts = 6 }
+
+(* Process-local jitter source; seeded once, never user-visible, so it
+   does not disturb the repository's no-global-Random discipline. *)
+let rng = Prng.create 0x5bd1e995
+
+let delay_ms policy ~attempt =
+  if attempt < 1 then invalid_arg "Backoff.delay_ms";
+  let raw = policy.base_ms *. (policy.multiplier ** float_of_int (attempt - 1)) in
+  let capped = Float.min raw policy.max_ms in
+  let spread = capped *. policy.jitter in
+  if spread <= 0. then capped
+  else capped -. spread +. Prng.float rng (2. *. spread)
+
+let budget_ms policy =
+  let total = ref 0. in
+  for attempt = 1 to policy.max_attempts - 1 do
+    let raw = policy.base_ms *. (policy.multiplier ** float_of_int (attempt - 1)) in
+    total := !total +. (Float.min raw policy.max_ms *. (1. +. policy.jitter))
+  done;
+  !total
+
+let retry ?(policy = default) ?(on_retry = fun ~attempt:_ ~delay_ms:_ -> ())
+    ?(before_wait = fun () -> ()) ~retryable f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception e when attempt < policy.max_attempts && retryable e ->
+        let d = delay_ms policy ~attempt in
+        on_retry ~attempt ~delay_ms:d;
+        before_wait ();
+        Unix.sleepf (d /. 1000.);
+        before_wait ();
+        go (attempt + 1)
+  in
+  go 1

@@ -1,0 +1,40 @@
+(** Bounded jittered exponential backoff for transient-fault retry.
+
+    The storage layer retries idempotent I/O (full-page store, fsync,
+    truncate, WAL batch write) through {!retry}; the client REPL reuses
+    the same policy for retryable server frames.  The default budget is
+    deliberately small — worst-case total sleep under {!default} is
+    ~80ms — so a statement deadline of 100ms+ still bounds end-to-end
+    latency at well under twice the deadline. *)
+
+type policy = {
+  base_ms : float;  (** first delay *)
+  max_ms : float;  (** per-delay cap *)
+  multiplier : float;  (** geometric growth factor *)
+  jitter : float;  (** +- fraction of the capped delay *)
+  max_attempts : int;  (** total tries including the first *)
+}
+
+val default : policy
+(** 1ms base, x2 growth, 40ms cap, 30% jitter, 6 attempts. *)
+
+val delay_ms : policy -> attempt:int -> float
+(** Jittered delay to sleep after failed [attempt] (1-based).
+    @raise Invalid_argument if [attempt < 1]. *)
+
+val budget_ms : policy -> float
+(** Worst-case total sleep across all retries (jitter at +max). *)
+
+val retry :
+  ?policy:policy ->
+  ?on_retry:(attempt:int -> delay_ms:float -> unit) ->
+  ?before_wait:(unit -> unit) ->
+  retryable:(exn -> bool) ->
+  (unit -> 'a) ->
+  'a
+(** Run [f]; on an exception accepted by [retryable], sleep and try
+    again up to [policy.max_attempts] total attempts, then let the
+    last exception fly.  [on_retry] observes each retry (metrics);
+    [before_wait] runs around each sleep — the storage layer uses it
+    as a cancellation checkpoint so a deadline can cut a retry loop
+    short. *)

@@ -1,0 +1,42 @@
+exception Cancelled of string
+
+type t = {
+  mutable deadline_ns : int; (* max_int = no deadline armed *)
+  mutable reason : string option; (* set once tripped; sticky until [clear] *)
+}
+
+let create () = { deadline_ns = max_int; reason = None }
+let armed t = t.deadline_ns <> max_int || t.reason <> None
+
+let cancel t reason =
+  if t.reason = None then t.reason <- Some reason
+
+let clear t =
+  t.deadline_ns <- max_int;
+  t.reason <- None
+
+let set_deadline_ms t ms =
+  if ms < 0. then invalid_arg "Cancel.set_deadline_ms";
+  t.deadline_ns <- Timer.now_ns () + int_of_float (ms *. 1e6)
+
+let check t =
+  match t.reason with
+  | Some r -> raise (Cancelled r)
+  | None ->
+      if t.deadline_ns <> max_int && Timer.now_ns () >= t.deadline_ns then begin
+        let r = "statement timeout" in
+        t.reason <- Some r;
+        raise (Cancelled r)
+      end
+
+let with_deadline t ?timeout_ms f =
+  match timeout_ms with
+  | None -> f ()
+  | Some ms ->
+      let saved_deadline = t.deadline_ns and saved_reason = t.reason in
+      set_deadline_ms t ms;
+      Fun.protect
+        ~finally:(fun () ->
+          t.deadline_ns <- saved_deadline;
+          t.reason <- saved_reason)
+        f

@@ -1,0 +1,41 @@
+(** Cooperative cancellation tokens with optional deadlines.
+
+    One token lives in each execution context; hot loops call {!check}
+    at coarse checkpoints (every N rows, every batch, every page pin).
+    The disarmed path is two field loads and a compare — cheap enough
+    to leave the checkpoints unconditionally compiled in.
+
+    A deadline of [0ms] fires at the very first checkpoint (the
+    comparison is [>=]), which makes timeout tests deterministic. *)
+
+type t
+
+exception Cancelled of string
+(** Raised by {!check} once the token is tripped.  The reason is a
+    human-readable cause ("statement timeout", "server shutdown"...). *)
+
+val create : unit -> t
+(** A fresh token, disarmed. *)
+
+val armed : t -> bool
+(** True when a deadline is set or the token was cancelled — lets
+    callers skip building checked pipelines entirely when idle. *)
+
+val cancel : t -> string -> unit
+(** Trip the token manually (first reason wins); the next {!check}
+    raises.  Safe to call from another thread. *)
+
+val clear : t -> unit
+(** Disarm: drop the deadline and any pending cancellation. *)
+
+val set_deadline_ms : t -> float -> unit
+(** Arm a deadline [ms] from now.  @raise Invalid_argument if negative. *)
+
+val check : t -> unit
+(** Checkpoint: raises {!Cancelled} if tripped or past the deadline,
+    else returns immediately. *)
+
+val with_deadline : t -> ?timeout_ms:float -> (unit -> 'a) -> 'a
+(** Run [f] with a deadline armed (no-op when [timeout_ms] is [None]);
+    the previous deadline/cancellation state is restored on exit, even
+    by exception. *)

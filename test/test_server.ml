@@ -68,12 +68,24 @@ let request_gen =
     oneof
       [
         map (fun user -> P.Hello { user }) raw_string;
-        map (fun sql -> P.Query { sql }) raw_string;
+        map (fun sql -> P.Query { sql; timeout_ms = None }) raw_string;
+        map2
+          (fun sql ms -> P.Query { sql; timeout_ms = Some ms })
+          raw_string (int_bound 1_000_000);
         map (fun name -> P.Control { name }) raw_string;
       ])
 
 let all_codes =
-  [| P.E_internal; P.E_exec; P.E_conflict; P.E_busy; P.E_auth; P.E_proto |]
+  [|
+    P.E_internal;
+    P.E_exec;
+    P.E_conflict;
+    P.E_busy;
+    P.E_auth;
+    P.E_proto;
+    P.E_timeout;
+    P.E_degraded;
+  |]
 
 let response_gen =
   QCheck.Gen.(
@@ -527,6 +539,170 @@ let test_concurrent_clients () =
   Engine.close engine;
   cleanup path
 
+(* ------------------------------------------- resilience over the wire *)
+
+let with_server ?idle_timeout_s f =
+  let path = tmp_path () in
+  let sock = path ^ ".sock" in
+  let engine = Engine.create ~path () in
+  let server = Server.create ?idle_timeout_s engine in
+  Server.listen_unix server sock;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Server.stop server with _ -> ());
+      (try Engine.close engine with _ -> ());
+      cleanup path)
+    (fun () -> f ~engine ~server ~sock)
+
+let raw_connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+(* Frames are a byte stream, not datagrams: a server must reassemble a
+   frame dribbled one byte at a time across many [read]s. *)
+let test_byte_at_a_time () =
+  with_server (fun ~engine ~server:_ ~sock ->
+      exec engine "CREATE TABLE bt (n INT)";
+      let fd = raw_connect sock in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let dribble req =
+            let b = P.encode_request req in
+            Bytes.iteri
+              (fun i _ ->
+                ignore (Unix.write fd b i 1);
+                if i land 3 = 0 then Thread.yield ())
+              b
+          in
+          dribble (P.Hello { user = "admin" });
+          (match P.recv_response fd with
+          | Some (P.Hello_ok _) -> ()
+          | _ -> Alcotest.fail "expected Hello_ok");
+          dribble
+            (P.Query { sql = "INSERT INTO bt VALUES (1)"; timeout_ms = None });
+          (match P.recv_response fd with
+          | Some (P.Count { affected = 1; _ }) -> ()
+          | _ -> Alcotest.fail "expected Count 1");
+          (* the deadline-carrying 0x04 frame survives dribbling too *)
+          dribble
+            (P.Query { sql = "SELECT * FROM bt"; timeout_ms = Some 60_000 });
+          match P.recv_response fd with
+          | Some (P.Rows _) -> ()
+          | _ -> Alcotest.fail "expected Rows"))
+
+(* A client that stops mid-frame (slow loris) must be reaped by the idle
+   timeout: its open transaction rolls back, and the engine keeps
+   serving other clients — no wedged session, no leaked lock. *)
+let test_midframe_stall_reaped () =
+  with_server ~idle_timeout_s:0.2 (fun ~engine ~server:_ ~sock ->
+      exec engine "CREATE TABLE lor (n INT)";
+      let fd = raw_connect sock in
+      let send req =
+        let b = P.encode_request req in
+        ignore (Unix.write fd b 0 (Bytes.length b))
+      in
+      send (P.Hello { user = "admin" });
+      (match P.recv_response fd with
+      | Some (P.Hello_ok _) -> ()
+      | _ -> Alcotest.fail "expected Hello_ok");
+      send (P.Query { sql = "BEGIN"; timeout_ms = None });
+      ignore (P.recv_response fd);
+      send (P.Query { sql = "INSERT INTO lor VALUES (1)"; timeout_ms = None });
+      ignore (P.recv_response fd);
+      (* now stall: two bytes of a frame header, then silence *)
+      ignore (Unix.write fd (Bytes.of_string "\x00\x00") 0 2);
+      let reaped =
+        match P.recv_response fd with
+        | None -> true (* server closed the connection *)
+        | Some _ -> false
+        | exception (P.Protocol_error _ | Unix.Unix_error _ | End_of_file) ->
+            true
+      in
+      checkb "stalled connection reaped" true reaped;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (* the reaped session's transaction rolled back; the engine serves *)
+      let c = Client.connect_unix sock in
+      hello_ok c ~user:"admin";
+      checks "stalled txn rolled back" "n\n(0 rows)"
+        (String.trim (rendered_of (query_ok c "SELECT * FROM lor")));
+      ignore (query_ok c "INSERT INTO lor VALUES (2)");
+      Client.close c)
+
+(* Deadline expiry over the wire: the error frame carries [E_timeout]
+   (not retryable — the same deadline would blow again), the statement
+   rolled back, and the session survives. *)
+let test_wire_timeout_roundtrip () =
+  with_server (fun ~engine ~server:_ ~sock ->
+      exec engine "CREATE TABLE wt (n INT)";
+      exec engine "INSERT INTO wt VALUES (1)";
+      let c = Client.connect_unix sock in
+      hello_ok c ~user:"admin";
+      (* a 0ms deadline cancels at the very first checkpoint *)
+      (match Client.query c ~timeout_ms:0 "SELECT * FROM wt" with
+      | P.Error_resp { code = P.E_timeout; _ } ->
+          checkb "timeout not retryable" false (P.code_retryable P.E_timeout)
+      | _ -> Alcotest.fail "expected E_timeout");
+      (* the session survives and the engine still answers *)
+      ignore (query_ok c "SELECT * FROM wt");
+      (* inside a transaction: expiry fails the txn; ROLLBACK recovers *)
+      ignore (query_ok c "BEGIN");
+      (match Client.query c ~timeout_ms:0 "INSERT INTO wt VALUES (2)" with
+      | P.Error_resp { code = P.E_timeout; _ } -> ()
+      | _ -> Alcotest.fail "expected E_timeout in txn");
+      (match Client.query c "INSERT INTO wt VALUES (3)" with
+      | P.Error_resp { code = P.E_exec; _ } -> ()
+      | _ -> Alcotest.fail "aborted txn must refuse statements");
+      ignore (query_ok c "ROLLBACK");
+      checks "timed-out writes rolled back" "n\n1\n(1 rows)"
+        (String.trim (rendered_of (query_ok c "SELECT * FROM wt")));
+      (* session-default deadline via the control op round-trips *)
+      (match Client.control c "timeout 0" with
+      | P.Message _ -> ()
+      | _ -> Alcotest.fail "expected timeout ack");
+      (match Client.query c "SELECT * FROM wt" with
+      | P.Error_resp { code = P.E_timeout; _ } -> ()
+      | _ -> Alcotest.fail "session default deadline must apply");
+      (match Client.control c "timeout off" with
+      | P.Message _ -> ()
+      | _ -> Alcotest.fail "expected timeout-off ack");
+      ignore (query_ok c "SELECT * FROM wt");
+      Client.close c)
+
+(* Graceful drain: stop accepting, roll back what is still open, join
+   every thread — and leave the engine (and its file lock) to the
+   caller, who can keep using it. *)
+let test_graceful_drain () =
+  with_server (fun ~engine ~server ~sock ->
+      exec engine "CREATE TABLE dr (n INT)";
+      let c = Client.connect_unix sock in
+      hello_ok c ~user:"admin";
+      ignore (query_ok c "BEGIN");
+      ignore (query_ok c "INSERT INTO dr VALUES (1)");
+      Server.drain ~grace_s:0.2 server;
+      (* the drained client's connection is dead *)
+      let dead =
+        match Client.query c "SELECT * FROM dr" with
+        | exception (P.Protocol_error _ | Unix.Unix_error _ | End_of_file) ->
+            true
+        | P.Error_resp _ -> true
+        | _ -> false
+      in
+      checkb "connection cut by drain" true dead;
+      Client.close c;
+      (* no new connections are accepted *)
+      checkb "listener closed" true
+        (match Client.connect_unix sock with
+        | exception Unix.Unix_error _ -> true
+        | c2 ->
+            Client.close c2;
+            false);
+      (* the open transaction was rolled back and the engine still works *)
+      checks "open txn rolled back" "n\n(0 rows)"
+        (String.trim (render engine "SELECT * FROM dr"));
+      exec engine "INSERT INTO dr VALUES (2)")
+
 (* ------------------------------------------------------------- fuzz *)
 
 let fuzz_on = Sys.getenv_opt "BDBMS_FUZZ_SERVER" = Some "1"
@@ -748,6 +924,15 @@ let () =
         [
           Alcotest.test_case "concurrent clients vs oracle" `Quick
             test_concurrent_clients;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "byte-at-a-time frames" `Quick test_byte_at_a_time;
+          Alcotest.test_case "mid-frame stall reaped" `Quick
+            test_midframe_stall_reaped;
+          Alcotest.test_case "deadline over the wire" `Quick
+            test_wire_timeout_roundtrip;
+          Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
         ] );
       ("fuzz", fuzz_cases);
     ]
