@@ -38,6 +38,9 @@
      E17 fault-tolerance machinery         (statement-deadline checkpoints
                                             + I/O retry wrappers: armed
                                             overhead guarded at 5%)
+     E18 cost-based join ordering          (ANALYZE statistics vs FROM
+                                            order on a skewed 3-table
+                                            join; guards stats >= 2x)
 
    Usage:
      dune exec bench/main.exe                 # all paper experiments
@@ -64,6 +67,7 @@ let experiments =
     ("E15", E15_server.run);
     ("E16", E16_batch.run);
     ("E17", E17_resilience.run);
+    ("E18", E18_optimizer.run);
   ]
 
 (* ------------------------------------------------- bechamel micro-bench *)

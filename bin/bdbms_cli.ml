@@ -113,6 +113,13 @@ let repl db ~user =
     | "\\trace json" ->
         print_endline (Db.trace_json db);
         loop ()
+    | "\\analyze" ->
+        run_statement db ~user ~timing:!timing "ANALYZE;";
+        loop ()
+    | line when String.length line > 9 && String.sub line 0 9 = "\\analyze " ->
+        let arg = String.trim (String.sub line 9 (String.length line - 9)) in
+        run_statement db ~user ~timing:!timing ("ANALYZE " ^ arg ^ ";");
+        loop ()
     | "\\exec" ->
         Printf.printf "exec mode: %s\n"
           (Bdbms_asql.Context.exec_mode_name (Db.exec_mode db));
@@ -266,6 +273,13 @@ let remote_repl client ~user ~session =
         loop ()
     | "\\ping" ->
         print_response (Client.control client "ping");
+        loop ()
+    | "\\analyze" ->
+        remote_statement client ~timing:!timing ~in_txn "ANALYZE;";
+        loop ()
+    | line when String.length line > 9 && String.sub line 0 9 = "\\analyze " ->
+        let arg = String.trim (String.sub line 9 (String.length line - 9)) in
+        remote_statement client ~timing:!timing ~in_txn ("ANALYZE " ^ arg ^ ";");
         loop ()
     | "\\exec" ->
         print_response (Client.control client "exec");

@@ -24,6 +24,8 @@ module Timer = Bdbms_util.Timer
 type node = {
   label : string;
   est_rows : float; (* planner estimate; nan = no estimate available *)
+  est_src : string option; (* "stats" / "heuristic"; None = not applicable *)
+  table : string option; (* base table this node scans, for drift feedback *)
   mutable actual_rows : int;
   mutable loops : int; (* times the operator was (re)started *)
   mutable batches : int; (* column batches produced (vectorized path) *)
@@ -37,10 +39,12 @@ type t = { stats : Stats.t; mutable root : node option }
 
 let create stats = { stats; root = None }
 
-let node ?(est_rows = Float.nan) ?(children = []) label =
+let node ?(est_rows = Float.nan) ?est_src ?table ?(children = []) label =
   {
     label;
     est_rows;
+    est_src;
+    table;
     actual_rows = 0;
     loops = 0;
     batches = 0;
@@ -145,6 +149,11 @@ let render ?total_ns ?returned root_node =
     let est =
       if Float.is_nan n.est_rows then "est. rows=?"
       else Printf.sprintf "est. rows=%.0f" n.est_rows
+    in
+    let est =
+      match n.est_src with
+      | None -> est
+      | Some s -> Printf.sprintf "%s, est src=%s" est s
     in
     let batches =
       if n.batches > 0 then Printf.sprintf ", batches=%d" n.batches else ""

@@ -12,6 +12,12 @@
 type node = {
   label : string;
   est_rows : float;  (** planner estimate; [nan] = none available *)
+  est_src : string option;
+      (** where the estimate came from ([Plan.est_src_name]); rendered as
+          [est src=...] next to the estimate *)
+  table : string option;
+      (** base table a scan node reads — the adaptive-feedback walk uses
+          it to attribute estimate drift to a table's statistics *)
   mutable actual_rows : int;
   mutable loops : int;
   mutable batches : int;  (** column batches produced (vectorized path) *)
@@ -26,7 +32,13 @@ type t
 val create : Bdbms_storage.Stats.t -> t
 (** A recorder reading deltas off the given live counters. *)
 
-val node : ?est_rows:float -> ?children:node list -> string -> node
+val node :
+  ?est_rows:float ->
+  ?est_src:string ->
+  ?table:string ->
+  ?children:node list ->
+  string ->
+  node
 val set_root : t -> node -> unit
 val root : t -> node option
 val add_child : node -> node -> unit

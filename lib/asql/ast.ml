@@ -118,3 +118,5 @@ type statement =
   | Describe of string
   | Copy_from of { table : string; path : string; format : copy_format }
   | Copy_to of { table : string; path : string; format : copy_format }
+  | Analyze_stats of string option
+      (** ANALYZE [table]: (re)build optimizer statistics; [None] = all tables *)

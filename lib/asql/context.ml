@@ -57,6 +57,9 @@ type t = {
   mutable exec_mode : exec_mode;
   mutable batch_rows : int;
   indexes : (string, index_def) Hashtbl.t;
+  tstats : Bdbms_stats.Registry.t;
+      (* per-table optimizer statistics (ANALYZE results + DML deltas);
+         persisted through the durable catalog as opaque blobs *)
   obs : Obs.t;
   cancel : Cancel.t;
       (* cooperative cancellation/deadline token shared with the pager
@@ -131,6 +134,7 @@ let create ?(page_size = 4096) ?pool_pages ?policy ?path ?disk ?fault ?obs ()
     exec_mode = `Batch;
     batch_rows = 1024;
     indexes;
+    tstats = Bdbms_stats.Registry.create ();
     obs;
     cancel;
     read_only = None;
@@ -175,7 +179,8 @@ let persist_catalog t =
   if durable t then
     Obs.timed t.obs t.obs.Obs.root_swap_hist "catalog.root_swap" (fun () ->
         Meta_page.write_root t.disk
-          (Durable_catalog.encode (components t) ~indexes:(index_infos t)))
+          (Durable_catalog.encode (components t) ~indexes:(index_infos t)
+             ~stats:(Bdbms_stats.Registry.encode_all t.tstats)))
 
 let bootstrap t =
   Obs.span t.obs "catalog.bootstrap" @@ fun () ->
@@ -187,7 +192,10 @@ let bootstrap t =
   with
   | None -> 0
   | Some blob ->
-      let infos, count = Durable_catalog.restore t.bp (components t) blob in
+      let infos, stats_blobs, count =
+        Durable_catalog.restore t.bp (components t) blob
+      in
+      Bdbms_stats.Registry.restore t.tstats stats_blobs;
       List.iter
         (fun (ix : Durable_catalog.index_info) ->
           Hashtbl.replace t.indexes (norm ix.ix_name)

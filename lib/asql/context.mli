@@ -54,6 +54,11 @@ type t = {
           tests use 1 as the degenerate case) *)
   indexes : (string, index_def) Hashtbl.t;
       (** by lowercase index name *)
+  tstats : Bdbms_stats.Registry.t;
+      (** per-table optimizer statistics: ANALYZE results maintained
+          incrementally by the DML paths, consumed by [Plan]/[Cost] for
+          selectivity and join ordering, persisted through the durable
+          catalog as opaque versioned blobs *)
   obs : Bdbms_obs.Obs.t;
       (** trace spans + metrics; shared with the disk manager and WAL,
           and carried across [Db.rollback]'s context recreation *)

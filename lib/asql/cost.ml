@@ -6,12 +6,29 @@ module Ann_store = Bdbms_annotation.Ann_store
 
 type estimate = { rows : float; pages : float }
 
+type warning = Unknown_table of string
+
+let warning_text = function
+  | Unknown_table t ->
+      Printf.sprintf "warning: unknown table %s - estimates default to zero" t
+
 (* selectivity heuristics live in Plan so the optimizer and EXPLAIN agree *)
 let selectivity = Plan.selectivity
 let awhere_selectivity = 0.5
 let distinct_factor = 0.8
 
-type node = { label : string; est : estimate; children : node list }
+type node = {
+  label : string;
+  est : estimate;
+  src : Plan.est_src;
+      (* every node carries its estimate source: [Stats] only when all
+         the statistics feeding its estimate came from ANALYZE *)
+  children : node list;
+}
+
+(* a derived estimate is stats-sourced only when both inputs are *)
+let meet a b =
+  match (a, b) with Plan.Stats, Plan.Stats -> Plan.Stats | _ -> Plan.Heuristic
 
 (* Annotation-store page accounting for a FROM item: an unindexed
    annotation lookup rescans the store per row. *)
@@ -38,12 +55,15 @@ let ann_cost (ctx : Context.t) (f : Ast.from_item) rows =
       ( pages *. Float.max 1.0 rows,
         Printf.sprintf " ANNOTATION(%s)" (String.concat "," names) )
 
-let scan_node (ctx : Context.t) (f : Ast.from_item) =
+let scan_node ?(warn = fun _ -> ()) (ctx : Context.t) (f : Ast.from_item) =
   match Catalog.find ctx.catalog f.Ast.table with
   | None ->
+      (* surfaced as a typed warning, not silently folded into zeros *)
+      warn (Unknown_table f.Ast.table);
       {
         label = Printf.sprintf "SCAN %s  (unknown table!)" f.Ast.table;
         est = { rows = 0.0; pages = 0.0 };
+        src = Plan.Heuristic;
         children = [];
       }
   | Some table ->
@@ -53,6 +73,7 @@ let scan_node (ctx : Context.t) (f : Ast.from_item) =
       {
         label = Printf.sprintf "SCAN %s%s" f.Ast.table ann_label;
         est = { rows; pages = pages +. ann_pages };
+        src = Plan.Heuristic;
         children = [];
       }
 
@@ -70,6 +91,7 @@ let source_node ctx (src : Plan.source) =
         {
           label = Printf.sprintf "SCAN %s%s" f.Ast.table ann_label;
           est = { rows = table_rows; pages = table_pages +. ann_pages };
+          src = src.Plan.est_src;
           children = [];
         }
     | Plan.Index_probe { index; value = _ } ->
@@ -79,20 +101,25 @@ let source_node ctx (src : Plan.source) =
               index.Context.idx_name index.Context.idx_column ann_label;
           est =
             {
-              rows = table_rows *. 0.10;
+              rows = src.Plan.access_est;
               pages = Float.min table_pages 4.0 +. ann_pages;
             };
+          src = src.Plan.est_src;
           children = [];
         }
   in
   match src.Plan.pushed with
   | [] -> scan
   | es ->
+      let sel =
+        let ts = Bdbms_stats.Registry.find ctx.Context.tstats
+            (Table.name src.Plan.table) in
+        Plan.conjuncts_selectivity_for ts ~schema:src.Plan.schema es
+      in
       {
-        label =
-          Printf.sprintf "WHERE (selectivity %.2f)"
-            (Plan.conjuncts_selectivity es);
+        label = Printf.sprintf "WHERE (selectivity %.2f)" sel;
         est = { rows = src.Plan.est_rows; pages = scan.est.pages };
+        src = src.Plan.est_src;
         children = [ scan ];
       }
 
@@ -105,9 +132,10 @@ let step_node ctx joined_schema acc (step : Plan.step) =
     if post_sel > 0.0 then step.Plan.est_rows /. post_sel
     else step.Plan.est_rows
   in
+  let jsrc = meet acc.src right.src in
   let joined =
     match step.Plan.kind with
-    | Plan.Hash { left_cols; right_cols; build_left } ->
+    | Plan.Hash { left_cols; right_cols; build_left; left_acc_cols = _ } ->
         let col p = (Schema.column_at joined_schema p).Schema.name in
         let keys =
           List.map2
@@ -120,12 +148,14 @@ let step_node ctx joined_schema acc (step : Plan.step) =
               (String.concat ", " keys)
               (if build_left then "left" else "right");
           est = { rows = join_rows; pages = acc.est.pages +. right.est.pages };
+          src = jsrc;
           children = [ acc; right ];
         }
     | Plan.Nested ->
         {
           label = "BLOCK NESTED-LOOP JOIN";
           est = { rows = join_rows; pages = acc.est.pages +. right.est.pages };
+          src = jsrc;
           children = [ acc; right ];
         }
   in
@@ -137,6 +167,7 @@ let step_node ctx joined_schema acc (step : Plan.step) =
           Printf.sprintf "POST-JOIN WHERE (selectivity %.2f)"
             (Plan.conjuncts_selectivity es);
         est = { rows = step.Plan.est_rows; pages = joined.est.pages };
+        src = jsrc;
         children = [ joined ];
       }
 
@@ -172,11 +203,17 @@ let planned_from_where ctx (sel : Ast.select) =
 
 (* Legacy FROM/WHERE rendering: flat nested-loop fold with the whole WHERE
    applied on top.  Used for unknown tables and unresolvable predicates. *)
-let legacy_from_where ctx (sel : Ast.select) =
-  let scans = List.map (scan_node ctx) sel.Ast.from in
+let legacy_from_where ?warn ctx (sel : Ast.select) =
+  let scans = List.map (scan_node ?warn ctx) sel.Ast.from in
   let joined =
     match scans with
-    | [] -> { label = "EMPTY"; est = { rows = 0.0; pages = 0.0 }; children = [] }
+    | [] ->
+        {
+          label = "EMPTY";
+          est = { rows = 0.0; pages = 0.0 };
+          src = Plan.Heuristic;
+          children = [];
+        }
     | [ s ] -> s
     | first :: rest ->
         List.fold_left
@@ -188,6 +225,7 @@ let legacy_from_where ctx (sel : Ast.select) =
                   rows = acc.est.rows *. s.est.rows;
                   pages = acc.est.pages +. s.est.pages;
                 };
+              src = meet acc.src s.src;
               children = [ acc; s ];
             })
           first rest
@@ -199,14 +237,15 @@ let legacy_from_where ctx (sel : Ast.select) =
       {
         label = Printf.sprintf "WHERE (selectivity %.2f)" sel_f;
         est = { joined.est with rows = joined.est.rows *. sel_f };
+        src = joined.src;
         children = [ joined ];
       }
 
-let rec select_node ctx (sel : Ast.select) =
+let rec select_node ?warn ctx (sel : Ast.select) =
   let with_where =
     match planned_from_where ctx sel with
     | Some n -> n
-    | None -> legacy_from_where ctx sel
+    | None -> legacy_from_where ?warn ctx sel
   in
   let with_awhere =
     match sel.Ast.awhere with
@@ -215,6 +254,7 @@ let rec select_node ctx (sel : Ast.select) =
         {
           label = Format.asprintf "AWHERE %a" Bdbms_annotation.Ann_pred.pp p;
           est = { with_where.est with rows = with_where.est.rows *. awhere_selectivity };
+          src = with_where.src;
           children = [ with_where ];
         }
   in
@@ -225,6 +265,7 @@ let rec select_node ctx (sel : Ast.select) =
       {
         label = Printf.sprintf "GROUP BY %s" (String.concat "," sel.Ast.group_by);
         est = { with_awhere.est with rows = groups };
+        src = with_awhere.src;
         children = [ with_awhere ];
       }
   in
@@ -235,6 +276,7 @@ let rec select_node ctx (sel : Ast.select) =
         (if sel.Ast.items = [ Ast.Star ] then "PROJECT *"
          else Printf.sprintf "PROJECT (%d items)" item_count);
       est = with_group.est;
+      src = with_group.src;
       children = [ with_group ];
     }
   in
@@ -245,6 +287,7 @@ let rec select_node ctx (sel : Ast.select) =
         {
           label = Format.asprintf "FILTER %a" Bdbms_annotation.Ann_pred.pp p;
           est = projected.est;
+          src = projected.src;
           children = [ projected ];
         }
   in
@@ -253,6 +296,7 @@ let rec select_node ctx (sel : Ast.select) =
       {
         label = "DISTINCT";
         est = { with_filter.est with rows = with_filter.est.rows *. distinct_factor };
+        src = with_filter.src;
         children = [ with_filter ];
       }
     else with_filter
@@ -268,26 +312,29 @@ let rec select_node ctx (sel : Ast.select) =
             with_distinct.est with
             rows = Float.min with_distinct.est.rows (float_of_int (max 0 k));
           };
+        src = with_distinct.src;
         children = [ with_distinct ];
       }
   | _, None ->
       {
         label = "SORT";
         est = with_distinct.est;
+        src = with_distinct.src;
         children = [ with_distinct ];
       }
 
-and query_node ctx = function
-  | Ast.Select sel -> select_node ctx sel
+and query_node ?warn ctx = function
+  | Ast.Select sel -> select_node ?warn ctx sel
   | Ast.Union (a, b) ->
-      let na = query_node ctx a and nb = query_node ctx b in
+      let na = query_node ?warn ctx a and nb = query_node ?warn ctx b in
       {
         label = "UNION";
         est = { rows = na.est.rows +. nb.est.rows; pages = na.est.pages +. nb.est.pages };
+        src = meet na.src nb.src;
         children = [ na; nb ];
       }
   | Ast.Intersect (a, b) ->
-      let na = query_node ctx a and nb = query_node ctx b in
+      let na = query_node ?warn ctx a and nb = query_node ?warn ctx b in
       {
         label = "INTERSECT";
         est =
@@ -295,26 +342,34 @@ and query_node ctx = function
             rows = Float.min na.est.rows nb.est.rows *. 0.5;
             pages = na.est.pages +. nb.est.pages;
           };
+        src = meet na.src nb.src;
         children = [ na; nb ];
       }
   | Ast.Except (a, b) ->
-      let na = query_node ctx a and nb = query_node ctx b in
+      let na = query_node ?warn ctx a and nb = query_node ?warn ctx b in
       {
         label = "EXCEPT";
         est = { rows = na.est.rows *. 0.5; pages = na.est.pages +. nb.est.pages };
+        src = meet na.src nb.src;
         children = [ na; nb ];
       }
 
 let estimate_query ctx q = (query_node ctx q).est
 
+let warnings ctx q =
+  let ws = ref [] in
+  ignore (query_node ~warn:(fun w -> ws := w :: !ws) ctx q);
+  List.rev !ws
+
 let explain ctx q =
   let buf = Buffer.create 256 in
+  let ws = ref [] in
   let rec render prefix is_last node =
     Buffer.add_string buf prefix;
     Buffer.add_string buf (if prefix = "" then "" else if is_last then "`- " else "|- ");
     Buffer.add_string buf
-      (Printf.sprintf "%s  (est. rows=%.0f, pages=%.0f)\n" node.label node.est.rows
-         node.est.pages);
+      (Printf.sprintf "%s  (est. rows=%.0f, pages=%.0f, est src=%s)\n"
+         node.label node.est.rows node.est.pages (Plan.est_src_name node.src));
     let child_prefix =
       if prefix = "" then "  " else prefix ^ (if is_last then "   " else "|  ")
     in
@@ -327,5 +382,10 @@ let explain ctx q =
     in
     go node.children
   in
-  render "" true (query_node ctx q);
+  render "" true (query_node ~warn:(fun w -> ws := w :: !ws) ctx q);
+  List.iter
+    (fun w ->
+      Buffer.add_string buf (warning_text w);
+      Buffer.add_char buf '\n')
+    (List.rev !ws);
   Buffer.contents buf

@@ -4,7 +4,8 @@
     cost estimate function, and algebraic properties" as an open issue;
     this module supplies the cost-estimate part: per-operator cardinality
     and page-access estimates from catalog statistics, rendered as an
-    EXPLAIN tree.  Estimates use textbook selectivity heuristics
+    EXPLAIN tree.  Estimates use per-table ANALYZE statistics
+    when available and fall back to textbook selectivity heuristics
     (equality 10%, range 30%, LIKE 25%, AWHERE 50%). *)
 
 type estimate = {
@@ -12,10 +13,23 @@ type estimate = {
   pages : float;    (** estimated page accesses *)
 }
 
+type warning = Unknown_table of string
+    (** The cost model had to fabricate a 0-row leaf because the table
+        does not exist — the estimate tree is built on sand. *)
+
+val warning_text : warning -> string
+(** Human-readable one-liner, as appended to EXPLAIN output. *)
+
 val estimate_query : Context.t -> Ast.query -> estimate
 (** Root estimate (errors on unknown tables are folded into 0-cost
     leaves so EXPLAIN never fails on a typo — the tree shows the
     problem). *)
 
+val warnings : Context.t -> Ast.query -> warning list
+(** The typed warnings EXPLAIN would print for this query. *)
+
 val explain : Context.t -> Ast.query -> string
-(** The full plan tree with per-operator estimates. *)
+(** The full plan tree with per-operator estimates, each node tagged
+    with its estimate source ([est src=stats] when every input to the
+    node carried ANALYZE statistics, [heuristic] otherwise), followed
+    by any {!warning} lines. *)

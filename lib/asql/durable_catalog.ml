@@ -59,6 +59,7 @@ let tag_monitored = 14
 let tag_approval_entry = 15
 let tag_approval_next = 16
 let tag_index = 17
+let tag_table_stats = 18
 
 (* ------------------------------------------------------------ writing *)
 
@@ -211,7 +212,7 @@ let cell r =
 
 (* -------------------------------------------------------------- encode *)
 
-let encode comps ~indexes =
+let encode comps ~indexes ~stats =
   let out = Buffer.create 4096 in
   let count = ref 0 in
   let payload = Buffer.create 512 in
@@ -379,6 +380,11 @@ let encode comps ~indexes =
           add_str b ix.ix_table;
           add_str b ix.ix_column))
     (List.sort (fun a b -> String.compare a.ix_name b.ix_name) indexes);
+  (* optimizer statistics: one opaque versioned blob per analyzed table,
+     produced by Bdbms_stats.Registry (already sorted by table name) *)
+  List.iter
+    (fun blob -> record tag_table_stats (fun b -> Buffer.add_string b blob))
+    stats;
   let header = Buffer.create 12 in
   Buffer.add_string header magic;
   add_u32 header version;
@@ -497,6 +503,7 @@ let restore bp comps blob =
   if v <> version then malformed "unsupported catalog version %d" v;
   let count = u32 r in
   let indexes = ref [] in
+  let stats = ref [] in
   for _ = 1 to count do
     let tag = u8 r in
     let len = u32 r in
@@ -565,6 +572,7 @@ let restore bp comps blob =
       let ix_column = str pr in
       indexes := { ix_name; ix_table; ix_column } :: !indexes
     end
+    else if tag = tag_table_stats then stats := payload :: !stats
     (* else: record written by a newer engine — skip *)
   done;
-  (List.rev !indexes, count)
+  (List.rev !indexes, List.rev !stats, count)

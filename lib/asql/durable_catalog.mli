@@ -37,15 +37,20 @@ type components = {
   dc_approval : Bdbms_auth.Approval.t;
 }
 
-val encode : components -> indexes:index_info list -> Bytes.t
+val encode : components -> indexes:index_info list -> stats:string list -> Bytes.t
 (** Deterministic: dumps are sorted, so identical metadata encodes to
-    identical bytes. *)
+    identical bytes.  [stats] carries the optimizer-statistics blobs
+    (one opaque, internally versioned record per analyzed table,
+    produced by [Bdbms_stats.Registry.encode_all]) — the catalog frames
+    them under its own tag without looking inside. *)
 
 val restore :
-  Bdbms_storage.Pager.t -> components -> Bytes.t -> index_info list * int
+  Bdbms_storage.Pager.t -> components -> Bytes.t ->
+  index_info list * string list * int
 (** Feed a blob back into freshly created (empty) components; returns
-    the index definitions to re-register and the number of catalog
-    records replayed.  Procedure chains are rebound against the
+    the index definitions to re-register, the opaque statistics blobs
+    to hand back to [Bdbms_stats.Registry.restore], and the number of
+    catalog records replayed.  Procedure chains are rebound against the
     tracker's registry by name: a procedure registered before restore
     (e.g. the built-in bio tools) keeps its executable body and adopts
     the persisted version; a missing one becomes a non-executable

@@ -27,6 +27,9 @@ module Approval = Bdbms_auth.Approval
 module Clock = Bdbms_util.Clock
 module Timer = Bdbms_util.Timer
 module Obs = Bdbms_obs.Obs
+module Metrics = Bdbms_obs.Metrics
+module Tstats = Bdbms_stats.Table_stats
+module Stats_reg = Bdbms_stats.Registry
 
 type outcome =
   | Rows of Propagate.t
@@ -281,23 +284,31 @@ let order_cmp schema specs =
    Returns (scan, top); they are the same node when nothing was pushed. *)
 let analyze_source_nodes (src : Plan.source) =
   let table_rows = float_of_int (Table.live_count src.Plan.table) in
+  let est_src = Plan.est_src_name src.Plan.est_src in
+  let table = src.Plan.item.Ast.table in
   let scan =
     match src.Plan.access with
     | Plan.Seq_scan ->
-        Analyze.node ~est_rows:table_rows
+        Analyze.node ~est_rows:table_rows ~est_src ~table
           (Printf.sprintf "SCAN %s" src.Plan.item.Ast.table)
     | Plan.Index_probe { index; value = _ } ->
-        Analyze.node ~est_rows:(table_rows *. 0.10)
+        Analyze.node ~est_rows:src.Plan.access_est ~est_src ~table
           (Printf.sprintf "INDEX SCAN %s via %s(%s)" src.Plan.item.Ast.table
              index.Context.idx_name index.Context.idx_column)
   in
   match src.Plan.pushed with
   | [] -> (scan, scan)
   | es ->
+      (* the estimates already folded the stats-aware selectivity in;
+         display the implied ratio so the label matches [Cost]'s *)
+      let sel =
+        if table_rows > 0.0 then src.Plan.est_rows /. table_rows
+        else Plan.conjuncts_selectivity es
+      in
       let top =
-        Analyze.node ~est_rows:src.Plan.est_rows ~children:[ scan ]
-          (Printf.sprintf "WHERE (selectivity %.2f)"
-             (Plan.conjuncts_selectivity es))
+        Analyze.node ~est_rows:src.Plan.est_rows ~est_src ~table
+          ~children:[ scan ]
+          (Printf.sprintf "WHERE (selectivity %.2f)" sel)
       in
       (scan, top)
 
@@ -312,7 +323,7 @@ let analyze_step_nodes schema acc_n (step : Plan.step) right_n =
   in
   let join_label =
     match step.Plan.kind with
-    | Plan.Hash { left_cols; right_cols; build_left } ->
+    | Plan.Hash { left_cols; left_acc_cols = _; right_cols; build_left } ->
         let col p = (Schema.column_at schema p).Schema.name in
         let keys =
           List.map2
@@ -323,18 +334,34 @@ let analyze_step_nodes schema acc_n (step : Plan.step) right_n =
           (if build_left then "left" else "right")
     | Plan.Nested -> "BLOCK NESTED-LOOP JOIN"
   in
+  let jsrc =
+    match (acc_n.Analyze.est_src, right_n.Analyze.est_src) with
+    | Some "stats", Some "stats" -> "stats"
+    | _ -> "heuristic"
+  in
   let join_n =
-    Analyze.node ~est_rows:join_rows ~children:[ acc_n; right_n ] join_label
+    Analyze.node ~est_rows:join_rows ~est_src:jsrc ~children:[ acc_n; right_n ]
+      join_label
   in
   match step.Plan.post with
   | [] -> (join_n, join_n)
   | es ->
       let top =
-        Analyze.node ~est_rows:step.Plan.est_rows ~children:[ join_n ]
+        Analyze.node ~est_rows:step.Plan.est_rows ~est_src:jsrc
+          ~children:[ join_n ]
           (Printf.sprintf "POST-JOIN WHERE (selectivity %.2f)"
              (Plan.conjuncts_selectivity es))
       in
       (join_n, top)
+
+(* Canonical-order restore for permuted plans: the pipeline's accumulated
+   layout is the slices in join order, but every column keeps its (unique,
+   possibly alias-prefixed) frame name, so one projection by the frame
+   schema's names puts FROM order back before the shared tail runs. *)
+let frame_names (plan : Plan.t) =
+  List.map
+    (fun (c : Schema.column) -> c.Schema.name)
+    (Schema.columns plan.Plan.schema)
 
 (* Materialized-path metering: evaluate [f] under [n], charging its rows
    and runtime to the node (no-op without a recorder). *)
@@ -707,10 +734,11 @@ and exec_select_annotated ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
         let right, right_n = source_atuples step.Plan.src in
         let join () =
           match step.Plan.kind with
-          | Plan.Hash { left_cols; right_cols; build_left } ->
+          | Plan.Hash { left_cols = _; left_acc_cols; right_cols; build_left }
+            ->
               let off = step.Plan.src.Plan.offset in
               hash_join_atuples ?on_pair:(cancel_hook ctx) stats ~build_left
-                ~left_cols
+                ~left_cols:left_acc_cols
                 ~right_cols:(List.map (fun c -> c - off) right_cols)
                 acc right
           | Plan.Nested ->
@@ -735,13 +763,21 @@ and exec_select_annotated ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
       (source_atuples plan.Plan.base)
       plan.Plan.steps
   in
+  let joined =
+    if plan.Plan.permuted then Propagate.project joined (frame_names plan)
+    else joined
+  in
   analyze_finish an joined_n (fun () -> finish_select sel joined plan.Plan.prefixes)
 
 (* Pipelined execution over bare tuples (no annotation operators in the
    query, no outdated marks): volcano cursors end to end, the [Propagate]
    envelope is attached only to the final result. *)
 and exec_select_plain ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
-  plain_tail ctx plan sel (tuple_pipeline ctx plan)
+  let cur, plan_n = tuple_pipeline ctx plan in
+  let cur =
+    if plan.Plan.permuted then Cursor.project cur (frame_names plan) else cur
+  in
+  plain_tail ctx plan sel (cur, plan_n)
 
 (* Vectorized execution over column batches: same plan, same tail, but
    scans decode page-at-a-time into column vectors and WHERE/JOIN run
@@ -754,10 +790,17 @@ and exec_select_batch ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
       Stats.record_batch_fallback (Disk.stats ctx.Context.disk);
       exec_select_plain ctx plan sel
   | Some (bsrc, plan_n) ->
-      (* [to_cursor] is lazy, so the tail's tuple-level stages (group-by,
-         DISTINCT, LIMIT) pull batches on demand; the aggregate and
-         top-k stages bypass it and consume [bsrc] directly. *)
-      plain_tail ~batched:bsrc ctx plan sel (Vexec.to_cursor bsrc, plan_n)
+      if plan.Plan.permuted then
+        (* the batch tail operators consume columns positionally, so a
+           reordered plan goes through the boxed cursor view with one
+           restoring projection instead *)
+        plain_tail ctx plan sel
+          (Cursor.project (Vexec.to_cursor bsrc) (frame_names plan), plan_n)
+      else
+        (* [to_cursor] is lazy, so the tail's tuple-level stages (group-by,
+           DISTINCT, LIMIT) pull batches on demand; the aggregate and
+           top-k stages bypass it and consume [bsrc] directly. *)
+        plain_tail ~batched:bsrc ctx plan sel (Vexec.to_cursor bsrc, plan_n)
 
 (* The volcano operator pipeline for one plan: scans, pushed-down
    filters and joins, each metered under EXPLAIN ANALYZE.  Returns the
@@ -821,9 +864,10 @@ and tuple_pipeline ctx (plan : Plan.t) =
         let right, right_n = source_cursor step.Plan.src in
         let joined =
           match step.Plan.kind with
-          | Plan.Hash { left_cols; right_cols; build_left } ->
+          | Plan.Hash { left_cols = _; left_acc_cols; right_cols; build_left }
+            ->
               let off = step.Plan.src.Plan.offset in
-              Cursor.hash_join ~stats ~build_left ~left_keys:left_cols
+              Cursor.hash_join ~stats ~build_left ~left_keys:left_acc_cols
                 ~right_keys:(List.map (fun c -> c - off) right_cols)
                 acc right
           | Plan.Nested ->
@@ -913,10 +957,11 @@ and batch_pipeline ?need ctx (plan : Plan.t) =
           let right, right_n = source_batches step.Plan.src in
           let joined =
             match step.Plan.kind with
-            | Plan.Hash { left_cols; right_cols; build_left } ->
+            | Plan.Hash { left_cols = _; left_acc_cols; right_cols; build_left }
+              ->
                 let off = step.Plan.src.Plan.offset in
                 Vexec.hash_join ~stats ~batch_rows ~build_left
-                  ~left_keys:left_cols
+                  ~left_keys:left_acc_cols
                   ~right_keys:(List.map (fun c -> c - off) right_cols)
                   acc right
             | Plan.Nested -> assert false (* excluded above *)
@@ -1406,6 +1451,7 @@ let do_insert (ctx : Context.t) ~user ~table:table_name values =
         in
         let row = ok_or_fail (Table.insert table tuple) in
         index_note_insert ctx ~table:table_name ~row tuple;
+        Stats_reg.note_insert ctx.Context.tstats table_name tuple;
         ignore (Approval.log_insert ctx.approval ~table:table_name ~row ~user);
         row)
       values
@@ -1488,6 +1534,7 @@ let do_update (ctx : Context.t) ~user ~table:table_name sets where =
           let old_value = ok_or_fail (Table.update_cell table ~row ~col value) in
           index_note_update ctx ~table:table_name ~row ~column:cname ~old_value
             ~new_value:value;
+          Stats_reg.note_update ctx.Context.tstats table_name ~col value;
           ignore
             (Approval.log_update ctx.approval ~table:table_name ~row ~col
                ~column_name:cname ~old_value ~user);
@@ -1512,6 +1559,7 @@ let do_delete (ctx : Context.t) ~user ~table:table_name where =
     (fun (row, tuple) ->
       ignore (Table.delete table row);
       index_note_delete ctx ~table:table_name ~row tuple;
+      Stats_reg.note_delete ctx.Context.tstats table_name tuple;
       ignore (Approval.log_delete ctx.approval ~table:table_name ~row ~old_tuple:tuple ~user);
       (* dependents of a deleted row cannot be recomputed: mark them *)
       let arity = Schema.arity (Table.schema table) in
@@ -1793,6 +1841,34 @@ let show_outdated (ctx : Context.t) table_name =
   in
   Rows { Propagate.schema = out_schema; rows }
 
+(* ---------------------------------------------------- ANALYZE statistics *)
+
+(* (Re)compute one table's statistics from a full scan of its live rows,
+   register them, and bump the counters.  Returns the row count. *)
+let analyze_table (ctx : Context.t) name =
+  let table = find_table ctx name in
+  let rows =
+    List.rev (Table.fold table ~init:[] ~f:(fun acc _row tuple -> tuple :: acc))
+  in
+  let ts =
+    Tstats.analyze ~table:(Table.name table) ~schema:(Table.schema table) ~rows
+  in
+  Stats_reg.set ctx.Context.tstats ts;
+  Stats.record_stats_analyzed (Disk.stats ctx.Context.disk);
+  Metrics.inc ctx.Context.obs.Obs.stats_analyzed_c;
+  List.length rows
+
+(* Adaptive feedback, second half: tables whose statistics drifted get
+   re-analyzed at the next statement boundary ([Db.exec] calls this after
+   each successful statement).  Dropped tables just lose their entry. *)
+let reanalyze_stale (ctx : Context.t) =
+  List.iter
+    (fun (ts : Tstats.t) ->
+      if Catalog.exists ctx.Context.catalog ts.Tstats.table then
+        ignore (analyze_table ctx ts.Tstats.table)
+      else Stats_reg.remove ctx.Context.tstats ts.Tstats.table)
+    (Stats_reg.stale ctx.Context.tstats)
+
 (* -------------------------------------------------------- explain analyze *)
 
 (* Run a query with the EXPLAIN ANALYZE recorder installed, returning the
@@ -1812,9 +1888,35 @@ let analyze_query (ctx : Context.t) ~user (q : Ast.query) =
       in
       (Analyze.root an, result, elapsed))
 
+(* Adaptive feedback, first half: walk the recorded tree and compare each
+   table-attributed node's estimate with what actually came out of it.  A
+   drift beyond [drift_ratio] in either direction means the statistics no
+   longer describe the data; mark them stale so the next statement
+   boundary re-analyzes. *)
+let drift_ratio = 4.0
+
+let note_estimate_drift (ctx : Context.t) root =
+  let rec walk (n : Analyze.node) =
+    (match n.Analyze.table with
+    | Some table
+      when (not (Float.is_nan n.Analyze.est_rows)) && n.Analyze.loops > 0 ->
+        let est = Float.max 1.0 n.Analyze.est_rows in
+        let actual = Float.max 1.0 (float_of_int n.Analyze.actual_rows) in
+        let ratio = Float.max (est /. actual) (actual /. est) in
+        if ratio > drift_ratio && Stats_reg.mark_stale ctx.Context.tstats table
+        then begin
+          Stats.record_stats_stale (Disk.stats ctx.Context.disk);
+          Metrics.inc ctx.Context.obs.Obs.stats_stale_c
+        end
+    | _ -> ());
+    List.iter walk n.Analyze.children
+  in
+  walk root
+
 let explain_analyze ctx ~user q =
   match analyze_query ctx ~user q with
   | Some root, result, elapsed ->
+      note_estimate_drift ctx root;
       Analyze.render ~total_ns:elapsed
         ~returned:(Propagate.row_count result)
         root
@@ -1840,9 +1942,25 @@ let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
       Message (Printf.sprintf "table %s created" name)
   | Ast.Drop_table name ->
       ddl_hit ctx;
-      if Catalog.drop_table ctx.catalog name then
+      if Catalog.drop_table ctx.catalog name then begin
+        Stats_reg.remove ctx.Context.tstats name;
         Message (Printf.sprintf "table %s dropped" name)
+      end
       else fail "unknown table %s" name
+  | Ast.Analyze_stats target ->
+      let tables =
+        match target with
+        | Some name -> [ Table.name (find_table ctx name) ]
+        | None -> Catalog.table_names ctx.catalog
+      in
+      List.iter (fun t -> check_acl ctx ~user Acl.Select ~table:t ()) tables;
+      let total =
+        List.fold_left (fun acc name -> acc + analyze_table ctx name) 0 tables
+      in
+      Message
+        (Printf.sprintf "analyzed %d table%s (%d rows)" (List.length tables)
+           (if List.length tables = 1 then "" else "s")
+           total)
   | Ast.Insert { table; values } ->
       let rows = do_insert ctx ~user ~table values in
       Count { affected = List.length rows; verb = "inserted" }

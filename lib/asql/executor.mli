@@ -40,6 +40,12 @@ val analyze_query :
     is [EXPLAIN ANALYZE] before rendering; exposed so tests can compare
     per-node actuals against the naive oracle. *)
 
+val reanalyze_stale : Context.t -> unit
+(** Re-run ANALYZE for every registered table whose statistics are marked
+    stale (by DML churn or EXPLAIN ANALYZE drift feedback); entries for
+    dropped tables are discarded.  [Db.exec] calls this at each statement
+    boundary. *)
+
 val run : Context.t -> user:string -> string -> (outcome, string) result
 (** Parse then execute one statement. *)
 

@@ -750,6 +750,14 @@ let parse_statement_inner st =
     | `To -> Ast.Copy_to { table; path; format }
   end
   else if try_kw st "DESCRIBE" then Ast.Describe (ident st)
+  else if try_kw st "ANALYZE" then begin
+    (* ANALYZE [table] -- bare ANALYZE covers every table *)
+    match peek st with
+    | Lexer.Ident s when not (List.mem (String.uppercase_ascii s) reserved) ->
+        advance st;
+        Ast.Analyze_stats (Some s)
+    | _ -> Ast.Analyze_stats None
+  end
   else if try_kw st "VALIDATE" then begin
     let table = ident st in
     eat_kw st "ROW";

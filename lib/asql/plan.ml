@@ -2,11 +2,18 @@ module Schema = Bdbms_relation.Schema
 module Expr = Bdbms_relation.Expr
 module Value = Bdbms_relation.Value
 module Table = Bdbms_relation.Table
+module Disk = Bdbms_storage.Disk
+module SStats = Bdbms_storage.Stats
+module Obs = Bdbms_obs.Obs
+module Metrics = Bdbms_obs.Metrics
+module Tstats = Bdbms_stats.Table_stats
+module Registry = Bdbms_stats.Registry
 
 (* ------------------------------------------------------------ selectivity *)
 
-(* Heuristic selectivities (textbook constants); also used by the cost
-   model's EXPLAIN estimates. *)
+(* Heuristic selectivities (textbook constants) — the fallback when a
+   table has never been ANALYZEd; also used by the cost model's EXPLAIN
+   estimates. *)
 let rec selectivity = function
   | Expr.Cmp (Expr.Eq, _, _) -> 0.10
   | Expr.Cmp (Expr.Neq, _, _) -> 0.90
@@ -23,6 +30,24 @@ let rec selectivity = function
 
 let conjuncts_selectivity es =
   List.fold_left (fun acc e -> acc *. selectivity e) 1.0 es
+
+type est_src = Stats | Heuristic
+
+let est_src_name = function Stats -> "stats" | Heuristic -> "heuristic"
+
+(* One conjunct against one table: real statistics when the table was
+   ANALYZEd and the expression shape is covered, heuristic constant
+   otherwise. *)
+let conjunct_selectivity ts ~schema e =
+  match ts with
+  | None -> selectivity e
+  | Some ts -> (
+      match Tstats.selectivity ts ~schema e with
+      | Some s -> s
+      | None -> selectivity e)
+
+let conjuncts_selectivity_for ts ~schema es =
+  List.fold_left (fun acc e -> acc *. conjunct_selectivity ts ~schema e) 1.0 es
 
 (* --------------------------------------------------------------- the frame *)
 
@@ -97,12 +122,19 @@ type source = {
   offset : int;
   schema : Schema.t;
   access : access;
+  access_est : float;
   pushed : Expr.t list;
   est_rows : float;
+  est_src : est_src;
 }
 
 type join_kind =
-  | Hash of { left_cols : int list; right_cols : int list; build_left : bool }
+  | Hash of {
+      left_cols : int list;
+      left_acc_cols : int list;
+      right_cols : int list;
+      build_left : bool;
+    }
   | Nested
 
 type step = { src : source; kind : join_kind; post : Expr.t list; est_rows : float }
@@ -112,6 +144,8 @@ type t = {
   steps : step list;
   schema : Schema.t;
   prefixes : string list;
+  order : int list;
+  permuted : bool;
 }
 
 let rec split_conjuncts = function
@@ -123,7 +157,8 @@ type classified =
   | Pushed of int * Expr.t
   | Edge of { lo : int; lo_col : int; hi : int; hi_col : int }
       (* equi-join edge, absolute column positions, [lo < hi] source order *)
-  | Deferred of int * Expr.t  (* applied once source [i] has been joined *)
+  | Deferred of int list * Expr.t
+      (* applied once every source in the (sorted) list has been joined *)
 
 let classify frame conjunct =
   let source_of pos =
@@ -148,10 +183,12 @@ let classify frame conjunct =
       (* orient the edge so [lo] is the earlier FROM item *)
       if sa = i then Edge { lo = i; lo_col = pa; hi = j; hi_col = pb }
       else Edge { lo = i; lo_col = pb; hi = j; hi_col = pa }
-  | is, _ -> Deferred (List.fold_left max 0 is, conjunct)
+  | is, _ -> Deferred (is, conjunct)
 
 (* An equality [col = literal] usable as an index probe, in slice-local
-   terms: the pushed conjuncts reference slice column names. *)
+   terms: the pushed conjuncts reference slice column names.  Returns the
+   probing conjunct alongside the access path so the caller can estimate
+   its selectivity. *)
 let probe_of_pushed ctx (f : Ast.from_item) base_schema slice pushed =
   List.find_map
     (fun e ->
@@ -166,7 +203,7 @@ let probe_of_pushed ctx (f : Ast.from_item) base_schema slice pushed =
                    if
                      String.lowercase_ascii idx.Context.idx_column
                      = String.lowercase_ascii base_col
-                   then Some (Index_probe { index = idx; value = v })
+                   then Some (Index_probe { index = idx; value = v }, e)
                    else None)
       in
       match e with
@@ -186,72 +223,214 @@ let build ctx frame ~where =
       (function Pushed (j, e) when j = i -> Some e | _ -> None)
       classified
   in
-  let deferred_for i =
-    List.filter_map
-      (function Deferred (j, e) when j = i -> Some e | _ -> None)
-      classified
-  in
-  let edges_for i =
-    List.filter_map
-      (function
-        | Edge { lo = _; lo_col; hi; hi_col } when hi = i -> Some (lo_col, hi_col)
-        | _ -> None)
-      classified
+  let stats_for =
+    List.map
+      (fun ((_ : Ast.from_item), table) ->
+        Registry.find ctx.Context.tstats (Table.name table))
+      frame.entries
+    |> Array.of_list
   in
   let sources =
     List.mapi
       (fun i ((f : Ast.from_item), table) ->
+        let ts = stats_for.(i) in
         let offset, slice = List.nth frame.slices i in
         let pushed = pushed_for i in
-        let access =
+        let live = float_of_int (Table.live_count table) in
+        let est_rows = live *. conjuncts_selectivity_for ts ~schema:slice pushed in
+        let access, access_est =
           match probe_of_pushed ctx f (Table.schema table) slice pushed with
-          | Some probe -> probe
-          | None -> Seq_scan
+          | None -> (Seq_scan, live)
+          | Some (probe, conjunct) ->
+              let probe_sel =
+                match ts with
+                | None -> 0.10
+                | Some ts -> (
+                    match Tstats.selectivity ts ~schema:slice conjunct with
+                    | Some s -> s
+                    | None -> 0.10)
+              in
+              (* a probe fetching most of the table is worse than the
+                 scan it would save *)
+              if probe_sel > 0.5 then (Seq_scan, live)
+              else (probe, live *. probe_sel)
         in
-        let est_rows =
-          float_of_int (Table.live_count table) *. conjuncts_selectivity pushed
-        in
+        let est_src = match ts with Some _ -> Stats | None -> Heuristic in
         { item = f; table; prefix = item_prefix f; offset; schema = slice;
-          access; pushed; est_rows })
+          access; access_est; pushed; est_rows; est_src })
       frame.entries
   in
-  match sources with
-  | [] -> invalid_arg "Plan.build: empty FROM"
-  | base :: rest ->
-      (* left-deep, in FROM order (preserves the naive evaluator's output
-         schema); the accumulated estimate picks each step's build side *)
-      let _, rev_steps =
-        List.fold_left
-          (fun (acc_est, acc_steps) (i, (src : source)) ->
-            let edges = edges_for i in
-            let post = deferred_for i in
-            let kind =
-              match edges with
-              | [] -> Nested
-              | _ ->
-                  Hash
-                    {
-                      left_cols = List.map fst edges;
-                      right_cols = List.map snd edges;
-                      (* build the smaller input *)
-                      build_left = acc_est <= src.est_rows;
-                    }
+  if sources = [] then invalid_arg "Plan.build: empty FROM";
+  let srcs = Array.of_list sources in
+  let nsrc = Array.length srcs in
+  let all_edges =
+    List.filter_map
+      (function
+        | Edge { lo; lo_col; hi; hi_col } -> Some (lo, lo_col, hi, hi_col)
+        | _ -> None)
+      classified
+  in
+  let deferreds =
+    List.filter_map (function Deferred (is, e) -> Some (is, e) | _ -> None)
+      classified
+  in
+  let all_stats = Array.for_all (fun s -> s.est_src = Stats) srcs in
+  (* Join selectivity of one equi-edge: 1 / max(ndv_left, ndv_right)
+     when both endpoint columns carry statistics, the 0.10 textbook
+     constant otherwise. *)
+  let edge_sel (lo, lo_col, hi, hi_col) =
+    let ndv_of i col =
+      match stats_for.(i) with
+      | Some ts ->
+          let local = col - srcs.(i).offset in
+          if local >= 0 && local < Array.length ts.Tstats.columns then
+            Some (Tstats.ndv ts.Tstats.columns.(local))
+          else None
+      | None -> None
+    in
+    match (ndv_of lo lo_col, ndv_of hi hi_col) with
+    | Some a, Some b -> 1.0 /. Float.max 1.0 (Float.max a b)
+    | _ -> 0.10
+  in
+  (* ------------------------------------------------------ join order *)
+  let identity = List.init nsrc Fun.id in
+  let order =
+    if nsrc < 2 || not all_stats then identity
+    else begin
+      (* greedy bottom-up: start from the smallest filtered source, then
+         repeatedly append the source minimizing the next intermediate
+         estimate, preferring sources connected to the joined set by an
+         equi-edge (avoids gratuitous cross products) *)
+      let chosen = Array.make nsrc false in
+      let start = ref 0 in
+      for j = 1 to nsrc - 1 do
+        if srcs.(j).est_rows < srcs.(!start).est_rows then start := j
+      done;
+      chosen.(!start) <- true;
+      let acc_est = ref (Float.max 1.0 srcs.(!start).est_rows) in
+      let order = ref [ !start ] in
+      for _ = 2 to nsrc do
+        let best = ref (-1) in
+        let best_cost = ref infinity in
+        let best_connected = ref false in
+        for j = 0 to nsrc - 1 do
+          if not chosen.(j) then begin
+            let es =
+              List.filter
+                (fun (lo, _, hi, _) ->
+                  (chosen.(lo) && hi = j) || (chosen.(hi) && lo = j))
+                all_edges
             in
-            let join_sel =
-              match edges with
-              | [] -> 1.0
-              | es -> Float.pow 0.10 (float_of_int (List.length es))
+            let sel = List.fold_left (fun acc e -> acc *. edge_sel e) 1.0 es in
+            let connected = es <> [] in
+            let cost = !acc_est *. Float.max 1.0 srcs.(j).est_rows *. sel in
+            let better =
+              if connected && not !best_connected then true
+              else if connected = !best_connected then cost < !best_cost
+              else false
             in
-            let est_rows =
-              acc_est *. Float.max 1.0 src.est_rows *. join_sel
-              *. conjuncts_selectivity post
-            in
-            (est_rows, { src; kind; post; est_rows } :: acc_steps))
-          (Float.max 1.0 base.est_rows, [])
-          (List.mapi (fun k src -> (k + 1, src)) rest)
-      in
-      { base; steps = List.rev rev_steps; schema = frame.schema;
-        prefixes = frame.prefixes }
+            if !best < 0 || better then begin
+              best := j;
+              best_cost := cost;
+              best_connected := connected
+            end
+          end
+        done;
+        chosen.(!best) <- true;
+        acc_est := Float.max 1.0 !best_cost;
+        order := !best :: !order
+      done;
+      List.rev !order
+    end
+  in
+  let permuted = order <> identity in
+  if permuted then begin
+    SStats.record_plan_reordered (Disk.stats ctx.Context.disk);
+    Metrics.inc ctx.Context.obs.Obs.plans_reordered_c
+  end;
+  (* --------------------------------------- steps along the join order *)
+  (* accumulated-schema offset of each source: sum of the arities of the
+     sources placed before it in join order *)
+  let acc_offset = Array.make nsrc 0 in
+  let running = ref 0 in
+  List.iter
+    (fun i ->
+      acc_offset.(i) <- !running;
+      running := !running + Schema.arity srcs.(i).schema)
+    order;
+  let joined = Array.make nsrc false in
+  let base = srcs.(List.hd order) in
+  joined.(List.hd order) <- true;
+  let emitted = Array.make (List.length deferreds) false in
+  let _, rev_steps =
+    List.fold_left
+      (fun (acc_est, acc_steps) j ->
+        let src = srcs.(j) in
+        (* edges connecting the new source to the already-joined set,
+           oriented left = joined side, right = new source *)
+        let edges =
+          List.filter_map
+            (fun (lo, lo_col, hi, hi_col) ->
+              if joined.(lo) && hi = j then Some ((lo, lo_col), (hi, hi_col))
+              else if joined.(hi) && lo = j then
+                Some ((hi, hi_col), (lo, lo_col))
+              else None)
+            all_edges
+        in
+        joined.(j) <- true;
+        (* deferred conjuncts that become evaluable at this step *)
+        let post =
+          List.concat
+            (List.mapi
+               (fun k (is, e) ->
+                 if
+                   (not emitted.(k))
+                   && List.for_all (fun i -> joined.(i)) is
+                 then begin
+                   emitted.(k) <- true;
+                   [ e ]
+                 end
+                 else [])
+               deferreds)
+        in
+        let kind =
+          match edges with
+          | [] -> Nested
+          | _ ->
+              Hash
+                {
+                  left_cols = List.map (fun ((_, c), _) -> c) edges;
+                  left_acc_cols =
+                    List.map
+                      (fun ((li, c), _) ->
+                        acc_offset.(li) + (c - srcs.(li).offset))
+                      edges;
+                  right_cols = List.map (fun (_, (_, c)) -> c) edges;
+                  (* build the smaller input *)
+                  build_left = acc_est <= src.est_rows;
+                }
+        in
+        let join_sel =
+          match edges with
+          | [] -> 1.0
+          | es ->
+              if all_stats then
+                List.fold_left
+                  (fun acc ((li, lc), (ri, rc)) ->
+                    acc *. edge_sel (li, lc, ri, rc))
+                  1.0 es
+              else Float.pow 0.10 (float_of_int (List.length es))
+        in
+        let est_rows =
+          acc_est *. Float.max 1.0 src.est_rows *. join_sel
+          *. conjuncts_selectivity post
+        in
+        (est_rows, { src; kind; post; est_rows } :: acc_steps))
+      (Float.max 1.0 base.est_rows, [])
+      (List.tl order)
+  in
+  { base; steps = List.rev rev_steps; schema = frame.schema;
+    prefixes = frame.prefixes; order; permuted }
 
 let out_est plan =
   match List.rev plan.steps with

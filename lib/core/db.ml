@@ -213,11 +213,22 @@ let with_stmt_deadline t f =
   | None -> f ()
   | Some ms -> Context.with_deadline t.ctx ~timeout_ms:ms f
 
+(* Adaptive-optimizer housekeeping at the statement boundary: tables whose
+   statistics went stale (DML churn or EXPLAIN ANALYZE drift feedback) are
+   re-analyzed before the commit, so the refreshed statistics ride the
+   same durable catalog write.  Best-effort: a failure here must never
+   fail the statement that triggered it. *)
+let refresh_stale_stats t = function
+  | Ok _ when t.degraded = None -> (
+      try Executor.reanalyze_stale t.ctx with _ -> ())
+  | _ -> ()
+
 let exec t ?(user = Context.superuser) sql =
   guard t (fun () ->
       observed t sql (fun () ->
           protected t (fun () ->
               let r = with_stmt_deadline t (fun () -> Executor.run t.ctx ~user sql) in
+              refresh_stale_stats t r;
               autocommit t r;
               r)))
 
@@ -234,6 +245,7 @@ let exec_script t ?(user = Context.superuser) sql =
                 with_stmt_deadline t (fun () ->
                     Executor.run_script t.ctx ~user sql)
               in
+              refresh_stale_stats t r;
               autocommit t r;
               r)))
 

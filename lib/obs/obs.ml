@@ -31,6 +31,9 @@ type t = {
   io_gave_up_c : Metrics.counter;
   stmts_timed_out_c : Metrics.counter;
   degraded_entries_c : Metrics.counter;
+  stats_analyzed_c : Metrics.counter;
+  stats_stale_c : Metrics.counter;
+  plans_reordered_c : Metrics.counter;
 }
 
 let create ?capacity () =
@@ -86,6 +89,16 @@ let create ?capacity () =
   let degraded_entries_c =
     counter "bdbms_degraded_entries_total" "Times the engine entered degraded mode"
   in
+  let stats_analyzed_c =
+    counter "bdbms_stats_analyzed_total" "Tables (re)analyzed for optimizer statistics"
+  in
+  let stats_stale_c =
+    counter "bdbms_stats_stale_total" "Table statistics declared stale"
+  in
+  let plans_reordered_c =
+    counter "bdbms_plans_reordered_total"
+      "Query plans whose join order differs from FROM order"
+  in
   {
     trace = Trace.create ?capacity ();
     metrics;
@@ -104,6 +117,9 @@ let create ?capacity () =
     io_gave_up_c;
     stmts_timed_out_c;
     degraded_entries_c;
+    stats_analyzed_c;
+    stats_stale_c;
+    plans_reordered_c;
   }
 
 let span t name f = Trace.with_span t.trace name f

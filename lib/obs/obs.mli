@@ -34,6 +34,12 @@ type t = {
       (** statements aborted by their deadline *)
   degraded_entries_c : Metrics.counter;
       (** times the engine entered degraded mode *)
+  stats_analyzed_c : Metrics.counter;
+      (** tables (re)analyzed for optimizer statistics *)
+  stats_stale_c : Metrics.counter;
+      (** table statistics declared stale *)
+  plans_reordered_c : Metrics.counter;
+      (** plans whose join order differs from FROM order *)
 }
 
 val create : ?capacity:int -> unit -> t

@@ -51,6 +51,11 @@ let classify (stmt : Ast.statement) =
       writes ~reads:(select_tables on) (List.map fst targets)
   | Ast.Copy_from { table; _ } -> writes [ table ]
   | Ast.Copy_to { table; _ } -> reads [ table ]
+  (* ANALYZE mutates shared planner state (the stats registry + durable
+     catalog): one table conflicts like a write to it, ANALYZE-all like
+     DDL. *)
+  | Ast.Analyze_stats (Some table) -> writes ~reads:[ table ] [ table ]
+  | Ast.Analyze_stats None -> ddl
   | Ast.Show_pending _ | Ast.Show_outdated _ | Ast.Show_dependencies
   | Ast.Show_provenance _ | Ast.Show_tables | Ast.Describe _ ->
       none

@@ -1,0 +1,50 @@
+module Value = Bdbms_relation.Value
+
+type t = { bounds : Value.t array }
+
+let build ?(buckets = 32) vals =
+  let n = Array.length vals in
+  if n = 0 then None
+  else begin
+    let vals = Array.copy vals in
+    Array.sort Value.compare vals;
+    let nb = max 1 (min buckets n) in
+    let bounds =
+      Array.init (nb + 1) (fun i ->
+          if i = nb then vals.(n - 1) else vals.(i * n / nb))
+    in
+    Some { bounds }
+  end
+
+let of_bounds bounds = if Array.length bounds < 2 then None else Some { bounds }
+
+(* Fraction of one bucket's rows lying below [v] when the bucket spans
+   [lo, hi]: linear interpolation when both endpoints are numeric and
+   distinct, midpoint otherwise. *)
+let within lo hi v =
+  match (lo, hi) with
+  | (Value.VInt _ | Value.VFloat _), (Value.VInt _ | Value.VFloat _) ->
+      let lo = Value.as_float lo and hi = Value.as_float hi in
+      let v = try Value.as_float v with Invalid_argument _ -> lo in
+      if hi > lo then Float.min 1.0 (Float.max 0.0 ((v -. lo) /. (hi -. lo)))
+      else 0.5
+  | _ -> 0.5
+
+let frac_below t v ~strict =
+  let nb = Array.length t.bounds - 1 in
+  let below_bound b =
+    let c = Value.compare v b in
+    if strict then c <= 0 else c < 0
+  in
+  if below_bound t.bounds.(0) then 0.0
+  else if not (below_bound t.bounds.(nb)) then 1.0
+  else begin
+    (* first bucket whose upper bound v does not exceed *)
+    let i = ref 0 in
+    while not (below_bound t.bounds.(!i + 1)) do incr i done;
+    (float_of_int !i +. within t.bounds.(!i) t.bounds.(!i + 1) v)
+    /. float_of_int nb
+  end
+
+let frac_lt t v = frac_below t v ~strict:true
+let frac_le t v = frac_below t v ~strict:false

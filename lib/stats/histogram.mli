@@ -1,0 +1,25 @@
+(** Equi-depth histogram over one column's non-null values.
+
+    [bounds] holds [nb + 1] non-decreasing boundary values; bucket [i]
+    covers the half-open value range ([bounds.(i)], [bounds.(i+1)]] and
+    each bucket holds roughly [1/nb] of the rows.  Ordering is
+    {!Bdbms_relation.Value.compare} (total across type tags), and
+    within-bucket positions interpolate numerically for INT/FLOAT
+    boundaries, falling back to the bucket midpoint otherwise. *)
+
+type t = { bounds : Bdbms_relation.Value.t array }
+
+val build : ?buckets:int -> Bdbms_relation.Value.t array -> t option
+(** Build from a column's non-null values (any order; copied and sorted
+    internally).  [None] when there are no values.  Default 32 buckets,
+    clamped to the value count. *)
+
+val of_bounds : Bdbms_relation.Value.t array -> t option
+(** Rebuild from persisted boundaries ([None] when fewer than 2). *)
+
+val frac_lt : t -> Bdbms_relation.Value.t -> float
+(** Estimated fraction of rows strictly below [v], in [0, 1] and
+    monotone in [v]. *)
+
+val frac_le : t -> Bdbms_relation.Value.t -> float
+(** Estimated fraction of rows at or below [v]. *)

@@ -1,0 +1,64 @@
+(* HyperLogLog sketch: p = 10 index bits, m = 1024 one-byte registers. *)
+
+let p = 10
+let m = 1 lsl p
+
+type t = Bytes.t
+
+let create () = Bytes.make m '\000'
+let copy = Bytes.copy
+
+(* FNV-1a, 64-bit.  Hashtbl.hash folds only a prefix of long strings
+   and yields 30-bit values — useless for distinguishing millions of
+   keys — so we hash properly here. *)
+let fnv1a (s : string) : int64 =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let add t key =
+  let h = fnv1a key in
+  let idx = Int64.to_int (Int64.logand h (Int64.of_int (m - 1))) in
+  let rest = Int64.shift_right_logical h p in
+  (* rank = 1-based position of the lowest set bit of the remaining
+     54 hash bits (capped when they are all zero) *)
+  let rank =
+    let rec go i =
+      if i >= 64 - p then (64 - p) + 1
+      else if Int64.logand (Int64.shift_right_logical rest i) 1L = 1L then i + 1
+      else go (i + 1)
+    in
+    go 0
+  in
+  if rank > Char.code (Bytes.get t idx) then Bytes.set t idx (Char.chr rank)
+
+let merge a b =
+  let out = Bytes.copy a in
+  for i = 0 to m - 1 do
+    if Bytes.get b i > Bytes.get out i then Bytes.set out i (Bytes.get b i)
+  done;
+  out
+
+let alpha = 0.7213 /. (1.0 +. (1.079 /. float_of_int m))
+
+let estimate t =
+  let sum = ref 0.0 and zeros = ref 0 in
+  for i = 0 to m - 1 do
+    let r = Char.code (Bytes.get t i) in
+    if r = 0 then incr zeros;
+    sum := !sum +. Float.ldexp 1.0 (-r)
+  done;
+  let raw = alpha *. float_of_int m *. float_of_int m /. !sum in
+  if raw <= 2.5 *. float_of_int m && !zeros > 0 then
+    (* linear counting is more accurate in the small range *)
+    float_of_int m *. log (float_of_int m /. float_of_int !zeros)
+  else raw
+
+let to_string = Bytes.to_string
+
+let of_string s =
+  if String.length s <> m then invalid_arg "Hll.of_string: bad register count";
+  Bytes.of_string s

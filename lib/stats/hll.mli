@@ -1,0 +1,37 @@
+(** HyperLogLog distinct-value sketch.
+
+    Fixed geometry: [p = 10] index bits, [m = 1024] single-byte
+    registers, so a sketch is 1 KiB and the standard error is
+    [1.04 / sqrt m ~= 3.3%].  Keys are hashed with FNV-1a (64-bit) —
+    [Hashtbl.hash] truncates long strings and is far too weak for
+    cardinality estimation.
+
+    Sketches are mergeable (per-register max), which is what makes the
+    incremental-maintenance story work: DML deltas just [add] into the
+    analyzed sketch, and the estimate can only grow, mirroring the fact
+    that observed distinct values only grow between ANALYZE runs. *)
+
+type t
+
+val m : int
+(** Number of registers (1024). *)
+
+val create : unit -> t
+val copy : t -> t
+
+val add : t -> string -> unit
+(** Observe one key (callers pass {!Bdbms_relation.Value.hash_key}
+    output so equal values always hash identically). *)
+
+val merge : t -> t -> t
+(** Union of the two observed multisets; commutative, idempotent. *)
+
+val estimate : t -> float
+(** Estimated distinct count, with the usual linear-counting correction
+    for the small-cardinality range. *)
+
+val to_string : t -> string
+(** The raw 1024 register bytes. *)
+
+val of_string : string -> t
+(** @raise Invalid_argument if the input is not exactly {!m} bytes. *)

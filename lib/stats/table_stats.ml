@@ -1,0 +1,219 @@
+module Value = Bdbms_relation.Value
+module Schema = Bdbms_relation.Schema
+module Expr = Bdbms_relation.Expr
+module Tuple = Bdbms_relation.Tuple
+
+type col_stats = {
+  null_frac : float;
+  hll : Hll.t;
+  mutable min_v : Value.t option;
+  mutable max_v : Value.t option;
+  mcvs : (Value.t * float) list;
+  hist : Histogram.t option;
+}
+
+type t = {
+  table : string;
+  mutable analyzed_rows : int;
+  mutable live_rows : int;
+  mutable mods : int;
+  mutable stale : bool;
+  columns : col_stats array;
+}
+
+let mcv_limit = 8
+let hist_buckets = 32
+let staleness_frac = 0.2
+let clamp01 f = Float.min 1.0 (Float.max 0.0 f)
+
+(* ------------------------------------------------------------ ANALYZE *)
+
+let analyze_column n (vals : Value.t array) =
+  let nn = Array.length vals in
+  let null_frac = if n = 0 then 0.0 else float_of_int (n - nn) /. float_of_int n in
+  let hll = Hll.create () in
+  Array.iter
+    (fun v -> match Value.hash_key v with Some k -> Hll.add hll k | None -> ())
+    vals;
+  let sorted = Array.copy vals in
+  Array.sort Value.compare sorted;
+  let min_v = if nn = 0 then None else Some sorted.(0) in
+  let max_v = if nn = 0 then None else Some sorted.(nn - 1) in
+  (* run-length count the sorted values; keep the top values seen at
+     least twice (a unique column has no common value worth storing) *)
+  let runs = ref [] in
+  let i = ref 0 in
+  while !i < nn do
+    let j = ref (!i + 1) in
+    while !j < nn && Value.equal sorted.(!j) sorted.(!i) do incr j done;
+    let count = !j - !i in
+    if count >= 2 then runs := (sorted.(!i), count) :: !runs;
+    i := !j
+  done;
+  let mcvs =
+    List.sort (fun (_, a) (_, b) -> compare b a) !runs
+    |> List.filteri (fun i _ -> i < mcv_limit)
+    |> List.map (fun (v, c) -> (v, float_of_int c /. float_of_int (max 1 n)))
+  in
+  let hist = Histogram.build ~buckets:hist_buckets sorted in
+  { null_frac; hll; min_v; max_v; mcvs; hist }
+
+let analyze ~table ~schema ~rows =
+  let arity = Schema.arity schema in
+  let n = List.length rows in
+  let columns =
+    Array.init arity (fun ci ->
+        let vals =
+          List.filter_map
+            (fun (r : Tuple.t) ->
+              if ci < Array.length r && not (Value.is_null r.(ci)) then
+                Some r.(ci)
+              else None)
+            rows
+          |> Array.of_list
+        in
+        analyze_column n vals)
+  in
+  { table; analyzed_rows = n; live_rows = n; mods = 0; stale = false; columns }
+
+(* ------------------------------------------------- incremental deltas *)
+
+let ndv cs = Float.max 1.0 (Hll.estimate cs.hll)
+
+let is_stale t =
+  t.stale
+  || float_of_int t.mods > staleness_frac *. float_of_int (max 1 t.analyzed_rows)
+
+let mark_stale t = t.stale <- true
+
+let widen cs v =
+  if not (Value.is_null v) then begin
+    (match cs.min_v with
+    | None -> cs.min_v <- Some v
+    | Some m -> if Value.compare v m < 0 then cs.min_v <- Some v);
+    (match cs.max_v with
+    | None -> cs.max_v <- Some v
+    | Some m -> if Value.compare v m > 0 then cs.max_v <- Some v);
+    match Value.hash_key v with Some k -> Hll.add cs.hll k | None -> ()
+  end
+
+let note_insert t (row : Tuple.t) =
+  t.live_rows <- t.live_rows + 1;
+  t.mods <- t.mods + 1;
+  Array.iteri
+    (fun i cs -> if i < Array.length row then widen cs row.(i))
+    t.columns
+
+let note_update t ~col v =
+  t.mods <- t.mods + 1;
+  if col >= 0 && col < Array.length t.columns then widen t.columns.(col) v
+
+let note_delete t (_row : Tuple.t) =
+  t.live_rows <- max 0 (t.live_rows - 1);
+  t.mods <- t.mods + 1
+
+(* --------------------------------------------------------- selectivity *)
+
+let mcv_total cs = List.fold_left (fun a (_, f) -> a +. f) 0.0 cs.mcvs
+let mcv_freq cs v =
+  List.find_map (fun (mv, f) -> if Value.equal mv v then Some f else None) cs.mcvs
+
+let eq_sel cs v =
+  if Value.is_null v then 0.0
+  else
+    match mcv_freq cs v with
+    | Some f -> f
+    | None ->
+        (* out of range of the fences -> certainly absent at ANALYZE time *)
+        let out_of_range =
+          match (cs.min_v, cs.max_v) with
+          | Some lo, Some hi ->
+              Value.compare v lo < 0 || Value.compare v hi > 0
+          | _ -> true
+        in
+        if out_of_range then 0.0
+        else
+          let rest = Float.max 0.0 (1.0 -. mcv_total cs -. cs.null_frac) in
+          let rest_ndv =
+            Float.max 1.0 (ndv cs -. float_of_int (List.length cs.mcvs))
+          in
+          clamp01 (rest /. rest_ndv)
+
+let range_sel cs op v =
+  match cs.hist with
+  | None -> None
+  | Some h ->
+      let nonnull = 1.0 -. cs.null_frac in
+      let f =
+        match op with
+        | Expr.Lt -> Histogram.frac_lt h v
+        | Expr.Leq -> Histogram.frac_le h v
+        | Expr.Gt -> 1.0 -. Histogram.frac_le h v
+        | Expr.Geq -> 1.0 -. Histogram.frac_lt h v
+        | _ -> 0.5
+      in
+      Some (clamp01 (f *. nonnull))
+
+let flip = function
+  | Expr.Lt -> Expr.Gt
+  | Expr.Leq -> Expr.Geq
+  | Expr.Gt -> Expr.Lt
+  | Expr.Geq -> Expr.Leq
+  | (Expr.Eq | Expr.Neq) as op -> op
+
+let has_wildcard pat = String.exists (fun c -> c = '%' || c = '_') pat
+
+let like_sel cs pat =
+  if not (has_wildcard pat) then Some (eq_sel cs (Value.VString pat))
+  else if cs.mcvs = [] then None (* nothing to match against; use heuristic *)
+  else
+    let matches v =
+      try Expr.like_match ~pattern:pat (Value.as_string v)
+      with Invalid_argument _ -> false
+    in
+    let mcv_hit =
+      List.fold_left
+        (fun a (v, f) -> if matches v then a +. f else a)
+        0.0 cs.mcvs
+    in
+    let rest = Float.max 0.0 (1.0 -. mcv_total cs -. cs.null_frac) in
+    Some (clamp01 (mcv_hit +. (rest *. 0.25)))
+
+let cmp_sel cs op v =
+  if Value.is_null v then Some 0.0 (* three-valued logic: never matches *)
+  else
+    match op with
+    | Expr.Eq -> Some (eq_sel cs v)
+    | Expr.Neq -> Some (clamp01 (1.0 -. cs.null_frac -. eq_sel cs v))
+    | Expr.Lt | Expr.Leq | Expr.Gt | Expr.Geq -> range_sel cs op v
+
+let rec selectivity t ~schema expr =
+  let col name =
+    match Schema.index_of schema name with
+    | Some i when i < Array.length t.columns -> Some t.columns.(i)
+    | _ -> None
+  in
+  let open Expr in
+  match expr with
+  | Cmp (op, Col c, Lit v) -> Option.bind (col c) (fun cs -> cmp_sel cs op v)
+  | Cmp (op, Lit v, Col c) ->
+      Option.bind (col c) (fun cs -> cmp_sel cs (flip op) v)
+  | Is_null (Col c) -> Option.map (fun cs -> cs.null_frac) (col c)
+  | Not (Is_null (Col c)) ->
+      Option.map (fun cs -> clamp01 (1.0 -. cs.null_frac)) (col c)
+  | In_list (Col c, vs) ->
+      Option.map
+        (fun cs ->
+          clamp01 (List.fold_left (fun a v -> a +. eq_sel cs v) 0.0 vs))
+        (col c)
+  | Like (Col c, pat) -> Option.bind (col c) (fun cs -> like_sel cs pat)
+  | And (a, b) -> (
+      match (selectivity t ~schema a, selectivity t ~schema b) with
+      | Some sa, Some sb -> Some (sa *. sb)
+      | _ -> None)
+  | Or (a, b) -> (
+      match (selectivity t ~schema a, selectivity t ~schema b) with
+      | Some sa, Some sb -> Some (clamp01 (sa +. sb -. (sa *. sb)))
+      | _ -> None)
+  | Not e -> Option.map (fun s -> clamp01 (1.0 -. s)) (selectivity t ~schema e)
+  | _ -> None

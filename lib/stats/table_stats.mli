@@ -1,0 +1,64 @@
+(** Per-table / per-column optimizer statistics.
+
+    Built by [ANALYZE] from a full scan, then maintained incrementally:
+    DML deltas keep [live_rows], the distinct sketches and the min/max
+    fences current for cheap, while the distribution shape (histogram,
+    MCV list, null fraction) stays frozen at the last ANALYZE and is
+    declared stale once enough of the table has churned
+    ({!staleness_frac} of the analyzed row count, or an explicit
+    {!mark_stale} from the est-vs-actual drift feedback). *)
+
+module Value = Bdbms_relation.Value
+module Schema = Bdbms_relation.Schema
+module Expr = Bdbms_relation.Expr
+
+type col_stats = {
+  null_frac : float;  (** fraction of rows NULL in this column *)
+  hll : Hll.t;  (** distinct sketch; DML deltas keep adding *)
+  mutable min_v : Value.t option;  (** non-null fence, widened by DML *)
+  mutable max_v : Value.t option;
+  mcvs : (Value.t * float) list;
+      (** most common values as (value, fraction of all rows), frequency
+          descending, only values seen at least twice *)
+  hist : Histogram.t option;  (** equi-depth, non-null values *)
+}
+
+type t = {
+  table : string;
+  mutable analyzed_rows : int;  (** live rows at last ANALYZE *)
+  mutable live_rows : int;  (** maintained by DML deltas *)
+  mutable mods : int;  (** row modifications since last ANALYZE *)
+  mutable stale : bool;  (** drift feedback or churn tripped *)
+  columns : col_stats array;  (** by schema position *)
+}
+
+val mcv_limit : int
+val hist_buckets : int
+
+val staleness_frac : float
+(** Fraction of [analyzed_rows] worth of modifications after which the
+    distribution shape is no longer trusted (0.2). *)
+
+val analyze :
+  table:string -> schema:Schema.t -> rows:Bdbms_relation.Tuple.t list -> t
+(** Build fresh statistics from a full scan's live rows. *)
+
+val ndv : col_stats -> float
+(** Current distinct-count estimate (≥ 1 when any value was seen). *)
+
+val is_stale : t -> bool
+
+val mark_stale : t -> unit
+
+val note_insert : t -> Bdbms_relation.Tuple.t -> unit
+val note_update : t -> col:int -> Value.t -> unit
+val note_delete : t -> Bdbms_relation.Tuple.t -> unit
+
+val selectivity : t -> schema:Schema.t -> Expr.t -> float option
+(** Estimated selectivity of one WHERE conjunct against this table,
+    [None] when the expression shape or column is not covered (the
+    planner then falls back to its heuristic constant).  [schema] is the
+    schema the expression's column names resolve in (the table's slice
+    of the join frame — positions line up with [columns]).  Handles
+    column-vs-literal comparisons (either orientation) via MCVs +
+    histogram, [IS NULL], [IN], [LIKE], and boolean combinations. *)

@@ -38,6 +38,9 @@ type snapshot = {
   group_commits : int;
   batches_decoded : int;
   batch_fallbacks : int;
+  stats_analyzed : int;
+  stats_stale : int;
+  plans_reordered : int;
 }
 
 (* slot indices *)
@@ -71,7 +74,10 @@ let i_frames_tx = 26
 let i_group_commits = 27
 let i_batches_decoded = 28
 let i_batch_fallbacks = 29
-let n_counters = 30
+let i_stats_analyzed = 30
+let i_stats_stale = 31
+let i_plans_reordered = 32
+let n_counters = 33
 
 let names =
   [|
@@ -82,6 +88,7 @@ let names =
     "page_ins"; "evictions"; "writebacks"; "wal_forced_flushes";
     "peak_pinned"; "sessions_opened"; "commit_conflicts"; "frames_rx";
     "frames_tx"; "group_commits"; "batches_decoded"; "batch_fallbacks";
+    "stats_analyzed"; "stats_stale"; "plans_reordered";
   |]
 
 let to_array s =
@@ -93,6 +100,7 @@ let to_array s =
     s.page_ins; s.evictions; s.writebacks; s.wal_forced_flushes;
     s.peak_pinned; s.sessions_opened; s.commit_conflicts; s.frames_rx;
     s.frames_tx; s.group_commits; s.batches_decoded; s.batch_fallbacks;
+    s.stats_analyzed; s.stats_stale; s.plans_reordered;
   |]
 
 let of_array a =
@@ -127,6 +135,9 @@ let of_array a =
     group_commits = a.(i_group_commits);
     batches_decoded = a.(i_batches_decoded);
     batch_fallbacks = a.(i_batch_fallbacks);
+    stats_analyzed = a.(i_stats_analyzed);
+    stats_stale = a.(i_stats_stale);
+    plans_reordered = a.(i_plans_reordered);
   }
 
 type t = int array
@@ -164,6 +175,9 @@ let record_frame_tx t = bump t i_frames_tx
 let record_group_commit t = bump t i_group_commits
 let record_batch_decoded t = bump t i_batches_decoded
 let record_batch_fallback t = bump t i_batch_fallbacks
+let record_stats_analyzed t = bump t i_stats_analyzed
+let record_stats_stale t = bump t i_stats_stale
+let record_plan_reordered t = bump t i_plans_reordered
 
 let record_pinned t n =
   if n > t.(i_peak_pinned) then t.(i_peak_pinned) <- n

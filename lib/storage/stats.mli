@@ -142,6 +142,21 @@ val record_batch_fallback : t -> unit
     path (annotated/ASQL-extended semantics, or a plan shape the batch
     pipeline does not cover). *)
 
+(** {2 Optimizer-statistics counters}
+
+    The cost-based planner accounts its statistics lifecycle here:
+    ANALYZE runs, staleness trips (churn threshold or est-vs-actual
+    drift feedback), and join reorderings actually applied. *)
+
+val record_stats_analyzed : t -> unit
+(** One table's statistics (re)built by ANALYZE. *)
+
+val record_stats_stale : t -> unit
+(** One table's statistics declared stale. *)
+
+val record_plan_reordered : t -> unit
+(** A query plan whose join order differs from FROM order. *)
+
 type snapshot = {
   reads : int;  (** physical page reads *)
   writes : int;  (** physical page writes *)
@@ -173,6 +188,9 @@ type snapshot = {
   group_commits : int;  (** committer batches flushed with one fsync *)
   batches_decoded : int;  (** column batches decoded from heap pages *)
   batch_fallbacks : int;  (** batch-engine queries that fell back to tuple *)
+  stats_analyzed : int;  (** tables (re)analyzed for optimizer statistics *)
+  stats_stale : int;  (** table statistics declared stale *)
+  plans_reordered : int;  (** plans whose join order differs from FROM order *)
 }
 
 val snapshot : t -> snapshot

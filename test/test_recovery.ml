@@ -797,6 +797,47 @@ let test_use_after_close () =
   Db.close db;
   cleanup path
 
+(* ANALYZE statistics are versioned blobs in the durable catalog: a
+   close + reopen (the crash-recovery bootstrap path) must bring them
+   back — including the DML deltas taken after the ANALYZE — and the
+   optimizer must keep planning from stats, not heuristics. *)
+let test_stats_survive_recovery () =
+  let path = tmp_path () in
+  let db = Db.create ~page_size ~path () in
+  ignore (Db.exec_exn db "CREATE TABLE S (k INT, v TEXT)");
+  ignore
+    (Db.exec_exn db
+       "INSERT INTO S VALUES (1, 'a'), (1, 'b'), (2, 'c'), (3, 'd'), (4, 'e'), \
+        (5, 'f'), (6, 'g'), (7, 'h'), (8, 'i'), (9, 'j')");
+  (match Db.exec_exn db "ANALYZE S" with
+  | Bdbms_asql.Executor.Message m ->
+      checkb "analyze reports" true (contains ~needle:"analyzed 1 table" m)
+  | _ -> Alcotest.fail "ANALYZE did not return a message");
+  (* a post-ANALYZE delta under the staleness threshold: live_rows moves
+     without a re-analyze, and the updated blob rides the commit *)
+  ignore (Db.exec_exn db "INSERT INTO S VALUES (10, 'k')");
+  checkb "stats-tagged plan before close" true
+    (contains ~needle:"est src=stats"
+       (Db.render_exn db "EXPLAIN SELECT * FROM S WHERE k = 1"));
+  Db.close db;
+  let db2 = Db.create ~page_size ~path () in
+  let reg = (Db.context db2).Context.tstats in
+  (match Bdbms_stats.Registry.find reg "s" with
+  | None -> Alcotest.fail "statistics lost across recovery"
+  | Some ts ->
+      checki "analyzed rows restored" 10
+        ts.Bdbms_stats.Table_stats.analyzed_rows;
+      checki "post-analyze delta restored" 11
+        ts.Bdbms_stats.Table_stats.live_rows);
+  checkb "stats-tagged plan after recovery" true
+    (contains ~needle:"est src=stats"
+       (Db.render_exn db2 "EXPLAIN SELECT * FROM S WHERE k = 1"));
+  ignore (Db.exec_exn db2 "DROP TABLE S");
+  checkb "drop discards the stats" true
+    (Bdbms_stats.Registry.find reg "s" = None);
+  Db.close db2;
+  cleanup path
+
 let test_page_size_mismatch () =
   let path = tmp_path () in
   let d = Disk.open_file ~page_size path in
@@ -824,6 +865,8 @@ let () =
           Alcotest.test_case "torn tail skipped" `Quick test_torn_tail_skipped;
           Alcotest.test_case "truncated tail prefixes" `Quick test_truncated_tail_prefix;
           Alcotest.test_case "randomized crash points" `Quick test_randomized_crash_points;
+          Alcotest.test_case "stats survive recovery" `Quick
+            test_stats_survive_recovery;
         ] );
       ( "pool-ordering",
         [
