@@ -17,8 +17,8 @@ fmt: ## format the tree (requires an ocamlformat config/install)
 bench: ## all paper experiments + E11 durability + E12 query engine
 	dune exec bench/main.exe
 
-bench-quick: ## E12 query + E13 paging + E14 observability + E15 server + E16 batch + E17 resilience + E18 optimizer smoke runs (reduced sizes)
-	dune exec bench/main.exe -- E12 E13 E14 E15 E16 E17 E18 --quick
+bench-quick: ## E12 query + E13 paging + E14 observability + E15 server + E16 batch + E17 resilience + E18 optimizer + E19 introspection smoke runs (reduced sizes)
+	dune exec bench/main.exe -- E12 E13 E14 E15 E16 E17 E18 E19 --quick
 
 fuzz-recovery: ## crash-anywhere sweep: fault at every op of the bootstrap workload
 	BDBMS_FUZZ_DEEP=1 dune exec test/test_recovery.exe -- test bootstrap

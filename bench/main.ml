@@ -68,6 +68,7 @@ let experiments =
     ("E16", E16_batch.run);
     ("E17", E17_resilience.run);
     ("E18", E18_optimizer.run);
+    ("E19", E19_introspection.run);
   ]
 
 (* ------------------------------------------------- bechamel micro-bench *)

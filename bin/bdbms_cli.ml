@@ -182,7 +182,7 @@ let print_response = function
   | P.Count { affected; verb } -> Printf.printf "%d %s\n" affected verb
   | P.Message { text } -> print_endline text
   | P.Committed { seq } -> Printf.printf "COMMIT (seq %d)\n" seq
-  | P.Hello_ok { session } -> Printf.printf "session #%d\n" session
+  | P.Hello_ok { session; _ } -> Printf.printf "session #%d\n" session
   | P.Error_resp { code; message } ->
       Printf.printf "error: %s%s\n" message
         (if P.code_retryable code then " (retryable, safe to re-run)" else "")
@@ -273,6 +273,21 @@ let remote_repl client ~user ~session =
         loop ()
     | "\\ping" ->
         print_response (Client.control client "ping");
+        loop ()
+    (* server-side tracing, mirroring the local \trace commands: the
+       span ring lives in the server process, so these ride the control
+       frame *)
+    | "\\trace" ->
+        print_response (Client.control client "trace tree");
+        loop ()
+    | "\\trace on" ->
+        print_response (Client.control client "trace on");
+        loop ()
+    | "\\trace off" ->
+        print_response (Client.control client "trace off");
+        loop ()
+    | "\\trace json" ->
+        print_response (Client.control client "trace json");
         loop ()
     | "\\analyze" ->
         remote_statement client ~timing:!timing ~in_txn "ANALYZE;";

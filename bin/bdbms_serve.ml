@@ -11,6 +11,9 @@
 
 module Engine = Bdbms_server.Engine
 module Server = Bdbms_server.Server
+module Http = Bdbms_server.Http
+module Qlog = Bdbms_obs.Qlog
+module Obs = Bdbms_obs.Obs
 module Stats = Bdbms_storage.Stats
 
 let parse_host_port s =
@@ -25,7 +28,7 @@ let parse_host_port s =
   | None -> None
 
 let main db_path unix_sock tcp pool_pages snapshot_pool strict_acl
-    idle_timeout grace stats =
+    idle_timeout grace stats metrics_port query_log query_log_sample slow_ms =
   let engine =
     try
       Engine.create ?pool_pages ?snapshot_pool_pages:snapshot_pool ~strict_acl
@@ -40,6 +43,11 @@ let main db_path unix_sock tcp pool_pages snapshot_pool strict_acl
   let idle_timeout_s =
     match idle_timeout with Some s when s > 0. -> Some s | _ -> None
   in
+  (* arm the slow-query threshold: statements at or over it enter the
+     [sys.slow_queries] ring (and print their span tree to stderr) *)
+  (match slow_ms with
+  | Some ms -> Bdbms.Db.set_slow_ms (Engine.db engine) (Some ms)
+  | None -> ());
   let server = Server.create ?idle_timeout_s engine in
   let endpoints = ref [] in
   (* default to a Unix socket next to the database file when no
@@ -68,6 +76,44 @@ let main db_path unix_sock tcp pool_pages snapshot_pool strict_acl
           Engine.close engine;
           exit 2)
   | None -> ());
+  (* sampled JSONL query log: one line per sampled statement with user,
+     session, duration, row count, and trace id *)
+  let qlog_channel =
+    match query_log with
+    | None -> None
+    | Some path ->
+        let oc =
+          open_out_gen [ Open_creat; Open_append; Open_wronly ] 0o644 path
+        in
+        let qlog = Bdbms.Db.qlog (Engine.db engine) in
+        Qlog.set_sample_every qlog (max 1 query_log_sample);
+        Qlog.set_sink qlog
+          (Some
+             (fun line ->
+               output_string oc line;
+               output_char oc '\n';
+               flush oc));
+        endpoints :=
+          Printf.sprintf "qlog:%s (1/%d)" path (max 1 query_log_sample)
+          :: !endpoints;
+        Some (oc, qlog)
+  in
+  (* Prometheus scrape endpoint + liveness probe *)
+  let http =
+    match metrics_port with
+    | None -> None
+    | Some port ->
+        let h =
+          Http.serve ~host:"127.0.0.1" ~port
+            ~metrics:(fun () -> Engine.metrics engine)
+            ~health:(fun () -> Bdbms.Db.degraded (Engine.db engine))
+            ()
+        in
+        endpoints :=
+          Printf.sprintf "http:127.0.0.1:%d/metrics" (Http.bound_port h)
+          :: !endpoints;
+        Some h
+  in
   Printf.printf "bdbms_serve: db %s, listening on %s\n%!" db_path
     (String.concat ", " (List.rev !endpoints));
   let stop_flag = ref false in
@@ -81,7 +127,13 @@ let main db_path unix_sock tcp pool_pages snapshot_pool strict_acl
      the grace period), roll back what remains; [Engine.close] below then
      checkpoints and releases the file lock *)
   Printf.printf "bdbms_serve: draining (grace %gs)\n%!" grace;
+  (match http with Some h -> Http.stop h | None -> ());
   Server.drain ~grace_s:grace server;
+  (match qlog_channel with
+  | Some (oc, qlog) ->
+      Qlog.set_sink qlog None;
+      close_out_noerr oc
+  | None -> ());
   if stats then begin
     let s = Engine.stats engine in
     Format.printf "%a@." Stats.pp s;
@@ -165,12 +217,53 @@ let stats_arg =
     & info [ "stats" ]
         ~doc:"Print I/O and server statistics on shutdown.")
 
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve a Prometheus scrape endpoint on \
+           http://127.0.0.1:PORT/metrics (text exposition format), plus a \
+           $(b,/healthz) liveness probe answering 503 while the engine is \
+           in degraded read-only mode.  Port 0 picks a free port.")
+
+let query_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "query-log" ] ~docv:"PATH"
+        ~doc:
+          "Append sampled statements to PATH as JSON lines (one object per \
+           statement: sql, user, session, duration, rows, trace id, ok).")
+
+let query_log_sample_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "query-log-sample" ] ~docv:"N"
+        ~doc:
+          "Log every Nth statement (default 1 = all).  Sampling is \
+           deterministic (a counter, not a coin flip), so N=100 logs \
+           statements 1, 101, 201, ...")
+
+let slow_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Record any statement taking at least MS milliseconds into the \
+           $(b,sys.slow_queries) ring (also printed to stderr with its \
+           trace-span tree; arming this enables tracing).")
+
 let cmd =
   let doc = "multi-session server for bdbms, the biological DBMS" in
   Cmd.v
     (Cmd.info "bdbms_serve" ~doc)
     Term.(
       const main $ db_arg $ unix_arg $ tcp_arg $ pool_arg $ snapshot_pool_arg
-      $ strict_arg $ idle_timeout_arg $ grace_arg $ stats_arg)
+      $ strict_arg $ idle_timeout_arg $ grace_arg $ stats_arg
+      $ metrics_port_arg $ query_log_arg $ query_log_sample_arg $ slow_ms_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -71,6 +71,13 @@ type t = {
   mutable analyze : Analyze.t option;
   mutable session_label : string option;
       (* owning session (server mode), for trace-span attribution *)
+  mutable sys_providers :
+    (string * (unit -> Bdbms_relation.Tuple.t list)) list;
+      (* extra row sources for sys.* virtual tables, keyed by view name.
+         The server installs the live-session provider here; an entry
+         shadows the view's built-in local fallback.  Copied across
+         [Db.rollback]'s context recreation and into transaction
+         snapshots. *)
 }
 
 let superuser = "admin"
@@ -140,6 +147,7 @@ let create ?(page_size = 4096) ?pool_pages ?policy ?path ?disk ?fault ?obs ()
     read_only = None;
     analyze = None;
     session_label = None;
+    sys_providers = [];
   }
 
 let durable t = Disk.is_durable t.disk

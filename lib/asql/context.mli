@@ -74,6 +74,13 @@ type t = {
           [EXPLAIN ANALYZE] statement; [None] otherwise *)
   mutable session_label : string option;
       (** owning session (server mode), for trace-span attribution *)
+  mutable sys_providers :
+    (string * (unit -> Bdbms_relation.Tuple.t list)) list;
+      (** extra row sources for [sys.*] virtual tables, keyed by view
+          name (e.g. ["sys.sessions"]).  The server installs the
+          live-session provider here; an entry shadows the view's
+          built-in local fallback.  Copied across [Db.rollback]'s
+          context recreation and into transaction snapshots. *)
 }
 
 val create :

@@ -55,8 +55,21 @@ let ann_cost (ctx : Context.t) (f : Ast.from_item) rows =
       ( pages *. Float.max 1.0 rows,
         Printf.sprintf " ANNOTATION(%s)" (String.concat "," names) )
 
+(* Relation behind a FROM item: a catalog table, or a sys.* view
+   materialized for its row count (estimation does not care who asks, so
+   the local-session fallback user is fine here). *)
+let rel_of (ctx : Context.t) (f : Ast.from_item) =
+  if Sysview.is_sys f.Ast.table then
+    Sysview.materialize ctx ~user:"local" f.Ast.table
+  else
+    Option.map (fun t -> Plan.Base t) (Catalog.find ctx.catalog f.Ast.table)
+
+let rel_pages = function
+  | Plan.Base t -> float_of_int (Table.storage_pages t)
+  | Plan.Virtual _ -> 0.0 (* in-memory snapshot: no page I/O *)
+
 let scan_node ?(warn = fun _ -> ()) (ctx : Context.t) (f : Ast.from_item) =
-  match Catalog.find ctx.catalog f.Ast.table with
+  match rel_of ctx f with
   | None ->
       (* surfaced as a typed warning, not silently folded into zeros *)
       warn (Unknown_table f.Ast.table);
@@ -66,9 +79,9 @@ let scan_node ?(warn = fun _ -> ()) (ctx : Context.t) (f : Ast.from_item) =
         src = Plan.Heuristic;
         children = [];
       }
-  | Some table ->
-      let rows = float_of_int (Table.live_count table) in
-      let pages = float_of_int (Table.storage_pages table) in
+  | Some rel ->
+      let rows = float_of_int (Plan.rel_live_count rel) in
+      let pages = rel_pages rel in
       let ann_pages, ann_label = ann_cost ctx f rows in
       {
         label = Printf.sprintf "SCAN %s%s" f.Ast.table ann_label;
@@ -82,8 +95,8 @@ let scan_node ?(warn = fun _ -> ()) (ctx : Context.t) (f : Ast.from_item) =
 (* Access path + pushed predicates for one planned source. *)
 let source_node ctx (src : Plan.source) =
   let f = src.Plan.item in
-  let table_rows = float_of_int (Table.live_count src.Plan.table) in
-  let table_pages = float_of_int (Table.storage_pages src.Plan.table) in
+  let table_rows = float_of_int (Plan.rel_live_count src.Plan.rel) in
+  let table_pages = rel_pages src.Plan.rel in
   let ann_pages, ann_label = ann_cost ctx f table_rows in
   let scan =
     match src.Plan.access with
@@ -113,7 +126,7 @@ let source_node ctx (src : Plan.source) =
   | es ->
       let sel =
         let ts = Bdbms_stats.Registry.find ctx.Context.tstats
-            (Table.name src.Plan.table) in
+            (Plan.rel_name src.Plan.rel) in
         Plan.conjuncts_selectivity_for ts ~schema:src.Plan.schema es
       in
       {
@@ -176,8 +189,7 @@ let step_node ctx joined_schema acc (step : Plan.step) =
 let planned_from_where ctx (sel : Ast.select) =
   let entries =
     List.map
-      (fun (f : Ast.from_item) ->
-        Option.map (fun t -> (f, t)) (Catalog.find ctx.Context.catalog f.Ast.table))
+      (fun (f : Ast.from_item) -> Option.map (fun r -> (f, r)) (rel_of ctx f))
       sel.Ast.from
   in
   if sel.Ast.from = [] || List.exists Option.is_none entries then None

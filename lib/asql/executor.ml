@@ -45,6 +45,9 @@ module Cancel = Bdbms_util.Cancel
 
 exception Read_only of string
 
+exception View_read_only of string
+(* a write statement targeted a [sys.*] system view *)
+
 (* Statements that mutate the database (data writes or DDL) — the ones
    rejected in read-only degraded mode.  Keep in sync with the server's
    [Stmt_class.classify]; [Copy_to] exports to a file and stays allowed. *)
@@ -107,6 +110,32 @@ let find_table (ctx : Context.t) name =
   match Catalog.find ctx.catalog name with
   | Some t -> t
   | None -> fail "unknown table %s" name
+
+(* What a FROM item scans: the catalog table, or a [sys.*] view
+   materialized as an immutable virtual relation. *)
+let find_rel (ctx : Context.t) ~user name =
+  if Sysview.is_sys name then
+    match Sysview.materialize ctx ~user name with
+    | Some rel -> rel
+    | None -> fail "unknown system view %s" name
+  else Plan.Base (find_table ctx name)
+
+(* The write statements a [sys.*] name can appear in; each fails with
+   the typed {!View_read_only} before touching any engine state. *)
+let sys_write_target = function
+  | Ast.Insert { table; _ }
+  | Ast.Update { table; _ }
+  | Ast.Delete { table; _ }
+  | Ast.Create_table { name = table; _ }
+  | Ast.Drop_table table
+  | Ast.Create_index { table; _ }
+  | Ast.Copy_from { table; _ }
+  | Ast.Create_ann_table { table; _ }
+  | Ast.Drop_ann_table { table; _ }
+  | Ast.Analyze_stats (Some table)
+    when Sysview.is_sys table ->
+      Some (String.lowercase_ascii table)
+  | _ -> None
 
 let check_acl (ctx : Context.t) ~user privilege ~table ?column () =
   if ctx.strict_acl && user <> Context.superuser then
@@ -175,6 +204,24 @@ let scan_table (ctx : Context.t) table ~ann_tables ?only_rows () =
       source
   in
   { Propagate.schema; rows }
+
+(* Annotated scan of any relation.  Virtual rows carry empty annotation
+   envelopes: system views have no annotation tables (and no outdated
+   marks), so both engines see identical, unadorned tuples. *)
+let scan_rel (ctx : Context.t) rel ~ann_tables () =
+  match rel with
+  | Plan.Base table -> scan_table ctx table ~ann_tables ()
+  | Plan.Virtual { v_name; v_schema; v_rows } ->
+      if ann_tables <> None then
+        fail "%s is a system view: annotation tables are not supported" v_name;
+      let arity = Schema.arity v_schema in
+      {
+        Propagate.schema = v_schema;
+        rows =
+          List.map
+            (fun tuple -> { Propagate.tuple; anns = Array.make arity [] })
+            (Array.to_list v_rows);
+      }
 
 let prefix_schema prefix rowset =
   let renames =
@@ -283,7 +330,7 @@ let order_cmp schema specs =
    a pushdown-WHERE node above it when the planner pushed conjuncts.
    Returns (scan, top); they are the same node when nothing was pushed. *)
 let analyze_source_nodes (src : Plan.source) =
-  let table_rows = float_of_int (Table.live_count src.Plan.table) in
+  let table_rows = float_of_int (Plan.rel_live_count src.Plan.rel) in
   let est_src = Plan.est_src_name src.Plan.est_src in
   let table = src.Plan.item.Ast.table in
   let scan =
@@ -586,14 +633,22 @@ and exec_select ctx ~user (sel : Ast.select) : Propagate.t =
   if sel.Ast.from = [] then fail "FROM clause is required";
   List.iter
     (fun (f : Ast.from_item) ->
-      check_acl ctx ~user Acl.Select ~table:f.Ast.table ())
+      (* privileged views expose other users' sessions and SQL text, so
+         they require a grant (or admin) even outside strict-ACL mode *)
+      if Sysview.is_privileged f.Ast.table
+         && user <> Context.superuser
+         && not (Acl.allowed ctx.Context.acl ~user Acl.Select ~table:f.Ast.table ())
+      then
+        fail "user %s lacks SELECT on %s (privileged system view)" user
+          f.Ast.table
+      else check_acl ctx ~user Acl.Select ~table:f.Ast.table ())
     sel.Ast.from;
   match ctx.Context.exec_mode with
-  | `Naive -> exec_select_naive ctx sel
+  | `Naive -> exec_select_naive ctx ~user sel
   | (`Tuple | `Batch) as mode ->
       let entries =
         List.map
-          (fun (f : Ast.from_item) -> (f, find_table ctx f.Ast.table))
+          (fun (f : Ast.from_item) -> (f, find_rel ctx ~user f.Ast.table))
           sel.Ast.from
       in
       let frame = Plan.frame entries in
@@ -620,26 +675,22 @@ and exec_select ctx ~user (sel : Ast.select) : Propagate.t =
    annotations, cross-product the FROM list, then filter.  Kept verbatim
    (minus index probing) as the semantic oracle the equivalence tests run
    the pipelined engine against. *)
-and exec_select_naive ctx (sel : Ast.select) : Propagate.t =
+and exec_select_naive ctx ~user (sel : Ast.select) : Propagate.t =
   let an = ctx.Context.analyze in
   let multi = List.length sel.Ast.from > 1 in
   let scans =
     List.map
       (fun (f : Ast.from_item) ->
-        let table = find_table ctx f.Ast.table in
+        let rel = find_rel ctx ~user f.Ast.table in
         let n =
           Analyze.node
-            ~est_rows:(float_of_int (Table.live_count table))
+            ~est_rows:(float_of_int (Plan.rel_live_count rel))
             (Printf.sprintf "SCAN %s" f.Ast.table)
         in
         let rs =
           analyze_block an n (fun () ->
-              let rs = scan_table ctx table ~ann_tables:f.Ast.ann_tables () in
-              if multi then
-                prefix_schema
-                  (Option.value f.Ast.table_alias ~default:f.Ast.table)
-                  rs
-              else rs)
+              let rs = scan_rel ctx rel ~ann_tables:f.Ast.ann_tables () in
+              if multi then prefix_schema (Plan.item_prefix f) rs else rs)
         in
         (rs, n))
       sel.Ast.from
@@ -661,11 +712,7 @@ and exec_select_naive ctx (sel : Ast.select) : Propagate.t =
               n ))
           first rest
   in
-  let prefixes =
-    List.map
-      (fun (f : Ast.from_item) -> Option.value f.Ast.table_alias ~default:f.Ast.table)
-      sel.Ast.from
-  in
+  let prefixes = List.map Plan.item_prefix sel.Ast.from in
   let resolve = make_resolver joined.Propagate.schema prefixes in
   let filtered, filtered_n =
     match sel.Ast.where with
@@ -695,15 +742,17 @@ and exec_select_annotated ctx (plan : Plan.t) (sel : Ast.select) : Propagate.t =
     let scan () =
       let rs =
         let ann_tables = src.Plan.item.Ast.ann_tables in
-        match src.Plan.access with
-        | Plan.Seq_scan -> scan_table ctx src.Plan.table ~ann_tables ()
-        | Plan.Index_probe { index; value } ->
+        match (src.Plan.access, src.Plan.rel) with
+        | Plan.Seq_scan, rel -> scan_rel ctx rel ~ann_tables ()
+        | Plan.Index_probe { index; value }, Plan.Base table ->
             let idx = fresh_index ctx index in
             Stats.record_index_probe stats;
             let rows =
               Bdbms_index.Btree.search idx.Context.tree (Context.index_key value)
             in
-            scan_table ctx src.Plan.table ~ann_tables ~only_rows:rows ()
+            scan_table ctx table ~ann_tables ~only_rows:rows ()
+        | Plan.Index_probe _, Plan.Virtual _ ->
+            assert false (* no indexes exist over virtual relations *)
       in
       { rs with Propagate.schema = src.Plan.schema }
     in
@@ -818,16 +867,19 @@ and tuple_pipeline ctx (plan : Plan.t) =
   in
   let source_cursor (src : Plan.source) =
     let base =
-      match src.Plan.access with
-      | Plan.Seq_scan -> Cursor.scan src.Plan.table
-      | Plan.Index_probe { index; value } ->
+      match (src.Plan.access, src.Plan.rel) with
+      | Plan.Seq_scan, Plan.Base table -> Cursor.scan table
+      | Plan.Seq_scan, Plan.Virtual { v_schema; v_rows; _ } ->
+          Cursor.of_list v_schema (Array.to_list v_rows)
+      | Plan.Index_probe _, Plan.Virtual _ ->
+          assert false (* no indexes exist over virtual relations *)
+      | Plan.Index_probe { index; value }, Plan.Base table ->
           let idx = fresh_index ctx index in
           Stats.record_index_probe stats;
           let rows =
             Bdbms_index.Btree.search idx.Context.tree (Context.index_key value)
             |> List.sort_uniq compare
           in
-          let table = src.Plan.table in
           let remaining = ref rows in
           let rec pull () =
             match !remaining with
@@ -896,10 +948,17 @@ and tuple_pipeline ctx (plan : Plan.t) =
    {!Vexec}.  Returns [None] when a step needs an operator the batch
    path does not implement. *)
 and batch_pipeline ?need ctx (plan : Plan.t) =
+  let virtual_rel (src : Plan.source) =
+    match src.Plan.rel with Plan.Virtual _ -> true | Plan.Base _ -> false
+  in
   if
     List.exists
       (fun (s : Plan.step) -> s.Plan.kind = Plan.Nested)
       plan.Plan.steps
+    (* sys.* views have no page-backed column batches: tuple fallback,
+       counted in [Stats.batch_fallbacks] by the caller *)
+    || virtual_rel plan.Plan.base
+    || List.exists (fun (s : Plan.step) -> virtual_rel s.Plan.src) plan.Plan.steps
   then None
   else begin
     let stats = Disk.stats ctx.Context.disk in
@@ -910,6 +969,11 @@ and batch_pipeline ?need ctx (plan : Plan.t) =
     in
     let filter ?on_drop src e = Vexec.filter ?on_drop src e in
     let source_batches (src : Plan.source) =
+      let table =
+        match src.Plan.rel with
+        | Plan.Base t -> t
+        | Plan.Virtual _ -> assert false (* excluded above *)
+      in
       let base =
         match src.Plan.access with
         | Plan.Seq_scan ->
@@ -920,7 +984,7 @@ and batch_pipeline ?need ctx (plan : Plan.t) =
                   Array.sub m src.Plan.offset (Schema.arity src.Plan.schema))
                 need
             in
-            Vexec.scan ~batch_rows ?need src.Plan.table
+            Vexec.scan ~batch_rows ?need table
         | Plan.Index_probe { index; value } ->
             let idx = fresh_index ctx index in
             Stats.record_index_probe stats;
@@ -929,7 +993,7 @@ and batch_pipeline ?need ctx (plan : Plan.t) =
                 (Context.index_key value)
               |> List.sort_uniq compare
             in
-            Vexec.of_rows ~batch_rows src.Plan.table rows
+            Vexec.of_rows ~batch_rows table rows
       in
       let bsrc = Vexec.with_schema (checked_src ctx base) src.Plan.schema in
       let pushed bsrc =
@@ -1929,6 +1993,9 @@ let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
   (match ctx.Context.read_only with
   | Some reason when is_write_stmt stmt -> raise (Read_only reason)
   | _ -> ());
+  (match sys_write_target stmt with
+  | Some view -> raise (View_read_only view)
+  | None -> ());
   match stmt with
   | Ast.Query q -> Rows (exec_query ctx ~user q)
   | Ast.Explain q -> Message (Cost.explain ctx q)
@@ -2127,7 +2194,17 @@ let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
       in
       Rows { Propagate.schema = out_schema; rows }
   | Ast.Describe name ->
-      let table = find_table ctx name in
+      let schema, indexed_cols =
+        if Sysview.is_sys name then
+          match Sysview.schema_of name with
+          | Some s -> (s, [])
+          | None -> fail "unknown system view %s" name
+        else
+          ( Table.schema (find_table ctx name),
+            Context.indexes_on ctx ~table:name
+            |> List.map (fun (i : Context.index_def) ->
+                   String.lowercase_ascii i.Context.idx_column) )
+      in
       let out_schema =
         Schema.make
           [
@@ -2135,11 +2212,6 @@ let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
             { Schema.name = "type"; ty = Value.TString };
             { Schema.name = "indexed"; ty = Value.TBool };
           ]
-      in
-      let indexed_cols =
-        Context.indexes_on ctx ~table:name
-        |> List.map (fun (i : Context.index_def) ->
-               String.lowercase_ascii i.Context.idx_column)
       in
       let rows =
         List.map
@@ -2153,7 +2225,7 @@ let execute_exn (ctx : Context.t) ~user (stmt : Ast.statement) : outcome =
                 |];
               anns = [| []; []; [] |];
             })
-          (Schema.columns (Table.schema table))
+          (Schema.columns schema)
       in
       Rows { Propagate.schema = out_schema; rows }
   | Ast.Show_dependencies ->
@@ -2166,6 +2238,8 @@ let execute ctx ~user stmt =
   match execute_exn ctx ~user stmt with
   | outcome -> Ok outcome
   | exception Exec_error msg -> Error msg
+  | exception View_read_only view ->
+      Error (Printf.sprintf "%s is a read-only system view" view)
   | exception Expr.Eval_error msg -> Error msg
   | exception Not_found -> Error "name not found"
   | exception Invalid_argument msg -> Error msg

@@ -19,6 +19,13 @@ exception Read_only of string
     reason recorded at entry.  Deliberately not folded into {!execute}'s
     [Error] so the engine layers can map it to a retryable error. *)
 
+exception View_read_only of string
+(** Raised (before any engine state is touched) when a write or DDL
+    statement — INSERT/UPDATE/DELETE, DROP/CREATE TABLE, CREATE INDEX,
+    COPY FROM, annotation DDL, or an explicit ANALYZE — targets a
+    [sys.*] system view; the payload is the canonical view name.
+    {!execute} folds it into [Error "... is a read-only system view"]. *)
+
 val is_write_stmt : Ast.statement -> bool
 (** True for statements that mutate the database (data writes or DDL);
     [COPY TO] exports to a file and does not count. *)

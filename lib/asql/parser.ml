@@ -73,6 +73,26 @@ let any_ident st =
   | Lexer.Ident s -> s
   | t -> fail "expected an identifier, found %s" (Lexer.token_text t)
 
+(* A table name, optionally one-level qualified — [sys.metrics].  The
+   dot is consumed only when an identifier follows immediately, so the
+   annotation-target syntax (t.anntable), which parses its own dot,
+   is unaffected. *)
+let table_ident st =
+  let first = ident st in
+  if
+    at_symbol st "."
+    &&
+    match st.tokens.(st.pos + 1) with
+    | Lexer.Ident s -> not (List.mem (String.uppercase_ascii s) reserved)
+    | _ -> false
+  then begin
+    advance st;
+    (* the dot *)
+    let second = any_ident st in
+    first ^ "." ^ second
+  end
+  else first
+
 let int_lit st =
   match next st with
   | Lexer.Int_lit n -> n
@@ -311,7 +331,7 @@ let parse_select_item st =
   end
 
 let parse_from_item st =
-  let table = ident st in
+  let table = table_ident st in
   let table_alias =
     match peek st with
     | Lexer.Ident s
@@ -431,7 +451,7 @@ let parse_values_row st =
 
 let parse_insert st =
   eat_kw st "INTO";
-  let table = ident st in
+  let table = table_ident st in
   eat_kw st "VALUES";
   let rec rows acc =
     let row = parse_values_row st in
@@ -440,7 +460,7 @@ let parse_insert st =
   Ast.Insert { table; values = rows [] }
 
 let parse_update_body st =
-  let table = ident st in
+  let table = table_ident st in
   eat_kw st "SET";
   let rec sets acc =
     let col = parse_col_ref st in
@@ -454,7 +474,7 @@ let parse_update_body st =
 
 let parse_delete_body st =
   eat_kw st "FROM";
-  let table = ident st in
+  let table = table_ident st in
   let where = if try_kw st "WHERE" then Some (parse_expr st) else None in
   (table, where)
 
@@ -540,7 +560,7 @@ let parse_columns_opt st =
 
 let parse_create st =
   if try_kw st "TABLE" then begin
-    let name = ident st in
+    let name = table_ident st in
     eat_symbol st "(";
     let rec cols acc =
       let cname = ident st in
@@ -578,7 +598,7 @@ let parse_create st =
   else if try_kw st "INDEX" then begin
     let name = ident st in
     eat_kw st "ON";
-    let table = ident st in
+    let table = table_ident st in
     eat_symbol st "(";
     let column = any_ident st in
     eat_symbol st ")";
@@ -614,7 +634,7 @@ let parse_statement_inner st =
     else Ast.Explain (parse_query st)
   else if try_kw st "CREATE" then parse_create st
   else if try_kw st "DROP" then begin
-    if try_kw st "TABLE" then Ast.Drop_table (ident st)
+    if try_kw st "TABLE" then Ast.Drop_table (table_ident st)
     else if try_kw st "INDEX" then Ast.Drop_index (ident st)
     else begin
       eat_kw st "ANNOTATION";
@@ -697,7 +717,7 @@ let parse_statement_inner st =
   else if try_kw st "GRANT" then begin
     let privilege = parse_privilege st in
     eat_kw st "ON";
-    let table = ident st in
+    let table = table_ident st in
     let columns = parse_columns_opt st in
     eat_kw st "TO";
     let grantee = parse_grantee st in
@@ -706,7 +726,7 @@ let parse_statement_inner st =
   else if try_kw st "REVOKE" then begin
     let privilege = parse_privilege st in
     eat_kw st "ON";
-    let table = ident st in
+    let table = table_ident st in
     eat_kw st "FROM";
     let grantee = parse_grantee st in
     Ast.Revoke { privilege; table; grantee }
@@ -727,7 +747,7 @@ let parse_statement_inner st =
     Ast.Link_dependency { id; source_rows; target_row }
   end
   else if try_kw st "COPY" then begin
-    let table = ident st in
+    let table = table_ident st in
     let direction =
       if try_kw st "FROM" then `From
       else begin
@@ -749,13 +769,12 @@ let parse_statement_inner st =
     | `From -> Ast.Copy_from { table; path; format }
     | `To -> Ast.Copy_to { table; path; format }
   end
-  else if try_kw st "DESCRIBE" then Ast.Describe (ident st)
+  else if try_kw st "DESCRIBE" then Ast.Describe (table_ident st)
   else if try_kw st "ANALYZE" then begin
     (* ANALYZE [table] -- bare ANALYZE covers every table *)
     match peek st with
     | Lexer.Ident s when not (List.mem (String.uppercase_ascii s) reserved) ->
-        advance st;
-        Ast.Analyze_stats (Some s)
+        Ast.Analyze_stats (Some (table_ident st))
     | _ -> Ast.Analyze_stats None
   end
   else if try_kw st "VALIDATE" then begin

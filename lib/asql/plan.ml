@@ -49,25 +49,57 @@ let conjunct_selectivity ts ~schema e =
 let conjuncts_selectivity_for ts ~schema es =
   List.fold_left (fun acc e -> acc *. conjunct_selectivity ts ~schema e) 1.0 es
 
+(* ------------------------------------------------------------- relations *)
+
+(* What a FROM item scans: a heap-backed catalog table, or a virtual
+   relation (a sys.* introspection view) materialized at plan time.
+   Virtual rels are small by construction — bounded rings and registry
+   snapshots — so materializing them per statement is cheap and gives
+   every engine path (naive/tuple, WHERE/JOIN/aggregate) the same rows. *)
+type rel =
+  | Base of Table.t
+  | Virtual of {
+      v_name : string;
+      v_schema : Schema.t;
+      v_rows : Bdbms_relation.Tuple.t array;
+    }
+
+let rel_name = function Base t -> Table.name t | Virtual v -> v.v_name
+let rel_schema = function Base t -> Table.schema t | Virtual v -> v.v_schema
+
+let rel_live_count = function
+  | Base t -> Table.live_count t
+  | Virtual v -> Array.length v.v_rows
+
 (* --------------------------------------------------------------- the frame *)
 
 type frame = {
-  entries : (Ast.from_item * Table.t) list;
+  entries : (Ast.from_item * rel) list;
   schema : Schema.t;
   prefixes : string list;
   multi : bool;
   slices : (int * Schema.t) list;
 }
 
+(* The qualifier a query uses for this item's columns: its alias, or the
+   table name with any [sys.] namespace stripped — [sys.metrics m] and
+   bare [sys.metrics] both qualify as [m_...] / [metrics_...], since a
+   dotted qualifier cannot appear in a column reference. *)
 let item_prefix (f : Ast.from_item) =
-  Option.value f.Ast.table_alias ~default:f.Ast.table
+  match f.Ast.table_alias with
+  | Some a -> a
+  | None -> (
+      let t = f.Ast.table in
+      match String.rindex_opt t '.' with
+      | Some i -> String.sub t (i + 1) (String.length t - i - 1)
+      | None -> t)
 
 let frame entries =
   let multi = List.length entries > 1 in
   let prefixed =
     List.map
-      (fun ((f : Ast.from_item), table) ->
-        let schema = Table.schema table in
+      (fun ((f : Ast.from_item), rel) ->
+        let schema = rel_schema rel in
         if multi then
           let prefix = item_prefix f in
           Schema.rename_columns schema
@@ -117,7 +149,7 @@ type access =
 
 type source = {
   item : Ast.from_item;
-  table : Table.t;
+  rel : rel;
   prefix : string;
   offset : int;
   schema : Schema.t;
@@ -225,21 +257,21 @@ let build ctx frame ~where =
   in
   let stats_for =
     List.map
-      (fun ((_ : Ast.from_item), table) ->
-        Registry.find ctx.Context.tstats (Table.name table))
+      (fun ((_ : Ast.from_item), rel) ->
+        Registry.find ctx.Context.tstats (rel_name rel))
       frame.entries
     |> Array.of_list
   in
   let sources =
     List.mapi
-      (fun i ((f : Ast.from_item), table) ->
+      (fun i ((f : Ast.from_item), rel) ->
         let ts = stats_for.(i) in
         let offset, slice = List.nth frame.slices i in
         let pushed = pushed_for i in
-        let live = float_of_int (Table.live_count table) in
+        let live = float_of_int (rel_live_count rel) in
         let est_rows = live *. conjuncts_selectivity_for ts ~schema:slice pushed in
         let access, access_est =
-          match probe_of_pushed ctx f (Table.schema table) slice pushed with
+          match probe_of_pushed ctx f (rel_schema rel) slice pushed with
           | None -> (Seq_scan, live)
           | Some (probe, conjunct) ->
               let probe_sel =
@@ -256,7 +288,7 @@ let build ctx frame ~where =
               else (probe, live *. probe_sel)
         in
         let est_src = match ts with Some _ -> Stats | None -> Heuristic in
-        { item = f; table; prefix = item_prefix f; offset; schema = slice;
+        { item = f; rel; prefix = item_prefix f; offset; schema = slice;
           access; access_est; pushed; est_rows; est_src })
       frame.entries
   in

@@ -61,8 +61,24 @@ val conjuncts_selectivity_for :
   Bdbms_relation.Expr.t list ->
   float
 
+(** What a FROM item scans: a heap-backed catalog table, or a virtual
+    relation — a [sys.*] introspection view materialized at plan time.
+    Virtual rels are small by construction (bounded rings, registry
+    snapshots), so every engine path sees the same immutable rows. *)
+type rel =
+  | Base of Bdbms_relation.Table.t
+  | Virtual of {
+      v_name : string;
+      v_schema : Bdbms_relation.Schema.t;
+      v_rows : Bdbms_relation.Tuple.t array;
+    }
+
+val rel_name : rel -> string
+val rel_schema : rel -> Bdbms_relation.Schema.t
+val rel_live_count : rel -> int
+
 type frame = {
-  entries : (Ast.from_item * Bdbms_relation.Table.t) list;
+  entries : (Ast.from_item * rel) list;
   schema : Bdbms_relation.Schema.t;  (** canonical joined schema *)
   prefixes : string list;            (** alias/table qualifier per entry *)
   multi : bool;
@@ -70,9 +86,13 @@ type frame = {
       (** per entry: column offset and slice of the joined schema *)
 }
 
-val frame : (Ast.from_item * Bdbms_relation.Table.t) list -> frame
-(** Name-resolution frame for a FROM list (tables already looked up).
+val frame : (Ast.from_item * rel) list -> frame
+(** Name-resolution frame for a FROM list (relations already looked up).
     @raise Invalid_argument on an empty list. *)
+
+val item_prefix : Ast.from_item -> string
+(** The qualifier a query uses for this item's columns: its alias, or
+    the table name with any [sys.] namespace stripped. *)
 
 type access =
   | Seq_scan
@@ -83,7 +103,7 @@ type access =
 
 type source = {
   item : Ast.from_item;
-  table : Bdbms_relation.Table.t;
+  rel : rel;
   prefix : string;
   offset : int;  (** first column of this table's slice in the joined schema *)
   schema : Bdbms_relation.Schema.t;  (** the slice *)

@@ -93,6 +93,8 @@ let rollback t =
     ctx.Context.exec_mode <- old.Context.exec_mode;
     ctx.Context.batch_rows <- old.Context.batch_rows;
     ctx.Context.read_only <- t.degraded;
+    ctx.Context.session_label <- old.Context.session_label;
+    ctx.Context.sys_providers <- old.Context.sys_providers;
     t.ctx <- ctx;
     t.catalog_records <- n;
     (* the fresh context has a fresh disk: the pre-image observer must
@@ -163,21 +165,54 @@ let autocommit t = function
   | Ok _ -> if durable t then Context.commit t.ctx
   | Error _ -> safe_rollback t
 
+(* Locally originated statements get sequential trace ids; wire requests
+   arrive with the client's id already installed on the trace recorder
+   (so the whole request tree shares it) and keep it. *)
+let tid_counter = ref 0
+
+let next_trace_id () =
+  incr tid_counter;
+  !tid_counter
+
+(* Result classifiers for the query log: did the statement succeed, and
+   how many rows did it produce (-1 = not a rowset / unknown). *)
+let stmt_info = function
+  | Ok (Executor.Rows rs) ->
+      (true, List.length rs.Bdbms_annotation.Propagate.rows)
+  | Ok (Executor.Count { affected; _ }) -> (true, affected)
+  | Ok _ -> (true, -1)
+  | Error _ -> (false, -1)
+
+let script_info = function Ok _ -> (true, -1) | Error _ -> (false, -1)
+
 (* Per-statement observation: every execution lands in the statement
-   latency histogram; when the slow-query log is armed, statements at or
-   over the threshold print their text plus the trace spans they opened
-   (tracing is enabled by [set_slow_ms], so the spans are there). *)
-let observed t sql f =
-  let mark = Trace.mark t.obs.Obs.trace in
-  let r, elapsed = Timer.timed f in
+   latency histogram and the structured query log (ring + sampled JSONL
+   sink) with its trace id; when the slow-query log is armed, statements
+   at or over the threshold also print their text plus the trace spans
+   they opened (tracing is enabled by [set_slow_ms], so the spans are
+   there). *)
+let observed t ~user ?(session = 0) ~info sql f =
+  let trace = t.obs.Obs.trace in
+  let mark = Trace.mark trace in
+  let inherited = Trace.trace_id trace in
+  let tid = if inherited = 0 then next_trace_id () else inherited in
+  let r, elapsed =
+    Trace.with_trace_id trace tid (fun () -> Timer.timed f)
+  in
   Metrics.observe t.obs.Obs.stmt_hist elapsed;
-  (match t.slow_ms with
-  | Some threshold when Timer.ns_to_ms elapsed >= threshold ->
-      Printf.eprintf "[slow query: %s] %s\n%s%!"
-        (Format.asprintf "%a" Timer.pp_ns elapsed)
-        (String.trim sql)
-        (Trace.render_tree ~since:mark t.obs.Obs.trace)
-  | _ -> ());
+  let slow =
+    match t.slow_ms with
+    | Some threshold -> Timer.ns_to_ms elapsed >= threshold
+    | None -> false
+  in
+  if slow then
+    Printf.eprintf "[slow query: %s] %s\n%s%!"
+      (Format.asprintf "%a" Timer.pp_ns elapsed)
+      (String.trim sql)
+      (Trace.render_tree ~since:mark t.obs.Obs.trace);
+  let ok, rows = info r in
+  Bdbms_obs.Qlog.record t.obs.Obs.qlog ~sql ~user ~session ~dur_ns:elapsed
+    ~rows ~trace_id:tid ~ok ~slow;
   r
 
 (* Fold the fault-lifecycle exceptions into [Error]s with the right side
@@ -225,7 +260,7 @@ let refresh_stale_stats t = function
 
 let exec t ?(user = Context.superuser) sql =
   guard t (fun () ->
-      observed t sql (fun () ->
+      observed t ~user ~info:stmt_info sql (fun () ->
           protected t (fun () ->
               let r = with_stmt_deadline t (fun () -> Executor.run t.ctx ~user sql) in
               refresh_stale_stats t r;
@@ -239,7 +274,7 @@ let exec_exn t ?user sql =
 
 let exec_script t ?(user = Context.superuser) sql =
   guard t (fun () ->
-      observed t sql (fun () ->
+      observed t ~user ~info:script_info sql (fun () ->
           protected t (fun () ->
               let r =
                 with_stmt_deadline t (fun () ->
@@ -262,12 +297,12 @@ let render_exn t ?user sql = Executor.render (exec_exn t ?user sql)
    degradation, read-only refusal) propagate to the caller, which owns
    the transaction and decides how to abort it.  [timeout_ms] overrides
    the handle-level default for this statement. *)
-let exec_nocommit t ?(user = Context.superuser) ?timeout_ms sql =
+let exec_nocommit t ?(user = Context.superuser) ?session ?timeout_ms sql =
   let timeout_ms =
     match timeout_ms with Some _ as v -> v | None -> t.stmt_timeout_ms
   in
   guard t (fun () ->
-      observed t sql (fun () ->
+      observed t ~user ?session ~info:stmt_info sql (fun () ->
           Context.with_deadline t.ctx ?timeout_ms (fun () ->
               Executor.run t.ctx ~user sql)))
 
@@ -316,6 +351,7 @@ let reset_io_stats t = Stats.reset (Disk.stats t.ctx.Context.disk)
 
 let obs t = t.obs
 let metrics t = Metrics.render t.obs.Obs.metrics
+let qlog t = t.obs.Obs.qlog
 
 let set_tracing t v = Trace.set_enabled t.obs.Obs.trace v
 let tracing t = Trace.enabled t.obs.Obs.trace

@@ -71,6 +71,7 @@ val render_exn : t -> ?user:string -> string -> string
 val exec_nocommit :
   t ->
   ?user:string ->
+  ?session:int ->
   ?timeout_ms:float ->
   string ->
   (Bdbms_asql.Executor.outcome, string) result
@@ -194,6 +195,13 @@ val metrics : t -> string
 (** Prometheus-style text exposition of every registered counter, gauge,
     and latency histogram (statement execution, WAL group flush, eviction
     write-back, catalog root swap, checkpoint, recovery). *)
+
+val qlog : t -> Bdbms_obs.Qlog.t
+(** The structured query log: slow-statement ring (feeds
+    [sys.slow_queries]) and sampling JSONL sink.  Every statement run
+    through this handle is recorded with its user, duration, row count
+    and trace id; [session] on {!exec_nocommit} attributes server-side
+    statements to their connection. *)
 
 val set_tracing : t -> bool -> unit
 (** Turn hierarchical trace-span recording on or off (off by default;

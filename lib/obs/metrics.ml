@@ -156,27 +156,57 @@ let float_str f =
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%g" f
 
+(* Prometheus text-format escaping.  HELP text escapes backslash and
+   newline; label values additionally escape the double quote.  Without
+   this a help string (or a future label) containing a quote or newline
+   would corrupt the whole exposition for a real scraper. *)
+let escape ~quote s =
+  let needs_escape = function
+    | '\\' | '\n' -> true
+    | '"' -> quote
+    | _ -> false
+  in
+  if not (String.exists needs_escape s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (function
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '"' when quote -> Buffer.add_string buf "\\\""
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let escape_help = escape ~quote:false
+let escape_label_value = escape ~quote:true
+
 let render_instrument buf = function
   | Counter c ->
       if c.c_help <> "" then
-        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" c.c_name c.c_help);
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" c.c_name (escape_help c.c_help));
       Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" c.c_name);
       Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name c.c_value)
   | Gauge g ->
       if g.g_help <> "" then
-        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" g.g_name g.g_help);
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" g.g_name (escape_help g.g_help));
       Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" g.g_name);
       Buffer.add_string buf
         (Printf.sprintf "%s %s\n" g.g_name (float_str g.g_value))
   | Histogram h ->
       if h.h_help <> "" then
-        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" h.h_name h.h_help);
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" h.h_name (escape_help h.h_help));
       Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" h.h_name);
       List.iter
         (fun q ->
           Buffer.add_string buf
             (Printf.sprintf "%s{quantile=\"%s\"} %d\n" h.h_name
-               (float_str q) (quantile h q)))
+               (escape_label_value (float_str q))
+               (quantile h q)))
         [ 0.5; 0.95; 0.99 ];
       Buffer.add_string buf (Printf.sprintf "%s_count %d\n" h.h_name h.h_count);
       Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" h.h_name h.h_sum)
@@ -208,4 +238,46 @@ let histograms t =
       match Hashtbl.find_opt t.tbl name with
       | Some (Histogram h) -> Some h
       | _ -> None)
+    (List.rev t.order)
+
+(* ----------------------------------------------------- introspection *)
+
+(* Read-only snapshots of every instrument, in registration order — the
+   feed for the sys.metrics / sys.histograms virtual tables. *)
+
+type view =
+  | Counter_view of { name : string; value : int }
+  | Gauge_view of { name : string; value : float }
+  | Histogram_view of {
+      name : string;
+      count : int;
+      sum : int;
+      min : int;
+      max : int;
+      p50 : int;
+      p95 : int;
+      p99 : int;
+    }
+
+let views t =
+  List.filter_map
+    (fun name ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some (Counter c) ->
+          Some (Counter_view { name = c.c_name; value = c.c_value })
+      | Some (Gauge g) -> Some (Gauge_view { name = g.g_name; value = g.g_value })
+      | Some (Histogram h) ->
+          Some
+            (Histogram_view
+               {
+                 name = h.h_name;
+                 count = h.h_count;
+                 sum = h.h_sum;
+                 min = (if h.h_count = 0 then 0 else h.h_min);
+                 max = h.h_max;
+                 p50 = quantile h 0.5;
+                 p95 = quantile h 0.95;
+                 p99 = quantile h 0.99;
+               })
+      | None -> None)
     (List.rev t.order)

@@ -56,6 +56,35 @@ val summary_line : histogram -> string
 
 val histograms : t -> histogram list
 
+(** {1 Introspection} *)
+
+type view =
+  | Counter_view of { name : string; value : int }
+  | Gauge_view of { name : string; value : float }
+  | Histogram_view of {
+      name : string;
+      count : int;
+      sum : int;
+      min : int;  (** 0 when empty *)
+      max : int;
+      p50 : int;
+      p95 : int;
+      p99 : int;
+    }
+
+val views : t -> view list
+(** Read-only snapshot of every registered instrument in registration
+    order — what the [sys.metrics] / [sys.histograms] virtual tables
+    scan. *)
+
+(** {1 Text-format escaping} *)
+
+val escape_help : string -> string
+(** Escape backslash and newline for a [# HELP] line. *)
+
+val escape_label_value : string -> string
+(** Escape backslash, double quote, and newline for a label value. *)
+
 (**/**)
 
 val bucket_of : int -> int

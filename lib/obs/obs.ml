@@ -16,6 +16,7 @@ module Timer = Bdbms_util.Timer
 type t = {
   trace : Trace.t;
   metrics : Metrics.t;
+  qlog : Qlog.t;
   stmt_hist : Metrics.histogram;
   wal_flush_hist : Metrics.histogram;
   evict_writeback_hist : Metrics.histogram;
@@ -102,6 +103,7 @@ let create ?capacity () =
   {
     trace = Trace.create ?capacity ();
     metrics;
+    qlog = Qlog.create ();
     stmt_hist;
     wal_flush_hist;
     evict_writeback_hist;

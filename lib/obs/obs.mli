@@ -10,6 +10,8 @@
 type t = {
   trace : Trace.t;
   metrics : Metrics.t;
+  qlog : Qlog.t;
+      (** structured query log: slow-statement ring + sampling JSONL sink *)
   stmt_hist : Metrics.histogram;      (** statement execution *)
   wal_flush_hist : Metrics.histogram; (** WAL group flush *)
   evict_writeback_hist : Metrics.histogram;

@@ -23,6 +23,7 @@ type span = {
   mutable s_name : string;
   mutable s_start : Timer.ns;
   mutable s_stop : Timer.ns;
+  mutable s_tid : int; (* trace id in force when the span completed; 0 = none *)
 }
 
 type t = {
@@ -31,6 +32,10 @@ type t = {
   mutable seq : int; (* completed spans ever *)
   mutable next_id : int;
   mutable stack : (int * int) list; (* (span id, depth) of open spans *)
+  mutable cur_tid : int;
+      (* ambient trace id: stamped onto every span recorded while set.
+         The server sets it from the query frame for the request's
+         extent; [Db] generates one per local statement. *)
 }
 
 let default_capacity = 512
@@ -48,11 +53,13 @@ let create ?(capacity = default_capacity) () =
             s_name = "";
             s_start = 0;
             s_stop = 0;
+            s_tid = 0;
           });
     on = false;
     seq = 0;
     next_id = 1;
     stack = [];
+    cur_tid = 0;
   }
 
 let capacity t = Array.length t.ring
@@ -63,6 +70,14 @@ let set_enabled t v =
   if not v then t.stack <- []
 
 let mark t = t.seq
+
+let set_trace_id t tid = t.cur_tid <- tid
+let trace_id t = t.cur_tid
+
+let with_trace_id t tid f =
+  let saved = t.cur_tid in
+  t.cur_tid <- tid;
+  Fun.protect ~finally:(fun () -> t.cur_tid <- saved) f
 
 let clear t =
   Array.iter (fun s -> s.s_seq <- -1) t.ring;
@@ -79,6 +94,7 @@ let record t ~id ~parent ~depth ~name ~start ~stop =
   slot.s_name <- name;
   slot.s_start <- start;
   slot.s_stop <- stop;
+  slot.s_tid <- t.cur_tid;
   t.seq <- t.seq + 1
 
 let enter t name =
@@ -122,6 +138,7 @@ type view = {
   parent : int;
   depth : int;
   seq : int;
+  trace_id : int;
 }
 
 (* Completed spans still in the ring with seq >= since, oldest first. *)
@@ -138,6 +155,7 @@ let spans ?(since = 0) t =
             parent = s.s_parent;
             depth = s.s_depth;
             seq = s.s_seq;
+            trace_id = s.s_tid;
           }
           :: acc
         else acc)
@@ -202,8 +220,9 @@ let render_json ?since t =
       if i > 0 then Buffer.add_string buf ",";
       Buffer.add_string buf
         (Printf.sprintf
-           "{\"name\":\"%s\",\"id\":%d,\"parent\":%d,\"depth\":%d,\"start_ns\":%d,\"dur_ns\":%d}"
-           (json_escape v.name) v.id v.parent v.depth v.start_ns v.dur_ns))
+           "{\"name\":\"%s\",\"id\":%d,\"parent\":%d,\"depth\":%d,\"start_ns\":%d,\"dur_ns\":%d,\"trace_id\":%d}"
+           (json_escape v.name) v.id v.parent v.depth v.start_ns v.dur_ns
+           v.trace_id))
     vs;
   Buffer.add_string buf "]";
   Buffer.contents buf

@@ -32,6 +32,17 @@ val mark : t -> int
 (** Current completion sequence number; pass to [?since] to read only
     spans recorded after this point (the slow-query log's window). *)
 
+val set_trace_id : t -> int -> unit
+(** Set the ambient trace id (0 = none): every span recorded while it is
+    set carries it, linking the span tree to the wire request / query-log
+    entry that produced it. *)
+
+val trace_id : t -> int
+
+val with_trace_id : t -> int -> (unit -> 'a) -> 'a
+(** Run a thunk under an ambient trace id, restoring the previous one
+    (even on exceptions). *)
+
 val clear : t -> unit
 
 type view = {
@@ -42,6 +53,7 @@ type view = {
   parent : int;  (** parent span id; 0 = root *)
   depth : int;
   seq : int;
+  trace_id : int;  (** ambient trace id at completion; 0 = none *)
 }
 
 val spans : ?since:int -> t -> view list
@@ -52,3 +64,7 @@ val render_tree : ?since:int -> t -> string
 
 val render_json : ?since:int -> t -> string
 (** Flat JSON array of span objects with parent links. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (shared by
+    the query log's JSONL rendering). *)

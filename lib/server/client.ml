@@ -4,7 +4,22 @@
 
 module P = Protocol
 
-type t = { fd : Unix.file_descr; mutable closed : bool }
+type t = {
+  fd : Unix.file_descr;
+  mutable closed : bool;
+  mutable proto : int;
+      (* server's protocol version, learned from the Hello_ok handshake;
+         1 (no trace ids) until the handshake answers otherwise *)
+  mutable tid_counter : int;
+  mutable last_trace_id : int;
+}
+
+(* Client-stamped trace ids: pid-salted so concurrent clients against
+   one server do not collide, sequential within a connection so a test
+   or log reader can follow one client's statements in order. *)
+let next_trace_id t =
+  t.tid_counter <- t.tid_counter + 1;
+  ((Unix.getpid () land 0x3FFFFF) lsl 32) lor (t.tid_counter land 0xFFFFFFFF)
 
 (* A server that dropped the connection must surface as EPIPE on our
    next write, not kill the process. *)
@@ -17,7 +32,7 @@ let connect_unix path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_UNIX path)
    with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
-  { fd; closed = false }
+  { fd; closed = false; proto = 1; tid_counter = 0; last_trace_id = 0 }
 
 let connect_tcp ~host ~port =
   ignore_sigpipe ();
@@ -31,7 +46,7 @@ let connect_tcp ~host ~port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_INET (addr, port))
    with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
-  { fd; closed = false }
+  { fd; closed = false; proto = 1; tid_counter = 0; last_trace_id = 0 }
 
 let request t req =
   if t.closed then raise (P.Protocol_error "client is closed");
@@ -42,11 +57,25 @@ let request t req =
 
 let hello t ~user =
   match request t (P.Hello { user }) with
-  | P.Hello_ok { session } -> Ok session
+  | P.Hello_ok { session; proto } ->
+      t.proto <- proto;
+      Ok session
   | P.Error_resp { message; _ } -> Error message
   | _ -> Error "unexpected response to Hello"
 
-let query t ?timeout_ms sql = request t (P.Query { sql; timeout_ms })
+let proto t = t.proto
+let last_trace_id t = t.last_trace_id
+
+(* Stamp a trace id on every query once the handshake confirmed a
+   protocol-2 server; a v1 server keeps getting the legacy frames. *)
+let fresh_tid t =
+  let tid = if t.proto >= 2 then next_trace_id t else 0 in
+  t.last_trace_id <- tid;
+  tid
+
+let query t ?timeout_ms sql =
+  request t (P.Query { sql; timeout_ms; trace_id = fresh_tid t })
+
 let control t name = request t (P.Control { name })
 
 (* Client-side auto-retry: resend on a retryable error frame (Busy,
@@ -57,8 +86,10 @@ let control t name = request t (P.Control { name })
 let query_retry t ?timeout_ms ?(policy = Bdbms_util.Backoff.default)
     ?on_retry sql =
   let retries = ref 0 in
+  (* one logical statement: every resend carries the same trace id *)
+  let trace_id = fresh_tid t in
   let rec go attempt =
-    match request t (P.Query { sql; timeout_ms }) with
+    match request t (P.Query { sql; timeout_ms; trace_id }) with
     | P.Error_resp { code; _ }
       when P.code_retryable code && attempt < policy.Bdbms_util.Backoff.max_attempts
       ->

@@ -7,7 +7,15 @@ val connect_unix : string -> t
 val connect_tcp : host:string -> port:int -> t
 
 val hello : t -> user:string -> (int, string) result
-(** Open the session; returns the server-assigned session id. *)
+(** Open the session; returns the server-assigned session id and learns
+    the server's protocol version from the handshake. *)
+
+val proto : t -> int
+(** The server's protocol version (1 until {!hello} answers). *)
+
+val last_trace_id : t -> int
+(** The trace id stamped on the most recent {!query}/{!query_retry}
+    (0 when the server predates protocol 2). *)
 
 val request : t -> Protocol.request -> Protocol.response
 (** Send one frame, wait for the answer.

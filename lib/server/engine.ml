@@ -33,6 +33,9 @@ module Stats = Bdbms_storage.Stats
 module Backend = Bdbms_storage.Backend
 module Obs = Bdbms_obs.Obs
 module Metrics = Bdbms_obs.Metrics
+module Trace = Bdbms_obs.Trace
+module Qlog = Bdbms_obs.Qlog
+module Timer = Bdbms_util.Timer
 module Cancel = Bdbms_util.Cancel
 
 type error =
@@ -231,7 +234,18 @@ let note_timeout t reason =
   Metrics.inc o.Obs.stmts_timed_out_c;
   Error (Timeout ("statement aborted: " ^ reason))
 
-let execute t ?(user = superuser) ?exec_mode ?timeout_ms sql =
+(* Install a wire-supplied trace id (0 = none) as the ambient id for the
+   duration of a statement, so every span and query-log entry it records
+   links back to the client's request frame.  The ambient id is a single
+   shared slot on the trace ring: exact under the engine lock (the
+   autocommit path), best-effort for concurrently executing snapshot
+   statements. *)
+let with_tid t tid f =
+  if tid = 0 then f ()
+  else Trace.with_trace_id (Db.obs t.db).Obs.trace tid f
+
+let execute t ?(user = superuser) ?(session = 0) ?exec_mode ?timeout_ms
+    ?(trace_id = 0) sql =
   match Parser.parse sql with
   | Error e -> Error (Sql e)
   | Ok stmt ->
@@ -249,7 +263,10 @@ let execute t ?(user = superuser) ?exec_mode ?timeout_ms sql =
                 (* a rollback recreates the context, so re-fetch it *)
                 (Db.context t.db).Context.exec_mode <- saved)
               (fun () ->
-                match Db.exec_nocommit t.db ~user ?timeout_ms sql with
+                match
+                  with_tid t trace_id (fun () ->
+                      Db.exec_nocommit t.db ~user ~session ?timeout_ms sql)
+                with
                 | Ok outcome -> (
                     match Db.commit t.db with
                     | Ok () ->
@@ -297,7 +314,8 @@ let begin_txn t ?(user = superuser) () =
           ( ctx.Context.strict_acl,
             ctx.Context.auto_provenance,
             ctx.Context.exec_mode,
-            ctx.Context.batch_rows ) ))
+            ctx.Context.batch_rows,
+            ctx.Context.sys_providers ) ))
   in
   match
     let disk =
@@ -310,11 +328,14 @@ let begin_txn t ?(user = superuser) () =
     (* built-ins before bootstrap so persisted dependency chains rebind *)
     Db.register_builtin_procedures ctx;
     let (_ : int) = Context.bootstrap ctx in
-    let sa, ap, em, br = flags in
+    let sa, ap, em, br, sp = flags in
     ctx.Context.strict_acl <- sa;
     ctx.Context.auto_provenance <- ap;
     ctx.Context.exec_mode <- em;
     ctx.Context.batch_rows <- br;
+    (* the live-session provider follows the snapshot, so [sys.sessions]
+       works inside a transaction too *)
+    ctx.Context.sys_providers <- sp;
     ctx.Context.session_label <- Some (Printf.sprintf "%s@%d" user horizon);
     ctx
   with
@@ -352,7 +373,7 @@ let finish txn =
 
 let rollback_txn txn = finish txn
 
-let rec txn_exec txn ?timeout_ms sql =
+let rec txn_exec txn ?(session = 0) ?timeout_ms ?(trace_id = 0) sql =
   let t = txn.tx_engine in
   if txn.tx_done then Error (Sql "no transaction in progress")
   else if txn.tx_failed then
@@ -373,31 +394,52 @@ let rec txn_exec txn ?timeout_ms sql =
             Error
               (Degraded "engine is read-only (degraded); ROLLBACK and retry")
           end
-          else txn_exec_stmt txn cls ?timeout_ms sql stmt
+          else txn_exec_stmt txn cls ~session ?timeout_ms ~trace_id sql stmt
         end
-        else txn_exec_stmt txn cls ?timeout_ms sql stmt)
+        else txn_exec_stmt txn cls ~session ?timeout_ms ~trace_id sql stmt)
 
-and txn_exec_stmt txn cls ?timeout_ms sql stmt =
+and txn_exec_stmt txn cls ~session ?timeout_ms ~trace_id sql stmt =
   let t = txn.tx_engine in
   let o = Db.obs t.db in
-  match
-    Obs.timed o o.Obs.stmt_hist "txn.stmt" (fun () ->
-        Context.with_deadline txn.tx_ctx ?timeout_ms (fun () ->
-            Executor.execute txn.tx_ctx ~user:txn.tx_user stmt))
-  with
-  | Ok outcome ->
-      if Stmt_class.is_write cls then begin
-        txn.tx_stmts <- sql :: txn.tx_stmts;
-        txn.tx_touched <-
-          dedup
-            (cls.Stmt_class.reads @ cls.Stmt_class.writes @ txn.tx_touched);
-        txn.tx_writes <- dedup (cls.Stmt_class.writes @ txn.tx_writes);
-        if cls.Stmt_class.ddl then txn.tx_ddl <- true
-      end;
-      Ok outcome
-  | Error e ->
-      txn.tx_failed <- true;
-      Error (Sql e)
+  let run () =
+    with_tid t trace_id (fun () ->
+        Obs.timed o o.Obs.stmt_hist "txn.stmt" (fun () ->
+            Context.with_deadline txn.tx_ctx ?timeout_ms (fun () ->
+                Executor.execute txn.tx_ctx ~user:txn.tx_user stmt)))
+  in
+  match Timer.timed run with
+  | result, elapsed -> (
+      (* transaction statements bypass [Db.exec]'s recording, so the
+         query log is fed here, carrying the wire session and trace id *)
+      let ok, rows =
+        match result with
+        | Ok (Executor.Rows rs) ->
+            (true, List.length rs.Bdbms_annotation.Propagate.rows)
+        | Ok (Executor.Count { affected; _ }) -> (true, affected)
+        | Ok _ -> (true, -1)
+        | Error _ -> (false, -1)
+      in
+      let slow =
+        match Db.slow_ms t.db with
+        | Some threshold -> Timer.ns_to_ms elapsed >= threshold
+        | None -> false
+      in
+      Qlog.record o.Obs.qlog ~sql ~user:txn.tx_user ~session ~dur_ns:elapsed
+        ~rows ~trace_id ~ok ~slow;
+      match result with
+      | Ok outcome ->
+          if Stmt_class.is_write cls then begin
+            txn.tx_stmts <- sql :: txn.tx_stmts;
+            txn.tx_touched <-
+              dedup
+                (cls.Stmt_class.reads @ cls.Stmt_class.writes @ txn.tx_touched);
+            txn.tx_writes <- dedup (cls.Stmt_class.writes @ txn.tx_writes);
+            if cls.Stmt_class.ddl then txn.tx_ddl <- true
+          end;
+          Ok outcome
+      | Error e ->
+          txn.tx_failed <- true;
+          Error (Sql e))
   | exception Pager.Pool_exhausted _ ->
       txn.tx_failed <- true;
       Error (Busy "snapshot buffer pool exhausted; ROLLBACK and retry")

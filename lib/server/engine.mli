@@ -75,8 +75,10 @@ val version_store : t -> Version_store.t
 val execute :
   t ->
   ?user:string ->
+  ?session:int ->
   ?exec_mode:Bdbms_asql.Context.exec_mode ->
   ?timeout_ms:float ->
+  ?trace_id:int ->
   string ->
   (Bdbms_asql.Executor.outcome, error) result
 (** Autocommit path: execute one statement on the canonical engine under
@@ -85,9 +87,11 @@ val execute :
     overrides the SELECT engine for this statement only (the session
     [\exec] setting); the canonical engine's mode is restored after.
     [timeout_ms] arms a cooperative deadline on the statement: on expiry
-    it is rolled back and answered with {!Timeout}.  When degraded, a
-    health probe runs first; if still degraded, write statements are
-    refused with {!Degraded}. *)
+    it is rolled back and answered with {!Timeout}.  [session] (the
+    wire session id) and [trace_id] (the client-stamped request id, 0 =
+    none) flow into the statement's trace spans and query-log entry.
+    When degraded, a health probe runs first; if still degraded, write
+    statements are refused with {!Degraded}. *)
 
 (** {1 Explicit transactions} *)
 
@@ -98,15 +102,21 @@ val begin_txn : t -> ?user:string -> unit -> txn
     private engine over a copy-on-write overlay. *)
 
 val txn_exec :
-  txn -> ?timeout_ms:float -> string -> (Bdbms_asql.Executor.outcome, error) result
+  txn ->
+  ?session:int ->
+  ?timeout_ms:float ->
+  ?trace_id:int ->
+  string ->
+  (Bdbms_asql.Executor.outcome, error) result
 (** Execute a statement inside the transaction, against its snapshot.
     Write statements also enter the replay buffer.  After any error the
     transaction is failed: subsequent statements return [Sql] errors
     until rollback (commit will also refuse).  [timeout_ms] arms a
     cooperative deadline on this statement (expiry fails the transaction
-    with {!Timeout}); while the engine is degraded, write statements are
-    refused with {!Degraded} rather than buffered, since commit replay
-    would refuse them anyway. *)
+    with {!Timeout}); [session]/[trace_id] attribute its query-log entry
+    and spans like {!execute}.  While the engine is degraded, write
+    statements are refused with {!Degraded} rather than buffered, since
+    commit replay would refuse them anyway. *)
 
 val commit_txn : txn -> (int, error) result
 (** Commit: conflict-check against commits sealed after the horizon,

@@ -1,0 +1,135 @@
+(* A deliberately tiny HTTP/1.1 responder for the Prometheus scrape
+   endpoint: GET /metrics answers the text exposition format, GET
+   /healthz answers 200 (or 503 while the engine is degraded), anything
+   else 404/405.  One accept-loop thread, one short-lived thread per
+   request, Connection: close on every response — scrapers reconnect
+   per scrape anyway, and keeping the server this small means no
+   request parsing beyond the request line and no keep-alive state. *)
+
+type t = {
+  h_fd : Unix.file_descr;
+  mutable h_thread : Thread.t option;
+  mutable h_stopping : bool;
+}
+
+let response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\n\
+     Content-Type: %s\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    status content_type (String.length body) body
+
+(* Prometheus' registered content type for the text exposition format *)
+let metrics_content_type = "text/plain; version=0.0.4; charset=utf-8"
+
+let read_line_crlf fd buf =
+  Buffer.clear buf;
+  let b = Bytes.create 1 in
+  let rec go () =
+    if Buffer.length buf > 8192 then None
+    else
+      match Unix.read fd b 0 1 with
+      | 0 -> None
+      | _ ->
+          let c = Bytes.get b 0 in
+          if c = '\n' then Some (String.trim (Buffer.contents buf))
+          else begin
+            Buffer.add_char buf c;
+            go ()
+          end
+      | exception Unix.Unix_error _ -> None
+  in
+  go ()
+
+let read_request_line fd =
+  let buf = Buffer.create 128 in
+  let line = read_line_crlf fd buf in
+  (* drain the headers up to the blank line: closing the socket with
+     unread request bytes would RST the client before it reads the
+     answer.  GETs carry no body, so the blank line ends the request. *)
+  (match line with
+  | Some _ ->
+      let rec drain n =
+        if n < 100 then
+          match read_line_crlf fd buf with
+          | Some "" | None -> ()
+          | Some _ -> drain (n + 1)
+      in
+      drain 0
+  | None -> ());
+  line
+
+let handle ~metrics ~health fd =
+  (match read_request_line fd with
+  | None -> ()
+  | Some line ->
+      let reply =
+        match String.split_on_char ' ' line with
+        | [ "GET"; "/metrics"; _ ] | [ "GET"; "/metrics" ] ->
+            response ~status:"200 OK" ~content_type:metrics_content_type
+              (metrics ())
+        | [ "GET"; "/healthz"; _ ] | [ "GET"; "/healthz" ] -> (
+            match health () with
+            | None -> response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+            | Some reason ->
+                response ~status:"503 Service Unavailable"
+                  ~content_type:"text/plain"
+                  (Printf.sprintf "degraded: %s\n" reason))
+        | "GET" :: _ ->
+            response ~status:"404 Not Found" ~content_type:"text/plain"
+              "not found (try /metrics or /healthz)\n"
+        | _ ->
+            response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+              "only GET is served\n"
+      in
+      let b = Bytes.of_string reply in
+      let len = Bytes.length b in
+      let sent = ref 0 in
+      try
+        while !sent < len do
+          sent := !sent + Unix.write fd b !sent (len - !sent)
+        done
+      with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve ~host ~port ~metrics ~health () =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+  in
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.bind lfd (Unix.ADDR_INET (addr, port));
+  Unix.listen lfd 16;
+  let t = { h_fd = lfd; h_thread = None; h_stopping = false } in
+  let loop () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept lfd with
+      | fd, _ -> ignore (Thread.create (fun () -> handle ~metrics ~health fd) ())
+      | exception
+          Unix.Unix_error
+            ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _) ->
+          continue := not t.h_stopping
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  t.h_thread <- Some (Thread.create loop ());
+  t
+
+let bound_port t =
+  match Unix.getsockname t.h_fd with
+  | Unix.ADDR_INET (_, port) -> port
+  | _ -> invalid_arg "Http.bound_port: not a TCP listener"
+
+let stop t =
+  t.h_stopping <- true;
+  (try Unix.shutdown t.h_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.h_fd with Unix.Unix_error _ -> ());
+  match t.h_thread with Some th -> Thread.join th | None -> ()

@@ -2,9 +2,14 @@ module Stats = Bdbms_storage.Stats
 
 let max_frame = 16 * 1024 * 1024
 
+(* Protocol 2 adds the traced Query frame (0x05) and the proto field in
+   Hello_ok.  Old peers interoperate: a v1 client never sends 0x05, and
+   a v1 server's 4-byte Hello_ok decodes as proto 1. *)
+let proto_version = 2
+
 type request =
   | Hello of { user : string }
-  | Query of { sql : string; timeout_ms : int option }
+  | Query of { sql : string; timeout_ms : int option; trace_id : int }
   | Control of { name : string }
 
 type error_code =
@@ -47,7 +52,7 @@ let code_of_byte = function
   | _ -> None
 
 type response =
-  | Hello_ok of { session : int }
+  | Hello_ok of { session : int; proto : int }
   | Rows of { rendered : string }
   | Count of { affected : int; verb : string }
   | Message of { text : string }
@@ -72,22 +77,40 @@ let frame_str tag s =
 let frame_u32 tag n =
   frame tag 4 (fun b off -> Bytes.set_int32_be b off (Int32.of_int n))
 
-(* A query without a deadline keeps the original 0x02 framing (old
-   clients and servers interoperate); a deadline rides in the newer 0x04
-   frame as a u32 millisecond prefix. *)
+(* A query without a deadline or trace id keeps the original 0x02
+   framing (old clients and servers interoperate); a deadline rides in
+   the 0x04 frame as a u32 millisecond prefix; a trace id promotes the
+   frame to 0x05 ([u64 trace_id | u32 timeout_ms | sql], with all-ones
+   timeout meaning none), which only protocol-2 servers accept — the
+   client checks the handshake before using it. *)
+let no_timeout_u32 = 0xFFFFFFFF
+
 let encode_request = function
   | Hello { user } -> frame_str 0x01 user
-  | Query { sql; timeout_ms = None } -> frame_str 0x02 sql
-  | Query { sql; timeout_ms = Some ms } ->
+  | Query { sql; timeout_ms = None; trace_id = 0 } -> frame_str 0x02 sql
+  | Query { sql; timeout_ms = Some ms; trace_id = 0 } ->
       frame 0x04
         (4 + String.length sql)
         (fun b off ->
           Bytes.set_int32_be b off (Int32.of_int ms);
           Bytes.blit_string sql 0 b (off + 4) (String.length sql))
+  | Query { sql; timeout_ms; trace_id } ->
+      let ms = Option.value timeout_ms ~default:no_timeout_u32 in
+      frame 0x05
+        (8 + 4 + String.length sql)
+        (fun b off ->
+          Bytes.set_int64_be b off (Int64.of_int trace_id);
+          Bytes.set_int32_be b (off + 8) (Int32.of_int ms);
+          Bytes.blit_string sql 0 b (off + 12) (String.length sql))
   | Control { name } -> frame_str 0x03 name
 
 let encode_response = function
-  | Hello_ok { session } -> frame_u32 0x81 session
+  | Hello_ok { session; proto } ->
+      (* [u32 session | u32 proto]: a v1 client reads the first four
+         bytes and ignores the rest, so the handshake stays compatible *)
+      frame 0x81 8 (fun b off ->
+          Bytes.set_int32_be b off (Int32.of_int session);
+          Bytes.set_int32_be b (off + 4) (Int32.of_int proto))
   | Rows { rendered } -> frame_str 0x82 rendered
   | Count { affected; verb } ->
       frame 0x83
@@ -135,7 +158,7 @@ let decode_request buf =
   decode_frame buf (fun tag payload ->
       match tag with
       | 0x01 -> Some (Hello { user = payload })
-      | 0x02 -> Some (Query { sql = payload; timeout_ms = None })
+      | 0x02 -> Some (Query { sql = payload; timeout_ms = None; trace_id = 0 })
       | 0x03 -> Some (Control { name = payload })
       | 0x04 ->
           u32_payload payload (fun ms ->
@@ -146,13 +169,38 @@ let decode_request buf =
                      {
                        sql = String.sub payload 4 (String.length payload - 4);
                        timeout_ms = Some ms;
+                       trace_id = 0;
                      }))
+      | 0x05 ->
+          if String.length payload < 12 then None
+          else
+            let trace_id = Int64.to_int (String.get_int64_be payload 0) in
+            let ms =
+              Int32.to_int (String.get_int32_be payload 8) land no_timeout_u32
+            in
+            let timeout_ms = if ms = no_timeout_u32 then None else Some ms in
+            if trace_id < 0 then None
+            else
+              Some
+                (Query
+                   {
+                     sql = String.sub payload 12 (String.length payload - 12);
+                     timeout_ms;
+                     trace_id;
+                   })
       | _ -> None)
 
 let decode_response buf =
   decode_frame buf (fun tag payload ->
       match tag with
-      | 0x81 -> u32_payload payload (fun session -> Some (Hello_ok { session }))
+      | 0x81 ->
+          u32_payload payload (fun session ->
+              let proto =
+                if String.length payload >= 8 then
+                  Int32.to_int (String.get_int32_be payload 4)
+                else 1 (* v1 server: 4-byte payload *)
+              in
+              Some (Hello_ok { session; proto }))
       | 0x82 -> Some (Rows { rendered = payload })
       | 0x83 ->
           u32_payload payload (fun affected ->

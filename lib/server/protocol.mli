@@ -17,16 +17,24 @@
 val max_frame : int
 (** Maximum [length] value accepted (16 MiB). *)
 
+val proto_version : int
+(** The protocol this peer speaks (2).  Version 2 adds the traced Query
+    frame ([0x05]) and the proto field appended to [Hello_ok]; both
+    degrade gracefully against version-1 peers. *)
+
 type request =
   | Hello of { user : string }  (** tag [0x01]: open a session *)
-  | Query of { sql : string; timeout_ms : int option }
-      (** tag [0x02] without a deadline (wire-compatible with older
-          peers); tag [0x04] ([u32 timeout_ms | sql]) with one.  The
-          server aborts and rolls back a statement that outlives its
-          deadline, answering {!E_timeout}. *)
+  | Query of { sql : string; timeout_ms : int option; trace_id : int }
+      (** tag [0x02] without a deadline or trace id (wire-compatible
+          with older peers); tag [0x04] ([u32 timeout_ms | sql]) with a
+          deadline only; tag [0x05]
+          ([u64 trace_id | u32 timeout_ms | sql], all-ones timeout =
+          none) when the client stamps a trace id — send it only after a
+          proto ≥ 2 handshake.  The server aborts and rolls back a
+          statement that outlives its deadline, answering {!E_timeout}. *)
   | Control of { name : string }
       (** tag [0x03]: out-of-band op: [ping], [metrics], [stats],
-          [exec [mode]], [timeout [ms|off]] *)
+          [exec [mode]], [timeout [ms|off]], [trace on|off|tree|json] *)
 
 type error_code =
   | E_internal
@@ -42,7 +50,9 @@ type error_code =
 val code_retryable : error_code -> bool
 
 type response =
-  | Hello_ok of { session : int }  (** tag [0x81] *)
+  | Hello_ok of { session : int; proto : int }
+      (** tag [0x81]: [u32 session | u32 proto]; a 4-byte payload from a
+          v1 server decodes as proto 1 *)
   | Rows of { rendered : string }  (** tag [0x82]: server-rendered table *)
   | Count of { affected : int; verb : string }  (** tag [0x83] *)
   | Message of { text : string }  (** tag [0x84] *)

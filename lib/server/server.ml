@@ -45,6 +45,13 @@ let create ?idle_timeout_s engine =
   (* a peer that vanished mid-response must surface as EPIPE on the
      write (handled per connection), not kill the whole process *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (* live rows for [sys.sessions]: installed on the canonical context
+     (and copied into every snapshot by [Engine.begin_txn]), shadowing
+     the view's single-row local fallback *)
+  let ctx = Bdbms.Db.context (Engine.db engine) in
+  ctx.Bdbms_asql.Context.sys_providers <-
+    ("sys.sessions", fun () -> Session.sys_rows engine)
+    :: List.remove_assoc "sys.sessions" ctx.Bdbms_asql.Context.sys_providers;
   {
     engine;
     counters = Engine.counters engine;
@@ -82,8 +89,8 @@ let reply_resp = function
   | Session.Committed seq -> P.Committed { seq }
   | Session.Rolled_back -> P.Message { text = "ROLLBACK" }
 
-let handle_query session ?timeout_ms sql =
-  match Session.execute session ?timeout_ms sql with
+let handle_query session ?timeout_ms ?trace_id sql =
+  match Session.execute session ?timeout_ms ?trace_id sql with
   | Ok reply -> reply_resp reply
   | Error e -> error_resp e
   | exception Pager.Pool_exhausted _ ->
@@ -95,9 +102,14 @@ let handle_query session ?timeout_ms sql =
 
 let handle_control t session name =
   let module Context = Bdbms_asql.Context in
+  let module Db = Bdbms.Db in
+  let db = Engine.db t.engine in
   match String.lowercase_ascii (String.trim name) with
   | "ping" -> P.Message { text = "pong" }
   | "metrics" -> P.Message { text = Engine.metrics t.engine }
+  | "trace" ->
+      P.Message
+        { text = (if Db.tracing db then "trace: on" else "trace: off") }
   | "stats" ->
       P.Message
         { text = Format.asprintf "%a" Stats.pp (Engine.stats t.engine) }
@@ -113,8 +125,17 @@ let handle_control t session name =
             | Some ms -> Printf.sprintf "timeout: %gms" ms);
         }
   | other -> (
-      (* "exec <mode>" / "timeout <ms>|off": session-scoped overrides *)
+      (* "exec <mode>" / "timeout <ms>|off": session-scoped overrides;
+         "trace <op>": engine-wide span-ring control *)
       match String.split_on_char ' ' other with
+      | [ "trace"; "on" ] ->
+          Db.set_tracing db true;
+          P.Message { text = "trace: on" }
+      | [ "trace"; "off" ] ->
+          Db.set_tracing db false;
+          P.Message { text = "trace: off" }
+      | [ "trace"; "tree" ] -> P.Message { text = Db.trace_tree db }
+      | [ "trace"; "json" ] -> P.Message { text = Db.trace_json db }
       | [ "timeout"; "off" ] ->
           Session.set_stmt_timeout_ms session None;
           P.Message { text = "timeout: off" }
@@ -185,10 +206,10 @@ let request_loop t conn session =
                   | P.Hello _ ->
                       P.Error_resp
                         { code = P.E_proto; message = "session already open" }
-                  | P.Query { sql; timeout_ms } ->
+                  | P.Query { sql; timeout_ms; trace_id } ->
                       handle_query session
                         ?timeout_ms:(Option.map float_of_int timeout_ms)
-                        sql
+                        ~trace_id sql
                   | P.Control { name } -> handle_control t session name)
             in
             P.send_response ~stats fd resp)
@@ -213,7 +234,8 @@ let handle_conn t conn =
          match Session.create t.engine ~user with
          | Ok session ->
              P.send_response ~stats fd
-               (P.Hello_ok { session = Session.id session });
+               (P.Hello_ok
+                  { session = Session.id session; proto = P.proto_version });
              Fun.protect
                ~finally:(fun () -> Session.close session)
                (fun () -> request_loop t conn session)

@@ -3,6 +3,7 @@ module Principal = Bdbms_auth.Principal
 module Stats = Bdbms_storage.Stats
 module Obs = Bdbms_obs.Obs
 module Metrics = Bdbms_obs.Metrics
+module Value = Bdbms_relation.Value
 module Db = Bdbms.Db
 
 type reply =
@@ -26,12 +27,19 @@ type t = {
   mutable stmt_timeout_ms : float option;
       (* session-scoped [\timeout] default, overridable per query by the
          wire frame's own deadline; [None] = unbounded *)
+  mutable current_stmt : string;
+      (* the statement executing right now ("" when idle), surfaced in
+         [sys.sessions] *)
   mutable closed : bool;
 }
 
 let next_id = ref 0
 let id_mu = Mutex.create ()
 let live = ref 0
+
+(* Every open session, keyed by id, so [sys.sessions] can list them.
+   Guarded by [id_mu] like the id counter and the live gauge. *)
+let registry : (int, t) Hashtbl.t = Hashtbl.create 16
 
 let fresh_id () =
   Mutex.protect id_mu (fun () ->
@@ -56,7 +64,7 @@ let create engine ~user =
   else begin
     Stats.record_session_opened (Engine.counters engine);
     set_gauge engine 1;
-    Ok
+    let session =
       {
         id = fresh_id ();
         engine;
@@ -65,9 +73,35 @@ let create engine ~user =
         conflict_streak = 0;
         exec_override = None;
         stmt_timeout_ms = None;
+        current_stmt = "";
         closed = false;
       }
+    in
+    Mutex.protect id_mu (fun () -> Hashtbl.replace registry session.id session);
+    Ok session
   end
+
+(* Live rows for the [sys.sessions] virtual table: every open session on
+   this [engine] (a process can host several), in id order.  Installed on
+   the canonical context by [Server.create] and copied into transaction
+   snapshots by [Engine.begin_txn]. *)
+let sys_rows engine =
+  let sessions =
+    Mutex.protect id_mu (fun () ->
+        Hashtbl.fold
+          (fun _ s acc -> if s.engine == engine then s :: acc else acc)
+          registry [])
+  in
+  List.map
+    (fun s ->
+      [|
+        Value.VInt s.id;
+        Value.VString s.user;
+        Value.VString (if s.txn <> None then "txn" else "idle");
+        Value.VString s.current_stmt;
+        Value.VInt s.conflict_streak;
+      |])
+    (List.sort (fun a b -> compare a.id b.id) sessions)
 
 let id t = t.id
 let user t = t.user
@@ -129,13 +163,16 @@ let observe_commit_landed t =
   Metrics.observe o.Obs.conflict_retry_hist t.conflict_streak;
   t.conflict_streak <- 0
 
-let execute t ?timeout_ms sql =
+let execute t ?timeout_ms ?(trace_id = 0) sql =
   (* the query frame's own deadline wins over the session default *)
   let timeout_ms =
     match timeout_ms with Some _ as v -> v | None -> t.stmt_timeout_ms
   in
   if t.closed then Error Engine.Closed
-  else
+  else begin
+    t.current_stmt <- String.trim sql;
+    Fun.protect ~finally:(fun () -> t.current_stmt <- "")
+    @@ fun () ->
     match control_of sql with
     | Some Begin_txn -> (
         if t.txn <> None then
@@ -171,23 +208,25 @@ let execute t ?timeout_ms sql =
     | None -> (
         match t.txn with
         | Some txn -> (
-            match Engine.txn_exec txn ?timeout_ms sql with
+            match Engine.txn_exec txn ~session:t.id ?timeout_ms ~trace_id sql with
             | Ok outcome -> Ok (Outcome outcome)
             | Error e -> Error e)
         | None -> (
             (* autocommit on the canonical engine *)
             match
-              Engine.execute t.engine ~user:t.user
-                ?exec_mode:t.exec_override ?timeout_ms sql
+              Engine.execute t.engine ~user:t.user ~session:t.id
+                ?exec_mode:t.exec_override ?timeout_ms ~trace_id sql
             with
             | Ok outcome ->
                 observe_commit_landed t;
                 Ok (Outcome outcome)
             | Error e -> Error e))
+  end
 
 let close t =
   if not t.closed then begin
     t.closed <- true;
+    Mutex.protect id_mu (fun () -> Hashtbl.remove registry t.id);
     rollback_open t;
     set_gauge t.engine (-1)
   end

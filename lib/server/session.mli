@@ -27,6 +27,13 @@ val id : t -> int
 val user : t -> string
 val in_txn : t -> bool
 
+val sys_rows : Engine.t -> Bdbms_relation.Tuple.t list
+(** Live rows for the [sys.sessions] virtual table: one per open session
+    on this engine (id, user, idle/txn state, in-flight statement,
+    conflict streak), in id order.  The server installs
+    [fun () -> sys_rows engine] as the ["sys.sessions"] provider on the
+    canonical context. *)
+
 val set_exec_mode : t -> Bdbms_asql.Context.exec_mode option -> unit
 (** Install (or with [None] clear) the session's SELECT-engine override
     (the [\exec] control op).  Applies to subsequent autocommit
@@ -45,14 +52,18 @@ val set_stmt_timeout_ms : t -> float option -> unit
 
 val stmt_timeout_ms : t -> float option
 
-val execute : t -> ?timeout_ms:float -> string -> (reply, Engine.error) result
+val execute :
+  t -> ?timeout_ms:float -> ?trace_id:int -> string -> (reply, Engine.error) result
 (** Run one statement: [BEGIN]/[COMMIT]/[ROLLBACK] (and their synonyms)
     drive the session's transaction; anything else executes inside the
     open transaction, or autocommits on the engine when none is open.
     [timeout_ms] (from the query frame) overrides the session's default
-    deadline for this statement.  Transient errors ([Busy], [Conflict],
-    [Degraded]) and deadline expiries ([Timeout]) fail the statement
-    (and abort an open transaction) but never the session. *)
+    deadline for this statement.  [trace_id] (from a protocol-2 query
+    frame; 0 = none) tags the statement's trace spans and query-log
+    entry so a wire request can be followed through the engine.
+    Transient errors ([Busy], [Conflict], [Degraded]) and deadline
+    expiries ([Timeout]) fail the statement (and abort an open
+    transaction) but never the session. *)
 
 val close : t -> unit
 (** Roll back any open transaction and release the session (drops the

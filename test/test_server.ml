@@ -68,10 +68,18 @@ let request_gen =
     oneof
       [
         map (fun user -> P.Hello { user }) raw_string;
-        map (fun sql -> P.Query { sql; timeout_ms = None }) raw_string;
+        map (fun sql -> P.Query { sql; timeout_ms = None; trace_id = 0 }) raw_string;
         map2
-          (fun sql ms -> P.Query { sql; timeout_ms = Some ms })
+          (fun sql ms -> P.Query { sql; timeout_ms = Some ms; trace_id = 0 })
           raw_string (int_bound 1_000_000);
+        (* traced queries ride the 0x05 frame, with and without deadline *)
+        map2
+          (fun sql tid -> P.Query { sql; timeout_ms = None; trace_id = tid + 1 })
+          raw_string (int_bound 1_000_000_000);
+        map3
+          (fun sql ms tid ->
+            P.Query { sql; timeout_ms = Some ms; trace_id = tid + 1 })
+          raw_string (int_bound 1_000_000) (int_bound 1_000_000_000);
         map (fun name -> P.Control { name }) raw_string;
       ])
 
@@ -91,7 +99,9 @@ let response_gen =
   QCheck.Gen.(
     oneof
       [
-        map (fun session -> P.Hello_ok { session }) (int_bound 1_000_000);
+        map2
+          (fun session proto -> P.Hello_ok { session; proto = proto + 1 })
+          (int_bound 1_000_000) (int_bound 100);
         map (fun rendered -> P.Rows { rendered }) raw_string;
         map2
           (fun affected verb -> P.Count { affected; verb })
@@ -581,13 +591,13 @@ let test_byte_at_a_time () =
           | Some (P.Hello_ok _) -> ()
           | _ -> Alcotest.fail "expected Hello_ok");
           dribble
-            (P.Query { sql = "INSERT INTO bt VALUES (1)"; timeout_ms = None });
+            (P.Query { sql = "INSERT INTO bt VALUES (1)"; timeout_ms = None; trace_id = 0 });
           (match P.recv_response fd with
           | Some (P.Count { affected = 1; _ }) -> ()
           | _ -> Alcotest.fail "expected Count 1");
           (* the deadline-carrying 0x04 frame survives dribbling too *)
           dribble
-            (P.Query { sql = "SELECT * FROM bt"; timeout_ms = Some 60_000 });
+            (P.Query { sql = "SELECT * FROM bt"; timeout_ms = Some 60_000; trace_id = 0 });
           match P.recv_response fd with
           | Some (P.Rows _) -> ()
           | _ -> Alcotest.fail "expected Rows"))
@@ -607,9 +617,9 @@ let test_midframe_stall_reaped () =
       (match P.recv_response fd with
       | Some (P.Hello_ok _) -> ()
       | _ -> Alcotest.fail "expected Hello_ok");
-      send (P.Query { sql = "BEGIN"; timeout_ms = None });
+      send (P.Query { sql = "BEGIN"; timeout_ms = None; trace_id = 0 });
       ignore (P.recv_response fd);
-      send (P.Query { sql = "INSERT INTO lor VALUES (1)"; timeout_ms = None });
+      send (P.Query { sql = "INSERT INTO lor VALUES (1)"; timeout_ms = None; trace_id = 0 });
       ignore (P.recv_response fd);
       (* now stall: two bytes of a frame header, then silence *)
       ignore (Unix.write fd (Bytes.of_string "\x00\x00") 0 2);
